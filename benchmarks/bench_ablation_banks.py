@@ -1,0 +1,41 @@
+"""Ablation: finite NVRAM banks (extension beyond the paper).
+
+The paper assumes infinite banks so that the constraint critical path is
+the only persist-rate limit (Section 7).  This bench drains the epoch-
+persistency persist DAG through devices with 1..256 banks and reports how
+quickly drain time converges to the constraint bound — quantifying how
+much headroom the paper's idealisation leaves.
+"""
+
+from repro.core import analyze_graph
+from repro.nvramdev import DeviceConfig, drain_time
+
+BANK_COUNTS = (1, 2, 4, 8, 16, 64, 256)
+
+
+def test_bank_count_convergence(runner, out_dir, benchmark):
+    workload = runner.workload("cwl", 8, True)
+    graph = analyze_graph(workload.trace, "epoch").graph
+    lines = ["banks drain_us constraint_us bandwidth_us efficiency"]
+    results = []
+    for banks in BANK_COUNTS:
+        config = DeviceConfig(500e-9, banks=banks, bank_bits_ignored=3)
+        result = drain_time(graph, config)
+        results.append(result)
+        lines.append(
+            f"{banks} {result.total_time * 1e6:.1f} "
+            f"{result.constraint_bound * 1e6:.1f} "
+            f"{result.bandwidth_bound * 1e6:.1f} {result.efficiency:.3f}"
+        )
+    (out_dir / "ablation_banks.txt").write_text("\n".join(lines) + "\n")
+    print("\n" + "\n".join(lines))
+
+    # Monotone: more banks never slow the drain.
+    times = [r.total_time for r in results]
+    assert all(a >= b for a, b in zip(times, times[1:]))
+    # One bank is bandwidth-bound; many banks approach the constraint bound.
+    assert results[0].total_time >= results[0].bandwidth_bound * (1 - 1e-9)
+    assert results[-1].total_time <= 1.5 * results[-1].constraint_bound
+
+    config = DeviceConfig(500e-9, banks=8, bank_bits_ignored=3)
+    benchmark(lambda: drain_time(graph, config))

@@ -1,0 +1,28 @@
+"""Ablation: BPFS-style conflict detection vs this paper's epoch model.
+
+Section 5.2 argues BPFS differs subtly from epoch persistency: it tracks
+conflicts only within the persistent address space and misses
+load-before-store conflicts (TSO-style detection).  Both differences can
+only *remove* ordering constraints, so the BPFS critical path lower-
+bounds epoch's; this bench measures the gap on both queue designs.
+"""
+
+from repro.core import analyze
+
+
+def test_bpfs_vs_epoch_conflict_detection(runner, out_dir, benchmark):
+    lines = ["design threads epoch bpfs gap_percent"]
+    for design, threads in (("cwl", 1), ("cwl", 8), ("2lc", 8)):
+        workload = runner.workload(design, threads, True)
+        inserts = workload.total_inserts
+        epoch = analyze(workload.trace, "epoch").critical_path_per(inserts)
+        bpfs = analyze(workload.trace, "bpfs").critical_path_per(inserts)
+        gap = 100.0 * (epoch - bpfs) / epoch if epoch else 0.0
+        lines.append(f"{design} {threads} {epoch:.3f} {bpfs:.3f} {gap:.1f}")
+        # Weaker detection never adds constraints.
+        assert bpfs <= epoch
+    (out_dir / "ablation_bpfs.txt").write_text("\n".join(lines) + "\n")
+    print("\n" + "\n".join(lines))
+
+    trace = runner.workload("cwl", 8, True).trace
+    benchmark(lambda: analyze(trace, "bpfs"))

@@ -1,0 +1,64 @@
+"""Ablation: persist coalescing on/off (Section 3, Persist Coalescing).
+
+The paper motivates automatic coalescing as both a latency optimisation
+and an NVRAM write-reduction mechanism ("reduces the total number of
+NVRAM writes, which may be important for ... wear").  This bench
+measures, per model, the critical path and the NVRAM write count with
+coalescing enabled vs disabled.
+"""
+
+from repro.core import AnalysisConfig, analyze
+from repro.harness.wear import wear_profile
+
+MODELS = ("strict", "epoch", "strand")
+
+
+def test_coalescing_effect(runner, out_dir, benchmark):
+    workload = runner.workload("cwl", 1, False)
+    inserts = workload.total_inserts
+    lines = ["model cp_on cp_off persists_on persists_off write_reduction"]
+    for model in MODELS:
+        on = analyze(workload.trace, model)
+        off = analyze(workload.trace, model, AnalysisConfig(coalescing=False))
+        reduction = (
+            100.0 * (off.persist_count - on.persist_count) / off.persist_count
+        )
+        lines.append(
+            f"{model} {on.critical_path_per(inserts):.3f} "
+            f"{off.critical_path_per(inserts):.3f} "
+            f"{on.persist_count} {off.persist_count} {reduction:.1f}%"
+        )
+        # Coalescing can only help.
+        assert on.critical_path <= off.critical_path
+        assert on.persist_count <= off.persist_count
+    # Wear: the endurance side of coalescing (paper Section 3).
+    lines.append("")
+    lines.append("model max_wear_on max_wear_off write_reduction")
+    for model in MODELS:
+        wear_on = wear_profile(workload.trace, model, coalescing=True)
+        wear_off = wear_profile(workload.trace, model, coalescing=False)
+        lines.append(
+            f"{model} {wear_on.max_wear} {wear_off.max_wear} "
+            f"{100 * wear_on.write_reduction:.1f}%"
+        )
+        assert wear_on.max_wear <= wear_off.max_wear
+    # Strand coalescing concentrates on the hottest block (the head
+    # pointer), cutting the endurance-limiting wear dramatically.
+    assert (
+        wear_profile(workload.trace, "strand").max_wear
+        < wear_profile(workload.trace, "strand", coalescing=False).max_wear / 5
+    )
+    (out_dir / "ablation_coalescing.txt").write_text("\n".join(lines) + "\n")
+    print("\n" + "\n".join(lines))
+
+    # Strand persistency relies on coalescing for its head-pointer chain:
+    # the gap must be dramatic there (paper Section 6's head coalescing).
+    on = analyze(workload.trace, "strand")
+    off = analyze(workload.trace, "strand", AnalysisConfig(coalescing=False))
+    assert off.critical_path > 10 * on.critical_path
+
+    benchmark(
+        lambda: analyze(
+            workload.trace, "strand", AnalysisConfig(coalescing=False)
+        )
+    )

@@ -1,0 +1,51 @@
+"""Persist concurrency profile (extension figure).
+
+Not a paper figure, but the clearest visualisation of what relaxation
+does: the level histogram of the persist DAG shows how many persists can
+drain in each wave.  Strict persistency produces a long, thin profile
+(depth ~ persists); relaxed models compress depth into width.  Reported
+as mean wave width (persists per critical-path level) for each model and
+thread count.
+"""
+
+from repro.core import analyze
+
+COLUMNS = (
+    ("strict", False),
+    ("epoch", False),
+    ("epoch", True),
+    ("strand", True),
+)
+
+
+def test_concurrency_profile(runner, out_dir, benchmark):
+    lines = ["design threads model racing mean_wave depth persists"]
+    widths = {}
+    for design in ("cwl", "2lc"):
+        for threads in (1, 8):
+            for model, racing in COLUMNS:
+                workload = runner.workload(design, threads, racing)
+                result = analyze(workload.trace, model)
+                key = (design, threads, model, racing)
+                widths[key] = result.mean_concurrency
+                lines.append(
+                    f"{design} {threads} {model} {racing} "
+                    f"{result.mean_concurrency:.2f} {result.critical_path} "
+                    f"{result.persist_count}"
+                )
+    (out_dir / "concurrency_profile.txt").write_text("\n".join(lines) + "\n")
+    print("\n" + "\n".join(lines))
+
+    for design in ("cwl", "2lc"):
+        for threads in (1, 8):
+            strict = widths[(design, threads, "strict", False)]
+            epoch = widths[(design, threads, "epoch", False)]
+            strand = widths[(design, threads, "strand", True)]
+            # Each relaxation step widens the mean drain wave.
+            assert strict <= epoch <= strand
+            # Strict serialises CWL completely: one persist per wave.
+            if design == "cwl":
+                assert strict < 1.2
+
+    trace = runner.workload("cwl", 8, True).trace
+    benchmark(lambda: analyze(trace, "epoch").level_histogram)

@@ -1,0 +1,40 @@
+"""Engine performance: simulator and analyzer throughput.
+
+Library-performance benchmarks (not paper artifacts): events/second for
+trace generation, scalar analysis per model, and the volatile makespan
+model.  Regressions here make every experiment slower, so they are
+tracked with pytest-benchmark like any kernel.
+"""
+
+from repro.core import analyze
+from repro.harness import DEFAULT_COST_MODEL
+from repro.queue import run_insert_workload
+
+
+def test_simulation_throughput(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_insert_workload(
+            design="cwl", threads=4, inserts_per_thread=50, seed=31
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.total_inserts == 200
+
+
+def test_strict_analysis_throughput(runner, benchmark):
+    trace = runner.workload("cwl", 8, False).trace
+    result = benchmark(lambda: analyze(trace, "strict"))
+    assert result.critical_path > 0
+
+
+def test_strand_analysis_throughput(runner, benchmark):
+    trace = runner.workload("cwl", 8, True).trace
+    result = benchmark(lambda: analyze(trace, "strand"))
+    assert result.critical_path > 0
+
+
+def test_makespan_throughput(runner, benchmark):
+    trace = runner.workload("2lc", 8, False).trace
+    duration = benchmark(lambda: DEFAULT_COST_MODEL.makespan(trace))
+    assert duration > 0

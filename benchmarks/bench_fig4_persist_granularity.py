@@ -1,0 +1,37 @@
+"""Figure 4: atomic persist size (CWL, one thread).
+
+Sweeps atomic persist granularity 8..256 bytes.  Paper: "As atomic
+persist size increases, the persist critical path of strict persistency
+steadily decreases while the critical path of epoch persistency remains
+unchanged.  At 256-byte atomic persists strict persistency matches epoch
+persistency."  Benchmarks a coarse-granularity analysis pass.
+"""
+
+from repro.core import AnalysisConfig, analyze
+from repro.harness import figure4_persist_granularity
+
+
+def test_fig4_atomic_persist_size(runner, out_dir, benchmark):
+    figure = figure4_persist_granularity(runner)
+    figure.to_csv(out_dir / "fig4_persist_granularity.csv")
+    figure.to_svg(out_dir / "fig4_persist_granularity.svg")
+    print("\n" + figure.render(width=40))
+
+    strict = figure.by_name("strict").ys()
+    epoch = figure.by_name("epoch").ys()
+    # Strict falls monotonically with persist size.
+    assert all(a >= b for a, b in zip(strict, strict[1:]))
+    assert strict[0] > 5 * strict[-1]
+    # Epoch is (essentially) flat: coalescing adds nothing it didn't have.
+    assert max(epoch) <= min(epoch) * 1.05 + 0.1
+    # Convergence at 256 bytes ("strict persistency matches epoch").
+    assert strict[-1] <= epoch[-1] * 1.6
+    # Large gap at eight bytes.
+    assert strict[0] > 5 * epoch[0]
+
+    trace = runner.workload("cwl", 1, False).trace
+    benchmark(
+        lambda: analyze(
+            trace, "strict", AnalysisConfig(persist_granularity=256)
+        )
+    )

@@ -1,0 +1,47 @@
+"""Table 1: relaxed persistency performance.
+
+Regenerates the paper's Table 1 — persist-bound insert rate normalized to
+instruction execution rate at 500 ns persist latency for {CWL, 2LC} x
+{1, 8 threads} x {Strict, Epoch, Racing Epochs, Strand} — asserts its
+qualitative shape, writes ``out/table1.txt``/``out/table1.csv``, and
+benchmarks the critical-path analysis kernel that produces each cell.
+"""
+
+import csv
+
+from repro.core import AnalysisConfig, analyze
+from repro.harness import build_table1, format_table1, table1_rows
+
+THREAD_COUNTS = (1, 8)
+
+
+def test_table1(runner, out_dir, benchmark):
+    table = build_table1(runner, thread_counts=THREAD_COUNTS)
+
+    # -- artifacts -----------------------------------------------------------
+    text = format_table1(table)
+    (out_dir / "table1.txt").write_text(text + "\n")
+    with open(out_dir / "table1.csv", "w", newline="") as stream:
+        rows = table1_rows(table)
+        writer = csv.DictWriter(stream, fieldnames=sorted(rows[0]))
+        writer.writeheader()
+        writer.writerows(rows)
+    print("\n" + text)
+
+    # -- paper shape assertions ------------------------------------------------
+    # Strict persistency: ~30x slowdown for 1-thread CWL.
+    assert table.normalized("cwl", 1, "strict") < 0.1
+    # Epoch persistency recovers much of it but stays persist-bound.
+    assert 0.1 < table.normalized("cwl", 1, "epoch") < 1.0
+    # Racing epochs surpass instruction rate at 8 threads.
+    assert table.normalized("cwl", 8, "racing_epochs") >= 1.0
+    # 2LC under epoch reaches instruction rate with 8 threads.
+    assert table.normalized("2lc", 8, "epoch") >= 1.0
+    # Strand persistency: compute-bound in every configuration.
+    for design in ("cwl", "2lc"):
+        for threads in THREAD_COUNTS:
+            assert table.cell(design, threads, "strand").compute_bound
+
+    # -- kernel benchmark: one cell's analysis over the cached trace ---------
+    trace = runner.workload("cwl", 1, False).trace
+    benchmark(lambda: analyze(trace, "epoch", AnalysisConfig()))

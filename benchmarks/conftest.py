@@ -1,0 +1,29 @@
+"""Shared benchmark fixtures.
+
+Benchmarks reuse one :class:`ExperimentRunner` sized large enough for the
+per-insert metrics to converge (the paper runs 100M inserts; critical
+path per insert stabilises within a few hundred).  Every benchmark also
+writes its regenerated table/figure to ``benchmarks/out/`` so a run
+leaves plottable artifacts behind.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.harness import ExperimentRunner
+
+#: Inserts per thread for benchmark workloads.
+BENCH_INSERTS = 125
+
+
+@pytest.fixture(scope="session")
+def runner():
+    return ExperimentRunner(inserts_per_thread=BENCH_INSERTS, base_seed=1)
+
+
+@pytest.fixture(scope="session")
+def out_dir():
+    path = Path(__file__).parent / "out"
+    path.mkdir(exist_ok=True)
+    return path

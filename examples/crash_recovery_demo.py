@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Crash-recovery demo: the recovery observer in action.
+
+Runs a racing-epochs, multi-threaded queue workload, builds the exact
+persist DAG, then "crashes" the machine at hundreds of legal points —
+consistent cuts of the persist partial order — and runs recovery on each
+resulting NVRAM image.  Every recovered entry must match what was
+inserted; the demo also shows what the paper's Algorithm 1 as printed
+would have recovered (a hole) for Two-Lock Concurrent.
+
+Run:  python examples/crash_recovery_demo.py
+"""
+
+from repro import analyze_graph, run_insert_workload, verify_recovery
+from repro.core import FailureInjector
+from repro.errors import RecoveryError
+from repro.queue import recover_entries
+
+
+def crash_test(design: str, paper_faithful: bool = False, seed: int = 7) -> int:
+    label = design + (" (as printed in Algorithm 1)" if paper_faithful else "")
+    print(f"\n=== {label}: 4 threads, racing epochs, epoch persistency, "
+          f"seed {seed} ===")
+    result = run_insert_workload(
+        design=design,
+        threads=4,
+        inserts_per_thread=10,
+        racing=True,
+        seed=seed,
+        paper_faithful=paper_faithful,
+    )
+    graph = analyze_graph(result.trace, "epoch").graph
+    injector = FailureInjector(graph, result.base_image)
+    print(f"persists in DAG: {injector.persist_count}")
+
+    checked = holes = 0
+    sample_sizes = []
+    for cut, image in injector.minimal_images():
+        checked += 1
+        try:
+            entries = verify_recovery(image, result.queue.base, result.expected)
+            sample_sizes.append(len(entries))
+        except RecoveryError:
+            holes += 1
+    for cut, image in injector.extension_images(100, seed=3):
+        checked += 1
+        try:
+            entries = verify_recovery(image, result.queue.base, result.expected)
+            sample_sizes.append(len(entries))
+        except RecoveryError:
+            holes += 1
+
+    print(f"crash points tested: {checked}")
+    print(f"recovery violations (holes): {holes}")
+    if sample_sizes:
+        print(
+            f"entries recovered across crashes: min {min(sample_sizes)}, "
+            f"max {max(sample_sizes)} of {len(result.expected)} inserted"
+        )
+
+    # Show one concrete mid-crash state: half the persists completed.
+    from repro.core import prefix_cut
+
+    image = injector.image_for(prefix_cut(graph, injector.persist_count // 2))
+    _, entries = recover_entries(image, result.queue.base)
+    print(f"example mid-run crash: {len(entries)} entries recovered intact")
+    return holes
+
+
+def main() -> None:
+    assert crash_test("cwl") == 0
+    assert crash_test("2lc") == 0
+    # The printed-algorithm hole needs a schedule where a younger insert
+    # completes before an older one; sweep seeds until one shows it.
+    total_holes = sum(
+        crash_test("2lc", paper_faithful=True, seed=seed) for seed in range(4)
+    )
+    print(
+        "\nCWL and the fixed 2LC recover correctly at every consistent cut."
+        f"\n2LC exactly as printed violated recovery {total_holes} time(s):"
+        "\nnothing orders a non-oldest insert's data persists before the"
+        "\nhead persist that covers them (see DESIGN.md)."
+    )
+    assert total_holes > 0
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Building a new recoverable structure on the persistency API.
+
+A persistent open-addressing key-value store written directly against
+the simulated machine: each slot publishes ``key``/``value`` first, a
+persist barrier, then a ``valid`` flag — the standard epoch-persistency
+publication idiom.  A deliberately broken variant omits the barrier.
+
+Failure injection over the exact persist DAG shows the barrier is
+load-bearing: the correct store never recovers a valid slot with torn
+contents; the broken one does.
+
+Run:  python examples/kv_store.py
+"""
+
+from repro import analyze_graph
+from repro.core import FailureInjector
+from repro.memory import NvramImage
+from repro.sim import Machine, RandomScheduler, make_lock
+
+SLOT_KEY, SLOT_VALUE, SLOT_VALID = 0, 8, 16
+SLOT_SIZE = 64  # padded to a cache line, like the paper's objects
+EMPTY = 0
+
+
+class PersistentKvStore:
+    """Insert-only open-addressing hash table in persistent memory."""
+
+    def __init__(self, machine, slots=64, publish_barrier=True):
+        self.slots = slots
+        self.publish_barrier = publish_barrier
+        self.base = machine.persistent_heap.malloc(slots * SLOT_SIZE)
+        self.lock = make_lock(machine, "mcs")
+
+    def _slot_addr(self, index):
+        return self.base + (index % self.slots) * SLOT_SIZE
+
+    def put(self, ctx, key, value):
+        """Insert a key (nonzero) with linear probing."""
+        yield from self.lock.acquire(ctx)
+        index = key
+        while True:
+            slot = self._slot_addr(index)
+            valid = yield from ctx.load(slot + SLOT_VALID)
+            if not valid:
+                break
+            index += 1
+        yield from ctx.store(slot + SLOT_KEY, key)
+        yield from ctx.store(slot + SLOT_VALUE, value)
+        if self.publish_barrier:
+            yield from ctx.persist_barrier()  # publish AFTER contents persist
+        yield from ctx.store(slot + SLOT_VALID, 1)
+        yield from self.lock.release(ctx)
+
+    def recover(self, image):
+        """Read all published (valid) pairs from an NVRAM image."""
+        pairs = {}
+        for index in range(self.slots):
+            slot = self._slot_addr(index)
+            if image.read(slot + SLOT_VALID, 8):
+                pairs[image.read(slot + SLOT_KEY, 8)] = image.read(
+                    slot + SLOT_VALUE, 8
+                )
+        return pairs
+
+
+def crash_test(publish_barrier):
+    machine = Machine(scheduler=RandomScheduler(seed=5))
+    store = PersistentKvStore(machine, publish_barrier=publish_barrier)
+    base_image = NvramImage.from_region(
+        machine.memory.region("persistent"), blank=False
+    )
+    inserted = {}
+
+    def body(ctx, thread):
+        for i in range(8):
+            key, value = thread * 100 + i + 1, thread * 1000 + i
+            inserted[key] = value
+            yield from store.put(ctx, key, value)
+
+    for thread in range(3):
+        machine.spawn(body, thread)
+    trace = machine.run()
+
+    graph = analyze_graph(trace, "epoch").graph
+    injector = FailureInjector(graph, base_image)
+    torn = checked = 0
+    for _, image in injector.minimal_images():
+        checked += 1
+        for key, value in store.recover(image).items():
+            if inserted.get(key) != value:
+                torn += 1
+                break
+    for _, image in injector.extension_images(100, seed=9):
+        checked += 1
+        for key, value in store.recover(image).items():
+            if inserted.get(key) != value:
+                torn += 1
+                break
+    return checked, torn
+
+
+def main() -> None:
+    for publish_barrier in (True, False):
+        label = "with publish barrier" if publish_barrier else "WITHOUT barrier"
+        checked, torn = crash_test(publish_barrier)
+        print(
+            f"kv store {label:>22}: {checked} crash points, "
+            f"{torn} with torn published slots"
+        )
+    print(
+        "\nThe persist barrier between slot contents and the valid flag is "
+        "exactly the\nconstraint epoch persistency exists to express; "
+        "removing it lets the recovery\nobserver see published-but-torn "
+        "slots."
+    )
+
+
+if __name__ == "__main__":
+    main()

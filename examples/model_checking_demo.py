@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Bounded model checking: every schedule, every crash, every model.
+
+Sampled failure injection can miss the one interleaving-plus-cut that
+breaks a persistency discipline.  For idiom-sized programs this repo can
+do better: enumerate every sequentially consistent interleaving, build
+each schedule's exact persist DAG under each model, and check recovery at
+every consistent cut.
+
+The demo verifies the publish idiom (write record, barrier, set flag)
+exhaustively — then removes the barrier and watches the checker find the
+precise schedule, model, and cut that tears it.  It also shows the TSO
+machine multiplying the schedule space via drain agents.
+
+Run:  python examples/model_checking_demo.py
+"""
+
+from repro.errors import RecoveryError
+from repro.memory import NvramImage
+from repro.sim import Machine
+from repro.verify import count_schedules, exhaustively_verify
+
+
+def make_factory(with_barrier, consistency="sc"):
+    def build(scheduler):
+        machine = Machine(scheduler=scheduler, consistency=consistency)
+        base = machine.persistent_heap.malloc(128)
+        machine.record_base = base
+
+        def writer(ctx):
+            yield from ctx.store(base, 0x1111)
+            yield from ctx.store(base + 8, 0x2222)
+            if with_barrier:
+                yield from ctx.persist_barrier()
+            yield from ctx.store(base + 16, 1)  # publish
+
+        def reader(ctx):
+            flag = yield from ctx.load(base + 16)
+            return flag
+
+        machine.spawn(writer)
+        machine.spawn(reader)
+        return machine
+
+    return build
+
+
+def check(image: NvramImage, machine: Machine) -> None:
+    base = machine.record_base
+    if image.read(base + 16, 8) == 1:
+        if (
+            image.read(base, 8) != 0x1111
+            or image.read(base + 8, 8) != 0x2222
+        ):
+            raise RecoveryError("published record is torn")
+
+
+def main() -> None:
+    for with_barrier in (True, False):
+        label = "with barrier" if with_barrier else "WITHOUT barrier"
+        result = exhaustively_verify(
+            make_factory(with_barrier), check, max_schedules=2000
+        )
+        print(
+            f"publish idiom {label:>16}: {result.schedules} schedules, "
+            f"{result.states_checked} crash states, "
+            f"{len(result.violations)} violations"
+        )
+        if result.violations:
+            first = result.violations[0]
+            print(f"  first counterexample: {first.describe()}")
+
+    sc = count_schedules(make_factory(True, "sc"))
+    tso = count_schedules(make_factory(True, "tso"), max_schedules=20_000)
+    print(
+        f"\nschedule space: {sc} interleavings under SC, {tso} under TSO "
+        f"(drain agents add the store-visibility choices)"
+    )
+    print(
+        "\nExhaustive verification is feasible exactly at the idiom scale "
+        "where persistency\nbugs live; the failure-injection suite covers "
+        "the larger workloads statistically."
+    )
+
+
+if __name__ == "__main__":
+    main()

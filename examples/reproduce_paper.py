@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Full paper reproduction: regenerate Table 1 and Figures 2-5.
+
+Standalone driver (the benchmark suite under ``benchmarks/`` does the
+same with pytest-benchmark timing).  Writes artifacts next to this
+script under ``examples/out/``.
+
+Run:  python examples/reproduce_paper.py [inserts_per_thread]
+"""
+
+import sys
+import time
+from pathlib import Path
+
+from repro.harness import (
+    ExperimentRunner,
+    build_table1,
+    figure2_dependences,
+    figure3_latency_sweep,
+    figure4_persist_granularity,
+    figure5_tracking_granularity,
+    format_table1,
+)
+
+
+def main() -> None:
+    inserts = int(sys.argv[1]) if len(sys.argv) > 1 else 125
+    out = Path(__file__).parent / "out"
+    out.mkdir(exist_ok=True)
+    runner = ExperimentRunner(inserts_per_thread=inserts, base_seed=1)
+
+    started = time.time()
+    print(f"=== Table 1 (inserts/thread: {inserts}) ===")
+    table = build_table1(runner)
+    text = format_table1(table)
+    print(text)
+    (out / "table1.txt").write_text(text + "\n")
+
+    print("\n=== Figure 2: persist dependence classes (constraints/insert) ===")
+    for design in ("cwl", "2lc"):
+        summary = figure2_dependences(runner, design=design)
+        constraints = summary.constraints_per_insert
+        print(
+            f"{design}: strict {constraints['strict']:.1f}, "
+            f"epoch {constraints['epoch']:.1f} (A removed: "
+            f"{summary.removed_by_epoch:.1f}), strand "
+            f"{constraints['strand']:.1f} (B removed: "
+            f"{summary.removed_by_strand:.1f})"
+        )
+
+    print("\n=== Figure 3: breakeven latencies (paper: 17ns / 119ns / ~6us) ===")
+    fig3 = figure3_latency_sweep(runner)
+    fig3.to_csv(out / "fig3_latency.csv")
+    fig3.to_svg(out / "fig3_latency.svg", log_y=True)
+    for key, value in fig3.notes.items():
+        print(f"  {key}: {value * 1e9:.1f} ns")
+
+    print("\n=== Figure 4: atomic persist size (CP/insert) ===")
+    fig4 = figure4_persist_granularity(runner)
+    fig4.to_csv(out / "fig4_persist_granularity.csv")
+    fig4.to_svg(out / "fig4_persist_granularity.svg")
+    for series in fig4.series:
+        points = ", ".join(f"{int(x)}B:{y:.2f}" for x, y in series.points)
+        print(f"  {series.name}: {points}")
+
+    print("\n=== Figure 5: persistent false sharing (CP/insert) ===")
+    fig5 = figure5_tracking_granularity(runner)
+    fig5.to_csv(out / "fig5_false_sharing.csv")
+    fig5.to_svg(out / "fig5_false_sharing.svg")
+    for series in fig5.series:
+        points = ", ".join(f"{int(x)}B:{y:.2f}" for x, y in series.points)
+        print(f"  {series.name}: {points}")
+
+    print(f"\nartifacts in {out} ({time.time() - started:.1f}s)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Durable transactions on the persistency API (the related-work layer).
+
+The paper's related work builds transactions over NVRAM (Mnemosyne,
+NV-heaps, Kiln).  This demo runs bank transfers through the repo's
+redo-logging transaction manager, then crashes at hundreds of consistent
+cuts and replays recovery at each: the conserved total proves per-
+transaction atomicity, and the commit log's race-free discipline makes
+durable commits a prefix of commit order (no holes).
+
+Run:  python examples/transactions_demo.py
+"""
+
+from repro import analyze, analyze_graph
+from repro.core import FailureInjector
+from repro.memory import NvramImage
+from repro.sim import Machine, RandomScheduler, make_lock
+from repro.structures import DurableTransactions
+
+ACCOUNTS = 6
+INITIAL = 1000
+THREADS = 3
+TRANSFERS = 6
+
+
+def main() -> None:
+    machine = Machine(scheduler=RandomScheduler(seed=17))
+    manager = DurableTransactions(machine, threads=THREADS)
+    lock = make_lock(machine, "mcs")
+    table = machine.persistent_heap.malloc(64 * ACCOUNTS)
+    cells = [table + 64 * i for i in range(ACCOUNTS)]
+    for cell in cells:
+        machine.memory.write(cell, 8, INITIAL)
+    base_image = NvramImage.from_region(
+        machine.memory.region("persistent"), blank=False
+    )
+
+    def body(ctx, thread):
+        for i in range(TRANSFERS):
+            src = cells[(thread * 2 + i) % ACCOUNTS]
+            dst = cells[(thread * 2 + i + 3) % ACCOUNTS]
+            yield from lock.acquire(ctx)
+            txn = yield from manager.begin(ctx)
+            src_balance = yield from manager.read(ctx, txn, src)
+            dst_balance = yield from manager.read(ctx, txn, dst)
+            amount = 25 + thread * 5 + i
+            yield from manager.write(ctx, txn, src, src_balance - amount)
+            yield from manager.write(ctx, txn, dst, dst_balance + amount)
+            yield from manager.commit(ctx, txn)
+            yield from lock.release(ctx)
+
+    for thread in range(THREADS):
+        machine.spawn(body, thread)
+    trace = machine.run()
+    commits = trace.count_marks("txn:commit")
+    print(f"committed {commits} transfer transactions, "
+          f"{trace.stats().persists} persists")
+
+    graph = analyze_graph(trace, "epoch").graph
+    injector = FailureInjector(graph, base_image)
+    total = ACCOUNTS * INITIAL
+    crashes = 0
+    durable_counts = set()
+    for _, image in injector.minimal_images(step=3):
+        state = manager.recover(image)
+        assert sum(state.read(cell) for cell in cells) == total
+        durable_counts.add(len(state.committed_txn_ids))
+        crashes += 1
+    for _, image in injector.extension_images(100, seed=4):
+        state = manager.recover(image)
+        assert sum(state.read(cell) for cell in cells) == total
+        durable_counts.add(len(state.committed_txn_ids))
+        crashes += 1
+    print(
+        f"{crashes} crash replays: conserved total {total} at every cut; "
+        f"durable-commit counts observed: "
+        f"{min(durable_counts)}..{max(durable_counts)} of {commits}"
+    )
+
+    print(f"\n{'model':>8} {'critical path per txn':>22}")
+    for model in ("strict", "epoch", "strand"):
+        result = analyze(trace, model)
+        print(f"{model:>8} {result.critical_path_per(commits):>22.2f}")
+    print(
+        "\nRedo logging pays a fixed persist chain per commit; strand "
+        "annotations keep\nindependent transactions' log persists "
+        "concurrent, exactly the Kiln-style\nseparation of thread "
+        "synchronisation from persist synchronisation."
+    )
+
+
+if __name__ == "__main__":
+    main()

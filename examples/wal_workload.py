@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Write-ahead logging on the persistent queue (the paper's motivation).
+
+The paper motivates persistent queues with "write ahead logs (WAL) in
+databases and journaled file systems" (Section 6).  This example builds a
+miniature WAL on top of Copy While Locked: each transaction appends
+several update records followed by a commit record, trusting the queue's
+persist ordering for atomic-at-recovery transactions.
+
+It then crashes the run at many consistent cuts and replays the log at
+each: a transaction's updates must be visible at recovery if and only if
+its commit record is — which holds because queue entries recover strictly
+in insert order (no holes).
+
+Finally it compares persist critical paths across persistency models for
+the WAL's mixed record sizes.
+
+Run:  python examples/wal_workload.py
+"""
+
+import struct
+
+from repro import analyze, analyze_graph
+from repro.core import FailureInjector
+from repro.queue import recover_entries, run_insert_workload
+from repro.queue.cwl import make_cwl
+from repro.queue.layout import allocate_queue
+from repro.memory import NvramImage
+from repro.sim import Machine, RandomScheduler
+
+UPDATE, COMMIT = 1, 2
+RECORD = struct.Struct("<QQQQ")  # kind, txn, key, value
+
+
+def record(kind, txn, key=0, value=0):
+    return RECORD.pack(kind, txn, key, value)
+
+
+def run_wal(threads=3, txns_per_thread=8, updates_per_txn=4, seed=11):
+    """Run the WAL workload; returns (machine, queue handle, base image)."""
+    machine = Machine(scheduler=RandomScheduler(seed=seed))
+    queue = allocate_queue(machine, 512 * 1024)
+    log = make_cwl(machine, queue, racing=True)
+    base_image = NvramImage.from_region(
+        machine.memory.region("persistent"), blank=False
+    )
+
+    def body(ctx, thread):
+        for txn_index in range(txns_per_thread):
+            txn = thread * 1000 + txn_index
+            for update in range(updates_per_txn):
+                key = (thread * 7 + update) % 16
+                yield from log.insert(
+                    ctx, record(UPDATE, txn, key, txn * 10 + update)
+                )
+            yield from log.insert(ctx, record(COMMIT, txn))
+
+    for thread in range(threads):
+        machine.spawn(body, thread)
+    trace = machine.run()
+    return machine, queue, base_image, trace
+
+
+def replay(entries):
+    """Replay a recovered log: apply updates of committed txns only."""
+    committed = {
+        RECORD.unpack(e.payload)[1]
+        for e in entries
+        if RECORD.unpack(e.payload)[0] == COMMIT
+    }
+    database = {}
+    pending = {}
+    for entry in entries:
+        kind, txn, key, value = RECORD.unpack(entry.payload)
+        if kind == UPDATE:
+            pending.setdefault(txn, []).append((key, value))
+    for txn in committed:
+        for key, value in pending.get(txn, []):
+            database[key] = value
+    return database, committed, pending
+
+
+def main() -> None:
+    machine, queue, base_image, trace = run_wal()
+    stats = trace.stats()
+    print(
+        f"WAL run: {stats.marks.get('insert:end', 0)} log appends, "
+        f"{stats.persists} persists"
+    )
+
+    # Crash the WAL at consistent cuts; committed txns must be complete.
+    graph = analyze_graph(trace, "epoch").graph
+    injector = FailureInjector(graph, base_image)
+    crashes = incomplete = 0
+    for _, image in injector.extension_images(150, seed=2):
+        _, entries = recover_entries(image, queue.base)
+        _, committed, pending = replay(entries)
+        crashes += 1
+        for txn in committed:
+            if len(pending.get(txn, [])) != 4:
+                incomplete += 1
+    print(f"crashes replayed: {crashes}; committed txns missing updates: "
+          f"{incomplete}")
+    assert incomplete == 0, "WAL atomicity violated!"
+
+    # Model comparison for the WAL's insert stream.
+    appends = stats.marks.get("insert:end", 0)
+    print(f"\n{'model':>8} {'critical path per append':>26}")
+    for model in ("strict", "epoch", "strand"):
+        result = analyze(trace, model)
+        print(f"{model:>8} {result.critical_path_per(appends):>26.3f}")
+    print(
+        "\nRelaxed persistency keeps WAL appends concurrent while the "
+        "commit-follows-updates\nrecovery guarantee comes from the queue's "
+        "in-order head persists."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Thin setup shim enabling legacy editable installs offline.
+
+The environment has setuptools but no ``wheel`` package, so PEP 517
+editable installs (which build a wheel) fail.  ``pip install -e .
+--no-build-isolation --no-use-pep517`` goes through this shim instead.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,144 @@
+"""repro: reproduction of "Memory Persistency" (Pelley, Chen & Wenisch, ISCA 2014).
+
+The package is layered bottom-up:
+
+- :mod:`repro.memory` — simulated address spaces, allocators, NVRAM images.
+- :mod:`repro.sim` — the SC machine: generator threads, schedulers, locks.
+- :mod:`repro.trace` — memory-event traces, serialization, validation.
+- :mod:`repro.core` — the paper's contribution: persistency models
+  (strict / epoch / BPFS / strand), the persist-ordering analysis engine,
+  and the recovery observer with failure injection.
+- :mod:`repro.queue` — the persistent queue workload (Copy While Locked,
+  Two-Lock Concurrent) and its recovery.
+- :mod:`repro.nvramdev` — finite-device timing extensions.
+- :mod:`repro.harness` — experiment runner and Table 1 / Figure 2-5
+  generators.
+
+Quickstart::
+
+    from repro import run_insert_workload, analyze
+
+    workload = run_insert_workload(design="cwl", threads=1,
+                                   inserts_per_thread=100)
+    for model in ("strict", "epoch", "strand"):
+        result = analyze(workload.trace, model)
+        print(model, result.critical_path_per(workload.total_inserts))
+"""
+
+from repro.core import (
+    AnalysisConfig,
+    AnalysisResult,
+    BpfsPersistency,
+    EpochPersistency,
+    FailureInjector,
+    GraphDomain,
+    LevelDomain,
+    MODELS,
+    PersistencyModel,
+    StrandPersistency,
+    StrictPersistency,
+    analyze,
+    analyze_graph,
+    find_data_races,
+    find_persist_epoch_races,
+    graph_to_dot,
+    is_race_free,
+    make_model,
+)
+from repro.errors import ReproError
+from repro.harness import (
+    ExperimentRunner,
+    InstructionCostModel,
+    PAPER_PERSIST_LATENCY,
+    ThroughputPoint,
+    build_table1,
+    figure2_dependences,
+    figure3_latency_sweep,
+    figure4_persist_granularity,
+    figure5_tracking_granularity,
+    format_table1,
+)
+from repro.memory import AddressSpace, FreeListAllocator, NvramImage
+from repro.queue import (
+    CopyWhileLocked,
+    TwoLockConcurrent,
+    WorkloadConfig,
+    WorkloadResult,
+    allocate_queue,
+    recover_entries,
+    run_insert_workload,
+    verify_recovery,
+)
+from repro.sim import Machine, RandomScheduler, RoundRobinScheduler, make_lock
+from repro.structures import (
+    PersistentCounter,
+    PersistentKvStore,
+    PersistentLog,
+    StripedPersistentCounter,
+)
+from repro.trace import Trace, load_file, save_file, validate
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    # core
+    "analyze",
+    "analyze_graph",
+    "AnalysisConfig",
+    "AnalysisResult",
+    "PersistencyModel",
+    "StrictPersistency",
+    "EpochPersistency",
+    "BpfsPersistency",
+    "StrandPersistency",
+    "MODELS",
+    "make_model",
+    "LevelDomain",
+    "GraphDomain",
+    "FailureInjector",
+    "find_data_races",
+    "find_persist_epoch_races",
+    "is_race_free",
+    "graph_to_dot",
+    # memory
+    "AddressSpace",
+    "FreeListAllocator",
+    "NvramImage",
+    # sim
+    "Machine",
+    "RandomScheduler",
+    "RoundRobinScheduler",
+    "make_lock",
+    # trace
+    "Trace",
+    "validate",
+    "save_file",
+    "load_file",
+    # queue
+    "CopyWhileLocked",
+    "TwoLockConcurrent",
+    "allocate_queue",
+    "run_insert_workload",
+    "WorkloadConfig",
+    "WorkloadResult",
+    "recover_entries",
+    "verify_recovery",
+    # structures
+    "PersistentKvStore",
+    "PersistentLog",
+    "PersistentCounter",
+    "StripedPersistentCounter",
+    # harness
+    "ExperimentRunner",
+    "InstructionCostModel",
+    "ThroughputPoint",
+    "PAPER_PERSIST_LATENCY",
+    "build_table1",
+    "format_table1",
+    "figure2_dependences",
+    "figure3_latency_sweep",
+    "figure4_persist_granularity",
+    "figure5_tracking_granularity",
+]

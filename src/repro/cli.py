@@ -1,0 +1,393 @@
+"""Command-line interface.
+
+Subcommands cover the full pipeline so the library is usable without
+writing Python::
+
+    repro run     --design cwl --threads 4 --inserts 50 -o trace.jsonl
+    repro analyze trace.jsonl --model epoch
+    repro races   trace.jsonl
+    repro dot     trace.jsonl --model strand -o persists.dot
+    repro inject  --design 2lc --threads 4 --inserts 8 --samples 50
+    repro table1  --inserts 125
+    repro figures --inserts 125 --out artifacts/
+    repro selfcheck
+
+Every command prints to stdout and returns a process exit code; `inject`,
+`races`, and `selfcheck` return non-zero when they find violations, so
+they compose with CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.core import (
+    AnalysisConfig,
+    FailureInjector,
+    analyze,
+    analyze_graph,
+    find_persist_epoch_races,
+    graph_to_dot,
+)
+from repro.core.model import MODELS
+from repro.errors import RecoveryError, ReproError
+from repro.harness import (
+    DEFAULT_COST_MODEL,
+    PAPER_PERSIST_LATENCY,
+    ExperimentRunner,
+    build_table1,
+    figure3_latency_sweep,
+    figure4_persist_granularity,
+    figure5_tracking_granularity,
+    format_table1,
+    persist_bound_rate,
+)
+from repro.queue import run_insert_workload, verify_recovery
+from repro.queue.cwl import INSERT_MARK
+from repro.trace import load_file, save_file, validate
+
+
+def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--design", choices=("cwl", "2lc"), default="cwl")
+    parser.add_argument("--threads", type=int, default=1)
+    parser.add_argument(
+        "--inserts", type=int, default=100, help="inserts per thread"
+    )
+    parser.add_argument("--entry-size", type=int, default=100)
+    parser.add_argument("--racing", action="store_true")
+    parser.add_argument(
+        "--lock", choices=("mcs", "ticket", "test_and_set"), default="mcs"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--paper-faithful",
+        action="store_true",
+        help="2LC exactly as printed in Algorithm 1 (recovery-unsafe)",
+    )
+
+
+def _run_workload(args: argparse.Namespace):
+    return run_insert_workload(
+        design=args.design,
+        threads=args.threads,
+        inserts_per_thread=args.inserts,
+        entry_size=args.entry_size,
+        racing=args.racing,
+        lock_kind=args.lock,
+        seed=args.seed,
+        paper_faithful=args.paper_faithful,
+    )
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """Run a queue workload and save its trace."""
+    result = _run_workload(args)
+    validate(result.trace)
+    save_file(result.trace, args.output)
+    stats = result.trace.stats()
+    print(
+        f"wrote {args.output}: {stats.events} events, {stats.persists} "
+        f"persists, {result.total_inserts} inserts"
+    )
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    """Analyze a saved trace under one or more persistency models."""
+    trace = load_file(args.trace)
+    config = AnalysisConfig(
+        persist_granularity=args.persist_granularity,
+        tracking_granularity=args.tracking_granularity,
+        coalescing=not args.no_coalescing,
+    )
+    operations = trace.count_marks(args.op_mark) or None
+    models = args.model or sorted(MODELS)
+    print(
+        f"{'model':>8} {'critical_path':>14} {'persists':>9} "
+        f"{'coalesced':>10}"
+        + (f" {'CP/op':>8} {'rate@500ns':>12}" if operations else "")
+        + (f" {'max_wear':>9} {'write_cut':>10}" if args.wear else "")
+    )
+    for model in models:
+        result = analyze(trace, model, config)
+        row = (
+            f"{model:>8} {result.critical_path:>14} "
+            f"{result.persist_count:>9} {result.coalesced:>10}"
+        )
+        if operations:
+            rate = persist_bound_rate(
+                result.critical_path, operations, PAPER_PERSIST_LATENCY
+            )
+            row += (
+                f" {result.critical_path_per(operations):>8.3f}"
+                f" {rate / 1e6:>10.2f} M/s"
+            )
+        if args.wear:
+            from repro.harness.wear import wear_profile
+
+            profile = wear_profile(trace, model, config=config)
+            row += (
+                f" {profile.max_wear:>9}"
+                f" {100 * profile.write_reduction:>9.1f}%"
+            )
+        print(row)
+    return 0
+
+
+def cmd_races(args: argparse.Namespace) -> int:
+    """Lint a trace for persist-epoch races."""
+    trace = load_file(args.trace)
+    races = find_persist_epoch_races(trace, args.tracking_granularity)
+    if not races:
+        print("no persist-epoch races")
+        return 0
+    for race in races[: args.limit]:
+        print(race.describe())
+    if len(races) > args.limit:
+        print(f"... and {len(races) - args.limit} more")
+    print(f"{len(races)} persist-epoch race(s)")
+    return 1
+
+
+def cmd_dot(args: argparse.Namespace) -> int:
+    """Export a trace's persist DAG as Graphviz DOT."""
+    trace = load_file(args.trace)
+    result = analyze_graph(trace, args.model)
+    text = graph_to_dot(
+        result.graph, title=f"{args.model} persist order"
+    )
+    if args.output:
+        Path(args.output).write_text(text + "\n")
+        print(f"wrote {args.output}: {result.persist_count} persists")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_inject(args: argparse.Namespace) -> int:
+    """Run failure injection against a fresh queue workload."""
+    result = _run_workload(args)
+    graph = analyze_graph(result.trace, args.model).graph
+    injector = FailureInjector(graph, result.base_image)
+    violations = checked = 0
+    sources = [
+        injector.minimal_images(step=args.minimal_step),
+        injector.extension_images(args.samples, seed=args.seed),
+    ]
+    for source in sources:
+        for _, image in source:
+            checked += 1
+            try:
+                verify_recovery(image, result.queue.base, result.expected)
+            except RecoveryError as error:
+                violations += 1
+                if violations <= 3:
+                    print(f"violation: {error}")
+    print(
+        f"checked {checked} failure states over {injector.persist_count} "
+        f"persists under {args.model}: {violations} violation(s)"
+    )
+    return 1 if violations else 0
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    """Regenerate Table 1."""
+    runner = ExperimentRunner(
+        inserts_per_thread=args.inserts, base_seed=args.seed
+    )
+    table = build_table1(runner, thread_counts=tuple(args.threads))
+    print(format_table1(table))
+    return 0
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    """Regenerate Figures 3-5 as CSV files."""
+    runner = ExperimentRunner(
+        inserts_per_thread=args.inserts, base_seed=args.seed
+    )
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    fig3 = figure3_latency_sweep(runner)
+    fig3.to_csv(out / "fig3_latency.csv")
+    fig3.to_svg(out / "fig3_latency.svg", log_y=True)
+    for key, value in fig3.notes.items():
+        print(f"{key}: {value * 1e9:.1f} ns")
+    fig4 = figure4_persist_granularity(runner)
+    fig4.to_csv(out / "fig4_persist_granularity.csv")
+    fig4.to_svg(out / "fig4_persist_granularity.svg")
+    fig5 = figure5_tracking_granularity(runner)
+    fig5.to_csv(out / "fig5_false_sharing.csv")
+    fig5.to_svg(out / "fig5_false_sharing.svg")
+    print(f"wrote figures to {out}")
+    return 0
+
+
+def cmd_selfcheck(args: argparse.Namespace) -> int:
+    """Validate the installation end to end in under a minute.
+
+    Runs a miniature of every pipeline stage: workload + SC validation,
+    all four model analyses with the expected ordering, the race lint on
+    both queue disciplines, failure injection on a correct design, and
+    the known-broken printed 2LC (which must be caught).
+    """
+    from repro.trace import validate as validate_trace
+
+    failures: List[str] = []
+
+    def check(label: str, ok: bool) -> None:
+        print(f"  [{'ok' if ok else 'FAIL'}] {label}")
+        if not ok:
+            failures.append(label)
+
+    print("workload + trace validation")
+    safe = run_insert_workload(
+        design="cwl", threads=2, inserts_per_thread=10, seed=5
+    )
+    racing = run_insert_workload(
+        design="cwl", threads=2, inserts_per_thread=10, racing=True, seed=5
+    )
+    try:
+        validate_trace(safe.trace)
+        check("SC trace validates", True)
+    except ReproError:
+        check("SC trace validates", False)
+
+    print("model analyses")
+    paths = {
+        model: analyze(safe.trace, model).critical_path
+        for model in sorted(MODELS)
+    }
+    check(
+        "model hierarchy strict >= epoch >= strand",
+        paths["strict"] >= paths["epoch"] >= paths["strand"],
+    )
+    check("bpfs <= epoch", paths["bpfs"] <= paths["epoch"])
+
+    print("persist-epoch race lint")
+    check("race-free discipline is clean", not find_persist_epoch_races(safe.trace))
+    check("racing epochs are flagged", bool(find_persist_epoch_races(racing.trace)))
+
+    print("failure injection")
+    graph = analyze_graph(safe.trace, "epoch").graph
+    injector = FailureInjector(graph, safe.base_image)
+    violations = 0
+    for _, image in injector.minimal_images(step=5):
+        try:
+            verify_recovery(image, safe.queue.base, safe.expected)
+        except RecoveryError:
+            violations += 1
+    check("correct design recovers at every cut", violations == 0)
+
+    broken = run_insert_workload(
+        design="2lc", threads=4, inserts_per_thread=8, seed=0,
+        paper_faithful=True,
+    )
+    graph = analyze_graph(broken.trace, "epoch").graph
+    injector = FailureInjector(graph, broken.base_image)
+    caught = 0
+    for _, image in injector.minimal_images():
+        try:
+            verify_recovery(image, broken.queue.base, broken.expected)
+        except RecoveryError:
+            caught += 1
+    check("known-broken printed 2LC is caught", caught > 0)
+
+    print(
+        f"selfcheck: {'PASS' if not failures else 'FAIL'} "
+        f"({len(failures)} failure(s))"
+    )
+    return 1 if failures else 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Memory Persistency (ISCA 2014) reproduction toolkit",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = commands.add_parser("run", help=cmd_run.__doc__)
+    _add_workload_arguments(run_parser)
+    run_parser.add_argument("-o", "--output", required=True)
+    run_parser.set_defaults(handler=cmd_run)
+
+    analyze_parser = commands.add_parser("analyze", help=cmd_analyze.__doc__)
+    analyze_parser.add_argument("trace")
+    analyze_parser.add_argument(
+        "--model", action="append", choices=sorted(MODELS)
+    )
+    analyze_parser.add_argument("--persist-granularity", type=int, default=8)
+    analyze_parser.add_argument("--tracking-granularity", type=int, default=8)
+    analyze_parser.add_argument("--no-coalescing", action="store_true")
+    analyze_parser.add_argument(
+        "--op-mark",
+        default=INSERT_MARK,
+        help="MARK annotation counting logical operations",
+    )
+    analyze_parser.add_argument(
+        "--wear",
+        action="store_true",
+        help="also report per-block NVRAM wear (max writes, coalescing cut)",
+    )
+    analyze_parser.set_defaults(handler=cmd_analyze)
+
+    races_parser = commands.add_parser("races", help=cmd_races.__doc__)
+    races_parser.add_argument("trace")
+    races_parser.add_argument("--tracking-granularity", type=int, default=8)
+    races_parser.add_argument("--limit", type=int, default=20)
+    races_parser.set_defaults(handler=cmd_races)
+
+    dot_parser = commands.add_parser("dot", help=cmd_dot.__doc__)
+    dot_parser.add_argument("trace")
+    dot_parser.add_argument("--model", choices=sorted(MODELS), default="epoch")
+    dot_parser.add_argument("-o", "--output")
+    dot_parser.set_defaults(handler=cmd_dot)
+
+    inject_parser = commands.add_parser("inject", help=cmd_inject.__doc__)
+    _add_workload_arguments(inject_parser)
+    inject_parser.add_argument(
+        "--model", choices=sorted(MODELS), default="epoch"
+    )
+    inject_parser.add_argument("--samples", type=int, default=50)
+    inject_parser.add_argument("--minimal-step", type=int, default=1)
+    inject_parser.set_defaults(handler=cmd_inject)
+
+    table_parser = commands.add_parser("table1", help=cmd_table1.__doc__)
+    table_parser.add_argument("--inserts", type=int, default=125)
+    table_parser.add_argument("--seed", type=int, default=1)
+    table_parser.add_argument(
+        "--threads", type=int, nargs="+", default=[1, 8]
+    )
+    table_parser.set_defaults(handler=cmd_table1)
+
+    figures_parser = commands.add_parser("figures", help=cmd_figures.__doc__)
+    figures_parser.add_argument("--inserts", type=int, default=125)
+    figures_parser.add_argument("--seed", type=int, default=1)
+    figures_parser.add_argument("--out", default="artifacts")
+    figures_parser.set_defaults(handler=cmd_figures)
+
+    selfcheck_parser = commands.add_parser(
+        "selfcheck", help=cmd_selfcheck.__doc__
+    )
+    selfcheck_parser.set_defaults(handler=cmd_selfcheck)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

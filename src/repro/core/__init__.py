@@ -1,0 +1,83 @@
+"""Core persistency framework: models, analysis engine, recovery observer."""
+
+from repro.core.analysis import (
+    AnalysisConfig,
+    AnalysisResult,
+    analyze,
+    analyze_graph,
+)
+from repro.core.lattice import (
+    DependencyDomain,
+    GraphDomain,
+    LevelDomain,
+    PersistNode,
+)
+from repro.core.model import (
+    MODELS,
+    BpfsPersistency,
+    EpochPersistency,
+    PersistencyModel,
+    StrandPersistency,
+    StrictPersistency,
+    make_model,
+)
+from repro.core.dot import graph_to_dot
+from repro.core.races import (
+    Epoch,
+    PersistEpochRace,
+    RaceReport,
+    RacingPair,
+    analyze_races,
+    find_data_races,
+    find_persist_epoch_races,
+    is_race_free,
+    split_epochs,
+)
+from repro.core.recovery import (
+    FailureInjector,
+    enumerate_cuts,
+    full_cut,
+    image_at_cut,
+    is_consistent_cut,
+    linear_extension_cut,
+    minimal_cut,
+    prefix_cut,
+    sample_cut,
+)
+
+__all__ = [
+    "AnalysisConfig",
+    "AnalysisResult",
+    "analyze",
+    "analyze_graph",
+    "DependencyDomain",
+    "LevelDomain",
+    "GraphDomain",
+    "PersistNode",
+    "PersistencyModel",
+    "StrictPersistency",
+    "EpochPersistency",
+    "BpfsPersistency",
+    "StrandPersistency",
+    "MODELS",
+    "make_model",
+    "FailureInjector",
+    "is_consistent_cut",
+    "full_cut",
+    "prefix_cut",
+    "minimal_cut",
+    "sample_cut",
+    "linear_extension_cut",
+    "enumerate_cuts",
+    "image_at_cut",
+    "Epoch",
+    "PersistEpochRace",
+    "RacingPair",
+    "RaceReport",
+    "split_epochs",
+    "analyze_races",
+    "find_data_races",
+    "find_persist_epoch_races",
+    "is_race_free",
+    "graph_to_dot",
+]

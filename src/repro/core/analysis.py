@@ -1,0 +1,237 @@
+"""The persist-ordering analysis engine.
+
+Processes a trace in SC order, propagating persist dependences through
+memory (conflict order at the tracking granularity, strong persist
+atomicity and coalescing at the atomic-persist granularity) and through
+per-thread model state.  This is the reproduction of the paper's
+methodology (Section 7): the critical path of persist ordering
+constraints is an implementation-independent, best-case measure of
+persist concurrency, assuming infinite bandwidth and banks.
+
+Every persist to the persistent address space occurs in place (no
+logging/indirection hardware), persists coalesce with the pending persist
+to their atomic block when no ordering constraint is violated, and
+dependences propagate at a configurable granularity, so that persistent
+false sharing (Figure 5) and atomic persist size (Figure 4) can be swept.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Union
+
+from repro.core.lattice import DependencyDomain, GraphDomain, LevelDomain
+from repro.core.model import PersistencyModel, make_model
+from repro.errors import AnalysisError
+from repro.memory import layout
+from repro.trace.events import EventKind
+from repro.trace.trace import Trace
+
+
+@dataclass
+class AnalysisConfig:
+    """Parameters of one persist-ordering analysis.
+
+    Attributes:
+        persist_granularity: atomic persist size in bytes (Figure 4 sweeps
+            this 8..256).  Persists within one aligned block of this size
+            may coalesce into a single atomic persist.
+        tracking_granularity: granularity at which conflicts propagate
+            dependences (Figure 5 sweeps this 8..256); coarser tracking
+            introduces persistent false sharing.
+        coalescing: whether persists may coalesce at all.
+    """
+
+    persist_granularity: int = layout.DEFAULT_PERSIST_GRANULARITY
+    tracking_granularity: int = layout.DEFAULT_TRACKING_GRANULARITY
+    coalescing: bool = True
+
+    def validate(self) -> None:
+        """Raise AnalysisError on unusable granularities."""
+        for label, value in (
+            ("persist_granularity", self.persist_granularity),
+            ("tracking_granularity", self.tracking_granularity),
+        ):
+            if value < layout.WORD_SIZE or not layout.is_power_of_two(value):
+                raise AnalysisError(
+                    f"{label} must be a power of two >= {layout.WORD_SIZE}, "
+                    f"got {value}"
+                )
+
+
+@dataclass
+class AnalysisResult:
+    """Outcome of analyzing one trace under one persistency model."""
+
+    model: str
+    config: AnalysisConfig
+    critical_path: int
+    persist_count: int
+    persist_stores: int
+    coalesced: int
+    events: int
+    barriers: int
+    strands: int
+    #: Persists per level: the persist concurrency profile.
+    level_histogram: Dict[int, int] = None
+    #: Device writes per atomic-persist block (post-coalescing wear).
+    block_writes: Dict[int, int] = None
+    #: Populated when the analysis ran on a GraphDomain.
+    graph: Optional[GraphDomain] = None
+
+    @property
+    def mean_concurrency(self) -> float:
+        """Average persists per critical-path level (drain-wave width)."""
+        if self.critical_path <= 0:
+            return 0.0
+        return self.persist_count / self.critical_path
+
+    @property
+    def coalesce_fraction(self) -> float:
+        """Fraction of persistent stores absorbed by coalescing."""
+        if not self.persist_stores:
+            return 0.0
+        return self.coalesced / self.persist_stores
+
+    def critical_path_per(self, operations: int) -> float:
+        """Critical path normalised per logical operation (e.g. insert)."""
+        if operations <= 0:
+            raise AnalysisError(f"operations must be positive, got {operations}")
+        return self.critical_path / operations
+
+
+def analyze(
+    trace: Trace,
+    model: Union[str, PersistencyModel],
+    config: Optional[AnalysisConfig] = None,
+    domain: Optional[DependencyDomain] = None,
+) -> AnalysisResult:
+    """Analyze ``trace`` under ``model``; returns the result.
+
+    ``model`` may be a registry name (``strict``/``epoch``/``bpfs``/
+    ``strand``) or a model instance (it is reset).  ``domain`` defaults to
+    a fresh :class:`LevelDomain` (critical-path measurement); pass a
+    :class:`GraphDomain` to additionally materialise the persist DAG.
+    """
+    if isinstance(model, str):
+        model = make_model(model)
+    config = config or AnalysisConfig()
+    config.validate()
+    domain = domain if domain is not None else LevelDomain()
+    model.reset(domain)
+
+    persist_gran = config.persist_granularity
+    tracking_gran = config.tracking_granularity
+    coalescing = config.coalescing
+    detect_lbs = model.detect_load_before_store
+    track_volatile = model.track_volatile_conflicts
+
+    join = domain.join
+    bottom = domain.bottom
+    write_dep: Dict[int, object] = {}
+    read_dep: Dict[int, object] = {}
+    pending: Dict[int, object] = {}
+    block_writes: Dict[int, int] = {}
+
+    persist_stores = 0
+    coalesced = 0
+    barriers = 0
+    strands = 0
+
+    for event in trace:
+        kind = event.kind
+        if kind is EventKind.PERSIST_BARRIER:
+            barriers += 1
+            model.on_barrier(event.thread)
+            continue
+        if kind is EventKind.NEW_STRAND:
+            strands += 1
+            model.on_new_strand(event.thread)
+            continue
+        if not event.is_access:
+            continue
+
+        thread = event.thread
+        # Store-buffer-forwarded loads (TSO machines) never touched
+        # memory: they observe the thread's own pending store, an
+        # ordering program order already provides.
+        tracked = (
+            (event.persistent or track_volatile)
+            and event.info != "sb-forward"
+        )
+        observed = model.thread_in(thread)
+        tblock = event.addr // tracking_gran
+        store_like = event.is_store_like
+        if tracked:
+            last_write = write_dep.get(tblock)
+            if last_write is not None:
+                observed = join(observed, last_write)
+            if store_like and detect_lbs:
+                reads = read_dep.get(tblock)
+                if reads is not None:
+                    observed = join(observed, reads)
+
+        value_after = observed
+        if event.is_persist:
+            persist_stores += 1
+            pblock = event.addr // persist_gran
+            token = pending.get(pblock)
+            if (
+                coalescing
+                and token is not None
+                and domain.leq(observed, token)
+            ):
+                domain.coalesce(token, event)
+                coalesced += 1
+            else:
+                deps = observed
+                if token is not None:
+                    deps = join(deps, domain.value_of(token))
+                token = domain.persist(deps, event)
+                pending[pblock] = token
+                block_writes[pblock] = block_writes.get(pblock, 0) + 1
+            value_after = domain.value_of(token)
+
+        if tracked:
+            if store_like:
+                write_dep[tblock] = value_after
+                read_dep.pop(tblock, None)
+            else:
+                reads = read_dep.get(tblock)
+                read_dep[tblock] = (
+                    value_after if reads is None else join(reads, value_after)
+                )
+        model.absorb(thread, value_after)
+
+    return AnalysisResult(
+        model=model.name,
+        config=config,
+        critical_path=domain.critical_path(),
+        persist_count=domain.persist_count,
+        persist_stores=persist_stores,
+        coalesced=coalesced,
+        events=len(trace),
+        barriers=barriers,
+        strands=strands,
+        level_histogram=domain.level_histogram(),
+        block_writes=block_writes,
+        graph=domain if isinstance(domain, GraphDomain) else None,
+    )
+
+
+def analyze_graph(
+    trace: Trace,
+    model: Union[str, PersistencyModel],
+    config: Optional[AnalysisConfig] = None,
+) -> AnalysisResult:
+    """Analyze with the exact persist-order DAG.
+
+    Coalescing defaults to **off** here: a device is never required to
+    coalesce, so recovery must be correct for the uncoalesced order; the
+    DAG used for failure injection therefore keeps every persist as its
+    own atomic node unless the caller explicitly enables (exact,
+    ancestor-checked) coalescing.
+    """
+    if config is None:
+        config = AnalysisConfig(coalescing=False)
+    return analyze(trace, model, config, domain=GraphDomain())

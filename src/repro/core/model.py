@@ -1,0 +1,179 @@
+"""Persistency model interface.
+
+A persistency model decides how persist-ordering dependences propagate
+through *thread state* — what a thread has "observed" that future
+persists must be ordered after.  Propagation through *memory* (conflict
+order and strong persist atomicity) is shared machinery in
+:mod:`repro.core.analysis`; the two model hooks
+``track_volatile_conflicts`` / ``detect_load_before_store`` let a model
+weaken it (the BPFS variant, Section 5.2's discussion).
+
+All models here assume SC as the underlying consistency model, as in the
+paper (Section 5).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict
+
+from repro.core.lattice import DependencyDomain
+
+
+class PersistencyModel(abc.ABC):
+    """Per-analysis mutable model state; create one instance per analysis.
+
+    Attributes:
+        name: short identifier used in results and registries.
+        track_volatile_conflicts: when False, conflicts through the
+            volatile address space do not order persists (persistent
+            memory order contains only persistent-space accesses, as in
+            BPFS).
+        detect_load_before_store: when False, a store is not ordered
+            after earlier loads of the same block (load-before-store
+            conflicts are missed, yielding TSO-style conflict detection —
+            the paper notes BPFS has exactly this limitation).
+    """
+
+    name = "abstract"
+    track_volatile_conflicts = True
+    detect_load_before_store = True
+
+    def __init__(self) -> None:
+        self._domain: DependencyDomain = None  # set by reset()
+
+    def reset(self, domain: DependencyDomain) -> None:
+        """Bind a dependency domain and clear all per-thread state."""
+        self._domain = domain
+
+    @abc.abstractmethod
+    def thread_in(self, thread: int):
+        """Dependency value every access by ``thread`` is ordered after."""
+
+    @abc.abstractmethod
+    def absorb(self, thread: int, value) -> None:
+        """Record that ``thread`` executed an access carrying ``value``
+        (the access's own dependences joined with any persist it created)."""
+
+    def on_barrier(self, thread: int) -> None:
+        """Handle a ``PERSISTBARRIER`` annotation (default: ignored)."""
+
+    def on_new_strand(self, thread: int) -> None:
+        """Handle a ``NEWSTRAND`` annotation (default: ignored)."""
+
+
+class StrictPersistency(PersistencyModel):
+    """Strict persistency under SC (Section 5.1).
+
+    Persistent memory order equals volatile memory order: every access a
+    thread executes is ordered after everything that thread previously
+    observed (program order), so per-thread state is a single running
+    join.  Persist barriers and strand annotations are no-ops — the model
+    needs no annotations, which is its appeal and its performance trap.
+    """
+
+    name = "strict"
+
+    def reset(self, domain: DependencyDomain) -> None:
+        super().reset(domain)
+        self._observed: Dict[int, object] = {}
+
+    def thread_in(self, thread: int):
+        return self._observed.get(thread, self._domain.bottom)
+
+    def absorb(self, thread: int, value) -> None:
+        current = self._observed.get(thread)
+        if current is None:
+            self._observed[thread] = value
+        else:
+            self._observed[thread] = self._domain.join(current, value)
+
+
+class EpochPersistency(PersistencyModel):
+    """Epoch persistency (Section 5.2).
+
+    Persist barriers split each thread's execution into epochs.  New
+    persists are ordered after everything observed in *previous* epochs
+    (``_committed``); accesses within the current epoch accumulate into
+    ``_epoch_acc`` and only take effect at the next barrier.  Conflict
+    order and strong persist atomicity (handled by the shared engine)
+    still order persists across racing epochs.
+    """
+
+    name = "epoch"
+
+    def reset(self, domain: DependencyDomain) -> None:
+        super().reset(domain)
+        self._committed: Dict[int, object] = {}
+        self._epoch_acc: Dict[int, object] = {}
+
+    def thread_in(self, thread: int):
+        return self._committed.get(thread, self._domain.bottom)
+
+    def absorb(self, thread: int, value) -> None:
+        current = self._epoch_acc.get(thread)
+        if current is None:
+            self._epoch_acc[thread] = value
+        else:
+            self._epoch_acc[thread] = self._domain.join(current, value)
+
+    def on_barrier(self, thread: int) -> None:
+        accumulated = self._epoch_acc.pop(thread, None)
+        if accumulated is None:
+            return
+        current = self._committed.get(thread)
+        if current is None:
+            self._committed[thread] = accumulated
+        else:
+            self._committed[thread] = self._domain.join(current, accumulated)
+
+
+class BpfsPersistency(EpochPersistency):
+    """BPFS-flavoured epoch persistency (Section 5.2's comparison).
+
+    Differs from :class:`EpochPersistency` in conflict detection only:
+    conflicts are tracked solely within the persistent address space, and
+    load-before-store conflicts are missed (TSO-style detection via
+    last-persisting-thread tags on cache lines).
+    """
+
+    name = "bpfs"
+    track_volatile_conflicts = False
+    detect_load_before_store = False
+
+
+class StrandPersistency(EpochPersistency):
+    """Strand persistency (Section 5.3).
+
+    ``NEWSTRAND`` clears all previously observed persist dependences on
+    the issuing thread; each strand then behaves like a fresh thread
+    under epoch persistency.  Only conflict order / strong persist
+    atomicity (shared engine) orders persists across strands.
+    """
+
+    name = "strand"
+
+    def on_new_strand(self, thread: int) -> None:
+        self._committed.pop(thread, None)
+        self._epoch_acc.pop(thread, None)
+
+
+#: Model registry: name -> zero-argument factory.
+MODELS = {
+    "strict": StrictPersistency,
+    "epoch": EpochPersistency,
+    "bpfs": BpfsPersistency,
+    "strand": StrandPersistency,
+}
+
+
+def make_model(name: str) -> PersistencyModel:
+    """Construct a fresh model instance by registry name."""
+    try:
+        factory = MODELS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown persistency model {name!r}; expected one of "
+            f"{sorted(MODELS)}"
+        ) from None
+    return factory()

@@ -1,0 +1,236 @@
+"""The recovery observer: consistent cuts and failure injection.
+
+The paper models failure as a *recovery observer* that atomically reads
+all of persistent memory (Section 4).  The states the observer may see
+are exactly the downward-closed subsets ("consistent cuts") of the
+persist partial order, applied atomically persist-by-persist.  This
+module samples and enumerates those cuts over a
+:class:`~repro.core.lattice.GraphDomain` DAG and materialises the
+corresponding NVRAM images, which recovery code is then run against.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import FrozenSet, Iterable, Iterator, List, Optional, Set
+
+from repro.core.lattice import GraphDomain
+from repro.errors import RecoveryError
+from repro.memory.nvram import NvramImage
+
+
+def is_consistent_cut(graph: GraphDomain, included: Iterable[int]) -> bool:
+    """True when ``included`` is downward-closed under persist order."""
+    cut = set(included)
+    for pid in cut:
+        if pid < 0 or pid >= len(graph.nodes):
+            return False
+        if not graph.nodes[pid].deps <= cut:
+            return False
+    return True
+
+
+def full_cut(graph: GraphDomain) -> FrozenSet[int]:
+    """The cut containing every persist (no failure)."""
+    return frozenset(range(len(graph.nodes)))
+
+
+def prefix_cut(graph: GraphDomain, count: int) -> FrozenSet[int]:
+    """The first ``count`` persists in creation order.
+
+    Creation (pid) order is a linear extension of persist order, so every
+    prefix is a consistent cut.
+    """
+    if count < 0 or count > len(graph.nodes):
+        raise RecoveryError(
+            f"prefix length {count} outside [0, {len(graph.nodes)}]"
+        )
+    return frozenset(range(count))
+
+
+def sample_cut(
+    graph: GraphDomain,
+    rng: random.Random,
+    include_probability: float = 0.5,
+) -> FrozenSet[int]:
+    """Sample a random consistent cut.
+
+    Walks persists in creation order, including each with the given
+    probability when all of its dependences are already included.  The
+    result is downward-closed by construction and covers both sparse and
+    dense failure states across seeds.
+    """
+    included: Set[int] = set()
+    for node in graph.nodes:
+        if node.deps <= included and rng.random() < include_probability:
+            included.add(node.pid)
+    return frozenset(included)
+
+
+def minimal_cut(graph: GraphDomain, pid: int) -> FrozenSet[int]:
+    """The smallest consistent cut containing persist ``pid``.
+
+    This is the most adversarial legal failure state for ``pid``: the
+    persist and its ancestors completed, *nothing else* did.  Testing
+    recovery at every persist's minimal cut deterministically exposes
+    missing-ordering bugs that random sampling almost never reaches
+    (a random cut includes a deep node only if every one of its ancestors
+    was independently included).
+    """
+    if pid < 0 or pid >= len(graph.nodes):
+        raise RecoveryError(f"no persist with id {pid}")
+    return frozenset(graph.ancestors(pid) | {pid})
+
+
+def linear_extension_cut(
+    graph: GraphDomain, rng: random.Random
+) -> FrozenSet[int]:
+    """A random prefix of a random linear extension of persist order.
+
+    Unlike :func:`sample_cut`, prefix depth is uniform in the number of
+    persists, so deep-but-sparse failure states appear with useful
+    probability.
+    """
+    nodes = graph.nodes
+    remaining_deps = {node.pid: set(node.deps) for node in nodes}
+    dependents = {node.pid: [] for node in nodes}
+    for node in nodes:
+        for dep in node.deps:
+            dependents[dep].append(node.pid)
+    ready = [pid for pid, deps in remaining_deps.items() if not deps]
+    target = rng.randint(0, len(nodes))
+    included: Set[int] = set()
+    while ready and len(included) < target:
+        index = rng.randrange(len(ready))
+        ready[index], ready[-1] = ready[-1], ready[index]
+        pid = ready.pop()
+        included.add(pid)
+        for successor in dependents[pid]:
+            deps = remaining_deps[successor]
+            deps.discard(pid)
+            if not deps:
+                ready.append(successor)
+    return frozenset(included)
+
+
+def enumerate_cuts(
+    graph: GraphDomain, limit: int = 100_000
+) -> Iterator[FrozenSet[int]]:
+    """Enumerate every consistent cut (small graphs only).
+
+    Yields cuts in non-decreasing size order starting from the empty cut.
+    Raises:
+        RecoveryError: when more than ``limit`` cuts would be produced —
+            the count is exponential in the antichain width, so callers
+            must keep graphs tiny.
+    """
+    seen: Set[FrozenSet[int]] = {frozenset()}
+    frontier: List[FrozenSet[int]] = [frozenset()]
+    produced = 0
+    while frontier:
+        cut = frontier.pop(0)
+        produced += 1
+        if produced > limit:
+            raise RecoveryError(
+                f"more than {limit} consistent cuts; graph too large to "
+                f"enumerate"
+            )
+        yield cut
+        for node in graph.nodes:
+            if node.pid not in cut and node.deps <= cut:
+                extended = cut | {node.pid}
+                if extended not in seen:
+                    seen.add(extended)
+                    frontier.append(extended)
+
+
+def image_at_cut(
+    graph: GraphDomain,
+    cut: Iterable[int],
+    base_image: NvramImage,
+    check: bool = True,
+) -> NvramImage:
+    """Apply the persists in ``cut`` to a copy of ``base_image``.
+
+    Persists are applied in creation order (a linear extension); writes
+    to the same address are always ordered by strong persist atomicity,
+    so any linear extension yields the same bytes.
+
+    Raises:
+        RecoveryError: when ``check`` is set and the cut is inconsistent.
+    """
+    cut_set = set(cut)
+    if check and not is_consistent_cut(graph, cut_set):
+        raise RecoveryError("cut is not downward-closed under persist order")
+    image = base_image.copy()
+    for node in graph.nodes:
+        if node.pid in cut_set:
+            for addr, data in node.writes:
+                image.apply_persist(addr, data)
+    return image
+
+
+class FailureInjector:
+    """Generates failure-state NVRAM images for recovery testing."""
+
+    def __init__(self, graph: GraphDomain, base_image: NvramImage) -> None:
+        self._graph = graph
+        self._base = base_image
+
+    @property
+    def persist_count(self) -> int:
+        """Number of persists available to cut."""
+        return len(self._graph.nodes)
+
+    def image_for(self, cut: Iterable[int]) -> NvramImage:
+        """Materialise the image for an explicit cut."""
+        return image_at_cut(self._graph, cut, self._base)
+
+    def random_images(
+        self,
+        samples: int,
+        seed: int = 0,
+        include_probability: Optional[float] = None,
+    ) -> Iterator[tuple]:
+        """Yield ``samples`` (cut, image) pairs from seeded random cuts.
+
+        When ``include_probability`` is None, each sample draws its own
+        probability uniformly from (0, 1), covering sparse through dense
+        failures.
+        """
+        rng = random.Random(seed)
+        for _ in range(samples):
+            probability = (
+                include_probability
+                if include_probability is not None
+                else rng.uniform(0.05, 0.95)
+            )
+            cut = sample_cut(self._graph, rng, probability)
+            yield cut, image_at_cut(self._graph, cut, self._base, check=False)
+
+    def minimal_images(self, step: int = 1) -> Iterator[tuple]:
+        """Yield (cut, image) at every ``step``-th persist's minimal cut."""
+        if step <= 0:
+            raise RecoveryError(f"step must be positive, got {step}")
+        for pid in range(0, len(self._graph.nodes), step):
+            cut = minimal_cut(self._graph, pid)
+            yield cut, image_at_cut(self._graph, cut, self._base, check=False)
+
+    def extension_images(self, samples: int, seed: int = 0) -> Iterator[tuple]:
+        """Yield (cut, image) from random linear-extension prefixes."""
+        rng = random.Random(seed)
+        for _ in range(samples):
+            cut = linear_extension_cut(self._graph, rng)
+            yield cut, image_at_cut(self._graph, cut, self._base, check=False)
+
+    def prefix_images(self, step: int = 1) -> Iterator[tuple]:
+        """Yield (cut, image) for every ``step``-th prefix cut, plus full."""
+        if step <= 0:
+            raise RecoveryError(f"step must be positive, got {step}")
+        total = len(self._graph.nodes)
+        for count in range(0, total + 1, step):
+            cut = prefix_cut(self._graph, count)
+            yield cut, image_at_cut(self._graph, cut, self._base, check=False)
+        if total % step:
+            cut = full_cut(self._graph)
+            yield cut, image_at_cut(self._graph, cut, self._base, check=False)

@@ -1,0 +1,13 @@
+"""Hardware-implementation timing models for persistency (extensions)."""
+
+from repro.hardware.epoch_hw import (
+    EpochHardwareConfig,
+    EpochHardwareResult,
+    simulate_epoch_hardware,
+)
+
+__all__ = [
+    "EpochHardwareConfig",
+    "EpochHardwareResult",
+    "simulate_epoch_hardware",
+]

@@ -1,0 +1,118 @@
+"""Throughput metrics (paper Section 8).
+
+The evaluation assumes exactly one of two bottlenecks: either the system
+executes at its instruction rate, or throughput is limited solely by the
+rate persists can drain while honouring ordering constraints.  With
+infinite bandwidth and banks, the persist-bound rate is set by the
+critical path of persist ordering constraints and the persist latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AnalysisError
+
+#: The paper's headline persist latency (Table 1).
+PAPER_PERSIST_LATENCY = 500e-9
+
+#: Figure 3's sweep bounds.
+FIG3_MIN_LATENCY = 10e-9
+FIG3_MAX_LATENCY = 100e-6
+
+
+def persist_bound_rate(
+    critical_path: int, operations: int, persist_latency: float
+) -> float:
+    """Operations/second when persists are the only bottleneck.
+
+    The longest chain of persist ordering constraints must serialise, one
+    persist latency per link; everything else overlaps.
+    """
+    if operations <= 0:
+        raise AnalysisError(f"operations must be positive, got {operations}")
+    if persist_latency <= 0:
+        raise AnalysisError(
+            f"persist latency must be positive, got {persist_latency}"
+        )
+    if critical_path <= 0:
+        return float("inf")
+    return operations / (critical_path * persist_latency)
+
+
+def normalized_throughput(persist_rate: float, instruction_rate: float) -> float:
+    """Persist-bound rate normalised to instruction rate (Table 1's cells).
+
+    Values >= 1 mean persist concurrency suffices to run at instruction
+    speed; below 1 the workload is persist-bound by that factor.
+    """
+    if instruction_rate <= 0:
+        raise AnalysisError(
+            f"instruction rate must be positive, got {instruction_rate}"
+        )
+    return persist_rate / instruction_rate
+
+
+def achievable_rate(persist_rate: float, instruction_rate: float) -> float:
+    """The lower of the two candidate bottleneck rates (Figure 3's y-axis)."""
+    return min(persist_rate, instruction_rate)
+
+
+def breakeven_latency(
+    critical_path: int, operations: int, instruction_rate: float
+) -> float:
+    """Persist latency at which persist rate equals instruction rate.
+
+    Below this latency the workload is compute-bound; above it, persist-
+    bound (Figure 3's knee).  Infinite when the critical path is zero.
+    """
+    if critical_path <= 0:
+        return float("inf")
+    if operations <= 0 or instruction_rate <= 0:
+        raise AnalysisError("operations and instruction rate must be positive")
+    return operations / (critical_path * instruction_rate)
+
+
+@dataclass(frozen=True)
+class ThroughputPoint:
+    """One fully-derived throughput measurement."""
+
+    model: str
+    persist_latency: float
+    critical_path: int
+    operations: int
+    instruction_rate: float
+
+    @property
+    def critical_path_per_op(self) -> float:
+        """Persist critical path per logical operation."""
+        return self.critical_path / self.operations
+
+    @property
+    def persist_rate(self) -> float:
+        """Persist-bound operations/second."""
+        return persist_bound_rate(
+            self.critical_path, self.operations, self.persist_latency
+        )
+
+    @property
+    def normalized(self) -> float:
+        """Persist-bound rate / instruction rate (Table 1 cell)."""
+        return normalized_throughput(self.persist_rate, self.instruction_rate)
+
+    @property
+    def achievable(self) -> float:
+        """min(persist rate, instruction rate) (Figure 3 y-value)."""
+        return achievable_rate(self.persist_rate, self.instruction_rate)
+
+    @property
+    def compute_bound(self) -> bool:
+        """True when instruction execution is the bottleneck."""
+        return self.persist_rate >= self.instruction_rate
+
+    @property
+    def breakeven(self) -> float:
+        """Persist latency at which this configuration becomes persist-bound."""
+        return breakeven_latency(
+            self.critical_path, self.operations, self.instruction_rate
+        )

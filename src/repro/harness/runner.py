@@ -1,0 +1,148 @@
+"""Experiment runner: workload/trace caching and model-variant mapping.
+
+Table 1's four persistency configurations map onto (program variant,
+analyzer) pairs.  "Strict" and "Epoch" analyze the race-free program
+(persist barriers around lock operations, Algorithm 1 lines 5 and 11);
+"Racing Epochs" and "Strand" analyze the racing program with those
+barriers removed — racing epochs rely on strong persist atomicity to
+serialise head persists, and strand clears cross-insert dependences at
+``NEWSTRAND`` anyway.  Traces are cached per program variant because each
+one is analyzed under several models and granularities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.core.analysis import AnalysisConfig, AnalysisResult, analyze
+from repro.errors import AnalysisError
+from repro.harness.instr import DEFAULT_COST_MODEL, InstructionCostModel
+from repro.harness.metrics import PAPER_PERSIST_LATENCY, ThroughputPoint
+from repro.queue.workload import WorkloadConfig, WorkloadResult, run_insert_workload
+
+#: Table 1 columns: label -> (persistency model, racing program variant).
+TABLE1_COLUMNS: Dict[str, Tuple[str, bool]] = {
+    "strict": ("strict", False),
+    "epoch": ("epoch", False),
+    "racing_epochs": ("epoch", True),
+    "strand": ("strand", True),
+}
+
+#: Designs whose program actually changes with the racing flag.  2LC has
+#: no barriers around its locks to remove (Table 1 shows identical Epoch
+#: and Racing Epochs columns), so both variants share one trace.
+RACING_SENSITIVE_DESIGNS = frozenset({"cwl"})
+
+
+@dataclass
+class ExperimentRunner:
+    """Caches workload traces and derives throughput points from them.
+
+    Attributes:
+        inserts_per_thread: workload size.  The paper runs 100M inserts;
+            critical path *per insert* converges within a few hundred, so
+            benchmark defaults stay laptop-sized.
+        entry_size: queue entry payload bytes (paper: 100).
+        lock_kind: lock algorithm for both designs (paper: MCS).
+        cost_model: instruction-rate model.
+        base_seed: scheduler seed; each (design, threads, racing) variant
+            derives its own deterministic seed from it.
+    """
+
+    inserts_per_thread: int = 250
+    entry_size: int = 100
+    lock_kind: str = "mcs"
+    cost_model: InstructionCostModel = DEFAULT_COST_MODEL
+    base_seed: int = 0
+    _workloads: Dict[Tuple[str, int, bool], WorkloadResult] = field(
+        default_factory=dict, repr=False
+    )
+    _instr_rates: Dict[Tuple[str, int, bool], float] = field(
+        default_factory=dict, repr=False
+    )
+    _analyses: Dict[tuple, AnalysisResult] = field(
+        default_factory=dict, repr=False
+    )
+
+    def workload(self, design: str, threads: int, racing: bool) -> WorkloadResult:
+        """Run (or fetch cached) one program variant."""
+        if design not in RACING_SENSITIVE_DESIGNS:
+            racing = False
+        key = (design, threads, racing)
+        if key not in self._workloads:
+            config = WorkloadConfig(
+                design=design,
+                threads=threads,
+                inserts_per_thread=self.inserts_per_thread,
+                entry_size=self.entry_size,
+                racing=racing,
+                lock_kind=self.lock_kind,
+                seed=self.base_seed * 1009 + hash(key) % 100_000,
+            )
+            self._workloads[key] = run_insert_workload(config)
+        return self._workloads[key]
+
+    def instruction_rate(self, design: str, threads: int, racing: bool) -> float:
+        """Aggregate inserts/s at volatile instruction-execution speed."""
+        if design not in RACING_SENSITIVE_DESIGNS:
+            racing = False
+        key = (design, threads, racing)
+        if key not in self._instr_rates:
+            result = self.workload(design, threads, racing)
+            self._instr_rates[key] = self.cost_model.instruction_rate(
+                result.trace, result.total_inserts
+            )
+        return self._instr_rates[key]
+
+    def analysis(
+        self,
+        design: str,
+        threads: int,
+        racing: bool,
+        model: str,
+        config: Optional[AnalysisConfig] = None,
+    ) -> AnalysisResult:
+        """Run (or fetch cached) one persist-ordering analysis."""
+        if design not in RACING_SENSITIVE_DESIGNS:
+            racing = False
+        config = config or AnalysisConfig()
+        key = (
+            design,
+            threads,
+            racing,
+            model,
+            config.persist_granularity,
+            config.tracking_granularity,
+            config.coalescing,
+        )
+        if key not in self._analyses:
+            result = self.workload(design, threads, racing)
+            self._analyses[key] = analyze(result.trace, model, config)
+        return self._analyses[key]
+
+    def point(
+        self,
+        design: str,
+        threads: int,
+        column: str,
+        persist_latency: float = PAPER_PERSIST_LATENCY,
+        config: Optional[AnalysisConfig] = None,
+    ) -> ThroughputPoint:
+        """Derive the throughput point for one Table-1-style cell."""
+        try:
+            model, racing = TABLE1_COLUMNS[column]
+        except KeyError:
+            raise AnalysisError(
+                f"unknown column {column!r}; expected one of "
+                f"{sorted(TABLE1_COLUMNS)}"
+            ) from None
+        workload = self.workload(design, threads, racing)
+        analysis = self.analysis(design, threads, racing, model, config)
+        return ThroughputPoint(
+            model=column,
+            persist_latency=persist_latency,
+            critical_path=analysis.critical_path,
+            operations=workload.total_inserts,
+            instruction_rate=self.instruction_rate(design, threads, racing),
+        )

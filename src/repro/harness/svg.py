@@ -1,0 +1,226 @@
+"""Dependency-free SVG line charts for figures.
+
+Matplotlib is not available offline, so figures render to SVG directly:
+axes, log or linear x, tick labels, one polyline per series, and a
+legend.  The output is deliberately simple — enough to eyeball the
+paper's shapes and drop into a README.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+#: Series colour cycle.
+_COLORS = ("#2563eb", "#ea580c", "#16a34a", "#9333ea", "#dc2626", "#0891b2")
+
+#: Chart geometry.
+_WIDTH, _HEIGHT = 640, 400
+_MARGIN_LEFT, _MARGIN_RIGHT = 80, 24
+_MARGIN_TOP, _MARGIN_BOTTOM = 48, 56
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+
+
+def _format_tick(value: float) -> str:
+    if value == 0:
+        return "0"
+    magnitude = abs(value)
+    if magnitude >= 1e5 or magnitude < 1e-3:
+        return f"{value:.0e}"
+    if magnitude >= 10:
+        return f"{value:,.0f}"
+    return f"{value:.3g}"
+
+
+def _ticks(lo: float, hi: float, count: int = 5) -> List[float]:
+    if hi <= lo:
+        return [lo]
+    span = hi - lo
+    raw = span / max(count - 1, 1)
+    magnitude = 10 ** math.floor(math.log10(raw))
+    for factor in (1, 2, 5, 10):
+        step = factor * magnitude
+        if span / step <= count:
+            break
+    first = math.ceil(lo / step) * step
+    ticks = []
+    tick = first
+    while tick <= hi + 1e-12 * span:
+        ticks.append(tick)
+        tick += step
+    return ticks or [lo, hi]
+
+
+def _log_ticks(lo: float, hi: float) -> List[float]:
+    ticks = []
+    exponent = math.floor(math.log10(lo))
+    while 10 ** exponent <= hi * 1.0001:
+        value = 10.0 ** exponent
+        if value >= lo * 0.9999:
+            ticks.append(value)
+        exponent += 1
+    return ticks or [lo, hi]
+
+
+def render_line_chart(
+    series: Sequence[Tuple[str, Sequence[Tuple[float, float]]]],
+    title: str,
+    x_label: str,
+    y_label: str,
+    log_x: bool = False,
+    log_y: bool = False,
+) -> str:
+    """Render named (x, y) series as an SVG document string."""
+    points = [p for _, pts in series for p in pts]
+    if not points:
+        raise ValueError("no data points to render")
+    xs = [x for x, _ in points]
+    ys = [y for _, y in points]
+    if log_x and min(xs) <= 0:
+        raise ValueError("log x-axis requires positive x values")
+    if log_y:
+        positive = [y for y in ys if y > 0]
+        if not positive:
+            raise ValueError("log y-axis requires positive y values")
+        y_lo, y_hi = min(positive), max(positive)
+    else:
+        y_lo, y_hi = min(min(ys), 0.0), max(ys)
+    x_lo, x_hi = min(xs), max(xs)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1
+    if y_hi == y_lo:
+        y_hi = y_lo + 1
+
+    plot_w = _WIDTH - _MARGIN_LEFT - _MARGIN_RIGHT
+    plot_h = _HEIGHT - _MARGIN_TOP - _MARGIN_BOTTOM
+
+    def x_pos(x: float) -> float:
+        if log_x:
+            fraction = (math.log10(x) - math.log10(x_lo)) / (
+                math.log10(x_hi) - math.log10(x_lo)
+            )
+        else:
+            fraction = (x - x_lo) / (x_hi - x_lo)
+        return _MARGIN_LEFT + fraction * plot_w
+
+    def y_pos(y: float) -> float:
+        if log_y:
+            y = max(y, y_lo)
+            fraction = (math.log10(y) - math.log10(y_lo)) / (
+                math.log10(y_hi) - math.log10(y_lo)
+            )
+        else:
+            fraction = (y - y_lo) / (y_hi - y_lo)
+        return _MARGIN_TOP + (1 - fraction) * plot_h
+
+    parts: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{_WIDTH}" '
+        f'height="{_HEIGHT}" viewBox="0 0 {_WIDTH} {_HEIGHT}" '
+        f'font-family="sans-serif">',
+        f'<rect width="{_WIDTH}" height="{_HEIGHT}" fill="white"/>',
+        f'<text x="{_WIDTH / 2}" y="24" text-anchor="middle" '
+        f'font-size="15" font-weight="bold">{_escape(title)}</text>',
+    ]
+
+    # Axes.
+    axis_bottom = _MARGIN_TOP + plot_h
+    parts.append(
+        f'<line x1="{_MARGIN_LEFT}" y1="{axis_bottom}" '
+        f'x2="{_MARGIN_LEFT + plot_w}" y2="{axis_bottom}" stroke="#333"/>'
+    )
+    parts.append(
+        f'<line x1="{_MARGIN_LEFT}" y1="{_MARGIN_TOP}" '
+        f'x2="{_MARGIN_LEFT}" y2="{axis_bottom}" stroke="#333"/>'
+    )
+
+    x_ticks = _log_ticks(x_lo, x_hi) if log_x else _ticks(x_lo, x_hi)
+    for tick in x_ticks:
+        pos = x_pos(tick)
+        parts.append(
+            f'<line x1="{pos:.1f}" y1="{axis_bottom}" x2="{pos:.1f}" '
+            f'y2="{axis_bottom + 5}" stroke="#333"/>'
+        )
+        parts.append(
+            f'<text x="{pos:.1f}" y="{axis_bottom + 20}" '
+            f'text-anchor="middle" font-size="11">'
+            f"{_escape(_format_tick(tick))}</text>"
+        )
+    y_ticks = _log_ticks(y_lo, y_hi) if log_y else _ticks(y_lo, y_hi)
+    for tick in y_ticks:
+        pos = y_pos(tick)
+        parts.append(
+            f'<line x1="{_MARGIN_LEFT - 5}" y1="{pos:.1f}" '
+            f'x2="{_MARGIN_LEFT}" y2="{pos:.1f}" stroke="#333"/>'
+        )
+        parts.append(
+            f'<text x="{_MARGIN_LEFT - 9}" y="{pos + 4:.1f}" '
+            f'text-anchor="end" font-size="11">'
+            f"{_escape(_format_tick(tick))}</text>"
+        )
+
+    parts.append(
+        f'<text x="{_MARGIN_LEFT + plot_w / 2}" y="{_HEIGHT - 12}" '
+        f'text-anchor="middle" font-size="12">{_escape(x_label)}</text>'
+    )
+    parts.append(
+        f'<text x="18" y="{_MARGIN_TOP + plot_h / 2}" text-anchor="middle" '
+        f'font-size="12" transform="rotate(-90 18 '
+        f'{_MARGIN_TOP + plot_h / 2})">{_escape(y_label)}</text>'
+    )
+
+    # Series.
+    for index, (name, pts) in enumerate(series):
+        color = _COLORS[index % len(_COLORS)]
+        coords = " ".join(
+            f"{x_pos(x):.1f},{y_pos(y):.1f}"
+            for x, y in pts
+            if not (log_y and y <= 0)
+        )
+        parts.append(
+            f'<polyline points="{coords}" fill="none" stroke="{color}" '
+            f'stroke-width="2"/>'
+        )
+        legend_y = _MARGIN_TOP + 8 + 18 * index
+        legend_x = _MARGIN_LEFT + plot_w - 130
+        parts.append(
+            f'<line x1="{legend_x}" y1="{legend_y}" x2="{legend_x + 22}" '
+            f'y2="{legend_y}" stroke="{color}" stroke-width="2"/>'
+        )
+        parts.append(
+            f'<text x="{legend_x + 28}" y="{legend_y + 4}" font-size="12">'
+            f"{_escape(name)}</text>"
+        )
+
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def figure_to_svg(
+    figure,
+    path,
+    log_x: Optional[bool] = None,
+    log_y: bool = False,
+) -> None:
+    """Write a :class:`repro.harness.figures.Figure` as an SVG file.
+
+    ``log_x`` defaults to automatic: log scale when x spans more than two
+    decades of positive values.
+    """
+    xs = [x for s in figure.series for x, _ in s.points]
+    if log_x is None:
+        log_x = min(xs) > 0 and max(xs) / min(xs) > 100
+    document = render_line_chart(
+        [(s.name, s.points) for s in figure.series],
+        title=figure.title,
+        x_label=figure.x_label,
+        y_label=figure.y_label,
+        log_x=log_x,
+        log_y=log_y,
+    )
+    with open(path, "w", encoding="utf-8") as stream:
+        stream.write(document + "\n")

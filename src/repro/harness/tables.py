@@ -1,0 +1,112 @@
+"""Table 1: relaxed persistency performance.
+
+"Persist-bound insert rate normalized to instruction execution rate
+assuming 500ns persist latency. ... at greater than 1 (bold) instruction
+rate limits throughput; at lower than 1 execution is limited by the rate
+of persists."  Cells >= 1 are marked with ``*`` in the ASCII rendering in
+place of the paper's bold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.harness.metrics import PAPER_PERSIST_LATENCY, ThroughputPoint
+from repro.harness.runner import TABLE1_COLUMNS, ExperimentRunner
+
+#: Paper column order and display labels.
+COLUMN_LABELS = [
+    ("strict", "Strict"),
+    ("epoch", "Epoch"),
+    ("racing_epochs", "Racing Epochs"),
+    ("strand", "Strand"),
+]
+
+#: Paper row/group order.
+DESIGN_LABELS = [("cwl", "Copy While Locked"), ("2lc", "Two-Lock Concurrent")]
+
+
+@dataclass
+class Table1:
+    """All cells of Table 1 plus the parameters that produced them."""
+
+    persist_latency: float
+    thread_counts: Sequence[int]
+    cells: Dict[Tuple[str, int, str], ThroughputPoint] = field(
+        default_factory=dict
+    )
+
+    def cell(self, design: str, threads: int, column: str) -> ThroughputPoint:
+        """Look one cell up."""
+        return self.cells[(design, threads, column)]
+
+    def normalized(self, design: str, threads: int, column: str) -> float:
+        """The cell's normalized throughput (the number the paper prints)."""
+        return self.cell(design, threads, column).normalized
+
+
+def build_table1(
+    runner: ExperimentRunner,
+    thread_counts: Sequence[int] = (1, 8),
+    persist_latency: float = PAPER_PERSIST_LATENCY,
+) -> Table1:
+    """Regenerate Table 1 with the given runner."""
+    table = Table1(persist_latency=persist_latency, thread_counts=thread_counts)
+    for design, _ in DESIGN_LABELS:
+        for threads in thread_counts:
+            for column in TABLE1_COLUMNS:
+                table.cells[(design, threads, column)] = runner.point(
+                    design, threads, column, persist_latency
+                )
+    return table
+
+
+def format_table1(table: Table1) -> str:
+    """Render Table 1 as ASCII in the paper's layout."""
+    width = max(len(label) for _, label in COLUMN_LABELS) + 2
+    lines: List[str] = []
+    header_groups = "  ".join(
+        f"{label:^{4 + width * len(COLUMN_LABELS)}}" for _, label in DESIGN_LABELS
+    )
+    lines.append(f"{'':>8}  {header_groups}")
+    column_header = "".join(f"{label:>{width}}" for _, label in COLUMN_LABELS)
+    lines.append(f"{'Threads':>8}  " + "  ".join([f"{'':>4}" + column_header] * 2))
+    for threads in table.thread_counts:
+        row = [f"{threads:>8}"]
+        for design, _ in DESIGN_LABELS:
+            row.append(f"{'':>4}")
+            for column, _ in COLUMN_LABELS:
+                value = table.normalized(design, threads, column)
+                marker = "*" if value >= 1.0 else " "
+                if value >= 100:
+                    text = f"{value:,.0f}{marker}"
+                else:
+                    text = f"{value:.2f}{marker}"
+                row.append(f"{text:>{width}}")
+        lines.append("".join(row[:1]) + "  " + "".join(row[1:]))
+    lines.append("")
+    lines.append(
+        f"(persist latency {table.persist_latency * 1e9:.0f} ns; cells >= 1 "
+        f"marked '*' are compute-bound, as in the paper's bold)"
+    )
+    return "\n".join(lines)
+
+
+def table1_rows(table: Table1) -> List[Dict[str, object]]:
+    """Flatten the table into dict rows (CSV/JSON-friendly)."""
+    rows: List[Dict[str, object]] = []
+    for (design, threads, column), point in sorted(table.cells.items()):
+        rows.append(
+            {
+                "design": design,
+                "threads": threads,
+                "column": column,
+                "normalized": point.normalized,
+                "critical_path_per_insert": point.critical_path_per_op,
+                "persist_rate": point.persist_rate,
+                "instruction_rate": point.instruction_rate,
+                "compute_bound": point.compute_bound,
+            }
+        )
+    return rows

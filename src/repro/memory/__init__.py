@@ -1,0 +1,29 @@
+"""Memory substrate: address spaces, allocators, and the NVRAM image."""
+
+from repro.memory.address_space import (
+    DEFAULT_PERSISTENT_BASE,
+    DEFAULT_REGION_SIZE,
+    DEFAULT_VOLATILE_BASE,
+    AddressSpace,
+    Region,
+)
+from repro.memory.allocator import FreeListAllocator
+from repro.memory.layout import (
+    DEFAULT_PERSIST_GRANULARITY,
+    DEFAULT_TRACKING_GRANULARITY,
+    WORD_SIZE,
+)
+from repro.memory.nvram import NvramImage
+
+__all__ = [
+    "AddressSpace",
+    "Region",
+    "FreeListAllocator",
+    "NvramImage",
+    "WORD_SIZE",
+    "DEFAULT_PERSIST_GRANULARITY",
+    "DEFAULT_TRACKING_GRANULARITY",
+    "DEFAULT_VOLATILE_BASE",
+    "DEFAULT_PERSISTENT_BASE",
+    "DEFAULT_REGION_SIZE",
+]

@@ -1,0 +1,23 @@
+"""Finite NVRAM device timing models (extensions beyond the paper)."""
+
+from repro.nvramdev.device import (
+    BufferedStrictConfig,
+    BufferedStrictResult,
+    DeviceConfig,
+    DrainResult,
+    PersistSchedule,
+    buffered_strict_time,
+    drain_time,
+    schedule_from_trace,
+)
+
+__all__ = [
+    "DeviceConfig",
+    "DrainResult",
+    "drain_time",
+    "BufferedStrictConfig",
+    "BufferedStrictResult",
+    "buffered_strict_time",
+    "PersistSchedule",
+    "schedule_from_trace",
+]

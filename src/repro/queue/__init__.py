@@ -1,0 +1,58 @@
+"""Persistent queue workload (paper Section 6): designs, recovery, workloads."""
+
+from repro.queue.cwl import (
+    DEQUEUE_MARK,
+    INSERT_MARK,
+    CopyWhileLocked,
+    make_cwl,
+    padded_entry,
+)
+from repro.queue.insert_list import VolatileInsertList
+from repro.queue.layout import (
+    DEFAULT_INSERT_ALIGNMENT,
+    LENGTH_FIELD_SIZE,
+    QUEUE_MAGIC,
+    QueueFullError,
+    QueueHandle,
+    allocate_queue,
+    record_size,
+)
+from repro.queue.recovery import (
+    RecoveredEntry,
+    read_geometry,
+    recover_entries,
+    verify_recovery,
+)
+from repro.queue.tlc import TwoLockConcurrent, make_tlc
+from repro.queue.workload import (
+    DESIGNS,
+    WorkloadConfig,
+    WorkloadResult,
+    run_insert_workload,
+)
+
+__all__ = [
+    "CopyWhileLocked",
+    "TwoLockConcurrent",
+    "VolatileInsertList",
+    "QueueHandle",
+    "QueueFullError",
+    "allocate_queue",
+    "record_size",
+    "padded_entry",
+    "make_cwl",
+    "make_tlc",
+    "INSERT_MARK",
+    "DEQUEUE_MARK",
+    "QUEUE_MAGIC",
+    "LENGTH_FIELD_SIZE",
+    "DEFAULT_INSERT_ALIGNMENT",
+    "RecoveredEntry",
+    "read_geometry",
+    "recover_entries",
+    "verify_recovery",
+    "DESIGNS",
+    "WorkloadConfig",
+    "WorkloadResult",
+    "run_insert_workload",
+]

@@ -1,0 +1,97 @@
+"""The volatile insert list used by Two-Lock Concurrent (paper Section 6).
+
+2LC reserves data-segment space under one lock, copies entry data with no
+lock held, and updates the head pointer under a second lock.  Because
+copies finish out of order, "a volatile insert list is maintained to
+detect when insert operations complete out of order and prevent holes in
+the queue": only when the *oldest* outstanding insert completes does the
+head pointer advance, to the end of the contiguous completed prefix.
+
+The list lives in simulated volatile memory (nodes allocated from the
+volatile heap) so its accesses participate in conflict ordering exactly
+like the paper's, rather than being invisible host-level state.
+
+Appends run under the reserve lock; removals run under the update lock
+and additionally take the reserve lock around the pop phase (the paper's
+"double-checked lock may acquire reserveLock" note): an appender may be
+linking a new node behind the current list tail at the same moment the
+popper frees that tail.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.memory import layout
+from repro.sim.context import OpGen, ThreadContext
+from repro.sim.machine import Machine
+from repro.sim.sync import Lock
+
+#: Node field offsets.
+_NODE_END = 0  # head value once this insert completes
+_NODE_COMPLETED = layout.WORD_SIZE
+_NODE_NEXT = 2 * layout.WORD_SIZE
+_NODE_SIZE = 3 * layout.WORD_SIZE
+
+#: List header field offsets.
+_LIST_FIRST = 0
+_LIST_LAST = layout.WORD_SIZE
+_LIST_SIZE = 2 * layout.WORD_SIZE
+
+
+class VolatileInsertList:
+    """FIFO list of outstanding inserts, in simulated volatile memory."""
+
+    def __init__(self, machine: Machine, reserve_lock: Lock) -> None:
+        self._header = machine.volatile_heap.malloc(_LIST_SIZE)
+        machine.memory.write(self._header + _LIST_FIRST, layout.WORD_SIZE, 0)
+        machine.memory.write(self._header + _LIST_LAST, layout.WORD_SIZE, 0)
+        self._reserve_lock = reserve_lock
+
+    def append(self, ctx: ThreadContext, end_offset: int) -> OpGen:
+        """Append a node for an insert ending at ``end_offset``.
+
+        Caller must hold the reserve lock.  Returns the node address.
+        """
+        node = yield from ctx.malloc_volatile(_NODE_SIZE)
+        yield from ctx.store(node + _NODE_END, end_offset)
+        yield from ctx.store(node + _NODE_COMPLETED, 0)
+        yield from ctx.store(node + _NODE_NEXT, 0)
+        first = yield from ctx.load(self._header + _LIST_FIRST)
+        if first == 0:
+            yield from ctx.store(self._header + _LIST_FIRST, node)
+        else:
+            last = yield from ctx.load(self._header + _LIST_LAST)
+            yield from ctx.store(last + _NODE_NEXT, node)
+        yield from ctx.store(self._header + _LIST_LAST, node)
+        return node
+
+    def remove(self, ctx: ThreadContext, node: int) -> OpGen:
+        """Mark ``node`` complete; pop the completed prefix if oldest.
+
+        Caller must hold the update lock.  Returns ``(oldest, new_head)``:
+        when ``oldest`` is True, ``new_head`` is the head value covering
+        the contiguous completed prefix (paper Algorithm 1 line 24).
+        """
+        yield from ctx.store(node + _NODE_COMPLETED, 1)
+        first = yield from ctx.load(self._header + _LIST_FIRST)
+        if first != node:
+            return False, 0
+        # Pop phase races with appenders linking behind the list tail, so
+        # take the reserve lock (the paper's double-checked-lock note).
+        yield from self._reserve_lock.acquire(ctx)
+        new_head = 0
+        current = first
+        while current != 0:
+            completed = yield from ctx.load(current + _NODE_COMPLETED)
+            if not completed:
+                break
+            new_head = yield from ctx.load(current + _NODE_END)
+            successor = yield from ctx.load(current + _NODE_NEXT)
+            yield from ctx.free_volatile(current)
+            current = successor
+        yield from ctx.store(self._header + _LIST_FIRST, current)
+        if current == 0:
+            yield from ctx.store(self._header + _LIST_LAST, 0)
+        yield from self._reserve_lock.release(ctx)
+        return True, new_head

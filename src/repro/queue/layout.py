@@ -1,0 +1,168 @@
+"""Persistent queue memory layout (paper Section 6).
+
+The queue is a circular buffer in the persistent address space: a header
+(magic, capacity, insert alignment) plus head and tail pointers on their
+own cache lines (the paper pads objects to 64 bytes to prevent false
+sharing), followed by the data segment.
+
+Head and tail are monotonically increasing *absolute* byte offsets; the
+physical position of offset ``o`` is ``data_base + o % capacity``.  Each
+entry is framed as an eight-byte length followed by the payload, and each
+insert reserves space rounded up to the insert alignment ("memory padding
+is inserted to ... queue inserts to provide 64-byte alignment", paper
+Section 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import ReproError
+from repro.memory import layout
+from repro.sim.context import OpGen, ThreadContext
+from repro.sim.machine import Machine
+
+#: Identifies an initialised queue header in an NVRAM image.
+QUEUE_MAGIC = 0x5045_5253_4951_0001  # "PERSIQ" v1
+
+#: Header field offsets (bytes from queue base).
+MAGIC_OFFSET = 0
+CAPACITY_OFFSET = 8
+ALIGNMENT_OFFSET = 16
+HEAD_OFFSET = 64
+TAIL_OFFSET = 128
+DATA_OFFSET = 192
+
+#: Size of the per-entry length field (paper: ``sl = SIZEOF(length)``).
+LENGTH_FIELD_SIZE = 8
+
+#: Default insert alignment, matching the paper's 64-byte padding.
+DEFAULT_INSERT_ALIGNMENT = 64
+
+
+class QueueFullError(ReproError):
+    """An insert could not reserve space in the data segment."""
+
+
+def record_size(payload_length: int, insert_alignment: int) -> int:
+    """Bytes reserved for one insert (length field + payload, padded)."""
+    return layout.align_up(
+        LENGTH_FIELD_SIZE + payload_length, insert_alignment
+    )
+
+
+@dataclass(frozen=True)
+class QueueHandle:
+    """Addresses of one persistent queue instance."""
+
+    base: int
+    capacity: int
+    insert_alignment: int
+
+    @property
+    def magic_addr(self) -> int:
+        return self.base + MAGIC_OFFSET
+
+    @property
+    def capacity_addr(self) -> int:
+        return self.base + CAPACITY_OFFSET
+
+    @property
+    def alignment_addr(self) -> int:
+        return self.base + ALIGNMENT_OFFSET
+
+    @property
+    def head_addr(self) -> int:
+        return self.base + HEAD_OFFSET
+
+    @property
+    def tail_addr(self) -> int:
+        return self.base + TAIL_OFFSET
+
+    @property
+    def data_base(self) -> int:
+        return self.base + DATA_OFFSET
+
+    @property
+    def total_size(self) -> int:
+        """Bytes of persistent memory the queue occupies."""
+        return DATA_OFFSET + self.capacity
+
+    def data_pieces(self, offset: int, size: int) -> List[Tuple[int, int, int]]:
+        """Split [offset, offset+size) into physical (addr, start, length).
+
+        ``start`` is the piece's position within the logical range, so the
+        caller can slice its payload.  At most two pieces (wrap-around).
+        """
+        if size < 0:
+            raise ReproError(f"negative data size {size}")
+        if size > self.capacity:
+            raise ReproError(
+                f"range of {size} bytes exceeds capacity {self.capacity}"
+            )
+        pieces: List[Tuple[int, int, int]] = []
+        written = 0
+        while written < size:
+            physical = (offset + written) % self.capacity
+            run = min(size - written, self.capacity - physical)
+            pieces.append((self.data_base + physical, written, run))
+            written += run
+        return pieces
+
+    # -- simulated-thread data movement ------------------------------------
+
+    def write_data(self, ctx: ThreadContext, offset: int, data: bytes) -> OpGen:
+        """Store ``data`` at logical ``offset``, wrapping as needed."""
+        for addr, start, length in self.data_pieces(offset, len(data)):
+            yield from ctx.store_bytes(addr, data[start : start + length])
+
+    def read_data(self, ctx: ThreadContext, offset: int, size: int) -> OpGen:
+        """Load ``size`` bytes at logical ``offset``, wrapping as needed."""
+        chunks: List[bytes] = []
+        for addr, _, length in self.data_pieces(offset, size):
+            chunk = yield from ctx.load_bytes(addr, length)
+            chunks.append(chunk)
+        return b"".join(chunks)
+
+
+def allocate_queue(
+    machine: Machine,
+    capacity: int,
+    insert_alignment: int = DEFAULT_INSERT_ALIGNMENT,
+    persistent: bool = True,
+) -> QueueHandle:
+    """Allocate and initialise a queue in persistent memory.
+
+    Initialisation happens before the traced workload runs (the queue is
+    created and synced to NVRAM ahead of the failure window), so the
+    header/pointer writes are direct memory initialisation, not traced
+    persists.  Snapshot the persistent region *after* calling this when
+    building a failure-injection base image.
+
+    Pass ``persistent=False`` to place the queue in volatile memory — the
+    non-recoverable baseline: identical instruction stream, zero persists.
+    """
+    if capacity <= 0 or capacity % layout.WORD_SIZE:
+        raise ReproError(
+            f"capacity must be a positive multiple of {layout.WORD_SIZE}, "
+            f"got {capacity}"
+        )
+    if (
+        not layout.is_power_of_two(insert_alignment)
+        or insert_alignment < layout.WORD_SIZE
+    ):
+        raise ReproError(
+            f"insert_alignment must be a power of two >= "
+            f"{layout.WORD_SIZE}, got {insert_alignment}"
+        )
+    heap = machine.persistent_heap if persistent else machine.volatile_heap
+    base = heap.malloc(DATA_OFFSET + capacity)
+    handle = QueueHandle(base, capacity, insert_alignment)
+    memory = machine.memory
+    memory.write(handle.magic_addr, 8, QUEUE_MAGIC)
+    memory.write(handle.capacity_addr, 8, capacity)
+    memory.write(handle.alignment_addr, 8, insert_alignment)
+    memory.write(handle.head_addr, 8, 0)
+    memory.write(handle.tail_addr, 8, 0)
+    return handle

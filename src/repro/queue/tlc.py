@@ -1,0 +1,128 @@
+"""Two-Lock Concurrent (paper Algorithm 1, lines 16-32).
+
+2LC improves insert persist concurrency with two locks: ``reserveLock``
+allocates data-segment space (through a volatile head shadow) and
+``updateLock`` publishes the head pointer.  Neither lock is held while
+entry data persists, so data copies from different threads persist
+concurrently.  A volatile insert list prevents holes: the head pointer
+only advances to the end of the contiguous completed prefix, and only the
+thread completing the oldest outstanding insert writes it.
+
+Deviation from the paper (documented in DESIGN.md and EXPERIMENTS.md):
+Algorithm 1 as printed has no persist barrier between an insert's data
+copy (line 22) and its completion marking inside ``insertlist.remove``
+(line 24).  Under epoch or strand persistency a *different* thread — the
+one completing the oldest insert — may then persist a head value covering
+this insert's entry without any constraint ordering this insert's data
+persists first: the data copy and the completion-marking store are in the
+same epoch and therefore unordered, so the conflict chain through the
+insert list never picks the copy up.  Recovery can observe a hole.  We
+insert the missing barrier by default; constructing the design with
+``paper_faithful=True`` reproduces the printed algorithm, and the failure
+-injection test suite demonstrates the resulting recovery violation.
+"""
+
+from __future__ import annotations
+
+from repro.memory import layout as mem_layout
+from repro.queue.insert_list import VolatileInsertList
+from repro.queue.layout import (
+    LENGTH_FIELD_SIZE,
+    QueueFullError,
+    QueueHandle,
+    record_size,
+)
+from repro.sim.context import OpGen, ThreadContext
+from repro.sim.machine import Machine
+from repro.sim.sync import make_lock
+
+from repro.queue.cwl import INSERT_MARK
+
+
+class TwoLockConcurrent:
+    """Thread-safe persistent queue, Two-Lock Concurrent design."""
+
+    name = "2lc"
+
+    def __init__(
+        self,
+        machine: Machine,
+        queue: QueueHandle,
+        racing: bool = False,
+        lock_kind: str = "mcs",
+        paper_faithful: bool = False,
+    ) -> None:
+        self._queue = queue
+        self._paper_faithful = paper_faithful
+        self._reserve_lock = make_lock(machine, lock_kind)
+        self._update_lock = make_lock(machine, lock_kind)
+        self._insert_list = VolatileInsertList(machine, self._reserve_lock)
+        # The volatile head shadow (paper: headV), reserved ahead of the
+        # persistent head pointer.
+        self._headv_addr = machine.volatile_heap.malloc(mem_layout.WORD_SIZE)
+        machine.memory.write(self._headv_addr, mem_layout.WORD_SIZE, 0)
+        # 2LC's persist concurrency comes from its software design; the
+        # racing flag exists for interface parity with CWL and has no
+        # barriers to remove (Table 1 shows identical Epoch and Racing
+        # Epochs columns for 2LC).
+        self._racing = racing
+
+    @property
+    def queue(self) -> QueueHandle:
+        """The underlying queue instance."""
+        return self._queue
+
+    def insert(self, ctx: ThreadContext, entry: bytes) -> OpGen:
+        """Insert one entry; returns its start offset (or raises
+        :class:`QueueFullError` when the data segment is full)."""
+        queue = self._queue
+        reserved = record_size(len(entry), queue.insert_alignment)
+
+        yield from self._reserve_lock.acquire(ctx)  # line 17
+        start = yield from ctx.load(self._headv_addr)  # line 18
+        tail = yield from ctx.load(queue.tail_addr)
+        if start + reserved - tail > queue.capacity:
+            yield from self._reserve_lock.release(ctx)
+            raise QueueFullError(
+                f"insert of {len(entry)} bytes needs {reserved}, queue has "
+                f"{queue.capacity - (start - tail)} free"
+            )
+        yield from ctx.store(self._headv_addr, start + reserved)
+        node = yield from self._insert_list.append(ctx, start + reserved)  # 19
+        yield from self._reserve_lock.release(ctx)  # line 20
+
+        yield from ctx.new_strand()  # line 21
+        record = len(entry).to_bytes(LENGTH_FIELD_SIZE, "little") + entry
+        yield from queue.write_data(ctx, start, record)  # line 22 (COPY)
+        if not self._paper_faithful:
+            # Missing from Algorithm 1 as printed: order this insert's
+            # data persists before its completion marking, so the head
+            # persist issued by whichever thread completes the oldest
+            # insert is transitively ordered after this data.
+            yield from ctx.persist_barrier()
+
+        yield from self._update_lock.acquire(ctx)  # line 23
+        oldest, new_head = yield from self._insert_list.remove(ctx, node)  # 24
+        if oldest:  # line 26
+            yield from ctx.persist_barrier()  # line 27
+            yield from ctx.store(queue.head_addr, new_head)  # line 28
+        yield from self._update_lock.release(ctx)  # line 31
+        yield from ctx.mark(INSERT_MARK)
+        return start
+
+
+def make_tlc(
+    machine: Machine,
+    queue: QueueHandle,
+    racing: bool = False,
+    lock_kind: str = "mcs",
+    paper_faithful: bool = False,
+) -> TwoLockConcurrent:
+    """Factory matching :func:`repro.queue.cwl.make_cwl`'s signature."""
+    return TwoLockConcurrent(
+        machine,
+        queue,
+        racing=racing,
+        lock_kind=lock_kind,
+        paper_faithful=paper_faithful,
+    )

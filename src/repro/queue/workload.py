@@ -1,0 +1,196 @@
+"""Insert workloads over the persistent queue designs.
+
+Builds a machine, allocates a queue, spawns insert threads, runs to
+completion, and packages everything the analyses need: the trace, the
+ground-truth entries for recovery verification, and the base NVRAM image
+snapshotted after queue initialisation (the paper's implicit "the queue
+existed durably before the failure window").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.memory.nvram import NvramImage
+from repro.queue.cwl import CopyWhileLocked, make_cwl, padded_entry
+from repro.queue.layout import (
+    DATA_OFFSET,
+    QueueHandle,
+    allocate_queue,
+    record_size,
+)
+from repro.queue.tlc import make_tlc
+from repro.sim.machine import Machine
+from repro.sim.scheduler import RandomScheduler, Scheduler
+from repro.trace.trace import Trace
+
+#: Queue design registry: name -> factory with the shared signature.
+DESIGNS: Dict[str, Callable] = {
+    "cwl": make_cwl,
+    "2lc": make_tlc,
+}
+
+
+@dataclass
+class WorkloadConfig:
+    """Parameters of one insert workload run."""
+
+    design: str = "cwl"
+    threads: int = 1
+    inserts_per_thread: int = 100
+    entry_size: int = 100
+    racing: bool = False
+    lock_kind: str = "mcs"
+    paper_faithful: bool = False
+    insert_alignment: int = 64
+    seed: int = 0
+    #: Queue capacity in bytes; None sizes it to hold every insert.
+    capacity: Optional[int] = None
+    #: Place the queue in volatile memory (non-recoverable baseline).
+    volatile_queue: bool = False
+    #: Memory consistency model of the simulated machine ("sc" or "tso").
+    consistency: str = "sc"
+
+    def validate(self) -> None:
+        """Raise on unusable parameters."""
+        if self.design not in DESIGNS:
+            raise ReproError(
+                f"unknown design {self.design!r}; expected one of "
+                f"{sorted(DESIGNS)}"
+            )
+        if self.threads <= 0 or self.inserts_per_thread <= 0:
+            raise ReproError("threads and inserts_per_thread must be positive")
+        if self.entry_size < 16:
+            raise ReproError("entry_size must be at least 16 bytes")
+
+    @property
+    def total_inserts(self) -> int:
+        """Inserts across all threads."""
+        return self.threads * self.inserts_per_thread
+
+    def required_capacity(self) -> int:
+        """Capacity holding every insert without wrap-around."""
+        per_insert = record_size(self.entry_size, self.insert_alignment)
+        return self.total_inserts * per_insert
+
+    def describe(self) -> Dict[str, object]:
+        """Metadata dict stored in the trace."""
+        return {
+            "design": self.design,
+            "threads": self.threads,
+            "inserts_per_thread": self.inserts_per_thread,
+            "entry_size": self.entry_size,
+            "racing": self.racing,
+            "lock_kind": self.lock_kind,
+            "paper_faithful": self.paper_faithful,
+            "insert_alignment": self.insert_alignment,
+            "seed": self.seed,
+            "consistency": self.consistency,
+        }
+
+
+@dataclass
+class WorkloadResult:
+    """Everything produced by one workload run."""
+
+    config: WorkloadConfig
+    machine: Machine
+    trace: Trace
+    queue: QueueHandle
+    #: Insert start offset -> exact payload bytes written there.
+    expected: Dict[int, bytes] = field(repr=False, default_factory=dict)
+    #: Persistent-region snapshot taken after queue initialisation.
+    base_image: Optional[NvramImage] = field(repr=False, default=None)
+
+    @property
+    def total_inserts(self) -> int:
+        """Inserts completed (from trace marks)."""
+        from repro.queue.cwl import INSERT_MARK
+
+        return self.trace.count_marks(INSERT_MARK)
+
+    @property
+    def events_per_insert(self) -> float:
+        """Average trace events per insert (instruction-cost input)."""
+        inserts = self.total_inserts
+        if inserts == 0:
+            raise ReproError("workload completed no inserts")
+        return len(self.trace) / inserts
+
+
+def _insert_thread(ctx, design, config: WorkloadConfig, thread_index: int):
+    """Generator body: perform this thread's inserts, recording offsets."""
+    written: List[Tuple[int, bytes]] = []
+    for index in range(config.inserts_per_thread):
+        entry = padded_entry(thread_index, index, config.entry_size)
+        offset = yield from design.insert(ctx, entry)
+        written.append((offset, entry))
+    return written
+
+
+def run_insert_workload(
+    config: Optional[WorkloadConfig] = None,
+    scheduler: Optional[Scheduler] = None,
+    **overrides,
+) -> WorkloadResult:
+    """Run one insert workload and return its artifacts.
+
+    Either pass a :class:`WorkloadConfig` or keyword overrides for its
+    fields (``run_insert_workload(design="2lc", threads=8)``).
+    """
+    if config is None:
+        config = WorkloadConfig(**overrides)
+    elif overrides:
+        raise ReproError("pass either a config object or overrides, not both")
+    config.validate()
+
+    capacity = config.capacity or config.required_capacity()
+    persistent_size = DATA_OFFSET + capacity + 64 * 1024
+    machine = Machine(
+        scheduler=scheduler or RandomScheduler(seed=config.seed),
+        persistent_size=max(persistent_size, 1024 * 1024),
+        meta=config.describe(),
+        consistency=config.consistency,
+    )
+    queue = allocate_queue(
+        machine,
+        capacity,
+        insert_alignment=config.insert_alignment,
+        persistent=not config.volatile_queue,
+    )
+    factory = DESIGNS[config.design]
+    design = factory(
+        machine,
+        queue,
+        racing=config.racing,
+        lock_kind=config.lock_kind,
+        paper_faithful=config.paper_faithful,
+    )
+    base_image = None
+    if not config.volatile_queue:
+        base_image = NvramImage.from_region(
+            machine.memory.region("persistent"), blank=False
+        )
+    for thread_index in range(config.threads):
+        machine.spawn(
+            _insert_thread,
+            design,
+            config,
+            thread_index,
+            name=f"inserter-{thread_index}",
+        )
+    trace = machine.run()
+    expected: Dict[int, bytes] = {}
+    for thread in machine.threads:
+        for offset, entry in thread.result:
+            expected[offset] = entry
+    return WorkloadResult(
+        config=config,
+        machine=machine,
+        trace=trace,
+        queue=queue,
+        expected=expected,
+        base_image=base_image,
+    )

@@ -1,0 +1,35 @@
+"""Simulated SC machine: threads, scheduling, and synchronization."""
+
+from repro.sim.context import ThreadContext
+from repro.sim.machine import Machine, SimThread, ThreadState
+from repro.sim.scheduler import (
+    RandomScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+    StridedScheduler,
+)
+from repro.sim.sync import (
+    LOCK_KINDS,
+    Lock,
+    MCSLock,
+    TestAndSetLock,
+    TicketLock,
+    make_lock,
+)
+
+__all__ = [
+    "Machine",
+    "SimThread",
+    "ThreadState",
+    "ThreadContext",
+    "Scheduler",
+    "RoundRobinScheduler",
+    "RandomScheduler",
+    "StridedScheduler",
+    "Lock",
+    "MCSLock",
+    "TicketLock",
+    "TestAndSetLock",
+    "LOCK_KINDS",
+    "make_lock",
+]

@@ -1,0 +1,450 @@
+"""The simulated SC machine.
+
+Executes a set of simulated threads one memory operation at a time under
+a pluggable interleaving policy, recording every operation into a
+:class:`~repro.trace.trace.Trace`.  Because exactly one access executes
+at a time and each thread's operations execute in program order, the
+recorded total order is a sequentially consistent execution — the same
+guarantee the paper's lock-bank PIN tracer provides (Section 7).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import DeadlockError, SimulationError
+from repro.memory import AddressSpace, FreeListAllocator
+from repro.sim import ops
+from repro.sim.context import ThreadContext
+from repro.sim.scheduler import RandomScheduler, Scheduler
+from repro.trace.events import EventKind, MemoryEvent
+from repro.trace.trace import Trace
+
+
+class ThreadState(enum.Enum):
+    """Lifecycle of a simulated thread."""
+
+    NEW = "new"
+    READY = "ready"
+    WAITING = "waiting"
+    #: Generator exhausted but the TSO store buffer still holds stores.
+    DRAINING = "draining"
+    FINISHED = "finished"
+
+
+#: Scheduler ids at or above this base denote store-buffer drain agents
+#: (id = _DRAIN_BASE + thread_id); below it, thread execution steps.
+_DRAIN_BASE = 1 << 20
+
+
+class SimThread:
+    """Bookkeeping for one simulated thread."""
+
+    def __init__(self, thread_id: int, generator, name: str) -> None:
+        self.thread_id = thread_id
+        self.name = name
+        self.generator = generator
+        self.state = ThreadState.NEW
+        #: Operation awaiting execution (READY state).
+        self.pending: Optional[object] = None
+        #: Wait request we are blocked on (WAITING state).
+        self.wait: Optional[ops.WaitUntil] = None
+        #: Value returned by the thread body once FINISHED.
+        self.result: object = None
+        #: TSO store buffer: FIFO of (addr, size, value, sync) entries.
+        self.store_buffer: list = []
+
+    def __repr__(self) -> str:
+        return (
+            f"SimThread(id={self.thread_id}, name={self.name!r}, "
+            f"state={self.state.value})"
+        )
+
+
+class Machine:
+    """Simulated machine: memory, heaps, threads, scheduler, and trace."""
+
+    def __init__(
+        self,
+        scheduler: Optional[Scheduler] = None,
+        volatile_size: Optional[int] = None,
+        persistent_size: Optional[int] = None,
+        meta: Optional[Dict[str, object]] = None,
+        consistency: str = "sc",
+    ) -> None:
+        """``consistency`` selects the memory model:
+
+        * ``"sc"`` (default) — every store is immediately visible; the
+          trace is a sequentially consistent execution, the paper's
+          baseline.
+        * ``"tso"`` — stores enter a per-thread FIFO buffer and become
+          visible when a *drain agent* (a scheduler-visible pseudo-thread
+          per buffer) writes them to memory.  Loads forward from the own
+          buffer (traced with ``info="sb-forward"``); RMWs and fences
+          drain first, x86-style.  The trace records *memory order*, so
+          analyzing it yields persistency-under-TSO semantics directly.
+        """
+        sizes = {}
+        if volatile_size is not None:
+            sizes["volatile_size"] = volatile_size
+        if persistent_size is not None:
+            sizes["persistent_size"] = persistent_size
+        self.memory = AddressSpace.with_default_layout(**sizes)
+        volatile = self.memory.region("volatile")
+        persistent = self.memory.region("persistent")
+        self.volatile_heap = FreeListAllocator(volatile.base, volatile.size)
+        self.persistent_heap = FreeListAllocator(persistent.base, persistent.size)
+        if consistency not in ("sc", "tso"):
+            raise SimulationError(
+                f"unknown consistency model {consistency!r}; expected "
+                f"'sc' or 'tso'"
+            )
+        self.consistency = consistency
+        self.scheduler = scheduler if scheduler is not None else RandomScheduler()
+        self.trace = Trace(meta=meta)
+        self._threads: List[SimThread] = []
+        self._steps = 0
+
+    # -- setup ----------------------------------------------------------------
+
+    @property
+    def threads(self) -> List[SimThread]:
+        """Spawned threads in id order (copy)."""
+        return list(self._threads)
+
+    def spawn(self, body: Callable, *args, name: str = "") -> SimThread:
+        """Create a simulated thread from a generator function.
+
+        ``body`` is called as ``body(ctx, *args)`` and must return a
+        generator (i.e., contain ``yield`` / ``yield from``).
+        """
+        thread_id = len(self._threads)
+        ctx = ThreadContext(thread_id)
+        generator = body(ctx, *args)
+        if not hasattr(generator, "send"):
+            raise SimulationError(
+                f"thread body {body!r} is not a generator function"
+            )
+        thread = SimThread(thread_id, generator, name or f"t{thread_id}")
+        self._threads.append(thread)
+        return thread
+
+    # -- execution --------------------------------------------------------------
+
+    def run(self, max_steps: Optional[int] = None) -> Trace:
+        """Run until every thread finishes; returns the trace.
+
+        Raises:
+            DeadlockError: when all unfinished threads are blocked.
+            SimulationError: when ``max_steps`` is exhausted first.
+        """
+        while True:
+            runnable = self._runnable_ids()
+            if not runnable:
+                unfinished = [
+                    t for t in self._threads if t.state is not ThreadState.FINISHED
+                ]
+                if not unfinished:
+                    return self.trace
+                waiting = ", ".join(
+                    f"{t.name} on {t.wait.addr:#x}" for t in unfinished if t.wait
+                )
+                raise DeadlockError(
+                    f"{len(unfinished)} thread(s) blocked with no runnable "
+                    f"peers: {waiting or unfinished}"
+                )
+            if max_steps is not None and self._steps >= max_steps:
+                raise SimulationError(
+                    f"exceeded max_steps={max_steps} with threads still running"
+                )
+            self._step(self.scheduler.pick(runnable))
+            self._steps += 1
+
+    def _runnable_ids(self) -> List[int]:
+        runnable = []
+        for thread in self._threads:
+            if thread.state in (ThreadState.NEW, ThreadState.READY):
+                runnable.append(thread.thread_id)
+            elif thread.state is ThreadState.WAITING:
+                value = self._visible_value(
+                    thread, thread.wait.addr, thread.wait.size
+                )
+                if thread.wait.predicate(value):
+                    runnable.append(thread.thread_id)
+            if thread.store_buffer:
+                runnable.append(_DRAIN_BASE + thread.thread_id)
+        return runnable
+
+    def _step(self, thread_id: int) -> None:
+        """Execute one scheduling step for ``thread_id``."""
+        if thread_id >= _DRAIN_BASE:
+            self._drain_one(self._threads[thread_id - _DRAIN_BASE])
+            return
+        thread = self._threads[thread_id]
+        if thread.state is ThreadState.NEW:
+            self._emit_marker(thread, EventKind.THREAD_BEGIN)
+            thread.state = ThreadState.READY
+            self._advance(thread, None)
+            return
+        if thread.state is ThreadState.WAITING:
+            wait = thread.wait
+            value, info = self._wait_read(thread, wait)
+            self._emit_access(
+                thread,
+                EventKind.LOAD,
+                wait.addr,
+                wait.size,
+                value,
+                wait.sync,
+                info=info,
+            )
+            thread.wait = None
+            thread.state = ThreadState.READY
+            self._advance(thread, value)
+            return
+        if thread.state is not ThreadState.READY:
+            raise SimulationError(f"cannot step {thread!r}")
+        op = thread.pending
+        thread.pending = None
+        if isinstance(op, ops.WaitUntil):
+            value, info = self._wait_read(thread, op)
+            self._emit_access(
+                thread, EventKind.LOAD, op.addr, op.size, value, op.sync,
+                info=info,
+            )
+            if op.predicate(value):
+                self._advance(thread, value)
+            else:
+                thread.wait = op
+                thread.state = ThreadState.WAITING
+            return
+        result = self._execute(thread, op)
+        self._advance(thread, result)
+
+    def _advance(self, thread: SimThread, send_value: object) -> None:
+        """Resume the thread body until its next operation request."""
+        try:
+            thread.pending = thread.generator.send(send_value)
+        except StopIteration as stop:
+            thread.result = stop.value
+            if thread.store_buffer:
+                # TSO: the thread's stores are not yet visible; drain
+                # agents finish the job, then THREAD_END is emitted.
+                thread.state = ThreadState.DRAINING
+            else:
+                thread.state = ThreadState.FINISHED
+                self._emit_marker(thread, EventKind.THREAD_END)
+
+    # -- TSO store buffer ---------------------------------------------------
+
+    def _drain_one(self, thread: SimThread) -> None:
+        """Make the oldest buffered entry visible (store or marker)."""
+        if not thread.store_buffer:
+            raise SimulationError(
+                f"drain scheduled for {thread.name} with an empty buffer"
+            )
+        entry = thread.store_buffer.pop(0)
+        if entry[0] == "store":
+            _, addr, size, value, sync = entry
+            self.memory.write(addr, size, value)
+            self._emit_access(thread, EventKind.STORE, addr, size, value, sync)
+        else:
+            self._emit_marker(thread, entry[1])
+        if thread.state is ThreadState.DRAINING and not thread.store_buffer:
+            thread.state = ThreadState.FINISHED
+            self._emit_marker(thread, EventKind.THREAD_END)
+
+    def _flush_buffer(self, thread: SimThread) -> None:
+        """Drain the thread's entire store buffer (RMW/fence semantics)."""
+        while thread.store_buffer:
+            self._drain_one(thread)
+
+    def _visible_value(self, thread: SimThread, addr: int, size: int) -> int:
+        """The value a TSO load at this point would observe (no side
+        effects): the newest exactly-matching buffered store, else
+        memory.  Used by wait-predicate evaluation."""
+        if self.consistency == "tso":
+            for entry in reversed(thread.store_buffer):
+                if entry[0] != "store":
+                    continue
+                _, entry_addr, entry_size, value, _ = entry
+                if entry_addr == addr and entry_size == size:
+                    return value
+        return self.memory.read(addr, size)
+
+    def _wait_read(self, thread: SimThread, wait: ops.WaitUntil):
+        """Observe a wait's location with TSO forwarding; returns
+        (value, trace info)."""
+        if self.consistency == "tso":
+            forwarded = self._buffered_read(thread, wait.addr, wait.size)
+            if forwarded is not None:
+                return forwarded, "sb-forward"
+        return self.memory.read(wait.addr, wait.size), ""
+
+    def _buffered_read(self, thread: SimThread, addr: int, size: int):
+        """TSO load semantics against the thread's own buffer.
+
+        Returns the forwarded value when the newest overlapping buffered
+        store matches the load range exactly; otherwise flushes the
+        buffer (partial-overlap forwarding is not modelled) and returns
+        None so the caller reads memory.
+        """
+        end = addr + size
+        for entry in reversed(thread.store_buffer):
+            if entry[0] != "store":
+                continue
+            _, entry_addr, entry_size, value, _ = entry
+            if entry_addr < end and addr < entry_addr + entry_size:
+                if entry_addr == addr and entry_size == size:
+                    return value
+                self._flush_buffer(thread)
+                return None
+        return None
+
+    # -- operation execution -------------------------------------------------
+
+    def _execute(self, thread: SimThread, op: object) -> object:
+        """Execute one non-wait operation atomically; returns its result."""
+        tso = self.consistency == "tso"
+        if isinstance(op, ops.Load):
+            if tso:
+                forwarded = self._buffered_read(thread, op.addr, op.size)
+                if forwarded is not None:
+                    self._emit_access(
+                        thread,
+                        EventKind.LOAD,
+                        op.addr,
+                        op.size,
+                        forwarded,
+                        op.sync,
+                        info="sb-forward",
+                    )
+                    return forwarded
+            value = self.memory.read(op.addr, op.size)
+            self._emit_access(
+                thread, EventKind.LOAD, op.addr, op.size, value, op.sync
+            )
+            return value
+        if isinstance(op, ops.Store):
+            if tso:
+                thread.store_buffer.append(
+                    ("store", op.addr, op.size, op.value, op.sync)
+                )
+                return None
+            self.memory.write(op.addr, op.size, op.value)
+            self._emit_access(
+                thread, EventKind.STORE, op.addr, op.size, op.value, op.sync
+            )
+            return None
+        if isinstance(op, (ops.CompareAndSwap, ops.Swap, ops.FetchAdd)) and tso:
+            # Atomics are fences on TSO (x86 semantics).
+            self._flush_buffer(thread)
+        if isinstance(op, ops.CompareAndSwap):
+            observed = self.memory.read(op.addr, op.size)
+            if observed == op.expected:
+                self.memory.write(op.addr, op.size, op.new)
+                self._emit_access(
+                    thread, EventKind.RMW, op.addr, op.size, op.new, op.sync
+                )
+                return True, observed
+            self._emit_access(
+                thread, EventKind.LOAD, op.addr, op.size, observed, op.sync
+            )
+            return False, observed
+        if isinstance(op, ops.Swap):
+            old = self.memory.read(op.addr, op.size)
+            self.memory.write(op.addr, op.size, op.new)
+            self._emit_access(
+                thread, EventKind.RMW, op.addr, op.size, op.new, op.sync
+            )
+            return old
+        if isinstance(op, ops.FetchAdd):
+            old = self.memory.read(op.addr, op.size)
+            new = (old + op.delta) % (1 << (8 * op.size))
+            self.memory.write(op.addr, op.size, new)
+            self._emit_access(
+                thread, EventKind.RMW, op.addr, op.size, new, op.sync
+            )
+            return old
+        if isinstance(op, ops.PersistBarrier):
+            # On TSO the barrier travels through the store buffer with
+            # the stores it separates (epoch hardware tags epochs at the
+            # core, in program order); emitting it at execute time would
+            # let later-draining stores float in front of it in memory
+            # order and dissolve the epoch boundary.
+            if tso and thread.store_buffer:
+                thread.store_buffer.append(
+                    ("marker", EventKind.PERSIST_BARRIER)
+                )
+                return None
+            self._emit_marker(thread, EventKind.PERSIST_BARRIER)
+            return None
+        if isinstance(op, ops.NewStrand):
+            if tso and thread.store_buffer:
+                thread.store_buffer.append(("marker", EventKind.NEW_STRAND))
+                return None
+            self._emit_marker(thread, EventKind.NEW_STRAND)
+            return None
+        if isinstance(op, ops.PersistSync):
+            self._emit_marker(thread, EventKind.PERSIST_SYNC)
+            return None
+        if isinstance(op, ops.Fence):
+            if tso:
+                self._flush_buffer(thread)
+            self._emit_marker(thread, EventKind.FENCE)
+            return None
+        if isinstance(op, ops.Mark):
+            self._emit_marker(thread, EventKind.MARK, op.info)
+            return None
+        if isinstance(op, ops.Malloc):
+            heap = self.persistent_heap if op.persistent else self.volatile_heap
+            addr = heap.malloc(op.size)
+            self._emit_marker(
+                thread, EventKind.MALLOC, f"{addr:#x}+{op.size}"
+            )
+            return addr
+        if isinstance(op, ops.Free):
+            heap = self.persistent_heap if op.persistent else self.volatile_heap
+            heap.free(op.addr)
+            self._emit_marker(thread, EventKind.FREE, f"{op.addr:#x}")
+            return None
+        raise SimulationError(
+            f"thread {thread.name} yielded unknown operation {op!r}"
+        )
+
+    def _emit_access(
+        self,
+        thread: SimThread,
+        kind: EventKind,
+        addr: int,
+        size: int,
+        value: int,
+        sync: bool = False,
+        info: str = "",
+    ) -> None:
+        self.trace.append(
+            MemoryEvent(
+                seq=len(self.trace),
+                thread=thread.thread_id,
+                kind=kind,
+                addr=addr,
+                size=size,
+                value=value,
+                persistent=self.memory.is_persistent(addr),
+                sync=sync,
+                info=info,
+            )
+        )
+
+    def _emit_marker(
+        self, thread: SimThread, kind: EventKind, info: str = ""
+    ) -> None:
+        self.trace.append(
+            MemoryEvent(
+                seq=len(self.trace),
+                thread=thread.thread_id,
+                kind=kind,
+                info=info,
+            )
+        )

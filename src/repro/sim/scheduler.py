@@ -1,0 +1,71 @@
+"""Thread interleaving policies.
+
+Any policy yields a legal SC execution because the machine executes one
+memory operation at a time.  The seeded random scheduler is the default
+for experiments (it exercises cross-thread interleavings the way a real
+multithreaded run does); round-robin is useful for deterministic unit
+tests with predictable orders.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Sequence
+
+
+class Scheduler(abc.ABC):
+    """Chooses which runnable thread executes the next memory operation."""
+
+    @abc.abstractmethod
+    def pick(self, runnable: Sequence[int]) -> int:
+        """Return one thread id from ``runnable`` (non-empty, sorted)."""
+
+
+class RoundRobinScheduler(Scheduler):
+    """Cycle through threads in id order, skipping blocked ones."""
+
+    def __init__(self) -> None:
+        self._last = -1
+
+    def pick(self, runnable: Sequence[int]) -> int:
+        for tid in runnable:
+            if tid > self._last:
+                self._last = tid
+                return tid
+        self._last = runnable[0]
+        return self._last
+
+
+class RandomScheduler(Scheduler):
+    """Uniform random choice with a fixed seed for reproducibility."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+
+    def pick(self, runnable: Sequence[int]) -> int:
+        return self._rng.choice(runnable)
+
+
+class StridedScheduler(Scheduler):
+    """Run each thread for ``stride`` consecutive operations.
+
+    Mimics coarser quantum scheduling: threads batch work between context
+    switches, which matters for persist-epoch race structure in tests.
+    """
+
+    def __init__(self, stride: int, seed: int = 0) -> None:
+        if stride <= 0:
+            raise ValueError(f"stride must be positive, got {stride}")
+        self._stride = stride
+        self._rng = random.Random(seed)
+        self._current = -1
+        self._remaining = 0
+
+    def pick(self, runnable: Sequence[int]) -> int:
+        if self._remaining > 0 and self._current in runnable:
+            self._remaining -= 1
+            return self._current
+        self._current = self._rng.choice(runnable)
+        self._remaining = self._stride - 1
+        return self._current

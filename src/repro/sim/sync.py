@@ -1,0 +1,150 @@
+"""Locks built from traced simulated atomics.
+
+Persist ordering constraints flow through lock hand-offs: the releasing
+store conflicts with the acquiring load, ordering the critical sections
+in volatile memory order (and hence, under the relevant persistency
+models, ordering their persists).  Locks must therefore be implemented
+from *traced* operations, not host-level shortcuts.
+
+The paper's queues use MCS locks (Mellor-Crummey & Scott) specifically
+because waiters spin on their own queue node: the only conflicting
+accesses are the hand-off store/load between consecutive owners, which is
+the minimal ordering a lock can impose.  Test-and-set and ticket locks
+are provided for comparison; their shared-word traffic creates extra
+conflict edges (and thus extra persist constraints), which the ablation
+benchmarks measure.
+
+All lock state lives in the volatile address space, following the paper's
+race-free discipline ("only place locks in the volatile address space",
+Section 5.2).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict
+
+from repro.memory import layout
+from repro.sim.context import OpGen, ThreadContext
+from repro.sim.machine import Machine
+
+#: MCS queue-node field offsets.
+_QNODE_NEXT = 0
+_QNODE_LOCKED = layout.WORD_SIZE
+_QNODE_SIZE = 2 * layout.WORD_SIZE
+
+
+class Lock(abc.ABC):
+    """A mutual-exclusion lock usable from simulated threads."""
+
+    @abc.abstractmethod
+    def acquire(self, ctx: ThreadContext) -> OpGen:
+        """Generator: block until the lock is held by ``ctx``'s thread."""
+
+    @abc.abstractmethod
+    def release(self, ctx: ThreadContext) -> OpGen:
+        """Generator: release the lock (caller must hold it)."""
+
+
+class TestAndSetLock(Lock):
+    """Test-and-test-and-set lock on a single shared word.
+
+    Waiters block until the word reads free, then race with CAS.  Every
+    waiter loads the same word, so each release conflicts with every
+    waiter — the noisiest conflict structure of the three locks.
+    """
+
+    def __init__(self, machine: Machine) -> None:
+        self._addr = machine.volatile_heap.malloc(layout.WORD_SIZE)
+        machine.memory.write(self._addr, layout.WORD_SIZE, 0)
+
+    def acquire(self, ctx: ThreadContext) -> OpGen:
+        while True:
+            yield from ctx.wait_equals(self._addr, 0, sync=True)
+            acquired, _ = yield from ctx.cas(self._addr, 0, 1, sync=True)
+            if acquired:
+                return
+
+    def release(self, ctx: ThreadContext) -> OpGen:
+        yield from ctx.store(self._addr, 0, sync=True)
+
+
+class TicketLock(Lock):
+    """FIFO ticket lock: fetch-add a ticket, wait for now-serving."""
+
+    def __init__(self, machine: Machine) -> None:
+        self._next = machine.volatile_heap.malloc(2 * layout.WORD_SIZE)
+        self._serving = self._next + layout.WORD_SIZE
+        machine.memory.write(self._next, layout.WORD_SIZE, 0)
+        machine.memory.write(self._serving, layout.WORD_SIZE, 0)
+
+    def acquire(self, ctx: ThreadContext) -> OpGen:
+        ticket = yield from ctx.fetch_add(self._next, 1, sync=True)
+        yield from ctx.wait_equals(self._serving, ticket, sync=True)
+
+    def release(self, ctx: ThreadContext) -> OpGen:
+        serving = yield from ctx.load(self._serving, sync=True)
+        yield from ctx.store(self._serving, serving + 1, sync=True)
+
+
+class MCSLock(Lock):
+    """MCS queue lock with local spinning (the paper's lock, Section 7).
+
+    Each thread owns one queue node per lock (allocated lazily from the
+    volatile heap).  Hand-off happens through a store to the successor's
+    ``locked`` flag, observed by the successor's blocking load — exactly
+    one conflicting pair per critical-section transition.
+    """
+
+    def __init__(self, machine: Machine) -> None:
+        self._tail = machine.volatile_heap.malloc(layout.WORD_SIZE)
+        machine.memory.write(self._tail, layout.WORD_SIZE, 0)
+        self._qnodes: Dict[int, int] = {}
+
+    def _qnode(self, ctx: ThreadContext) -> OpGen:
+        """Return (allocating on first use) this thread's queue node."""
+        qnode = self._qnodes.get(ctx.thread_id)
+        if qnode is None:
+            qnode = yield from ctx.malloc_volatile(_QNODE_SIZE)
+            self._qnodes[ctx.thread_id] = qnode
+        return qnode
+
+    def acquire(self, ctx: ThreadContext) -> OpGen:
+        qnode = yield from self._qnode(ctx)
+        yield from ctx.store(qnode + _QNODE_NEXT, 0, sync=True)
+        predecessor = yield from ctx.swap(self._tail, qnode, sync=True)
+        if predecessor != 0:
+            yield from ctx.store(qnode + _QNODE_LOCKED, 1, sync=True)
+            yield from ctx.store(predecessor + _QNODE_NEXT, qnode, sync=True)
+            yield from ctx.wait_equals(qnode + _QNODE_LOCKED, 0, sync=True)
+
+    def release(self, ctx: ThreadContext) -> OpGen:
+        qnode = self._qnodes[ctx.thread_id]
+        successor = yield from ctx.load(qnode + _QNODE_NEXT, sync=True)
+        if successor == 0:
+            released, _ = yield from ctx.cas(self._tail, qnode, 0, sync=True)
+            if released:
+                return
+            successor = yield from ctx.wait_until(
+                qnode + _QNODE_NEXT, lambda next_ptr: next_ptr != 0, sync=True
+            )
+        yield from ctx.store(successor + _QNODE_LOCKED, 0, sync=True)
+
+
+#: Registry used by harness configs to select a lock algorithm by name.
+LOCK_KINDS = {
+    "mcs": MCSLock,
+    "ticket": TicketLock,
+    "test_and_set": TestAndSetLock,
+}
+
+
+def make_lock(machine: Machine, kind: str = "mcs") -> Lock:
+    """Construct a lock by registry name (default: the paper's MCS)."""
+    try:
+        factory = LOCK_KINDS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown lock kind {kind!r}; expected one of {sorted(LOCK_KINDS)}"
+        ) from None
+    return factory(machine)

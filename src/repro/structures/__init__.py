@@ -1,0 +1,34 @@
+"""Recoverable data structures built on the persistency API.
+
+These are the adoption surface the paper motivates: structures whose
+durability discipline is expressed with persist barriers and strands and
+whose recovery is verified by failure injection over the exact persist
+DAG (see ``tests/structures``).
+"""
+
+from repro.structures.counter import PersistentCounter, StripedPersistentCounter
+from repro.structures.kv import PersistentKvStore, StoreFullError
+from repro.structures.log import LogFullError, LogRecord, PersistentLog
+from repro.structures.minifs import MiniFs, RecoveredFile
+from repro.structures.transactions import (
+    DurableTransactions,
+    RecoveredState,
+    Transaction,
+    TransactionError,
+)
+
+__all__ = [
+    "DurableTransactions",
+    "Transaction",
+    "TransactionError",
+    "RecoveredState",
+    "PersistentKvStore",
+    "StoreFullError",
+    "PersistentLog",
+    "LogRecord",
+    "LogFullError",
+    "PersistentCounter",
+    "StripedPersistentCounter",
+    "MiniFs",
+    "RecoveredFile",
+]

@@ -1,0 +1,151 @@
+"""Persistent key-value store (epoch-persistency publication idiom).
+
+A fixed-capacity open-addressing hash table in persistent memory,
+demonstrating the pattern the paper's relaxed models exist to support:
+write contents, persist barrier, publish.  Slots are cache-line padded
+(the paper's 64-byte discipline) and publication is a single eight-byte
+persist, atomic by the paper's persist-granularity rule.
+
+Operations:
+  * ``put`` — insert or update; updates overwrite the 8-byte value in
+    place, which is failure-atomic on its own.
+  * ``get`` — lookup.
+  * ``delete`` — tombstone the slot (valid=2); probing continues past
+    tombstones, and recovery ignores them.
+
+Recovery reads an :class:`~repro.memory.nvram.NvramImage`: every slot
+whose valid flag persisted exposes exactly the key/value that were
+published before it — guaranteed by the barrier, and checked by the
+failure-injection tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import ReproError
+from repro.memory import layout
+from repro.memory.nvram import NvramImage
+from repro.sim.context import OpGen, ThreadContext
+from repro.sim.machine import Machine
+from repro.sim.sync import make_lock
+
+#: Slot field offsets; one slot per 64-byte line.
+KEY_OFFSET = 0
+VALUE_OFFSET = 8
+VALID_OFFSET = 16
+SLOT_SIZE = 64
+
+#: Valid-flag states.
+EMPTY, LIVE, TOMBSTONE = 0, 1, 2
+
+
+class StoreFullError(ReproError):
+    """Every probeable slot is occupied."""
+
+
+class PersistentKvStore:
+    """Fixed-capacity persistent hash table with linear probing.
+
+    Thread-safe via a single MCS lock; the persistency discipline is
+    epoch-model-correct (every publication is barrier-ordered after its
+    contents), so recovery is exact under epoch and strand persistency
+    as well as strict.
+    """
+
+    def __init__(
+        self, machine: Machine, slots: int = 128, lock_kind: str = "mcs"
+    ) -> None:
+        if slots <= 0:
+            raise ReproError(f"slots must be positive, got {slots}")
+        self._slots = slots
+        self._base = machine.persistent_heap.malloc(slots * SLOT_SIZE)
+        self._lock = make_lock(machine, lock_kind)
+
+    @property
+    def base(self) -> int:
+        """Base address of the slot array (for recovery)."""
+        return self._base
+
+    @property
+    def slots(self) -> int:
+        """Slot capacity."""
+        return self._slots
+
+    def _slot_addr(self, index: int) -> int:
+        return self._base + (index % self._slots) * SLOT_SIZE
+
+    def _probe(self, ctx: ThreadContext, key: int) -> OpGen:
+        """Find the slot holding ``key`` or the first insertable slot.
+
+        Returns (addr, state) where state is the found slot's valid flag
+        (LIVE means the key exists at addr).
+        """
+        first_free = None
+        for offset in range(self._slots):
+            addr = self._slot_addr(key + offset)
+            state = yield from ctx.load(addr + VALID_OFFSET)
+            if state == EMPTY:
+                return (first_free if first_free is not None else addr), EMPTY
+            slot_key = yield from ctx.load(addr + KEY_OFFSET)
+            if state == LIVE and slot_key == key:
+                return addr, LIVE
+            if state == TOMBSTONE and first_free is None:
+                first_free = addr
+        if first_free is not None:
+            return first_free, EMPTY
+        raise StoreFullError(f"no free slot for key {key}")
+
+    def put(self, ctx: ThreadContext, key: int, value: int) -> OpGen:
+        """Insert or update ``key`` (key must be nonzero)."""
+        if key == 0:
+            raise ReproError("key 0 is reserved for empty slots")
+        yield from self._lock.acquire(ctx)
+        addr, state = yield from self._probe(ctx, key)
+        if state == LIVE:
+            # In-place update: a single eight-byte persist, atomic with
+            # respect to failure; no barrier needed.
+            yield from ctx.store(addr + VALUE_OFFSET, value)
+        else:
+            yield from ctx.store(addr + KEY_OFFSET, key)
+            yield from ctx.store(addr + VALUE_OFFSET, value)
+            yield from ctx.persist_barrier()  # contents before publication
+            yield from ctx.store(addr + VALID_OFFSET, LIVE)
+        yield from self._lock.release(ctx)
+
+    def get(self, ctx: ThreadContext, key: int) -> OpGen:
+        """Return the value for ``key`` or None."""
+        yield from self._lock.acquire(ctx)
+        addr, state = yield from self._probe(ctx, key)
+        value = None
+        if state == LIVE:
+            value = yield from ctx.load(addr + VALUE_OFFSET)
+        yield from self._lock.release(ctx)
+        return value
+
+    def delete(self, ctx: ThreadContext, key: int) -> OpGen:
+        """Remove ``key``; returns True when it was present.
+
+        The tombstone write is a single atomic persist; a failure before
+        it simply preserves the entry (deletes are not yet durable until
+        the tombstone persists, the natural at-least-once semantics).
+        """
+        yield from self._lock.acquire(ctx)
+        addr, state = yield from self._probe(ctx, key)
+        found = state == LIVE
+        if found:
+            yield from ctx.store(addr + VALID_OFFSET, TOMBSTONE)
+        yield from self._lock.release(ctx)
+        return found
+
+    # -- recovery ---------------------------------------------------------
+
+    def recover(self, image: NvramImage) -> Dict[int, int]:
+        """Read all published live pairs from a failure-state image."""
+        pairs: Dict[int, int] = {}
+        for index in range(self._slots):
+            addr = self._slot_addr(index)
+            if image.read(addr + VALID_OFFSET, layout.WORD_SIZE) == LIVE:
+                key = image.read(addr + KEY_OFFSET, layout.WORD_SIZE)
+                pairs[key] = image.read(addr + VALUE_OFFSET, layout.WORD_SIZE)
+        return pairs

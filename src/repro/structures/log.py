@@ -1,0 +1,145 @@
+"""Persistent append-only log.
+
+A simpler cousin of the paper's queue: records are framed (length +
+payload, padded to the insert alignment) and made durable-visible by
+advancing a single committed-size word — the classic WAL tail.  Appends
+are strand-annotated exactly like queue inserts, so the log enjoys the
+same relaxed-persistency concurrency.
+
+Unlike the circular queue there is no tail pointer and no wrap-around:
+the log grows until full and is truncated only by :meth:`reset` (e.g.,
+after a checkpoint).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import RecoveryError, ReproError
+from repro.memory import layout
+from repro.memory.nvram import NvramImage
+from repro.sim.context import OpGen, ThreadContext
+from repro.sim.machine import Machine
+from repro.sim.sync import make_lock
+
+#: Header layout: committed size on its own line, then record storage.
+COMMITTED_OFFSET = 0
+DATA_OFFSET = 64
+LENGTH_FIELD = 8
+
+#: Default record alignment (matches the paper's padding discipline).
+DEFAULT_ALIGNMENT = 64
+
+
+class LogFullError(ReproError):
+    """An append did not fit in the remaining log space."""
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One recovered record."""
+
+    offset: int
+    payload: bytes
+
+
+class PersistentLog:
+    """Thread-safe persistent append-only log."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        capacity: int,
+        alignment: int = DEFAULT_ALIGNMENT,
+        lock_kind: str = "mcs",
+    ) -> None:
+        if capacity <= 0 or capacity % layout.WORD_SIZE:
+            raise ReproError(
+                f"capacity must be a positive multiple of "
+                f"{layout.WORD_SIZE}, got {capacity}"
+            )
+        if not layout.is_power_of_two(alignment) or alignment < layout.WORD_SIZE:
+            raise ReproError(f"bad record alignment {alignment}")
+        self._capacity = capacity
+        self._alignment = alignment
+        self._base = machine.persistent_heap.malloc(DATA_OFFSET + capacity)
+        machine.memory.write(self._base + COMMITTED_OFFSET, 8, 0)
+        self._lock = make_lock(machine, lock_kind)
+
+    @property
+    def base(self) -> int:
+        """Base address (for recovery)."""
+        return self._base
+
+    @property
+    def capacity(self) -> int:
+        """Record-storage capacity in bytes."""
+        return self._capacity
+
+    def _record_size(self, payload_len: int) -> int:
+        return layout.align_up(LENGTH_FIELD + payload_len, self._alignment)
+
+    def append(self, ctx: ThreadContext, payload: bytes) -> OpGen:
+        """Append one record; returns its offset.
+
+        The committed-size persist is barrier-ordered after the record's
+        contents, so recovery never exposes a torn record.
+        """
+        if not payload:
+            raise ReproError("cannot append an empty record")
+        reserved = self._record_size(len(payload))
+        yield from self._lock.acquire(ctx)
+        committed = yield from ctx.load(self._base + COMMITTED_OFFSET)
+        if committed + reserved > self._capacity:
+            yield from self._lock.release(ctx)
+            raise LogFullError(
+                f"append of {len(payload)} bytes needs {reserved}, "
+                f"{self._capacity - committed} remain"
+            )
+        yield from ctx.new_strand()
+        record_addr = self._base + DATA_OFFSET + committed
+        framed = len(payload).to_bytes(LENGTH_FIELD, "little") + payload
+        yield from ctx.store_bytes(record_addr, framed)
+        yield from ctx.persist_barrier()
+        yield from ctx.store(self._base + COMMITTED_OFFSET, committed + reserved)
+        yield from self._lock.release(ctx)
+        yield from ctx.mark("log:append")
+        return committed
+
+    def reset(self, ctx: ThreadContext) -> OpGen:
+        """Truncate the log (post-checkpoint).  The reset itself is a
+        single atomic persist of the committed size."""
+        yield from self._lock.acquire(ctx)
+        yield from ctx.store(self._base + COMMITTED_OFFSET, 0)
+        yield from self._lock.release(ctx)
+
+    # -- recovery ---------------------------------------------------------
+
+    def recover(self, image: NvramImage) -> List[LogRecord]:
+        """Parse all committed records from a failure-state image.
+
+        Raises:
+            RecoveryError: when committed state is unparsable (only
+                possible if the persistency discipline was violated).
+        """
+        committed = image.read(self._base + COMMITTED_OFFSET, 8)
+        if committed > self._capacity:
+            raise RecoveryError(
+                f"committed size {committed} exceeds capacity "
+                f"{self._capacity}"
+            )
+        records: List[LogRecord] = []
+        offset = 0
+        while offset < committed:
+            addr = self._base + DATA_OFFSET + offset
+            length = image.read(addr, 8)
+            reserved = self._record_size(length)
+            if length == 0 or offset + reserved > committed:
+                raise RecoveryError(
+                    f"corrupt record frame at offset {offset}"
+                )
+            payload = image.read_bytes(addr + LENGTH_FIELD, length)
+            records.append(LogRecord(offset=offset, payload=payload))
+            offset += reserved
+        return records

@@ -1,0 +1,293 @@
+"""Durable transactions over the persistency API (related-work layer).
+
+The paper's related work layers transactions on NVRAM (Mnemosyne,
+NV-heaps, Kiln) and notes that transactions couple three concerns the
+persistency framework separates: atomicity, isolation, and durability.
+This module provides the durability/atomicity half as a redo-logging
+transaction manager written against the epoch-persistency discipline;
+isolation stays with the caller's locks, exactly Kiln's split
+("transactions are atomically persistent, but provide no guarantee of
+isolation between threads").
+
+Design:
+
+* **Per-thread redo logs** in persistent memory — no synchronisation on
+  the write-logging fast path.  Each record is published by writing its
+  body, a persist barrier, then its kind word (eight-byte atomic).
+* **A single global commit log** appended under a commit lock whose
+  critical section follows the paper's race-free discipline (persist
+  barriers after acquire and before release).  Those barriers chain
+  consecutive commit publications through the lock hand-off, so the set
+  of durable commit records at any failure is a *prefix* of the commit
+  order — no commit holes.  The commit-log position is the transaction's
+  global sequence number.
+* After its commit record is published (and barriered), a transaction
+  applies its write-set in place; in-place data therefore never persists
+  before its commit record.
+* **Recovery** reads the commit log in order (stopping at the first
+  unpublished slot), collects each committed transaction's redo records
+  from its thread log, and replays them in commit order.  Replay is
+  idempotent, so partially persisted in-place data is simply overwritten.
+
+Transactions are strand-annotated (`NEWSTRAND` at begin): under strand
+persistency, independent transactions' redo-log persists are concurrent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.errors import RecoveryError, ReproError
+from repro.memory import layout
+from repro.memory.nvram import NvramImage
+from repro.sim.context import OpGen, ThreadContext
+from repro.sim.machine import Machine
+from repro.sim.sync import make_lock
+
+#: Redo/commit record layout (32 bytes: kind published last).
+REC_TXN = 0
+REC_ADDR = 8
+REC_VALUE = 16
+REC_KIND = 24
+REC_BYTES = 32
+
+#: Record kinds (kind word zero means "end of log").
+KIND_WRITE = 1
+KIND_COMMIT = 2
+
+
+class TransactionError(ReproError):
+    """Transaction misuse or exhausted log space."""
+
+
+@dataclass
+class Transaction:
+    """An open transaction's volatile state."""
+
+    txn_id: int
+    thread: int
+    write_set: Dict[int, int] = field(default_factory=dict)
+    records: int = 0
+    closed: bool = False
+
+
+class DurableTransactions:
+    """Redo-logging durable-transaction manager."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        threads: int,
+        log_capacity: int = 8192,
+        commit_capacity: int = 256,
+        lock_kind: str = "mcs",
+    ) -> None:
+        if threads <= 0:
+            raise TransactionError(f"threads must be positive, got {threads}")
+        if log_capacity <= 0 or log_capacity % REC_BYTES:
+            raise TransactionError(
+                f"log_capacity must be a positive multiple of {REC_BYTES}"
+            )
+        if commit_capacity <= 0:
+            raise TransactionError("commit_capacity must be positive")
+        self._threads = threads
+        self._log_records = log_capacity // REC_BYTES
+        self._log_bases = [
+            machine.persistent_heap.malloc(log_capacity)
+            for _ in range(threads)
+        ]
+        self._commit_capacity = commit_capacity
+        self._commit_base = machine.persistent_heap.malloc(
+            commit_capacity * REC_BYTES
+        )
+        self._commit_lock = make_lock(machine, lock_kind)
+        # Volatile cursors; persistent truth is the published kind words.
+        self._log_cursors = [0] * threads
+        self._commit_cursor = 0
+        self._next_txn_id = 1
+        self._open: Dict[int, Transaction] = {}
+
+    # -- record helpers ------------------------------------------------------
+
+    def _log_record_addr(self, thread: int, index: int) -> int:
+        return self._log_bases[thread] + index * REC_BYTES
+
+    def _commit_record_addr(self, index: int) -> int:
+        return self._commit_base + index * REC_BYTES
+
+    def _publish_record(
+        self,
+        ctx: ThreadContext,
+        record: int,
+        kind: int,
+        txn_id: int,
+        addr: int,
+        value: int,
+    ) -> OpGen:
+        yield from ctx.store(record + REC_TXN, txn_id)
+        yield from ctx.store(record + REC_ADDR, addr)
+        yield from ctx.store(record + REC_VALUE, value)
+        yield from ctx.persist_barrier()  # body before publication
+        yield from ctx.store(record + REC_KIND, kind)
+
+    # -- transaction lifecycle ----------------------------------------------
+
+    def begin(self, ctx: ThreadContext) -> OpGen:
+        """Open a transaction on this thread; returns its handle."""
+        if ctx.thread_id in self._open:
+            raise TransactionError(
+                f"thread {ctx.thread_id} already has an open transaction"
+            )
+        if ctx.thread_id >= self._threads:
+            raise TransactionError(
+                f"thread {ctx.thread_id} has no redo log (threads="
+                f"{self._threads})"
+            )
+        txn = Transaction(txn_id=self._next_txn_id, thread=ctx.thread_id)
+        self._next_txn_id += 1
+        self._open[ctx.thread_id] = txn
+        yield from ctx.new_strand()
+        return txn
+
+    def write(
+        self, ctx: ThreadContext, txn: Transaction, addr: int, value: int
+    ) -> OpGen:
+        """Stage a durable word write: logged now, applied at commit."""
+        self._check_open(ctx, txn)
+        thread = ctx.thread_id
+        index = self._log_cursors[thread]
+        if index >= self._log_records:
+            raise TransactionError(f"thread {thread} redo log is full")
+        yield from self._publish_record(
+            ctx,
+            self._log_record_addr(thread, index),
+            KIND_WRITE,
+            txn.txn_id,
+            addr,
+            value,
+        )
+        self._log_cursors[thread] = index + 1
+        txn.write_set[addr] = value
+        txn.records += 1
+
+    def read(self, ctx: ThreadContext, txn: Transaction, addr: int) -> OpGen:
+        """Read through the transaction (own staged writes win)."""
+        self._check_open(ctx, txn)
+        staged = txn.write_set.get(addr)
+        if staged is not None:
+            return staged
+        value = yield from ctx.load(addr)
+        return value
+
+    def commit(self, ctx: ThreadContext, txn: Transaction) -> OpGen:
+        """Make the transaction durable and apply it in place.
+
+        Returns the global commit sequence number (commit-log position).
+        A transaction is durable exactly when its commit record is; the
+        race-free commit-lock discipline guarantees durable commits form
+        a prefix of the sequence order.
+        """
+        self._check_open(ctx, txn)
+        yield from self._commit_lock.acquire(ctx)
+        yield from ctx.persist_barrier()  # race-free rule: after acquire
+        sequence = self._commit_cursor
+        if sequence >= self._commit_capacity:
+            yield from self._commit_lock.release(ctx)
+            raise TransactionError("commit log is full")
+        yield from self._publish_record(
+            ctx,
+            self._commit_record_addr(sequence),
+            KIND_COMMIT,
+            txn.txn_id,
+            ctx.thread_id,
+            sequence,
+        )
+        self._commit_cursor = sequence + 1
+        yield from ctx.persist_barrier()  # race-free rule: before release
+        yield from self._commit_lock.release(ctx)
+        # In-place application, ordered after the commit record by the
+        # pre-release barrier (same thread).  Conflicting concurrent
+        # transactions need caller-side isolation (Kiln's split).
+        for addr, value in txn.write_set.items():
+            yield from ctx.store(addr, value)
+        yield from ctx.persist_barrier()
+        txn.closed = True
+        del self._open[ctx.thread_id]
+        yield from ctx.mark("txn:commit")
+        return sequence
+
+    def abort(self, ctx: ThreadContext, txn: Transaction) -> OpGen:
+        """Drop the transaction; its redo records stay unreferenced."""
+        self._check_open(ctx, txn)
+        txn.closed = True
+        del self._open[ctx.thread_id]
+        yield from ctx.mark("txn:abort")
+
+    def _check_open(self, ctx: ThreadContext, txn: Transaction) -> None:
+        if txn.closed or self._open.get(ctx.thread_id) is not txn:
+            raise TransactionError(
+                f"transaction {txn.txn_id} is not open on thread "
+                f"{ctx.thread_id}"
+            )
+
+    # -- recovery ---------------------------------------------------------
+
+    def recover(self, image: NvramImage) -> "RecoveredState":
+        """Replay committed transactions from a failure-state image."""
+        # Collect every thread's published redo records by transaction.
+        writes_by_txn: Dict[int, List[Tuple[int, int]]] = {}
+        for thread in range(self._threads):
+            for index in range(self._log_records):
+                record = self._log_record_addr(thread, index)
+                kind = image.read(record + REC_KIND, 8)
+                if kind == 0:
+                    break
+                if kind != KIND_WRITE:
+                    raise RecoveryError(
+                        f"thread {thread} redo record {index} has bad "
+                        f"kind {kind}"
+                    )
+                txn_id = image.read(record + REC_TXN, 8)
+                writes_by_txn.setdefault(txn_id, []).append(
+                    (
+                        image.read(record + REC_ADDR, 8),
+                        image.read(record + REC_VALUE, 8),
+                    )
+                )
+        # Walk the commit log in order; stop at the first unpublished slot
+        # (the race-free discipline makes later slots unpublished too).
+        replayed = image.copy()
+        committed: List[int] = []
+        for sequence in range(self._commit_capacity):
+            record = self._commit_record_addr(sequence)
+            kind = image.read(record + REC_KIND, 8)
+            if kind == 0:
+                break
+            if kind != KIND_COMMIT:
+                raise RecoveryError(
+                    f"commit record {sequence} has bad kind {kind}"
+                )
+            if image.read(record + REC_VALUE, 8) != sequence:
+                raise RecoveryError(
+                    f"commit record {sequence} carries wrong sequence"
+                )
+            txn_id = image.read(record + REC_TXN, 8)
+            committed.append(txn_id)
+            for addr, value in writes_by_txn.get(txn_id, []):
+                replayed.apply_persist(
+                    addr, value.to_bytes(layout.WORD_SIZE, "little")
+                )
+        return RecoveredState(image=replayed, committed_txn_ids=committed)
+
+
+@dataclass
+class RecoveredState:
+    """Durable state after redo replay."""
+
+    image: NvramImage
+    committed_txn_ids: List[int]
+
+    def read(self, addr: int, size: int = layout.WORD_SIZE) -> int:
+        """Read a post-replay durable value."""
+        return self.image.read(addr, size)

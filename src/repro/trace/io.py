@@ -1,0 +1,85 @@
+"""Trace serialization: JSON-lines with a meta header record.
+
+The format is line-oriented so traces can be streamed and diffed.  The
+first line is ``{"meta": {...}}``; every following line is one event with
+defaulted fields omitted.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Union
+
+from repro.errors import TraceError
+from repro.trace.events import OPTIONAL_FIELDS, EventKind, MemoryEvent
+from repro.trace.trace import Trace
+
+_PathLike = Union[str, Path]
+
+
+def event_to_record(event: MemoryEvent) -> dict:
+    """Convert an event to a compact JSON-serializable dict."""
+    record: dict = {
+        "seq": event.seq,
+        "thread": event.thread,
+        "kind": event.kind.value,
+    }
+    for name, default in OPTIONAL_FIELDS:
+        value = getattr(event, name)
+        if value != default:
+            record[name] = value
+    return record
+
+
+def event_from_record(record: dict) -> MemoryEvent:
+    """Rebuild an event from its JSON dict."""
+    try:
+        kind = EventKind(record["kind"])
+        fields = {name: record.get(name, default) for name, default in OPTIONAL_FIELDS}
+        return MemoryEvent(
+            seq=record["seq"], thread=record["thread"], kind=kind, **fields
+        )
+    except (KeyError, ValueError) as exc:
+        raise TraceError(f"malformed event record {record!r}: {exc}") from exc
+
+
+def dump(trace: Trace, stream: IO[str]) -> None:
+    """Write a trace to an open text stream."""
+    stream.write(json.dumps({"meta": trace.meta}) + "\n")
+    for event in trace:
+        stream.write(json.dumps(event_to_record(event)) + "\n")
+
+
+def load(stream: IO[str]) -> Trace:
+    """Read a trace from an open text stream."""
+    header = stream.readline()
+    if not header:
+        raise TraceError("empty trace stream")
+    try:
+        meta = json.loads(header)["meta"]
+    except (json.JSONDecodeError, KeyError) as exc:
+        raise TraceError(f"malformed trace header: {exc}") from exc
+    trace = Trace(meta=meta)
+    for line in stream:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise TraceError(f"malformed trace line: {exc}") from exc
+        trace.append(event_from_record(record))
+    return trace
+
+
+def save_file(trace: Trace, path: _PathLike) -> None:
+    """Write a trace to ``path``."""
+    with open(path, "w", encoding="utf-8") as stream:
+        dump(trace, stream)
+
+
+def load_file(path: _PathLike) -> Trace:
+    """Read a trace from ``path``."""
+    with open(path, "r", encoding="utf-8") as stream:
+        return load(stream)

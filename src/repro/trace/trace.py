@@ -1,0 +1,122 @@
+"""Trace container and summary statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+from repro.errors import TraceError
+from repro.trace.events import EventKind, MemoryEvent
+
+
+@dataclass
+class TraceStats:
+    """Aggregate statistics over a trace."""
+
+    events: int
+    accesses: int
+    loads: int
+    stores: int
+    rmws: int
+    persists: int
+    persist_barriers: int
+    new_strands: int
+    threads: int
+    marks: Dict[str, int]
+
+    @property
+    def volatile_accesses(self) -> int:
+        """Accesses that are not persists (loads plus volatile stores)."""
+        return self.accesses - self.persists
+
+
+class Trace:
+    """An append-only sequence of :class:`MemoryEvent` in SC order.
+
+    Also carries free-form ``meta`` describing how the trace was produced
+    (program, thread count, scheduler seed, ...), which the harness uses
+    to label results.
+    """
+
+    def __init__(self, meta: Optional[Dict[str, object]] = None) -> None:
+        self._events: List[MemoryEvent] = []
+        self.meta: Dict[str, object] = dict(meta or {})
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[MemoryEvent]:
+        return iter(self._events)
+
+    def __getitem__(self, index: int) -> MemoryEvent:
+        return self._events[index]
+
+    @property
+    def events(self) -> List[MemoryEvent]:
+        """The underlying event list (not a copy; treat as read-only)."""
+        return self._events
+
+    def append(self, event: MemoryEvent) -> None:
+        """Append an event, enforcing dense ascending sequence numbers."""
+        if event.seq != len(self._events):
+            raise TraceError(
+                f"event seq {event.seq} out of order; expected "
+                f"{len(self._events)}"
+            )
+        self._events.append(event)
+
+    def extend(self, events: Iterator[MemoryEvent]) -> None:
+        """Append many events in order."""
+        for event in events:
+            self.append(event)
+
+    def thread_ids(self) -> List[int]:
+        """Sorted list of thread ids appearing in the trace."""
+        return sorted({event.thread for event in self._events})
+
+    def events_for_thread(self, thread: int) -> List[MemoryEvent]:
+        """All events issued by one thread, in program order."""
+        return [event for event in self._events if event.thread == thread]
+
+    def count_marks(self, info: str) -> int:
+        """Number of MARK events carrying exactly ``info``."""
+        return sum(
+            1
+            for event in self._events
+            if event.kind is EventKind.MARK and event.info == info
+        )
+
+    def stats(self) -> TraceStats:
+        """Compute aggregate statistics in one pass."""
+        loads = stores = rmws = persists = barriers = strands = 0
+        marks: Dict[str, int] = {}
+        threads = set()
+        for event in self._events:
+            threads.add(event.thread)
+            if event.kind is EventKind.LOAD:
+                loads += 1
+            elif event.kind is EventKind.STORE:
+                stores += 1
+            elif event.kind is EventKind.RMW:
+                rmws += 1
+            elif event.kind is EventKind.PERSIST_BARRIER:
+                barriers += 1
+            elif event.kind is EventKind.NEW_STRAND:
+                strands += 1
+            elif event.kind is EventKind.MARK:
+                marks[event.info] = marks.get(event.info, 0) + 1
+            if event.is_persist:
+                persists += 1
+        accesses = loads + stores + rmws
+        return TraceStats(
+            events=len(self._events),
+            accesses=accesses,
+            loads=loads,
+            stores=stores,
+            rmws=rmws,
+            persists=persists,
+            persist_barriers=barriers,
+            new_strands=strands,
+            threads=len(threads),
+            marks=marks,
+        )

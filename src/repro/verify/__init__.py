@@ -1,0 +1,21 @@
+"""Bounded model checking: exhaustive schedules x cuts verification."""
+
+from repro.verify.explore import (
+    ExplorationLimitError,
+    RecordingScheduler,
+    VerificationResult,
+    Violation,
+    count_schedules,
+    exhaustively_verify,
+    explore_schedules,
+)
+
+__all__ = [
+    "explore_schedules",
+    "count_schedules",
+    "exhaustively_verify",
+    "VerificationResult",
+    "Violation",
+    "RecordingScheduler",
+    "ExplorationLimitError",
+]

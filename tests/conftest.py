@@ -1,0 +1,44 @@
+"""Shared fixtures: session-scoped workloads reused across test modules."""
+
+import pytest
+
+from repro.harness import ExperimentRunner
+from repro.queue import run_insert_workload
+
+
+@pytest.fixture(scope="session")
+def cwl_1t():
+    """Single-thread Copy While Locked, race-free barriers."""
+    return run_insert_workload(
+        design="cwl", threads=1, inserts_per_thread=60, seed=11
+    )
+
+
+@pytest.fixture(scope="session")
+def cwl_4t():
+    """Four-thread Copy While Locked, race-free barriers."""
+    return run_insert_workload(
+        design="cwl", threads=4, inserts_per_thread=15, seed=12
+    )
+
+
+@pytest.fixture(scope="session")
+def cwl_4t_racing():
+    """Four-thread Copy While Locked, racing epochs variant."""
+    return run_insert_workload(
+        design="cwl", threads=4, inserts_per_thread=15, racing=True, seed=13
+    )
+
+
+@pytest.fixture(scope="session")
+def tlc_4t():
+    """Four-thread Two-Lock Concurrent (with the recovery-fix barrier)."""
+    return run_insert_workload(
+        design="2lc", threads=4, inserts_per_thread=15, seed=14
+    )
+
+
+@pytest.fixture(scope="session")
+def shared_runner():
+    """Small ExperimentRunner shared by harness tests."""
+    return ExperimentRunner(inserts_per_thread=40, base_seed=3)

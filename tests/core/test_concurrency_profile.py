@@ -1,0 +1,57 @@
+"""Tests for the persist concurrency profile (level histogram)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import AnalysisConfig, analyze, analyze_graph
+
+from tests.core.helpers import B, L, P, R, S, V, build
+from tests.core.test_cross_validation import _op, trace_from_script
+
+NO_COALESCE = AnalysisConfig(coalescing=False)
+
+
+class TestHistogram:
+    def test_chain_is_one_per_level(self):
+        trace = build(
+            [(0, S, P, 1), (0, B), (0, S, P + 64, 2), (0, B), (0, S, P + 128, 3)]
+        )
+        result = analyze(trace, "epoch")
+        assert result.level_histogram == {1: 1, 2: 1, 3: 1}
+        assert result.mean_concurrency == 1.0
+
+    def test_concurrent_persists_stack_on_level_one(self):
+        trace = build([(0, S, P + 64 * i, i + 1) for i in range(5)])
+        result = analyze(trace, "epoch")
+        assert result.level_histogram == {1: 5}
+        assert result.mean_concurrency == 5.0
+
+    def test_histogram_sums_to_persist_count(self, cwl_1t):
+        for model in ("strict", "epoch", "strand"):
+            result = analyze(cwl_1t.trace, model)
+            assert sum(result.level_histogram.values()) == result.persist_count
+            assert max(result.level_histogram) == result.critical_path
+
+    def test_relaxation_widens_waves(self, cwl_4t_racing):
+        """Relaxed models push persists into fewer, wider levels."""
+        strict = analyze(cwl_4t_racing.trace, "strict").mean_concurrency
+        epoch = analyze(cwl_4t_racing.trace, "epoch").mean_concurrency
+        strand = analyze(cwl_4t_racing.trace, "strand").mean_concurrency
+        assert strict < epoch < strand
+
+    def test_empty_trace(self):
+        result = analyze(build([(0, L, V, 0)]), "epoch")
+        assert result.level_histogram == {}
+        assert result.mean_concurrency == 0.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(_op, max_size=50))
+def test_histograms_agree_between_domains(script):
+    """With coalescing off, the scalar engine's level assignment matches
+    the DAG's longest-chain levels node for node."""
+    trace = trace_from_script(script)
+    for model in ("strict", "epoch", "strand"):
+        scalar = analyze(trace, model, NO_COALESCE)
+        graph = analyze_graph(trace, model)
+        assert scalar.level_histogram == graph.graph.level_histogram()

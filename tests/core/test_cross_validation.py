@@ -1,0 +1,164 @@
+"""Cross-validation: the scalar and graph engines must agree.
+
+With coalescing disabled the two dependency domains make identical
+decisions, so the scalar critical path must equal the longest path of the
+explicit DAG — on hand traces, real workloads, and hypothesis-generated
+random programs.  With coalescing enabled, the scalar (level-based) test
+is strictly more permissive than exact ancestry, which bounds the
+relationship instead of making it an equality.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import AnalysisConfig, analyze, analyze_graph
+
+from tests.core.helpers import B, L, NS, P, R, S, V, build
+
+MODELS = ("strict", "epoch", "bpfs", "strand")
+NO_COALESCE = AnalysisConfig(coalescing=False)
+
+
+def assert_domains_agree(trace, model):
+    scalar = analyze(trace, model, AnalysisConfig(coalescing=False))
+    graph = analyze_graph(trace, model)
+    assert scalar.critical_path == graph.graph.critical_path(), model
+    assert scalar.persist_count == graph.persist_count, model
+
+
+# Random-program strategy: a handful of threads issuing accesses over a
+# small pool of persistent and volatile words, with barriers and strands.
+_op = st.tuples(
+    st.integers(0, 2),  # thread
+    st.sampled_from([S, S, S, L, R, B, NS]),  # bias toward stores
+    st.integers(0, 5),  # address slot
+    st.booleans(),  # persistent?
+)
+
+
+def trace_from_script(script):
+    events = []
+    for thread, kind, slot, persistent in script:
+        if kind in (S, L, R):
+            base = P if persistent else V
+            events.append((thread, kind, base + 8 * slot, 1))
+        else:
+            events.append((thread, kind))
+    return build(events)
+
+
+class TestAgreementOnHandTraces:
+    @pytest.mark.parametrize("model", MODELS)
+    def test_chain(self, model):
+        trace = build(
+            [(0, S, P, 1), (0, B), (0, S, P + 64, 2), (0, B), (0, S, P, 3)]
+        )
+        assert_domains_agree(trace, model)
+
+    @pytest.mark.parametrize("model", MODELS)
+    def test_cross_thread(self, model):
+        trace = build(
+            [
+                (0, S, P, 1),
+                (0, B),
+                (0, S, V, 1),
+                (1, L, V, 1),
+                (1, B),
+                (1, S, P + 64, 2),
+                (1, NS),
+                (1, S, P, 5),
+            ]
+        )
+        assert_domains_agree(trace, model)
+
+
+class TestAgreementOnTsoTraces:
+    @pytest.mark.parametrize("model", MODELS)
+    def test_domains_agree_on_tso_memory_order(self, model):
+        """The engines consume memory-order traces; TSO machine output is
+        one, so cross-validation must hold there too."""
+        from repro.queue import run_insert_workload
+
+        workload = run_insert_workload(
+            design="cwl",
+            threads=2,
+            inserts_per_thread=8,
+            racing=True,
+            seed=41,
+            consistency="tso",
+        )
+        assert_domains_agree(workload.trace, model)
+
+
+class TestAgreementOnWorkloads:
+    @pytest.mark.parametrize("model", MODELS)
+    def test_cwl_single_thread(self, cwl_1t, model):
+        assert_domains_agree(cwl_1t.trace, model)
+
+    @pytest.mark.parametrize("model", MODELS)
+    def test_cwl_multithread(self, cwl_4t, model):
+        assert_domains_agree(cwl_4t.trace, model)
+
+    @pytest.mark.parametrize("model", MODELS)
+    def test_cwl_racing(self, cwl_4t_racing, model):
+        assert_domains_agree(cwl_4t_racing.trace, model)
+
+    @pytest.mark.parametrize("model", MODELS)
+    def test_tlc_multithread(self, tlc_4t, model):
+        assert_domains_agree(tlc_4t.trace, model)
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.lists(_op, max_size=60))
+def test_domains_agree_on_random_programs(script):
+    trace = trace_from_script(script)
+    for model in MODELS:
+        assert_domains_agree(trace, model)
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.lists(_op, max_size=60))
+def test_coalescing_bounds_on_random_programs(script):
+    """Coalescing only reduces persist counts and never lengthens the
+    critical path; the scalar test coalesces at least as much as exact
+    ancestry."""
+    trace = trace_from_script(script)
+    for model in MODELS:
+        loose = analyze(trace, model)
+        tight = analyze(trace, model, AnalysisConfig(coalescing=False))
+        assert loose.persist_count <= tight.persist_count
+        assert loose.critical_path <= tight.critical_path
+        exact = analyze_graph(trace, model, AnalysisConfig(coalescing=True))
+        assert loose.persist_count <= exact.persist_count
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.lists(_op, max_size=60))
+def test_strong_persist_atomicity_on_random_programs(script):
+    """Persists to the same word are totally ordered in every model's DAG
+    (the recovery observer's persist atomicity, Section 4.2)."""
+    trace = trace_from_script(script)
+    for model in MODELS:
+        graph = analyze_graph(trace, model).graph
+        by_block = {}
+        for node in graph.nodes:
+            by_block.setdefault(node.addr // 8, []).append(node.pid)
+        for pids in by_block.values():
+            for earlier, later in zip(pids, pids[1:]):
+                assert earlier in graph.ancestors(later)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(_op, max_size=60))
+def test_model_hierarchy_on_random_programs(script):
+    """Relaxation only removes constraints: strict >= epoch >= strand,
+    and epoch >= bpfs (BPFS tracks strictly fewer conflicts)."""
+    trace = trace_from_script(script)
+    results = {
+        model: analyze(trace, model, NO_COALESCE).critical_path
+        for model in MODELS
+    }
+    assert results["strict"] >= results["epoch"]
+    assert results["epoch"] >= results["strand"]
+    assert results["epoch"] >= results["bpfs"]

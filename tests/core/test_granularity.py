@@ -1,0 +1,150 @@
+"""Atomic-persist and tracking-granularity semantics (Figures 4 and 5)."""
+
+from repro.core import AnalysisConfig, analyze
+
+from tests.core.helpers import B, L, P, S, V, build
+
+
+def cp(trace, model, **config):
+    return analyze(trace, model, AnalysisConfig(**config)).critical_path
+
+
+class TestPersistGranularity:
+    def test_adjacent_words_serialise_at_word_granularity(self):
+        trace = build([(0, S, P, 1), (0, S, P + 8, 2)])
+        assert cp(trace, "strict", persist_granularity=8) == 2
+
+    def test_adjacent_words_coalesce_in_larger_blocks(self):
+        trace = build([(0, S, P, 1), (0, S, P + 8, 2)])
+        result = analyze(
+            trace, "strict", AnalysisConfig(persist_granularity=16)
+        )
+        assert result.critical_path == 1
+        assert result.persist_count == 1
+        assert result.coalesced == 1
+
+    def test_contiguous_run_collapses_to_one_persist_per_block(self):
+        trace = build([(0, S, P + 8 * i, i + 1) for i in range(8)])
+        for granularity, expected in ((8, 8), (16, 4), (32, 2), (64, 1)):
+            assert (
+                cp(trace, "strict", persist_granularity=granularity)
+                == expected
+            )
+
+    def test_coalescing_blocked_by_intervening_dependence(self):
+        # A in block0, C elsewhere (level 2 under strict), then A' back in
+        # block0 with deps level 2 > pending level 1: must not coalesce,
+        # and strong persist atomicity orders it after A.
+        trace = build([(0, S, P, 1), (0, S, P + 512, 2), (0, S, P + 8, 3)])
+        result = analyze(
+            trace, "strict", AnalysisConfig(persist_granularity=16)
+        )
+        assert result.coalesced == 0
+        assert result.critical_path == 3
+
+    def test_disabled_coalescing_forces_spa_chain(self):
+        trace = build([(0, S, P, 1), (0, S, P, 2), (0, S, P, 3)])
+        result = analyze(
+            trace, "epoch", AnalysisConfig(coalescing=False)
+        )
+        assert result.critical_path == 3
+        assert result.persist_count == 3
+
+    def test_epoch_insensitive_to_persist_granularity_within_epoch(self):
+        trace = build([(0, S, P + 8 * i, i + 1) for i in range(8)])
+        assert cp(trace, "epoch", persist_granularity=8) == 1
+        assert cp(trace, "epoch", persist_granularity=64) == 1
+
+
+class TestTrackingGranularity:
+    def test_false_sharing_introduces_constraint(self):
+        # t0 persists X; t1 loads the *adjacent* word then persists B
+        # after a barrier.  No conflict at 8-byte tracking; at 16 bytes
+        # the two words share a block and the load inherits X.
+        trace = build(
+            [
+                (0, S, P, 1),
+                (1, L, P + 8, 0),
+                (1, B),
+                (1, S, P + 1024, 2),
+            ]
+        )
+        assert cp(trace, "epoch", tracking_granularity=8) == 1
+        assert cp(trace, "epoch", tracking_granularity=16) == 2
+
+    def test_false_sharing_through_volatile_addresses(self):
+        trace = build(
+            [
+                (0, S, P, 1),
+                (0, B),
+                (0, S, V, 1),
+                (1, L, V + 8, 0),
+                (1, B),
+                (1, S, P + 1024, 2),
+            ]
+        )
+        assert cp(trace, "epoch", tracking_granularity=8) == 1
+        assert cp(trace, "epoch", tracking_granularity=16) == 2
+
+    def test_strict_insensitive_to_tracking_granularity_single_thread(self):
+        trace = build([(0, S, P + 64 * i, i + 1) for i in range(5)])
+        assert (
+            cp(trace, "strict", tracking_granularity=8)
+            == cp(trace, "strict", tracking_granularity=256)
+            == 5
+        )
+
+    def test_wide_tracking_does_not_create_self_constraints(self):
+        # A single access should never order after itself.
+        trace = build([(0, S, P, 1)])
+        assert cp(trace, "epoch", tracking_granularity=256) == 1
+
+
+class TestWorkloadSweeps:
+    def test_fig4_shape_on_real_trace(self, cwl_1t):
+        """Strict critical path falls monotonically with persist size and
+        approaches epoch's, which stays flat (Figure 4)."""
+        inserts = cwl_1t.total_inserts
+        strict = [
+            analyze(
+                cwl_1t.trace,
+                "strict",
+                AnalysisConfig(persist_granularity=g),
+            ).critical_path_per(inserts)
+            for g in (8, 64, 256)
+        ]
+        epoch = [
+            analyze(
+                cwl_1t.trace,
+                "epoch",
+                AnalysisConfig(persist_granularity=g),
+            ).critical_path_per(inserts)
+            for g in (8, 64, 256)
+        ]
+        assert strict[0] > strict[1] > strict[2]
+        assert epoch[0] == epoch[1] >= epoch[2] - 0.1
+        assert strict[2] < 2 * epoch[2] + 1
+
+    def test_fig5_shape_on_real_trace(self, cwl_1t):
+        """Epoch critical path rises with tracking granularity toward
+        strict, which is flat (Figure 5)."""
+        inserts = cwl_1t.total_inserts
+        strict = [
+            analyze(
+                cwl_1t.trace,
+                "strict",
+                AnalysisConfig(tracking_granularity=g),
+            ).critical_path_per(inserts)
+            for g in (8, 256)
+        ]
+        epoch = [
+            analyze(
+                cwl_1t.trace,
+                "epoch",
+                AnalysisConfig(tracking_granularity=g),
+            ).critical_path_per(inserts)
+            for g in (8, 64, 256)
+        ]
+        assert strict[0] == strict[1]
+        assert epoch[0] < epoch[1] < epoch[2]
+        assert epoch[2] > 0.5 * strict[0]

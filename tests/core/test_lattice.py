@@ -1,0 +1,156 @@
+"""Unit and property tests for the dependency-value domains."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import GraphDomain, LevelDomain
+from repro.trace import EventKind, make_access
+
+ADDR = 0x8000_0000
+
+
+def persist_event(seq, thread=0, addr=ADDR, value=1):
+    return make_access(seq, thread, EventKind.STORE, addr, 8, value, True)
+
+
+class TestLevelDomain:
+    def test_bottom_and_join(self):
+        domain = LevelDomain()
+        assert domain.bottom == 0
+        assert domain.join(3, 5) == 5
+        assert domain.join(5, 3) == 5
+
+    def test_persist_increments_level(self):
+        domain = LevelDomain()
+        first = domain.persist(0, persist_event(0))
+        second = domain.persist(first, persist_event(1))
+        assert (first, second) == (1, 2)
+        assert domain.critical_path() == 2
+        assert domain.persist_count == 2
+
+    def test_concurrent_persists_share_level(self):
+        domain = LevelDomain()
+        domain.persist(0, persist_event(0))
+        domain.persist(0, persist_event(1, addr=ADDR + 8))
+        assert domain.critical_path() == 1
+        assert domain.persist_count == 2
+
+    def test_leq(self):
+        domain = LevelDomain()
+        assert domain.leq(2, 2)
+        assert domain.leq(1, 2)
+        assert not domain.leq(3, 2)
+
+    def test_coalesce_is_silent(self):
+        domain = LevelDomain()
+        token = domain.persist(0, persist_event(0))
+        domain.coalesce(token, persist_event(1))
+        assert domain.persist_count == 1
+
+    def test_value_of_identity(self):
+        domain = LevelDomain()
+        token = domain.persist(4, persist_event(0))
+        assert domain.value_of(token) == token == 5
+
+
+class TestGraphDomain:
+    def test_persist_records_node(self):
+        domain = GraphDomain()
+        token = domain.persist(frozenset(), persist_event(0, value=0xAB))
+        node = domain.nodes[token]
+        assert node.writes == [(ADDR, (0xAB).to_bytes(8, "little"))]
+        assert node.deps == frozenset()
+        assert node.addr == ADDR
+
+    def test_dependency_closure_is_transitive(self):
+        domain = GraphDomain()
+        a = domain.persist(frozenset(), persist_event(0))
+        b = domain.persist(domain.value_of(a), persist_event(1))
+        c = domain.persist(domain.value_of(b), persist_event(2))
+        assert domain.ancestors(c) == {a, b}
+
+    def test_join_prunes_dominated(self):
+        domain = GraphDomain()
+        a = domain.persist(frozenset(), persist_event(0))
+        b = domain.persist(domain.value_of(a), persist_event(1))
+        joined = domain.join(domain.value_of(a), domain.value_of(b))
+        assert joined == frozenset({b})
+
+    def test_join_keeps_incomparable(self):
+        domain = GraphDomain()
+        a = domain.persist(frozenset(), persist_event(0))
+        b = domain.persist(frozenset(), persist_event(1, addr=ADDR + 8))
+        joined = domain.join(domain.value_of(a), domain.value_of(b))
+        assert joined == frozenset({a, b})
+
+    def test_leq_uses_ancestry(self):
+        domain = GraphDomain()
+        a = domain.persist(frozenset(), persist_event(0))
+        b = domain.persist(domain.value_of(a), persist_event(1))
+        unrelated = domain.persist(frozenset(), persist_event(2, addr=ADDR + 8))
+        assert domain.leq(frozenset({a}), b)
+        assert domain.leq(frozenset({b}), b)
+        assert not domain.leq(frozenset({unrelated}), b)
+        assert domain.leq(frozenset(), b)
+
+    def test_coalesce_appends_write(self):
+        domain = GraphDomain()
+        token = domain.persist(frozenset(), persist_event(0, value=1))
+        domain.coalesce(token, persist_event(1, addr=ADDR, value=2))
+        assert len(domain.nodes[token].writes) == 2
+        assert domain.persist_count == 1
+
+    def test_levels_and_critical_path(self):
+        domain = GraphDomain()
+        a = domain.persist(frozenset(), persist_event(0))
+        b = domain.persist(frozenset(), persist_event(1, addr=ADDR + 8))
+        c = domain.persist(frozenset({a, b}), persist_event(2, addr=ADDR + 16))
+        assert domain.levels() == [1, 1, 2]
+        assert domain.critical_path() == 2
+        assert domain.edge_count() == 2
+
+    def test_empty_graph(self):
+        domain = GraphDomain()
+        assert domain.critical_path() == 0
+        assert domain.levels() == []
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(0, 100), min_size=3, max_size=3))
+def test_level_join_is_semilattice(values):
+    domain = LevelDomain()
+    a, b, c = values
+    assert domain.join(a, b) == domain.join(b, a)
+    assert domain.join(a, domain.join(b, c)) == domain.join(domain.join(a, b), c)
+    assert domain.join(a, a) == a
+    assert domain.join(a, domain.bottom) == a
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(st.booleans(), st.integers(0, 4)), min_size=1, max_size=12))
+def test_graph_join_properties_on_random_dags(script):
+    """Build a random DAG, then check join laws on node frontier values."""
+    domain = GraphDomain()
+    values = [frozenset()]
+    for chain_from_last, pick in script:
+        if chain_from_last and domain.nodes:
+            deps = domain.value_of(len(domain.nodes) - 1)
+        elif domain.nodes:
+            deps = domain.value_of(pick % len(domain.nodes))
+        else:
+            deps = frozenset()
+        token = domain.persist(deps, persist_event(len(domain.nodes)))
+        values.append(domain.value_of(token))
+    for a in values:
+        for b in values:
+            joined = domain.join(a, b)
+            assert domain.join(a, b) == domain.join(b, a)
+            assert domain.join(joined, joined) == joined
+            # Pruning must never lose constraints: every member of a and
+            # b is either kept or dominated by a kept member.
+            kept_closure = set(joined)
+            for pid in joined:
+                kept_closure |= domain.ancestors(pid)
+            for pid in a | b:
+                assert pid in kept_closure

@@ -1,0 +1,124 @@
+"""Model-equivalence theorems from the paper, checked on random programs.
+
+Section 5.2: "The persist behavior of strict persistency can be achieved
+by preceding and following all persists with a persist barrier" — i.e.,
+epoch persistency over a barrier-saturated program equals strict
+persistency over the original.
+
+Section 5.3: strand persistency without any ``NEWSTRAND`` annotations
+degenerates to epoch persistency (the strand hooks never fire).
+
+Both hold exactly, for every program — hypothesis searches for
+counterexamples.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import AnalysisConfig, analyze
+from repro.trace import EventKind, MemoryEvent, Trace
+
+from tests.core.helpers import B, L, NS, P, R, S, V, build
+
+_op = st.tuples(
+    st.integers(0, 2),
+    st.sampled_from([S, S, S, L, R, B]),
+    st.integers(0, 5),
+    st.booleans(),
+)
+
+
+def random_trace(script, with_strands=False):
+    events = []
+    for thread, kind, slot, persistent in script:
+        if kind in (S, L, R):
+            base = P if persistent else V
+            events.append((thread, kind, base + 8 * slot, 1))
+        else:
+            events.append((thread, kind))
+            if with_strands:
+                events.append((thread, NS))
+    return build(events)
+
+
+def saturate_with_barriers(trace):
+    """Insert a persist barrier around every access, preserving order."""
+    saturated = Trace()
+    seq = 0
+
+    def emit(thread, kind, source=None):
+        nonlocal seq
+        if source is None:
+            saturated.append(MemoryEvent(seq=seq, thread=thread, kind=kind))
+        else:
+            saturated.append(
+                MemoryEvent(
+                    seq=seq,
+                    thread=source.thread,
+                    kind=source.kind,
+                    addr=source.addr,
+                    size=source.size,
+                    value=source.value,
+                    persistent=source.persistent,
+                    sync=source.sync,
+                )
+            )
+        seq += 1
+
+    for event in trace:
+        if event.is_access:
+            emit(event.thread, EventKind.PERSIST_BARRIER)
+            emit(event.thread, event.kind, source=event)
+            emit(event.thread, EventKind.PERSIST_BARRIER)
+        elif event.kind is not EventKind.PERSIST_BARRIER:
+            emit(event.thread, event.kind)
+    return saturated
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.lists(_op, max_size=50))
+def test_barrier_saturated_epoch_equals_strict(script):
+    trace = random_trace(script)
+    saturated = saturate_with_barriers(trace)
+    for coalescing in (True, False):
+        config = AnalysisConfig(coalescing=coalescing)
+        strict = analyze(trace, "strict", config)
+        epoch = analyze(saturated, "epoch", config)
+        assert strict.critical_path == epoch.critical_path
+        assert strict.persist_count == epoch.persist_count
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.lists(_op, max_size=50))
+def test_strand_without_new_strand_equals_epoch(script):
+    trace = random_trace(script, with_strands=False)
+    for coalescing in (True, False):
+        config = AnalysisConfig(coalescing=coalescing)
+        epoch = analyze(trace, "epoch", config)
+        strand = analyze(trace, "strand", config)
+        assert epoch.critical_path == strand.critical_path
+        assert epoch.coalesced == strand.coalesced
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.lists(_op, max_size=50))
+def test_new_strand_after_every_barrier_only_weakens(script):
+    """Adding strand annotations never increases the critical path."""
+    plain = random_trace(script, with_strands=False)
+    stranded = random_trace(script, with_strands=True)
+    plain_cp = analyze(plain, "strand").critical_path
+    stranded_cp = analyze(stranded, "strand").critical_path
+    assert stranded_cp <= plain_cp
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.lists(_op, max_size=40))
+def test_barriers_only_strengthen_epoch(script):
+    """Saturating a program with barriers never shortens its epoch-model
+    critical path (barriers only add constraints)."""
+    trace = random_trace(script)
+    saturated = saturate_with_barriers(trace)
+    config = AnalysisConfig(coalescing=False)
+    base = analyze(trace, "epoch", config).critical_path
+    stronger = analyze(saturated, "epoch", config).critical_path
+    assert stronger >= base

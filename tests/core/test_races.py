@@ -1,0 +1,193 @@
+"""Tests for persist-epoch race detection (paper Section 5.2)."""
+
+from repro.core import (
+    analyze_races,
+    find_data_races,
+    find_persist_epoch_races,
+    is_race_free,
+    split_epochs,
+)
+
+from tests.core.helpers import B, L, P, R, S, V, build
+
+
+class TestSplitEpochs:
+    def test_barriers_delimit_epochs(self):
+        trace = build(
+            [(0, S, P, 1), (0, B), (0, S, P + 8, 2), (0, B), (0, L, V, 0)]
+        )
+        epochs = split_epochs(trace)
+        assert [(e.thread, e.index) for e in epochs] == [(0, 0), (0, 1), (0, 2)]
+        assert [e.persists for e in epochs] == [1, 1, 0]
+
+    def test_footprints_recorded(self):
+        trace = build([(0, S, P, 1), (0, L, V, 0)])
+        (epoch,) = split_epochs(trace)
+        assert P // 8 in epoch.writes
+        assert V // 8 in epoch.reads
+
+    def test_sync_accesses_counted(self):
+        trace = build([(0, R, V, 1, True), (0, S, P, 1)])
+        (epoch,) = split_epochs(trace)
+        assert epoch.sync_accesses == 1
+
+    def test_threads_tracked_independently(self):
+        trace = build([(0, S, P, 1), (1, S, P + 64, 2), (0, B), (1, B)])
+        epochs = split_epochs(trace)
+        assert {e.thread for e in epochs} == {0, 1}
+
+    def test_open_epochs_closed_at_end(self):
+        trace = build([(0, S, P, 1)])
+        assert len(split_epochs(trace)) == 1
+
+    def test_granularity_coarsens_footprints(self):
+        trace = build([(0, S, P, 1), (0, S, P + 8, 2)])
+        (fine,) = split_epochs(trace, tracking_granularity=8)
+        (coarse,) = split_epochs(trace, tracking_granularity=64)
+        assert len(fine.writes) == 2
+        assert len(coarse.writes) == 1
+
+
+class TestDataRaces:
+    def test_unsynchronized_flag_is_a_data_race(self):
+        trace = build(
+            [
+                (0, S, P, 1),
+                (0, S, V, 1),       # ordinary volatile write, no sync
+                (1, L, V, 1),       # ordinary read: data race
+                (1, S, P + 64, 2),
+            ]
+        )
+        races = find_data_races(trace)
+        assert len(races) == 1
+        assert races[0].block == V // 8
+        assert races[0].kind == "data"
+        assert "race" in races[0].describe()
+
+    def test_sync_edges_order_ordinary_accesses(self):
+        """Message passing through a sync flag: the payload handoff is
+        happens-before ordered, so no data race."""
+        trace = build(
+            [
+                (0, S, V + 64, 7),       # payload (ordinary)
+                (0, S, V, 1, True),      # sync release
+                (1, L, V, 1, True),      # sync acquire
+                (1, L, V + 64, 7),       # payload read: HB-ordered
+            ]
+        )
+        assert find_data_races(trace) == []
+
+    def test_write_write_race(self):
+        trace = build([(0, S, V, 1), (1, S, V, 2)])
+        assert len(find_data_races(trace)) == 1
+
+    def test_read_read_is_not_a_race(self):
+        trace = build([(0, L, V, 0), (1, L, V, 0)])
+        assert find_data_races(trace) == []
+
+    def test_same_thread_never_races(self):
+        trace = build([(0, S, V, 1), (0, L, V, 1), (0, S, V, 2)])
+        assert find_data_races(trace) == []
+
+    def test_load_before_store_race_detected(self):
+        trace = build([(0, L, V, 0), (1, S, V, 1)])
+        assert len(find_data_races(trace)) == 1
+
+
+class TestSyncRaces:
+    def test_contending_sync_accesses_reported(self):
+        trace = build(
+            [(0, R, V, 1, True), (1, R, V, 2, True)]
+        )
+        report = analyze_races(trace)
+        sync_pairs = [p for p in report.pairs if p.kind == "sync"]
+        assert len(sync_pairs) == 1
+
+    def test_sync_races_not_in_data_report(self):
+        trace = build([(0, R, V, 1, True), (1, R, V, 2, True)])
+        assert find_data_races(trace) == []
+
+
+class TestPersistEpochRaces:
+    def test_racing_persisting_epochs_flagged(self):
+        trace = build(
+            [
+                (0, S, P, 1),       # persist in the epoch
+                (0, S, V, 1),       # unsynchronized flag
+                (1, L, V, 1),
+                (1, S, P + 64, 2),  # persist in the racing epoch
+            ]
+        )
+        races = find_persist_epoch_races(trace)
+        assert len(races) == 1
+
+    def test_persist_free_epoch_does_not_count(self):
+        trace = build(
+            [
+                (0, S, V, 1),       # volatile-only epoch (no persist)
+                (1, L, V, 1),
+                (1, S, P + 64, 2),
+            ]
+        )
+        assert find_persist_epoch_races(trace) == []
+
+    def test_paper_discipline_isolates_lock_accesses(self):
+        """Barriers around sync accesses put them in persist-free epochs:
+        sync races exist but no persist-epoch race remains."""
+        trace = build(
+            [
+                (0, S, P, 1),
+                (0, B),
+                (0, R, V, 1, True),   # "lock" access in its own epoch
+                (0, B),
+                (1, B),
+                (1, R, V, 2, True),
+                (1, B),
+                (1, S, P + 64, 2),
+            ]
+        )
+        report = analyze_races(trace)
+        assert any(p.kind == "sync" for p in report.pairs)
+        assert report.persist_epoch_races() == []
+        assert is_race_free(trace)
+
+    def test_sync_sharing_epoch_with_persists_races(self):
+        """The racing-epochs pattern: lock accesses and persists in one
+        epoch on both threads."""
+        trace = build(
+            [
+                (0, R, V, 1, True),
+                (0, S, P, 1),
+                (1, R, V, 2, True),
+                (1, S, P + 64, 2),
+            ]
+        )
+        races = find_persist_epoch_races(trace)
+        assert races and all(p.kind == "sync" for p in races)
+
+
+class TestQueueDiscipline:
+    def test_race_free_cwl_is_clean(self, cwl_4t):
+        """CWL with barriers around the lock follows the paper's
+        discipline: no persist-epoch races."""
+        assert is_race_free(cwl_4t.trace)
+
+    def test_racing_cwl_has_persist_epoch_races(self, cwl_4t_racing):
+        """Removing the lock barriers is exactly the paper's 'Racing
+        Epochs' configuration."""
+        assert find_persist_epoch_races(cwl_4t_racing.trace)
+
+    def test_tlc_races_by_design(self, tlc_4t):
+        """2LC's reserve lock shares an epoch with the data copy, so it
+        intentionally embraces persist-epoch races (Table 1 shows its
+        Epoch and Racing Epochs columns identical)."""
+        assert find_persist_epoch_races(tlc_4t.trace)
+
+    def test_single_thread_cannot_race(self, cwl_1t):
+        assert is_race_free(cwl_1t.trace)
+
+    def test_queue_traces_have_no_data_races(self, cwl_4t, tlc_4t):
+        """Both designs are properly locked: ordinary accesses never race
+        — persist-epoch races come only from lock contention."""
+        assert find_data_races(cwl_4t.trace) == []
+        assert find_data_races(tlc_4t.trace) == []

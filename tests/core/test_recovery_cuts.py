@@ -1,0 +1,175 @@
+"""Tests for the recovery observer: cuts and failure-state images."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    FailureInjector,
+    GraphDomain,
+    analyze_graph,
+    enumerate_cuts,
+    full_cut,
+    image_at_cut,
+    is_consistent_cut,
+    linear_extension_cut,
+    minimal_cut,
+    prefix_cut,
+    sample_cut,
+)
+from repro.errors import RecoveryError
+from repro.memory import NvramImage
+from repro.trace import EventKind, make_access
+
+from tests.core.helpers import B, P, S, build
+
+
+def diamond_graph():
+    """a -> {b, c} -> d: the classic four-node diamond."""
+    domain = GraphDomain()
+
+    def persist(deps, addr):
+        event = make_access(
+            len(domain.nodes), 0, EventKind.STORE, addr, 8, addr % 251, True
+        )
+        return domain.persist(deps, event)
+
+    a = persist(frozenset(), P)
+    b = persist(frozenset({a}), P + 8)
+    c = persist(frozenset({a}), P + 16)
+    d = persist(frozenset({b, c}), P + 24)
+    return domain, (a, b, c, d)
+
+
+class TestCutPredicates:
+    def test_downward_closed_cuts_accepted(self):
+        graph, (a, b, c, d) = diamond_graph()
+        for cut in ([], [a], [a, b], [a, c], [a, b, c], [a, b, c, d]):
+            assert is_consistent_cut(graph, cut)
+
+    def test_gapped_cuts_rejected(self):
+        graph, (a, b, c, d) = diamond_graph()
+        for cut in ([b], [d], [a, d], [a, b, d]):
+            assert not is_consistent_cut(graph, cut)
+
+    def test_unknown_pid_rejected(self):
+        graph, _ = diamond_graph()
+        assert not is_consistent_cut(graph, [99])
+
+
+class TestCutConstructors:
+    def test_full_and_prefix(self):
+        graph, nodes = diamond_graph()
+        assert full_cut(graph) == frozenset(nodes)
+        assert prefix_cut(graph, 2) == frozenset(nodes[:2])
+        assert is_consistent_cut(graph, prefix_cut(graph, 3))
+        with pytest.raises(RecoveryError):
+            prefix_cut(graph, 9)
+
+    def test_minimal_cut(self):
+        graph, (a, b, c, d) = diamond_graph()
+        assert minimal_cut(graph, a) == {a}
+        assert minimal_cut(graph, b) == {a, b}
+        assert minimal_cut(graph, d) == {a, b, c, d}
+        with pytest.raises(RecoveryError):
+            minimal_cut(graph, 42)
+
+    def test_sample_cuts_always_consistent(self):
+        graph, _ = diamond_graph()
+        rng = random.Random(0)
+        for _ in range(50):
+            assert is_consistent_cut(graph, sample_cut(graph, rng, 0.5))
+
+    def test_sample_extremes(self):
+        graph, _ = diamond_graph()
+        rng = random.Random(0)
+        assert sample_cut(graph, rng, 0.0) == frozenset()
+        assert sample_cut(graph, rng, 1.0) == full_cut(graph)
+
+    def test_linear_extension_cuts_consistent(self):
+        graph, _ = diamond_graph()
+        rng = random.Random(3)
+        sizes = set()
+        for _ in range(100):
+            cut = linear_extension_cut(graph, rng)
+            assert is_consistent_cut(graph, cut)
+            sizes.add(len(cut))
+        # Depth should vary across the whole range.
+        assert sizes == {0, 1, 2, 3, 4}
+
+    def test_linear_extension_reaches_sparse_deep_states(self):
+        """The extension sampler must produce {a, b} without c (or the
+        symmetric {a, c}) — the states plain sampling rarely reaches."""
+        graph, (a, b, c, _) = diamond_graph()
+        rng = random.Random(7)
+        seen = {frozenset(linear_extension_cut(graph, rng)) for _ in range(200)}
+        assert frozenset({a, b}) in seen or frozenset({a, c}) in seen
+
+
+class TestEnumeration:
+    def test_diamond_has_six_cuts(self):
+        graph, _ = diamond_graph()
+        cuts = list(enumerate_cuts(graph))
+        assert len(cuts) == 6  # {}, a, ab, ac, abc, abcd
+        assert len(set(cuts)) == 6
+        for cut in cuts:
+            assert is_consistent_cut(graph, cut)
+
+    def test_limit_enforced(self):
+        domain = GraphDomain()
+        for index in range(20):  # 20 independent persists: 2^20 cuts
+            event = make_access(
+                index, 0, EventKind.STORE, P + 64 * index, 8, 1, True
+            )
+            domain.persist(frozenset(), event)
+        with pytest.raises(RecoveryError):
+            list(enumerate_cuts(domain, limit=1000))
+
+
+class TestImages:
+    def test_image_reflects_cut_exactly(self):
+        graph, (a, b, c, d) = diamond_graph()
+        base = NvramImage(P, 4096)
+        image = image_at_cut(graph, {a, b}, base)
+        assert image.read(P, 8) == P % 251
+        assert image.read(P + 8, 8) == (P + 8) % 251
+        assert image.read(P + 16, 8) == 0  # c not included
+        assert image.read(P + 24, 8) == 0  # d not included
+        # Base image untouched.
+        assert base.read(P, 8) == 0
+
+    def test_inconsistent_cut_rejected(self):
+        graph, (a, b, c, d) = diamond_graph()
+        base = NvramImage(P, 4096)
+        with pytest.raises(RecoveryError):
+            image_at_cut(graph, {d}, base)
+
+    def test_full_cut_image_matches_final_memory(self, cwl_1t):
+        graph = analyze_graph(cwl_1t.trace, "epoch").graph
+        image = image_at_cut(graph, full_cut(graph), cwl_1t.base_image)
+        final = cwl_1t.machine.memory.region("persistent")
+        assert image.read_bytes(final.base, final.size) == bytes(final.data)
+
+
+class TestInjector:
+    def test_iterators_yield_consistent_cuts(self, cwl_1t):
+        graph = analyze_graph(cwl_1t.trace, "strand").graph
+        injector = FailureInjector(graph, cwl_1t.base_image)
+        assert injector.persist_count == len(graph.nodes)
+        for cut, image in injector.random_images(5, seed=1):
+            assert is_consistent_cut(graph, cut)
+            assert image.base == cwl_1t.base_image.base
+        for cut, _ in injector.prefix_images(step=100):
+            assert is_consistent_cut(graph, cut)
+        for cut, _ in injector.minimal_images(step=97):
+            assert is_consistent_cut(graph, cut)
+        for cut, _ in injector.extension_images(5, seed=2):
+            assert is_consistent_cut(graph, cut)
+
+    def test_bad_steps_rejected(self, cwl_1t):
+        graph = analyze_graph(cwl_1t.trace, "strand").graph
+        injector = FailureInjector(graph, cwl_1t.base_image)
+        with pytest.raises(RecoveryError):
+            list(injector.prefix_images(step=0))
+        with pytest.raises(RecoveryError):
+            list(injector.minimal_images(step=0))

@@ -1,0 +1,149 @@
+"""Tests for the buffered epoch-persistency hardware model."""
+
+import pytest
+
+from repro.core import analyze
+from repro.errors import AnalysisError
+from repro.harness import InstructionCostModel, PAPER_PERSIST_LATENCY
+from repro.hardware import EpochHardwareConfig, simulate_epoch_hardware
+
+from tests.core.helpers import B, L, P, S, V, build
+
+MODEL = InstructionCostModel(cycles_per_event=10, clock_hz=1e9)
+STEP = 10 / 1e9
+LATENCY = 1e-6
+
+
+def config(**kwargs):
+    kwargs.setdefault("persist_latency", LATENCY)
+    kwargs.setdefault("cost_model", MODEL)
+    return EpochHardwareConfig(**kwargs)
+
+
+class TestBasics:
+    def test_volatile_trace_runs_at_execution_speed(self):
+        trace = build([(0, S, V, 1), (0, L, V, 1), (0, S, V + 8, 2)])
+        result = simulate_epoch_hardware(trace, config())
+        assert result.total_time == pytest.approx(result.execution_time)
+        assert result.stall_time == 0.0
+        assert result.persists == 0
+
+    def test_single_epoch_drains_one_wave(self):
+        trace = build([(0, S, P, 1), (0, S, P + 64, 2), (0, B)])
+        result = simulate_epoch_hardware(trace, config())
+        # Two concurrent persists: one wave, draining from the close (the
+        # barrier's own execution step overlaps the drain).
+        assert result.epochs_drained == 1
+        assert result.total_time == pytest.approx(2 * STEP + LATENCY)
+
+    def test_same_block_chain_adds_waves(self):
+        trace = build([(0, S, P, 1), (0, S, P, 2), (0, S, P, 3), (0, B)])
+        result = simulate_epoch_hardware(trace, config())
+        assert result.total_time == pytest.approx(3 * STEP + 3 * LATENCY)
+
+    def test_epochs_drain_serially_per_thread(self):
+        trace = build(
+            [(0, S, P, 1), (0, B), (0, S, P + 64, 2), (0, B)]
+        )
+        result = simulate_epoch_hardware(
+            trace, config(buffer_epochs=8)
+        )
+        # Two epochs, one wave each, drains serialised: total ends at the
+        # second drain, which starts after the first completes.
+        assert result.total_time >= 2 * LATENCY
+        assert result.buffer_stall_time == 0.0
+
+    def test_config_validation(self):
+        with pytest.raises(AnalysisError):
+            EpochHardwareConfig(persist_latency=0).validate()
+        with pytest.raises(AnalysisError):
+            EpochHardwareConfig(buffer_epochs=0).validate()
+
+
+class TestBackPressure:
+    def test_shallow_buffer_stalls(self):
+        events = []
+        for i in range(12):
+            events.append((0, S, P + 64 * i, i + 1))
+            events.append((0, B))
+        trace = build(events)
+        shallow = simulate_epoch_hardware(trace, config(buffer_epochs=1))
+        deep = simulate_epoch_hardware(trace, config(buffer_epochs=64))
+        assert shallow.buffer_stall_time > 0.0
+        assert deep.buffer_stall_time == 0.0
+        assert shallow.total_time >= deep.total_time
+
+    def test_stall_time_monotone_in_depth(self):
+        events = []
+        for i in range(16):
+            events.append((0, S, P + 64 * i, i + 1))
+            events.append((0, B))
+        trace = build(events)
+        stalls = [
+            simulate_epoch_hardware(
+                trace, config(buffer_epochs=depth)
+            ).buffer_stall_time
+            for depth in (1, 2, 4, 16)
+        ]
+        assert all(a >= b for a, b in zip(stalls, stalls[1:]))
+
+
+class TestConflictFlush:
+    def test_cross_thread_access_waits_for_owner_epoch(self):
+        # t0 persists the block; t1 reads it before the epoch drained.
+        trace = build(
+            [
+                (0, S, P, 1),
+                (1, L, P, 1),
+                (1, S, P + 512, 2),
+            ]
+        )
+        result = simulate_epoch_hardware(trace, config())
+        assert result.conflict_stall_time > 0.0
+        # t1's read stalled for the flush: total includes the drain.
+        assert result.total_time > LATENCY
+
+    def test_own_epoch_access_does_not_flush(self):
+        trace = build([(0, S, P, 1), (0, L, P, 1)])
+        result = simulate_epoch_hardware(trace, config())
+        assert result.conflict_stall_time == 0.0
+
+    def test_drained_owner_does_not_stall(self):
+        # Barrier closes and (eventually) drains t0's epoch; if t1's
+        # access comes long after, the owner drained in background.
+        trace = build(
+            [
+                (0, S, P, 1),
+                (0, B),
+            ]
+            + [(1, S, V + 8 * i, i + 1) for i in range(200)]
+            + [(1, L, P, 1)]
+        )
+        result = simulate_epoch_hardware(trace, config())
+        assert result.conflict_stall_time == 0.0
+
+
+class TestAgainstSemanticBound:
+    def test_hardware_never_beats_the_constraint_bound(self, cwl_1t):
+        semantic = analyze(cwl_1t.trace, "epoch")
+        bound = semantic.critical_path * PAPER_PERSIST_LATENCY
+        result = simulate_epoch_hardware(
+            cwl_1t.trace,
+            EpochHardwareConfig(persist_latency=PAPER_PERSIST_LATENCY),
+            constraint_bound=bound,
+        )
+        assert result.total_time >= bound * 0.999
+        assert result.total_time >= result.execution_time * 0.999
+
+    def test_deeper_buffers_never_hurt(self, cwl_4t):
+        times = [
+            simulate_epoch_hardware(
+                cwl_4t.trace,
+                EpochHardwareConfig(
+                    persist_latency=PAPER_PERSIST_LATENCY,
+                    buffer_epochs=depth,
+                ),
+            ).total_time
+            for depth in (1, 4, 32)
+        ]
+        assert all(a >= b - 1e-12 for a, b in zip(times, times[1:]))

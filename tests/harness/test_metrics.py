@@ -1,0 +1,90 @@
+"""Tests for throughput metric arithmetic."""
+
+import math
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.harness import (
+    ThroughputPoint,
+    achievable_rate,
+    breakeven_latency,
+    normalized_throughput,
+    persist_bound_rate,
+)
+
+
+class TestPersistBoundRate:
+    def test_basic(self):
+        # 100 ops, critical path 200, 500 ns persists: 1 us/op -> 1M op/s.
+        assert persist_bound_rate(200, 100, 500e-9) == pytest.approx(1e6)
+
+    def test_zero_critical_path_is_unbounded(self):
+        assert math.isinf(persist_bound_rate(0, 100, 500e-9))
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(AnalysisError):
+            persist_bound_rate(10, 0, 500e-9)
+        with pytest.raises(AnalysisError):
+            persist_bound_rate(10, 100, 0)
+
+
+class TestNormalizedAndAchievable:
+    def test_normalized(self):
+        assert normalized_throughput(2e6, 4e6) == pytest.approx(0.5)
+        with pytest.raises(AnalysisError):
+            normalized_throughput(1.0, 0.0)
+
+    def test_achievable_is_min(self):
+        assert achievable_rate(2e6, 4e6) == 2e6
+        assert achievable_rate(5e6, 4e6) == 4e6
+
+
+class TestBreakeven:
+    def test_matches_definition(self):
+        # At the breakeven latency, persist rate equals instruction rate.
+        critical_path, operations, instr_rate = 1500, 100, 4e6
+        latency = breakeven_latency(critical_path, operations, instr_rate)
+        assert persist_bound_rate(
+            critical_path, operations, latency
+        ) == pytest.approx(instr_rate)
+
+    def test_zero_critical_path(self):
+        assert math.isinf(breakeven_latency(0, 100, 4e6))
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(AnalysisError):
+            breakeven_latency(10, 0, 4e6)
+
+
+class TestThroughputPoint:
+    def point(self, critical_path=1000, latency=500e-9):
+        return ThroughputPoint(
+            model="strict",
+            persist_latency=latency,
+            critical_path=critical_path,
+            operations=100,
+            instruction_rate=4e6,
+        )
+
+    def test_derived_quantities_consistent(self):
+        point = self.point()
+        assert point.critical_path_per_op == pytest.approx(10.0)
+        assert point.persist_rate == pytest.approx(100 / (1000 * 500e-9))
+        assert point.normalized == pytest.approx(point.persist_rate / 4e6)
+        assert point.achievable == min(point.persist_rate, 4e6)
+
+    def test_compute_bound_flag(self):
+        assert self.point(critical_path=1).compute_bound
+        assert not self.point(critical_path=100_000).compute_bound
+
+    def test_breakeven_splits_regimes(self):
+        point = self.point()
+        below = ThroughputPoint(
+            "strict", point.breakeven * 0.5, 1000, 100, 4e6
+        )
+        above = ThroughputPoint(
+            "strict", point.breakeven * 2.0, 1000, 100, 4e6
+        )
+        assert below.compute_bound
+        assert not above.compute_bound

@@ -1,0 +1,129 @@
+"""Tests for persist sync (paper Section 4.1) and schedule extraction."""
+
+import pytest
+
+from repro.core import analyze
+from repro.harness import InstructionCostModel
+from repro.nvramdev import (
+    BufferedStrictConfig,
+    buffered_strict_time,
+    schedule_from_trace,
+)
+from repro.sim import Machine, RoundRobinScheduler
+from repro.trace import EventKind, validate
+
+MODEL = InstructionCostModel(cycles_per_event=10, clock_hz=1e9)
+
+
+def run_program(body):
+    machine = Machine(scheduler=RoundRobinScheduler())
+    cell = machine.persistent_heap.malloc(256)
+    thread = machine.spawn(body, cell)
+    trace = machine.run()
+    validate(trace)
+    return machine, cell, trace, thread
+
+
+class TestPersistSyncEvent:
+    def test_context_emits_event(self):
+        def body(ctx, cell):
+            yield from ctx.store(cell, 1)
+            yield from ctx.persist_sync()
+
+        _, _, trace, _ = run_program(body)
+        kinds = [event.kind for event in trace]
+        assert EventKind.PERSIST_SYNC in kinds
+
+    def test_analyzers_ignore_persist_sync(self):
+        def with_sync(ctx, cell):
+            yield from ctx.store(cell, 1)
+            yield from ctx.persist_sync()
+            yield from ctx.store(cell + 64, 2)
+
+        def without_sync(ctx, cell):
+            yield from ctx.store(cell, 1)
+            yield from ctx.store(cell + 64, 2)
+
+        _, _, synced, _ = run_program(with_sync)
+        _, _, plain, _ = run_program(without_sync)
+        for model in ("strict", "epoch", "strand"):
+            assert (
+                analyze(synced, model).critical_path
+                == analyze(plain, model).critical_path
+            )
+
+    def test_roundtrips_through_serialization(self, tmp_path):
+        from repro.trace import load_file, save_file
+
+        def body(ctx, cell):
+            yield from ctx.persist_sync()
+
+        _, _, trace, _ = run_program(body)
+        path = tmp_path / "sync.jsonl"
+        save_file(trace, path)
+        assert any(
+            event.kind is EventKind.PERSIST_SYNC for event in load_file(path)
+        )
+
+
+class TestScheduleExtraction:
+    def test_counts_and_ordering(self):
+        def body(ctx, cell):
+            for i in range(4):
+                yield from ctx.store(cell + 8 * i, i + 1)
+            yield from ctx.persist_sync()
+            yield from ctx.store(cell + 64, 9)
+
+        _, _, trace, _ = run_program(body)
+        schedule = schedule_from_trace(trace, MODEL)
+        assert len(schedule.persist_times) == 5
+        assert len(schedule.sync_times) == 1
+        assert schedule.persist_times == sorted(schedule.persist_times)
+        # The sync falls between the fourth and fifth persists.
+        assert (
+            schedule.persist_times[3]
+            < schedule.sync_times[0]
+            < schedule.persist_times[4]
+        )
+        assert schedule.execution_time >= schedule.persist_times[-1]
+
+    def test_volatile_trace_has_empty_schedule(self):
+        machine = Machine()
+        cell = machine.volatile_heap.malloc(8)
+
+        def body(ctx):
+            yield from ctx.store(cell, 1)
+
+        machine.spawn(body)
+        trace = machine.run()
+        schedule = schedule_from_trace(trace, MODEL)
+        assert schedule.persist_times == []
+        assert schedule.execution_time > 0
+
+
+class TestSyncCostEndToEnd:
+    def test_sync_stalls_buffered_strict(self):
+        """The same program with and without persist syncs: syncs add
+        stall time in the buffered-strict timing model."""
+
+        def make_body(with_sync):
+            def body(ctx, cell):
+                for i in range(8):
+                    yield from ctx.store(cell + 8 * (i % 4), i + 1)
+                    if with_sync:
+                        yield from ctx.persist_sync()
+            return body
+
+        results = {}
+        for with_sync in (False, True):
+            _, _, trace, _ = run_program(make_body(with_sync))
+            schedule = schedule_from_trace(trace, MODEL)
+            results[with_sync] = buffered_strict_time(
+                schedule.persist_times,
+                schedule.execution_time,
+                BufferedStrictConfig(persist_latency=1e-6, depth=64),
+                sync_times=schedule.sync_times,
+            )
+        assert results[True].stall_time > results[False].stall_time
+        assert results[True].total_time > results[False].total_time
+        assert results[True].syncs == 8

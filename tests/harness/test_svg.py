@@ -1,0 +1,98 @@
+"""Tests for the dependency-free SVG chart writer."""
+
+import xml.etree.ElementTree as ElementTree
+
+import pytest
+
+from repro.harness import figure3_latency_sweep, figure4_persist_granularity
+from repro.harness.svg import render_line_chart
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def parse(svg_text):
+    return ElementTree.fromstring(svg_text)
+
+
+class TestRenderLineChart:
+    def sample(self, **kwargs):
+        return render_line_chart(
+            [
+                ("alpha", [(1.0, 1.0), (2.0, 4.0), (3.0, 9.0)]),
+                ("beta", [(1.0, 2.0), (2.0, 2.0), (3.0, 2.0)]),
+            ],
+            title="A <title> & more",
+            x_label="x",
+            y_label="y",
+            **kwargs,
+        )
+
+    def test_is_well_formed_xml(self):
+        root = parse(self.sample())
+        assert root.tag == f"{SVG_NS}svg"
+
+    def test_one_polyline_per_series(self):
+        root = parse(self.sample())
+        polylines = root.findall(f"{SVG_NS}polyline")
+        assert len(polylines) == 2
+        for polyline in polylines:
+            assert len(polyline.get("points").split()) == 3
+
+    def test_title_escaped(self):
+        text = self.sample()
+        assert "&lt;title&gt;" in text and "&amp;" in text
+
+    def test_legend_contains_series_names(self):
+        root = parse(self.sample())
+        labels = {t.text for t in root.findall(f"{SVG_NS}text")}
+        assert {"alpha", "beta"} <= labels
+
+    def test_log_axes(self):
+        text = render_line_chart(
+            [("s", [(1e-9, 1e3), (1e-6, 1e6), (1e-3, 1e9)])],
+            title="log",
+            x_label="x",
+            y_label="y",
+            log_x=True,
+            log_y=True,
+        )
+        parse(text)
+
+    def test_log_x_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            render_line_chart(
+                [("s", [(0.0, 1.0), (1.0, 2.0)])],
+                title="t",
+                x_label="x",
+                y_label="y",
+                log_x=True,
+            )
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            render_line_chart([("s", [])], title="t", x_label="x", y_label="y")
+
+    def test_constant_series_renders(self):
+        parse(
+            render_line_chart(
+                [("s", [(1.0, 5.0), (2.0, 5.0)])],
+                title="flat",
+                x_label="x",
+                y_label="y",
+            )
+        )
+
+
+class TestFigureToSvg:
+    def test_fig3_writes_log_chart(self, shared_runner, tmp_path):
+        figure = figure3_latency_sweep(shared_runner)
+        path = tmp_path / "fig3.svg"
+        figure.to_svg(path, log_y=True)
+        root = parse(path.read_text())
+        assert len(root.findall(f"{SVG_NS}polyline")) == 3
+
+    def test_fig4_auto_linear(self, shared_runner, tmp_path):
+        figure = figure4_persist_granularity(shared_runner)
+        path = tmp_path / "fig4.svg"
+        figure.to_svg(path)
+        assert path.read_text().startswith("<svg")

@@ -1,0 +1,143 @@
+"""Unit and property tests for the free-list allocator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidFreeError, OutOfMemoryError
+from repro.memory import FreeListAllocator
+
+
+@pytest.fixture
+def allocator():
+    return FreeListAllocator(0x1000, 64 * 1024)
+
+
+class TestMalloc:
+    def test_returns_aligned_addresses(self, allocator):
+        for _ in range(10):
+            addr = allocator.malloc(100)
+            assert addr % allocator.alignment == 0
+
+    def test_allocations_disjoint(self, allocator):
+        blocks = [(allocator.malloc(100), 128) for _ in range(20)]
+        for i, (a1, s1) in enumerate(blocks):
+            for a2, _ in blocks[i + 1 :]:
+                assert a2 >= a1 + s1 or a1 >= a2 + s1
+
+    def test_rounds_size_to_alignment(self, allocator):
+        addr = allocator.malloc(1)
+        assert allocator.live_allocations[addr] == allocator.alignment
+
+    def test_rejects_zero_size(self, allocator):
+        with pytest.raises(ValueError):
+            allocator.malloc(0)
+
+    def test_out_of_memory(self):
+        small = FreeListAllocator(0x1000, 256)
+        small.malloc(128)
+        with pytest.raises(OutOfMemoryError):
+            small.malloc(256)
+
+    def test_exhausts_then_recovers(self):
+        small = FreeListAllocator(0x1000, 256)
+        addr = small.malloc(256)
+        with pytest.raises(OutOfMemoryError):
+            small.malloc(64)
+        small.free(addr)
+        assert small.malloc(256) == addr
+
+
+class TestFree:
+    def test_free_returns_space(self, allocator):
+        before = allocator.bytes_free
+        addr = allocator.malloc(1000)
+        allocator.free(addr)
+        assert allocator.bytes_free == before
+
+    def test_double_free_rejected(self, allocator):
+        addr = allocator.malloc(64)
+        allocator.free(addr)
+        with pytest.raises(InvalidFreeError):
+            allocator.free(addr)
+
+    def test_free_of_interior_pointer_rejected(self, allocator):
+        addr = allocator.malloc(256)
+        with pytest.raises(InvalidFreeError):
+            allocator.free(addr + 64)
+
+    def test_coalescing_allows_large_realloc(self):
+        arena = FreeListAllocator(0x1000, 1024)
+        blocks = [arena.malloc(64) for _ in range(16)]
+        with pytest.raises(OutOfMemoryError):
+            arena.malloc(64)
+        for addr in blocks:
+            arena.free(addr)
+        # After freeing everything the arena must serve one maximal block.
+        assert arena.malloc(1024) == 0x1000
+
+    def test_allocation_containing(self, allocator):
+        addr = allocator.malloc(200)
+        assert allocator.allocation_containing(addr + 100) == (addr, 256)
+        with pytest.raises(InvalidFreeError):
+            allocator.allocation_containing(addr + 1024)
+
+
+class TestConstruction:
+    def test_unaligned_base_is_aligned_up(self):
+        arena = FreeListAllocator(0x1008, 4096)
+        addr = arena.malloc(64)
+        assert addr % 64 == 0
+        assert addr >= 0x1008
+
+    def test_bad_alignment_rejected(self):
+        with pytest.raises(ValueError):
+            FreeListAllocator(0x1000, 4096, alignment=48)
+
+    def test_tiny_arena_rejected(self):
+        with pytest.raises(ValueError):
+            FreeListAllocator(0x1001, 16)
+
+    def test_owns(self):
+        arena = FreeListAllocator(0x1000, 4096)
+        assert arena.owns(0x1000)
+        assert not arena.owns(0x10000)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.one_of(
+            st.tuples(st.just("malloc"), st.integers(1, 2000)),
+            st.tuples(st.just("free"), st.integers(0, 30)),
+        ),
+        max_size=120,
+    )
+)
+def test_allocator_invariants_hold_under_random_ops(operations):
+    """Random malloc/free sequences: blocks stay disjoint and accounted."""
+    arena = FreeListAllocator(0x4000, 32 * 1024)
+    total = arena.bytes_free
+    live = []
+    for op, value in operations:
+        if op == "malloc":
+            try:
+                live.append(arena.malloc(value))
+            except OutOfMemoryError:
+                pass
+        elif live:
+            arena.free(live.pop(value % len(live)))
+        # Invariant: free bytes + live bytes == arena size.
+        live_bytes = sum(arena.live_allocations.values())
+        assert arena.bytes_free + live_bytes == total
+        # Invariant: live blocks are disjoint and aligned.
+        spans = sorted(
+            (addr, addr + size) for addr, size in arena.live_allocations.items()
+        )
+        for (a_lo, a_hi), (b_lo, _) in zip(spans, spans[1:]):
+            assert a_hi <= b_lo
+        for addr in arena.live_allocations:
+            assert addr % arena.alignment == 0
+    for addr in live:
+        arena.free(addr)
+    assert arena.bytes_free == total

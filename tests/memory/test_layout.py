@@ -1,0 +1,119 @@
+"""Unit tests for address arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import MemoryAccessError
+from repro.memory import layout
+
+
+class TestAlignment:
+    def test_align_down(self):
+        assert layout.align_down(0, 8) == 0
+        assert layout.align_down(7, 8) == 0
+        assert layout.align_down(8, 8) == 8
+        assert layout.align_down(100, 64) == 64
+
+    def test_align_up(self):
+        assert layout.align_up(0, 8) == 0
+        assert layout.align_up(1, 8) == 8
+        assert layout.align_up(8, 8) == 8
+        assert layout.align_up(65, 64) == 128
+
+    def test_is_aligned(self):
+        assert layout.is_aligned(64, 64)
+        assert not layout.is_aligned(65, 64)
+
+    def test_is_power_of_two(self):
+        assert all(layout.is_power_of_two(1 << k) for k in range(12))
+        assert not layout.is_power_of_two(0)
+        assert not layout.is_power_of_two(-8)
+        assert not layout.is_power_of_two(24)
+
+    @given(st.integers(min_value=0, max_value=1 << 40),
+           st.sampled_from([1, 2, 4, 8, 64, 256]))
+    def test_align_roundtrip(self, addr, gran):
+        down = layout.align_down(addr, gran)
+        up = layout.align_up(addr, gran)
+        assert down <= addr <= up
+        assert down % gran == 0 and up % gran == 0
+        assert up - down in (0, gran)
+
+
+class TestBlocks:
+    def test_block_of(self):
+        assert layout.block_of(0, 8) == 0
+        assert layout.block_of(7, 8) == 0
+        assert layout.block_of(8, 8) == 1
+
+    def test_block_range_single(self):
+        assert layout.block_range(16, 8, 8) == (2, 2)
+
+    def test_block_range_spanning(self):
+        assert layout.block_range(60, 8, 64) == (0, 1)
+
+    def test_block_range_rejects_empty(self):
+        with pytest.raises(MemoryAccessError):
+            layout.block_range(0, 0, 8)
+
+    def test_blocks_spanned(self):
+        assert list(layout.blocks_spanned(0, 24, 8)) == [0, 1, 2]
+
+    @given(st.integers(min_value=0, max_value=1 << 30),
+           st.integers(min_value=1, max_value=512),
+           st.sampled_from([8, 16, 64, 256]))
+    def test_blocks_cover_range(self, addr, size, gran):
+        blocks = list(layout.blocks_spanned(addr, size, gran))
+        for offset in range(size):
+            assert (addr + offset) // gran in blocks
+        assert blocks == sorted(set(blocks))
+
+
+class TestValidateAccess:
+    def test_accepts_aligned_word(self):
+        layout.validate_access(0x1000, 8)
+
+    def test_accepts_subword(self):
+        layout.validate_access(0x1004, 4)
+
+    def test_rejects_word_crossing(self):
+        with pytest.raises(MemoryAccessError):
+            layout.validate_access(0x1004, 8)
+
+    def test_rejects_oversized(self):
+        with pytest.raises(MemoryAccessError):
+            layout.validate_access(0x1000, 16)
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(MemoryAccessError):
+            layout.validate_access(0x1000, 0)
+
+    def test_rejects_negative_address(self):
+        with pytest.raises(MemoryAccessError):
+            layout.validate_access(-8, 8)
+
+
+class TestWordsCovering:
+    def test_aligned_multiple(self):
+        pieces = list(layout.words_covering(0x1000, 24))
+        assert pieces == [(0x1000, 8), (0x1008, 8), (0x1010, 8)]
+
+    def test_unaligned_start(self):
+        pieces = list(layout.words_covering(0x1004, 8))
+        assert pieces == [(0x1004, 4), (0x1008, 4)]
+
+    def test_tail_fragment(self):
+        pieces = list(layout.words_covering(0x1000, 12))
+        assert pieces == [(0x1000, 8), (0x1008, 4)]
+
+    @given(st.integers(min_value=0, max_value=1 << 20),
+           st.integers(min_value=1, max_value=300))
+    def test_pieces_are_valid_and_exhaustive(self, addr, size):
+        pieces = list(layout.words_covering(addr, size))
+        for piece_addr, piece_size in pieces:
+            layout.validate_access(piece_addr, piece_size)
+        assert sum(piece for _, piece in pieces) == size
+        assert pieces[0][0] == addr
+        for (a1, s1), (a2, _) in zip(pieces, pieces[1:]):
+            assert a1 + s1 == a2

@@ -1,0 +1,198 @@
+"""Functional tests for the CWL and 2LC queue designs."""
+
+import pytest
+
+from repro.memory import NvramImage
+from repro.queue import (
+    QueueFullError,
+    allocate_queue,
+    make_cwl,
+    make_tlc,
+    padded_entry,
+    recover_entries,
+    run_insert_workload,
+)
+from repro.sim import Machine, RandomScheduler
+from repro.trace import EventKind, validate
+
+DESIGN_FACTORIES = {"cwl": make_cwl, "2lc": make_tlc}
+
+
+def final_image(machine):
+    return NvramImage.from_region(
+        machine.memory.region("persistent"), blank=False
+    )
+
+
+class TestInsertBasics:
+    @pytest.mark.parametrize("design", sorted(DESIGN_FACTORIES))
+    def test_entries_recoverable_after_run(self, design):
+        result = run_insert_workload(
+            design=design, threads=2, inserts_per_thread=10, seed=5
+        )
+        validate(result.trace)
+        _, entries = recover_entries(final_image(result.machine), result.queue.base)
+        assert len(entries) == 20
+        recovered = {entry.offset: entry.payload for entry in entries}
+        assert recovered == result.expected
+
+    @pytest.mark.parametrize("design", sorted(DESIGN_FACTORIES))
+    def test_offsets_are_dense_and_aligned(self, design):
+        result = run_insert_workload(
+            design=design, threads=3, inserts_per_thread=7, seed=6
+        )
+        offsets = sorted(result.expected)
+        assert offsets == [128 * i for i in range(21)]
+
+    @pytest.mark.parametrize("design", sorted(DESIGN_FACTORIES))
+    def test_single_thread_insert_order_is_offset_order(self, design):
+        result = run_insert_workload(
+            design=design, threads=1, inserts_per_thread=10, seed=7
+        )
+        payloads = [result.expected[128 * i] for i in range(10)]
+        assert payloads == [padded_entry(0, i, 100) for i in range(10)]
+
+    @pytest.mark.parametrize("design", sorted(DESIGN_FACTORIES))
+    def test_queue_full_raises(self, design):
+        machine = Machine(scheduler=RandomScheduler(seed=1))
+        queue = allocate_queue(machine, 256)  # room for two 128B records
+        dut = DESIGN_FACTORIES[design](machine, queue)
+
+        def body(ctx):
+            for i in range(3):
+                yield from dut.insert(ctx, padded_entry(0, i, 100))
+
+        machine.spawn(body)
+        with pytest.raises(QueueFullError):
+            machine.run()
+
+
+class TestAnnotations:
+    def test_cwl_barrier_count_race_free(self):
+        result = run_insert_workload(
+            design="cwl", threads=1, inserts_per_thread=5, seed=8
+        )
+        stats = result.trace.stats()
+        # Lines 3, 5, 8, 11, 13: five barriers per insert.
+        assert stats.persist_barriers == 5 * 5
+        assert stats.new_strands == 5
+
+    def test_cwl_racing_removes_two_barriers(self):
+        result = run_insert_workload(
+            design="cwl", threads=1, inserts_per_thread=5, racing=True, seed=8
+        )
+        assert result.trace.stats().persist_barriers == 3 * 5
+
+    def test_tlc_barriers(self):
+        result = run_insert_workload(
+            design="2lc", threads=1, inserts_per_thread=5, seed=8
+        )
+        stats = result.trace.stats()
+        # Copy-completion barrier (our fix) + line 27 (single thread is
+        # always oldest): two per insert.
+        assert stats.persist_barriers == 2 * 5
+        assert stats.new_strands == 5
+
+    def test_tlc_paper_faithful_drops_fix_barrier(self):
+        result = run_insert_workload(
+            design="2lc",
+            threads=1,
+            inserts_per_thread=5,
+            seed=8,
+            paper_faithful=True,
+        )
+        assert result.trace.stats().persist_barriers == 1 * 5
+
+    @pytest.mark.parametrize("design", sorted(DESIGN_FACTORIES))
+    def test_head_stores_are_persistent(self, design):
+        result = run_insert_workload(
+            design=design, threads=1, inserts_per_thread=3, seed=9
+        )
+        head_stores = [
+            event
+            for event in result.trace
+            if event.is_store_like and event.addr == result.queue.head_addr
+        ]
+        assert head_stores and all(e.persistent for e in head_stores)
+
+
+class TestDequeue:
+    def test_fifo_roundtrip(self):
+        machine = Machine(scheduler=RandomScheduler(seed=2))
+        queue = allocate_queue(machine, 4096)
+        dut = make_cwl(machine, queue)
+        entries = [padded_entry(0, i, 100) for i in range(6)]
+
+        def producer(ctx):
+            for entry in entries:
+                yield from dut.insert(ctx, entry)
+
+        def consumer(ctx):
+            received = []
+            while len(received) < len(entries):
+                payload = yield from dut.dequeue(ctx)
+                if payload is not None:
+                    received.append(payload)
+            return received
+
+        machine.spawn(producer)
+        consumer_thread = machine.spawn(consumer)
+        machine.run()
+        assert consumer_thread.result == entries
+
+    def test_dequeue_empty_returns_none(self):
+        machine = Machine(scheduler=RandomScheduler(seed=3))
+        queue = allocate_queue(machine, 4096)
+        dut = make_cwl(machine, queue)
+
+        def body(ctx):
+            value = yield from dut.dequeue(ctx)
+            return value
+
+        thread = machine.spawn(body)
+        machine.run()
+        assert thread.result is None
+
+    def test_wraparound_reuses_space(self):
+        """Insert/dequeue far more bytes than capacity: wrap must work and
+        the queue must stay recoverable at the end."""
+        machine = Machine(scheduler=RandomScheduler(seed=4))
+        queue = allocate_queue(machine, 512)  # four 128-byte records
+        dut = make_cwl(machine, queue)
+
+        def body(ctx):
+            for i in range(20):
+                yield from dut.insert(ctx, padded_entry(0, i, 100))
+                if i >= 2:
+                    yield from dut.dequeue(ctx)
+            return None
+
+        machine.spawn(body)
+        machine.run()
+        _, entries = recover_entries(final_image(machine), queue.base)
+        # 20 inserted, 18 dequeued: two live entries, the newest ones.
+        assert [e.payload for e in entries] == [
+            padded_entry(0, 18, 100),
+            padded_entry(0, 19, 100),
+        ]
+        head = machine.memory.read(queue.head_addr, 8)
+        assert head == 20 * 128  # absolute offsets keep growing past wrap
+
+
+class TestRacingEquivalence:
+    def test_single_thread_racing_matches_safe_critical_path(self):
+        """Paper: 'There is no distinction between the two when using a
+        single thread (races cannot occur within one thread)'."""
+        from repro.core import analyze
+
+        safe = run_insert_workload(
+            design="cwl", threads=1, inserts_per_thread=30, seed=10
+        )
+        racing = run_insert_workload(
+            design="cwl", threads=1, inserts_per_thread=30, racing=True, seed=10
+        )
+        for model in ("epoch", "strand"):
+            assert (
+                analyze(safe.trace, model).critical_path
+                == analyze(racing.trace, model).critical_path
+            )

@@ -1,0 +1,127 @@
+"""Recovery correctness under failure injection — the paper's central
+correctness claim, tested end-to-end.
+
+For each queue design and persistency model we materialise the exact
+persist DAG, then check that *every* sampled consistent cut (random,
+linear-extension, prefix, and all minimal cuts) recovers to a state
+where each entry the head pointer covers is intact.
+
+The suite also demonstrates the documented deviation: 2LC exactly as
+printed in Algorithm 1 (``paper_faithful=True``) violates recovery under
+epoch/strand persistency, because nothing orders a non-oldest insert's
+data persists before the head persist that covers them.
+"""
+
+import pytest
+
+from repro.core import FailureInjector, analyze_graph
+from repro.errors import RecoveryError
+from repro.queue import run_insert_workload, verify_recovery
+
+MODELS = ("strict", "epoch", "strand")
+
+
+def check_all_cuts(result, model, random_samples=20):
+    graph = analyze_graph(result.trace, model).graph
+    injector = FailureInjector(graph, result.base_image)
+    checked = 0
+    for cut, image in injector.minimal_images():
+        verify_recovery(image, result.queue.base, result.expected)
+        checked += 1
+    for cut, image in injector.random_images(random_samples, seed=99):
+        verify_recovery(image, result.queue.base, result.expected)
+        checked += 1
+    for cut, image in injector.extension_images(random_samples, seed=7):
+        verify_recovery(image, result.queue.base, result.expected)
+        checked += 1
+    for cut, image in injector.prefix_images(step=25):
+        verify_recovery(image, result.queue.base, result.expected)
+        checked += 1
+    return checked
+
+
+class TestCwlRecoveryCorrectness:
+    @pytest.mark.parametrize("model", MODELS)
+    def test_race_free_variant(self, cwl_4t, model):
+        assert check_all_cuts(cwl_4t, model) > 100
+
+    @pytest.mark.parametrize("model", ["epoch", "strand"])
+    def test_racing_variant(self, cwl_4t_racing, model):
+        """Racing epochs deliberately allow persist-epoch races; strong
+        persist atomicity on the head pointer must still make recovery
+        correct (Section 6)."""
+        assert check_all_cuts(cwl_4t_racing, model) > 100
+
+    @pytest.mark.parametrize("model", MODELS)
+    def test_single_thread(self, cwl_1t, model):
+        assert check_all_cuts(cwl_1t, model, random_samples=10) > 100
+
+
+class TestTlcRecoveryCorrectness:
+    @pytest.mark.parametrize("model", MODELS)
+    def test_fixed_design(self, tlc_4t, model):
+        assert check_all_cuts(tlc_4t, model) > 100
+
+
+class TestPaperFaithfulTlcHole:
+    def test_printed_algorithm_violates_epoch_recovery(self):
+        """Algorithm 1 as printed: some minimal cut recovers a hole under
+        epoch persistency.  (Multiple seeds: the schedule must complete a
+        younger insert before an older one for the bug to bite.)"""
+        holes = 0
+        for seed in range(4):
+            result = run_insert_workload(
+                design="2lc",
+                threads=4,
+                inserts_per_thread=8,
+                seed=seed,
+                paper_faithful=True,
+            )
+            graph = analyze_graph(result.trace, "epoch").graph
+            injector = FailureInjector(graph, result.base_image)
+            for _, image in injector.minimal_images():
+                try:
+                    verify_recovery(image, result.queue.base, result.expected)
+                except RecoveryError:
+                    holes += 1
+        assert holes > 0
+
+    def test_printed_algorithm_safe_under_strict(self):
+        """Under strict persistency program order covers the missing
+        barrier, so the printed algorithm recovers correctly."""
+        for seed in range(2):
+            result = run_insert_workload(
+                design="2lc",
+                threads=4,
+                inserts_per_thread=8,
+                seed=seed,
+                paper_faithful=True,
+            )
+            graph = analyze_graph(result.trace, "strict").graph
+            injector = FailureInjector(graph, result.base_image)
+            for _, image in injector.minimal_images(step=3):
+                verify_recovery(image, result.queue.base, result.expected)
+
+    def test_fix_restores_epoch_recovery(self):
+        """Same seeds, fixed barrier: zero violations."""
+        for seed in range(4):
+            result = run_insert_workload(
+                design="2lc", threads=4, inserts_per_thread=8, seed=seed
+            )
+            graph = analyze_graph(result.trace, "epoch").graph
+            injector = FailureInjector(graph, result.base_image)
+            for _, image in injector.minimal_images():
+                verify_recovery(image, result.queue.base, result.expected)
+
+
+class TestVolatileBaseline:
+    def test_volatile_queue_produces_no_persists(self):
+        result = run_insert_workload(
+            design="cwl",
+            threads=2,
+            inserts_per_thread=5,
+            seed=1,
+            volatile_queue=True,
+        )
+        assert result.trace.stats().persists == 0
+        assert result.base_image is None

@@ -1,0 +1,125 @@
+"""Semantics tests for the volatile insert list (2LC hole prevention)."""
+
+from repro.queue.insert_list import VolatileInsertList
+from repro.sim import Machine, RandomScheduler, RoundRobinScheduler, make_lock
+
+
+def make_list(machine=None):
+    machine = machine or Machine(scheduler=RoundRobinScheduler())
+    lock = make_lock(machine, "mcs")
+    return machine, lock, VolatileInsertList(machine, lock)
+
+
+def run_script(machine, script):
+    """Run a single thread through append/remove operations."""
+    results = []
+
+    def body(ctx):
+        nodes = {}
+        for op, key, value in script:
+            if op == "append":
+                nodes[key] = yield from insert_list.append(ctx, value)
+            else:
+                outcome = yield from insert_list.remove(ctx, nodes[key])
+                results.append(outcome)
+
+    machine, lock, insert_list = make_list(machine)
+    machine.spawn(body)
+    machine.run()
+    return results
+
+
+class TestSingleThreadSemantics:
+    def test_in_order_completion(self):
+        results = run_script(
+            None,
+            [
+                ("append", "a", 128),
+                ("append", "b", 256),
+                ("remove", "a", None),
+                ("remove", "b", None),
+            ],
+        )
+        assert results == [(True, 128), (True, 256)]
+
+    def test_out_of_order_completion_defers_head(self):
+        results = run_script(
+            None,
+            [
+                ("append", "a", 128),
+                ("append", "b", 256),
+                ("remove", "b", None),  # not oldest: no head update
+                ("remove", "a", None),  # oldest: covers both
+            ],
+        )
+        assert results == [(False, 0), (True, 256)]
+
+    def test_contiguous_prefix_only(self):
+        results = run_script(
+            None,
+            [
+                ("append", "a", 128),
+                ("append", "b", 256),
+                ("append", "c", 384),
+                ("remove", "c", None),
+                ("remove", "a", None),  # b incomplete: stop at 128
+                ("remove", "b", None),  # now covers through c
+            ],
+        )
+        assert results == [(False, 0), (True, 128), (True, 384)]
+
+
+class TestConcurrent:
+    def test_head_values_cover_all_inserts(self):
+        """Concurrent appenders/removers: the max returned head equals the
+        total reserved space and heads are monotone."""
+        machine = Machine(scheduler=RandomScheduler(seed=21))
+        lock = make_lock(machine, "mcs")
+        insert_list = VolatileInsertList(machine, lock)
+        headv = machine.volatile_heap.malloc(8)
+        machine.memory.write(headv, 8, 0)
+        update_lock = make_lock(machine, "mcs")
+        heads = []
+
+        def body(ctx, n):
+            for _ in range(n):
+                yield from lock.acquire(ctx)
+                start = yield from ctx.load(headv)
+                yield from ctx.store(headv, start + 128)
+                node = yield from insert_list.append(ctx, start + 128)
+                yield from lock.release(ctx)
+                yield from update_lock.acquire(ctx)
+                oldest, new_head = yield from insert_list.remove(ctx, node)
+                if oldest:
+                    heads.append(new_head)
+                yield from update_lock.release(ctx)
+
+        for _ in range(4):
+            machine.spawn(body, 10)
+        machine.run()
+        assert heads == sorted(heads)
+        assert heads[-1] == 4 * 10 * 128
+
+    def test_nodes_freed(self):
+        """All list nodes are freed once every insert completes."""
+        machine = Machine(scheduler=RandomScheduler(seed=8))
+        lock = make_lock(machine, "mcs")
+        insert_list = VolatileInsertList(machine, lock)
+        update_lock = make_lock(machine, "mcs")
+        baseline = len(machine.volatile_heap.live_allocations)
+
+        def body(ctx, n):
+            for i in range(n):
+                yield from lock.acquire(ctx)
+                node = yield from insert_list.append(ctx, i)
+                yield from lock.release(ctx)
+                yield from update_lock.acquire(ctx)
+                yield from insert_list.remove(ctx, node)
+                yield from update_lock.release(ctx)
+
+        for _ in range(3):
+            machine.spawn(body, 8)
+        machine.run()
+        # MCS qnodes (one per thread per lock) remain; list nodes do not.
+        live = len(machine.volatile_heap.live_allocations)
+        assert live <= baseline + 2 * 3  # two locks x three threads

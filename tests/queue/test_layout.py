@@ -1,0 +1,91 @@
+"""Unit tests for the queue memory layout."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.queue import allocate_queue, record_size
+from repro.queue.layout import (
+    DATA_OFFSET,
+    QUEUE_MAGIC,
+    QueueHandle,
+)
+from repro.sim import Machine
+
+
+class TestRecordSize:
+    def test_default_alignment_pads_to_64(self):
+        assert record_size(100, 64) == 128  # 8 + 100 -> 128
+
+    def test_exact_fit(self):
+        assert record_size(56, 64) == 64
+
+    def test_word_alignment(self):
+        assert record_size(3, 8) == 16  # 8 + 3 -> 16
+
+
+class TestHandle:
+    def test_field_addresses_are_padded_apart(self):
+        handle = QueueHandle(base=0x8000_0000, capacity=4096, insert_alignment=64)
+        assert handle.head_addr - handle.base == 64
+        assert handle.tail_addr - handle.base == 128
+        assert handle.data_base - handle.base == DATA_OFFSET
+        assert handle.total_size == DATA_OFFSET + 4096
+
+    def test_data_pieces_no_wrap(self):
+        handle = QueueHandle(0x8000_0000, 1024, 64)
+        pieces = handle.data_pieces(100, 50)
+        assert pieces == [(handle.data_base + 100, 0, 50)]
+
+    def test_data_pieces_wrap(self):
+        handle = QueueHandle(0x8000_0000, 1024, 64)
+        pieces = handle.data_pieces(1000, 100)
+        assert pieces == [
+            (handle.data_base + 1000, 0, 24),
+            (handle.data_base, 24, 76),
+        ]
+
+    def test_data_pieces_modular_offset(self):
+        handle = QueueHandle(0x8000_0000, 1024, 64)
+        assert handle.data_pieces(1024 * 5 + 8, 16) == [
+            (handle.data_base + 8, 0, 16)
+        ]
+
+    def test_oversized_range_rejected(self):
+        handle = QueueHandle(0x8000_0000, 1024, 64)
+        with pytest.raises(ReproError):
+            handle.data_pieces(0, 2048)
+
+    def test_negative_size_rejected(self):
+        handle = QueueHandle(0x8000_0000, 1024, 64)
+        with pytest.raises(ReproError):
+            handle.data_pieces(0, -1)
+
+
+class TestAllocateQueue:
+    def test_header_initialised(self):
+        machine = Machine()
+        handle = allocate_queue(machine, 4096)
+        memory = machine.memory
+        assert memory.read(handle.magic_addr, 8) == QUEUE_MAGIC
+        assert memory.read(handle.capacity_addr, 8) == 4096
+        assert memory.read(handle.alignment_addr, 8) == 64
+        assert memory.read(handle.head_addr, 8) == 0
+        assert memory.read(handle.tail_addr, 8) == 0
+        assert memory.is_persistent(handle.base)
+
+    def test_volatile_placement(self):
+        machine = Machine()
+        handle = allocate_queue(machine, 4096, persistent=False)
+        assert not machine.memory.is_persistent(handle.base)
+
+    def test_bad_capacity_rejected(self):
+        machine = Machine()
+        with pytest.raises(ReproError):
+            allocate_queue(machine, 0)
+        with pytest.raises(ReproError):
+            allocate_queue(machine, 100)  # not a word multiple
+
+    def test_bad_alignment_rejected(self):
+        machine = Machine()
+        with pytest.raises(ReproError):
+            allocate_queue(machine, 4096, insert_alignment=24)

@@ -1,0 +1,136 @@
+"""Unit tests for queue recovery parsing and verification."""
+
+import pytest
+
+from repro.errors import RecoveryError
+from repro.memory import NvramImage
+from repro.queue import (
+    allocate_queue,
+    padded_entry,
+    read_geometry,
+    recover_entries,
+    run_insert_workload,
+    verify_recovery,
+)
+from repro.queue.layout import HEAD_OFFSET, LENGTH_FIELD_SIZE, TAIL_OFFSET
+from repro.sim import Machine
+
+
+def image_of(machine):
+    return NvramImage.from_region(
+        machine.memory.region("persistent"), blank=False
+    )
+
+
+@pytest.fixture
+def finished_run():
+    return run_insert_workload(
+        design="cwl", threads=1, inserts_per_thread=5, seed=20
+    )
+
+
+class TestGeometry:
+    def test_reads_valid_header(self, finished_run):
+        handle = read_geometry(
+            image_of(finished_run.machine), finished_run.queue.base
+        )
+        assert handle == finished_run.queue
+
+    def test_blank_image_rejected(self):
+        image = NvramImage(0x8000_0000, 4096)
+        with pytest.raises(RecoveryError):
+            read_geometry(image, 0x8000_0000)
+
+    def test_corrupt_capacity_rejected(self, finished_run):
+        image = image_of(finished_run.machine)
+        base = finished_run.queue.base
+        image.apply_persist(base + 8, (0).to_bytes(8, "little"))
+        with pytest.raises(RecoveryError):
+            read_geometry(image, base)
+
+    def test_corrupt_alignment_rejected(self, finished_run):
+        image = image_of(finished_run.machine)
+        base = finished_run.queue.base
+        image.apply_persist(base + 16, (24).to_bytes(8, "little"))
+        with pytest.raises(RecoveryError):
+            read_geometry(image, base)
+
+
+class TestRecoverEntries:
+    def test_full_state_recovers_everything(self, finished_run):
+        _, entries = recover_entries(
+            image_of(finished_run.machine), finished_run.queue.base
+        )
+        assert [e.payload for e in entries] == [
+            padded_entry(0, i, 100) for i in range(5)
+        ]
+
+    def test_empty_queue_recovers_nothing(self):
+        machine = Machine()
+        queue = allocate_queue(machine, 4096)
+        _, entries = recover_entries(image_of(machine), queue.base)
+        assert entries == []
+
+    def test_tail_ahead_of_head_rejected(self, finished_run):
+        image = image_of(finished_run.machine)
+        base = finished_run.queue.base
+        image.apply_persist(
+            base + TAIL_OFFSET, (10_000).to_bytes(8, "little")
+        )
+        with pytest.raises(RecoveryError):
+            recover_entries(image, base)
+
+    def test_live_range_beyond_capacity_rejected(self, finished_run):
+        image = image_of(finished_run.machine)
+        base = finished_run.queue.base
+        huge = finished_run.queue.capacity + 4096
+        image.apply_persist(base + HEAD_OFFSET, huge.to_bytes(8, "little"))
+        with pytest.raises(RecoveryError):
+            recover_entries(image, base)
+
+    def test_zero_length_frame_rejected(self, finished_run):
+        image = image_of(finished_run.machine)
+        handle = finished_run.queue
+        # Zero out the first entry's length field while head still covers it.
+        image.apply_persist(
+            handle.data_base, (0).to_bytes(LENGTH_FIELD_SIZE, "little")
+        )
+        with pytest.raises(RecoveryError):
+            recover_entries(image, handle.base)
+
+    def test_frame_running_past_head_rejected(self, finished_run):
+        image = image_of(finished_run.machine)
+        handle = finished_run.queue
+        image.apply_persist(
+            handle.data_base, (100_000).to_bytes(LENGTH_FIELD_SIZE, "little")
+        )
+        with pytest.raises(RecoveryError):
+            recover_entries(image, handle.base)
+
+
+class TestVerifyRecovery:
+    def test_matching_state_verifies(self, finished_run):
+        entries = verify_recovery(
+            image_of(finished_run.machine),
+            finished_run.queue.base,
+            finished_run.expected,
+        )
+        assert len(entries) == 5
+
+    def test_payload_mismatch_detected(self, finished_run):
+        image = image_of(finished_run.machine)
+        handle = finished_run.queue
+        # Corrupt one covered payload word.
+        image.apply_persist(
+            handle.data_base + LENGTH_FIELD_SIZE,
+            b"\xff" * 8,
+        )
+        with pytest.raises(RecoveryError, match="hole"):
+            verify_recovery(image, handle.base, finished_run.expected)
+
+    def test_unknown_offset_detected(self, finished_run):
+        image = image_of(finished_run.machine)
+        expected = dict(finished_run.expected)
+        del expected[0]
+        with pytest.raises(RecoveryError, match="unknown offset"):
+            verify_recovery(image, finished_run.queue.base, expected)

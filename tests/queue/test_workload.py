@@ -1,0 +1,113 @@
+"""Tests for the workload driver."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.queue import WorkloadConfig, padded_entry, run_insert_workload
+from repro.queue.workload import DESIGNS
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        WorkloadConfig().validate()
+
+    def test_unknown_design_rejected(self):
+        with pytest.raises(ReproError):
+            WorkloadConfig(design="lockfree").validate()
+
+    def test_nonpositive_sizes_rejected(self):
+        with pytest.raises(ReproError):
+            WorkloadConfig(threads=0).validate()
+        with pytest.raises(ReproError):
+            WorkloadConfig(inserts_per_thread=0).validate()
+        with pytest.raises(ReproError):
+            WorkloadConfig(entry_size=8).validate()
+
+    def test_required_capacity(self):
+        config = WorkloadConfig(threads=2, inserts_per_thread=3, entry_size=100)
+        assert config.required_capacity() == 6 * 128
+
+    def test_describe_is_json_friendly(self):
+        meta = WorkloadConfig().describe()
+        assert meta["design"] == "cwl"
+        assert all(
+            isinstance(v, (str, int, bool)) for v in meta.values()
+        )
+
+    def test_registry_has_both_designs(self):
+        assert set(DESIGNS) == {"cwl", "2lc"}
+
+    def test_config_and_overrides_mutually_exclusive(self):
+        with pytest.raises(ReproError):
+            run_insert_workload(WorkloadConfig(), design="cwl")
+
+
+class TestResults:
+    def test_expected_matches_total(self):
+        result = run_insert_workload(
+            design="cwl", threads=3, inserts_per_thread=4, seed=2
+        )
+        assert result.total_inserts == 12
+        assert len(result.expected) == 12
+        assert result.events_per_insert > 10
+
+    def test_expected_payloads_are_thread_tagged(self):
+        result = run_insert_workload(
+            design="cwl", threads=2, inserts_per_thread=3, seed=3
+        )
+        by_thread = {0: 0, 1: 0}
+        for payload in result.expected.values():
+            thread = int.from_bytes(payload[:8], "little")
+            by_thread[thread] += 1
+        assert by_thread == {0: 3, 1: 3}
+
+    def test_meta_recorded_in_trace(self):
+        result = run_insert_workload(
+            design="2lc", threads=2, inserts_per_thread=2, seed=4
+        )
+        assert result.trace.meta["design"] == "2lc"
+        assert result.trace.meta["threads"] == 2
+
+    def test_same_seed_reproduces_trace(self):
+        first = run_insert_workload(
+            design="cwl", threads=2, inserts_per_thread=5, seed=6
+        )
+        second = run_insert_workload(
+            design="cwl", threads=2, inserts_per_thread=5, seed=6
+        )
+        assert [
+            (e.thread, e.kind, e.addr, e.value) for e in first.trace
+        ] == [(e.thread, e.kind, e.addr, e.value) for e in second.trace]
+
+    def test_entry_sizes_respected(self):
+        result = run_insert_workload(
+            design="cwl", threads=1, inserts_per_thread=2, entry_size=40, seed=7
+        )
+        for payload in result.expected.values():
+            assert len(payload) == 40
+
+    def test_base_image_is_pre_workload(self):
+        result = run_insert_workload(
+            design="cwl", threads=1, inserts_per_thread=2, seed=8
+        )
+        # Header initialised, head still zero, data segment untouched.
+        assert result.base_image.read(result.queue.head_addr, 8) == 0
+        assert result.base_image.read(result.queue.capacity_addr, 8) > 0
+        assert result.base_image.read(result.queue.data_base, 8) == 0
+
+
+class TestPaddedEntry:
+    def test_deterministic(self):
+        assert padded_entry(1, 2, 100) == padded_entry(1, 2, 100)
+
+    def test_distinct_across_threads_and_indices(self):
+        entries = {
+            padded_entry(thread, index, 64)
+            for thread in range(3)
+            for index in range(3)
+        }
+        assert len(entries) == 9
+
+    def test_minimum_size_enforced(self):
+        with pytest.raises(ValueError):
+            padded_entry(0, 0, 8)

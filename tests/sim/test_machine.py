@@ -1,0 +1,297 @@
+"""Unit tests for the simulated machine and thread trampoline."""
+
+import pytest
+
+from repro.errors import DeadlockError, SimulationError
+from repro.memory import layout
+from repro.sim import Machine, RoundRobinScheduler, RandomScheduler
+from repro.trace import EventKind, validate
+
+
+def make_machine(**kwargs):
+    kwargs.setdefault("scheduler", RoundRobinScheduler())
+    return Machine(**kwargs)
+
+
+class TestBasicExecution:
+    def test_single_thread_load_store(self):
+        machine = make_machine()
+        cell = machine.volatile_heap.malloc(8)
+
+        def body(ctx):
+            yield from ctx.store(cell, 7)
+            value = yield from ctx.load(cell)
+            return value
+
+        thread = machine.spawn(body)
+        machine.run()
+        assert thread.result == 7
+
+    def test_trace_records_thread_lifecycle(self):
+        machine = make_machine()
+
+        def body(ctx):
+            yield from ctx.mark("hello")
+
+        machine.spawn(body)
+        trace = machine.run()
+        kinds = [event.kind for event in trace]
+        assert kinds == [
+            EventKind.THREAD_BEGIN,
+            EventKind.MARK,
+            EventKind.THREAD_END,
+        ]
+
+    def test_persistent_flag_set_by_region(self):
+        machine = make_machine()
+        pcell = machine.persistent_heap.malloc(8)
+        vcell = machine.volatile_heap.malloc(8)
+
+        def body(ctx):
+            yield from ctx.store(pcell, 1)
+            yield from ctx.store(vcell, 1)
+
+        machine.spawn(body)
+        trace = machine.run()
+        stores = [e for e in trace if e.kind is EventKind.STORE]
+        assert [e.persistent for e in stores] == [True, False]
+
+    def test_spawn_rejects_plain_function(self):
+        machine = make_machine()
+
+        def not_a_generator(ctx):
+            return 42
+
+        with pytest.raises(SimulationError):
+            machine.spawn(not_a_generator)
+
+    def test_thread_result_propagates(self):
+        machine = make_machine()
+
+        def body(ctx, value):
+            yield from ctx.mark("x")
+            return value * 2
+
+        threads = [machine.spawn(body, i) for i in range(4)]
+        machine.run()
+        assert [t.result for t in threads] == [0, 2, 4, 6]
+
+    def test_max_steps_guard(self):
+        machine = make_machine()
+        cell = machine.volatile_heap.malloc(8)
+
+        def spinner(ctx):
+            while True:
+                yield from ctx.load(cell)
+
+        machine.spawn(spinner)
+        with pytest.raises(SimulationError):
+            machine.run(max_steps=100)
+
+
+class TestAtomics:
+    def test_cas_success_traced_as_rmw(self):
+        machine = make_machine()
+        cell = machine.volatile_heap.malloc(8)
+
+        def body(ctx):
+            ok, observed = yield from ctx.cas(cell, 0, 5)
+            return ok, observed
+
+        thread = machine.spawn(body)
+        trace = machine.run()
+        assert thread.result == (True, 0)
+        assert any(e.kind is EventKind.RMW for e in trace)
+
+    def test_cas_failure_traced_as_load(self):
+        machine = make_machine()
+        cell = machine.volatile_heap.malloc(8)
+        machine.memory.write(cell, 8, 9)
+
+        def body(ctx):
+            ok, observed = yield from ctx.cas(cell, 0, 5)
+            return ok, observed
+
+        thread = machine.spawn(body)
+        trace = machine.run()
+        assert thread.result == (False, 9)
+        assert not any(e.kind is EventKind.RMW for e in trace)
+        assert machine.memory.read(cell, 8) == 9
+
+    def test_swap_returns_old(self):
+        machine = make_machine()
+        cell = machine.volatile_heap.malloc(8)
+        machine.memory.write(cell, 8, 3)
+
+        def body(ctx):
+            old = yield from ctx.swap(cell, 10)
+            return old
+
+        thread = machine.spawn(body)
+        machine.run()
+        assert thread.result == 3
+        assert machine.memory.read(cell, 8) == 10
+
+    def test_fetch_add_wraps_at_size(self):
+        machine = make_machine()
+        cell = machine.volatile_heap.malloc(8)
+        machine.memory.write(cell, 8, (1 << 64) - 1)
+
+        def body(ctx):
+            old = yield from ctx.fetch_add(cell, 1)
+            return old
+
+        thread = machine.spawn(body)
+        machine.run()
+        assert thread.result == (1 << 64) - 1
+        assert machine.memory.read(cell, 8) == 0
+
+    def test_concurrent_fetch_add_is_atomic(self):
+        machine = Machine(scheduler=RandomScheduler(seed=5))
+        cell = machine.volatile_heap.malloc(8)
+
+        def body(ctx, n):
+            for _ in range(n):
+                yield from ctx.fetch_add(cell, 1)
+
+        for _ in range(4):
+            machine.spawn(body, 50)
+        machine.run()
+        assert machine.memory.read(cell, 8) == 200
+
+
+class TestWaiting:
+    def test_wait_until_blocks_then_resumes(self):
+        machine = make_machine()
+        flag = machine.volatile_heap.malloc(8)
+
+        def waiter(ctx):
+            value = yield from ctx.wait_equals(flag, 1)
+            return value
+
+        def setter(ctx):
+            for _ in range(5):
+                yield from ctx.mark("busy")
+            yield from ctx.store(flag, 1)
+
+        wait_thread = machine.spawn(waiter)
+        machine.spawn(setter)
+        trace = machine.run()
+        assert wait_thread.result == 1
+        validate(trace)
+
+    def test_wait_emits_failed_then_successful_load(self):
+        machine = make_machine()
+        flag = machine.volatile_heap.malloc(8)
+
+        def waiter(ctx):
+            yield from ctx.wait_equals(flag, 1)
+
+        def setter(ctx):
+            yield from ctx.store(flag, 1)
+
+        machine.spawn(waiter)
+        machine.spawn(setter)
+        trace = machine.run()
+        loads = [
+            e for e in trace if e.kind is EventKind.LOAD and e.addr == flag
+        ]
+        assert [e.value for e in loads] == [0, 1]
+
+    def test_deadlock_detected(self):
+        machine = make_machine()
+        flag = machine.volatile_heap.malloc(8)
+
+        def waiter(ctx):
+            yield from ctx.wait_equals(flag, 1)
+
+        machine.spawn(waiter)
+        with pytest.raises(DeadlockError):
+            machine.run()
+
+    def test_wait_satisfied_immediately(self):
+        machine = make_machine()
+        flag = machine.volatile_heap.malloc(8)
+        machine.memory.write(flag, 8, 1)
+
+        def waiter(ctx):
+            value = yield from ctx.wait_equals(flag, 1)
+            return value
+
+        thread = machine.spawn(waiter)
+        trace = machine.run()
+        assert thread.result == 1
+        loads = [e for e in trace if e.kind is EventKind.LOAD]
+        assert len(loads) == 1
+
+
+class TestHeapOps:
+    def test_malloc_and_free_traced(self):
+        machine = make_machine()
+
+        def body(ctx):
+            addr = yield from ctx.malloc_persistent(64)
+            yield from ctx.store(addr, 1)
+            yield from ctx.free_persistent(addr)
+            return addr
+
+        thread = machine.spawn(body)
+        trace = machine.run()
+        assert machine.memory.is_persistent(thread.result)
+        kinds = [e.kind for e in trace]
+        assert EventKind.MALLOC in kinds and EventKind.FREE in kinds
+
+    def test_bulk_store_load_roundtrip(self):
+        machine = make_machine()
+        base = machine.volatile_heap.malloc(128)
+        payload = bytes(range(100))
+
+        def body(ctx):
+            yield from ctx.store_bytes(base + 4, payload)
+            data = yield from ctx.load_bytes(base + 4, 100)
+            return data
+
+        thread = machine.spawn(body)
+        trace = machine.run()
+        assert thread.result == payload
+        validate(trace)
+        # Unaligned 100-byte write: 4 + 12*8 bytes... pieces respect words.
+        stores = [e for e in trace if e.kind is EventKind.STORE]
+        assert sum(e.size for e in stores) == 100
+        for e in stores:
+            assert e.size <= layout.WORD_SIZE
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        def build():
+            machine = Machine(scheduler=RandomScheduler(seed=9))
+            cell = machine.volatile_heap.malloc(8)
+
+            def body(ctx, n):
+                for _ in range(n):
+                    yield from ctx.fetch_add(cell, 1)
+
+            for _ in range(3):
+                machine.spawn(body, 10)
+            return machine.run()
+
+        first, second = build(), build()
+        assert [
+            (e.thread, e.kind, e.addr, e.value) for e in first
+        ] == [(e.thread, e.kind, e.addr, e.value) for e in second]
+
+    def test_different_seeds_interleave_differently(self):
+        def build(seed):
+            machine = Machine(scheduler=RandomScheduler(seed=seed))
+            cell = machine.volatile_heap.malloc(8)
+
+            def body(ctx, n):
+                for _ in range(n):
+                    yield from ctx.fetch_add(cell, 1)
+
+            for _ in range(3):
+                machine.spawn(body, 10)
+            return [e.thread for e in machine.run()]
+
+        assert build(1) != build(2)

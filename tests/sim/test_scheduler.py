@@ -1,0 +1,65 @@
+"""Unit tests for interleaving policies."""
+
+import pytest
+
+from repro.sim import (
+    RandomScheduler,
+    RoundRobinScheduler,
+    StridedScheduler,
+)
+
+
+class TestRoundRobin:
+    def test_cycles_in_id_order(self):
+        scheduler = RoundRobinScheduler()
+        picks = [scheduler.pick([0, 1, 2]) for _ in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+
+    def test_skips_blocked_threads(self):
+        scheduler = RoundRobinScheduler()
+        assert scheduler.pick([0, 2]) == 0
+        assert scheduler.pick([0, 2]) == 2
+        assert scheduler.pick([0, 2]) == 0
+
+    def test_single_runnable(self):
+        scheduler = RoundRobinScheduler()
+        assert [scheduler.pick([3]) for _ in range(3)] == [3, 3, 3]
+
+
+class TestRandom:
+    def test_deterministic_per_seed(self):
+        a = RandomScheduler(seed=4)
+        b = RandomScheduler(seed=4)
+        runnable = [0, 1, 2, 3]
+        assert [a.pick(runnable) for _ in range(50)] == [
+            b.pick(runnable) for _ in range(50)
+        ]
+
+    def test_covers_all_threads(self):
+        scheduler = RandomScheduler(seed=0)
+        picks = {scheduler.pick([0, 1, 2, 3]) for _ in range(200)}
+        assert picks == {0, 1, 2, 3}
+
+    def test_only_picks_runnable(self):
+        scheduler = RandomScheduler(seed=1)
+        for _ in range(100):
+            assert scheduler.pick([2, 5]) in (2, 5)
+
+
+class TestStrided:
+    def test_runs_stride_consecutive_ops(self):
+        scheduler = StridedScheduler(stride=4, seed=0)
+        picks = [scheduler.pick([0, 1]) for _ in range(8)]
+        assert picks[0:4] == [picks[0]] * 4
+        assert picks[4:8] == [picks[4]] * 4
+
+    def test_switches_when_current_blocked(self):
+        scheduler = StridedScheduler(stride=100, seed=0)
+        first = scheduler.pick([0, 1])
+        other = 1 - first
+        # Current thread no longer runnable: must switch immediately.
+        assert scheduler.pick([other]) == other
+
+    def test_rejects_bad_stride(self):
+        with pytest.raises(ValueError):
+            StridedScheduler(stride=0)

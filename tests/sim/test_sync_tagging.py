@@ -1,0 +1,94 @@
+"""Invariant: lock implementations tag every one of their accesses sync.
+
+The race detector's happens-before edges come exclusively from
+sync-tagged accesses; an untagged lock access silently weakens the lint.
+This test runs each lock under contention and checks that every access
+to lock-owned memory carries the sync flag — and that workload data
+accesses never do.
+"""
+
+import pytest
+
+from repro.sim import LOCK_KINDS, Machine, RandomScheduler, make_lock
+from repro.trace import EventKind
+
+
+@pytest.mark.parametrize("kind", sorted(LOCK_KINDS))
+def test_all_lock_accesses_are_sync_tagged(kind):
+    machine = Machine(scheduler=RandomScheduler(seed=13))
+    data = machine.volatile_heap.malloc(8)
+    lock = make_lock(machine, kind)
+
+    def body(ctx, n):
+        for _ in range(n):
+            yield from lock.acquire(ctx)
+            value = yield from ctx.load(data)
+            yield from ctx.store(data, value + 1)
+            yield from lock.release(ctx)
+
+    for _ in range(3):
+        machine.spawn(body, 12)
+    trace = machine.run()
+    assert machine.memory.read(data, 8) == 36
+
+    for event in trace:
+        if not event.is_access:
+            continue
+        if event.addr == data:
+            assert not event.sync, f"data access tagged sync: {event}"
+        else:
+            # Everything else this program touches is lock-owned memory
+            # (lock words, MCS queue nodes).
+            assert event.sync, f"lock access missing sync tag: {event}"
+
+
+@pytest.mark.parametrize("kind", sorted(LOCK_KINDS))
+def test_lock_state_is_volatile(kind):
+    """Paper Section 5.2's discipline: locks live in volatile memory, so
+    lock operations generate no persists."""
+    machine = Machine(scheduler=RandomScheduler(seed=14))
+    lock = make_lock(machine, kind)
+
+    def body(ctx):
+        for _ in range(5):
+            yield from lock.acquire(ctx)
+            yield from lock.release(ctx)
+
+    for _ in range(2):
+        machine.spawn(body)
+    trace = machine.run()
+    assert trace.stats().persists == 0
+    assert all(not e.persistent for e in trace if e.is_access)
+
+
+def test_queue_sync_footprint_matches_lock_events(cwl_4t):
+    """In the queue workload, sync accesses are exactly the non-persistent
+    lock traffic: no persistent access is ever sync-tagged."""
+    for event in cwl_4t.trace:
+        if event.is_access and event.sync:
+            assert not event.persistent
+    sync_count = sum(1 for e in cwl_4t.trace if e.is_access and e.sync)
+    assert sync_count > 0
+
+
+def test_waituntil_loads_inherit_sync_flag():
+    """Blocking waits on lock words must trace their loads as sync (both
+    the failed check and the wake-up observation)."""
+    machine = Machine(scheduler=RandomScheduler(seed=15))
+    flag = machine.volatile_heap.malloc(8)
+
+    def waiter(ctx):
+        yield from ctx.wait_equals(flag, 1, sync=True)
+
+    def setter(ctx):
+        for _ in range(4):
+            yield from ctx.mark("spin")
+        yield from ctx.store(flag, 1, sync=True)
+
+    machine.spawn(waiter)
+    machine.spawn(setter)
+    trace = machine.run()
+    flag_loads = [
+        e for e in trace if e.kind is EventKind.LOAD and e.addr == flag
+    ]
+    assert flag_loads and all(e.sync for e in flag_loads)

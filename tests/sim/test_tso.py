@@ -1,0 +1,342 @@
+"""Tests for the TSO machine mode (store buffers, drains, fences)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Machine, RandomScheduler, Scheduler, make_lock
+from repro.trace import EventKind, validate
+from repro.verify import count_schedules, explore_schedules
+
+
+class DrainLastScheduler(Scheduler):
+    """Prefer thread execution; drain buffers only when forced.
+
+    Deterministically exposes maximal store-buffer delay — the schedule
+    classic TSO litmus tests need.
+    """
+
+    def pick(self, runnable):
+        threads = [tid for tid in runnable if tid < (1 << 20)]
+        return min(threads) if threads else min(runnable)
+
+
+class DrainEagerScheduler(Scheduler):
+    """Drain at the first opportunity: behaves like SC."""
+
+    def pick(self, runnable):
+        drains = [tid for tid in runnable if tid >= (1 << 20)]
+        return min(drains) if drains else min(runnable)
+
+
+def tso_machine(scheduler=None):
+    return Machine(
+        scheduler=scheduler or DrainLastScheduler(), consistency="tso"
+    )
+
+
+class TestStoreBuffering:
+    def test_store_invisible_until_drained(self):
+        machine = tso_machine()
+        flag = machine.volatile_heap.malloc(8)
+        observed = []
+
+        def writer(ctx):
+            yield from ctx.store(flag, 1)
+            yield from ctx.mark("wrote")
+
+        def reader(ctx):
+            value = yield from ctx.load(flag)
+            observed.append(value)
+
+        machine.spawn(writer)
+        machine.spawn(reader)
+        trace = machine.run()
+        validate(trace)
+        # DrainLast runs both threads to completion before any drain: the
+        # reader saw 0 even though the writer's store "happened" first.
+        assert observed == [0]
+        assert machine.memory.read(flag, 8) == 1  # drained by the end
+
+    def test_sb_litmus_both_read_zero(self):
+        """The classic store-buffering litmus: forbidden under SC,
+        observable under TSO."""
+        machine = tso_machine()
+        x = machine.volatile_heap.malloc(8)
+        y = machine.volatile_heap.malloc(8)
+
+        def body(ctx, mine, other):
+            yield from ctx.store(mine, 1)
+            value = yield from ctx.load(other)
+            return value
+
+        t0 = machine.spawn(body, x, y)
+        t1 = machine.spawn(body, y, x)
+        machine.run()
+        assert (t0.result, t1.result) == (0, 0)
+
+    def test_sc_machine_forbids_sb_outcome(self):
+        """Same program, same scheduler, SC machine: at least one thread
+        observes the other's store."""
+        machine = Machine(scheduler=DrainLastScheduler(), consistency="sc")
+        x = machine.volatile_heap.malloc(8)
+        y = machine.volatile_heap.malloc(8)
+
+        def body(ctx, mine, other):
+            yield from ctx.store(mine, 1)
+            value = yield from ctx.load(other)
+            return value
+
+        t0 = machine.spawn(body, x, y)
+        t1 = machine.spawn(body, y, x)
+        machine.run()
+        assert (t0.result, t1.result) != (0, 0)
+
+    def test_fence_restores_sc_outcome(self):
+        machine = tso_machine()
+        x = machine.volatile_heap.malloc(8)
+        y = machine.volatile_heap.malloc(8)
+
+        def body(ctx, mine, other):
+            yield from ctx.store(mine, 1)
+            yield from ctx.fence()
+            value = yield from ctx.load(other)
+            return value
+
+        t0 = machine.spawn(body, x, y)
+        t1 = machine.spawn(body, y, x)
+        trace = machine.run()
+        assert (t0.result, t1.result) != (0, 0)
+        assert any(e.kind is EventKind.FENCE for e in trace)
+
+
+class TestForwarding:
+    def test_own_store_forwarded(self):
+        machine = tso_machine()
+        cell = machine.volatile_heap.malloc(8)
+
+        def body(ctx):
+            yield from ctx.store(cell, 7)
+            value = yield from ctx.load(cell)
+            return value
+
+        thread = machine.spawn(body)
+        trace = machine.run()
+        assert thread.result == 7
+        forwarded = [e for e in trace if e.info == "sb-forward"]
+        assert len(forwarded) == 1
+        validate(trace)  # forwarded loads are exempt from SC replay
+
+    def test_newest_buffered_store_wins(self):
+        machine = tso_machine()
+        cell = machine.volatile_heap.malloc(8)
+
+        def body(ctx):
+            yield from ctx.store(cell, 1)
+            yield from ctx.store(cell, 2)
+            value = yield from ctx.load(cell)
+            return value
+
+        thread = machine.spawn(body)
+        machine.run()
+        assert thread.result == 2
+
+    def test_partial_overlap_flushes(self):
+        machine = tso_machine()
+        cell = machine.volatile_heap.malloc(8)
+
+        def body(ctx):
+            yield from ctx.store(cell, 0xAABBCCDD, size=4)
+            value = yield from ctx.load(cell, size=8)
+            return value
+
+        thread = machine.spawn(body)
+        trace = machine.run()
+        assert thread.result == 0xAABBCCDD
+        # No forward: the buffer was flushed, the load read memory.
+        assert not any(e.info == "sb-forward" for e in trace)
+
+    def test_rmw_drains_buffer_first(self):
+        machine = tso_machine()
+        cell = machine.volatile_heap.malloc(8)
+        other = machine.volatile_heap.malloc(8)
+
+        def body(ctx):
+            yield from ctx.store(other, 5)
+            old = yield from ctx.fetch_add(cell, 1)
+            return old
+
+        machine.spawn(body)
+        trace = machine.run()
+        # The buffered store to `other` must appear before the RMW.
+        kinds = [
+            (e.kind, e.addr) for e in trace if e.is_access
+        ]
+        assert kinds.index((EventKind.STORE, other)) < kinds.index(
+            (EventKind.RMW, cell)
+        )
+
+
+class TestLifecycle:
+    def test_thread_end_waits_for_drain(self):
+        machine = tso_machine()
+        cell = machine.volatile_heap.malloc(8)
+
+        def body(ctx):
+            yield from ctx.store(cell, 1)
+
+        machine.spawn(body)
+        trace = machine.run()
+        validate(trace)
+        events = [e.kind for e in trace]
+        assert events.index(EventKind.STORE) < events.index(
+            EventKind.THREAD_END
+        )
+        assert machine.memory.read(cell, 8) == 1
+
+    def test_locks_correct_under_tso(self):
+        machine = Machine(
+            scheduler=RandomScheduler(seed=6), consistency="tso"
+        )
+        counter = machine.volatile_heap.malloc(8)
+        lock = make_lock(machine, "mcs")
+
+        def body(ctx, n):
+            for _ in range(n):
+                yield from lock.acquire(ctx)
+                value = yield from ctx.load(counter)
+                yield from ctx.store(counter, value + 1)
+                yield from lock.release(ctx)
+
+        for _ in range(3):
+            machine.spawn(body, 20)
+        trace = machine.run()
+        validate(trace)
+        assert machine.memory.read(counter, 8) == 60
+
+    def test_unknown_consistency_rejected(self):
+        with pytest.raises(SimulationError):
+            Machine(consistency="rmo")
+
+    def test_sc_default_has_no_buffers(self):
+        machine = Machine()
+        cell = machine.volatile_heap.malloc(8)
+
+        def body(ctx):
+            yield from ctx.store(cell, 1)
+
+        machine.spawn(body)
+        trace = machine.run()
+        assert not any(e.info == "sb-forward" for e in trace)
+        assert machine.memory.read(cell, 8) == 1
+
+
+class TestBufferedBarriers:
+    def test_persist_barrier_drains_in_store_order(self):
+        """A persist barrier issued between two stores must appear
+        between them in the trace (memory order), even though both
+        stores were still buffered when it executed — epoch hardware
+        tags epochs in program order."""
+        machine = tso_machine()
+        cell = machine.volatile_heap.malloc(16)
+        pcell = machine.persistent_heap.malloc(16)
+
+        def body(ctx):
+            yield from ctx.store(pcell, 1)
+            yield from ctx.persist_barrier()
+            yield from ctx.store(pcell + 8, 2)
+
+        machine.spawn(body)
+        trace = machine.run()
+        ordered = [
+            (e.kind, e.addr)
+            for e in trace
+            if e.kind in (EventKind.STORE, EventKind.PERSIST_BARRIER)
+        ]
+        assert ordered == [
+            (EventKind.STORE, pcell),
+            (EventKind.PERSIST_BARRIER, 0),
+            (EventKind.STORE, pcell + 8),
+        ]
+
+    def test_barrier_with_empty_buffer_emits_immediately(self):
+        machine = tso_machine()
+
+        def body(ctx):
+            yield from ctx.persist_barrier()
+
+        machine.spawn(body)
+        trace = machine.run()
+        assert any(e.kind is EventKind.PERSIST_BARRIER for e in trace)
+
+    def test_epoch_semantics_preserved_on_tso(self):
+        """The buffered barrier keeps data-before-head ordering intact
+        under epoch analysis of the TSO memory order."""
+        from repro.core import analyze
+
+        def run(consistency):
+            machine = Machine(
+                scheduler=DrainLastScheduler(), consistency=consistency
+            )
+            pcell = machine.persistent_heap.malloc(128)
+
+            def body(ctx):
+                yield from ctx.store(pcell, 1)
+                yield from ctx.persist_barrier()
+                yield from ctx.store(pcell + 64, 2)
+
+            machine.spawn(body)
+            return machine.run()
+
+        assert (
+            analyze(run("tso"), "epoch").critical_path
+            == analyze(run("sc"), "epoch").critical_path
+            == 2
+        )
+
+
+class TestExplorationWithTso:
+    def test_drain_agents_add_interleavings(self):
+        def build_sc(scheduler):
+            machine = Machine(scheduler=scheduler, consistency="sc")
+            cell = machine.volatile_heap.malloc(16)
+
+            def body(ctx, offset):
+                yield from ctx.store(cell + offset, 1)
+
+            machine.spawn(body, 0)
+            machine.spawn(body, 8)
+            return machine
+
+        def build_tso(scheduler):
+            machine = Machine(scheduler=scheduler, consistency="tso")
+            cell = machine.volatile_heap.malloc(16)
+
+            def body(ctx, offset):
+                yield from ctx.store(cell + offset, 1)
+
+            machine.spawn(body, 0)
+            machine.spawn(body, 8)
+            return machine
+
+        assert count_schedules(build_tso, max_schedules=5000) > (
+            count_schedules(build_sc)
+        )
+
+    def test_all_tso_schedules_complete(self):
+        def build(scheduler):
+            machine = Machine(scheduler=scheduler, consistency="tso")
+            cell = machine.volatile_heap.malloc(8)
+
+            def body(ctx):
+                yield from ctx.store(cell, 1)
+                value = yield from ctx.load(cell)
+                return value
+
+            machine.spawn(body)
+            machine.spawn(body)
+            return machine
+
+        for trace, machine in explore_schedules(build, max_schedules=5000):
+            for thread in machine.threads:
+                assert thread.result == 1
+                assert thread.state.value == "finished"

@@ -1,0 +1,101 @@
+"""Tests for persistent counters: the strong-persist-atomicity microcosm."""
+
+import pytest
+
+from repro.core import AnalysisConfig, FailureInjector, analyze, analyze_graph
+from repro.memory import NvramImage
+from repro.sim import Machine, RandomScheduler
+from repro.structures import PersistentCounter, StripedPersistentCounter
+
+NO_COALESCE = AnalysisConfig(coalescing=False)
+
+
+def run_counters(threads=4, increments=10, seed=0):
+    machine = Machine(scheduler=RandomScheduler(seed=seed))
+    shared = PersistentCounter(machine)
+    striped = StripedPersistentCounter(machine, threads)
+    base_image = NvramImage.from_region(
+        machine.memory.region("persistent"), blank=False
+    )
+
+    def body(ctx, thread):
+        for _ in range(increments):
+            yield from shared.increment(ctx)
+            yield from striped.increment(ctx)
+        total = yield from striped.read(ctx)
+        return total
+
+    spawned = [machine.spawn(body, t) for t in range(threads)]
+    trace = machine.run()
+    return machine, shared, striped, base_image, trace, spawned
+
+
+class TestSemantics:
+    def test_both_counters_reach_total(self):
+        machine, shared, striped, _, trace, threads = run_counters()
+        image = NvramImage.from_region(
+            machine.memory.region("persistent"), blank=False
+        )
+        assert shared.recover(image) == 40
+        assert striped.recover(image) == 40
+        assert max(t.result for t in threads) == 40
+
+    def test_increment_returns_previous(self):
+        machine = Machine()
+        counter = PersistentCounter(machine)
+
+        def body(ctx):
+            first = yield from counter.increment(ctx, 5)
+            second = yield from counter.increment(ctx, 2)
+            value = yield from counter.read(ctx)
+            return first, second, value
+
+        thread = machine.spawn(body)
+        machine.run()
+        assert thread.result == (0, 5, 7)
+
+    def test_striped_requires_positive_threads(self):
+        with pytest.raises(ValueError):
+            StripedPersistentCounter(Machine(), 0)
+
+
+class TestPersistConcurrency:
+    def test_shared_counter_serialises_striped_does_not(self):
+        """Strong persist atomicity: same-address persists form a chain;
+        striped persists are concurrent under relaxed models."""
+        machine, shared, striped, _, trace, _ = run_counters(
+            threads=4, increments=10, seed=1
+        )
+        result = analyze(trace, "strand", NO_COALESCE)
+        # 40 shared-counter persists form one chain; the interleaved
+        # striped persists add at most a few links.
+        assert result.critical_path >= 40
+
+        # Isolate the two structures by filtering the graph's addresses.
+        graph = analyze_graph(trace, "strand").graph
+        shared_chain = [n for n in graph.nodes if n.addr == shared.addr]
+        levels = graph.levels()
+        shared_levels = sorted(levels[n.pid] for n in shared_chain)
+        assert shared_levels == list(
+            range(shared_levels[0], shared_levels[0] + len(shared_chain))
+        )
+
+    def test_recovered_counts_are_plausible_at_any_cut(self):
+        machine, shared, striped, base_image, trace, _ = run_counters(seed=2)
+        graph = analyze_graph(trace, "epoch").graph
+        injector = FailureInjector(graph, base_image)
+        for _, image in injector.extension_images(60, seed=3):
+            shared_value = shared.recover(image)
+            striped_value = striped.recover(image)
+            assert 0 <= shared_value <= 40
+            assert 0 <= striped_value <= 40
+
+    def test_shared_counter_is_monotone_over_prefixes(self):
+        machine, shared, _, base_image, trace, _ = run_counters(seed=4)
+        graph = analyze_graph(trace, "strict").graph
+        injector = FailureInjector(graph, base_image)
+        previous = -1
+        for _, image in injector.prefix_images(step=7):
+            value = shared.recover(image)
+            assert value >= previous
+            previous = value

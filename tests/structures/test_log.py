@@ -1,0 +1,137 @@
+"""Functional and failure-injection tests for the persistent log."""
+
+import pytest
+
+from repro.core import FailureInjector, analyze, analyze_graph
+from repro.errors import ReproError
+from repro.memory import NvramImage
+from repro.sim import Machine, RandomScheduler
+from repro.structures import LogFullError, PersistentLog
+from repro.trace import validate
+
+
+def fresh(capacity=8192, seed=0):
+    machine = Machine(scheduler=RandomScheduler(seed=seed))
+    log = PersistentLog(machine, capacity)
+    base_image = NvramImage.from_region(
+        machine.memory.region("persistent"), blank=False
+    )
+    return machine, log, base_image
+
+
+def snapshot(machine):
+    return NvramImage.from_region(
+        machine.memory.region("persistent"), blank=False
+    )
+
+
+class TestAppend:
+    def test_appends_recoverable_in_order(self):
+        machine, log, _ = fresh()
+        payloads = [bytes([i]) * (10 + i) for i in range(5)]
+
+        def body(ctx):
+            offsets = []
+            for payload in payloads:
+                offset = yield from log.append(ctx, payload)
+                offsets.append(offset)
+            return offsets
+
+        thread = machine.spawn(body)
+        trace = machine.run()
+        validate(trace)
+        records = log.recover(snapshot(machine))
+        assert [r.payload for r in records] == payloads
+        assert [r.offset for r in records] == thread.result
+
+    def test_empty_payload_rejected(self):
+        machine, log, _ = fresh()
+
+        def body(ctx):
+            yield from log.append(ctx, b"")
+
+        machine.spawn(body)
+        with pytest.raises(ReproError):
+            machine.run()
+
+    def test_log_full(self):
+        machine, log, _ = fresh(capacity=128)
+
+        def body(ctx):
+            yield from log.append(ctx, b"x" * 50)  # 64 reserved
+            yield from log.append(ctx, b"y" * 50)  # 128 reserved
+            yield from log.append(ctx, b"z")       # no room
+
+        machine.spawn(body)
+        with pytest.raises(LogFullError):
+            machine.run()
+
+    def test_reset_truncates(self):
+        machine, log, _ = fresh()
+
+        def body(ctx):
+            yield from log.append(ctx, b"before")
+            yield from log.reset(ctx)
+            yield from log.append(ctx, b"after")
+
+        machine.spawn(body)
+        machine.run()
+        records = log.recover(snapshot(machine))
+        assert [r.payload for r in records] == [b"after"]
+
+    def test_concurrent_appends_all_recovered(self):
+        machine, log, _ = fresh(seed=4)
+
+        def body(ctx, thread):
+            for i in range(6):
+                yield from log.append(ctx, bytes([thread]) * (8 + i))
+
+        for thread in range(4):
+            machine.spawn(body, thread)
+        machine.run()
+        records = log.recover(snapshot(machine))
+        assert len(records) == 24
+
+
+class TestFailureInjection:
+    @pytest.mark.parametrize("model", ["strict", "epoch", "strand"])
+    def test_committed_records_never_torn(self, model):
+        machine, log, base_image = fresh(seed=9)
+        payloads = {}
+
+        def body(ctx, thread):
+            for i in range(5):
+                payload = bytes([thread * 16 + i]) * (12 + i)
+                offset = yield from log.append(ctx, payload)
+                payloads[offset] = payload
+
+        for thread in range(3):
+            machine.spawn(body, thread)
+        trace = machine.run()
+        graph = analyze_graph(trace, model).graph
+        injector = FailureInjector(graph, base_image)
+        for _, image in injector.minimal_images():
+            for entry in log.recover(image):
+                assert payloads[entry.offset] == entry.payload
+        for _, image in injector.extension_images(30, seed=1):
+            for entry in log.recover(image):
+                assert payloads[entry.offset] == entry.payload
+
+
+class TestPersistConcurrency:
+    def test_log_benefits_from_relaxed_persistency(self):
+        """The log has the queue's structure, so the model ordering must
+        hold: strict >> epoch > strand critical paths."""
+        machine, log, _ = fresh(capacity=64 * 1024, seed=2)
+
+        def body(ctx):
+            for i in range(40):
+                yield from log.append(ctx, bytes([i % 250 + 1]) * 48)
+
+        machine.spawn(body)
+        trace = machine.run()
+        strict = analyze(trace, "strict").critical_path
+        epoch = analyze(trace, "epoch").critical_path
+        strand = analyze(trace, "strand").critical_path
+        assert strict > 2 * epoch
+        assert epoch > strand

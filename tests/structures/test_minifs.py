@@ -1,0 +1,230 @@
+"""Functional and failure-injection tests for MiniFS."""
+
+import pytest
+
+from repro.core import FailureInjector, analyze_graph
+from repro.errors import RecoveryError, ReproError
+from repro.memory import NvramImage
+from repro.sim import Machine, RandomScheduler
+from repro.structures import MiniFs
+from repro.structures.minifs import MAX_FILE_SIZE, name_hash
+from repro.trace import validate
+
+
+def fresh(seed=0, **kwargs):
+    machine = Machine(scheduler=RandomScheduler(seed=seed))
+    fs = MiniFs(machine, **kwargs)
+    base_image = NvramImage.from_region(
+        machine.memory.region("persistent"), blank=False
+    )
+    return machine, fs, base_image
+
+
+def snapshot(machine):
+    return NvramImage.from_region(
+        machine.memory.region("persistent"), blank=False
+    )
+
+
+def content(thread, version, size=300):
+    return bytes(((thread * 31 + version * 7 + i) % 251) for i in range(size))
+
+
+class TestOperations:
+    def test_create_read_roundtrip(self):
+        machine, fs, _ = fresh()
+        data = content(0, 0)
+
+        def body(ctx):
+            yield from fs.create(ctx, "alpha", data)
+            read_back = yield from fs.read(ctx, "alpha")
+            missing = yield from fs.read(ctx, "beta")
+            return read_back, missing
+
+        thread = machine.spawn(body)
+        validate(machine.run())
+        assert thread.result == (data, None)
+
+    def test_create_existing_rejected(self):
+        machine, fs, _ = fresh()
+
+        def body(ctx):
+            yield from fs.create(ctx, "alpha", b"x" * 16)
+            yield from fs.create(ctx, "alpha", b"y" * 16)
+
+        machine.spawn(body)
+        with pytest.raises(ReproError):
+            machine.run()
+
+    def test_shadow_write_replaces_content(self):
+        machine, fs, _ = fresh()
+        old, new = content(0, 0), content(0, 1, size=900)
+
+        def body(ctx):
+            yield from fs.create(ctx, "alpha", old)
+            yield from fs.write(ctx, "alpha", new)
+            data = yield from fs.read(ctx, "alpha")
+            return data
+
+        thread = machine.spawn(body)
+        machine.run()
+        assert thread.result == new
+
+    def test_unlink(self):
+        machine, fs, _ = fresh()
+
+        def body(ctx):
+            yield from fs.create(ctx, "alpha", b"z" * 32)
+            removed = yield from fs.unlink(ctx, "alpha")
+            gone = yield from fs.read(ctx, "alpha")
+            again = yield from fs.unlink(ctx, "alpha")
+            return removed, gone, again
+
+        thread = machine.spawn(body)
+        machine.run()
+        assert thread.result == (True, None, False)
+
+    def test_space_reclaimed_through_rewrites(self):
+        """Many rewrites of one file must not exhaust 64 blocks."""
+        machine, fs, _ = fresh()
+
+        def body(ctx):
+            yield from fs.create(ctx, "alpha", content(0, 0, size=1000))
+            for version in range(30):
+                yield from fs.write(ctx, "alpha", content(0, version, 1000))
+
+        machine.spawn(body)
+        machine.run()
+        files = fs.recover(snapshot(machine))
+        assert files[name_hash("alpha")].data == content(0, 29, 1000)
+
+    def test_oversized_file_rejected(self):
+        machine, fs, _ = fresh()
+
+        def body(ctx):
+            yield from fs.create(ctx, "big", b"x" * (MAX_FILE_SIZE + 1))
+
+        machine.spawn(body)
+        with pytest.raises(ReproError):
+            machine.run()
+
+    def test_empty_file(self):
+        machine, fs, _ = fresh()
+
+        def body(ctx):
+            yield from fs.create(ctx, "empty", b"")
+            data = yield from fs.read(ctx, "empty")
+            return data
+
+        thread = machine.spawn(body)
+        machine.run()
+        assert thread.result == b""
+        files = fs.recover(snapshot(machine))
+        assert files[name_hash("empty")].data == b""
+
+    def test_multithreaded_distinct_files(self):
+        machine, fs, _ = fresh(seed=5)
+
+        def body(ctx, thread):
+            name = f"file-{thread}"
+            yield from fs.create(ctx, name, content(thread, 0))
+            yield from fs.write(ctx, name, content(thread, 1))
+
+        for thread in range(3):
+            machine.spawn(body, thread)
+        machine.run()
+        files = fs.recover(snapshot(machine))
+        assert len(files) == 3
+        for thread in range(3):
+            assert files[name_hash(f"file-{thread}")].data == content(thread, 1)
+
+
+class TestRecoveryUnderFailure:
+    def _run_rewrite_workload(self, race_free, seed):
+        machine, fs, base_image = fresh(seed=seed, race_free=race_free)
+        versions = {}
+
+        def body(ctx, thread):
+            name = f"f{thread}"
+            versions.setdefault(name, []).append(content(thread, 0))
+            yield from fs.create(ctx, name, content(thread, 0))
+            for version in range(1, 4):
+                versions[name].append(content(thread, version))
+                yield from fs.write(ctx, name, content(thread, version))
+
+        for thread in range(2):
+            machine.spawn(body, thread)
+        trace = machine.run()
+        return machine, fs, base_image, trace, versions
+
+    def _count_violations(self, fs, base_image, trace, versions, model):
+        graph = analyze_graph(trace, model).graph
+        injector = FailureInjector(graph, base_image)
+        violations = 0
+        for _, image in injector.minimal_images(step=2):
+            try:
+                files = fs.recover(image)
+            except RecoveryError:
+                violations += 1
+                continue
+            for name, history in versions.items():
+                recovered = files.get(name_hash(name))
+                if recovered is not None and recovered.data not in history:
+                    violations += 1
+        return violations
+
+    @pytest.mark.parametrize("model", ["strict", "epoch", "strand"])
+    def test_race_free_fs_never_tears(self, model):
+        machine, fs, base_image, trace, versions = self._run_rewrite_workload(
+            race_free=True, seed=3
+        )
+        assert (
+            self._count_violations(fs, base_image, trace, versions, model)
+            == 0
+        )
+
+    def test_premature_reuse_found_without_discipline(self):
+        """Without barriers around the lock, block reuse can persist
+        before the directory swing: some cut recovers a torn file."""
+        total = 0
+        for seed in range(3):
+            machine, fs, base_image, trace, versions = (
+                self._run_rewrite_workload(race_free=False, seed=seed)
+            )
+            total += self._count_violations(
+                fs, base_image, trace, versions, "epoch"
+            )
+        assert total > 0
+
+    def test_race_lint_matches_discipline_flag(self):
+        """The persist-epoch race lint sees exactly what the flag does:
+        disciplined MiniFS is race-free, undisciplined MiniFS races."""
+        from repro.core import is_race_free
+
+        _, _, _, disciplined, _ = self._run_rewrite_workload(
+            race_free=True, seed=6
+        )
+        _, _, _, undisciplined, _ = self._run_rewrite_workload(
+            race_free=False, seed=6
+        )
+        assert is_race_free(disciplined)
+        assert not is_race_free(undisciplined)
+
+    def test_unlink_is_atomic_at_recovery(self):
+        machine, fs, base_image = fresh(seed=8)
+        data = content(0, 0)
+
+        def body(ctx):
+            yield from fs.create(ctx, "alpha", data)
+            yield from fs.unlink(ctx, "alpha")
+
+        machine.spawn(body)
+        trace = machine.run()
+        graph = analyze_graph(trace, "epoch").graph
+        injector = FailureInjector(graph, base_image)
+        observed = set()
+        for _, image in injector.prefix_images():
+            files = fs.recover(image)
+            recovered = files.get(name_hash("alpha"))
+            observed.add(recovered.data if recovered else None)
+        assert observed == {None, data}

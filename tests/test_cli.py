@@ -1,0 +1,173 @@
+"""End-to-end tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def trace_path(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    code = main(
+        [
+            "run",
+            "--design",
+            "cwl",
+            "--threads",
+            "2",
+            "--inserts",
+            "6",
+            "--seed",
+            "3",
+            "-o",
+            str(path),
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestRun:
+    def test_writes_trace(self, trace_path, capsys):
+        assert trace_path.exists()
+
+    def test_racing_flag(self, tmp_path, capsys):
+        path = tmp_path / "racing.jsonl"
+        assert (
+            main(
+                [
+                    "run", "--design", "cwl", "--racing", "--inserts", "4",
+                    "-o", str(path),
+                ]
+            )
+            == 0
+        )
+        assert "persists" in capsys.readouterr().out
+
+    def test_bad_output_path_is_error_not_crash(self, capsys):
+        code = main(
+            ["run", "--inserts", "2", "-o", "/nonexistent/dir/x.jsonl"]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestAnalyze:
+    def test_all_models_by_default(self, trace_path, capsys):
+        assert main(["analyze", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        for model in ("strict", "epoch", "bpfs", "strand"):
+            assert model in out
+        assert "CP/op" in out  # insert marks found
+
+    def test_single_model_with_options(self, trace_path, capsys):
+        code = main(
+            [
+                "analyze",
+                str(trace_path),
+                "--model",
+                "epoch",
+                "--persist-granularity",
+                "64",
+                "--no-coalescing",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "epoch" in out and "strict" not in out
+
+    def test_missing_trace_file(self, capsys):
+        assert main(["analyze", "/no/such/trace.jsonl"]) == 2
+
+
+class TestRaces:
+    def test_race_free_trace_passes(self, trace_path, capsys):
+        assert main(["races", str(trace_path)]) == 0
+        assert "no persist-epoch races" in capsys.readouterr().out
+
+    def test_racing_trace_fails(self, tmp_path, capsys):
+        path = tmp_path / "racing.jsonl"
+        main(
+            [
+                "run", "--design", "cwl", "--threads", "2", "--inserts", "6",
+                "--racing", "-o", str(path),
+            ]
+        )
+        assert main(["races", str(path)]) == 1
+        assert "race" in capsys.readouterr().out
+
+
+class TestDot:
+    def test_writes_dot_file(self, trace_path, tmp_path, capsys):
+        out = tmp_path / "graph.dot"
+        assert (
+            main(["dot", str(trace_path), "--model", "strand", "-o", str(out)])
+            == 0
+        )
+        text = out.read_text()
+        assert text.startswith("digraph persists")
+        assert "->" in text
+
+    def test_prints_to_stdout_without_output(self, trace_path, capsys):
+        assert main(["dot", str(trace_path)]) == 0
+        assert "digraph" in capsys.readouterr().out
+
+
+class TestInject:
+    def test_correct_design_passes(self, capsys):
+        code = main(
+            [
+                "inject", "--design", "cwl", "--threads", "2", "--inserts",
+                "5", "--samples", "10", "--minimal-step", "10",
+            ]
+        )
+        assert code == 0
+        assert "0 violation(s)" in capsys.readouterr().out
+
+    def test_paper_faithful_tlc_fails(self, capsys):
+        # Seed chosen so the printed-algorithm hole manifests.
+        code = main(
+            [
+                "inject", "--design", "2lc", "--threads", "4", "--inserts",
+                "8", "--paper-faithful", "--samples", "0", "--seed", "0",
+            ]
+        )
+        assert code == 1
+        assert "violation" in capsys.readouterr().out
+
+
+class TestSelfcheck:
+    def test_selfcheck_passes(self, capsys):
+        assert main(["selfcheck"]) == 0
+        out = capsys.readouterr().out
+        assert "selfcheck: PASS" in out
+        assert "[FAIL]" not in out
+
+
+class TestAnalyzeWear:
+    def test_wear_columns(self, trace_path, capsys):
+        assert main(["analyze", str(trace_path), "--wear"]) == 0
+        out = capsys.readouterr().out
+        assert "max_wear" in out and "write_cut" in out
+
+
+class TestTableAndFigures:
+    def test_table1_small(self, capsys):
+        assert main(["table1", "--inserts", "20", "--threads", "1", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Copy While Locked" in out and "Strand" in out
+
+    def test_figures_writes_csvs(self, tmp_path, capsys):
+        out_dir = tmp_path / "figs"
+        assert (
+            main(["figures", "--inserts", "20", "--out", str(out_dir)]) == 0
+        )
+        names = {p.name for p in out_dir.iterdir()}
+        assert names == {
+            "fig3_latency.csv",
+            "fig3_latency.svg",
+            "fig4_persist_granularity.csv",
+            "fig4_persist_granularity.svg",
+            "fig5_false_sharing.csv",
+            "fig5_false_sharing.svg",
+        }

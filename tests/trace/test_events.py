@@ -1,0 +1,66 @@
+"""Unit tests for trace event records."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.trace import EventKind, MemoryEvent, make_access, make_marker
+
+
+class TestEventConstruction:
+    def test_access_event(self):
+        event = make_access(0, 1, EventKind.STORE, 0x1000, 8, 42, True)
+        assert event.is_access and event.is_store_like and event.is_persist
+
+    def test_load_is_not_persist(self):
+        event = make_access(0, 0, EventKind.LOAD, 0x1000, 8, 0, True)
+        assert event.is_load_like and not event.is_persist
+
+    def test_rmw_is_both_load_and_store(self):
+        event = make_access(0, 0, EventKind.RMW, 0x1000, 8, 1, False)
+        assert event.is_load_like and event.is_store_like
+        assert not event.is_persist  # volatile RMW
+
+    def test_persistent_rmw_is_persist(self):
+        event = make_access(0, 0, EventKind.RMW, 0x1000, 8, 1, True)
+        assert event.is_persist
+
+    def test_marker_event(self):
+        event = make_marker(3, 2, EventKind.PERSIST_BARRIER)
+        assert not event.is_access
+
+    def test_marker_rejects_access_kind(self):
+        with pytest.raises(TraceError):
+            make_marker(0, 0, EventKind.LOAD)
+
+    def test_access_rejects_word_crossing(self):
+        with pytest.raises(Exception):
+            make_access(0, 0, EventKind.LOAD, 0x1004, 8, 0, False)
+
+    def test_marker_rejects_address(self):
+        with pytest.raises(TraceError):
+            MemoryEvent(seq=0, thread=0, kind=EventKind.MARK, addr=0x10)
+
+    def test_negative_seq_rejected(self):
+        with pytest.raises(TraceError):
+            make_marker(-1, 0, EventKind.MARK)
+
+    def test_negative_thread_rejected(self):
+        with pytest.raises(TraceError):
+            make_marker(0, -1, EventKind.MARK)
+
+
+class TestDataBytes:
+    def test_store_data_little_endian(self):
+        event = make_access(0, 0, EventKind.STORE, 0x1000, 4, 0x01020304, True)
+        assert event.data_bytes() == bytes([4, 3, 2, 1])
+
+    def test_load_has_no_data(self):
+        event = make_access(0, 0, EventKind.LOAD, 0x1000, 8, 5, False)
+        with pytest.raises(TraceError):
+            event.data_bytes()
+
+    def test_data_roundtrips_through_int(self):
+        payload = b"\xde\xad\xbe\xef\x00\x11\x22\x33"
+        value = int.from_bytes(payload, "little")
+        event = make_access(0, 0, EventKind.STORE, 0x1000, 8, value, True)
+        assert event.data_bytes() == payload

@@ -1,0 +1,73 @@
+"""Unit tests for the trace container and statistics."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.trace import EventKind, Trace, make_access, make_marker
+
+
+def sample_trace():
+    trace = Trace(meta={"program": "test"})
+    trace.append(make_marker(0, 0, EventKind.THREAD_BEGIN))
+    trace.append(make_access(1, 0, EventKind.STORE, 0x8000_0000, 8, 1, True))
+    trace.append(make_access(2, 0, EventKind.LOAD, 0x8000_0000, 8, 1, True))
+    trace.append(make_marker(3, 0, EventKind.PERSIST_BARRIER))
+    trace.append(make_access(4, 1, EventKind.RMW, 0x1000, 8, 2, False))
+    trace.append(make_marker(5, 0, EventKind.MARK, "insert:end"))
+    trace.append(make_marker(6, 1, EventKind.NEW_STRAND))
+    return trace
+
+
+class TestContainer:
+    def test_len_and_iteration(self):
+        trace = sample_trace()
+        assert len(trace) == 7
+        assert [event.seq for event in trace] == list(range(7))
+
+    def test_indexing(self):
+        trace = sample_trace()
+        assert trace[1].kind is EventKind.STORE
+
+    def test_out_of_order_seq_rejected(self):
+        trace = Trace()
+        with pytest.raises(TraceError):
+            trace.append(make_marker(5, 0, EventKind.MARK))
+
+    def test_meta_preserved(self):
+        assert sample_trace().meta == {"program": "test"}
+
+    def test_thread_views(self):
+        trace = sample_trace()
+        assert trace.thread_ids() == [0, 1]
+        thread0 = trace.events_for_thread(0)
+        assert all(event.thread == 0 for event in thread0)
+        assert len(thread0) == 5
+
+    def test_count_marks(self):
+        trace = sample_trace()
+        assert trace.count_marks("insert:end") == 1
+        assert trace.count_marks("nonexistent") == 0
+
+
+class TestStats:
+    def test_stats_counts(self):
+        stats = sample_trace().stats()
+        assert stats.events == 7
+        assert stats.loads == 1
+        assert stats.stores == 1
+        assert stats.rmws == 1
+        assert stats.accesses == 3
+        assert stats.persists == 1  # the persistent store; RMW is volatile
+        assert stats.persist_barriers == 1
+        assert stats.new_strands == 1
+        assert stats.threads == 2
+        assert stats.marks == {"insert:end": 1}
+
+    def test_volatile_accesses(self):
+        stats = sample_trace().stats()
+        assert stats.volatile_accesses == stats.accesses - stats.persists
+
+    def test_empty_trace_stats(self):
+        stats = Trace().stats()
+        assert stats.events == 0
+        assert stats.threads == 0

@@ -1,0 +1,110 @@
+"""Tests for SC-value and structural trace validation."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.trace import (
+    EventKind,
+    Trace,
+    make_access,
+    make_marker,
+    validate,
+    validate_sc_values,
+    validate_structure,
+)
+
+ADDR = 0x8000_0000
+
+
+def trace_of(*events):
+    trace = Trace()
+    for event in events:
+        trace.append(event)
+    return trace
+
+
+class TestScValues:
+    def test_load_sees_last_store(self):
+        trace = trace_of(
+            make_access(0, 0, EventKind.STORE, ADDR, 8, 7, True),
+            make_access(1, 1, EventKind.LOAD, ADDR, 8, 7, True),
+        )
+        validate_sc_values(trace)
+
+    def test_stale_load_detected(self):
+        trace = trace_of(
+            make_access(0, 0, EventKind.STORE, ADDR, 8, 7, True),
+            make_access(1, 1, EventKind.LOAD, ADDR, 8, 3, True),
+        )
+        with pytest.raises(TraceError):
+            validate_sc_values(trace)
+
+    def test_partial_overlap_checked_bytewise(self):
+        trace = trace_of(
+            make_access(0, 0, EventKind.STORE, ADDR, 8, 0xAABBCCDDEEFF0011, True),
+            make_access(1, 0, EventKind.STORE, ADDR, 2, 0x1234, True),
+            make_access(2, 1, EventKind.LOAD, ADDR, 4, 0xEEFF1234, True),
+        )
+        validate_sc_values(trace)
+
+    def test_unwritten_bytes_unconstrained(self):
+        trace = trace_of(
+            make_access(0, 0, EventKind.LOAD, ADDR, 8, 0xFFFF, True),
+        )
+        validate_sc_values(trace)
+
+    def test_rmw_not_checked_as_load(self):
+        # RMW records the written value; validators must not compare it
+        # against the replay as if it were observed.
+        trace = trace_of(
+            make_access(0, 0, EventKind.STORE, ADDR, 8, 5, True),
+            make_access(1, 1, EventKind.RMW, ADDR, 8, 6, True),
+            make_access(2, 0, EventKind.LOAD, ADDR, 8, 6, True),
+        )
+        validate_sc_values(trace)
+
+
+class TestStructure:
+    def test_well_formed_lifecycle(self):
+        trace = trace_of(
+            make_marker(0, 0, EventKind.THREAD_BEGIN),
+            make_marker(1, 0, EventKind.MARK, "x"),
+            make_marker(2, 0, EventKind.THREAD_END),
+        )
+        validate_structure(trace)
+
+    def test_double_begin_rejected(self):
+        trace = trace_of(
+            make_marker(0, 0, EventKind.THREAD_BEGIN),
+            make_marker(1, 0, EventKind.THREAD_BEGIN),
+        )
+        with pytest.raises(TraceError):
+            validate_structure(trace)
+
+    def test_end_without_begin_rejected(self):
+        trace = trace_of(make_marker(0, 0, EventKind.THREAD_END))
+        with pytest.raises(TraceError):
+            validate_structure(trace)
+
+    def test_event_after_end_rejected(self):
+        trace = trace_of(
+            make_marker(0, 0, EventKind.THREAD_BEGIN),
+            make_marker(1, 0, EventKind.THREAD_END),
+            make_marker(2, 0, EventKind.MARK, "zombie"),
+        )
+        with pytest.raises(TraceError):
+            validate_structure(trace)
+
+    def test_event_before_begin_rejected(self):
+        trace = trace_of(
+            make_marker(0, 0, EventKind.THREAD_BEGIN),
+            make_marker(1, 1, EventKind.MARK, "early"),
+        )
+        with pytest.raises(TraceError):
+            validate_structure(trace)
+
+
+class TestEndToEnd:
+    def test_real_workload_traces_validate(self, cwl_1t, cwl_4t, tlc_4t):
+        for workload in (cwl_1t, cwl_4t, tlc_4t):
+            validate(workload.trace)
