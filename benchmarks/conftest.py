@@ -7,19 +7,48 @@ writes its regenerated table/figure to ``benchmarks/out/`` so a run
 leaves plottable artifacts behind.
 """
 
+import os
 from pathlib import Path
 
 import pytest
 
-from repro.harness import ExperimentRunner
+from repro.harness import (
+    DiskCache,
+    ExperimentRunner,
+    figure_cells,
+    run_grid,
+    table1_cells,
+)
 
 #: Inserts per thread for benchmark workloads.
 BENCH_INSERTS = 125
 
+#: Thread counts the Table 1 benchmark sweeps (kept in sync with
+#: ``bench_table1.THREAD_COUNTS`` so the prewarm grid covers it).
+BENCH_THREADS = (1, 8)
+
 
 @pytest.fixture(scope="session")
 def runner():
-    return ExperimentRunner(inserts_per_thread=BENCH_INSERTS, base_seed=1)
+    """Session runner; honours the harness env knobs:
+
+    - ``REPRO_BENCH_CACHE``: directory for the on-disk trace/analysis
+      cache (reruns then skip every converged trace);
+    - ``REPRO_BENCH_JOBS``: worker processes used to prewarm the
+      Table 1 + Figures 3-5 grid before benchmarks start.
+    """
+    cache_dir = os.environ.get("REPRO_BENCH_CACHE")
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+    runner = ExperimentRunner(
+        inserts_per_thread=BENCH_INSERTS,
+        base_seed=1,
+        cache=DiskCache(cache_dir) if cache_dir else None,
+    )
+    if jobs > 1:
+        run_grid(
+            runner, table1_cells(BENCH_THREADS) + figure_cells(), jobs=jobs
+        )
+    return runner
 
 
 @pytest.fixture(scope="session")

@@ -8,8 +8,8 @@ writing Python::
     repro races   trace.jsonl
     repro dot     trace.jsonl --model strand -o persists.dot
     repro inject  --design 2lc --threads 4 --inserts 8 --samples 50
-    repro table1  --inserts 125
-    repro figures --inserts 125 --out artifacts/
+    repro table1  --inserts 125 --jobs 4 --cache-dir .repro-cache --stats
+    repro figures --inserts 125 --out artifacts/ --jobs 4
     repro selfcheck
 
 Every command prints to stdout and returns a process exit code; `inject`,
@@ -37,13 +37,17 @@ from repro.errors import RecoveryError, ReproError
 from repro.harness import (
     DEFAULT_COST_MODEL,
     PAPER_PERSIST_LATENCY,
+    DiskCache,
     ExperimentRunner,
     build_table1,
     figure3_latency_sweep,
     figure4_persist_granularity,
     figure5_tracking_granularity,
+    figure_cells,
     format_table1,
     persist_bound_rate,
+    run_grid,
+    table1_cells,
 )
 from repro.queue import run_insert_workload, verify_recovery
 from repro.queue.cwl import INSERT_MARK
@@ -66,6 +70,25 @@ def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
         "--paper-faithful",
         action="store_true",
         help="2LC exactly as printed in Algorithm 1 (recovery-unsafe)",
+    )
+
+
+def _add_harness_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the experiment grid (1 = serial)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="content-addressed on-disk cache for traces and analyses",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print per-stage timing and cache hit-rate counters to stderr",
     )
 
 
@@ -193,21 +216,37 @@ def cmd_inject(args: argparse.Namespace) -> int:
     return 1 if violations else 0
 
 
+def _make_runner(args: argparse.Namespace) -> ExperimentRunner:
+    """Build the harness runner shared by table1/figures commands."""
+    cache = DiskCache(args.cache_dir) if args.cache_dir else None
+    return ExperimentRunner(
+        inserts_per_thread=args.inserts, base_seed=args.seed, cache=cache
+    )
+
+
+def _report_stats(args: argparse.Namespace, runner: ExperimentRunner) -> None:
+    """Print the per-stage stats report (stderr: stdout stays the data)."""
+    if args.stats:
+        print(runner.stats.report(), file=sys.stderr)
+
+
 def cmd_table1(args: argparse.Namespace) -> int:
     """Regenerate Table 1."""
-    runner = ExperimentRunner(
-        inserts_per_thread=args.inserts, base_seed=args.seed
-    )
-    table = build_table1(runner, thread_counts=tuple(args.threads))
+    runner = _make_runner(args)
+    thread_counts = tuple(args.threads)
+    if args.jobs and args.jobs > 1:
+        run_grid(runner, table1_cells(thread_counts), jobs=args.jobs)
+    table = build_table1(runner, thread_counts=thread_counts)
     print(format_table1(table))
+    _report_stats(args, runner)
     return 0
 
 
 def cmd_figures(args: argparse.Namespace) -> int:
     """Regenerate Figures 3-5 as CSV files."""
-    runner = ExperimentRunner(
-        inserts_per_thread=args.inserts, base_seed=args.seed
-    )
+    runner = _make_runner(args)
+    if args.jobs and args.jobs > 1:
+        run_grid(runner, figure_cells(), jobs=args.jobs)
     out = Path(args.out)
     out.mkdir(parents=True, exist_ok=True)
     fig3 = figure3_latency_sweep(runner)
@@ -222,6 +261,7 @@ def cmd_figures(args: argparse.Namespace) -> int:
     fig5.to_csv(out / "fig5_false_sharing.csv")
     fig5.to_svg(out / "fig5_false_sharing.svg")
     print(f"wrote figures to {out}")
+    _report_stats(args, runner)
     return 0
 
 
@@ -362,12 +402,14 @@ def build_parser() -> argparse.ArgumentParser:
     table_parser.add_argument(
         "--threads", type=int, nargs="+", default=[1, 8]
     )
+    _add_harness_arguments(table_parser)
     table_parser.set_defaults(handler=cmd_table1)
 
     figures_parser = commands.add_parser("figures", help=cmd_figures.__doc__)
     figures_parser.add_argument("--inserts", type=int, default=125)
     figures_parser.add_argument("--seed", type=int, default=1)
     figures_parser.add_argument("--out", default="artifacts")
+    _add_harness_arguments(figures_parser)
     figures_parser.set_defaults(handler=cmd_figures)
 
     selfcheck_parser = commands.add_parser(

@@ -73,9 +73,9 @@ class AnalysisResult:
     barriers: int
     strands: int
     #: Persists per level: the persist concurrency profile.
-    level_histogram: Dict[int, int] = None
+    level_histogram: Optional[Dict[int, int]] = None
     #: Device writes per atomic-persist block (post-coalescing wear).
-    block_writes: Dict[int, int] = None
+    block_writes: Optional[Dict[int, int]] = None
     #: Populated when the analysis ran on a GraphDomain.
     graph: Optional[GraphDomain] = None
 

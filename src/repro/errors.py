@@ -35,6 +35,10 @@ class TraceError(ReproError):
     """A trace is malformed or violates the guarantees it claims."""
 
 
+class CacheError(ReproError):
+    """A disk-cache entry is malformed (callers treat this as a miss)."""
+
+
 class AnalysisError(ReproError):
     """A persistency analysis was configured or driven incorrectly."""
 

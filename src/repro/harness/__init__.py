@@ -1,5 +1,14 @@
-"""Experiment harness: cost models, metrics, runner, tables, figures."""
+"""Experiment harness: cost models, metrics, runner, cache, parallel
+grid execution, tables, and figures."""
 
+from repro.harness.cache import (
+    DiskCache,
+    HarnessStats,
+    analysis_from_payload,
+    analysis_to_payload,
+    analysis_key,
+    workload_key,
+)
 from repro.harness.figures import (
     FIG3_MODELS,
     GRANULARITIES,
@@ -21,7 +30,14 @@ from repro.harness.metrics import (
     normalized_throughput,
     persist_bound_rate,
 )
-from repro.harness.runner import TABLE1_COLUMNS, ExperimentRunner
+from repro.harness.parallel import (
+    GridCell,
+    dedup_cells,
+    figure_cells,
+    run_grid,
+    table1_cells,
+)
+from repro.harness.runner import TABLE1_COLUMNS, ExperimentRunner, derive_seed
 from repro.harness.svg import figure_to_svg, render_line_chart
 from repro.harness.wear import WearProfile, wear_profile
 from repro.harness.tables import (
@@ -34,6 +50,18 @@ from repro.harness.tables import (
 )
 
 __all__ = [
+    "DiskCache",
+    "HarnessStats",
+    "workload_key",
+    "analysis_key",
+    "analysis_to_payload",
+    "analysis_from_payload",
+    "GridCell",
+    "table1_cells",
+    "figure_cells",
+    "dedup_cells",
+    "run_grid",
+    "derive_seed",
     "InstructionCostModel",
     "DEFAULT_COST_MODEL",
     "PAPER_PERSIST_LATENCY",

@@ -1,0 +1,291 @@
+"""Content-addressed on-disk cache for traces and analysis results.
+
+Large sweeps (Table 1 and the seven ablations) re-run the same workloads
+and analyses; this cache memoizes both across processes and interpreter
+invocations.  Entries are addressed by a SHA-256 digest of a canonical
+JSON encoding of everything that determines the result:
+
+* **traces** — the full :class:`~repro.queue.workload.WorkloadConfig`
+  (including the derived scheduler seed, which is why seed derivation
+  must be process-independent);
+* **analyses** — the trace digest plus the model name and the
+  :class:`~repro.core.analysis.AnalysisConfig` fields.
+
+Traces reuse the JSONL format from :mod:`repro.trace.io`; analysis
+results are stored as one JSON object.  Every read validates what it
+loads and degrades to a **miss** (evicting the corrupt file) rather than
+crashing — a half-written or truncated entry must never poison a sweep.
+Writes go through a temp file plus :func:`os.replace` so concurrent
+workers racing on one key leave a complete entry either way.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.core.analysis import AnalysisConfig, AnalysisResult
+from repro.errors import CacheError, TraceError
+from repro.queue.workload import WorkloadConfig
+from repro.trace.io import dump, load_file
+from repro.trace.trace import Trace
+
+_PathLike = Union[str, Path]
+
+#: Bump when the on-disk encoding changes; old entries become misses.
+CACHE_FORMAT_VERSION = 1
+
+#: AnalysisResult scalar fields stored verbatim in the JSON payload.
+_ANALYSIS_SCALARS = (
+    "critical_path",
+    "persist_count",
+    "persist_stores",
+    "coalesced",
+    "events",
+    "barriers",
+    "strands",
+)
+
+
+def _digest(payload: Dict[str, object]) -> str:
+    """Stable hex digest of a JSON-serializable payload."""
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def workload_key(config: WorkloadConfig) -> str:
+    """Content digest of one workload configuration."""
+    payload: Dict[str, object] = {
+        "kind": "trace",
+        "version": CACHE_FORMAT_VERSION,
+        "capacity": config.capacity,
+        "volatile_queue": config.volatile_queue,
+    }
+    payload.update(config.describe())
+    return _digest(payload)
+
+
+def analysis_key(
+    workload: WorkloadConfig, model: str, config: AnalysisConfig
+) -> str:
+    """Content digest of one (trace, model, analysis-config) cell."""
+    return _digest(
+        {
+            "kind": "analysis",
+            "version": CACHE_FORMAT_VERSION,
+            "trace": workload_key(workload),
+            "model": model,
+            "persist_granularity": config.persist_granularity,
+            "tracking_granularity": config.tracking_granularity,
+            "coalescing": config.coalescing,
+        }
+    )
+
+
+def analysis_to_payload(result: AnalysisResult) -> Dict[str, object]:
+    """Serialize an :class:`AnalysisResult` (sans graph) to a JSON dict."""
+    payload: Dict[str, object] = {
+        "model": result.model,
+        "config": {
+            "persist_granularity": result.config.persist_granularity,
+            "tracking_granularity": result.config.tracking_granularity,
+            "coalescing": result.config.coalescing,
+        },
+        "level_histogram": (
+            None
+            if result.level_histogram is None
+            else {str(k): v for k, v in result.level_histogram.items()}
+        ),
+        "block_writes": (
+            None
+            if result.block_writes is None
+            else {str(k): v for k, v in result.block_writes.items()}
+        ),
+    }
+    for name in _ANALYSIS_SCALARS:
+        payload[name] = getattr(result, name)
+    return payload
+
+
+def analysis_from_payload(payload: Dict[str, object]) -> AnalysisResult:
+    """Rebuild an :class:`AnalysisResult` from its JSON dict."""
+    try:
+        config = AnalysisConfig(**payload["config"])
+        scalars = {name: int(payload[name]) for name in _ANALYSIS_SCALARS}
+        histograms = {}
+        for name in ("level_histogram", "block_writes"):
+            raw = payload[name]
+            histograms[name] = (
+                None
+                if raw is None
+                else {int(k): int(v) for k, v in raw.items()}
+            )
+        return AnalysisResult(
+            model=payload["model"],
+            config=config,
+            **scalars,
+            **histograms,
+        )
+    except (AttributeError, KeyError, TypeError, ValueError) as exc:
+        raise CacheError(f"malformed analysis payload: {exc}") from exc
+
+
+@dataclass
+class HarnessStats:
+    """Per-stage work and cache-hit counters for one harness run.
+
+    ``workload_runs`` counts traces actually executed in-process (the
+    expensive simulator stage); a fully warm cache run keeps it at zero.
+    """
+
+    workload_runs: int = 0
+    workload_memory_hits: int = 0
+    workload_disk_hits: int = 0
+    analysis_runs: int = 0
+    analysis_memory_hits: int = 0
+    analysis_disk_hits: int = 0
+    cache_evictions: int = 0
+    trace_seconds: float = 0.0
+    analysis_seconds: float = 0.0
+
+    def merge(self, other: "HarnessStats") -> None:
+        """Fold another stats object (e.g. a worker's) into this one."""
+        for name in self.__dataclass_fields__:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+    def report(self) -> str:
+        """Multi-line human-readable stats report."""
+        return "\n".join(
+            [
+                "harness stats:",
+                (
+                    f"  workloads: {self.workload_runs} traced "
+                    f"({self.trace_seconds:.2f}s), "
+                    f"{self.workload_disk_hits} disk hit(s), "
+                    f"{self.workload_memory_hits} memory hit(s)"
+                ),
+                (
+                    f"  analyses:  {self.analysis_runs} run "
+                    f"({self.analysis_seconds:.2f}s), "
+                    f"{self.analysis_disk_hits} disk hit(s), "
+                    f"{self.analysis_memory_hits} memory hit(s)"
+                ),
+                f"  cache:     {self.cache_evictions} corrupt entrie(s) evicted",
+            ]
+        )
+
+
+@dataclass
+class DiskCache:
+    """Content-addressed trace/analysis store rooted at one directory."""
+
+    root: Path
+    stats: HarnessStats = field(default_factory=HarnessStats, repr=False)
+
+    def __init__(
+        self, root: _PathLike, stats: Optional[HarnessStats] = None
+    ) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.stats = stats if stats is not None else HarnessStats()
+
+    # -- paths ---------------------------------------------------------------
+
+    def trace_path(self, key: str) -> Path:
+        """File holding the trace with content digest ``key``."""
+        return self.root / f"{key}.trace.jsonl"
+
+    def analysis_path(self, key: str) -> Path:
+        """File holding the analysis with content digest ``key``."""
+        return self.root / f"{key}.analysis.json"
+
+    # -- internals -----------------------------------------------------------
+
+    def _evict(self, path: Path) -> None:
+        """Drop a corrupt entry; the caller reports a miss."""
+        self.stats.cache_evictions += 1
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    def _atomic_write(self, path: Path, writer) -> None:
+        """Write via a sibling temp file and rename into place."""
+        handle, temp_name = tempfile.mkstemp(
+            dir=self.root, prefix=path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(handle, "w", encoding="utf-8") as stream:
+                writer(stream)
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+
+    # -- traces --------------------------------------------------------------
+
+    def load_trace(self, config: WorkloadConfig) -> Optional[Trace]:
+        """Return the cached trace for ``config``, or None on a miss.
+
+        A malformed or truncated entry is evicted and reported as a miss.
+        """
+        path = self.trace_path(workload_key(config))
+        if not path.exists():
+            return None
+        try:
+            return load_file(path)
+        except (TraceError, OSError, UnicodeDecodeError):
+            self._evict(path)
+            return None
+
+    def store_trace(self, config: WorkloadConfig, trace: Trace) -> None:
+        """Persist one trace under its configuration digest."""
+        path = self.trace_path(workload_key(config))
+        self._atomic_write(path, lambda stream: dump(trace, stream))
+
+    # -- analyses ------------------------------------------------------------
+
+    def load_analysis(
+        self, workload: WorkloadConfig, model: str, config: AnalysisConfig
+    ) -> Optional[AnalysisResult]:
+        """Return the cached analysis for one cell, or None on a miss."""
+        path = self.analysis_path(analysis_key(workload, model, config))
+        if not path.exists():
+            return None
+        try:
+            with open(path, "r", encoding="utf-8") as stream:
+                payload = json.load(stream)
+            return analysis_from_payload(payload)
+        except (
+            CacheError,
+            OSError,
+            UnicodeDecodeError,
+            json.JSONDecodeError,
+        ):
+            self._evict(path)
+            return None
+
+    def store_analysis(
+        self,
+        workload: WorkloadConfig,
+        model: str,
+        config: AnalysisConfig,
+        result: AnalysisResult,
+    ) -> None:
+        """Persist one analysis result (graph-carrying results are skipped:
+        a :class:`GraphDomain` does not round-trip through JSON)."""
+        if result.graph is not None:
+            return
+        path = self.analysis_path(analysis_key(workload, model, config))
+        payload = analysis_to_payload(result)
+        self._atomic_write(
+            path, lambda stream: json.dump(payload, stream, sort_keys=True)
+        )

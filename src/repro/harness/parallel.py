@@ -1,0 +1,242 @@
+"""Parallel grid executor for the experiment harness.
+
+Table 1 and Figures 3-5 evaluate a (design x threads x racing x model x
+granularity) grid whose cells are independent: each needs one traced
+workload and one critical-path analysis.  This module fans the grid out
+over a :class:`concurrent.futures.ProcessPoolExecutor` — one task per
+*program variant* (design, threads, racing), carrying every analysis
+cell that shares its trace, so the trace is executed exactly once just
+like the serial path — and merges worker results back into the parent
+:class:`~repro.harness.runner.ExperimentRunner`.
+
+Workers rebuild an identical runner from scalar parameters and reuse the
+exact serial code path (same :func:`~repro.harness.runner.derive_seed`
+seeds, same analyzer), so parallel results are bit-identical to serial
+ones; with a shared ``cache_dir`` they also populate the disk cache as
+they go.  Traces cross the process boundary in the JSONL wire format
+from :mod:`repro.trace.io`.
+"""
+
+from __future__ import annotations
+
+import io
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import asdict, dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.analysis import AnalysisConfig
+from repro.harness.cache import (
+    DiskCache,
+    HarnessStats,
+    analysis_from_payload,
+    analysis_to_payload,
+)
+from repro.harness.runner import (
+    RACING_SENSITIVE_DESIGNS,
+    TABLE1_COLUMNS,
+    ExperimentRunner,
+)
+from repro.memory import layout
+from repro.queue.workload import WorkloadResult
+from repro.trace.io import dump, load
+
+#: One program variant: (design, threads, racing).
+Variant = Tuple[str, int, bool]
+
+
+@dataclass(frozen=True)
+class GridCell:
+    """One analysis cell of the experiment grid."""
+
+    design: str
+    threads: int
+    racing: bool
+    model: str
+    persist_granularity: int = layout.DEFAULT_PERSIST_GRANULARITY
+    tracking_granularity: int = layout.DEFAULT_TRACKING_GRANULARITY
+    coalescing: bool = True
+
+    @property
+    def variant(self) -> Variant:
+        """The (design, threads, racing) program variant, normalised."""
+        racing = self.racing and self.design in RACING_SENSITIVE_DESIGNS
+        return (self.design, self.threads, racing)
+
+    def analysis_config(self) -> AnalysisConfig:
+        """The cell's analysis configuration."""
+        return AnalysisConfig(
+            persist_granularity=self.persist_granularity,
+            tracking_granularity=self.tracking_granularity,
+            coalescing=self.coalescing,
+        )
+
+
+def table1_cells(thread_counts: Sequence[int] = (1, 8)) -> List[GridCell]:
+    """The grid cells Table 1 evaluates."""
+    cells = []
+    for design in ("cwl", "2lc"):
+        for threads in thread_counts:
+            for model, racing in TABLE1_COLUMNS.values():
+                cells.append(GridCell(design, threads, racing, model))
+    return cells
+
+
+def figure_cells(
+    design: str = "cwl",
+    threads: int = 1,
+    granularities: Sequence[int] = (8, 16, 32, 64, 128, 256),
+) -> List[GridCell]:
+    """The grid cells Figures 3-5 evaluate (at their default arguments)."""
+    cells = []
+    for column in ("strict", "epoch", "strand"):  # Figure 3
+        model, racing = TABLE1_COLUMNS[column]
+        cells.append(GridCell(design, threads, racing, model))
+    for column in ("strict", "epoch"):  # Figures 4 and 5
+        model, racing = TABLE1_COLUMNS[column]
+        for granularity in granularities:
+            cells.append(
+                GridCell(
+                    design, threads, racing, model,
+                    persist_granularity=granularity,
+                )
+            )
+            cells.append(
+                GridCell(
+                    design, threads, racing, model,
+                    tracking_granularity=granularity,
+                )
+            )
+    return cells
+
+
+def dedup_cells(cells: Iterable[GridCell]) -> List[GridCell]:
+    """Drop duplicate cells (and racing variants of insensitive designs)."""
+    seen = set()
+    unique = []
+    for cell in cells:
+        design, threads, racing = cell.variant
+        canonical = GridCell(
+            design,
+            threads,
+            racing,
+            cell.model,
+            cell.persist_granularity,
+            cell.tracking_granularity,
+            cell.coalescing,
+        )
+        if canonical not in seen:
+            seen.add(canonical)
+            unique.append(canonical)
+    return unique
+
+
+def _cell_to_wire(cell: GridCell) -> dict:
+    return asdict(cell)
+
+
+def _run_variant(task: dict) -> dict:
+    """Worker entry point: trace one variant, analyze its cells.
+
+    Rebuilds a runner from scalars so seeds and results are identical to
+    the serial path; returns JSON-safe payloads only.
+    """
+    cache_dir = task["cache_dir"]
+    runner = ExperimentRunner(
+        inserts_per_thread=task["inserts_per_thread"],
+        entry_size=task["entry_size"],
+        lock_kind=task["lock_kind"],
+        base_seed=task["base_seed"],
+        cache=DiskCache(cache_dir) if cache_dir else None,
+    )
+    design, threads, racing = task["variant"]
+    analyses = []
+    for wire in task["cells"]:
+        cell = GridCell(**wire)
+        result = runner.analysis(
+            design, threads, racing, cell.model, cell.analysis_config()
+        )
+        analyses.append({"cell": wire, "payload": analysis_to_payload(result)})
+    workload = runner.workload(design, threads, racing)
+    buffer = io.StringIO()
+    dump(workload.trace, buffer)
+    return {
+        "variant": task["variant"],
+        "trace": buffer.getvalue(),
+        "analyses": analyses,
+        "stats": asdict(runner.stats),
+    }
+
+
+def _merge_variant(runner: ExperimentRunner, result: dict) -> None:
+    """Fold one worker result into the parent runner's caches."""
+    design, threads, racing = result["variant"]
+    trace = load(io.StringIO(result["trace"]))
+    runner.merge_workload(
+        design,
+        threads,
+        racing,
+        WorkloadResult(
+            config=runner.workload_config(design, threads, racing),
+            machine=None,
+            trace=trace,
+            queue=None,
+        ),
+    )
+    for entry in result["analyses"]:
+        cell = GridCell(**entry["cell"])
+        runner.merge_analysis(
+            design,
+            threads,
+            racing,
+            cell.model,
+            cell.analysis_config(),
+            analysis_from_payload(entry["payload"]),
+        )
+    runner.stats.merge(HarnessStats(**result["stats"]))
+
+
+def run_grid(
+    runner: ExperimentRunner,
+    cells: Iterable[GridCell],
+    jobs: Optional[int] = None,
+) -> HarnessStats:
+    """Evaluate ``cells`` with ``jobs`` worker processes, merging results.
+
+    ``jobs`` of ``None``, 0, or 1 evaluates serially through the runner
+    (identical results, no process pool).  Returns the runner's stats.
+    After this returns, every cell's workload and analysis sit in the
+    runner's in-memory caches, so table/figure builders hit memory only.
+    """
+    cells = dedup_cells(cells)
+    groups: Dict[Variant, List[GridCell]] = {}
+    for cell in cells:
+        groups.setdefault(cell.variant, []).append(cell)
+
+    if jobs is None or jobs <= 1:
+        for variant, variant_cells in groups.items():
+            design, threads, racing = variant
+            runner.workload(design, threads, racing)
+            for cell in variant_cells:
+                runner.analysis(
+                    design, threads, racing, cell.model, cell.analysis_config()
+                )
+        return runner.stats
+
+    cache_dir = str(runner.cache.root) if runner.cache is not None else None
+    tasks = [
+        {
+            "variant": variant,
+            "cells": [_cell_to_wire(cell) for cell in variant_cells],
+            "inserts_per_thread": runner.inserts_per_thread,
+            "entry_size": runner.entry_size,
+            "lock_kind": runner.lock_kind,
+            "base_seed": runner.base_seed,
+            "cache_dir": cache_dir,
+        }
+        for variant, variant_cells in sorted(groups.items())
+    ]
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        futures = [pool.submit(_run_variant, task) for task in tasks]
+        for future in as_completed(futures):
+            _merge_variant(runner, future.result())
+    return runner.stats

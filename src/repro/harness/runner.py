@@ -8,15 +8,25 @@ barriers removed — racing epochs rely on strong persist atomicity to
 serialise head persists, and strand clears cross-insert dependences at
 ``NEWSTRAND`` anyway.  Traces are cached per program variant because each
 one is analyzed under several models and granularities.
+
+Caching is layered: an in-memory dict per runner (as before), optionally
+backed by a content-addressed :class:`~repro.harness.cache.DiskCache`
+shared across processes and interpreter invocations.  That sharing is
+only sound because scheduler seeds derive via :func:`derive_seed`, a
+process-independent mix — Python's builtin ``hash`` is salted per
+interpreter and must never feed a cache key or a "deterministic" seed.
 """
 
 from __future__ import annotations
 
+import time
+import zlib
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 from repro.core.analysis import AnalysisConfig, AnalysisResult, analyze
 from repro.errors import AnalysisError
+from repro.harness.cache import DiskCache, HarnessStats
 from repro.harness.instr import DEFAULT_COST_MODEL, InstructionCostModel
 from repro.harness.metrics import PAPER_PERSIST_LATENCY, ThroughputPoint
 from repro.queue.workload import WorkloadConfig, WorkloadResult, run_insert_workload
@@ -34,6 +44,22 @@ TABLE1_COLUMNS: Dict[str, Tuple[str, bool]] = {
 #: and Racing Epochs columns), so both variants share one trace.
 RACING_SENSITIVE_DESIGNS = frozenset({"cwl"})
 
+#: Range of derived scheduler seeds.
+SEED_SPACE = 100_000
+
+
+def derive_seed(base_seed: int, key: Tuple[str, int, bool]) -> int:
+    """Derive one variant's scheduler seed from the runner's base seed.
+
+    Stable across interpreter invocations and ``PYTHONHASHSEED`` values:
+    the variant key is mixed in via ``zlib.crc32`` over its repr, never
+    the salted builtin ``hash``.  The whole expression is reduced mod
+    :data:`SEED_SPACE` (explicitly parenthesised — ``%`` binds tighter
+    than ``+``) so seeds stay small and printable.
+    """
+    mix = zlib.crc32(repr(key).encode("utf-8"))
+    return (base_seed * 1009 + mix) % SEED_SPACE
+
 
 @dataclass
 class ExperimentRunner:
@@ -47,7 +73,11 @@ class ExperimentRunner:
         lock_kind: lock algorithm for both designs (paper: MCS).
         cost_model: instruction-rate model.
         base_seed: scheduler seed; each (design, threads, racing) variant
-            derives its own deterministic seed from it.
+            derives its own deterministic seed from it via
+            :func:`derive_seed`.
+        cache: optional on-disk trace/analysis cache shared across
+            processes; ``None`` keeps caching in-memory only.
+        stats: per-stage work and hit counters for this runner.
     """
 
     inserts_per_thread: int = 250
@@ -55,6 +85,8 @@ class ExperimentRunner:
     lock_kind: str = "mcs"
     cost_model: InstructionCostModel = DEFAULT_COST_MODEL
     base_seed: int = 0
+    cache: Optional[DiskCache] = None
+    stats: HarnessStats = field(default_factory=HarnessStats, repr=False)
     _workloads: Dict[Tuple[str, int, bool], WorkloadResult] = field(
         default_factory=dict, repr=False
     )
@@ -65,35 +97,94 @@ class ExperimentRunner:
         default_factory=dict, repr=False
     )
 
-    def workload(self, design: str, threads: int, racing: bool) -> WorkloadResult:
-        """Run (or fetch cached) one program variant."""
+    def __post_init__(self) -> None:
+        if self.cache is not None:
+            self.cache.stats = self.stats
+
+    def variant_key(
+        self, design: str, threads: int, racing: bool
+    ) -> Tuple[str, int, bool]:
+        """Normalise one program variant to its canonical cache key."""
         if design not in RACING_SENSITIVE_DESIGNS:
             racing = False
-        key = (design, threads, racing)
-        if key not in self._workloads:
-            config = WorkloadConfig(
-                design=design,
-                threads=threads,
-                inserts_per_thread=self.inserts_per_thread,
-                entry_size=self.entry_size,
-                racing=racing,
-                lock_kind=self.lock_kind,
-                seed=self.base_seed * 1009 + hash(key) % 100_000,
-            )
-            self._workloads[key] = run_insert_workload(config)
-        return self._workloads[key]
+        return (design, threads, racing)
+
+    def workload_config(
+        self, design: str, threads: int, racing: bool
+    ) -> WorkloadConfig:
+        """The exact config (seed included) one variant runs with."""
+        key = self.variant_key(design, threads, racing)
+        design, threads, racing = key
+        return WorkloadConfig(
+            design=design,
+            threads=threads,
+            inserts_per_thread=self.inserts_per_thread,
+            entry_size=self.entry_size,
+            racing=racing,
+            lock_kind=self.lock_kind,
+            seed=derive_seed(self.base_seed, key),
+        )
+
+    def workload(self, design: str, threads: int, racing: bool) -> WorkloadResult:
+        """Run (or fetch cached) one program variant."""
+        key = self.variant_key(design, threads, racing)
+        if key in self._workloads:
+            self.stats.workload_memory_hits += 1
+            return self._workloads[key]
+        config = self.workload_config(*key)
+        result = None
+        if self.cache is not None:
+            trace = self.cache.load_trace(config)
+            if trace is not None:
+                self.stats.workload_disk_hits += 1
+                result = WorkloadResult(
+                    config=config, machine=None, trace=trace, queue=None
+                )
+        if result is None:
+            start = time.perf_counter()
+            result = run_insert_workload(config)
+            self.stats.workload_runs += 1
+            self.stats.trace_seconds += time.perf_counter() - start
+            if self.cache is not None:
+                self.cache.store_trace(config, result.trace)
+        self._workloads[key] = result
+        return result
+
+    def merge_workload(
+        self,
+        design: str,
+        threads: int,
+        racing: bool,
+        result: WorkloadResult,
+    ) -> None:
+        """Adopt a workload result computed elsewhere (parallel worker)."""
+        self._workloads[self.variant_key(design, threads, racing)] = result
 
     def instruction_rate(self, design: str, threads: int, racing: bool) -> float:
         """Aggregate inserts/s at volatile instruction-execution speed."""
-        if design not in RACING_SENSITIVE_DESIGNS:
-            racing = False
-        key = (design, threads, racing)
+        key = self.variant_key(design, threads, racing)
         if key not in self._instr_rates:
-            result = self.workload(design, threads, racing)
+            result = self.workload(*key)
             self._instr_rates[key] = self.cost_model.instruction_rate(
                 result.trace, result.total_inserts
             )
         return self._instr_rates[key]
+
+    def analysis_cache_key(
+        self,
+        design: str,
+        threads: int,
+        racing: bool,
+        model: str,
+        config: AnalysisConfig,
+    ) -> tuple:
+        """Canonical in-memory key of one analysis cell."""
+        return self.variant_key(design, threads, racing) + (
+            model,
+            config.persist_granularity,
+            config.tracking_granularity,
+            config.coalescing,
+        )
 
     def analysis(
         self,
@@ -104,22 +195,45 @@ class ExperimentRunner:
         config: Optional[AnalysisConfig] = None,
     ) -> AnalysisResult:
         """Run (or fetch cached) one persist-ordering analysis."""
-        if design not in RACING_SENSITIVE_DESIGNS:
-            racing = False
         config = config or AnalysisConfig()
-        key = (
-            design,
-            threads,
-            racing,
-            model,
-            config.persist_granularity,
-            config.tracking_granularity,
-            config.coalescing,
-        )
-        if key not in self._analyses:
-            result = self.workload(design, threads, racing)
-            self._analyses[key] = analyze(result.trace, model, config)
-        return self._analyses[key]
+        key = self.analysis_cache_key(design, threads, racing, model, config)
+        if key in self._analyses:
+            self.stats.analysis_memory_hits += 1
+            return self._analyses[key]
+        result = None
+        if self.cache is not None:
+            wconfig = self.workload_config(design, threads, racing)
+            result = self.cache.load_analysis(wconfig, model, config)
+            if result is not None:
+                self.stats.analysis_disk_hits += 1
+        if result is None:
+            workload = self.workload(design, threads, racing)
+            start = time.perf_counter()
+            result = analyze(workload.trace, model, config)
+            self.stats.analysis_runs += 1
+            self.stats.analysis_seconds += time.perf_counter() - start
+            if self.cache is not None:
+                self.cache.store_analysis(
+                    self.workload_config(design, threads, racing),
+                    model,
+                    config,
+                    result,
+                )
+        self._analyses[key] = result
+        return result
+
+    def merge_analysis(
+        self,
+        design: str,
+        threads: int,
+        racing: bool,
+        model: str,
+        config: AnalysisConfig,
+        result: AnalysisResult,
+    ) -> None:
+        """Adopt an analysis result computed elsewhere (parallel worker)."""
+        key = self.analysis_cache_key(design, threads, racing, model, config)
+        self._analyses[key] = result
 
     def point(
         self,

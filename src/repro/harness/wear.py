@@ -85,6 +85,6 @@ def wear_profile(
         model=model,
         persist_granularity=config.persist_granularity,
         coalescing=config.coalescing,
-        writes_per_block=dict(result.block_writes),
+        writes_per_block=dict(result.block_writes or {}),
         raw_stores=result.persist_stores,
     )

@@ -93,12 +93,17 @@ class WorkloadConfig:
 
 @dataclass
 class WorkloadResult:
-    """Everything produced by one workload run."""
+    """Everything produced by one workload run.
+
+    ``machine`` and ``queue`` are ``None`` when the result was rehydrated
+    from a serialized trace (disk cache, parallel worker) rather than run
+    in this process; every trace-derived metric still works.
+    """
 
     config: WorkloadConfig
-    machine: Machine
+    machine: Optional[Machine]
     trace: Trace
-    queue: QueueHandle
+    queue: Optional[QueueHandle]
     #: Insert start offset -> exact payload bytes written there.
     expected: Dict[int, bytes] = field(repr=False, default_factory=dict)
     #: Persistent-region snapshot taken after queue initialisation.

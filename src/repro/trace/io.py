@@ -40,7 +40,7 @@ def event_from_record(record: dict) -> MemoryEvent:
         return MemoryEvent(
             seq=record["seq"], thread=record["thread"], kind=kind, **fields
         )
-    except (KeyError, ValueError) as exc:
+    except (KeyError, TypeError, ValueError) as exc:
         raise TraceError(f"malformed event record {record!r}: {exc}") from exc
 
 
@@ -57,9 +57,19 @@ def load(stream: IO[str]) -> Trace:
     if not header:
         raise TraceError("empty trace stream")
     try:
-        meta = json.loads(header)["meta"]
-    except (json.JSONDecodeError, KeyError) as exc:
+        header_record = json.loads(header)
+    except json.JSONDecodeError as exc:
         raise TraceError(f"malformed trace header: {exc}") from exc
+    if not isinstance(header_record, dict) or "meta" not in header_record:
+        raise TraceError(
+            f"malformed trace header: expected a {{'meta': ...}} object, "
+            f"got {header_record!r}"
+        )
+    meta = header_record["meta"]
+    if not isinstance(meta, dict):
+        raise TraceError(
+            f"malformed trace header: 'meta' must be an object, got {meta!r}"
+        )
     trace = Trace(meta=meta)
     for line in stream:
         line = line.strip()
@@ -69,6 +79,10 @@ def load(stream: IO[str]) -> Trace:
             record = json.loads(line)
         except json.JSONDecodeError as exc:
             raise TraceError(f"malformed trace line: {exc}") from exc
+        if not isinstance(record, dict):
+            raise TraceError(
+                f"malformed trace line: expected an event object, got {record!r}"
+            )
         trace.append(event_from_record(record))
     return trace
 

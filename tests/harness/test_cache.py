@@ -1,0 +1,162 @@
+"""Tests for the content-addressed on-disk trace/analysis cache."""
+
+import json
+
+import pytest
+
+from repro.core import AnalysisConfig, analyze
+from repro.harness import (
+    DiskCache,
+    ExperimentRunner,
+    analysis_from_payload,
+    analysis_key,
+    analysis_to_payload,
+    workload_key,
+)
+from repro.queue.workload import WorkloadConfig
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return DiskCache(tmp_path / "cache")
+
+
+@pytest.fixture
+def wconfig():
+    return WorkloadConfig(design="cwl", threads=1, inserts_per_thread=8, seed=7)
+
+
+class TestKeys:
+    def test_stable_across_instances(self, wconfig):
+        other = WorkloadConfig(
+            design="cwl", threads=1, inserts_per_thread=8, seed=7
+        )
+        assert workload_key(wconfig) == workload_key(other)
+
+    def test_every_field_matters(self, wconfig):
+        for override in (
+            {"design": "2lc"},
+            {"threads": 2},
+            {"inserts_per_thread": 9},
+            {"entry_size": 48},
+            {"racing": True},
+            {"lock_kind": "ticket"},
+            {"seed": 8},
+            {"consistency": "tso"},
+        ):
+            fields = {**wconfig.__dict__, **override}
+            assert workload_key(WorkloadConfig(**fields)) != workload_key(
+                wconfig
+            )
+
+    def test_analysis_key_depends_on_model_and_config(self, wconfig):
+        base = analysis_key(wconfig, "epoch", AnalysisConfig())
+        assert analysis_key(wconfig, "strict", AnalysisConfig()) != base
+        assert (
+            analysis_key(
+                wconfig, "epoch", AnalysisConfig(persist_granularity=64)
+            )
+            != base
+        )
+        assert analysis_key(wconfig, "epoch", AnalysisConfig()) == base
+
+
+class TestAnalysisPayload:
+    def test_roundtrip_equality(self, cwl_1t):
+        result = analyze(cwl_1t.trace, "epoch")
+        rebuilt = analysis_from_payload(
+            json.loads(json.dumps(analysis_to_payload(result)))
+        )
+        assert rebuilt == result
+
+    def test_malformed_payload_rejected(self):
+        from repro.errors import CacheError
+
+        with pytest.raises(CacheError):
+            analysis_from_payload({"model": "epoch"})
+
+
+class TestDiskCache:
+    def test_trace_miss_populate_hit(self, cache, wconfig, cwl_1t):
+        assert cache.load_trace(wconfig) is None
+        cache.store_trace(wconfig, cwl_1t.trace)
+        loaded = cache.load_trace(wconfig)
+        assert loaded is not None
+        assert list(loaded) == list(cwl_1t.trace)
+        assert loaded.meta == cwl_1t.trace.meta
+
+    def test_analysis_miss_populate_hit(self, cache, wconfig, cwl_1t):
+        config = AnalysisConfig(persist_granularity=16)
+        assert cache.load_analysis(wconfig, "epoch", config) is None
+        result = analyze(cwl_1t.trace, "epoch", config)
+        cache.store_analysis(wconfig, "epoch", config, result)
+        assert cache.load_analysis(wconfig, "epoch", config) == result
+
+    def test_corrupted_trace_is_miss_and_evicted(self, cache, wconfig, cwl_1t):
+        cache.store_trace(wconfig, cwl_1t.trace)
+        path = cache.trace_path(workload_key(wconfig))
+        path.write_text('{"meta": ["not", "a", "dict"]}\n')
+        assert cache.load_trace(wconfig) is None
+        assert not path.exists()
+        assert cache.stats.cache_evictions == 1
+
+    def test_truncated_trace_is_miss(self, cache, wconfig, cwl_1t):
+        cache.store_trace(wconfig, cwl_1t.trace)
+        path = cache.trace_path(workload_key(wconfig))
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2].rsplit("\n", 1)[0] + '\n{"se')
+        assert cache.load_trace(wconfig) is None
+        assert not path.exists()
+
+    def test_corrupted_analysis_is_miss_and_evicted(
+        self, cache, wconfig, cwl_1t
+    ):
+        config = AnalysisConfig()
+        result = analyze(cwl_1t.trace, "strand", config)
+        cache.store_analysis(wconfig, "strand", config, result)
+        path = cache.analysis_path(analysis_key(wconfig, "strand", config))
+        path.write_text("{not json")
+        assert cache.load_analysis(wconfig, "strand", config) is None
+        assert not path.exists()
+        assert cache.stats.cache_evictions == 1
+
+    def test_graph_results_not_cached(self, cache, wconfig, cwl_1t):
+        from repro.core import analyze_graph
+
+        config = AnalysisConfig(coalescing=False)
+        result = analyze_graph(cwl_1t.trace, "epoch", config)
+        cache.store_analysis(wconfig, "epoch", config, result)
+        assert cache.load_analysis(wconfig, "epoch", config) is None
+
+
+class TestRunnerIntegration:
+    def test_cold_then_warm_runner(self, tmp_path):
+        def make():
+            return ExperimentRunner(
+                inserts_per_thread=6,
+                base_seed=5,
+                cache=DiskCache(tmp_path / "cache"),
+            )
+
+        cold = make()
+        first = cold.point("cwl", 2, "epoch")
+        assert cold.stats.workload_runs == 1
+        assert cold.stats.analysis_runs == 1
+
+        warm = make()
+        second = warm.point("cwl", 2, "epoch")
+        assert second == first
+        assert warm.stats.workload_runs == 0
+        assert warm.stats.analysis_runs == 0
+        assert warm.stats.workload_disk_hits >= 1
+        assert warm.stats.analysis_disk_hits == 1
+
+    def test_cache_results_equal_uncached(self, tmp_path):
+        cached = ExperimentRunner(
+            inserts_per_thread=6, base_seed=5, cache=DiskCache(tmp_path / "c")
+        )
+        plain = ExperimentRunner(inserts_per_thread=6, base_seed=5)
+        for column in ("strict", "epoch", "racing_epochs", "strand"):
+            assert cached.point("cwl", 2, column) == plain.point(
+                "cwl", 2, column
+            )

@@ -1,0 +1,152 @@
+"""Tests for the parallel grid executor: parity with serial execution."""
+
+import pytest
+
+from repro.cli import main
+from repro.harness import (
+    DiskCache,
+    ExperimentRunner,
+    GridCell,
+    build_table1,
+    dedup_cells,
+    figure_cells,
+    format_table1,
+    run_grid,
+    table1_cells,
+)
+
+INSERTS = 6
+THREADS = (1, 2)
+
+
+def fresh_runner(cache_dir=None):
+    return ExperimentRunner(
+        inserts_per_thread=INSERTS,
+        base_seed=4,
+        cache=DiskCache(cache_dir) if cache_dir else None,
+    )
+
+
+class TestGrid:
+    def test_table1_cells_cover_the_table(self):
+        cells = table1_cells(THREADS)
+        assert len(cells) == 2 * 2 * 4
+        assert {c.design for c in cells} == {"cwl", "2lc"}
+
+    def test_figure_cells_cover_figures_3_to_5(self):
+        cells = figure_cells()
+        models = {c.model for c in cells}
+        assert models == {"strict", "epoch", "strand"}
+        assert any(c.persist_granularity == 256 for c in cells)
+        assert any(c.tracking_granularity == 256 for c in cells)
+
+    def test_dedup_normalises_racing_insensitive_designs(self):
+        cells = dedup_cells(
+            [
+                GridCell("2lc", 1, True, "epoch"),
+                GridCell("2lc", 1, False, "epoch"),
+                GridCell("cwl", 1, True, "epoch"),
+            ]
+        )
+        assert len(cells) == 2
+        assert all(
+            not cell.racing for cell in cells if cell.design == "2lc"
+        )
+
+
+class TestParallelParity:
+    @pytest.fixture(scope="class")
+    def serial_table(self):
+        runner = fresh_runner()
+        run_grid(runner, table1_cells(THREADS), jobs=1)
+        return format_table1(build_table1(runner, thread_counts=THREADS))
+
+    def test_parallel_table_identical(self, serial_table):
+        runner = fresh_runner()
+        run_grid(runner, table1_cells(THREADS), jobs=2)
+        table = format_table1(build_table1(runner, thread_counts=THREADS))
+        assert table == serial_table
+
+    def test_parallel_populates_runner_caches(self):
+        runner = fresh_runner()
+        run_grid(runner, table1_cells(THREADS), jobs=2)
+        # Worker stats merge into the parent: same total work as serial.
+        assert runner.stats.workload_runs == 6
+        assert runner.stats.analysis_runs == 14
+        # Building the table afterwards re-traces and re-analyzes nothing.
+        build_table1(runner, thread_counts=THREADS)
+        assert runner.stats.workload_runs == 6
+        assert runner.stats.analysis_runs == 14
+
+    def test_parallel_analysis_equals_serial(self):
+        serial = fresh_runner()
+        parallel = fresh_runner()
+        cells = dedup_cells(table1_cells(THREADS))
+        run_grid(serial, cells, jobs=1)
+        run_grid(parallel, cells, jobs=2)
+        for cell in cells:
+            design, threads, racing = cell.variant
+            assert parallel.analysis(
+                design, threads, racing, cell.model, cell.analysis_config()
+            ) == serial.analysis(
+                design, threads, racing, cell.model, cell.analysis_config()
+            )
+
+
+class TestCliParity:
+    ARGS = ["table1", "--inserts", str(INSERTS), "--threads", "1", "2"]
+
+    def run_cli(self, capsys, *extra):
+        assert main(self.ARGS + list(extra)) == 0
+        return capsys.readouterr()
+
+    def test_jobs4_byte_identical_to_serial(self, capsys, tmp_path):
+        serial = self.run_cli(capsys, "--jobs", "1").out
+        parallel = self.run_cli(
+            capsys, "--jobs", "4", "--cache-dir", str(tmp_path / "c")
+        ).out
+        assert parallel == serial
+
+    def test_warm_cache_rerun_identical_with_zero_retraces(
+        self, capsys, tmp_path
+    ):
+        cache = str(tmp_path / "cache")
+        cold = self.run_cli(capsys, "--cache-dir", cache, "--stats")
+        warm = self.run_cli(capsys, "--cache-dir", cache, "--stats")
+        assert warm.out == cold.out
+        # --stats goes to stderr so stdout stays byte-comparable.
+        assert "workloads: 6 traced" in cold.err
+        assert "workloads: 0 traced" in warm.err
+        assert "analyses:  0 run" in warm.err
+
+    def test_warm_parallel_rerun_identical(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        cold = self.run_cli(capsys, "--jobs", "2", "--cache-dir", cache).out
+        warm = self.run_cli(capsys, "--jobs", "2", "--cache-dir", cache).out
+        assert warm == cold
+
+    def test_figures_parallel_identical(self, capsys, tmp_path):
+        out_serial = tmp_path / "serial"
+        out_parallel = tmp_path / "parallel"
+        args = ["figures", "--inserts", str(INSERTS)]
+        assert main(args + ["--out", str(out_serial)]) == 0
+        assert (
+            main(
+                args
+                + [
+                    "--out",
+                    str(out_parallel),
+                    "--jobs",
+                    "2",
+                    "--cache-dir",
+                    str(tmp_path / "c"),
+                ]
+            )
+            == 0
+        )
+        names = sorted(p.name for p in out_serial.iterdir())
+        assert names == sorted(p.name for p in out_parallel.iterdir())
+        for name in names:
+            assert (out_parallel / name).read_bytes() == (
+                out_serial / name
+            ).read_bytes()

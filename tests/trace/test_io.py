@@ -64,6 +64,24 @@ class TestMalformedInput:
         with pytest.raises(TraceError):
             load(io.StringIO('{"seq": 0}\n'))
 
+    def test_non_dict_header(self):
+        for header in ('[1, 2, 3]\n', '"meta"\n', "42\n", "null\n"):
+            with pytest.raises(TraceError):
+                load(io.StringIO(header))
+
+    def test_non_dict_meta_value(self):
+        with pytest.raises(TraceError):
+            load(io.StringIO('{"meta": [1, 2]}\n'))
+
+    def test_non_dict_event_line(self):
+        with pytest.raises(TraceError):
+            load(io.StringIO('{"meta": {}}\n[0, 1, "load"]\n'))
+
+    def test_truncated_event_line(self):
+        stream = io.StringIO('{"meta": {}}\n{"seq": 0, "thr')
+        with pytest.raises(TraceError):
+            load(stream)
+
     def test_garbage_line(self):
         stream = io.StringIO('{"meta": {}}\nnot json\n')
         with pytest.raises(TraceError):
