@@ -1,0 +1,28 @@
+"""Fuzzing-campaign benchmark: schedule × failure-cut search throughput.
+
+Runs a bounded campaign against the paper-faithful Two-Lock Concurrent
+queue — which must rediscover the printed algorithm's recovery hole from
+scratch — and the same budget against the fixed design, which must stay
+clean.  Writes both campaign summaries to ``benchmarks/out/`` and
+benchmarks the steady-state cost of one fuzz case (build program → run
+under seeded schedule → persist DAG → cut sweep → recovery checks).
+"""
+
+from repro.fuzz import CampaignConfig, run_campaign, run_case
+
+BROKEN = CampaignConfig(target="queue-2lc-faithful", budget=24, seed=0)
+FIXED = CampaignConfig(target="queue-2lc", budget=24, seed=0)
+
+
+def test_fuzz_campaign_rediscovers_2lc_hole(out_dir, benchmark):
+    broken = run_campaign(BROKEN)
+    fixed = run_campaign(FIXED)
+    assert broken.violations > 0, "fuzzer must rediscover the printed hole"
+    assert broken.findings
+    assert fixed.violations == 0
+    (out_dir / "fuzz_campaign.txt").write_text(
+        broken.summary() + "\n" + fixed.summary() + "\n"
+    )
+
+    spec = broken.findings[0].spec
+    benchmark(lambda: run_case(spec, stop_at_first=True))

@@ -10,11 +10,14 @@ writing Python::
     repro inject  --design 2lc --threads 4 --inserts 8 --samples 50
     repro table1  --inserts 125 --jobs 4 --cache-dir .repro-cache --stats
     repro figures --inserts 125 --out artifacts/ --jobs 4
+    repro fuzz run --target queue-2lc-faithful --budget 200 --jobs 2
+    repro fuzz replay --corpus-dir .repro-corpus
+    repro fuzz minimize .repro-corpus/34624f4bc03739e3.repro.json
     repro selfcheck
 
 Every command prints to stdout and returns a process exit code; `inject`,
-`races`, and `selfcheck` return non-zero when they find violations, so
-they compose with CI.
+`races`, `fuzz run`, and `selfcheck` return non-zero when they find
+violations, so they compose with CI.
 """
 
 from __future__ import annotations
@@ -49,8 +52,20 @@ from repro.harness import (
     run_grid,
     table1_cells,
 )
+from repro.fuzz import (
+    TARGETS,
+    CampaignConfig,
+    CaseSpec,
+    Corpus,
+    Finding,
+    minimize_finding,
+    minimize_findings,
+    replay_case,
+    run_campaign,
+)
 from repro.queue import run_insert_workload, verify_recovery
 from repro.queue.cwl import INSERT_MARK
+from repro.sim import SCHEDULER_KINDS
 from repro.trace import load_file, save_file, validate
 
 
@@ -265,6 +280,111 @@ def cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fuzz_run(args: argparse.Namespace) -> int:
+    """Fuzz one target with schedule x failure-cut campaigns.
+
+    Findings are delta-debugged to minimal counterexamples and written
+    to the corpus as replayable repro files.  Returns 1 when any
+    recovery violation was found (0 on a clean campaign), so CI can
+    assert both directions: fixed targets stay clean, known-broken
+    targets keep being caught.
+    """
+    config = CampaignConfig(
+        target=args.target,
+        budget=args.budget,
+        models=tuple(args.models or ("epoch", "strand")),
+        schedulers=tuple(args.schedulers or SCHEDULER_KINDS),
+        seed=args.seed,
+        jobs=args.jobs,
+        cut_samples=args.cut_samples,
+    )
+    result = run_campaign(config)
+    print(result.summary())
+    if result.violations and not args.no_minimize:
+        corpus = Corpus(args.corpus_dir)
+        minimized = minimize_findings(
+            result, corpus, limit=args.minimize_limit
+        )
+        for outcome in minimized:
+            case = outcome.case
+            print(
+                f"minimized [{case.model}] threads={case.threads} "
+                f"ops={case.ops} |cut|={len(case.cut)} "
+                f"-> {corpus.path_for(case)}"
+            )
+            print(f"  {case.error}")
+    return 1 if result.violations else 0
+
+
+def _replay_paths(args: argparse.Namespace) -> List[Path]:
+    """Resolve the repro files a replay/minimize command operates on."""
+    if args.paths:
+        return [Path(path) for path in args.paths]
+    corpus = Corpus(args.corpus_dir)
+    return corpus.entries()
+
+
+def cmd_fuzz_replay(args: argparse.Namespace) -> int:
+    """Deterministically re-execute corpus repro files.
+
+    Each file's recorded schedule is replayed, its failure cut is
+    re-applied, and the target's recovery invariant is re-checked.
+    Returns 1 when any entry fails to reproduce its violation (a stale
+    or fixed repro), 0 when every entry reproduces.
+    """
+    paths = _replay_paths(args)
+    if not paths:
+        print(f"no repro files under {args.corpus_dir}")
+        return 2
+    corpus = Corpus(args.corpus_dir)
+    stale = 0
+    for path in paths:
+        case = corpus.load(path)
+        replay = replay_case(case)
+        status = "reproduced" if replay.reproduced else "STALE"
+        print(f"{path}: [{status}] {replay.detail}")
+        stale += 0 if replay.reproduced else 1
+    print(f"replayed {len(paths)} repro(s): {stale} stale")
+    return 1 if stale else 0
+
+
+def cmd_fuzz_minimize(args: argparse.Namespace) -> int:
+    """Re-minimize an existing repro file.
+
+    Rebuilds the case from the file, shrinks its workload and cut from
+    scratch (using the adversarial minimal-cut family), and writes the
+    minimized case back to the corpus directory.
+    """
+    corpus = Corpus(args.corpus_dir)
+    case = corpus.load(args.path)
+    spec = CaseSpec(
+        target=case.target,
+        threads=case.threads,
+        ops=case.ops,
+        sched=case.sched,
+        sched_seed=case.sched_seed,
+        model=case.model,
+        cuts="minimal",
+        cut_seed=0,
+    )
+    finding = Finding(
+        spec=spec, cut=case.cut, error=case.error, choices=case.choices
+    )
+    outcome = minimize_finding(finding)
+    path = corpus.add(outcome.case)
+    minimized = outcome.case
+    print(
+        f"minimized [{minimized.model}] threads={minimized.threads} "
+        f"ops={minimized.ops} |cut|={len(minimized.cut)} -> {path}"
+    )
+    print(f"  {minimized.error}")
+    print(
+        f"  {outcome.stats.runs} re-run(s), "
+        f"{outcome.stats.cut_checks} cut check(s)"
+    )
+    return 0
+
+
 def cmd_selfcheck(args: argparse.Namespace) -> int:
     """Validate the installation end to end in under a minute.
 
@@ -411,6 +531,62 @@ def build_parser() -> argparse.ArgumentParser:
     figures_parser.add_argument("--out", default="artifacts")
     _add_harness_arguments(figures_parser)
     figures_parser.set_defaults(handler=cmd_figures)
+
+    fuzz_parser = commands.add_parser(
+        "fuzz", help="crash-consistency fuzzing campaigns"
+    )
+    fuzz_commands = fuzz_parser.add_subparsers(
+        dest="fuzz_command", required=True
+    )
+
+    fuzz_run = fuzz_commands.add_parser("run", help=cmd_fuzz_run.__doc__)
+    fuzz_run.add_argument(
+        "--target", required=True, choices=sorted(TARGETS)
+    )
+    fuzz_run.add_argument(
+        "--budget", type=int, default=200, help="cases to sample and run"
+    )
+    fuzz_run.add_argument(
+        "--models", nargs="+", choices=sorted(MODELS), default=None,
+        help="persistency models to sample (default: epoch strand)",
+    )
+    fuzz_run.add_argument(
+        "--schedulers", nargs="+", choices=SCHEDULER_KINDS, default=None,
+        help="scheduler kinds to sample (default: all)",
+    )
+    fuzz_run.add_argument("--seed", type=int, default=0)
+    fuzz_run.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the campaign (1 = serial)",
+    )
+    fuzz_run.add_argument("--corpus-dir", default=".repro-corpus")
+    fuzz_run.add_argument("--cut-samples", type=int, default=32)
+    fuzz_run.add_argument(
+        "--minimize-limit", type=int, default=3,
+        help="findings minimized into the corpus (one per model)",
+    )
+    fuzz_run.add_argument(
+        "--no-minimize", action="store_true",
+        help="report violations without minimizing into the corpus",
+    )
+    fuzz_run.set_defaults(handler=cmd_fuzz_run)
+
+    fuzz_replay = fuzz_commands.add_parser(
+        "replay", help=cmd_fuzz_replay.__doc__
+    )
+    fuzz_replay.add_argument(
+        "paths", nargs="*",
+        help="repro files (default: every entry in --corpus-dir)",
+    )
+    fuzz_replay.add_argument("--corpus-dir", default=".repro-corpus")
+    fuzz_replay.set_defaults(handler=cmd_fuzz_replay)
+
+    fuzz_minimize = fuzz_commands.add_parser(
+        "minimize", help=cmd_fuzz_minimize.__doc__
+    )
+    fuzz_minimize.add_argument("path", help="repro file to re-minimize")
+    fuzz_minimize.add_argument("--corpus-dir", default=".repro-corpus")
+    fuzz_minimize.set_defaults(handler=cmd_fuzz_minimize)
 
     selfcheck_parser = commands.add_parser(
         "selfcheck", help=cmd_selfcheck.__doc__

@@ -12,7 +12,8 @@ corresponding NVRAM images, which recovery code is then run against.
 from __future__ import annotations
 
 import random
-from typing import FrozenSet, Iterable, Iterator, List, Optional, Set
+from collections import deque
+from typing import Deque, FrozenSet, Iterable, Iterator, Optional, Set
 
 from repro.core.lattice import GraphDomain
 from repro.errors import RecoveryError
@@ -125,10 +126,10 @@ def enumerate_cuts(
             must keep graphs tiny.
     """
     seen: Set[FrozenSet[int]] = {frozenset()}
-    frontier: List[FrozenSet[int]] = [frozenset()]
+    frontier: Deque[FrozenSet[int]] = deque((frozenset(),))
     produced = 0
     while frontier:
-        cut = frontier.pop(0)
+        cut = frontier.popleft()
         produced += 1
         if produced > limit:
             raise RecoveryError(
@@ -191,19 +192,31 @@ class FailureInjector:
         samples: int,
         seed: int = 0,
         include_probability: Optional[float] = None,
+        min_probability: float = 0.05,
+        max_probability: float = 0.95,
     ) -> Iterator[tuple]:
         """Yield ``samples`` (cut, image) pairs from seeded random cuts.
 
         When ``include_probability`` is None, each sample draws its own
-        probability uniformly from (0, 1), covering sparse through dense
-        failures.
+        probability uniformly from ``[min_probability, max_probability]``
+        (default ``[0.05, 0.95]``), covering sparse through dense failures
+        while avoiding the degenerate all-empty/all-full extremes.
+
+        Raises:
+            RecoveryError: when the probability bounds are not an
+                ascending pair within ``[0, 1]``.
         """
+        if not 0.0 <= min_probability <= max_probability <= 1.0:
+            raise RecoveryError(
+                f"probability bounds [{min_probability}, {max_probability}] "
+                f"must be ascending within [0, 1]"
+            )
         rng = random.Random(seed)
         for _ in range(samples):
             probability = (
                 include_probability
                 if include_probability is not None
-                else rng.uniform(0.05, 0.95)
+                else rng.uniform(min_probability, max_probability)
             )
             cut = sample_cut(self._graph, rng, probability)
             yield cut, image_at_cut(self._graph, cut, self._base, check=False)

@@ -45,3 +45,7 @@ class AnalysisError(ReproError):
 
 class RecoveryError(ReproError):
     """Recovered persistent state violates a recovery invariant."""
+
+
+class FuzzError(ReproError):
+    """A fuzzing campaign, target, or corpus entry was misused."""

@@ -1,0 +1,72 @@
+"""Crash-consistency fuzzing: schedule × failure-cut campaigns.
+
+The recovery observer (Section 4 of the paper) makes crash consistency
+checkable: a workload is correct iff its recovery invariant holds at
+*every* consistent cut of the persist DAG.  This package turns that
+check into a fuzzer — sample a schedule, run a recoverable workload
+under it, sample failure cuts of the resulting DAG, and check recovery
+at each — with delta-debugging minimization of counterexamples and a
+disk corpus of deterministic, replayable repro files.
+
+Layout: :mod:`~repro.fuzz.targets` registers workloads behind one
+build/run/check interface; :mod:`~repro.fuzz.campaign` samples and
+fans out cases; :mod:`~repro.fuzz.minimize` shrinks findings; and
+:mod:`~repro.fuzz.corpus` stores and replays them.
+"""
+
+from repro.fuzz.campaign import (
+    CUT_FAMILIES,
+    CampaignConfig,
+    CampaignResult,
+    CaseOutcome,
+    CaseSpec,
+    CaseViolation,
+    Finding,
+    execute_spec,
+    run_campaign,
+    run_case,
+    sample_specs,
+)
+from repro.fuzz.corpus import (
+    Corpus,
+    ReplayResult,
+    ReproCase,
+    replay_case,
+)
+from repro.fuzz.minimize import (
+    MinimizeResult,
+    MinimizeStats,
+    minimize_finding,
+    minimize_findings,
+    shrink_cut,
+    shrink_workload,
+)
+from repro.fuzz.targets import TARGETS, FuzzTarget, TargetRun, make_target
+
+__all__ = [
+    "CUT_FAMILIES",
+    "CampaignConfig",
+    "CampaignResult",
+    "CaseOutcome",
+    "CaseSpec",
+    "CaseViolation",
+    "Corpus",
+    "Finding",
+    "FuzzTarget",
+    "MinimizeResult",
+    "MinimizeStats",
+    "ReplayResult",
+    "ReproCase",
+    "TARGETS",
+    "TargetRun",
+    "execute_spec",
+    "make_target",
+    "minimize_finding",
+    "minimize_findings",
+    "replay_case",
+    "run_campaign",
+    "run_case",
+    "sample_specs",
+    "shrink_cut",
+    "shrink_workload",
+]

@@ -1,0 +1,385 @@
+"""Campaign engine: sample schedule × failure-cut configs and run them.
+
+A campaign fuzzes one target: it samples ``budget`` case specs — each a
+(scheduler kind, scheduler seed, thread count, program size, persistency
+model, cut family, cut seed) tuple — runs every case through the target
+pipeline (build → run under the seeded schedule → persist DAG → recovery
+check at each injected failure cut), and aggregates per-case outcomes
+with event/persist/violation counters.
+
+Cases are independent, so the campaign fans them out through
+:func:`repro.harness.parallel.fan_out` — the same primitive under the
+experiment grid — with module-level JSON-safe workers.  Every case that
+violates its recovery invariant carries the recorded schedule choices,
+so the finding can be minimized and replayed deterministically.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.analysis import analyze_graph
+from repro.core.recovery import FailureInjector
+from repro.errors import FuzzError, RecoveryError
+from repro.fuzz.targets import TargetRun, make_target
+from repro.harness.parallel import fan_out
+from repro.harness.runner import SEED_SPACE
+from repro.sim.scheduler import (
+    SCHEDULER_KINDS,
+    ChoiceRecordingScheduler,
+    make_scheduler,
+)
+
+#: Failure-cut families a case can draw from.
+CUT_FAMILIES = ("minimal", "extension", "sample", "prefix")
+
+#: Family sampling weights: minimal cuts are the adversarial workhorse
+#: (they deterministically expose missing-ordering bugs), so they get
+#: the largest share of the budget.
+_FAMILY_DECK = (
+    "minimal", "minimal", "minimal",
+    "extension", "extension",
+    "sample", "sample",
+    "prefix",
+)
+
+#: Cap on minimal/prefix images per case (step grows past this).
+_MAX_SWEEP_CUTS = 256
+
+#: Violations recorded in full per case (the count is always exact).
+_MAX_RECORDED_VIOLATIONS = 3
+
+
+@dataclass(frozen=True)
+class CaseSpec:
+    """One fully-determined fuzz case (JSON-safe, process-portable)."""
+
+    target: str
+    threads: int
+    ops: int
+    sched: str
+    sched_seed: int
+    model: str
+    cuts: str
+    cut_seed: int
+    cut_samples: int = 32
+
+    def describe(self) -> Dict[str, object]:
+        """JSON dict representation (wire format for workers/corpus)."""
+        return {
+            "target": self.target,
+            "threads": self.threads,
+            "ops": self.ops,
+            "sched": self.sched,
+            "sched_seed": self.sched_seed,
+            "model": self.model,
+            "cuts": self.cuts,
+            "cut_seed": self.cut_seed,
+            "cut_samples": self.cut_samples,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "CaseSpec":
+        """Rebuild a spec from :meth:`describe` output."""
+        try:
+            return cls(**{key: payload[key] for key in cls.__dataclass_fields__})
+        except (KeyError, TypeError) as exc:
+            raise FuzzError(f"malformed case spec: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class CaseViolation:
+    """One recovery-invariant violation at one failure cut."""
+
+    cut: Tuple[int, ...]
+    error: str
+
+
+@dataclass
+class CaseOutcome:
+    """Everything one executed case reports back to the campaign."""
+
+    spec: CaseSpec
+    index: int
+    events: int
+    persists: int
+    cuts_checked: int
+    violation_count: int
+    violations: List[CaseViolation] = field(default_factory=list)
+    #: Recorded schedule choices; carried only for violating cases.
+    choices: Optional[Tuple[int, ...]] = None
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One violating case, pinned down for minimization and replay."""
+
+    spec: CaseSpec
+    cut: Tuple[int, ...]
+    error: str
+    choices: Tuple[int, ...]
+
+
+@dataclass
+class CaseExecution:
+    """A case's program run and persist DAG (parent-process form)."""
+
+    spec: CaseSpec
+    run: TargetRun
+    graph: object
+    choices: Tuple[int, ...]
+
+
+def execute_spec(spec: CaseSpec) -> CaseExecution:
+    """Build and run a case's program, recording its schedule.
+
+    Returns the executed :class:`~repro.fuzz.targets.TargetRun`, the
+    persist DAG under the spec's model, and the recorded choices.
+    """
+    target = make_target(spec.target)
+    recorder = ChoiceRecordingScheduler(
+        make_scheduler(spec.sched, spec.sched_seed)
+    )
+    run = target.build(spec.threads, spec.ops, recorder)
+    graph = analyze_graph(run.trace, spec.model).graph
+    return CaseExecution(
+        spec=spec, run=run, graph=graph, choices=tuple(recorder.choices)
+    )
+
+
+def iter_case_images(spec: CaseSpec, injector: FailureInjector) -> Iterator:
+    """Yield the (cut, image) pairs the spec's cut family prescribes."""
+    if spec.cuts == "minimal":
+        step = max(1, injector.persist_count // _MAX_SWEEP_CUTS)
+        return injector.minimal_images(step=step)
+    if spec.cuts == "prefix":
+        step = max(1, injector.persist_count // _MAX_SWEEP_CUTS)
+        return injector.prefix_images(step=step)
+    if spec.cuts == "extension":
+        return injector.extension_images(spec.cut_samples, seed=spec.cut_seed)
+    if spec.cuts == "sample":
+        return injector.random_images(spec.cut_samples, seed=spec.cut_seed)
+    raise FuzzError(
+        f"unknown cut family {spec.cuts!r}; expected one of {CUT_FAMILIES}"
+    )
+
+
+def run_case(
+    spec: CaseSpec, index: int = 0, stop_at_first: bool = False
+) -> CaseOutcome:
+    """Execute one case end-to-end and check every injected cut.
+
+    ``stop_at_first`` stops scanning cuts at the first violation (the
+    minimizer's reproduce-check); campaigns scan the whole family so the
+    violation count is meaningful.
+    """
+    execution = execute_spec(spec)
+    injector = FailureInjector(execution.graph, execution.run.base_image)
+    cuts_checked = 0
+    violation_count = 0
+    violations: List[CaseViolation] = []
+    for cut, image in iter_case_images(spec, injector):
+        cuts_checked += 1
+        try:
+            execution.run.check(image)
+        except RecoveryError as exc:
+            violation_count += 1
+            if len(violations) < _MAX_RECORDED_VIOLATIONS:
+                violations.append(
+                    CaseViolation(cut=tuple(sorted(cut)), error=str(exc))
+                )
+            if stop_at_first:
+                break
+    return CaseOutcome(
+        spec=spec,
+        index=index,
+        events=len(execution.run.trace),
+        persists=injector.persist_count,
+        cuts_checked=cuts_checked,
+        violation_count=violation_count,
+        violations=violations,
+        choices=execution.choices if violation_count else None,
+    )
+
+
+def _run_case(task: dict) -> dict:
+    """Worker entry point: run one case from a JSON-safe task dict."""
+    spec = CaseSpec.from_payload(task["spec"])
+    outcome = run_case(spec, index=task["index"])
+    return {
+        "spec": spec.describe(),
+        "index": outcome.index,
+        "events": outcome.events,
+        "persists": outcome.persists,
+        "cuts_checked": outcome.cuts_checked,
+        "violation_count": outcome.violation_count,
+        "violations": [
+            {"cut": list(violation.cut), "error": violation.error}
+            for violation in outcome.violations
+        ],
+        "choices": list(outcome.choices) if outcome.choices else None,
+    }
+
+
+def _outcome_from_wire(payload: dict) -> CaseOutcome:
+    """Rebuild a :class:`CaseOutcome` from a worker's result dict."""
+    return CaseOutcome(
+        spec=CaseSpec.from_payload(payload["spec"]),
+        index=payload["index"],
+        events=payload["events"],
+        persists=payload["persists"],
+        cuts_checked=payload["cuts_checked"],
+        violation_count=payload["violation_count"],
+        violations=[
+            CaseViolation(cut=tuple(entry["cut"]), error=entry["error"])
+            for entry in payload["violations"]
+        ],
+        choices=(
+            tuple(payload["choices"]) if payload["choices"] else None
+        ),
+    )
+
+
+@dataclass
+class CampaignConfig:
+    """Parameters of one fuzzing campaign."""
+
+    target: str
+    budget: int = 200
+    models: Sequence[str] = ("epoch", "strand")
+    schedulers: Sequence[str] = SCHEDULER_KINDS
+    seed: int = 0
+    jobs: Optional[int] = None
+    cut_samples: int = 32
+
+    def validate(self) -> None:
+        """Raise on unusable parameters."""
+        make_target(self.target)
+        if self.budget <= 0:
+            raise FuzzError(f"budget must be positive, got {self.budget}")
+        if not self.models:
+            raise FuzzError("at least one persistency model is required")
+        if not self.schedulers:
+            raise FuzzError("at least one scheduler kind is required")
+        for kind in self.schedulers:
+            make_scheduler(kind)
+
+
+@dataclass
+class CampaignResult:
+    """Aggregated outcomes of one campaign."""
+
+    config: CampaignConfig
+    outcomes: List[CaseOutcome]
+
+    @property
+    def cases(self) -> int:
+        """Cases executed."""
+        return len(self.outcomes)
+
+    @property
+    def violating_cases(self) -> int:
+        """Cases with at least one recovery violation."""
+        return sum(1 for outcome in self.outcomes if outcome.violation_count)
+
+    @property
+    def violations(self) -> int:
+        """Total (cut, invariant) violations across all cases."""
+        return sum(outcome.violation_count for outcome in self.outcomes)
+
+    @property
+    def cuts_checked(self) -> int:
+        """Total failure cuts materialised and checked."""
+        return sum(outcome.cuts_checked for outcome in self.outcomes)
+
+    @property
+    def findings(self) -> List[Finding]:
+        """One finding per violating case (its first recorded violation)."""
+        found = []
+        for outcome in self.outcomes:
+            if outcome.violation_count and outcome.violations:
+                violation = outcome.violations[0]
+                found.append(
+                    Finding(
+                        spec=outcome.spec,
+                        cut=violation.cut,
+                        error=violation.error,
+                        choices=outcome.choices or (),
+                    )
+                )
+        return found
+
+    def summary(self) -> str:
+        """Multi-line human-readable campaign report."""
+        events = sum(outcome.events for outcome in self.outcomes)
+        lines = [
+            f"fuzz campaign: target={self.config.target} "
+            f"budget={self.config.budget} "
+            f"models={','.join(self.config.models)}",
+            (
+                f"  {self.cases} case(s), {events} events, "
+                f"{self.cuts_checked} cut(s) checked"
+            ),
+            (
+                f"  {self.violations} violation(s) "
+                f"across {self.violating_cases} case(s)"
+            ),
+        ]
+        by_model: Dict[str, int] = {}
+        for outcome in self.outcomes:
+            by_model[outcome.spec.model] = (
+                by_model.get(outcome.spec.model, 0) + outcome.violation_count
+            )
+        for model in sorted(by_model):
+            lines.append(f"    {model}: {by_model[model]} violation(s)")
+        return "\n".join(lines)
+
+
+def sample_specs(config: CampaignConfig) -> List[CaseSpec]:
+    """Deterministically sample the campaign's ``budget`` case specs."""
+    config.validate()
+    target = make_target(config.target)
+    rng = random.Random(config.seed)
+    specs = []
+    for _ in range(config.budget):
+        specs.append(
+            CaseSpec(
+                target=config.target,
+                threads=rng.randint(*target.thread_range),
+                ops=rng.randint(*target.ops_range),
+                sched=rng.choice(list(config.schedulers)),
+                sched_seed=rng.randrange(SEED_SPACE),
+                model=rng.choice(list(config.models)),
+                cuts=rng.choice(
+                    [f for f in _FAMILY_DECK if f in CUT_FAMILIES]
+                ),
+                cut_seed=rng.randrange(SEED_SPACE),
+                cut_samples=config.cut_samples,
+            )
+        )
+    return specs
+
+
+def run_campaign(config: CampaignConfig) -> CampaignResult:
+    """Run one campaign, fanning cases out over worker processes.
+
+    Results are deterministic for a fixed config: cases are seeded from
+    ``config.seed`` and outcomes are re-sorted into sampling order, so
+    serial and parallel runs report identically.
+    """
+    specs = sample_specs(config)
+    tasks = [
+        {"index": index, "spec": spec.describe()}
+        for index, spec in enumerate(specs)
+    ]
+    outcomes: List[CaseOutcome] = []
+    fan_out(
+        _run_case,
+        tasks,
+        config.jobs,
+        lambda payload: outcomes.append(_outcome_from_wire(payload)),
+    )
+    outcomes.sort(key=lambda outcome: outcome.index)
+    return CampaignResult(config=config, outcomes=outcomes)

@@ -1,0 +1,206 @@
+"""Disk corpus of replayable counterexamples.
+
+Each finding the fuzzer keeps is one ``<digest>.repro.json`` file: the
+case spec that built the program, the recorded schedule choices that
+pin its interleaving, the failure cut (a consistent cut of the persist
+DAG), and the recovery error it produced.  Files are content-addressed
+with the same canonical-JSON/SHA-256 digest the harness disk cache uses
+(:func:`repro.harness.cache.content_digest`) and written via a sibling
+temp file plus :func:`os.replace`, so concurrent writers and crashes
+leave complete entries either way.
+
+Replay is policy-independent: the recorded choices drive a
+:class:`~repro.sim.scheduler.ReplayScheduler`, so the exact execution is
+reproduced even if scheduler implementations change; the cut is then
+re-applied and the target's recovery invariant re-checked.  A repro that
+no longer reproduces (e.g. the workload changed underneath it) reports a
+stale-entry diagnosis rather than crashing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.core.analysis import analyze_graph
+from repro.core.recovery import image_at_cut, is_consistent_cut
+from repro.errors import FuzzError, RecoveryError, SimulationError
+from repro.fuzz.targets import make_target
+from repro.harness.cache import content_digest
+from repro.sim.scheduler import ReplayScheduler, make_scheduler
+
+_PathLike = Union[str, Path]
+
+#: Bump when the repro file format changes; old entries fail to load.
+CORPUS_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ReproCase:
+    """One replayable counterexample (the corpus wire format)."""
+
+    target: str
+    threads: int
+    ops: int
+    sched: str
+    sched_seed: int
+    model: str
+    cut: Tuple[int, ...]
+    choices: Tuple[int, ...]
+    error: str
+    minimized: bool = False
+
+    def describe(self) -> Dict[str, object]:
+        """JSON dict representation (exactly what is written to disk)."""
+        return {
+            "version": CORPUS_FORMAT_VERSION,
+            "target": self.target,
+            "threads": self.threads,
+            "ops": self.ops,
+            "sched": self.sched,
+            "sched_seed": self.sched_seed,
+            "model": self.model,
+            "cut": list(self.cut),
+            "choices": list(self.choices),
+            "error": self.error,
+            "minimized": self.minimized,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "ReproCase":
+        """Rebuild a case from :meth:`describe` output.
+
+        Raises:
+            FuzzError: on a malformed or wrong-version payload.
+        """
+        try:
+            if payload["version"] != CORPUS_FORMAT_VERSION:
+                raise FuzzError(
+                    f"repro format version {payload['version']} is not "
+                    f"{CORPUS_FORMAT_VERSION}"
+                )
+            return cls(
+                target=str(payload["target"]),
+                threads=int(payload["threads"]),
+                ops=int(payload["ops"]),
+                sched=str(payload["sched"]),
+                sched_seed=int(payload["sched_seed"]),
+                model=str(payload["model"]),
+                cut=tuple(int(pid) for pid in payload["cut"]),
+                choices=tuple(int(c) for c in payload["choices"]),
+                error=str(payload["error"]),
+                minimized=bool(payload["minimized"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise FuzzError(f"malformed repro payload: {exc}") from exc
+
+    def key(self) -> str:
+        """Content digest identifying this case (names its corpus file)."""
+        return content_digest(self.describe())
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of replaying one corpus entry."""
+
+    reproduced: bool
+    detail: str
+
+
+def replay_case(case: ReproCase) -> ReplayResult:
+    """Re-execute a repro case and re-check its failure cut.
+
+    The recorded choices drive a :class:`ReplayScheduler` (falling back
+    to the original seeded scheduler when a case carries none), the
+    persist DAG is rebuilt under the case's model, and the cut's image
+    is handed to the target's recovery checker.  ``reproduced`` is True
+    exactly when the checker raises the violation again.
+    """
+    target = make_target(case.target)
+    if case.choices:
+        scheduler = ReplayScheduler(case.choices)
+    else:
+        scheduler = make_scheduler(case.sched, case.sched_seed)
+    try:
+        run = target.build(case.threads, case.ops, scheduler)
+    except SimulationError as exc:
+        return ReplayResult(
+            reproduced=False,
+            detail=f"stale repro: recorded schedule no longer applies ({exc})",
+        )
+    graph = analyze_graph(run.trace, case.model).graph
+    if not is_consistent_cut(graph, case.cut):
+        return ReplayResult(
+            reproduced=False,
+            detail=(
+                "stale repro: recorded cut is not a consistent cut of the "
+                "rebuilt persist DAG"
+            ),
+        )
+    image = image_at_cut(graph, case.cut, run.base_image, check=False)
+    try:
+        run.check(image)
+    except RecoveryError as exc:
+        return ReplayResult(reproduced=True, detail=str(exc))
+    return ReplayResult(
+        reproduced=False,
+        detail="recovery invariant held at the recorded cut",
+    )
+
+
+class Corpus:
+    """A directory of ``*.repro.json`` counterexample files."""
+
+    SUFFIX = ".repro.json"
+
+    def __init__(self, root: _PathLike) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, case: ReproCase) -> Path:
+        """The content-addressed file path for ``case``."""
+        return self.root / f"{case.key()[:16]}{self.SUFFIX}"
+
+    def add(self, case: ReproCase) -> Path:
+        """Write ``case`` atomically; returns its path (idempotent)."""
+        path = self.path_for(case)
+        handle, temp_name = tempfile.mkstemp(
+            dir=self.root, prefix=path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(handle, "w", encoding="utf-8") as stream:
+                json.dump(case.describe(), stream, sort_keys=True, indent=2)
+                stream.write("\n")
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def load(self, path: _PathLike) -> ReproCase:
+        """Load one repro file.
+
+        Raises:
+            FuzzError: when the file is unreadable or malformed.
+        """
+        try:
+            with open(path, "r", encoding="utf-8") as stream:
+                payload = json.load(stream)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise FuzzError(f"cannot read repro file {path}: {exc}") from exc
+        return ReproCase.from_payload(payload)
+
+    def entries(self) -> List[Path]:
+        """All repro files in the corpus, in sorted (stable) order."""
+        return sorted(self.root.glob(f"*{self.SUFFIX}"))
+
+    def replay_all(self) -> List[Tuple[Path, ReplayResult]]:
+        """Replay every entry; returns (path, result) pairs in order."""
+        return [(path, replay_case(self.load(path))) for path in self.entries()]

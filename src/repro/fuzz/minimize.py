@@ -1,0 +1,253 @@
+"""Counterexample minimization (delta debugging in two stages).
+
+A raw finding is rarely the story: it names a 4-thread, 24-insert
+program and a 150-persist cut when the bug needs two threads, two
+operations, and a handful of persists.  Minimization shrinks in two
+stages, re-running the (deterministic, seeded) case after every
+candidate shrink and keeping only changes that still violate:
+
+1. **Workload shrink** — reduce operations per thread toward the
+   target's floor (halving first, then decrementing), then reduce the
+   thread count the same way.  Each candidate re-runs the full pipeline
+   under the same seeded scheduler; a candidate "reproduces" when any
+   cut of the spec's family still violates the recovery invariant.
+2. **Cut shrink** — on the final workload, restart from the smallest
+   violating per-persist *minimal cut* (the persist and its ancestors,
+   nothing else), then greedily remove persists: dropping a persist
+   together with its in-cut descendants preserves downward closure, so
+   every candidate is a consistent cut by construction.
+
+The result is a :class:`~repro.fuzz.corpus.ReproCase` carrying the
+shrunk spec, the recorded schedule choices of its final run, and the
+minimal violating cut — deterministic to replay by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+from repro.core.recovery import FailureInjector, image_at_cut, minimal_cut
+from repro.errors import FuzzError, RecoveryError
+from repro.fuzz.campaign import (
+    CampaignResult,
+    CaseExecution,
+    CaseSpec,
+    Finding,
+    execute_spec,
+    iter_case_images,
+    run_case,
+)
+from repro.fuzz.corpus import Corpus, ReproCase
+from repro.fuzz.targets import make_target
+
+
+@dataclass
+class MinimizeStats:
+    """Work counters for one minimization."""
+
+    runs: int = 0
+    cut_checks: int = 0
+
+
+@dataclass
+class MinimizeResult:
+    """A minimized counterexample plus how much work it took."""
+
+    case: ReproCase
+    stats: MinimizeStats
+
+
+def _reproduces(spec: CaseSpec, stats: MinimizeStats) -> bool:
+    """Does any cut of ``spec``'s family still violate the invariant?"""
+    stats.runs += 1
+    outcome = run_case(spec, stop_at_first=True)
+    return outcome.violation_count > 0
+
+
+def _shrunk_candidates(value: int, floor: int) -> Iterable[int]:
+    """Candidate reductions of ``value``: halve first, then decrement."""
+    half = max(floor, value // 2)
+    if half < value:
+        yield half
+    if value - 1 >= floor and value - 1 != half:
+        yield value - 1
+
+
+def shrink_workload(
+    spec: CaseSpec, stats: Optional[MinimizeStats] = None
+) -> CaseSpec:
+    """Stage 1: shrink ops then threads while the case still reproduces.
+
+    Raises:
+        FuzzError: when ``spec`` does not reproduce to begin with.
+    """
+    stats = stats if stats is not None else MinimizeStats()
+    if not _reproduces(spec, stats):
+        raise FuzzError(
+            f"case does not reproduce; nothing to minimize: {spec}"
+        )
+    target = make_target(spec.target)
+    current = spec
+    for fieldname, floor in (
+        ("ops", target.ops_range[0]),
+        ("threads", target.thread_range[0]),
+    ):
+        progress = True
+        while progress:
+            progress = False
+            for candidate_value in _shrunk_candidates(
+                getattr(current, fieldname), floor
+            ):
+                candidate = CaseSpec(
+                    **{**current.describe(), fieldname: candidate_value}
+                )
+                if _reproduces(candidate, stats):
+                    current = candidate
+                    progress = True
+                    break
+    return current
+
+
+def _violates_at(
+    execution: CaseExecution, cut: Iterable[int], stats: MinimizeStats
+) -> Optional[str]:
+    """The recovery error at ``cut``, or None when the invariant holds."""
+    stats.cut_checks += 1
+    image = image_at_cut(
+        execution.graph, cut, execution.run.base_image, check=False
+    )
+    try:
+        execution.run.check(image)
+    except RecoveryError as exc:
+        return str(exc)
+    return None
+
+
+def _first_violating_cut(
+    execution: CaseExecution, stats: MinimizeStats
+) -> Tuple[frozenset, str]:
+    """The first violating cut of the spec's own family.
+
+    Raises:
+        FuzzError: when no cut of the family violates (the caller must
+            pass a spec that reproduces).
+    """
+    injector = FailureInjector(execution.graph, execution.run.base_image)
+    for cut, image in iter_case_images(execution.spec, injector):
+        stats.cut_checks += 1
+        try:
+            execution.run.check(image)
+        except RecoveryError as exc:
+            return frozenset(cut), str(exc)
+    raise FuzzError(
+        f"spec stopped reproducing during cut minimization: "
+        f"{execution.spec}"
+    )
+
+
+def shrink_cut(
+    execution: CaseExecution,
+    stats: Optional[MinimizeStats] = None,
+    max_checks: int = 600,
+) -> Tuple[frozenset, str]:
+    """Stage 2: shrink toward a minimal consistent cut still violating.
+
+    Starts from the first violating cut of the spec's family, restarts
+    from the smallest violating per-persist minimal cut inside it, then
+    greedily removes persists (each with its in-cut descendants, so
+    every candidate stays downward-closed).  ``max_checks`` bounds the
+    total invariant evaluations; the best cut so far is returned when
+    the budget runs out.
+    """
+    stats = stats if stats is not None else MinimizeStats()
+    graph = execution.graph
+    cut, error = _first_violating_cut(execution, stats)
+
+    # Restart from the most adversarial single-persist explanation.
+    by_size = sorted(cut, key=lambda pid: (len(minimal_cut(graph, pid)), pid))
+    for pid in by_size:
+        candidate = minimal_cut(graph, pid)
+        if len(candidate) >= len(cut):
+            break
+        if stats.cut_checks >= max_checks:
+            return cut, error
+        found = _violates_at(execution, candidate, stats)
+        if found is not None:
+            cut, error = candidate, found
+            break
+
+    # Greedy removal: drop a persist plus its in-cut descendants.
+    progress = True
+    while progress and stats.cut_checks < max_checks:
+        progress = False
+        for pid in sorted(cut, reverse=True):
+            descendants = {
+                other for other in cut if pid in graph.ancestors(other)
+            }
+            candidate = frozenset(cut - ({pid} | descendants))
+            if len(candidate) >= len(cut):
+                continue
+            if stats.cut_checks >= max_checks:
+                break
+            found = _violates_at(execution, candidate, stats)
+            if found is not None:
+                cut, error = candidate, found
+                progress = True
+                break
+    return cut, error
+
+
+def minimize_finding(
+    finding: Finding, max_cut_checks: int = 600
+) -> MinimizeResult:
+    """Minimize one campaign finding into a replayable repro case.
+
+    Shrinks the workload, then the cut, then re-executes the final spec
+    once to record the schedule choices the corpus replays.
+    """
+    stats = MinimizeStats()
+    spec = shrink_workload(finding.spec, stats)
+    execution = execute_spec(spec)
+    stats.runs += 1
+    cut, error = shrink_cut(execution, stats, max_checks=max_cut_checks)
+    case = ReproCase(
+        target=spec.target,
+        threads=spec.threads,
+        ops=spec.ops,
+        sched=spec.sched,
+        sched_seed=spec.sched_seed,
+        model=spec.model,
+        cut=tuple(sorted(cut)),
+        choices=execution.choices,
+        error=error,
+        minimized=True,
+    )
+    return MinimizeResult(case=case, stats=stats)
+
+
+def minimize_findings(
+    result: CampaignResult,
+    corpus: Optional[Corpus] = None,
+    limit: int = 3,
+    max_cut_checks: int = 600,
+) -> List[MinimizeResult]:
+    """Minimize a campaign's findings (at most one per persistency model).
+
+    Findings beyond the first per model are duplicates of the same bug
+    for minimization purposes; ``limit`` additionally caps the total.
+    Minimized cases are written to ``corpus`` when one is given.
+    """
+    minimized: List[MinimizeResult] = []
+    seen_models = set()
+    for finding in result.findings:
+        if len(minimized) >= limit:
+            break
+        if finding.spec.model in seen_models:
+            continue
+        seen_models.add(finding.spec.model)
+        outcome = minimize_finding(finding, max_cut_checks=max_cut_checks)
+        if corpus is not None:
+            corpus.add(outcome.case)
+        minimized.append(outcome)
+    return minimized

@@ -1,0 +1,400 @@
+"""Fuzz-target registry: recoverable workloads behind one interface.
+
+Every target wraps one recoverable workload as the same four-step
+pipeline the campaign engine drives: build a program for a given
+(threads, ops) size, run it under a caller-supplied schedule, hand back
+the trace plus the base NVRAM image, and expose a recovery-invariant
+checker that raises :class:`~repro.errors.RecoveryError` when a
+failure-state image violates the workload's ground truth.
+
+The registry deliberately includes two **known-broken** variants whose
+bugs the paper's discipline explains — the fuzzer must rediscover both
+from scratch:
+
+* ``queue-2lc-faithful`` — the paper's printed 2LC pseudo-code, which
+  omits a persist barrier between an insert's data copy and its
+  completion-marking; under epoch/strand persistency another thread's
+  head persist can cover unpersisted data (a hole).
+* ``minifs-racy`` — MiniFS built without the paper's barriers around
+  lock acquires/releases; block reuse can persist before the directory
+  swing it depends on (a torn file).
+
+Their fixed counterparts (``queue-2lc``, ``minifs``) and the remaining
+targets are expected to survive any budget with zero violations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Set, Tuple
+
+from repro.errors import FuzzError, RecoveryError
+from repro.memory import layout
+from repro.memory.nvram import NvramImage
+from repro.queue.recovery import verify_recovery
+from repro.queue.workload import run_insert_workload
+from repro.sim.machine import Machine
+from repro.sim.scheduler import Scheduler
+from repro.structures.counter import StripedPersistentCounter
+from repro.structures.kv import PersistentKvStore
+from repro.structures.log import PersistentLog
+from repro.structures.minifs import MiniFs, name_hash
+from repro.structures.transactions import DurableTransactions
+from repro.trace.trace import Trace
+
+
+@dataclass
+class TargetRun:
+    """One executed target program, ready for failure injection.
+
+    ``check`` is a closure over the run's ground truth: it takes a
+    failure-state :class:`~repro.memory.nvram.NvramImage` and raises
+    :class:`~repro.errors.RecoveryError` when recovery from that image
+    violates the target's invariant.
+    """
+
+    trace: Trace
+    base_image: NvramImage
+    check: Callable[[NvramImage], None]
+
+
+@dataclass(frozen=True)
+class FuzzTarget:
+    """A registered fuzz target and its sampling/shrinking bounds.
+
+    ``thread_range`` and ``ops_range`` are inclusive (min, max) bounds:
+    the campaign samples sizes inside them and the minimizer never
+    shrinks below their minima (below which the target's invariant is
+    vacuous — e.g. a shadow-update bug needs at least one rewrite).
+    """
+
+    name: str
+    builder: Callable[[int, int, Scheduler], TargetRun]
+    thread_range: Tuple[int, int]
+    ops_range: Tuple[int, int]
+    #: Documented-broken variant: campaigns are expected to find bugs.
+    known_broken: bool = False
+
+    def build(self, threads: int, ops: int, scheduler: Scheduler) -> TargetRun:
+        """Build and run one program of the given size under ``scheduler``."""
+        if threads <= 0 or ops <= 0:
+            raise FuzzError(
+                f"target sizes must be positive, got threads={threads} "
+                f"ops={ops}"
+            )
+        return self.builder(threads, ops, scheduler)
+
+
+def _fresh_machine(scheduler: Scheduler) -> Machine:
+    """A machine sized for small fuzz programs."""
+    return Machine(scheduler=scheduler, persistent_size=1 << 20)
+
+
+def _snapshot(machine: Machine) -> NvramImage:
+    """Base NVRAM image after structure initialisation (pre-failure)."""
+    return NvramImage.from_region(
+        machine.memory.region("persistent"), blank=False
+    )
+
+
+# -- queue targets -----------------------------------------------------------
+
+
+def _queue_builder(design: str, paper_faithful: bool):
+    """Builder factory for the queue insert workloads."""
+
+    def build(threads: int, ops: int, scheduler: Scheduler) -> TargetRun:
+        """Run the insert workload; check entries against ground truth."""
+        result = run_insert_workload(
+            design=design,
+            threads=threads,
+            inserts_per_thread=ops,
+            entry_size=48,
+            paper_faithful=paper_faithful,
+            scheduler=scheduler,
+        )
+        base = result.queue.base
+        expected = result.expected
+
+        def check(image: NvramImage) -> None:
+            """Every recovered entry must match what was inserted."""
+            verify_recovery(image, base, expected)
+
+        return TargetRun(
+            trace=result.trace, base_image=result.base_image, check=check
+        )
+
+    return build
+
+
+# -- key-value store ---------------------------------------------------------
+
+
+def _kv_thread(ctx, store, thread: int, ops: int, history: Dict[int, Set[int]]):
+    """Generator body: puts (with overwrites) and occasional deletes."""
+    for index in range(ops):
+        key = thread * 8 + (index % 2) + 1
+        value = (thread + 1) * 1_000_000 + index + 1
+        history.setdefault(key, set()).add(value)
+        yield from store.put(ctx, key, value)
+        if index % 4 == 3:
+            yield from store.delete(ctx, key)
+
+
+def _build_kv(threads: int, ops: int, scheduler: Scheduler) -> TargetRun:
+    """KV-store target: recovered pairs must have been written."""
+    machine = _fresh_machine(scheduler)
+    store = PersistentKvStore(machine, slots=64)
+    base_image = _snapshot(machine)
+    history: Dict[int, Set[int]] = {}
+    for thread in range(threads):
+        machine.spawn(_kv_thread, store, thread, ops, history)
+    trace = machine.run()
+
+    def check(image: NvramImage) -> None:
+        """Every recovered pair must be a (key, value) actually put."""
+        for key, value in store.recover(image).items():
+            if key not in history:
+                raise RecoveryError(f"recovered unknown key {key}")
+            if value not in history[key]:
+                raise RecoveryError(
+                    f"key {key} recovered value {value} that was never "
+                    f"written"
+                )
+
+    return TargetRun(trace=trace, base_image=base_image, check=check)
+
+
+# -- append-only log ---------------------------------------------------------
+
+
+def _log_thread(ctx, log, thread: int, ops: int):
+    """Generator body: append ``ops`` framed records; returns offsets."""
+    written: List[Tuple[int, bytes]] = []
+    for index in range(ops):
+        payload = bytes([thread * 16 + index + 1]) * (8 + (index % 3) * 8)
+        offset = yield from log.append(ctx, payload)
+        written.append((offset, payload))
+    return written
+
+
+def _build_log(threads: int, ops: int, scheduler: Scheduler) -> TargetRun:
+    """Log target: committed records must match their appends exactly."""
+    machine = _fresh_machine(scheduler)
+    log = PersistentLog(machine, capacity=threads * ops * 64 + 64)
+    base_image = _snapshot(machine)
+    for thread in range(threads):
+        machine.spawn(_log_thread, log, thread, ops)
+    trace = machine.run()
+    expected: Dict[int, bytes] = {}
+    for thread in machine.threads:
+        for offset, payload in thread.result:
+            expected[offset] = payload
+
+    def check(image: NvramImage) -> None:
+        """Recovery must parse, and every record must match its append."""
+        for record in log.recover(image):
+            if expected.get(record.offset) != record.payload:
+                raise RecoveryError(
+                    f"log record at offset {record.offset} does not match "
+                    f"the payload appended there"
+                )
+
+    return TargetRun(trace=trace, base_image=base_image, check=check)
+
+
+# -- striped counter ---------------------------------------------------------
+
+
+def _counter_thread(ctx, counter, ops: int):
+    """Generator body: ``ops`` unit increments of the caller's stripe."""
+    for _ in range(ops):
+        yield from counter.increment(ctx)
+
+
+def _build_counter(threads: int, ops: int, scheduler: Scheduler) -> TargetRun:
+    """Striped-counter target: never overcount, never go negative."""
+    machine = _fresh_machine(scheduler)
+    counter = StripedPersistentCounter(machine, threads)
+    base_image = _snapshot(machine)
+    for _ in range(threads):
+        machine.spawn(_counter_thread, counter, ops)
+    trace = machine.run()
+    ceiling = threads * ops
+
+    def check(image: NvramImage) -> None:
+        """Durable value must lie in [0, total increments]."""
+        value = counter.recover(image)
+        if not 0 <= value <= ceiling:
+            raise RecoveryError(
+                f"counter recovered {value} outside [0, {ceiling}]"
+            )
+
+    return TargetRun(trace=trace, base_image=base_image, check=check)
+
+
+# -- MiniFS ------------------------------------------------------------------
+
+
+def _fs_content(thread: int, version: int) -> bytes:
+    """Deterministic 300-byte content, distinct per (thread, version)."""
+    return bytes([(thread * 16 + version + 1) % 256]) * 300
+
+
+def _fs_thread(ctx, fs, thread: int, ops: int):
+    """Generator body: create a file, then shadow-rewrite it."""
+    name = f"f{thread}"
+    yield from fs.create(ctx, name, _fs_content(thread, 0))
+    for version in range(1, ops):
+        yield from fs.write(ctx, name, _fs_content(thread, version))
+
+
+def _minifs_builder(race_free: bool):
+    """Builder factory for MiniFS with/without the race-free barriers."""
+
+    def build(threads: int, ops: int, scheduler: Scheduler) -> TargetRun:
+        """Create + rewrite one file per thread; recover all versions."""
+        machine = _fresh_machine(scheduler)
+        fs = MiniFs(
+            machine,
+            inodes=12,
+            data_blocks=16,
+            dir_slots=8,
+            race_free=race_free,
+        )
+        base_image = _snapshot(machine)
+        history: Dict[int, Set[bytes]] = {}
+        for thread in range(threads):
+            versions = {_fs_content(thread, v) for v in range(ops)}
+            history[name_hash(f"f{thread}")] = versions
+            machine.spawn(_fs_thread, fs, thread, ops)
+        trace = machine.run()
+
+        def check(image: NvramImage) -> None:
+            """Every recovered file must equal some written version."""
+            for hashed, recovered in fs.recover(image).items():
+                if hashed not in history:
+                    raise RecoveryError(f"recovered unknown file {hashed:#x}")
+                if recovered.data not in history[hashed]:
+                    raise RecoveryError(
+                        f"file {hashed:#x} recovered data matching no "
+                        f"written version"
+                    )
+
+        return TargetRun(trace=trace, base_image=base_image, check=check)
+
+    return build
+
+
+# -- durable transactions ----------------------------------------------------
+
+
+def _txn_thread(ctx, txns, data_base: int, thread: int, ops: int):
+    """Generator body: ``ops`` two-word transactions on owned words."""
+    committed: List[Tuple[int, int, List[Tuple[int, int]]]] = []
+    addr_a = data_base + thread * 2 * layout.WORD_SIZE
+    addr_b = addr_a + layout.WORD_SIZE
+    for index in range(ops):
+        txn = yield from txns.begin(ctx)
+        value_a = (thread + 1) * 10_000 + index * 10 + 1
+        value_b = (thread + 1) * 10_000 + index * 10 + 2
+        yield from txns.write(ctx, txn, addr_a, value_a)
+        yield from txns.write(ctx, txn, addr_b, value_b)
+        sequence = yield from txns.commit(ctx, txn)
+        committed.append(
+            (sequence, txn.txn_id, [(addr_a, value_a), (addr_b, value_b)])
+        )
+    return committed
+
+
+def _build_transactions(
+    threads: int, ops: int, scheduler: Scheduler
+) -> TargetRun:
+    """Transaction target: durable commits form a prefix; replay exact."""
+    machine = _fresh_machine(scheduler)
+    txns = DurableTransactions(
+        machine, threads, commit_capacity=threads * ops + 4
+    )
+    data_base = machine.persistent_heap.malloc(
+        threads * 2 * layout.WORD_SIZE
+    )
+    base_image = _snapshot(machine)
+    for thread in range(threads):
+        machine.spawn(_txn_thread, txns, data_base, thread, ops)
+    trace = machine.run()
+    commit_order: List[Tuple[int, int, List[Tuple[int, int]]]] = []
+    for thread in machine.threads:
+        commit_order.extend(thread.result)
+    commit_order.sort()
+    all_addrs = [
+        data_base + index * layout.WORD_SIZE
+        for index in range(threads * 2)
+    ]
+
+    def check(image: NvramImage) -> None:
+        """Committed ids must prefix the commit order; values must match."""
+        state = txns.recover(image)
+        committed = state.committed_txn_ids
+        expected_prefix = [
+            txn_id for _, txn_id, _ in commit_order[: len(committed)]
+        ]
+        if committed != expected_prefix:
+            raise RecoveryError(
+                f"recovered commits {committed} are not a prefix of the "
+                f"commit order"
+            )
+        values: Dict[int, int] = {}
+        for _, _, writes in commit_order[: len(committed)]:
+            values.update(writes)
+        for addr in all_addrs:
+            if state.read(addr) != values.get(addr, 0):
+                raise RecoveryError(
+                    f"address {addr:#x} replayed to a value no committed "
+                    f"prefix explains"
+                )
+
+    return TargetRun(trace=trace, base_image=base_image, check=check)
+
+
+#: Registry of every fuzzable workload, keyed by CLI name.
+TARGETS: Dict[str, FuzzTarget] = {
+    target.name: target
+    for target in (
+        FuzzTarget("queue-cwl", _queue_builder("cwl", False), (1, 4), (2, 6)),
+        FuzzTarget("queue-2lc", _queue_builder("2lc", False), (1, 4), (2, 6)),
+        FuzzTarget(
+            "queue-2lc-faithful",
+            _queue_builder("2lc", True),
+            (1, 4),
+            (2, 6),
+            known_broken=True,
+        ),
+        FuzzTarget("kv", _build_kv, (1, 4), (2, 8)),
+        FuzzTarget("log", _build_log, (1, 4), (2, 6)),
+        FuzzTarget("counter", _build_counter, (1, 4), (2, 8)),
+        FuzzTarget("minifs", _minifs_builder(True), (2, 3), (2, 4)),
+        FuzzTarget(
+            "minifs-racy",
+            _minifs_builder(False),
+            (2, 3),
+            (2, 4),
+            known_broken=True,
+        ),
+        FuzzTarget("transactions", _build_transactions, (1, 3), (1, 4)),
+    )
+}
+
+
+def make_target(name: str) -> FuzzTarget:
+    """Look up a registered target by name.
+
+    Raises:
+        FuzzError: for unregistered names (listing the registry).
+    """
+    try:
+        return TARGETS[name]
+    except KeyError:
+        raise FuzzError(
+            f"unknown fuzz target {name!r}; expected one of "
+            f"{sorted(TARGETS)}"
+        ) from None

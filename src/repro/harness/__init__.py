@@ -7,6 +7,7 @@ from repro.harness.cache import (
     analysis_from_payload,
     analysis_to_payload,
     analysis_key,
+    content_digest,
     workload_key,
 )
 from repro.harness.figures import (
@@ -33,6 +34,7 @@ from repro.harness.metrics import (
 from repro.harness.parallel import (
     GridCell,
     dedup_cells,
+    fan_out,
     figure_cells,
     run_grid,
     table1_cells,
@@ -54,6 +56,7 @@ __all__ = [
     "HarnessStats",
     "workload_key",
     "analysis_key",
+    "content_digest",
     "analysis_to_payload",
     "analysis_from_payload",
     "GridCell",
@@ -61,6 +64,7 @@ __all__ = [
     "figure_cells",
     "dedup_cells",
     "run_grid",
+    "fan_out",
     "derive_seed",
     "InstructionCostModel",
     "DEFAULT_COST_MODEL",

@@ -52,8 +52,13 @@ _ANALYSIS_SCALARS = (
 )
 
 
-def _digest(payload: Dict[str, object]) -> str:
-    """Stable hex digest of a JSON-serializable payload."""
+def content_digest(payload: Dict[str, object]) -> str:
+    """Stable hex digest of a JSON-serializable payload.
+
+    The cache's content-addressing primitive (canonical JSON, SHA-256),
+    also used by the ``repro.fuzz`` corpus to name repro files — stable
+    across processes and ``PYTHONHASHSEED`` values by construction.
+    """
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
@@ -67,14 +72,14 @@ def workload_key(config: WorkloadConfig) -> str:
         "volatile_queue": config.volatile_queue,
     }
     payload.update(config.describe())
-    return _digest(payload)
+    return content_digest(payload)
 
 
 def analysis_key(
     workload: WorkloadConfig, model: str, config: AnalysisConfig
 ) -> str:
     """Content digest of one (trace, model, analysis-config) cell."""
-    return _digest(
+    return content_digest(
         {
             "kind": "analysis",
             "version": CACHE_FORMAT_VERSION,

@@ -22,7 +22,7 @@ from __future__ import annotations
 import io
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import asdict, dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.analysis import AnalysisConfig
 from repro.harness.cache import (
@@ -42,6 +42,33 @@ from repro.trace.io import dump, load
 
 #: One program variant: (design, threads, racing).
 Variant = Tuple[str, int, bool]
+
+
+def fan_out(
+    worker: Callable[[dict], dict],
+    tasks: Sequence[dict],
+    jobs: Optional[int],
+    merge: Callable[[dict], None],
+) -> None:
+    """Run JSON-safe ``tasks`` through ``worker``, folding each result
+    into ``merge``.
+
+    The generic fan-out primitive under :func:`run_grid` and the
+    ``repro.fuzz`` campaign engine: ``worker`` must be a module-level
+    function taking one JSON-safe task dict and returning a JSON-safe
+    result dict (both must cross a process boundary).  ``jobs`` of
+    ``None``, 0, or 1 runs everything in-process through the same worker
+    (identical results, no pool); results are merged as they complete,
+    in arbitrary order, so ``merge`` must not assume task order.
+    """
+    if jobs is None or jobs <= 1:
+        for task in tasks:
+            merge(worker(task))
+        return
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        futures = [pool.submit(worker, task) for task in tasks]
+        for future in as_completed(futures):
+            merge(future.result())
 
 
 @dataclass(frozen=True)
@@ -235,8 +262,10 @@ def run_grid(
         }
         for variant, variant_cells in sorted(groups.items())
     ]
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
-        futures = [pool.submit(_run_variant, task) for task in tasks]
-        for future in as_completed(futures):
-            _merge_variant(runner, future.result())
+    fan_out(
+        _run_variant,
+        tasks,
+        jobs,
+        lambda result: _merge_variant(runner, result),
+    )
     return runner.stats

@@ -3,10 +3,14 @@
 from repro.sim.context import ThreadContext
 from repro.sim.machine import Machine, SimThread, ThreadState
 from repro.sim.scheduler import (
+    SCHEDULER_KINDS,
+    ChoiceRecordingScheduler,
     RandomScheduler,
+    ReplayScheduler,
     RoundRobinScheduler,
     Scheduler,
     StridedScheduler,
+    make_scheduler,
 )
 from repro.sim.sync import (
     LOCK_KINDS,
@@ -26,6 +30,10 @@ __all__ = [
     "RoundRobinScheduler",
     "RandomScheduler",
     "StridedScheduler",
+    "ChoiceRecordingScheduler",
+    "ReplayScheduler",
+    "SCHEDULER_KINDS",
+    "make_scheduler",
     "Lock",
     "MCSLock",
     "TicketLock",

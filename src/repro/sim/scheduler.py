@@ -11,7 +11,9 @@ from __future__ import annotations
 
 import abc
 import random
-from typing import Sequence
+from typing import List, Sequence
+
+from repro.errors import SimulationError
 
 
 class Scheduler(abc.ABC):
@@ -63,9 +65,96 @@ class StridedScheduler(Scheduler):
         self._remaining = 0
 
     def pick(self, runnable: Sequence[int]) -> int:
-        if self._remaining > 0 and self._current in runnable:
+        if self._current not in runnable:
+            # The current thread left the runnable set mid-quantum
+            # (blocked, finished, or drained its buffer): its leftover
+            # quantum is abandoned here, never carried into the next
+            # choice and never resumed if the thread comes back.
+            self._remaining = 0
+        if self._remaining > 0:
             self._remaining -= 1
             return self._current
         self._current = self._rng.choice(runnable)
         self._remaining = self._stride - 1
         return self._current
+
+
+class ChoiceRecordingScheduler(Scheduler):
+    """Delegates to an inner policy, recording every chosen id.
+
+    The recorded ``choices`` list (thread ids, or drain-agent ids on TSO
+    machines) fully determines the interleaving; feeding it to
+    :class:`ReplayScheduler` reproduces the same execution bit-for-bit
+    without needing the original policy object.  This is how
+    ``repro.fuzz`` turns a sampled schedule into a deterministic,
+    policy-independent repro artifact.
+    """
+
+    def __init__(self, inner: Scheduler) -> None:
+        self._inner = inner
+        self.choices: List[int] = []
+
+    def pick(self, runnable: Sequence[int]) -> int:
+        choice = self._inner.pick(runnable)
+        self.choices.append(choice)
+        return choice
+
+
+class ReplayScheduler(Scheduler):
+    """Replays a recorded choice sequence exactly.
+
+    Raises:
+        SimulationError: when a recorded choice is not runnable at its
+            step or the recording is exhausted while threads still run —
+            both mean the program differs from the one recorded (a stale
+            repro file, or nondeterminism that must not exist).
+    """
+
+    def __init__(self, choices: Sequence[int]) -> None:
+        self._choices = list(choices)
+        self._step = 0
+
+    @property
+    def steps_replayed(self) -> int:
+        """Number of recorded choices consumed so far."""
+        return self._step
+
+    def pick(self, runnable: Sequence[int]) -> int:
+        if self._step >= len(self._choices):
+            raise SimulationError(
+                f"schedule recording exhausted after {self._step} steps "
+                f"with threads still runnable: {list(runnable)}"
+            )
+        choice = self._choices[self._step]
+        if choice not in runnable:
+            raise SimulationError(
+                f"recorded choice {choice} at step {self._step} is not "
+                f"runnable (runnable: {list(runnable)}); the replayed "
+                f"program diverged from the recording"
+            )
+        self._step += 1
+        return choice
+
+
+#: Registry of seeded scheduler kinds the fuzzer samples from.
+SCHEDULER_KINDS = ("random", "strided2", "strided8", "round_robin")
+
+
+def make_scheduler(kind: str, seed: int = 0) -> Scheduler:
+    """Build a scheduler from a registry name and seed.
+
+    ``kind`` is one of :data:`SCHEDULER_KINDS`; ``round_robin`` ignores
+    the seed (it is deterministic by construction).
+    """
+    if kind == "random":
+        return RandomScheduler(seed=seed)
+    if kind == "strided2":
+        return StridedScheduler(2, seed=seed)
+    if kind == "strided8":
+        return StridedScheduler(8, seed=seed)
+    if kind == "round_robin":
+        return RoundRobinScheduler()
+    raise SimulationError(
+        f"unknown scheduler kind {kind!r}; expected one of "
+        f"{SCHEDULER_KINDS}"
+    )

@@ -106,6 +106,64 @@ class TestCutConstructors:
         assert frozenset({a, b}) in seen or frozenset({a, c}) in seen
 
 
+def random_graph(rng, size):
+    """A random persist DAG: each node depends on up to 3 earlier ones."""
+    domain = GraphDomain()
+    for index in range(size):
+        count = rng.randint(0, min(index, 3))
+        deps = frozenset(rng.sample(range(index), count))
+        event = make_access(
+            index,
+            rng.randrange(4),
+            EventKind.STORE,
+            P + 8 * index,
+            8,
+            index + 1,
+            True,
+        )
+        domain.persist(deps, event)
+    return domain
+
+
+class TestCutPropertiesOnRandomDags:
+    """Seeded property tests: every constructor yields consistent cuts."""
+
+    SEEDS = range(10)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_sample_cut_consistent(self, seed):
+        rng = random.Random(seed)
+        graph = random_graph(rng, rng.randint(1, 40))
+        for _ in range(25):
+            probability = rng.random()
+            assert is_consistent_cut(
+                graph, sample_cut(graph, rng, probability)
+            )
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_linear_extension_cut_consistent(self, seed):
+        rng = random.Random(seed)
+        graph = random_graph(rng, rng.randint(1, 40))
+        for _ in range(25):
+            assert is_consistent_cut(graph, linear_extension_cut(graph, rng))
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_minimal_cut_consistent_for_every_persist(self, seed):
+        rng = random.Random(seed)
+        graph = random_graph(rng, rng.randint(1, 40))
+        for pid in range(len(graph.nodes)):
+            cut = minimal_cut(graph, pid)
+            assert pid in cut
+            assert is_consistent_cut(graph, cut)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_prefix_cut_consistent_at_every_depth(self, seed):
+        rng = random.Random(seed)
+        graph = random_graph(rng, rng.randint(1, 40))
+        for count in range(len(graph.nodes) + 1):
+            assert is_consistent_cut(graph, prefix_cut(graph, count))
+
+
 class TestEnumeration:
     def test_diamond_has_six_cuts(self):
         graph, _ = diamond_graph()

@@ -1,0 +1,106 @@
+"""Tests for the repro corpus and deterministic replay."""
+
+import json
+
+import pytest
+
+from repro.errors import FuzzError
+from repro.fuzz import Corpus, ReproCase, minimize_finding, replay_case
+
+from tests.fuzz.test_campaign import FAITHFUL_2LC_SPEC
+from tests.fuzz.test_minimize import finding_for
+
+
+@pytest.fixture(scope="module")
+def minimized_case():
+    """One minimized, replayable case (expensive: built once per module)."""
+    return minimize_finding(finding_for(FAITHFUL_2LC_SPEC)).case
+
+
+class TestReproCase:
+    def test_round_trips_through_payload(self, minimized_case):
+        payload = minimized_case.describe()
+        assert ReproCase.from_payload(payload) == minimized_case
+
+    def test_key_is_stable_and_content_addressed(self, minimized_case):
+        assert minimized_case.key() == minimized_case.key()
+        other = ReproCase.from_payload(
+            {**minimized_case.describe(), "sched_seed": 99}
+        )
+        assert other.key() != minimized_case.key()
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(FuzzError):
+            ReproCase.from_payload({"target": "kv"})
+
+    def test_wrong_version_rejected(self, minimized_case):
+        payload = {**minimized_case.describe(), "version": 999}
+        with pytest.raises(FuzzError):
+            ReproCase.from_payload(payload)
+
+
+class TestCorpus:
+    def test_add_load_round_trip(self, tmp_path, minimized_case):
+        corpus = Corpus(tmp_path)
+        path = corpus.add(minimized_case)
+        assert path.name.endswith(".repro.json")
+        assert corpus.load(path) == minimized_case
+
+    def test_add_is_idempotent(self, tmp_path, minimized_case):
+        corpus = Corpus(tmp_path)
+        assert corpus.add(minimized_case) == corpus.add(minimized_case)
+        assert len(corpus.entries()) == 1
+
+    def test_entries_sorted(self, tmp_path, minimized_case):
+        corpus = Corpus(tmp_path)
+        corpus.add(minimized_case)
+        variant = ReproCase.from_payload(
+            {**minimized_case.describe(), "error": "another"}
+        )
+        corpus.add(variant)
+        entries = corpus.entries()
+        assert entries == sorted(entries)
+        assert len(entries) == 2
+
+    def test_unreadable_file_rejected(self, tmp_path):
+        path = tmp_path / "broken.repro.json"
+        path.write_text("{not json")
+        with pytest.raises(FuzzError):
+            Corpus(tmp_path).load(path)
+
+    def test_written_file_is_valid_json(self, tmp_path, minimized_case):
+        corpus = Corpus(tmp_path)
+        path = corpus.add(minimized_case)
+        payload = json.loads(path.read_text())
+        assert payload["target"] == minimized_case.target
+
+
+class TestReplay:
+    def test_minimized_case_reproduces(self, minimized_case):
+        replay = replay_case(minimized_case)
+        assert replay.reproduced
+        assert replay.detail
+
+    def test_divergent_choices_reported_stale(self, minimized_case):
+        stale = ReproCase.from_payload(
+            {**minimized_case.describe(), "choices": [999999]}
+        )
+        replay = replay_case(stale)
+        assert not replay.reproduced
+        assert "stale" in replay.detail
+
+    def test_inconsistent_cut_reported_stale(self, minimized_case):
+        stale = ReproCase.from_payload(
+            {**minimized_case.describe(), "cut": [10_000_000]}
+        )
+        replay = replay_case(stale)
+        assert not replay.reproduced
+        assert "stale" in replay.detail
+
+    def test_fixed_target_does_not_reproduce(self, minimized_case):
+        """The same schedule and cut against the fixed 2LC must be clean."""
+        fixed = ReproCase.from_payload(
+            {**minimized_case.describe(), "target": "queue-2lc"}
+        )
+        replay = replay_case(fixed)
+        assert not replay.reproduced

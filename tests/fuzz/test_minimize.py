@@ -1,0 +1,116 @@
+"""Tests for counterexample minimization."""
+
+import pytest
+
+from repro.core import is_consistent_cut
+from repro.errors import FuzzError
+from repro.fuzz import (
+    CampaignConfig,
+    CaseSpec,
+    Corpus,
+    execute_spec,
+    minimize_finding,
+    minimize_findings,
+    replay_case,
+    run_campaign,
+    run_case,
+    shrink_cut,
+    shrink_workload,
+)
+from repro.fuzz.campaign import Finding
+
+from tests.fuzz.test_campaign import FAITHFUL_2LC_SPEC, RACY_MINIFS_SPEC
+
+
+def finding_for(spec):
+    """Build a Finding from a spec known to violate."""
+    outcome = run_case(spec, stop_at_first=True)
+    assert outcome.violation_count > 0
+    violation = outcome.violations[0]
+    return Finding(
+        spec=spec,
+        cut=violation.cut,
+        error=violation.error,
+        choices=outcome.choices,
+    )
+
+
+class TestShrinkWorkload:
+    def test_never_grows_and_still_reproduces(self):
+        shrunk = shrink_workload(FAITHFUL_2LC_SPEC)
+        assert shrunk.threads <= FAITHFUL_2LC_SPEC.threads
+        assert shrunk.ops <= FAITHFUL_2LC_SPEC.ops
+        assert run_case(shrunk, stop_at_first=True).violation_count > 0
+
+    def test_respects_target_floors(self):
+        shrunk = shrink_workload(FAITHFUL_2LC_SPEC)
+        assert shrunk.threads >= 1
+        assert shrunk.ops >= 2  # queue targets' ops floor
+
+    def test_non_reproducing_spec_rejected(self):
+        clean = CaseSpec.from_payload(
+            {**FAITHFUL_2LC_SPEC.describe(), "target": "queue-2lc"}
+        )
+        with pytest.raises(FuzzError):
+            shrink_workload(clean)
+
+
+class TestShrinkCut:
+    def test_cut_is_consistent_and_violating(self):
+        execution = execute_spec(FAITHFUL_2LC_SPEC)
+        cut, error = shrink_cut(execution)
+        assert error
+        assert is_consistent_cut(execution.graph, cut)
+        # The shrunk cut must itself still violate.
+        from repro.core import image_at_cut
+        from repro.errors import RecoveryError
+
+        image = image_at_cut(
+            execution.graph, cut, execution.run.base_image, check=True
+        )
+        with pytest.raises(RecoveryError):
+            execution.run.check(image)
+
+    def test_smaller_than_the_full_persist_set(self):
+        execution = execute_spec(FAITHFUL_2LC_SPEC)
+        cut, _ = shrink_cut(execution)
+        assert len(cut) < len(execution.graph.nodes)
+
+
+class TestMinimizeFinding:
+    @pytest.mark.parametrize(
+        "spec", [FAITHFUL_2LC_SPEC, RACY_MINIFS_SPEC], ids=["2lc", "minifs"]
+    )
+    def test_produces_replayable_minimized_case(self, spec):
+        outcome = minimize_finding(finding_for(spec))
+        case = outcome.case
+        assert case.minimized
+        assert case.threads <= spec.threads
+        assert case.ops <= spec.ops
+        assert case.choices
+        assert outcome.stats.runs > 0
+        replay = replay_case(case)
+        assert replay.reproduced
+        assert replay.detail == case.error
+
+
+class TestMinimizeFindings:
+    def test_writes_one_corpus_entry_per_model(self, tmp_path):
+        result = run_campaign(
+            CampaignConfig(target="queue-2lc-faithful", budget=24, seed=0)
+        )
+        corpus = Corpus(tmp_path)
+        minimized = minimize_findings(result, corpus, limit=4)
+        assert minimized
+        models = [outcome.case.model for outcome in minimized]
+        assert len(models) == len(set(models))  # deduped by model
+        assert len(corpus.entries()) == len(minimized)
+        for path, replay in corpus.replay_all():
+            assert replay.reproduced, f"{path} went stale"
+
+    def test_limit_honored(self):
+        result = run_campaign(
+            CampaignConfig(target="minifs-racy", budget=8, seed=0)
+        )
+        minimized = minimize_findings(result, corpus=None, limit=1)
+        assert len(minimized) == 1

@@ -1,0 +1,63 @@
+"""Tests for the fuzz-target registry."""
+
+import pytest
+
+from repro.core import analyze_graph, full_cut, image_at_cut
+from repro.errors import FuzzError
+from repro.fuzz import TARGETS, make_target
+from repro.sim import make_scheduler
+
+
+class TestRegistry:
+    def test_known_broken_variants(self):
+        broken = {name for name, t in TARGETS.items() if t.known_broken}
+        assert broken == {"queue-2lc-faithful", "minifs-racy"}
+
+    def test_make_target_unknown_rejected(self):
+        with pytest.raises(FuzzError):
+            make_target("btrfs")
+
+    def test_make_target_returns_registered(self):
+        assert make_target("kv") is TARGETS["kv"]
+
+    @pytest.mark.parametrize("name", sorted(TARGETS))
+    def test_ranges_are_sane(self, name):
+        target = TARGETS[name]
+        assert 1 <= target.thread_range[0] <= target.thread_range[1]
+        assert 1 <= target.ops_range[0] <= target.ops_range[1]
+
+
+class TestBuild:
+    @pytest.mark.parametrize("name", sorted(TARGETS))
+    def test_builds_and_base_image_is_clean(self, name):
+        """Nothing persisted yet is always a legal recovery state."""
+        target = TARGETS[name]
+        run = target.build(
+            target.thread_range[0],
+            target.ops_range[0],
+            make_scheduler("random", 1),
+        )
+        assert len(run.trace) > 0
+        run.check(run.base_image)
+
+    @pytest.mark.parametrize("name", sorted(TARGETS))
+    def test_full_cut_recovers_even_for_broken_variants(self, name):
+        """With every persist applied there is no failure to expose."""
+        target = TARGETS[name]
+        run = target.build(2, target.ops_range[0], make_scheduler("random", 2))
+        graph = analyze_graph(run.trace, "epoch").graph
+        image = image_at_cut(graph, full_cut(graph), run.base_image)
+        run.check(image)
+
+    def test_bad_sizes_rejected(self):
+        with pytest.raises(FuzzError):
+            make_target("kv").build(0, 2, make_scheduler("random"))
+        with pytest.raises(FuzzError):
+            make_target("kv").build(2, 0, make_scheduler("random"))
+
+    def test_same_schedule_same_trace(self):
+        """A target build is deterministic given the scheduler."""
+        target = make_target("log")
+        a = target.build(2, 3, make_scheduler("random", 9))
+        b = target.build(2, 3, make_scheduler("random", 9))
+        assert list(a.trace) == list(b.trace)

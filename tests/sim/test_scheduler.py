@@ -2,10 +2,15 @@
 
 import pytest
 
+from repro.errors import SimulationError
 from repro.sim import (
+    SCHEDULER_KINDS,
+    ChoiceRecordingScheduler,
     RandomScheduler,
+    ReplayScheduler,
     RoundRobinScheduler,
     StridedScheduler,
+    make_scheduler,
 )
 
 
@@ -63,3 +68,94 @@ class TestStrided:
     def test_rejects_bad_stride(self):
         with pytest.raises(ValueError):
             StridedScheduler(stride=0)
+
+    def test_quantum_resets_when_thread_removed_mid_quantum(self):
+        """A thread removed from ``runnable`` mid-quantum abandons its
+        leftover quantum: the replacement gets a full stride, and so does
+        the original thread when it is eventually re-picked."""
+        scheduler = StridedScheduler(stride=4, seed=0)
+        first = scheduler.pick([0, 1])
+        assert scheduler.pick([0, 1]) == first  # mid-quantum (2 of 4)
+        other = 1 - first
+        # ``first`` blocks with two picks left; the switch must grant
+        # ``other`` a full four-pick quantum, not the stale remainder.
+        picks = [scheduler.pick([other]) for _ in range(4)]
+        assert picks == [other] * 4
+        # ``first`` is runnable again; with ``other`` exhausted the next
+        # dispatch of ``first`` restarts at a full quantum too.
+        resumed = [scheduler.pick([first]) for _ in range(4)]
+        assert resumed == [first] * 4
+
+    def test_interrupted_quantum_never_resumes(self):
+        """After an interruption the old counter is dead: consecutive
+        same-thread runs are always full quanta, never a stale leftover
+        shared across picks."""
+        scheduler = StridedScheduler(stride=3, seed=2)
+        current = scheduler.pick([0, 1, 2])
+        scheduler.pick([0, 1, 2])  # 2 of 3 consumed
+        blocked_set = [tid for tid in (0, 1, 2) if tid != current]
+        replacement = scheduler.pick(blocked_set)
+        # Replacement's quantum is exactly stride long from its dispatch.
+        assert [scheduler.pick(blocked_set) for _ in range(2)] == (
+            [replacement] * 2
+        )
+        runs, last, length = [], None, 0
+        for _ in range(60):
+            pick = scheduler.pick([0, 1, 2])
+            if pick == last:
+                length += 1
+            else:
+                if last is not None:
+                    runs.append(length)
+                last, length = pick, 1
+        # Every completed run of consecutive picks is at most one stride
+        # (adjacent same-thread quanta may merge into multiples of 3).
+        assert all(run % 3 == 0 or run <= 3 for run in runs)
+
+
+class TestChoiceRecording:
+    def test_records_inner_choices(self):
+        inner = RandomScheduler(seed=9)
+        recorder = ChoiceRecordingScheduler(RandomScheduler(seed=9))
+        expected = [inner.pick([0, 1, 2]) for _ in range(30)]
+        observed = [recorder.pick([0, 1, 2]) for _ in range(30)]
+        assert observed == expected
+        assert recorder.choices == expected
+
+
+class TestReplay:
+    def test_replays_recording_exactly(self):
+        recorder = ChoiceRecordingScheduler(RandomScheduler(seed=3))
+        picks = [recorder.pick([0, 1]) for _ in range(20)]
+        replay = ReplayScheduler(recorder.choices)
+        assert [replay.pick([0, 1]) for _ in range(20)] == picks
+        assert replay.steps_replayed == 20
+
+    def test_divergent_choice_rejected(self):
+        replay = ReplayScheduler([1])
+        with pytest.raises(SimulationError):
+            replay.pick([0, 2])
+
+    def test_exhausted_recording_rejected(self):
+        replay = ReplayScheduler([0])
+        assert replay.pick([0]) == 0
+        with pytest.raises(SimulationError):
+            replay.pick([0])
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("kind", SCHEDULER_KINDS)
+    def test_every_kind_constructs_and_picks(self, kind):
+        scheduler = make_scheduler(kind, seed=5)
+        assert scheduler.pick([0, 1, 2]) in (0, 1, 2)
+
+    def test_same_seed_same_schedule(self):
+        for kind in SCHEDULER_KINDS:
+            a, b = make_scheduler(kind, seed=7), make_scheduler(kind, seed=7)
+            assert [a.pick([0, 1, 2]) for _ in range(40)] == [
+                b.pick([0, 1, 2]) for _ in range(40)
+            ]
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SimulationError):
+            make_scheduler("fifo")

@@ -171,3 +171,81 @@ class TestTableAndFigures:
             "fig5_false_sharing.csv",
             "fig5_false_sharing.svg",
         }
+
+
+class TestFuzz:
+    def test_run_finds_and_minimizes_known_bug(self, tmp_path, capsys):
+        corpus_dir = tmp_path / "corpus"
+        code = main(
+            [
+                "fuzz", "run", "--target", "queue-2lc-faithful",
+                "--budget", "24", "--seed", "0",
+                "--corpus-dir", str(corpus_dir),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "violation" in out
+        assert "minimized" in out
+        assert list(corpus_dir.glob("*.repro.json"))
+
+    def test_run_fixed_target_is_clean(self, tmp_path, capsys):
+        code = main(
+            [
+                "fuzz", "run", "--target", "queue-2lc",
+                "--budget", "8", "--seed", "0",
+                "--corpus-dir", str(tmp_path / "corpus"),
+            ]
+        )
+        assert code == 0
+        assert "0 violation(s)" in capsys.readouterr().out
+
+    def test_replay_reproduces_corpus(self, tmp_path, capsys):
+        corpus_dir = tmp_path / "corpus"
+        assert (
+            main(
+                [
+                    "fuzz", "run", "--target", "minifs-racy",
+                    "--budget", "8", "--seed", "0",
+                    "--minimize-limit", "1",
+                    "--corpus-dir", str(corpus_dir),
+                ]
+            )
+            == 1
+        )
+        capsys.readouterr()
+        code = main(["fuzz", "replay", "--corpus-dir", str(corpus_dir)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "reproduced" in out and "0 stale" in out
+
+    def test_replay_empty_corpus_is_error(self, tmp_path, capsys):
+        code = main(["fuzz", "replay", "--corpus-dir", str(tmp_path / "c")])
+        assert code == 2
+        assert "no repro files" in capsys.readouterr().out
+
+    def test_minimize_rewrites_entry(self, tmp_path, capsys):
+        corpus_dir = tmp_path / "corpus"
+        assert (
+            main(
+                [
+                    "fuzz", "run", "--target", "queue-2lc-faithful",
+                    "--budget", "24", "--seed", "0",
+                    "--minimize-limit", "1",
+                    "--corpus-dir", str(corpus_dir),
+                ]
+            )
+            == 1
+        )
+        capsys.readouterr()
+        entry = sorted(corpus_dir.glob("*.repro.json"))[0]
+        code = main(
+            ["fuzz", "minimize", str(entry), "--corpus-dir", str(corpus_dir)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "minimized" in out
+
+    def test_unknown_target_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fuzz", "run", "--target", "ext4"])
