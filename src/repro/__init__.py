@@ -11,6 +11,10 @@ The package is layered bottom-up:
 - :mod:`repro.queue` — the persistent queue workload (Copy While Locked,
   Two-Lock Concurrent) and its recovery.
 - :mod:`repro.nvramdev` — finite-device timing extensions.
+- :mod:`repro.inject` — device-level fault injection (torn, dropped,
+  corrupted persists) composed with the cut-based failure model, and
+  the detect-and-degrade :class:`~repro.inject.report.RecoveryReport`
+  contract hardened structures recover through.
 - :mod:`repro.harness` — experiment runner and Table 1 / Figure 2-5
   generators.
 
@@ -58,6 +62,7 @@ from repro.harness import (
     figure5_tracking_granularity,
     format_table1,
 )
+from repro.inject import FaultPlan, RecoveryReport
 from repro.memory import AddressSpace, FreeListAllocator, NvramImage
 from repro.queue import (
     CopyWhileLocked,
@@ -102,6 +107,9 @@ __all__ = [
     "find_persist_epoch_races",
     "is_race_free",
     "graph_to_dot",
+    # inject
+    "FaultPlan",
+    "RecoveryReport",
     # memory
     "AddressSpace",
     "FreeListAllocator",

@@ -11,13 +11,18 @@ writing Python::
     repro table1  --inserts 125 --jobs 4 --cache-dir .repro-cache --stats
     repro figures --inserts 125 --out artifacts/ --jobs 4
     repro fuzz run --target queue-2lc-faithful --budget 200 --jobs 2
+    repro fuzz run --target kv --faults torn corrupt --checkpoint ckpt/
     repro fuzz replay --corpus-dir .repro-corpus
     repro fuzz minimize .repro-corpus/34624f4bc03739e3.repro.json
     repro selfcheck
 
 Every command prints to stdout and returns a process exit code; `inject`,
 `races`, `fuzz run`, and `selfcheck` return non-zero when they find
-violations, so they compose with CI.
+violations, so they compose with CI.  Under `--faults`, detected and
+masked device faults are clean outcomes and documented undetectable
+exposures on unhardened targets exit 0; *silent corruption* — a hardened
+target returning wrong recovered state as good — exits 1 like any other
+violation.
 """
 
 from __future__ import annotations
@@ -104,6 +109,18 @@ def _add_harness_arguments(parser: argparse.ArgumentParser) -> None:
         "--stats",
         action="store_true",
         help="print per-stage timing and cache hit-rate counters to stderr",
+    )
+    parser.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        help="per-task wall-clock timeout in seconds (pool mode only)",
+    )
+    parser.add_argument(
+        "--task-retries",
+        type=int,
+        default=0,
+        help="retries (with exponential backoff) before a task fails its cell",
     )
 
 
@@ -250,7 +267,13 @@ def cmd_table1(args: argparse.Namespace) -> int:
     runner = _make_runner(args)
     thread_counts = tuple(args.threads)
     if args.jobs and args.jobs > 1:
-        run_grid(runner, table1_cells(thread_counts), jobs=args.jobs)
+        run_grid(
+            runner,
+            table1_cells(thread_counts),
+            jobs=args.jobs,
+            task_timeout=args.task_timeout,
+            task_retries=args.task_retries,
+        )
     table = build_table1(runner, thread_counts=thread_counts)
     print(format_table1(table))
     _report_stats(args, runner)
@@ -261,7 +284,13 @@ def cmd_figures(args: argparse.Namespace) -> int:
     """Regenerate Figures 3-5 as CSV files."""
     runner = _make_runner(args)
     if args.jobs and args.jobs > 1:
-        run_grid(runner, figure_cells(), jobs=args.jobs)
+        run_grid(
+            runner,
+            figure_cells(),
+            jobs=args.jobs,
+            task_timeout=args.task_timeout,
+            task_retries=args.task_retries,
+        )
     out = Path(args.out)
     out.mkdir(parents=True, exist_ok=True)
     fig3 = figure3_latency_sweep(runner)
@@ -288,6 +317,14 @@ def cmd_fuzz_run(args: argparse.Namespace) -> int:
     recovery violation was found (0 on a clean campaign), so CI can
     assert both directions: fixed targets stay clean, known-broken
     targets keep being caught.
+
+    ``--faults`` adds the device-fault axis: every case carries a
+    seeded fault plan of one of the named kinds, and every cut image is
+    materialized with torn / dropped / corrupted persists.  Masked and
+    detected faults — and documented undetectable exposures on
+    unhardened targets — exit 0; silent corruption exits 1.
+    ``--checkpoint`` persists completed cases so an interrupted
+    campaign resumes (same config) without re-running them.
     """
     config = CampaignConfig(
         target=args.target,
@@ -297,8 +334,15 @@ def cmd_fuzz_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         jobs=args.jobs,
         cut_samples=args.cut_samples,
+        faults=tuple(args.faults or ()),
+        task_timeout=args.task_timeout,
+        task_retries=args.task_retries,
     )
-    result = run_campaign(config)
+    result = run_campaign(
+        config,
+        checkpoint_dir=Path(args.checkpoint) if args.checkpoint else None,
+        checkpoint_every=args.checkpoint_every,
+    )
     print(result.summary())
     if result.violations and not args.no_minimize:
         corpus = Corpus(args.corpus_dir)
@@ -561,6 +605,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fuzz_run.add_argument("--corpus-dir", default=".repro-corpus")
     fuzz_run.add_argument("--cut-samples", type=int, default=32)
+    fuzz_run.add_argument(
+        "--faults", nargs="+", choices=("torn", "dropped", "corrupt"),
+        default=None,
+        help="inject device faults of these kinds into every cut image",
+    )
+    fuzz_run.add_argument(
+        "--checkpoint", default=None, metavar="DIR",
+        help="checkpoint completed cases here; rerunning resumes",
+    )
+    fuzz_run.add_argument(
+        "--checkpoint-every", type=int, default=16,
+        help="completed cases between checkpoint writes",
+    )
+    fuzz_run.add_argument(
+        "--task-timeout", type=float, default=None,
+        help="per-case wall-clock timeout in seconds (pool mode only)",
+    )
+    fuzz_run.add_argument(
+        "--task-retries", type=int, default=0,
+        help="retries before a case is recorded as failed",
+    )
     fuzz_run.add_argument(
         "--minimize-limit", type=int, default=3,
         help="findings minimized into the corpus (one per model)",

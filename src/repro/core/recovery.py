@@ -187,6 +187,23 @@ class FailureInjector:
         """Materialise the image for an explicit cut."""
         return image_at_cut(self._graph, cut, self._base)
 
+    def faulty_image_for(self, cut: Iterable[int], plan) -> tuple:
+        """Materialise the image for ``cut`` with device faults injected.
+
+        ``plan`` is a :class:`repro.inject.plan.FaultPlan`; returns the
+        (image, injected faults) pair from
+        :func:`repro.inject.engine.materialize_faulty`.  An empty fault
+        list means the image equals :meth:`image_for` byte-for-byte.
+        """
+        from repro.inject.engine import materialize_faulty
+
+        cut_set = set(cut)
+        if not is_consistent_cut(self._graph, cut_set):
+            raise RecoveryError(
+                "cut is not downward-closed under persist order"
+            )
+        return materialize_faulty(self._graph, cut_set, self._base, plan)
+
     def random_images(
         self,
         samples: int,

@@ -12,6 +12,11 @@ Layout: :mod:`~repro.fuzz.targets` registers workloads behind one
 build/run/check interface; :mod:`~repro.fuzz.campaign` samples and
 fans out cases; :mod:`~repro.fuzz.minimize` shrinks findings; and
 :mod:`~repro.fuzz.corpus` stores and replays them.
+
+Campaigns optionally compose with :mod:`repro.inject` — a configured
+fault axis injects torn / dropped / corrupted persists into every cut
+image and classifies each as masked, detected, undetected, or (the
+failing verdict for hardened targets) silent corruption.
 """
 
 from repro.fuzz.campaign import (

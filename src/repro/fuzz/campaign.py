@@ -7,25 +7,45 @@ pipeline (build → run under the seeded schedule → persist DAG → recovery
 check at each injected failure cut), and aggregates per-case outcomes
 with event/persist/violation counters.
 
+With a fault axis configured (``CampaignConfig.faults``), each case
+additionally carries a serialized :class:`~repro.inject.plan.FaultPlan`
+and every cut image is materialized *faulty* through
+:func:`repro.inject.engine.materialize_faulty`.  Outcomes then classify
+each injected-fault image as **masked** (recovery unaffected),
+**detected** (quarantined with a diagnosis), **undetected** (an
+unhardened target's documented exposure), or — the campaign-failing
+verdict — **silent corruption**: a hardened target returned wrong state
+as good.  Genuine ordering violations (the clean image fails too) stay
+ordinary violations regardless of faults.
+
 Cases are independent, so the campaign fans them out through
 :func:`repro.harness.parallel.fan_out` — the same primitive under the
 experiment grid — with module-level JSON-safe workers.  Every case that
 violates its recovery invariant carries the recorded schedule choices,
 so the finding can be minimized and replayed deterministically.
+:func:`run_campaign` can periodically checkpoint completed cases to
+disk (atomic writes) and resume an interrupted campaign without
+re-running them.
 """
 
 from __future__ import annotations
 
+import json
 import random
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass, field, replace
+from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.analysis import analyze_graph
 from repro.core.recovery import FailureInjector
 from repro.errors import FuzzError, RecoveryError
 from repro.fuzz.targets import TargetRun, make_target
+from repro.harness.cache import atomic_write, content_digest, quarantine_file
 from repro.harness.parallel import fan_out
 from repro.harness.runner import SEED_SPACE
+from repro.inject.engine import materialize_faulty
+from repro.inject.plan import FAULT_KINDS, FaultPlan
 from repro.sim.scheduler import (
     SCHEDULER_KINDS,
     ChoiceRecordingScheduler,
@@ -51,10 +71,21 @@ _MAX_SWEEP_CUTS = 256
 #: Violations recorded in full per case (the count is always exact).
 _MAX_RECORDED_VIOLATIONS = 3
 
+#: Undetected-fault samples recorded per case (the count is exact).
+_MAX_RECORDED_UNDETECTED = 3
+
+#: Bump when the checkpoint encoding changes; old files stop resuming.
+CHECKPOINT_FORMAT_VERSION = 1
+
 
 @dataclass(frozen=True)
 class CaseSpec:
-    """One fully-determined fuzz case (JSON-safe, process-portable)."""
+    """One fully-determined fuzz case (JSON-safe, process-portable).
+
+    ``faults`` is either None (clean run) or the canonical JSON string
+    of a :class:`~repro.inject.plan.FaultPlan` — a string keeps the spec
+    hashable and its content digest stable.
+    """
 
     target: str
     threads: int
@@ -65,6 +96,13 @@ class CaseSpec:
     cuts: str
     cut_seed: int
     cut_samples: int = 32
+    faults: Optional[str] = None
+
+    def plan(self) -> Optional[FaultPlan]:
+        """The spec's fault plan, decoded, or None for a clean case."""
+        if self.faults is None:
+            return None
+        return FaultPlan.from_json(self.faults)
 
     def describe(self) -> Dict[str, object]:
         """JSON dict representation (wire format for workers/corpus)."""
@@ -78,23 +116,42 @@ class CaseSpec:
             "cuts": self.cuts,
             "cut_seed": self.cut_seed,
             "cut_samples": self.cut_samples,
+            "faults": self.faults,
         }
 
     @classmethod
     def from_payload(cls, payload: Dict[str, object]) -> "CaseSpec":
-        """Rebuild a spec from :meth:`describe` output."""
+        """Rebuild a spec from :meth:`describe` output.
+
+        Fields with defaults (``cut_samples``, ``faults``) may be absent
+        — payloads written before the field existed still load.
+        """
         try:
-            return cls(**{key: payload[key] for key in cls.__dataclass_fields__})
+            return cls(
+                **{
+                    key: payload[key]
+                    for key in cls.__dataclass_fields__
+                    if key in payload
+                }
+            )
         except (KeyError, TypeError) as exc:
             raise FuzzError(f"malformed case spec: {exc}") from exc
 
 
 @dataclass(frozen=True)
 class CaseViolation:
-    """One recovery-invariant violation at one failure cut."""
+    """One recovery-invariant violation at one failure cut.
+
+    ``silent`` marks the fault-injection verdict "silent corruption": a
+    hardened target's degrading recovery returned state its ground truth
+    refutes, while the clean image at the same cut recovers fine — the
+    injected fault, not the ordering model, produced wrong state that
+    went undetected.
+    """
 
     cut: Tuple[int, ...]
     error: str
+    silent: bool = False
 
 
 @dataclass
@@ -110,6 +167,25 @@ class CaseOutcome:
     violations: List[CaseViolation] = field(default_factory=list)
     #: Recorded schedule choices; carried only for violating cases.
     choices: Optional[Tuple[int, ...]] = None
+    #: Cut images where at least one fault actually landed.
+    fault_images: int = 0
+    #: Total faults injected across the case's images.
+    faults_injected: int = 0
+    #: Faulted images whose recovery was indistinguishable from clean.
+    fault_masked: int = 0
+    #: Diagnoses quarantined by degrading recovery (detected faults).
+    fault_detected: int = 0
+    #: Faulted images an *unhardened* target mis-recovered (documented
+    #: exposure, not a campaign failure; hardened targets count these
+    #: as silent-corruption violations instead).
+    fault_undetected: int = 0
+    #: Exact count of silent-corruption violations (violations carrying
+    #: ``silent=True``; the recorded list is capped, this is not).
+    silent_violation_count: int = 0
+    #: Sampled undetected-fault sightings (capped, count is exact).
+    undetected: List[CaseViolation] = field(default_factory=list)
+    #: Set when the case itself failed to run (crashed worker cell).
+    error: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -174,24 +250,106 @@ def run_case(
     ``stop_at_first`` stops scanning cuts at the first violation (the
     minimizer's reproduce-check); campaigns scan the whole family so the
     violation count is meaningful.
+
+    With a fault plan on the spec, every cut image is additionally
+    materialized faulty and each faulted image is classified:
+
+    * **masked** — recovery (and its ground-truth check) succeeds as if
+      the faults never happened;
+    * **detected** — degrading recovery quarantines diagnoses but what
+      it *returns* as good state checks out;
+    * **genuine violation** — the *clean* image at the same cut also
+      fails its plain check: the ordering model, not the fault, is at
+      fault, and the case reports an ordinary violation;
+    * **silent corruption** (hardened targets) / **undetected**
+      (unhardened) — recovery returned wrong state as good and only the
+      clean-image recheck reveals it.  Silent corruption is recorded as
+      a ``silent=True`` violation — the fault campaign's failure
+      verdict; undetected faults are counted as the unhardened target's
+      documented exposure.
     """
     execution = execute_spec(spec)
+    target = make_target(spec.target)
+    plan = spec.plan()
     injector = FailureInjector(execution.graph, execution.run.base_image)
     cuts_checked = 0
     violation_count = 0
     violations: List[CaseViolation] = []
-    for cut, image in iter_case_images(spec, injector):
-        cuts_checked += 1
+    fault_images = 0
+    faults_injected = 0
+    fault_masked = 0
+    fault_detected = 0
+    fault_undetected = 0
+    silent_violation_count = 0
+    undetected: List[CaseViolation] = []
+
+    def clean_image_violates(image) -> Optional[str]:
+        """The plain check's error on the clean cut image, if any."""
         try:
             execution.run.check(image)
         except RecoveryError as exc:
-            violation_count += 1
-            if len(violations) < _MAX_RECORDED_VIOLATIONS:
-                violations.append(
-                    CaseViolation(cut=tuple(sorted(cut)), error=str(exc))
+            return str(exc)
+        return None
+
+    def record_violation(cut, error: str, silent: bool) -> None:
+        nonlocal violation_count, silent_violation_count
+        violation_count += 1
+        if silent:
+            silent_violation_count += 1
+        if len(violations) < _MAX_RECORDED_VIOLATIONS:
+            violations.append(
+                CaseViolation(
+                    cut=tuple(sorted(cut)), error=error, silent=silent
                 )
-            if stop_at_first:
-                break
+            )
+
+    for cut, image in iter_case_images(spec, injector):
+        cuts_checked += 1
+        faults = []
+        if plan is not None:
+            faulty, faults = materialize_faulty(
+                execution.graph, cut, execution.run.base_image, plan
+            )
+        if not faults:
+            # Clean path: no plan, or the plan's dice injected nothing
+            # (the faulty image is then byte-identical to the clean one).
+            error = clean_image_violates(image)
+            if error is not None:
+                record_violation(cut, error, silent=False)
+                if stop_at_first:
+                    break
+            continue
+
+        fault_images += 1
+        faults_injected += len(faults)
+        checker = execution.run.check_report or execution.run.check
+        try:
+            report = checker(faulty)
+        except RecoveryError as exc:
+            # Recovery produced state the ground truth refutes.  Blame
+            # attribution: if the clean image at this cut also violates,
+            # the ordering model is broken regardless of faults.
+            clean_error = clean_image_violates(image)
+            if clean_error is not None:
+                record_violation(cut, clean_error, silent=False)
+                if stop_at_first:
+                    break
+            elif target.hardened:
+                record_violation(cut, str(exc), silent=True)
+                if stop_at_first:
+                    break
+            else:
+                fault_undetected += 1
+                if len(undetected) < _MAX_RECORDED_UNDETECTED:
+                    undetected.append(
+                        CaseViolation(cut=tuple(sorted(cut)), error=str(exc))
+                    )
+            continue
+        if execution.run.check_report is not None and report.quarantined:
+            fault_detected += len(report.quarantined)
+        else:
+            fault_masked += 1
+
     return CaseOutcome(
         spec=spec,
         index=index,
@@ -201,26 +359,63 @@ def run_case(
         violation_count=violation_count,
         violations=violations,
         choices=execution.choices if violation_count else None,
+        fault_images=fault_images,
+        faults_injected=faults_injected,
+        fault_masked=fault_masked,
+        fault_detected=fault_detected,
+        fault_undetected=fault_undetected,
+        silent_violation_count=silent_violation_count,
+        undetected=undetected,
     )
 
 
-def _run_case(task: dict) -> dict:
-    """Worker entry point: run one case from a JSON-safe task dict."""
-    spec = CaseSpec.from_payload(task["spec"])
-    outcome = run_case(spec, index=task["index"])
+def _violations_to_wire(violations: List[CaseViolation]) -> List[dict]:
+    return [
+        {
+            "cut": list(violation.cut),
+            "error": violation.error,
+            "silent": violation.silent,
+        }
+        for violation in violations
+    ]
+
+
+def _violations_from_wire(entries: List[dict]) -> List[CaseViolation]:
+    return [
+        CaseViolation(
+            cut=tuple(entry["cut"]),
+            error=entry["error"],
+            silent=entry.get("silent", False),
+        )
+        for entry in entries
+    ]
+
+
+def _outcome_to_wire(outcome: CaseOutcome) -> dict:
+    """JSON-safe encoding of one outcome (worker results, checkpoints)."""
     return {
-        "spec": spec.describe(),
+        "spec": outcome.spec.describe(),
         "index": outcome.index,
         "events": outcome.events,
         "persists": outcome.persists,
         "cuts_checked": outcome.cuts_checked,
         "violation_count": outcome.violation_count,
-        "violations": [
-            {"cut": list(violation.cut), "error": violation.error}
-            for violation in outcome.violations
-        ],
+        "violations": _violations_to_wire(outcome.violations),
         "choices": list(outcome.choices) if outcome.choices else None,
+        "fault_images": outcome.fault_images,
+        "faults_injected": outcome.faults_injected,
+        "fault_masked": outcome.fault_masked,
+        "fault_detected": outcome.fault_detected,
+        "fault_undetected": outcome.fault_undetected,
+        "silent_violation_count": outcome.silent_violation_count,
+        "undetected": _violations_to_wire(outcome.undetected),
     }
+
+
+def _run_case(task: dict) -> dict:
+    """Worker entry point: run one case from a JSON-safe task dict."""
+    spec = CaseSpec.from_payload(task["spec"])
+    return _outcome_to_wire(run_case(spec, index=task["index"]))
 
 
 def _outcome_from_wire(payload: dict) -> CaseOutcome:
@@ -232,19 +427,30 @@ def _outcome_from_wire(payload: dict) -> CaseOutcome:
         persists=payload["persists"],
         cuts_checked=payload["cuts_checked"],
         violation_count=payload["violation_count"],
-        violations=[
-            CaseViolation(cut=tuple(entry["cut"]), error=entry["error"])
-            for entry in payload["violations"]
-        ],
+        violations=_violations_from_wire(payload["violations"]),
         choices=(
             tuple(payload["choices"]) if payload["choices"] else None
         ),
+        fault_images=payload.get("fault_images", 0),
+        faults_injected=payload.get("faults_injected", 0),
+        fault_masked=payload.get("fault_masked", 0),
+        fault_detected=payload.get("fault_detected", 0),
+        fault_undetected=payload.get("fault_undetected", 0),
+        silent_violation_count=payload.get("silent_violation_count", 0),
+        undetected=_violations_from_wire(payload.get("undetected", [])),
     )
 
 
 @dataclass
 class CampaignConfig:
-    """Parameters of one fuzzing campaign."""
+    """Parameters of one fuzzing campaign.
+
+    ``faults`` lists the fault kinds (:data:`~repro.inject.plan.FAULT_KINDS`)
+    the campaign injects; empty means a clean (ordering-only) campaign.
+    ``jobs``, ``task_timeout`` and ``task_retries`` shape *how* the
+    campaign executes, never what it computes, so they are excluded from
+    :meth:`describe` (and therefore from checkpoint identity).
+    """
 
     target: str
     budget: int = 200
@@ -253,6 +459,9 @@ class CampaignConfig:
     seed: int = 0
     jobs: Optional[int] = None
     cut_samples: int = 32
+    faults: Sequence[str] = ()
+    task_timeout: Optional[float] = None
+    task_retries: int = 0
 
     def validate(self) -> None:
         """Raise on unusable parameters."""
@@ -265,6 +474,29 @@ class CampaignConfig:
             raise FuzzError("at least one scheduler kind is required")
         for kind in self.schedulers:
             make_scheduler(kind)
+        for kind in self.faults:
+            if kind not in FAULT_KINDS:
+                raise FuzzError(
+                    f"unknown fault kind {kind!r}; expected one of "
+                    f"{FAULT_KINDS}"
+                )
+
+    def describe(self) -> Dict[str, object]:
+        """JSON dict of everything that determines sampled outcomes.
+
+        Execution-shape knobs (``jobs``, ``task_timeout``,
+        ``task_retries``) are deliberately absent: a checkpoint written
+        by a serial run must resume under a parallel one and vice versa.
+        """
+        return {
+            "target": self.target,
+            "budget": self.budget,
+            "models": list(self.models),
+            "schedulers": list(self.schedulers),
+            "seed": self.seed,
+            "cut_samples": self.cut_samples,
+            "faults": list(self.faults),
+        }
 
 
 @dataclass
@@ -295,15 +527,63 @@ class CampaignResult:
         return sum(outcome.cuts_checked for outcome in self.outcomes)
 
     @property
+    def fault_images(self) -> int:
+        """Cut images where at least one fault actually landed."""
+        return sum(outcome.fault_images for outcome in self.outcomes)
+
+    @property
+    def faults_injected(self) -> int:
+        """Total faults injected across the campaign."""
+        return sum(outcome.faults_injected for outcome in self.outcomes)
+
+    @property
+    def fault_masked(self) -> int:
+        """Faulted images recovery shrugged off."""
+        return sum(outcome.fault_masked for outcome in self.outcomes)
+
+    @property
+    def fault_detected(self) -> int:
+        """Diagnoses quarantined by degrading recovery."""
+        return sum(outcome.fault_detected for outcome in self.outcomes)
+
+    @property
+    def fault_undetected(self) -> int:
+        """Mis-recoveries on unhardened targets (documented exposure)."""
+        return sum(outcome.fault_undetected for outcome in self.outcomes)
+
+    @property
+    def silent_corruptions(self) -> int:
+        """Silent-corruption violations — the fault campaign's failure
+        verdict: a hardened target returned wrong state as good."""
+        return sum(
+            outcome.silent_violation_count for outcome in self.outcomes
+        )
+
+    @property
+    def failed_cases(self) -> int:
+        """Cases that crashed instead of completing (error outcomes)."""
+        return sum(1 for outcome in self.outcomes if outcome.error)
+
+    @property
     def findings(self) -> List[Finding]:
-        """One finding per violating case (its first recorded violation)."""
+        """One finding per violating case (its first recorded violation).
+
+        A genuine ordering violation reproduces without faults (the
+        clean image fails too), so its spec is stripped of the fault
+        plan — the minimizer and corpus then work on the clean case.  A
+        silent-corruption finding keeps the plan: the faults *are* the
+        counterexample.
+        """
         found = []
         for outcome in self.outcomes:
             if outcome.violation_count and outcome.violations:
                 violation = outcome.violations[0]
+                spec = outcome.spec
+                if not violation.silent and spec.faults is not None:
+                    spec = replace(spec, faults=None)
                 found.append(
                     Finding(
-                        spec=outcome.spec,
+                        spec=spec,
                         cut=violation.cut,
                         error=violation.error,
                         choices=outcome.choices or (),
@@ -334,52 +614,187 @@ class CampaignResult:
             )
         for model in sorted(by_model):
             lines.append(f"    {model}: {by_model[model]} violation(s)")
+        if self.config.faults or self.fault_images:
+            lines.append(
+                f"  faults: {self.faults_injected} injected across "
+                f"{self.fault_images} image(s) — "
+                f"{self.fault_masked} masked, "
+                f"{self.fault_detected} detected, "
+                f"{self.fault_undetected} undetected"
+            )
+            lines.append(
+                f"  {self.silent_corruptions} silent corruption(s)"
+            )
+        if self.failed_cases:
+            lines.append(f"  {self.failed_cases} case(s) failed to run")
         return "\n".join(lines)
 
 
 def sample_specs(config: CampaignConfig) -> List[CaseSpec]:
-    """Deterministically sample the campaign's ``budget`` case specs."""
+    """Deterministically sample the campaign's ``budget`` case specs.
+
+    With a fault axis configured, each spec additionally draws one fault
+    kind and one plan seed; a clean campaign draws exactly the sequence
+    it always did (``faults=()`` reproduces pre-fault sampling bit for
+    bit).
+    """
     config.validate()
     target = make_target(config.target)
+    kinds = list(config.faults)
     rng = random.Random(config.seed)
+    # Fault plans draw from their own stream so enabling the fault axis
+    # never perturbs which schedules/cuts a given seed explores.
+    fault_rng = random.Random(config.seed ^ 0x5CA1AB1E)
     specs = []
     for _ in range(config.budget):
-        specs.append(
-            CaseSpec(
-                target=config.target,
-                threads=rng.randint(*target.thread_range),
-                ops=rng.randint(*target.ops_range),
-                sched=rng.choice(list(config.schedulers)),
-                sched_seed=rng.randrange(SEED_SPACE),
-                model=rng.choice(list(config.models)),
-                cuts=rng.choice(
-                    [f for f in _FAMILY_DECK if f in CUT_FAMILIES]
-                ),
-                cut_seed=rng.randrange(SEED_SPACE),
-                cut_samples=config.cut_samples,
-            )
+        spec = CaseSpec(
+            target=config.target,
+            threads=rng.randint(*target.thread_range),
+            ops=rng.randint(*target.ops_range),
+            sched=rng.choice(list(config.schedulers)),
+            sched_seed=rng.randrange(SEED_SPACE),
+            model=rng.choice(list(config.models)),
+            cuts=rng.choice(
+                [f for f in _FAMILY_DECK if f in CUT_FAMILIES]
+            ),
+            cut_seed=rng.randrange(SEED_SPACE),
+            cut_samples=config.cut_samples,
         )
+        if kinds:
+            plan = FaultPlan.for_kind(
+                fault_rng.choice(kinds), seed=fault_rng.randrange(SEED_SPACE)
+            )
+            spec = replace(spec, faults=plan.to_json())
+        specs.append(spec)
     return specs
 
 
-def run_campaign(config: CampaignConfig) -> CampaignResult:
+def _campaign_digest(config: CampaignConfig) -> str:
+    """Checkpoint identity: everything that determines outcomes."""
+    return content_digest(
+        {
+            "kind": "fuzz-campaign",
+            "version": CHECKPOINT_FORMAT_VERSION,
+            **config.describe(),
+        }
+    )
+
+
+def _load_checkpoint(path: Path, digest: str) -> Dict[int, dict]:
+    """Completed outcome payloads by index, or empty when unusable.
+
+    A malformed checkpoint is quarantined (the campaign restarts from
+    scratch); a well-formed one for a *different* config is left alone
+    but ignored with a warning.
+    """
+    if not path.exists():
+        return {}
+    try:
+        with open(path, "r", encoding="utf-8") as stream:
+            payload = json.load(stream)
+        if payload["config"] != digest:
+            warnings.warn(
+                f"checkpoint {path} belongs to a different campaign "
+                f"config; ignoring it (it will be overwritten)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return {}
+        return {
+            int(entry["index"]): entry for entry in payload["outcomes"]
+        }
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        quarantine_file(path, f"unreadable campaign checkpoint: {exc}")
+        return {}
+
+
+def _write_checkpoint(
+    path: Path, digest: str, completed: Dict[int, dict]
+) -> None:
+    """Atomically persist every completed outcome payload."""
+    payload = {
+        "version": CHECKPOINT_FORMAT_VERSION,
+        "config": digest,
+        "outcomes": [completed[index] for index in sorted(completed)],
+    }
+    atomic_write(
+        path, lambda stream: json.dump(payload, stream, sort_keys=True)
+    )
+
+
+def run_campaign(
+    config: CampaignConfig,
+    checkpoint_dir: Optional[Path] = None,
+    checkpoint_every: int = 16,
+) -> CampaignResult:
     """Run one campaign, fanning cases out over worker processes.
 
     Results are deterministic for a fixed config: cases are seeded from
     ``config.seed`` and outcomes are re-sorted into sampling order, so
     serial and parallel runs report identically.
+
+    With ``checkpoint_dir`` set, completed cases are persisted (via
+    atomic writes) every ``checkpoint_every`` completions and once at
+    the end; a rerun with the same config resumes from the checkpoint
+    without re-executing completed cases, and — because cases are
+    independently seeded — produces the byte-identical summary a
+    straight-through run would.  Error outcomes (crashed cells, see
+    ``CampaignConfig.task_retries``) are reported but never
+    checkpointed, so they retry on resume.
     """
     specs = sample_specs(config)
+    digest = _campaign_digest(config)
+    checkpoint_path: Optional[Path] = None
+    completed: Dict[int, dict] = {}
+    if checkpoint_dir is not None:
+        checkpoint_dir = Path(checkpoint_dir)
+        checkpoint_dir.mkdir(parents=True, exist_ok=True)
+        checkpoint_path = checkpoint_dir / "campaign.checkpoint.json"
+        completed = _load_checkpoint(checkpoint_path, digest)
+
+    outcomes: List[CaseOutcome] = [
+        _outcome_from_wire(payload) for payload in completed.values()
+    ]
     tasks = [
         {"index": index, "spec": spec.describe()}
         for index, spec in enumerate(specs)
+        if index not in completed
     ]
-    outcomes: List[CaseOutcome] = []
+    fresh = 0
+
+    def merge(payload: dict) -> None:
+        nonlocal fresh
+        outcomes.append(_outcome_from_wire(payload))
+        if checkpoint_path is None:
+            return
+        completed[int(payload["index"])] = payload
+        fresh += 1
+        if fresh % max(1, checkpoint_every) == 0:
+            _write_checkpoint(checkpoint_path, digest, completed)
+
+    def failed(task: dict, error: str) -> None:
+        outcomes.append(
+            CaseOutcome(
+                spec=CaseSpec.from_payload(task["spec"]),
+                index=task["index"],
+                events=0,
+                persists=0,
+                cuts_checked=0,
+                violation_count=0,
+                error=error,
+            )
+        )
+
     fan_out(
         _run_case,
         tasks,
         config.jobs,
-        lambda payload: outcomes.append(_outcome_from_wire(payload)),
+        merge,
+        timeout=config.task_timeout,
+        retries=config.task_retries,
+        on_failure=failed,
     )
+    if checkpoint_path is not None and fresh:
+        _write_checkpoint(checkpoint_path, digest, completed)
     outcomes.sort(key=lambda outcome: outcome.index)
     return CampaignResult(config=config, outcomes=outcomes)

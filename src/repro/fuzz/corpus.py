@@ -12,16 +12,18 @@ leave complete entries either way.
 Replay is policy-independent: the recorded choices drive a
 :class:`~repro.sim.scheduler.ReplayScheduler`, so the exact execution is
 reproduced even if scheduler implementations change; the cut is then
-re-applied and the target's recovery invariant re-checked.  A repro that
-no longer reproduces (e.g. the workload changed underneath it) reports a
-stale-entry diagnosis rather than crashing.
+re-applied and the target's recovery invariant re-checked.  A case
+carrying a fault plan (:mod:`repro.inject`) re-materializes the *same*
+faulty image — the engine is fully seeded — and re-runs the degrading
+checker, so the replayed :class:`~repro.inject.report.RecoveryReport`
+is identical to the original.  A repro that no longer reproduces (e.g.
+the workload changed underneath it) reports a stale-entry diagnosis
+rather than crashing.
 """
 
 from __future__ import annotations
 
 import json
-import os
-import tempfile
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
@@ -30,7 +32,10 @@ from repro.core.analysis import analyze_graph
 from repro.core.recovery import image_at_cut, is_consistent_cut
 from repro.errors import FuzzError, RecoveryError, SimulationError
 from repro.fuzz.targets import make_target
-from repro.harness.cache import content_digest
+from repro.harness.cache import atomic_write, content_digest, quarantine_file
+from repro.inject.engine import materialize_faulty
+from repro.inject.plan import FaultPlan
+from repro.inject.report import RecoveryReport
 from repro.sim.scheduler import ReplayScheduler, make_scheduler
 
 _PathLike = Union[str, Path]
@@ -41,7 +46,12 @@ CORPUS_FORMAT_VERSION = 1
 
 @dataclass(frozen=True)
 class ReproCase:
-    """One replayable counterexample (the corpus wire format)."""
+    """One replayable counterexample (the corpus wire format).
+
+    ``faults`` is None for ordering violations, or the canonical JSON of
+    the :class:`~repro.inject.plan.FaultPlan` whose injected faults are
+    the counterexample (silent corruption under fault injection).
+    """
 
     target: str
     threads: int
@@ -53,6 +63,7 @@ class ReproCase:
     choices: Tuple[int, ...]
     error: str
     minimized: bool = False
+    faults: Optional[str] = None
 
     def describe(self) -> Dict[str, object]:
         """JSON dict representation (exactly what is written to disk)."""
@@ -68,11 +79,15 @@ class ReproCase:
             "choices": list(self.choices),
             "error": self.error,
             "minimized": self.minimized,
+            "faults": self.faults,
         }
 
     @classmethod
     def from_payload(cls, payload: Dict[str, object]) -> "ReproCase":
         """Rebuild a case from :meth:`describe` output.
+
+        ``faults`` may be absent (entries written before the field
+        existed load as clean cases).
 
         Raises:
             FuzzError: on a malformed or wrong-version payload.
@@ -83,6 +98,7 @@ class ReproCase:
                     f"repro format version {payload['version']} is not "
                     f"{CORPUS_FORMAT_VERSION}"
                 )
+            faults = payload.get("faults")
             return cls(
                 target=str(payload["target"]),
                 threads=int(payload["threads"]),
@@ -94,6 +110,7 @@ class ReproCase:
                 choices=tuple(int(c) for c in payload["choices"]),
                 error=str(payload["error"]),
                 minimized=bool(payload["minimized"]),
+                faults=None if faults is None else str(faults),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise FuzzError(f"malformed repro payload: {exc}") from exc
@@ -105,10 +122,17 @@ class ReproCase:
 
 @dataclass
 class ReplayResult:
-    """Outcome of replaying one corpus entry."""
+    """Outcome of replaying one corpus entry.
+
+    ``report`` carries the degrading checker's
+    :class:`~repro.inject.report.RecoveryReport` for fault-plan cases
+    that did *not* reproduce — two replays of the same case always
+    produce equal reports (the property the determinism tests pin).
+    """
 
     reproduced: bool
     detail: str
+    report: Optional[RecoveryReport] = None
 
 
 def replay_case(case: ReproCase) -> ReplayResult:
@@ -117,8 +141,11 @@ def replay_case(case: ReproCase) -> ReplayResult:
     The recorded choices drive a :class:`ReplayScheduler` (falling back
     to the original seeded scheduler when a case carries none), the
     persist DAG is rebuilt under the case's model, and the cut's image
-    is handed to the target's recovery checker.  ``reproduced`` is True
-    exactly when the checker raises the violation again.
+    is handed to the target's recovery checker.  With a fault plan the
+    image is re-materialized faulty (bit-identically — every injection
+    decision is seeded) and the degrading checker re-run.
+    ``reproduced`` is True exactly when the checker raises the
+    violation again.
     """
     target = make_target(case.target)
     if case.choices:
@@ -140,6 +167,22 @@ def replay_case(case: ReproCase) -> ReplayResult:
                 "stale repro: recorded cut is not a consistent cut of the "
                 "rebuilt persist DAG"
             ),
+        )
+    if case.faults is not None:
+        plan = FaultPlan.from_json(case.faults)
+        image, _ = materialize_faulty(graph, case.cut, run.base_image, plan)
+        checker = run.check_report or run.check
+        try:
+            report = checker(image)
+        except RecoveryError as exc:
+            return ReplayResult(reproduced=True, detail=str(exc))
+        return ReplayResult(
+            reproduced=False,
+            detail=(
+                "degrading recovery handled the injected faults at the "
+                "recorded cut"
+            ),
+            report=report if isinstance(report, RecoveryReport) else None,
         )
     image = image_at_cut(graph, case.cut, run.base_image, check=False)
     try:
@@ -168,24 +211,21 @@ class Corpus:
     def add(self, case: ReproCase) -> Path:
         """Write ``case`` atomically; returns its path (idempotent)."""
         path = self.path_for(case)
-        handle, temp_name = tempfile.mkstemp(
-            dir=self.root, prefix=path.name, suffix=".tmp"
-        )
-        try:
-            with os.fdopen(handle, "w", encoding="utf-8") as stream:
-                json.dump(case.describe(), stream, sort_keys=True, indent=2)
-                stream.write("\n")
-            os.replace(temp_name, path)
-        except BaseException:
-            try:
-                os.unlink(temp_name)
-            except OSError:
-                pass
-            raise
+
+        def write(stream) -> None:
+            json.dump(case.describe(), stream, sort_keys=True, indent=2)
+            stream.write("\n")
+
+        atomic_write(path, write)
         return path
 
     def load(self, path: _PathLike) -> ReproCase:
         """Load one repro file.
+
+        Truncated, non-UTF-8, or otherwise undecodable bytes surface as
+        :class:`~repro.errors.FuzzError` — never a raw
+        ``JSONDecodeError``/``UnicodeDecodeError`` (both are
+        ``ValueError`` subclasses and are caught as such).
 
         Raises:
             FuzzError: when the file is unreadable or malformed.
@@ -193,14 +233,39 @@ class Corpus:
         try:
             with open(path, "r", encoding="utf-8") as stream:
                 payload = json.load(stream)
-        except (OSError, json.JSONDecodeError) as exc:
+        except (OSError, ValueError) as exc:
             raise FuzzError(f"cannot read repro file {path}: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise FuzzError(
+                f"repro file {path} does not hold a JSON object"
+            )
         return ReproCase.from_payload(payload)
+
+    def load_or_quarantine(self, path: _PathLike) -> Optional[ReproCase]:
+        """Load one repro file, quarantining it on corruption.
+
+        An unreadable entry is renamed aside (``*.quarantined``, with a
+        warning) and reported as None, so a sweep over the corpus keeps
+        going instead of dying on one half-written file.
+        """
+        try:
+            return self.load(path)
+        except FuzzError as exc:
+            quarantine_file(path, str(exc))
+            return None
 
     def entries(self) -> List[Path]:
         """All repro files in the corpus, in sorted (stable) order."""
         return sorted(self.root.glob(f"*{self.SUFFIX}"))
 
     def replay_all(self) -> List[Tuple[Path, ReplayResult]]:
-        """Replay every entry; returns (path, result) pairs in order."""
-        return [(path, replay_case(self.load(path))) for path in self.entries()]
+        """Replay every loadable entry; returns (path, result) pairs.
+
+        Corrupt entries are quarantined and skipped, not fatal.
+        """
+        results: List[Tuple[Path, ReplayResult]] = []
+        for path in self.entries():
+            case = self.load_or_quarantine(path)
+            if case is not None:
+                results.append((path, replay_case(case)))
+        return results

@@ -40,6 +40,7 @@ from repro.fuzz.campaign import (
 )
 from repro.fuzz.corpus import Corpus, ReproCase
 from repro.fuzz.targets import make_target
+from repro.inject.engine import materialize_faulty
 
 
 @dataclass
@@ -109,19 +110,43 @@ def shrink_workload(
     return current
 
 
-def _violates_at(
-    execution: CaseExecution, cut: Iterable[int], stats: MinimizeStats
+def _check_cut(
+    execution: CaseExecution, cut: Iterable[int], image=None
 ) -> Optional[str]:
-    """The recovery error at ``cut``, or None when the invariant holds."""
-    stats.cut_checks += 1
-    image = image_at_cut(
-        execution.graph, cut, execution.run.base_image, check=False
-    )
+    """The recovery error at ``cut``, or None when the invariant holds.
+
+    A clean spec checks the (possibly pre-materialized) cut image with
+    the plain checker.  A fault-plan spec re-materializes the cut
+    *faulty* — the engine is seeded, so the same faults land — and runs
+    the degrading checker: the minimizer's violation predicate is then
+    "degrading recovery returned wrong state as good", the same raise
+    the campaign classified as silent corruption.
+    """
+    plan = execution.spec.plan()
+    if plan is None:
+        if image is None:
+            image = image_at_cut(
+                execution.graph, cut, execution.run.base_image, check=False
+            )
+        checker = execution.run.check
+    else:
+        image, _ = materialize_faulty(
+            execution.graph, cut, execution.run.base_image, plan
+        )
+        checker = execution.run.check_report or execution.run.check
     try:
-        execution.run.check(image)
+        checker(image)
     except RecoveryError as exc:
         return str(exc)
     return None
+
+
+def _violates_at(
+    execution: CaseExecution, cut: Iterable[int], stats: MinimizeStats
+) -> Optional[str]:
+    """Counted wrapper around :func:`_check_cut`."""
+    stats.cut_checks += 1
+    return _check_cut(execution, cut)
 
 
 def _first_violating_cut(
@@ -136,10 +161,9 @@ def _first_violating_cut(
     injector = FailureInjector(execution.graph, execution.run.base_image)
     for cut, image in iter_case_images(execution.spec, injector):
         stats.cut_checks += 1
-        try:
-            execution.run.check(image)
-        except RecoveryError as exc:
-            return frozenset(cut), str(exc)
+        error = _check_cut(execution, cut, image=image)
+        if error is not None:
+            return frozenset(cut), error
     raise FuzzError(
         f"spec stopped reproducing during cut minimization: "
         f"{execution.spec}"
@@ -222,6 +246,7 @@ def minimize_finding(
         choices=execution.choices,
         error=error,
         minimized=True,
+        faults=spec.faults,
     )
     return MinimizeResult(case=case, stats=stats)
 

@@ -21,17 +21,26 @@ from scratch:
 
 Their fixed counterparts (``queue-2lc``, ``minifs``) and the remaining
 targets are expected to survive any budget with zero violations.
+
+Targets additionally expose a detect-and-degrade checker
+(``TargetRun.check_report``) used under device fault injection
+(:mod:`repro.inject`).  **Hardened** targets (``log``, ``kv``,
+``minifs`` — per-record checksums) must detect or mask every injected
+fault; the queue keeps the paper's exact wire format (no checksums), so
+it detects only structural faults and documents payload corruption as
+its undetectable exposure.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Set, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.errors import FuzzError, RecoveryError
+from repro.inject.report import RecoveryReport
 from repro.memory import layout
 from repro.memory.nvram import NvramImage
-from repro.queue.recovery import verify_recovery
+from repro.queue.recovery import recover_report, verify_recovery
 from repro.queue.workload import run_insert_workload
 from repro.sim.machine import Machine
 from repro.sim.scheduler import Scheduler
@@ -51,11 +60,22 @@ class TargetRun:
     failure-state :class:`~repro.memory.nvram.NvramImage` and raises
     :class:`~repro.errors.RecoveryError` when recovery from that image
     violates the target's invariant.
+
+    ``check_report`` is the detect-and-degrade variant used under device
+    fault injection (:mod:`repro.inject`): it runs the structure's
+    ``recover_report``, validates the *recovered state* against the same
+    ground truth, and returns the :class:`~repro.inject.report.RecoveryReport`
+    (whose diagnoses say what was detected and quarantined).  It raises
+    :class:`~repro.errors.RecoveryError` only when the recovered state is
+    silently wrong — state the structure returned as good that the
+    ground truth refutes.  Targets without degrading recovery leave it
+    None.
     """
 
     trace: Trace
     base_image: NvramImage
     check: Callable[[NvramImage], None]
+    check_report: Optional[Callable[[NvramImage], RecoveryReport]] = None
 
 
 @dataclass(frozen=True)
@@ -74,6 +94,12 @@ class FuzzTarget:
     ops_range: Tuple[int, int]
     #: Documented-broken variant: campaigns are expected to find bugs.
     known_broken: bool = False
+    #: Hardened targets carry per-record checksums: under fault
+    #: injection every injected fault must be masked or detected —
+    #: silently-wrong recovered state is a campaign failure.  Unhardened
+    #: targets (the paper-faithful wire formats) document their
+    #: undetectable-corruption exposure instead.
+    hardened: bool = False
 
     def build(self, threads: int, ops: int, scheduler: Scheduler) -> TargetRun:
         """Build and run one program of the given size under ``scheduler``."""
@@ -120,8 +146,22 @@ def _queue_builder(design: str, paper_faithful: bool):
             """Every recovered entry must match what was inserted."""
             verify_recovery(image, base, expected)
 
+        def check_report(image: NvramImage) -> RecoveryReport:
+            """Degrading recovery; structural faults only (no checksums)."""
+            report = recover_report(image, base)
+            for entry in report.state:
+                if expected.get(entry.offset) != entry.payload:
+                    raise RecoveryError(
+                        f"queue entry at offset {entry.offset} recovered "
+                        f"a payload that was never inserted there"
+                    )
+            return report
+
         return TargetRun(
-            trace=result.trace, base_image=result.base_image, check=check
+            trace=result.trace,
+            base_image=result.base_image,
+            check=check,
+            check_report=check_report,
         )
 
     return build
@@ -162,7 +202,23 @@ def _build_kv(threads: int, ops: int, scheduler: Scheduler) -> TargetRun:
                     f"written"
                 )
 
-    return TargetRun(trace=trace, base_image=base_image, check=check)
+    def check_report(image: NvramImage) -> RecoveryReport:
+        """Degrading recovery: checksummed pairs must all be genuine."""
+        report = store.recover_report(image)
+        for key, value in report.state.items():
+            if key not in history or value not in history[key]:
+                raise RecoveryError(
+                    f"kv slot passed its checksum but holds ({key}, "
+                    f"{value}), which was never written"
+                )
+        return report
+
+    return TargetRun(
+        trace=trace,
+        base_image=base_image,
+        check=check,
+        check_report=check_report,
+    )
 
 
 # -- append-only log ---------------------------------------------------------
@@ -200,7 +256,23 @@ def _build_log(threads: int, ops: int, scheduler: Scheduler) -> TargetRun:
                     f"the payload appended there"
                 )
 
-    return TargetRun(trace=trace, base_image=base_image, check=check)
+    def check_report(image: NvramImage) -> RecoveryReport:
+        """Degrading recovery: surviving records must all be genuine."""
+        report = log.recover_report(image)
+        for record in report.state:
+            if expected.get(record.offset) != record.payload:
+                raise RecoveryError(
+                    f"log record at offset {record.offset} passed its "
+                    f"checksum but matches no append"
+                )
+        return report
+
+    return TargetRun(
+        trace=trace,
+        base_image=base_image,
+        check=check,
+        check_report=check_report,
+    )
 
 
 # -- striped counter ---------------------------------------------------------
@@ -281,7 +353,25 @@ def _minifs_builder(race_free: bool):
                         f"written version"
                     )
 
-        return TargetRun(trace=trace, base_image=base_image, check=check)
+        def check_report(image: NvramImage) -> RecoveryReport:
+            """Degrading mount: every mounted file must be a real version."""
+            report = fs.recover_report(image)
+            for hashed, recovered in report.state.items():
+                if hashed not in history or (
+                    recovered.data not in history[hashed]
+                ):
+                    raise RecoveryError(
+                        f"file {hashed:#x} mounted cleanly but matches no "
+                        f"written version"
+                    )
+            return report
+
+        return TargetRun(
+            trace=trace,
+            base_image=base_image,
+            check=check,
+            check_report=check_report,
+        )
 
     return build
 
@@ -369,16 +459,19 @@ TARGETS: Dict[str, FuzzTarget] = {
             (2, 6),
             known_broken=True,
         ),
-        FuzzTarget("kv", _build_kv, (1, 4), (2, 8)),
-        FuzzTarget("log", _build_log, (1, 4), (2, 6)),
+        FuzzTarget("kv", _build_kv, (1, 4), (2, 8), hardened=True),
+        FuzzTarget("log", _build_log, (1, 4), (2, 6), hardened=True),
         FuzzTarget("counter", _build_counter, (1, 4), (2, 8)),
-        FuzzTarget("minifs", _minifs_builder(True), (2, 3), (2, 4)),
+        FuzzTarget(
+            "minifs", _minifs_builder(True), (2, 3), (2, 4), hardened=True
+        ),
         FuzzTarget(
             "minifs-racy",
             _minifs_builder(False),
             (2, 3),
             (2, 4),
             known_broken=True,
+            hardened=True,
         ),
         FuzzTarget("transactions", _build_transactions, (1, 3), (1, 4)),
     )

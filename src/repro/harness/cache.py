@@ -25,6 +25,7 @@ import hashlib
 import json
 import os
 import tempfile
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Optional, Union
@@ -39,6 +40,55 @@ _PathLike = Union[str, Path]
 
 #: Bump when the on-disk encoding changes; old entries become misses.
 CACHE_FORMAT_VERSION = 1
+
+#: Suffix appended to corrupt files set aside by :func:`quarantine_file`.
+QUARANTINE_SUFFIX = ".quarantined"
+
+
+def atomic_write(path: _PathLike, writer) -> None:
+    """Write a file via a sibling temp file and rename into place.
+
+    ``writer`` receives the open text stream.  Used by the cache, the
+    fuzz corpus, and campaign checkpoints so that concurrent writers and
+    crashes leave either the old complete file or the new one — never a
+    truncated hybrid.
+    """
+    path = Path(path)
+    handle, temp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name, suffix=".tmp"
+    )
+    try:
+        with os.fdopen(handle, "w", encoding="utf-8") as stream:
+            writer(stream)
+        os.replace(temp_name, path)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
+
+
+def quarantine_file(path: _PathLike, reason: str) -> Optional[Path]:
+    """Set a corrupt file aside (``*.quarantined``) with a warning.
+
+    The original path is freed (callers treat it as a miss and
+    regenerate), but the bytes are kept for postmortem instead of being
+    deleted.  Returns the quarantine path, or None when the rename
+    failed (e.g. the file vanished underneath us).
+    """
+    path = Path(path)
+    destination = path.with_name(path.name + QUARANTINE_SUFFIX)
+    try:
+        os.replace(path, destination)
+    except OSError:
+        return None
+    warnings.warn(
+        f"quarantined corrupt file {path} -> {destination.name}: {reason}",
+        RuntimeWarning,
+        stacklevel=2,
+    )
+    return destination
 
 #: AnalysisResult scalar fields stored verbatim in the JSON payload.
 _ANALYSIS_SCALARS = (
@@ -157,6 +207,10 @@ class HarnessStats:
     cache_evictions: int = 0
     trace_seconds: float = 0.0
     analysis_seconds: float = 0.0
+    #: fan_out resilience counters (see repro.harness.parallel.fan_out).
+    task_retries: int = 0
+    task_timeouts: int = 0
+    task_failures: int = 0
 
     def merge(self, other: "HarnessStats") -> None:
         """Fold another stats object (e.g. a worker's) into this one."""
@@ -181,6 +235,11 @@ class HarnessStats:
                     f"{self.analysis_memory_hits} memory hit(s)"
                 ),
                 f"  cache:     {self.cache_evictions} corrupt entrie(s) evicted",
+                (
+                    f"  tasks:     {self.task_retries} retrie(s), "
+                    f"{self.task_timeouts} timeout(s), "
+                    f"{self.task_failures} failed cell(s)"
+                ),
             ]
         )
 
@@ -211,29 +270,20 @@ class DiskCache:
 
     # -- internals -----------------------------------------------------------
 
-    def _evict(self, path: Path) -> None:
-        """Drop a corrupt entry; the caller reports a miss."""
+    def _evict(self, path: Path, reason: str) -> None:
+        """Quarantine a corrupt entry; the caller reports a miss.
+
+        The entry's path is freed (so the next store regenerates it) but
+        the corrupt bytes are kept beside it as ``*.quarantined`` for
+        postmortem, with a warning — a half-written or bit-rotted file
+        must never poison a sweep *or* silently disappear.
+        """
         self.stats.cache_evictions += 1
-        try:
-            path.unlink()
-        except OSError:
-            pass
+        quarantine_file(path, reason)
 
     def _atomic_write(self, path: Path, writer) -> None:
         """Write via a sibling temp file and rename into place."""
-        handle, temp_name = tempfile.mkstemp(
-            dir=self.root, prefix=path.name, suffix=".tmp"
-        )
-        try:
-            with os.fdopen(handle, "w", encoding="utf-8") as stream:
-                writer(stream)
-            os.replace(temp_name, path)
-        except BaseException:
-            try:
-                os.unlink(temp_name)
-            except OSError:
-                pass
-            raise
+        atomic_write(path, writer)
 
     # -- traces --------------------------------------------------------------
 
@@ -247,8 +297,8 @@ class DiskCache:
             return None
         try:
             return load_file(path)
-        except (TraceError, OSError, UnicodeDecodeError):
-            self._evict(path)
+        except (TraceError, OSError, UnicodeDecodeError) as exc:
+            self._evict(path, f"unreadable trace: {exc}")
             return None
 
     def store_trace(self, config: WorkloadConfig, trace: Trace) -> None:
@@ -274,8 +324,8 @@ class DiskCache:
             OSError,
             UnicodeDecodeError,
             json.JSONDecodeError,
-        ):
-            self._evict(path)
+        ) as exc:
+            self._evict(path, f"unreadable analysis: {exc}")
             return None
 
     def store_analysis(

@@ -20,7 +20,9 @@ from :mod:`repro.trace.io`.
 from __future__ import annotations
 
 import io
-from concurrent.futures import ProcessPoolExecutor, as_completed
+import time
+import warnings
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import asdict, dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -49,6 +51,12 @@ def fan_out(
     tasks: Sequence[dict],
     jobs: Optional[int],
     merge: Callable[[dict], None],
+    *,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    backoff: float = 0.1,
+    on_failure: Optional[Callable[[dict, str], None]] = None,
+    stats: Optional[HarnessStats] = None,
 ) -> None:
     """Run JSON-safe ``tasks`` through ``worker``, folding each result
     into ``merge``.
@@ -60,15 +68,137 @@ def fan_out(
     ``None``, 0, or 1 runs everything in-process through the same worker
     (identical results, no pool); results are merged as they complete,
     in arbitrary order, so ``merge`` must not assume task order.
+
+    Resilience: a task whose attempt raises — or, in pool mode, exceeds
+    ``timeout`` seconds — is retried up to ``retries`` times with
+    exponential backoff (``backoff * 2**attempt`` seconds before attempt
+    ``attempt+1``); once attempts are exhausted the task *fails its
+    cell*: ``on_failure(task, error)`` is invoked (a warning when None)
+    and the remaining tasks keep running.  ``stats`` (when given)
+    accumulates ``task_retries`` / ``task_timeouts`` / ``task_failures``
+    for ``--stats`` reporting.
+
+    Caveat: a timed-out worker process cannot be interrupted
+    mid-computation; its future is abandoned (the pool reaps it on
+    shutdown) and the retry runs as a fresh submission.  Serial mode has
+    no preemption, so ``timeout`` applies only in pool mode; retries
+    apply in both.
     """
+    retries = max(0, retries)
+
+    def record_retry() -> None:
+        if stats is not None:
+            stats.task_retries += 1
+
+    def record_failure(task: dict, error: str, timed_out: bool) -> None:
+        if stats is not None:
+            stats.task_failures += 1
+            if timed_out:
+                stats.task_timeouts += 1
+        if on_failure is not None:
+            on_failure(task, error)
+        else:
+            warnings.warn(
+                f"fan_out task failed after {retries + 1} attempt(s): "
+                f"{error}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+
     if jobs is None or jobs <= 1:
         for task in tasks:
-            merge(worker(task))
+            for attempt in range(retries + 1):
+                try:
+                    result = worker(task)
+                except Exception as exc:  # worker bug or corrupt task
+                    if attempt < retries:
+                        record_retry()
+                        time.sleep(backoff * (2 ** attempt))
+                        continue
+                    record_failure(task, str(exc), timed_out=False)
+                    break
+                merge(result)
+                break
         return
+
     with ProcessPoolExecutor(max_workers=jobs) as pool:
-        futures = [pool.submit(worker, task) for task in tasks]
-        for future in as_completed(futures):
-            merge(future.result())
+
+        def submit(task: dict, attempt: int) -> None:
+            future = pool.submit(worker, task)
+            deadline = (
+                time.monotonic() + timeout if timeout is not None else None
+            )
+            pending[future] = (task, attempt, deadline)
+
+        pending: Dict[object, Tuple[dict, int, Optional[float]]] = {}
+        # (task, attempt, not-before) waiting out a backoff delay.
+        delayed: List[Tuple[dict, int, float]] = []
+        for task in tasks:
+            submit(task, 0)
+        while pending or delayed:
+            now = time.monotonic()
+            ready = [entry for entry in delayed if entry[2] <= now]
+            delayed = [entry for entry in delayed if entry[2] > now]
+            for task, attempt, _ in ready:
+                submit(task, attempt)
+            if not pending:
+                if delayed:
+                    time.sleep(
+                        max(0.0, min(entry[2] for entry in delayed) - now)
+                    )
+                continue
+            wait_cap = None
+            deadlines = [
+                deadline for _, _, deadline in pending.values() if deadline
+            ]
+            if deadlines:
+                wait_cap = max(0.0, min(deadlines) - now)
+            if delayed:
+                next_delay = max(0.0, min(e[2] for e in delayed) - now)
+                wait_cap = (
+                    next_delay if wait_cap is None else min(wait_cap, next_delay)
+                )
+            done, _ = wait(
+                list(pending), timeout=wait_cap, return_when=FIRST_COMPLETED
+            )
+            now = time.monotonic()
+            for future in done:
+                task, attempt, _ = pending.pop(future)
+                error: Optional[str] = None
+                result = None
+                try:
+                    result = future.result(timeout=0)
+                except Exception as exc:
+                    error = str(exc)
+                if error is None:
+                    merge(result)
+                elif attempt < retries:
+                    record_retry()
+                    delayed.append(
+                        (task, attempt + 1, now + backoff * (2 ** attempt))
+                    )
+                else:
+                    record_failure(task, error, timed_out=False)
+            # Expire attempts that blew their per-task deadline.  A
+            # not-yet-started future is cancelled outright; a running
+            # one is abandoned (see the caveat in the docstring).
+            for future in list(pending):
+                task, attempt, deadline = pending[future]
+                if deadline is None or deadline > now:
+                    continue
+                future.cancel()
+                del pending[future]
+                if attempt < retries:
+                    if stats is not None:
+                        stats.task_timeouts += 1
+                    record_retry()
+                    delayed.append(
+                        (task, attempt + 1, now + backoff * (2 ** attempt))
+                    )
+                else:
+                    record_failure(
+                        task, f"timed out after {timeout}s", timed_out=True
+                    )
 
 
 @dataclass(frozen=True)
@@ -226,6 +356,8 @@ def run_grid(
     runner: ExperimentRunner,
     cells: Iterable[GridCell],
     jobs: Optional[int] = None,
+    task_timeout: Optional[float] = None,
+    task_retries: int = 0,
 ) -> HarnessStats:
     """Evaluate ``cells`` with ``jobs`` worker processes, merging results.
 
@@ -233,6 +365,12 @@ def run_grid(
     (identical results, no process pool).  Returns the runner's stats.
     After this returns, every cell's workload and analysis sit in the
     runner's in-memory caches, so table/figure builders hit memory only.
+
+    ``task_timeout`` / ``task_retries`` bound each variant task (see
+    :func:`fan_out`).  A variant that exhausts its retries is *recorded*
+    (``stats.task_failures``, plus a warning) rather than fatal: its
+    cells are simply absent from the runner's caches, and any later
+    table/figure builder that needs them recomputes serially on demand.
     """
     cells = dedup_cells(cells)
     groups: Dict[Variant, List[GridCell]] = {}
@@ -262,10 +400,22 @@ def run_grid(
         }
         for variant, variant_cells in sorted(groups.items())
     ]
+    def failed(task: dict, error: str) -> None:
+        warnings.warn(
+            f"grid variant {tuple(task['variant'])} failed ({error}); its "
+            f"cells will be recomputed on demand",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+
     fan_out(
         _run_variant,
         tasks,
         jobs,
         lambda result: _merge_variant(runner, result),
+        timeout=task_timeout,
+        retries=task_retries,
+        on_failure=failed,
+        stats=runner.stats,
     )
     return runner.stats

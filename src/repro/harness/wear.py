@@ -16,10 +16,29 @@ drain schedule the critical-path metric assumes).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Iterable, Optional, Tuple
 
 from repro.core.analysis import AnalysisConfig, analyze
 from repro.trace.trace import Trace
+
+
+def block_write_counts(
+    writes: Iterable[Tuple[int, bytes]], granularity: int = 8
+) -> Dict[int, int]:
+    """Device writes per aligned ``granularity``-byte block.
+
+    Counts one write per (persist, block) pair for raw (addr, data)
+    persists — the same wear unit :class:`WearProfile` reports.  The
+    fault-injection engine uses these counts to bias bit corruption
+    toward the most-written (most worn) blocks.
+    """
+    counts: Dict[int, int] = {}
+    for addr, data in writes:
+        first = addr // granularity
+        last = (addr + max(len(data), 1) - 1) // granularity
+        for block in range(first, last + 1):
+            counts[block] = counts.get(block, 0) + 1
+    return counts
 
 
 @dataclass

@@ -1,0 +1,31 @@
+"""Device-level fault injection (torn, dropped, corrupted persists).
+
+The cut-based recovery observer (:mod:`repro.core.recovery`) models
+*which* persists survived a failure; this package models devices that
+misbehave *while* persisting: torn sub-block writes, silently dropped
+persists, and seeded wear-biased bit corruption.  Plans are tiny
+serializable value objects so a corpus entry replays the exact same
+faults; recovery code hardened against them reports what it detected
+and quarantined via :class:`RecoveryReport` instead of raising.
+"""
+
+from repro.inject.engine import (
+    InjectedFault,
+    cut_salt,
+    fault_kind_counts,
+    materialize_faulty,
+)
+from repro.inject.plan import DROP_SCOPES, FAULT_KINDS, FaultPlan
+from repro.inject.report import FaultDiagnosis, RecoveryReport
+
+__all__ = [
+    "DROP_SCOPES",
+    "FAULT_KINDS",
+    "FaultDiagnosis",
+    "FaultPlan",
+    "InjectedFault",
+    "RecoveryReport",
+    "cut_salt",
+    "fault_kind_counts",
+    "materialize_faulty",
+]

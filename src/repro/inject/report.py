@@ -1,0 +1,63 @@
+"""The detect-and-degrade recovery contract.
+
+The paper's recovery observer hands recovery code an NVRAM image and
+expects a clean parse; under device-level faults (torn, dropped, or
+corrupted persists — :mod:`repro.inject.engine`) that contract is too
+strong.  Hardened structures instead return a :class:`RecoveryReport`:
+the state they *could* recover, plus a :class:`FaultDiagnosis` for every
+record they detected as damaged and quarantined.  The fuzz targets then
+assert the only property device faults leave checkable: recovered state
+is never *silently* wrong — every deviation from ground truth is either
+masked (the faulted bytes were not load-bearing) or carried a diagnosis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class FaultDiagnosis:
+    """One detected-and-quarantined piece of damaged persistent state.
+
+    Attributes:
+        kind: what failed — e.g. ``"checksum-mismatch"``, ``"bad-frame"``,
+            ``"implausible-metadata"``.
+        location: where, in the structure's own vocabulary
+            (``"offset 128"``, ``"slot 3"``, ``"entry 2"``).
+        detail: human-readable explanation.
+    """
+
+    kind: str
+    location: str
+    detail: str
+
+    def describe(self) -> str:
+        """One-line rendering for reports and logs."""
+        return f"[{self.kind}] {self.location}: {self.detail}"
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """What a hardened recovery path salvaged, and what it quarantined.
+
+    ``state`` is structure-specific (records, pairs, files); comparing
+    two reports for equality compares both the recovered state and the
+    diagnoses, which is what deterministic fault replay asserts.
+    """
+
+    state: object
+    quarantined: Tuple[FaultDiagnosis, ...] = ()
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing was quarantined."""
+        return not self.quarantined
+
+    def summary(self) -> str:
+        """One-line rendering for reports and logs."""
+        if self.clean:
+            return "recovery clean (nothing quarantined)"
+        lines = ", ".join(d.describe() for d in self.quarantined)
+        return f"{len(self.quarantined)} quarantined: {lines}"

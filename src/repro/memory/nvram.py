@@ -124,6 +124,33 @@ class NvramImage:
         for addr, data in persists:
             self.apply_persist(addr, data)
 
+    def apply_raw(self, addr: int, data: bytes) -> None:
+        """Apply a device-level sub-persist, bypassing the atomicity rule.
+
+        Fault injection uses this to model *torn* persists: a device
+        whose real write unit is smaller than the model's atomic persist
+        granularity can land any aligned fragment of a persist.  Raw
+        applies do not count toward :attr:`persists_applied` — they are
+        fragments, not persists.
+
+        Raises:
+            MemoryAccessError: when the range falls outside the image.
+        """
+        offset = self._check_range(addr, len(data))
+        self._data[offset : offset + len(data)] = data
+
+    def flip_bits(self, addr: int, mask: int) -> None:
+        """XOR one byte with ``mask``, modeling in-cell bit corruption.
+
+        Raises:
+            MemoryAccessError: when ``addr`` is outside the image or the
+                mask is not a byte value.
+        """
+        if not 0 <= mask <= 0xFF:
+            raise MemoryAccessError(f"bit mask {mask:#x} is not a byte")
+        offset = self._check_range(addr, 1)
+        self._data[offset] ^= mask
+
     def read_bytes(self, addr: int, size: int) -> bytes:
         """Read raw bytes from the snapshot."""
         offset = self._check_range(addr, size)

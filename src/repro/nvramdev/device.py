@@ -12,16 +12,48 @@ measured (the ablation benchmarks sweep bank count).
 It also models *buffered strict persistency* (Section 4.1): persists
 drain serially from a bounded FIFO while execution runs ahead, stalling
 only when the buffer fills or a persist sync empties it.
+
+Finally, :func:`sub_persists` exposes the device's *real* write unit:
+an atomic persist of the model is, at device level, a sequence of
+smaller writes, and a failure mid-sequence leaves a torn persist.  The
+fault-injection engine (:mod:`repro.inject.engine`) splits persists
+with this function so torn-write faults follow device semantics.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from heapq import heappop, heappush
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.lattice import GraphDomain
 from repro.errors import AnalysisError
+
+
+def sub_persists(
+    addr: int, data: bytes, granularity: int
+) -> List[Tuple[int, bytes]]:
+    """Split one atomic persist into device-level sub-writes.
+
+    Returns the (addr, bytes) fragments, in address order, that a device
+    with a ``granularity``-byte write unit would issue for this persist.
+    A failure after the first ``k`` fragments landed is a torn persist.
+
+    Raises:
+        AnalysisError: when ``granularity`` is not a positive power of
+            two or ``data`` is empty.
+    """
+    if granularity <= 0 or granularity & (granularity - 1):
+        raise AnalysisError(
+            f"device write granularity must be a power of two, got "
+            f"{granularity}"
+        )
+    if not data:
+        raise AnalysisError("cannot split an empty persist")
+    return [
+        (addr + start, data[start : start + granularity])
+        for start in range(0, len(data), granularity)
+    ]
 
 
 @dataclass(frozen=True)

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from repro.errors import RecoveryError
+from repro.inject.report import FaultDiagnosis, RecoveryReport
 from repro.memory.nvram import NvramImage
 from repro.queue.layout import (
     ALIGNMENT_OFFSET,
@@ -110,6 +111,75 @@ def recover_entries(
         entries.append(RecoveredEntry(offset=offset, payload=payload))
         offset += reserved
     return handle, entries
+
+
+def recover_report(image: NvramImage, base: int) -> RecoveryReport:
+    """Detect-and-degrade queue recovery.
+
+    The wire format carries no per-entry checksum (kept byte-identical
+    to the paper's layout), so only *structural* faults are detectable:
+    corrupt geometry or head/tail words quarantine the whole queue
+    (state ``[]``); an unparsable entry frame quarantines the remainder
+    and returns the entries parsed so far.  Payload bit corruption is
+    **not** detectable here — the queue is deliberately left as the
+    unhardened baseline the fault campaign measures against.
+
+    Never raises on corrupt persistent state.
+    """
+    try:
+        handle = read_geometry(image, base)
+    except RecoveryError as exc:
+        return RecoveryReport(
+            state=[],
+            quarantined=(
+                FaultDiagnosis(
+                    kind="geometry",
+                    location=f"queue header at {base:#x}",
+                    detail=str(exc),
+                ),
+            ),
+        )
+    head = image.read(base + HEAD_OFFSET, 8)
+    tail = image.read(base + TAIL_OFFSET, 8)
+    if tail > head or head - tail > handle.capacity:
+        return RecoveryReport(
+            state=[],
+            quarantined=(
+                FaultDiagnosis(
+                    kind="head-tail",
+                    location=f"queue header at {base:#x}",
+                    detail=(
+                        f"inconsistent pointers head={head} tail={tail} "
+                        f"capacity={handle.capacity}"
+                    ),
+                ),
+            ),
+        )
+    entries: List[RecoveredEntry] = []
+    quarantined: List[FaultDiagnosis] = []
+    offset = tail
+    while offset < head:
+        length_bytes = _read_wrapped(image, handle, offset, LENGTH_FIELD_SIZE)
+        length = int.from_bytes(length_bytes, "little")
+        reserved = record_size(length, handle.insert_alignment)
+        if length == 0 or offset + reserved > head:
+            quarantined.append(
+                FaultDiagnosis(
+                    kind="frame",
+                    location=f"entry at offset {offset}",
+                    detail=(
+                        f"unparsable frame (length {length}); remaining "
+                        f"{head - offset} live bytes quarantined"
+                    ),
+                )
+            )
+            break
+        payload = _read_wrapped(
+            image, handle, offset + LENGTH_FIELD_SIZE, length
+        )
+        entries.append(RecoveredEntry(offset=offset, payload=payload))
+        offset += reserved
+    return RecoveryReport(state=entries, quarantined=tuple(quarantined))
 
 
 def verify_recovery(

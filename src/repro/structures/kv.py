@@ -17,13 +17,26 @@ Recovery reads an :class:`~repro.memory.nvram.NvramImage`: every slot
 whose valid flag persisted exposes exactly the key/value that were
 published before it — guaranteed by the barrier, and checked by the
 failure-injection tests.
+
+Each slot also carries a CRC32 of its (key, value) pair at
+``CHECKSUM_OFFSET``.  The persistency discipline alone cannot detect a
+*device* fault — a torn sub-block write or a flipped bit
+(:mod:`repro.inject`) leaves a slot that parses fine but holds a value
+never written.  :meth:`PersistentKvStore.recover` trusts the discipline
+(and stays exact under fault-free cuts); ``recover_report`` additionally
+verifies slot checksums and quarantines mismatches instead of returning
+silently-wrong pairs.  In-place updates write the value and its checksum
+as two separate atomic persists, so a failure between them makes the
+slot *quarantine* (detected, degraded) rather than corrupt.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+import zlib
+from typing import Dict, List, Optional
 
 from repro.errors import ReproError
+from repro.inject.report import FaultDiagnosis, RecoveryReport
 from repro.memory import layout
 from repro.memory.nvram import NvramImage
 from repro.sim.context import OpGen, ThreadContext
@@ -34,10 +47,18 @@ from repro.sim.sync import make_lock
 KEY_OFFSET = 0
 VALUE_OFFSET = 8
 VALID_OFFSET = 16
+CHECKSUM_OFFSET = 24
 SLOT_SIZE = 64
 
 #: Valid-flag states.
 EMPTY, LIVE, TOMBSTONE = 0, 1, 2
+
+
+def slot_checksum(key: int, value: int) -> int:
+    """CRC32 over the slot's key and value words (little-endian)."""
+    return zlib.crc32(
+        key.to_bytes(8, "little") + value.to_bytes(8, "little")
+    )
 
 
 class StoreFullError(ReproError):
@@ -103,12 +124,16 @@ class PersistentKvStore:
         yield from self._lock.acquire(ctx)
         addr, state = yield from self._probe(ctx, key)
         if state == LIVE:
-            # In-place update: a single eight-byte persist, atomic with
-            # respect to failure; no barrier needed.
+            # In-place update: the value persist is atomic on its own;
+            # the checksum refresh is a second, unordered persist.  A
+            # failure between the two leaves a slot that recover_report
+            # quarantines (detected) rather than returns wrong.
             yield from ctx.store(addr + VALUE_OFFSET, value)
+            yield from ctx.store(addr + CHECKSUM_OFFSET, slot_checksum(key, value))
         else:
             yield from ctx.store(addr + KEY_OFFSET, key)
             yield from ctx.store(addr + VALUE_OFFSET, value)
+            yield from ctx.store(addr + CHECKSUM_OFFSET, slot_checksum(key, value))
             yield from ctx.persist_barrier()  # contents before publication
             yield from ctx.store(addr + VALID_OFFSET, LIVE)
         yield from self._lock.release(ctx)
@@ -141,7 +166,12 @@ class PersistentKvStore:
     # -- recovery ---------------------------------------------------------
 
     def recover(self, image: NvramImage) -> Dict[int, int]:
-        """Read all published live pairs from a failure-state image."""
+        """Read all published live pairs from a failure-state image.
+
+        Trusts the persistency discipline (no checksum verification) —
+        exact on fault-free cuts; use :meth:`recover_report` when the
+        device itself may have misbehaved.
+        """
         pairs: Dict[int, int] = {}
         for index in range(self._slots):
             addr = self._slot_addr(index)
@@ -149,3 +179,54 @@ class PersistentKvStore:
                 key = image.read(addr + KEY_OFFSET, layout.WORD_SIZE)
                 pairs[key] = image.read(addr + VALUE_OFFSET, layout.WORD_SIZE)
         return pairs
+
+    def recover_report(self, image: NvramImage) -> RecoveryReport:
+        """Detect-and-degrade recovery: checksum-verified live pairs.
+
+        Every live slot whose CRC32 matches its (key, value) pair enters
+        the recovered state; slots with a bad checksum, a reserved key,
+        or an unknown valid flag are quarantined with a diagnosis.  Never
+        raises on corrupt slot contents.
+        """
+        pairs: Dict[int, int] = {}
+        quarantined: List[FaultDiagnosis] = []
+        for index in range(self._slots):
+            addr = self._slot_addr(index)
+            state = image.read(addr + VALID_OFFSET, layout.WORD_SIZE)
+            if state in (EMPTY, TOMBSTONE):
+                continue
+            if state != LIVE:
+                quarantined.append(
+                    FaultDiagnosis(
+                        kind="valid-flag",
+                        location=f"slot {index}",
+                        detail=f"unknown valid flag {state}",
+                    )
+                )
+                continue
+            key = image.read(addr + KEY_OFFSET, layout.WORD_SIZE)
+            value = image.read(addr + VALUE_OFFSET, layout.WORD_SIZE)
+            stored = image.read(addr + CHECKSUM_OFFSET, layout.WORD_SIZE)
+            if key == 0:
+                quarantined.append(
+                    FaultDiagnosis(
+                        kind="reserved-key",
+                        location=f"slot {index}",
+                        detail="live slot holds the reserved empty key 0",
+                    )
+                )
+                continue
+            if slot_checksum(key, value) != stored:
+                quarantined.append(
+                    FaultDiagnosis(
+                        kind="checksum",
+                        location=f"slot {index}",
+                        detail=(
+                            f"key {key} failed its slot checksum "
+                            f"(value {value} untrusted)"
+                        ),
+                    )
+                )
+                continue
+            pairs[key] = value
+        return RecoveryReport(state=pairs, quarantined=tuple(quarantined))

@@ -9,14 +9,26 @@ same relaxed-persistency concurrency.
 Unlike the circular queue there is no tail pointer and no wrap-around:
 the log grows until full and is truncated only by :meth:`reset` (e.g.,
 after a checkpoint).
+
+The frame word carries a CRC32 of the payload in its high 32 bits
+(payloads are far below 4 GiB, so the low 32 bits hold the length).
+Packing the checksum into the existing word keeps record sizes and
+persist counts identical to the unchecksummed layout while letting
+recovery *detect* device faults — torn sub-block writes and bit
+corruption (:mod:`repro.inject`) — instead of silently returning wrong
+payloads.  :meth:`PersistentLog.recover` treats any inconsistency as
+fatal; :meth:`PersistentLog.recover_report` degrades, returning every
+intact record plus a diagnosis for each quarantined one.
 """
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from typing import List
 
 from repro.errors import RecoveryError, ReproError
+from repro.inject.report import FaultDiagnosis, RecoveryReport
 from repro.memory import layout
 from repro.memory.nvram import NvramImage
 from repro.sim.context import OpGen, ThreadContext
@@ -28,8 +40,16 @@ COMMITTED_OFFSET = 0
 DATA_OFFSET = 64
 LENGTH_FIELD = 8
 
+#: Low half of the frame word is the payload length, high half its CRC32.
+LENGTH_MASK = 0xFFFFFFFF
+
 #: Default record alignment (matches the paper's padding discipline).
 DEFAULT_ALIGNMENT = 64
+
+
+def frame_word(payload: bytes) -> int:
+    """The 8-byte frame header: CRC32 in the high half, length low."""
+    return len(payload) | (zlib.crc32(payload) << 32)
 
 
 class LogFullError(ReproError):
@@ -99,7 +119,7 @@ class PersistentLog:
             )
         yield from ctx.new_strand()
         record_addr = self._base + DATA_OFFSET + committed
-        framed = len(payload).to_bytes(LENGTH_FIELD, "little") + payload
+        framed = frame_word(payload).to_bytes(LENGTH_FIELD, "little") + payload
         yield from ctx.store_bytes(record_addr, framed)
         yield from ctx.persist_barrier()
         yield from ctx.store(self._base + COMMITTED_OFFSET, committed + reserved)
@@ -121,7 +141,8 @@ class PersistentLog:
 
         Raises:
             RecoveryError: when committed state is unparsable (only
-                possible if the persistency discipline was violated).
+                possible if the persistency discipline was violated or
+                the device misbehaved).
         """
         committed = image.read(self._base + COMMITTED_OFFSET, 8)
         if committed > self._capacity:
@@ -133,13 +154,77 @@ class PersistentLog:
         offset = 0
         while offset < committed:
             addr = self._base + DATA_OFFSET + offset
-            length = image.read(addr, 8)
+            word = image.read(addr, 8)
+            length = word & LENGTH_MASK
             reserved = self._record_size(length)
             if length == 0 or offset + reserved > committed:
                 raise RecoveryError(
                     f"corrupt record frame at offset {offset}"
                 )
             payload = image.read_bytes(addr + LENGTH_FIELD, length)
+            if zlib.crc32(payload) != word >> 32:
+                raise RecoveryError(
+                    f"record at offset {offset} failed its checksum"
+                )
             records.append(LogRecord(offset=offset, payload=payload))
             offset += reserved
         return records
+
+    def recover_report(self, image: NvramImage) -> RecoveryReport:
+        """Detect-and-degrade recovery: every intact record, plus
+        diagnoses for what was quarantined.
+
+        Unlike :meth:`recover` this never raises on corrupt persistent
+        state: an implausible committed size is clamped, a checksum
+        mismatch quarantines just that record (its frame still gives the
+        next record's position), and an unparsable frame quarantines the
+        rest of the log (without a trustworthy length there is no way to
+        find the next frame).
+        """
+        quarantined: List[FaultDiagnosis] = []
+        committed = image.read(self._base + COMMITTED_OFFSET, 8)
+        if committed > self._capacity:
+            quarantined.append(
+                FaultDiagnosis(
+                    kind="committed-size",
+                    location=f"committed word at {self._base:#x}",
+                    detail=(
+                        f"committed size {committed} exceeds capacity "
+                        f"{self._capacity}; clamped"
+                    ),
+                )
+            )
+            committed = self._capacity
+        records: List[LogRecord] = []
+        offset = 0
+        while offset < committed:
+            addr = self._base + DATA_OFFSET + offset
+            word = image.read(addr, 8)
+            length = word & LENGTH_MASK
+            reserved = self._record_size(length)
+            if length == 0 or offset + reserved > committed:
+                quarantined.append(
+                    FaultDiagnosis(
+                        kind="frame",
+                        location=f"record at offset {offset}",
+                        detail=(
+                            f"unparsable frame (length {length}); "
+                            f"remaining {committed - offset} committed "
+                            f"bytes quarantined"
+                        ),
+                    )
+                )
+                break
+            payload = image.read_bytes(addr + LENGTH_FIELD, length)
+            if zlib.crc32(payload) != word >> 32:
+                quarantined.append(
+                    FaultDiagnosis(
+                        kind="checksum",
+                        location=f"record at offset {offset}",
+                        detail=f"payload of {length} bytes failed its CRC32",
+                    )
+                )
+            else:
+                records.append(LogRecord(offset=offset, payload=payload))
+            offset += reserved
+        return RecoveryReport(state=records, quarantined=tuple(quarantined))

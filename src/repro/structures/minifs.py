@@ -49,6 +49,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.errors import RecoveryError, ReproError
+from repro.inject.report import FaultDiagnosis, RecoveryReport
 from repro.memory.nvram import NvramImage
 from repro.sim.context import OpGen, ThreadContext
 from repro.sim.machine import Machine
@@ -86,6 +87,19 @@ def checksum(data: bytes) -> int:
     for index, byte in enumerate(data):
         value = (value * 31 + byte * (index + 1)) % (1 << 64)
     return value
+
+
+def file_checksum(hashed: int, data: bytes) -> int:
+    """Inode checksum binding a file's *name* to its data.
+
+    Folding the directory entry's name hash into the stored checksum
+    makes cross-wiring detectable under device fault injection
+    (:mod:`repro.inject`): a bit flip in the entry's name word — or a
+    ref flip that points the entry at some *other* valid inode — fails
+    verification at mount instead of surfacing a clean-looking file
+    under the wrong name.
+    """
+    return (checksum(data) ^ hashed * 0x9E3779B97F4A7C15) % (1 << 64)
 
 
 @dataclass(frozen=True)
@@ -188,12 +202,13 @@ class MiniFs:
         return free_slot, 0
 
     def _write_file_body(
-        self, ctx: ThreadContext, data: bytes
+        self, ctx: ThreadContext, hashed: int, data: bytes
     ) -> OpGen:
         """Write data + a fresh invalid inode; returns (inode_idx, blocks).
 
         Ends with the inode published valid behind two barriers, ready
-        for a directory swing.
+        for a directory swing.  The stored checksum binds the owning
+        name hash (see :func:`file_checksum`).
         """
         block_count = -(-len(data) // BLOCK_SIZE) if data else 0
         blocks = self._alloc_blocks(block_count)
@@ -203,7 +218,9 @@ class MiniFs:
             yield from ctx.store_bytes(self._block_addr(block), chunk)
         inode_addr = self._inode_addr(inode)
         yield from ctx.store(inode_addr + INODE_SIZE, len(data))
-        yield from ctx.store(inode_addr + INODE_CHECKSUM, checksum(data))
+        yield from ctx.store(
+            inode_addr + INODE_CHECKSUM, file_checksum(hashed, data)
+        )
         for position in range(DIRECT_BLOCKS):
             pointer = blocks[position] + 1 if position < len(blocks) else 0
             yield from ctx.store(
@@ -244,7 +261,7 @@ class MiniFs:
         if expect_existing is True and not old_ref:
             yield from self._exit(ctx)
             raise ReproError(f"file {name!r} does not exist")
-        inode, blocks = yield from self._write_file_body(ctx, data)
+        inode, blocks = yield from self._write_file_body(ctx, hashed, data)
         entry_addr = self._entry_addr(slot)
         if not old_ref:
             yield from ctx.store(entry_addr + ENTRY_NAME, hashed)
@@ -319,6 +336,57 @@ class MiniFs:
 
     # -- recovery ---------------------------------------------------------
 
+    def _recover_entry(
+        self, image: NvramImage, slot: int
+    ) -> Optional[RecoveredFile]:
+        """Reconstruct directory slot ``slot``; None when unpublished.
+
+        Raises:
+            RecoveryError: on any inconsistency a correct persistency
+                discipline makes impossible — a published entry whose
+                inode is invalid or whose data fails its checksum.
+        """
+        entry_addr = self._entry_addr(slot)
+        ref = image.read(entry_addr + ENTRY_REF, 8)
+        if ref == 0:
+            return None
+        if ref > self._inodes:
+            raise RecoveryError(f"entry {slot} references bad inode {ref}")
+        hashed = image.read(entry_addr + ENTRY_NAME, 8)
+        if hashed == 0:
+            raise RecoveryError(f"entry {slot} published without a name")
+        inode_addr = self._inode_addr(ref - 1)
+        if image.read(inode_addr + INODE_VALID, 8) != 1:
+            raise RecoveryError(
+                f"entry {slot} references invalid inode {ref - 1}"
+            )
+        size = image.read(inode_addr + INODE_SIZE, 8)
+        if size > MAX_FILE_SIZE:
+            raise RecoveryError(f"inode {ref - 1} has bad size {size}")
+        chunks = []
+        remaining = size
+        for position in range(DIRECT_BLOCKS):
+            if remaining <= 0:
+                break
+            pointer = image.read(inode_addr + INODE_BLOCKS + 8 * position, 8)
+            if pointer == 0 or pointer > self._data_blocks:
+                raise RecoveryError(
+                    f"inode {ref - 1} has bad block pointer {pointer}"
+                )
+            take = min(remaining, BLOCK_SIZE)
+            chunks.append(
+                image.read_bytes(self._block_addr(pointer - 1), take)
+            )
+            remaining -= take
+        data = b"".join(chunks)
+        stored = image.read(inode_addr + INODE_CHECKSUM, 8)
+        if file_checksum(hashed, data) != stored:
+            raise RecoveryError(
+                f"file in entry {slot} failed its checksum (torn data or "
+                f"mis-bound name)"
+            )
+        return RecoveredFile(name_hash=hashed, data=data)
+
     def recover(self, image: NvramImage) -> Dict[int, RecoveredFile]:
         """Mount a failure-state image: return files by name hash.
 
@@ -329,44 +397,53 @@ class MiniFs:
         """
         files: Dict[int, RecoveredFile] = {}
         for slot in range(self._dir_slots):
-            entry_addr = self._entry_addr(slot)
-            ref = image.read(entry_addr + ENTRY_REF, 8)
-            if ref == 0:
+            recovered = self._recover_entry(image, slot)
+            if recovered is None:
                 continue
-            if ref > self._inodes:
-                raise RecoveryError(f"entry {slot} references bad inode {ref}")
-            hashed = image.read(entry_addr + ENTRY_NAME, 8)
-            if hashed == 0:
-                raise RecoveryError(f"entry {slot} published without a name")
-            inode_addr = self._inode_addr(ref - 1)
-            if image.read(inode_addr + INODE_VALID, 8) != 1:
+            if recovered.name_hash in files:
                 raise RecoveryError(
-                    f"entry {slot} references invalid inode {ref - 1}"
+                    f"duplicate directory entry for {recovered.name_hash}"
                 )
-            size = image.read(inode_addr + INODE_SIZE, 8)
-            if size > MAX_FILE_SIZE:
-                raise RecoveryError(f"inode {ref - 1} has bad size {size}")
-            chunks = []
-            remaining = size
-            for position in range(DIRECT_BLOCKS):
-                if remaining <= 0:
-                    break
-                pointer = image.read(inode_addr + INODE_BLOCKS + 8 * position, 8)
-                if pointer == 0 or pointer > self._data_blocks:
-                    raise RecoveryError(
-                        f"inode {ref - 1} has bad block pointer {pointer}"
-                    )
-                take = min(remaining, BLOCK_SIZE)
-                chunks.append(
-                    image.read_bytes(self._block_addr(pointer - 1), take)
-                )
-                remaining -= take
-            data = b"".join(chunks)
-            if checksum(data) != image.read(inode_addr + INODE_CHECKSUM, 8):
-                raise RecoveryError(
-                    f"file in entry {slot} failed its checksum (torn data)"
-                )
-            if hashed in files:
-                raise RecoveryError(f"duplicate directory entry for {hashed}")
-            files[hashed] = RecoveredFile(name_hash=hashed, data=data)
+            files[recovered.name_hash] = recovered
         return files
+
+    def recover_report(self, image: NvramImage) -> RecoveryReport:
+        """Detect-and-degrade mount: intact files plus quarantine diagnoses.
+
+        Each directory slot is reconstructed independently; a slot whose
+        metadata or data is inconsistent — whether from a persistency
+        violation or an injected device fault (:mod:`repro.inject`) — is
+        quarantined with the failed invariant, never mounted.  The
+        BPFS-style bottom-up checksums make every torn or corrupted file
+        body detectable.
+        """
+        files: Dict[int, RecoveredFile] = {}
+        quarantined: List[FaultDiagnosis] = []
+        for slot in range(self._dir_slots):
+            try:
+                recovered = self._recover_entry(image, slot)
+            except RecoveryError as exc:
+                quarantined.append(
+                    FaultDiagnosis(
+                        kind="entry",
+                        location=f"directory slot {slot}",
+                        detail=str(exc),
+                    )
+                )
+                continue
+            if recovered is None:
+                continue
+            if recovered.name_hash in files:
+                quarantined.append(
+                    FaultDiagnosis(
+                        kind="duplicate",
+                        location=f"directory slot {slot}",
+                        detail=(
+                            f"second entry for name hash "
+                            f"{recovered.name_hash:#x}; first kept"
+                        ),
+                    )
+                )
+                continue
+            files[recovered.name_hash] = recovered
+        return RecoveryReport(state=files, quarantined=tuple(quarantined))

@@ -68,6 +68,56 @@ class TestCorpus:
         with pytest.raises(FuzzError):
             Corpus(tmp_path).load(path)
 
+    def test_byte_truncated_file_raises_fuzz_error(
+        self, tmp_path, minimized_case
+    ):
+        """Truncation mid-token must never leak a raw JSONDecodeError."""
+        corpus = Corpus(tmp_path)
+        path = corpus.add(minimized_case)
+        data = path.read_bytes()
+        for cut in (1, len(data) // 3, len(data) // 2):
+            path.write_bytes(data[:cut])
+            with pytest.raises(FuzzError, match="cannot read repro file"):
+                corpus.load(path)
+
+    def test_non_utf8_file_raises_fuzz_error(self, tmp_path):
+        path = tmp_path / "binary.repro.json"
+        path.write_bytes(b"\xff\xfe\x00garbage\x80")
+        with pytest.raises(FuzzError, match="cannot read repro file"):
+            Corpus(tmp_path).load(path)
+
+    def test_non_object_payload_rejected(self, tmp_path):
+        path = tmp_path / "list.repro.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(FuzzError, match="JSON object"):
+            Corpus(tmp_path).load(path)
+
+    def test_load_or_quarantine_renames_and_warns(
+        self, tmp_path, minimized_case
+    ):
+        corpus = Corpus(tmp_path)
+        good = corpus.add(minimized_case)
+        bad = tmp_path / "half.repro.json"
+        bad.write_bytes(good.read_bytes()[:20])
+        with pytest.warns(RuntimeWarning, match="quarantin"):
+            assert corpus.load_or_quarantine(bad) is None
+        assert not bad.exists()
+        assert bad.with_name(bad.name + ".quarantined").exists()
+        # The good entry is untouched and still loads.
+        assert corpus.load_or_quarantine(good) == minimized_case
+
+    def test_replay_all_skips_quarantined_entries(
+        self, tmp_path, minimized_case
+    ):
+        corpus = Corpus(tmp_path)
+        good = corpus.add(minimized_case)
+        bad = tmp_path / "torn.repro.json"
+        bad.write_bytes(b"\x80\x81\x82")
+        with pytest.warns(RuntimeWarning):
+            results = corpus.replay_all()
+        assert [path for path, _ in results] == [good]
+        assert results[0][1].reproduced
+
     def test_written_file_is_valid_json(self, tmp_path, minimized_case):
         corpus = Corpus(tmp_path)
         path = corpus.add(minimized_case)

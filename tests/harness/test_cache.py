@@ -108,6 +108,26 @@ class TestDiskCache:
         assert cache.load_trace(wconfig) is None
         assert not path.exists()
 
+    def test_non_utf8_trace_is_miss_and_evicted(self, cache, wconfig, cwl_1t):
+        cache.store_trace(wconfig, cwl_1t.trace)
+        path = cache.trace_path(workload_key(wconfig))
+        path.write_bytes(b"\xff\xfe\x80 not utf-8 \x00")
+        assert cache.load_trace(wconfig) is None
+        assert not path.exists()
+        assert cache.stats.cache_evictions == 1
+
+    def test_non_utf8_analysis_is_miss_and_evicted(
+        self, cache, wconfig, cwl_1t
+    ):
+        config = AnalysisConfig()
+        result = analyze(cwl_1t.trace, "epoch", config)
+        cache.store_analysis(wconfig, "epoch", config, result)
+        path = cache.analysis_path(analysis_key(wconfig, "epoch", config))
+        path.write_bytes(b'{"model": "\x80\xff"}')
+        assert cache.load_analysis(wconfig, "epoch", config) is None
+        assert not path.exists()
+        assert cache.stats.cache_evictions == 1
+
     def test_corrupted_analysis_is_miss_and_evicted(
         self, cache, wconfig, cwl_1t
     ):

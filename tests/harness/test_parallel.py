@@ -1,5 +1,7 @@
 """Tests for the parallel grid executor: parity with serial execution."""
 
+import time
+
 import pytest
 
 from repro.cli import main
@@ -7,8 +9,10 @@ from repro.harness import (
     DiskCache,
     ExperimentRunner,
     GridCell,
+    HarnessStats,
     build_table1,
     dedup_cells,
+    fan_out,
     figure_cells,
     format_table1,
     run_grid,
@@ -91,6 +95,121 @@ class TestParallelParity:
             ) == serial.analysis(
                 design, threads, racing, cell.model, cell.analysis_config()
             )
+
+
+def _sleepy_worker(task):
+    """Module-level (pool-picklable) worker that sleeps then echoes."""
+    time.sleep(task.get("sleep", 0.0))
+    return task
+
+
+def _failing_worker(task):
+    raise RuntimeError(f"boom on {task['name']}")
+
+
+class TestFanOutResilience:
+    def test_serial_retry_recovers_flaky_worker(self):
+        attempts = {"n": 0}
+
+        def flaky(task):
+            attempts["n"] += 1
+            if attempts["n"] < 2:
+                raise RuntimeError("transient")
+            return task
+
+        merged = []
+        stats = HarnessStats()
+        fan_out(
+            flaky, [{"name": "only"}], jobs=1, merge=merged.append,
+            retries=2, backoff=0.0, stats=stats,
+        )
+        assert merged == [{"name": "only"}]
+        assert stats.task_retries == 1
+        assert stats.task_failures == 0
+
+    def test_serial_exhausted_retries_fail_the_cell_not_the_run(self):
+        merged = []
+        failures = []
+        stats = HarnessStats()
+        fan_out(
+            _failing_worker,
+            [{"name": "a"}, {"name": "b"}],
+            jobs=1,
+            merge=merged.append,
+            retries=1,
+            backoff=0.0,
+            on_failure=lambda task, error: failures.append((task, error)),
+            stats=stats,
+        )
+        assert merged == []
+        assert [task["name"] for task, _ in failures] == ["a", "b"]
+        assert all("boom" in error for _, error in failures)
+        assert stats.task_retries == 2
+        assert stats.task_failures == 2
+        assert stats.task_timeouts == 0
+
+    def test_serial_default_failure_path_warns(self):
+        with pytest.warns(RuntimeWarning, match="failed after 1 attempt"):
+            fan_out(
+                _failing_worker, [{"name": "x"}], jobs=1,
+                merge=lambda result: None,
+            )
+
+    def test_pool_retries_exhaust_and_record(self):
+        failures = []
+        stats = HarnessStats()
+        fan_out(
+            _failing_worker,
+            [{"name": "p"}],
+            jobs=2,
+            merge=lambda result: None,
+            retries=2,
+            backoff=0.01,
+            on_failure=lambda task, error: failures.append(error),
+            stats=stats,
+        )
+        assert len(failures) == 1 and "boom on p" in failures[0]
+        assert stats.task_retries == 2
+        assert stats.task_failures == 1
+
+    def test_pool_timeout_fails_slow_task_and_keeps_fast_one(self):
+        merged = []
+        failures = []
+        stats = HarnessStats()
+        fan_out(
+            _sleepy_worker,
+            [{"name": "slow", "sleep": 1.5}, {"name": "fast"}],
+            jobs=2,
+            merge=merged.append,
+            timeout=0.3,
+            on_failure=lambda task, error: failures.append((task, error)),
+            stats=stats,
+        )
+        assert [task["name"] for task in merged] == ["fast"]
+        assert len(failures) == 1
+        assert failures[0][0]["name"] == "slow"
+        assert "timed out after" in failures[0][1]
+        assert stats.task_timeouts == 1
+        assert stats.task_failures == 1
+
+    def test_stats_report_includes_task_counters(self):
+        stats = HarnessStats(task_retries=3, task_timeouts=1, task_failures=2)
+        report = stats.report()
+        assert "3 retrie(s)" in report
+        assert "1 timeout(s)" in report
+        assert "2 failed cell(s)" in report
+
+    def test_grid_timeout_records_failed_cells_not_fatal(self, recwarn):
+        runner = fresh_runner()
+        run_grid(
+            runner, table1_cells((1,)), jobs=2, task_timeout=0.001
+        )
+        assert runner.stats.task_failures > 0
+        assert any(
+            "recomputed on demand" in str(w.message) for w in recwarn.list
+        )
+        # The table still builds: missing cells recompute serially.
+        assert format_table1(build_table1(runner, thread_counts=(1,)))
 
 
 class TestCliParity:

@@ -1,0 +1,304 @@
+"""Detect-and-degrade recovery under hand-planted device corruption.
+
+Each hardened structure's ``recover_report`` must turn corrupt
+persistent bytes into quarantine diagnoses — never raise, never return
+silently-wrong state.  These tests corrupt images surgically (a flipped
+bit in a known field) rather than through :mod:`repro.inject`, pinning
+the per-field detection story the fault campaigns rely on.
+"""
+
+import pytest
+
+from repro.inject import RecoveryReport
+from repro.memory import NvramImage
+from repro.queue import allocate_queue, run_insert_workload
+from repro.queue.layout import HEAD_OFFSET, TAIL_OFFSET
+from repro.queue.recovery import recover_report as queue_recover_report
+from repro.sim import Machine, RandomScheduler
+from repro.structures import MiniFs, PersistentKvStore, PersistentLog
+from repro.structures.kv import (
+    CHECKSUM_OFFSET,
+    KEY_OFFSET,
+    VALID_OFFSET,
+    VALUE_OFFSET,
+)
+from repro.structures.log import COMMITTED_OFFSET, DATA_OFFSET, LENGTH_FIELD
+from repro.structures.minifs import (
+    ENTRY_NAME,
+    ENTRY_REF,
+    INODE_BLOCKS,
+    name_hash,
+)
+
+
+def machine_with(builder, seed=0):
+    machine = Machine(scheduler=RandomScheduler(seed=seed))
+    structure = builder(machine)
+    return machine, structure
+
+
+def snapshot(machine):
+    return NvramImage.from_region(
+        machine.memory.region("persistent"), blank=False
+    )
+
+
+class TestLogReport:
+    def build(self, payloads):
+        machine, log = machine_with(lambda m: PersistentLog(m, 8192))
+
+        def body(ctx):
+            for payload in payloads:
+                yield from log.append(ctx, payload)
+
+        machine.spawn(body)
+        machine.run()
+        return log, snapshot(machine)
+
+    def test_clean_image_reports_everything_no_quarantine(self):
+        payloads = [b"alpha", b"beta", b"gamma"]
+        log, image = self.build(payloads)
+        report = log.recover_report(image)
+        assert isinstance(report, RecoveryReport)
+        assert [r.payload for r in report.state] == payloads
+        assert report.quarantined == ()
+
+    def test_corrupted_payload_quarantines_that_record_only(self):
+        payloads = [b"alpha", b"beta", b"gamma"]
+        log, image = self.build(payloads)
+        # Records are 64-byte aligned: record 1 sits at offset 64.
+        image.flip_bits(log.base + DATA_OFFSET + 64 + LENGTH_FIELD, 0x01)
+        report = log.recover_report(image)
+        assert [r.payload for r in report.state] == [b"alpha", b"gamma"]
+        assert [d.kind for d in report.quarantined] == ["checksum"]
+        assert "offset 64" in report.quarantined[0].location
+
+    def test_bad_frame_quarantines_the_rest(self):
+        log, image = self.build([b"alpha", b"beta", b"gamma"])
+        # Zero record 1's frame word: no trustworthy length to skip by.
+        image.apply_raw(
+            log.base + DATA_OFFSET + 64, (0).to_bytes(8, "little")
+        )
+        report = log.recover_report(image)
+        assert [r.payload for r in report.state] == [b"alpha"]
+        assert [d.kind for d in report.quarantined] == ["frame"]
+
+    def test_implausible_committed_size_is_clamped_not_fatal(self):
+        log, image = self.build([b"alpha"])
+        image.apply_raw(
+            log.base + COMMITTED_OFFSET, (1 << 32).to_bytes(8, "little")
+        )
+        report = log.recover_report(image)
+        kinds = [d.kind for d in report.quarantined]
+        assert kinds[0] == "committed-size"
+        # recover() on the same image raises instead.
+        from repro.errors import RecoveryError
+
+        with pytest.raises(RecoveryError):
+            log.recover(image)
+
+
+class TestKvReport:
+    def build(self, pairs):
+        machine, kv = machine_with(lambda m: PersistentKvStore(m, slots=32))
+
+        def body(ctx):
+            for key, value in pairs:
+                yield from kv.put(ctx, key, value)
+
+        machine.spawn(body)
+        machine.run()
+        return kv, snapshot(machine)
+
+    def live_slot_addr(self, kv, image, key):
+        for index in range(kv.slots):
+            addr = kv._slot_addr(index)
+            if (
+                image.read(addr + VALID_OFFSET, 8) == 1
+                and image.read(addr + KEY_OFFSET, 8) == key
+            ):
+                return addr
+        raise AssertionError(f"key {key} not found live")
+
+    def test_clean_image_reports_all_pairs(self):
+        kv, image = self.build([(3, 30), (4, 40)])
+        report = kv.recover_report(image)
+        assert report.state == {3: 30, 4: 40}
+        assert report.quarantined == ()
+
+    def test_value_flip_quarantines_the_slot(self):
+        kv, image = self.build([(3, 30), (4, 40)])
+        addr = self.live_slot_addr(kv, image, 3)
+        image.flip_bits(addr + VALUE_OFFSET, 0x4)
+        report = kv.recover_report(image)
+        assert report.state == {4: 40}
+        assert [d.kind for d in report.quarantined] == ["checksum"]
+        # The trusting recover() returns the wrong value silently —
+        # exactly the exposure recover_report exists to close.
+        assert kv.recover(image)[3] != 30
+
+    def test_checksum_flip_quarantines_without_losing_others(self):
+        kv, image = self.build([(3, 30), (4, 40)])
+        addr = self.live_slot_addr(kv, image, 4)
+        image.flip_bits(addr + CHECKSUM_OFFSET, 0x1)
+        report = kv.recover_report(image)
+        assert report.state == {3: 30}
+        assert [d.kind for d in report.quarantined] == ["checksum"]
+
+    def test_unknown_valid_flag_quarantined(self):
+        kv, image = self.build([(3, 30)])
+        addr = self.live_slot_addr(kv, image, 3)
+        image.apply_raw(addr + VALID_OFFSET, (7).to_bytes(8, "little"))
+        report = kv.recover_report(image)
+        assert report.state == {}
+        assert [d.kind for d in report.quarantined] == ["valid-flag"]
+
+    def test_reserved_key_quarantined(self):
+        kv, image = self.build([(3, 30)])
+        addr = self.live_slot_addr(kv, image, 3)
+        image.apply_raw(addr + KEY_OFFSET, (0).to_bytes(8, "little"))
+        report = kv.recover_report(image)
+        assert report.state == {}
+        assert [d.kind for d in report.quarantined] == ["reserved-key"]
+
+
+class TestMiniFsReport:
+    def build(self, files):
+        machine, fs = machine_with(lambda m: MiniFs(m))
+
+        def body(ctx):
+            for name, data in files:
+                yield from fs.create(ctx, name, data)
+
+        machine.spawn(body)
+        machine.run()
+        return fs, snapshot(machine)
+
+    def slot_of(self, fs, image, name):
+        hashed = name_hash(name)
+        for slot in range(fs._dir_slots):
+            addr = fs._entry_addr(slot)
+            if (
+                image.read(addr + ENTRY_REF, 8) != 0
+                and image.read(addr + ENTRY_NAME, 8) == hashed
+            ):
+                return slot, addr
+        raise AssertionError(f"{name} not found in directory")
+
+    def test_clean_mount_reports_all_files(self):
+        files = [("alpha", b"a" * 100), ("beta", b"b" * 200)]
+        fs, image = self.build(files)
+        report = fs.recover_report(image)
+        assert {
+            h: f.data for h, f in report.state.items()
+        } == {name_hash(n): d for n, d in files}
+        assert report.quarantined == ()
+
+    def test_data_flip_quarantines_the_file(self):
+        fs, image = self.build([("alpha", b"a" * 100), ("beta", b"b" * 64)])
+        _, entry_addr = self.slot_of(fs, image, "alpha")
+        ref = image.read(entry_addr + ENTRY_REF, 8)
+        inode_addr = fs._inode_addr(ref - 1)
+        pointer = image.read(inode_addr + INODE_BLOCKS, 8)
+        image.flip_bits(fs._block_addr(pointer - 1), 0x10)
+        report = fs.recover_report(image)
+        assert set(report.state) == {name_hash("beta")}
+        assert [d.kind for d in report.quarantined] == ["entry"]
+        assert "checksum" in report.quarantined[0].detail
+
+    def test_name_flip_is_detected_not_misbound(self):
+        """A bit flip in a directory entry's name word must not mount
+        the file under a different name — the name-binding checksum
+        catches it."""
+        fs, image = self.build([("alpha", b"a" * 100)])
+        _, entry_addr = self.slot_of(fs, image, "alpha")
+        image.flip_bits(entry_addr + ENTRY_NAME, 0x2)
+        report = fs.recover_report(image)
+        assert report.state == {}
+        assert [d.kind for d in report.quarantined] == ["entry"]
+        assert "mis-bound name" in report.quarantined[0].detail
+
+    def test_ref_swap_to_other_valid_inode_detected(self):
+        """Pointing one entry's ref at another file's (valid) inode is
+        caught: the inode checksum binds the *original* name."""
+        fs, image = self.build([("alpha", b"a" * 100), ("beta", b"b" * 64)])
+        _, alpha_addr = self.slot_of(fs, image, "alpha")
+        _, beta_addr = self.slot_of(fs, image, "beta")
+        beta_ref = image.read(beta_addr + ENTRY_REF, 8)
+        image.apply_raw(
+            alpha_addr + ENTRY_REF, beta_ref.to_bytes(8, "little")
+        )
+        report = fs.recover_report(image)
+        assert set(report.state) == {name_hash("beta")}
+        kinds = sorted(d.kind for d in report.quarantined)
+        assert kinds in (["entry"], ["duplicate", "entry"])
+
+    def test_cleared_ref_means_file_absent_not_quarantined(self):
+        """ref=0 is the unpublished encoding: the file legally never
+        happened (dropped-persist semantics), so nothing is flagged."""
+        fs, image = self.build([("alpha", b"a" * 100), ("beta", b"b" * 64)])
+        _, alpha_addr = self.slot_of(fs, image, "alpha")
+        image.apply_raw(alpha_addr + ENTRY_REF, (0).to_bytes(8, "little"))
+        report = fs.recover_report(image)
+        assert set(report.state) == {name_hash("beta")}
+        assert report.quarantined == ()
+
+
+class TestQueueReport:
+    @pytest.fixture(scope="class")
+    def finished(self):
+        return run_insert_workload(
+            design="cwl", threads=1, inserts_per_thread=4, seed=11
+        )
+
+    def image_of(self, finished):
+        return NvramImage.from_region(
+            finished.machine.memory.region("persistent"), blank=False
+        )
+
+    def test_clean_image_reports_entries(self, finished):
+        report = queue_recover_report(
+            self.image_of(finished), finished.queue.base
+        )
+        assert len(report.state) == 4
+        assert report.quarantined == ()
+
+    def test_corrupt_geometry_quarantines_whole_queue(self, finished):
+        image = self.image_of(finished)
+        image.flip_bits(finished.queue.base, 0x1)  # magic word
+        report = queue_recover_report(image, finished.queue.base)
+        assert report.state == []
+        assert [d.kind for d in report.quarantined] == ["geometry"]
+
+    def test_inconsistent_head_tail_quarantined(self, finished):
+        image = self.image_of(finished)
+        base = finished.queue.base
+        head = image.read(base + HEAD_OFFSET, 8)
+        image.apply_raw(
+            base + TAIL_OFFSET, (head + 8).to_bytes(8, "little")
+        )
+        report = queue_recover_report(image, base)
+        assert report.state == []
+        assert [d.kind for d in report.quarantined] == ["head-tail"]
+
+    def test_payload_corruption_is_the_documented_blind_spot(self, finished):
+        """No per-entry checksum in the paper's wire format: a payload
+        bit flip recovers structurally fine with wrong bytes.  This is
+        the unhardened baseline the fault campaign measures."""
+        image = self.image_of(finished)
+        clean = queue_recover_report(image, finished.queue.base)
+        first = clean.state[0]
+        # Flip one payload bit of the first recovered entry.
+        from repro.queue.layout import DATA_OFFSET as QUEUE_DATA_OFFSET
+        from repro.queue.layout import LENGTH_FIELD_SIZE
+
+        image.flip_bits(
+            finished.queue.base
+            + QUEUE_DATA_OFFSET
+            + first.offset % finished.queue.capacity
+            + LENGTH_FIELD_SIZE,
+            0x1,
+        )
+        report = queue_recover_report(image, finished.queue.base)
+        assert report.quarantined == ()
+        assert report.state[0].payload != first.payload
