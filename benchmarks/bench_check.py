@@ -1,0 +1,161 @@
+"""Model-checker benchmark: DPOR + dedup vs. brute-force enumeration.
+
+The workload is the two-thread 10-step publish idiom from the issue's
+acceptance bar: a writer fills a two-word record, refreshes a shared
+status word, and publishes a flag *without* a persist barrier; a
+scrubber refreshes its own mirror word and touches the shared status
+word once (the cross-thread conflict that keeps the schedule tree
+non-trivial).  Each thread takes 11 scheduler steps, so brute force
+would execute ``C(22, 11) = 705,432`` interleavings; the checker must
+find the missing-barrier violations while executing at most 10% of
+that — in practice a few dozen — and re-imaging at most 25% of the
+cuts it checks (the idempotent refreshes make most cut contents
+collide, which is exactly what the content memo exploits).
+
+A scaled-down variant (one refresh each) is small enough to enumerate
+exhaustively, tying the reduced run's violation set to ground truth in
+the same file that records the reduction ratios.
+"""
+
+import json
+import math
+
+from repro.check import CheckConfig, check_build
+from repro.errors import RecoveryError
+from repro.sim import Machine
+
+#: Step budget of the acceptance-bar idiom: 10 stores per thread.
+FULL_REFRESHES = 7
+FULL_MIRRORS = 9
+
+#: The issue's acceptance thresholds.
+MAX_SCHEDULE_FRACTION = 0.10
+MAX_IMAGING_FRACTION = 0.25
+
+
+def idiom_factory(refreshes, mirrors):
+    """The publish idiom at a tunable step count.
+
+    The writer performs ``2 + refreshes + 1`` stores, the scrubber
+    ``mirrors + 1``; both touch the shared status word with the same
+    value, so the refreshes commute without being free of conflicts.
+    """
+
+    def build(scheduler):
+        machine = Machine(scheduler=scheduler)
+        base = machine.persistent_heap.malloc(256)
+        machine.record_base = base
+        rec, flag, status, mirror = base, base + 32, base + 40, base + 128
+
+        def writer(ctx):
+            yield from ctx.store(rec, 0xAAAA)
+            yield from ctx.store(rec + 8, 0xBBBB)
+            for _ in range(refreshes):
+                yield from ctx.store(status, 1)
+            yield from ctx.store(flag, 1)  # publish without a barrier
+
+        def scrubber(ctx):
+            for _ in range(mirrors):
+                yield from ctx.store(mirror, 1)
+            yield from ctx.store(status, 1)
+
+        machine.spawn(writer)
+        machine.spawn(scrubber)
+        return machine
+
+    return build
+
+
+def check_publication(image, machine):
+    """A published record (flag set) must never be torn."""
+    base = machine.record_base
+    if image.read(base + 32, 8) == 1:
+        if image.read(base, 8) != 0xAAAA or image.read(base + 8, 8) != 0xBBBB:
+            raise RecoveryError("published record is torn")
+
+
+def schedule_steps(refreshes, mirrors):
+    """Scheduler decisions brute force would branch over: each thread
+    takes stores+1 steps (THREAD_BEGIN; THREAD_END shares the last)."""
+    writer = 2 + refreshes + 1 + 1
+    scrubber = mirrors + 1 + 1
+    return writer, scrubber
+
+
+def exhaustive_count(refreshes, mirrors):
+    """Brute-force interleavings, computed combinatorially."""
+    writer, scrubber = schedule_steps(refreshes, mirrors)
+    return math.comb(writer + scrubber, scrubber)
+
+
+def test_check_beats_brute_force(out_dir, benchmark):
+    full = idiom_factory(FULL_REFRESHES, FULL_MIRRORS)
+    exhaustive = exhaustive_count(FULL_REFRESHES, FULL_MIRRORS)
+    assert exhaustive == math.comb(22, 11) == 705_432
+
+    result = check_build(
+        full, check_publication, CheckConfig(max_schedules=None)
+    )
+    stats = result.stats
+
+    # The checker must find the missing barrier under the relaxed
+    # models (strict persistency orders the publish by program order).
+    assert not result.ok
+    models = {key[0] for key in result.distinct}
+    assert models == {"epoch", "strand"}
+
+    # Acceptance bar: <= 10% of brute force's schedules; in practice
+    # the class count is minuscule, so pin an order of magnitude too.
+    assert stats.executions <= MAX_SCHEDULE_FRACTION * exhaustive
+    assert stats.executions <= 64
+
+    # Acceptance bar: <= 25% of checked cuts re-imaged.
+    assert stats.cuts_imaged <= MAX_IMAGING_FRACTION * stats.cuts_checked
+    assert stats.cut_memo_hits > 0
+
+    # Ground truth on the scaled-down idiom: unreduced enumeration of
+    # every interleaving must report the identical violation set.
+    small = idiom_factory(1, 1)
+    reduced = check_build(
+        small, check_publication, CheckConfig(max_schedules=None)
+    )
+    brute = check_build(
+        small,
+        check_publication,
+        CheckConfig(max_schedules=None, reduction="none"),
+    )
+    assert brute.stats.schedules == exhaustive_count(1, 1) == math.comb(8, 3)
+    assert set(reduced.distinct) == set(brute.distinct)
+    assert reduced.stats.schedules < brute.stats.schedules
+
+    (out_dir / "check_reduction.json").write_text(
+        json.dumps(
+            {
+                "exhaustive_schedules": exhaustive,
+                "explored_schedules": stats.schedules,
+                "executions": stats.executions,
+                "sleep_blocked": stats.sleep_blocked,
+                "schedule_fraction": stats.executions / exhaustive,
+                "cuts_checked": stats.cuts_checked,
+                "cuts_imaged": stats.cuts_imaged,
+                "cut_memo_hits": stats.cut_memo_hits,
+                "imaging_ratio": stats.imaging_ratio,
+                "dags_analyzed": stats.dags_analyzed,
+                "dags_deduped": stats.dags_deduped,
+                "distinct_violations": len(result.distinct),
+                "small_idiom": {
+                    "brute_schedules": brute.stats.schedules,
+                    "reduced_schedules": reduced.stats.schedules,
+                    "violations_agree": True,
+                },
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+    benchmark(
+        lambda: check_build(
+            full, check_publication, CheckConfig(max_schedules=None)
+        )
+    )

@@ -1,0 +1,55 @@
+"""Bounded persistency model checking with partial-order reduction.
+
+``repro.check`` replaces brute-force schedule enumeration
+(:mod:`repro.verify.explore`, which it also powers underneath) with a
+stateless DPOR engine plus persist-DAG/cut canonicalization, turning
+"we enumerated every interleaving" into "we verified every equivalence
+class exactly once" — same violation sets, a fraction of the work.
+"""
+
+from repro.check.canonical import canonical_dag_key, canonical_ids
+from repro.check.checker import (
+    DEFAULT_MODELS,
+    CheckConfig,
+    CheckResult,
+    CheckStats,
+    CheckViolation,
+    check_build,
+    check_runs,
+    check_target,
+)
+from repro.check.engine import (
+    REDUCTIONS,
+    Engine,
+    EngineStats,
+    ExplorationLimitError,
+    ExploredRun,
+)
+from repro.check.shard import (
+    ShardReport,
+    check_shard_worker,
+    check_target_sharded,
+    enumerate_prefixes,
+)
+
+__all__ = [
+    "Engine",
+    "EngineStats",
+    "ExploredRun",
+    "ExplorationLimitError",
+    "REDUCTIONS",
+    "canonical_ids",
+    "canonical_dag_key",
+    "CheckConfig",
+    "CheckStats",
+    "CheckViolation",
+    "CheckResult",
+    "check_build",
+    "check_runs",
+    "check_target",
+    "DEFAULT_MODELS",
+    "ShardReport",
+    "check_shard_worker",
+    "check_target_sharded",
+    "enumerate_prefixes",
+]

@@ -1,0 +1,67 @@
+"""Canonical hashing of persist DAGs and cuts.
+
+Two Mazurkiewicz-equivalent interleavings produce persist DAGs that are
+isomorphic but not identical: persist ids (``pid``) are assigned in
+trace order, which differs between equivalent traces.  What *is*
+invariant is each persist's position within its own thread — per-thread
+persist order is program order, which commuting independent steps never
+changes.  Renaming every node to ``(thread, k)`` ("the k-th persist of
+thread t") therefore maps equivalent DAGs onto the *same* labelled
+graph, and hashing that labelled graph yields a key under which
+equivalent interleavings collide exactly.
+
+The checker uses these keys two ways: ``canonical_dag_key`` deduplicates
+whole (interleaving, model) verification jobs across schedules, and
+:func:`repro.core.recovery.cut_content_key` deduplicates individual
+failure images within one.  Equal DAG keys mean equal node sets, writes,
+and dependence edges — hence equal consistent-cut families and equal
+failure images from any common base — so one verification covers every
+colliding schedule.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Tuple
+
+from repro.core.lattice import GraphDomain
+
+
+def canonical_ids(graph: GraphDomain) -> Dict[int, Tuple[int, int]]:
+    """Map each pid to its interleaving-invariant ``(thread, k)`` name.
+
+    ``k`` counts the persists of the node's thread in pid order, which
+    is trace order and therefore program order within one thread.
+    """
+    per_thread: Dict[int, int] = {}
+    names: Dict[int, Tuple[int, int]] = {}
+    for node in graph.nodes:
+        k = per_thread.get(node.thread, 0)
+        per_thread[node.thread] = k + 1
+        names[node.pid] = (node.thread, k)
+    return names
+
+
+def canonical_dag_key(graph: GraphDomain) -> str:
+    """Content hash of the persist DAG under canonical node names.
+
+    The digest covers, for every node in sorted canonical order: its
+    name, its byte writes in occurrence order, and its immediate
+    dependence frontier (sorted canonical names).  Two graphs share a
+    key iff they are equal after renaming — which for graphs produced
+    by equivalent interleavings means they order and write persistent
+    memory identically.
+    """
+    names = canonical_ids(graph)
+    records = []
+    for node in graph.nodes:
+        writes = tuple(
+            (addr, bytes(data).hex()) for addr, data in node.writes
+        )
+        deps = tuple(sorted(names[dep] for dep in node.deps))
+        records.append((names[node.pid], writes, deps))
+    records.sort()
+    digest = hashlib.sha256()
+    for name, writes, deps in records:
+        digest.update(repr((name, writes, deps)).encode("utf-8"))
+    return digest.hexdigest()

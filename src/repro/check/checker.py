@@ -1,0 +1,387 @@
+"""The persistency model checker: DPOR exploration × deduplicated cuts.
+
+Ties the pieces together: the DPOR engine (:mod:`repro.check.engine`)
+enumerates one execution per schedule-equivalence class; each execution
+is analyzed into a persist DAG per persistency model; canonical DAG
+hashing (:mod:`repro.check.canonical`) skips whole verification jobs
+whose DAG an earlier schedule already produced; and within a schedule,
+cut images are memoized by content hash
+(:func:`repro.core.recovery.cut_content_key`) so byte-identical failure
+states are imaged and checked once.
+
+Deduplication soundness:
+
+* *DAG dedup (cross-schedule, per model)*: equal canonical DAG keys mean
+  equal persists, writes, and dependence edges — the recovery observer's
+  whole input — so the earlier schedule's verdicts cover this one.  This
+  assumes the recovery checker is a function of the failure image and
+  the target's ground truth, which equal traces… equal DAGs guarantee
+  for the persistent state; targets whose check depends on *volatile*
+  results of the run are still covered because equal DAGs from the same
+  program arise from executions related by commuting independent steps,
+  which reach the same final state.
+* *Cut memo (within schedule, across models and cuts)*: the checker and
+  ground truth are fixed for one execution, so equal image bytes give
+  equal verdicts regardless of which model's DAG produced the cut.  A
+  memo hit that was a violation is *re-recorded* under the current
+  model — distinct violation sets per model are preserved exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.analysis import analyze_graph
+from repro.core.recovery import (
+    cut_content_key,
+    enumerate_cuts,
+    image_at_cut,
+    minimal_cut,
+)
+from repro.check.canonical import canonical_dag_key
+from repro.check.engine import Engine, EngineStats
+from repro.errors import RecoveryError
+from repro.memory.nvram import NvramImage
+from repro.sim.machine import Machine
+from repro.sim.scheduler import Scheduler
+
+#: Persistency models checked when the caller does not choose.
+DEFAULT_MODELS = ("strict", "epoch", "strand")
+
+#: Occurrence records kept per result; distinct violations are unbounded.
+MAX_RECORDED_VIOLATIONS = 1_000
+
+
+@dataclass(frozen=True)
+class CheckConfig:
+    """Knobs of one model-checking run."""
+
+    models: Tuple[str, ...] = DEFAULT_MODELS
+    max_schedules: Optional[int] = 20_000
+    max_cuts_per_graph: int = 4_096
+    stop_at_first: bool = False
+    reduction: str = "dpor"
+    forced_prefix: Tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class CheckViolation:
+    """One recovery-check failure found by the checker.
+
+    ``key()`` is the violation's schedule-independent identity: the
+    model, the canonical DAG, the cut's image content, and the error.
+    Occurrences in other (equivalent or distinct) schedules reuse it.
+    """
+
+    schedule_index: int
+    model: str
+    cut: Tuple[int, ...]
+    error: str
+    choices: Tuple[int, ...]
+    dag_key: str
+    cut_key: str
+
+    def key(self) -> Tuple[str, str, str, str]:
+        """Deduplication identity (model, dag, cut content, error)."""
+        return (self.model, self.dag_key, self.cut_key, self.error)
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-safe record (shard wire format / corpus export input)."""
+        return {
+            "schedule_index": self.schedule_index,
+            "model": self.model,
+            "cut": list(self.cut),
+            "error": self.error,
+            "choices": list(self.choices),
+            "dag_key": self.dag_key,
+            "cut_key": self.cut_key,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "CheckViolation":
+        """Rebuild a violation from :meth:`describe` output."""
+        return cls(
+            schedule_index=int(payload["schedule_index"]),
+            model=str(payload["model"]),
+            cut=tuple(int(pid) for pid in payload["cut"]),
+            error=str(payload["error"]),
+            choices=tuple(int(c) for c in payload["choices"]),
+            dag_key=str(payload["dag_key"]),
+            cut_key=str(payload["cut_key"]),
+        )
+
+
+@dataclass
+class CheckStats:
+    """Work and savings counters for one checking run."""
+
+    schedules: int = 0
+    executions: int = 0
+    sleep_blocked: int = 0
+    dags_analyzed: int = 0
+    dags_deduped: int = 0
+    cuts_checked: int = 0
+    cuts_imaged: int = 0
+    cut_memo_hits: int = 0
+    violation_occurrences: int = 0
+    engine: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def imaging_ratio(self) -> float:
+        """Fraction of checked cuts that needed a fresh image."""
+        if not self.cuts_checked:
+            return 0.0
+        return self.cuts_imaged / self.cuts_checked
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-safe summary (for shard merging and ``--stats``)."""
+        return {
+            "schedules": self.schedules,
+            "executions": self.executions,
+            "sleep_blocked": self.sleep_blocked,
+            "dags_analyzed": self.dags_analyzed,
+            "dags_deduped": self.dags_deduped,
+            "cuts_checked": self.cuts_checked,
+            "cuts_imaged": self.cuts_imaged,
+            "cut_memo_hits": self.cut_memo_hits,
+            "violation_occurrences": self.violation_occurrences,
+            "engine": dict(self.engine),
+        }
+
+    def merge(self, other: Dict[str, object]) -> None:
+        """Fold another run's :meth:`describe` payload into this one."""
+        for name in (
+            "schedules",
+            "executions",
+            "sleep_blocked",
+            "dags_analyzed",
+            "dags_deduped",
+            "cuts_checked",
+            "cuts_imaged",
+            "cut_memo_hits",
+            "violation_occurrences",
+        ):
+            setattr(self, name, getattr(self, name) + int(other[name]))
+        for key, value in dict(other.get("engine", {})).items():
+            if key in ("max_depth", "branching_max"):
+                self.engine[key] = max(self.engine.get(key, 0), int(value))
+            else:
+                self.engine[key] = self.engine.get(key, 0) + int(value)
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one model-checking run."""
+
+    stats: CheckStats
+    violations: List[CheckViolation] = field(default_factory=list)
+    #: First occurrence of each distinct violation, by :meth:`CheckViolation.key`.
+    distinct: Dict[Tuple[str, str, str, str], CheckViolation] = field(
+        default_factory=dict
+    )
+
+    @property
+    def ok(self) -> bool:
+        """True when no violation was found."""
+        return not self.distinct
+
+    def summary_lines(self) -> List[str]:
+        """The ``repro check`` summary table, one row per line."""
+        stats = self.stats
+        rows = [
+            ("schedules explored", str(stats.schedules)),
+            ("sleep-set aborts", str(stats.sleep_blocked)),
+            (
+                "persist DAGs analyzed",
+                f"{stats.dags_analyzed} ({stats.dags_deduped} deduped)",
+            ),
+            (
+                "cuts checked",
+                f"{stats.cuts_checked} ({stats.cut_memo_hits} memo hits, "
+                f"{stats.dags_deduped} DAGs skipped)",
+            ),
+            (
+                "cut images materialized",
+                f"{stats.cuts_imaged} "
+                f"({100.0 * stats.imaging_ratio:.1f}% of checked)",
+            ),
+            (
+                "violations",
+                f"{len(self.distinct)} distinct "
+                f"({stats.violation_occurrences} occurrences)",
+            ),
+        ]
+        width = max(len(label) for label, _ in rows)
+        return [f"  {label.ljust(width)}  {value}" for label, value in rows]
+
+
+def _record(
+    result: CheckResult, violation: CheckViolation
+) -> None:
+    """Count an occurrence; keep the first of each distinct violation."""
+    result.stats.violation_occurrences += 1
+    key = violation.key()
+    if key not in result.distinct:
+        result.distinct[key] = violation
+    if len(result.violations) < MAX_RECORDED_VIOLATIONS:
+        result.violations.append(violation)
+
+
+def _cuts_for(graph, max_cuts: int) -> List[frozenset]:
+    """Every consistent cut, or each persist's minimal cut over the limit.
+
+    Mirrors ``exhaustively_verify``'s fallback so the checker and the
+    legacy explorer agree on coverage of oversized graphs.
+    """
+    try:
+        return list(enumerate_cuts(graph, limit=max_cuts))
+    except RecoveryError:
+        return [minimal_cut(graph, pid) for pid in range(len(graph.nodes))]
+
+
+def check_runs(
+    run: Callable[[Scheduler], object],
+    trace_of: Callable[[object], object],
+    base_of: Callable[[object], NvramImage],
+    checker_of: Callable[[object], Callable[[NvramImage], None]],
+    config: Optional[CheckConfig] = None,
+) -> CheckResult:
+    """Model-check an arbitrary program adapter.
+
+    ``run(scheduler)`` executes the program once; ``trace_of`` /
+    ``base_of`` / ``checker_of`` project the trace, base NVRAM image,
+    and recovery checker out of its result.  This is the engine room
+    under :func:`check_build` and :func:`check_target`.
+    """
+    config = config or CheckConfig()
+    engine = Engine(
+        run,
+        reduction=config.reduction,
+        forced_prefix=config.forced_prefix,
+        max_schedules=config.max_schedules,
+    )
+    result = CheckResult(stats=CheckStats())
+    seen_dags: Dict[str, Set[str]] = {model: set() for model in config.models}
+    stop = False
+    for explored in engine.explore():
+        trace = trace_of(explored.result)
+        base = base_of(explored.result)
+        check = checker_of(explored.result)
+        memo: Dict[str, Optional[str]] = {}
+        for model in config.models:
+            graph = analyze_graph(trace, model).graph
+            result.stats.dags_analyzed += 1
+            dag_key = canonical_dag_key(graph)
+            if dag_key in seen_dags[model]:
+                result.stats.dags_deduped += 1
+                continue
+            seen_dags[model].add(dag_key)
+            for cut in _cuts_for(graph, config.max_cuts_per_graph):
+                result.stats.cuts_checked += 1
+                cut_key = cut_content_key(graph, cut)
+                if cut_key in memo:
+                    result.stats.cut_memo_hits += 1
+                    error = memo[cut_key]
+                else:
+                    image = image_at_cut(graph, cut, base, check=False)
+                    result.stats.cuts_imaged += 1
+                    try:
+                        check(image)
+                        error = None
+                    except Exception as exc:  # noqa: BLE001 - reported, not hidden
+                        error = str(exc)
+                    memo[cut_key] = error
+                if error is not None:
+                    _record(
+                        result,
+                        CheckViolation(
+                            schedule_index=explored.index,
+                            model=model,
+                            cut=tuple(sorted(cut)),
+                            error=error,
+                            choices=explored.choices,
+                            dag_key=dag_key,
+                            cut_key=cut_key,
+                        ),
+                    )
+                    if config.stop_at_first:
+                        stop = True
+                        break
+            if stop:
+                break
+        if stop:
+            break
+    _fold_engine_stats(result.stats, engine.stats)
+    return result
+
+
+def _fold_engine_stats(stats: CheckStats, engine_stats: EngineStats) -> None:
+    """Copy engine counters into the check-level stats."""
+    stats.schedules = engine_stats.schedules
+    stats.executions = engine_stats.executions
+    stats.sleep_blocked = engine_stats.sleep_blocked
+    stats.engine = engine_stats.describe()
+
+
+def check_build(
+    build: Callable[[Scheduler], Machine],
+    check: Callable[[NvramImage, Machine], None],
+    config: Optional[CheckConfig] = None,
+    base_image: Optional[Callable[[Machine], NvramImage]] = None,
+) -> CheckResult:
+    """Model-check a machine-factory program.
+
+    The counterpart of ``repro.verify.exhaustively_verify`` on the new
+    engine: ``build(scheduler)`` constructs the machine, ``check(image,
+    machine)`` raises on a recovery violation, and ``base_image`` (when
+    given) supplies pre-workload durable state.
+    """
+
+    def run(scheduler: Scheduler):
+        machine = build(scheduler)
+        trace = machine.run()
+        return trace, machine
+
+    def base_of(result) -> NvramImage:
+        machine = result[1]
+        if base_image is not None:
+            return base_image(machine)
+        region = machine.memory.region("persistent")
+        return NvramImage.from_region(region, blank=True)
+
+    def checker_of(result) -> Callable[[NvramImage], None]:
+        machine = result[1]
+        return lambda image: check(image, machine)
+
+    return check_runs(
+        run,
+        trace_of=lambda result: result[0],
+        base_of=base_of,
+        checker_of=checker_of,
+        config=config,
+    )
+
+
+def check_target(
+    target: str,
+    threads: int,
+    ops: int,
+    config: Optional[CheckConfig] = None,
+) -> CheckResult:
+    """Model-check a registered fuzz target at a fixed program size.
+
+    Reuses the exact fuzz pipeline (``FuzzTarget.build`` → trace, base
+    image, recovery checker), so a violation found here is replayable by
+    ``repro fuzz replay`` once exported to a corpus.
+    """
+    from repro.fuzz.targets import make_target
+
+    fuzz_target = make_target(target)
+    return check_runs(
+        lambda scheduler: fuzz_target.build(threads, ops, scheduler),
+        trace_of=lambda run: run.trace,
+        base_of=lambda run: run.base_image,
+        checker_of=lambda run: run.check,
+        config=config,
+    )

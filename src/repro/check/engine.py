@@ -1,0 +1,422 @@
+"""Stateless schedule exploration with dynamic partial-order reduction.
+
+The engine enumerates interleavings of a deterministic simulated program
+by re-executing it under engine-controlled schedules (machines are cheap
+and deterministic, so re-execution replaces state snapshotting).  Two
+reduction modes share one DFS driver:
+
+* ``"none"`` — plain exhaustive DFS over the scheduler-choice tree; every
+  interleaving is executed.  This mode backs the legacy
+  ``repro.verify.explore_schedules`` API.
+* ``"dpor"`` — Flanagan/Godefroid dynamic partial-order reduction with
+  sleep sets: one execution per Mazurkiewicz equivalence class (plus a
+  bounded number of sleep-set-blocked aborts), where equivalence is
+  commutation of adjacent independent steps under the block-granularity
+  conflict relation (:mod:`repro.core.independence`).
+
+Soundness notes, in the order they matter:
+
+* Footprints (:mod:`repro.sim.introspect`) may *over*-approximate what a
+  step touches (TSO flush uncertainty, failed CAS).  The engine uses the
+  same over-approximated relation for race detection, happens-before
+  clocks, and sleep-set filtering, so the reduction is exact for a
+  coarser-than-true dependence relation — a sound over-approximation
+  that only costs extra executions, never missed classes.
+* The conflict granularity equals the analysis tracking granularity, so
+  equivalent interleavings produce identical traces up to commuting
+  independent steps — and therefore identical persist DAGs, the property
+  ``repro.check.checker`` deduplicates on.
+* Race detection runs at every fresh state for *every* unfinished
+  agent's next step, including currently-disabled waiting threads (their
+  pending read is knowable without execution); when the racing agent is
+  not enabled at the backtrack point the whole enabled set is added
+  (Flanagan/Godefroid's conservative fallback), which keeps wake-up
+  races sound.
+* With a ``forced_prefix`` (sharded exploration), choices above the
+  fence are pinned: backtrack points that land there are dropped because
+  the sibling prefix is owned — and fully explored — by another shard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.core.independence import ConflictRelation, blocks_of, exploration_relation
+from repro.errors import ReproError
+from repro.sim.introspect import Footprint, agent_footprints
+from repro.sim.scheduler import ReplayableScheduler, Scheduler
+
+#: Exploration modes accepted by :class:`Engine`.
+REDUCTIONS = ("dpor", "none")
+
+
+class ExplorationLimitError(ReproError):
+    """The schedule tree exceeded ``max_schedules``.
+
+    Beyond the message, the exception carries where exploration stood:
+    ``deepest_prefix`` (the choice sequence of the deepest execution
+    reached), ``max_depth``, and branching statistics — enough for a
+    caller to resume with sharding or report how large the tree is.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        deepest_prefix: Sequence[int] = (),
+        max_depth: int = 0,
+        branching_max: int = 0,
+        nodes: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.deepest_prefix: Tuple[int, ...] = tuple(deepest_prefix)
+        self.max_depth = max_depth
+        self.branching_max = branching_max
+        self.nodes = nodes
+
+
+class _SleepSetBlocked(Exception):
+    """Internal control flow: the current execution is provably redundant."""
+
+
+@dataclass
+class EngineStats:
+    """Counters for one exploration.
+
+    ``executions`` counts every program run (complete schedules plus
+    sleep-set-blocked aborts); ``schedules`` only the complete ones.
+    """
+
+    executions: int = 0
+    schedules: int = 0
+    sleep_blocked: int = 0
+    nodes: int = 0
+    max_depth: int = 0
+    deepest_prefix: Tuple[int, ...] = ()
+    branching_max: int = 0
+    branching_sum: int = 0
+    races_detected: int = 0
+    backtrack_points: int = 0
+
+    def describe(self) -> Dict[str, int]:
+        """JSON-safe summary (for shard merging and ``--stats``)."""
+        return {
+            "executions": self.executions,
+            "schedules": self.schedules,
+            "sleep_blocked": self.sleep_blocked,
+            "nodes": self.nodes,
+            "max_depth": self.max_depth,
+            "branching_max": self.branching_max,
+            "branching_sum": self.branching_sum,
+            "races_detected": self.races_detected,
+            "backtrack_points": self.backtrack_points,
+        }
+
+
+@dataclass
+class ExploredRun:
+    """One complete execution produced by :meth:`Engine.explore`."""
+
+    index: int
+    result: object
+    choices: Tuple[int, ...]
+
+
+@dataclass
+class _Node:
+    """One decision point on the current DFS stack."""
+
+    enabled: List[int]
+    footprints: Dict[int, Footprint]
+    sleep: Set[int] = field(default_factory=set)
+    backtrack: Set[int] = field(default_factory=set)
+    done: Set[int] = field(default_factory=set)
+    chosen: Optional[int] = None
+    pinned: bool = False
+
+
+#: A past access record: (agent, agent-local step count, clock vector,
+#: stack depth of the step) — everything race detection needs.
+_Access = Tuple[int, int, Dict[int, int], int]
+
+#: ``run(scheduler)`` builds and executes one instance of the program.
+RunFn = Callable[[Scheduler], object]
+
+
+class Engine:
+    """Depth-first stateless exploration of a program's schedule tree.
+
+    ``run(scheduler)`` must build and execute an *identical* program on
+    every call — same threads, same logic — with only the interleaving
+    controlled by the given scheduler; it returns an arbitrary result
+    (e.g. ``(trace, machine)`` or a ``TargetRun``) that
+    :meth:`explore` passes through.
+    """
+
+    def __init__(
+        self,
+        run: RunFn,
+        reduction: str = "dpor",
+        relation: Optional[ConflictRelation] = None,
+        forced_prefix: Sequence[int] = (),
+        max_schedules: Optional[int] = None,
+    ) -> None:
+        if reduction not in REDUCTIONS:
+            raise ReproError(
+                f"unknown reduction {reduction!r}; expected one of "
+                f"{REDUCTIONS}"
+            )
+        self._run = run
+        self._reduction = reduction
+        self._relation = relation or exploration_relation()
+        self._fence = len(forced_prefix)
+        self._forced = list(forced_prefix)
+        self._max_schedules = max_schedules
+        self.stats = EngineStats()
+        # DFS state persisting across executions.
+        self._stack: List[_Node] = []
+        # Per-execution state.
+        self._depth = 0
+        self._pending_sleep: Set[int] = set()
+        self._clocks: Dict[int, Dict[int, int]] = {}
+        self._counts: Dict[int, int] = {}
+        self._last_write: Dict[object, _Access] = {}
+        self._last_reads: Dict[object, Dict[int, _Access]] = {}
+
+    # -- public API ---------------------------------------------------------
+
+    def explore(self) -> Iterator[ExploredRun]:
+        """Yield one :class:`ExploredRun` per explored complete schedule.
+
+        Raises:
+            ExplorationLimitError: when more than ``max_schedules``
+                complete schedules are produced.
+        """
+        exhausted = False
+        while not exhausted:
+            blocked, result, choices = self._run_once()
+            self.stats.executions += 1
+            exhausted = not self._advance()
+            if blocked:
+                self.stats.sleep_blocked += 1
+                continue
+            self.stats.schedules += 1
+            if (
+                self._max_schedules is not None
+                and self.stats.schedules > self._max_schedules
+            ):
+                raise ExplorationLimitError(
+                    f"more than {self._max_schedules} interleavings; "
+                    f"deepest prefix reached {len(self.stats.deepest_prefix)} "
+                    f"steps, {self.stats.nodes} nodes, max branching "
+                    f"{self.stats.branching_max}",
+                    deepest_prefix=self.stats.deepest_prefix,
+                    max_depth=self.stats.max_depth,
+                    branching_max=self.stats.branching_max,
+                    nodes=self.stats.nodes,
+                )
+            yield ExploredRun(
+                index=self.stats.schedules - 1,
+                result=result,
+                choices=choices,
+            )
+
+    # -- one execution ------------------------------------------------------
+
+    def _run_once(self) -> Tuple[bool, object, Tuple[int, ...]]:
+        """Execute the program once along the current DFS plan."""
+        self._depth = 0
+        self._pending_sleep = set()
+        self._clocks = {}
+        self._counts = {}
+        self._last_write = {}
+        self._last_reads = {}
+        scheduler = ReplayableScheduler(self._choose)
+        try:
+            result = self._run(scheduler)
+        except _SleepSetBlocked:
+            return True, None, ()
+        choices = tuple(scheduler.choices)
+        if len(choices) > len(self.stats.deepest_prefix):
+            self.stats.deepest_prefix = choices
+        return False, result, choices
+
+    def _choose(self, machine: object, runnable: Sequence[int]) -> int:
+        """Scheduler callback: one decision of the current execution."""
+        depth = self._depth
+        if depth < len(self._stack):
+            node = self._stack[depth]
+        elif depth < self._fence:
+            node = self._make_node(machine, runnable, pinned=True)
+            node.chosen = self._forced[depth]
+            self._stack.append(node)
+        else:
+            node = self._make_node(machine, runnable, pinned=False)
+            self._stack.append(node)
+            if self._reduction == "dpor":
+                self._detect_races(node)
+                candidates = [a for a in node.enabled if a not in node.sleep]
+                if not candidates:
+                    raise _SleepSetBlocked()
+                node.chosen = candidates[0]
+            else:
+                node.backtrack.update(node.enabled)
+                node.chosen = node.enabled[0]
+            node.backtrack.add(node.chosen)
+        choice = node.chosen
+        if self._reduction == "dpor":
+            self._pending_sleep = {
+                q
+                for q in node.sleep
+                if q != choice
+                and self._relation.independent(
+                    node.footprints[q], node.footprints[choice]
+                )
+            }
+            self._apply_step(node, choice, depth)
+        self._depth = depth + 1
+        if depth + 1 > self.stats.max_depth:
+            self.stats.max_depth = depth + 1
+        return choice
+
+    def _make_node(
+        self, machine: object, runnable: Sequence[int], pinned: bool
+    ) -> _Node:
+        """Materialise the decision point for the machine's current state."""
+        self.stats.nodes += 1
+        enabled = sorted(runnable)
+        self.stats.branching_sum += len(enabled)
+        if len(enabled) > self.stats.branching_max:
+            self.stats.branching_max = len(enabled)
+        sleep = set() if pinned else set(self._pending_sleep)
+        return _Node(
+            enabled=enabled,
+            footprints=agent_footprints(machine),
+            sleep=sleep,
+            pinned=pinned,
+        )
+
+    # -- backtracking -------------------------------------------------------
+
+    def _advance(self) -> bool:
+        """Move the DFS plan to the next unexplored branch.
+
+        Returns False when the tree (below the forced-prefix fence) is
+        exhausted.
+        """
+        while len(self._stack) > self._fence:
+            node = self._stack[-1]
+            if node.chosen is not None:
+                node.done.add(node.chosen)
+                node.sleep.add(node.chosen)
+                node.chosen = None
+            candidates = sorted(node.backtrack - node.done - node.sleep)
+            if candidates:
+                node.chosen = candidates[0]
+                node.backtrack.add(node.chosen)
+                return True
+            self._stack.pop()
+        return False
+
+    # -- conflict bookkeeping (dpor mode) -----------------------------------
+
+    def _objects(self, footprint: Footprint) -> Tuple[Set[object], Set[object]]:
+        """(write-objects, read-objects) a footprint touches.
+
+        Objects are tracked blocks plus resource tokens; resources are
+        treated as written (any two touches conflict).
+        """
+        gran = self._relation.tracking_granularity
+        writes: Set[object] = set(blocks_of(footprint.writes, gran))
+        for token in footprint.resources:
+            writes.add(("resource", token))
+        reads: Set[object] = set(blocks_of(footprint.reads, gran))
+        return writes, reads
+
+    def _conflicting_accesses(
+        self, agent: int, footprint: Footprint
+    ) -> List[_Access]:
+        """Past accesses of *other* agents conflicting with a next step."""
+        writes, reads = self._objects(footprint)
+        found: List[_Access] = []
+        for obj in writes:
+            last = self._last_write.get(obj)
+            if last is not None and last[0] != agent:
+                found.append(last)
+            for reader, access in self._last_reads.get(obj, {}).items():
+                if reader != agent:
+                    found.append(access)
+        for obj in reads:
+            last = self._last_write.get(obj)
+            if last is not None and last[0] != agent:
+                found.append(last)
+        return found
+
+    def _detect_races(self, node: _Node) -> None:
+        """FG race detection: every agent's next step vs the prefix."""
+        for agent in sorted(node.footprints):
+            footprint = node.footprints[agent]
+            if footprint.is_local:
+                continue
+            clock = self._clocks.get(agent, {})
+            for other, count, _, access_depth in self._conflicting_accesses(
+                agent, footprint
+            ):
+                if count <= clock.get(other, 0):
+                    continue  # ordered by happens-before: not a race
+                self.stats.races_detected += 1
+                target = self._stack[access_depth]
+                if target.pinned:
+                    continue  # sibling prefix belongs to another shard
+                if agent in target.enabled:
+                    if agent not in target.backtrack:
+                        target.backtrack.add(agent)
+                        self.stats.backtrack_points += 1
+                else:
+                    missing = set(target.enabled) - target.backtrack
+                    if missing:
+                        target.backtrack.update(missing)
+                        self.stats.backtrack_points += len(missing)
+
+    def _apply_step(self, node: _Node, agent: int, depth: int) -> None:
+        """Advance clocks and last-access tables over the chosen step."""
+        footprint = node.footprints[agent]
+        writes, reads = self._objects(footprint)
+        clock = dict(self._clocks.get(agent, {}))
+
+        def join(access: _Access) -> None:
+            for key, value in access[2].items():
+                if value > clock.get(key, 0):
+                    clock[key] = value
+
+        for obj in writes:
+            last = self._last_write.get(obj)
+            if last is not None:
+                join(last)
+            for access in self._last_reads.get(obj, {}).values():
+                join(access)
+        for obj in reads:
+            last = self._last_write.get(obj)
+            if last is not None:
+                join(last)
+        count = self._counts.get(agent, 0) + 1
+        self._counts[agent] = count
+        clock[agent] = count
+        self._clocks[agent] = clock
+        access: _Access = (agent, count, clock, depth)
+        for obj in writes:
+            self._last_write[obj] = access
+            # Earlier reads happen-before this write (they conflict with
+            # it), so later conflicts reach them transitively.
+            self._last_reads.pop(obj, None)
+        for obj in reads:
+            self._last_reads.setdefault(obj, {})[agent] = access

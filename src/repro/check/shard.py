@@ -1,0 +1,213 @@
+"""Prefix-partitioned sharding of the exploration frontier.
+
+A DPOR exploration is a depth-first walk and does not parallelize by
+splitting its *own* frontier (backtrack sets grow dynamically).  What
+does partition cleanly is the *schedule tree itself*: every execution of
+the program extends exactly one scheduler-choice prefix of depth ``d``,
+so enumerating all depth-``d`` prefixes (cheap probe executions — the
+tree's top is tiny) and running one independent DPOR exploration per
+prefix, with that prefix pinned (``forced_prefix``), covers every
+interleaving.  Shards are fanned out over
+:func:`repro.harness.parallel.fan_out` worker processes.
+
+Soundness and cost: each shard explores its subtree exhaustively up to
+equivalence with an *empty* initial sleep set, so the union of shards
+misses nothing; the price is that two shards may re-explore schedules
+that DPOR with global sleep sets would have pruned across the prefix
+boundary — equivalence classes straddling shards are verified once per
+shard.  The merge therefore deduplicates violations by their
+schedule-independent identity and sums per-shard stats, reporting both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.check.checker import (
+    CheckConfig,
+    CheckResult,
+    CheckStats,
+    CheckViolation,
+    check_target,
+)
+from repro.errors import ReproError
+from repro.harness.parallel import fan_out
+from repro.sim.scheduler import ReplayableScheduler, Scheduler
+
+
+class _ProbeStop(Exception):
+    """Internal: carries the enabled set at the probed depth."""
+
+    def __init__(self, enabled: List[int]) -> None:
+        super().__init__("probe")
+        self.enabled = enabled
+
+
+def _enabled_after(
+    run: Callable[[Scheduler], object], prefix: Sequence[int]
+) -> Optional[List[int]]:
+    """The sorted enabled set after replaying ``prefix``, or None when
+    the program finishes within the prefix."""
+    position = {"index": 0}
+
+    def choose(machine: object, runnable: Sequence[int]) -> int:
+        index = position["index"]
+        if index == len(prefix):
+            raise _ProbeStop(sorted(runnable))
+        position["index"] = index + 1
+        return prefix[index]
+
+    try:
+        run(ReplayableScheduler(choose))
+    except _ProbeStop as probe:
+        return probe.enabled
+    return None
+
+
+def enumerate_prefixes(
+    run: Callable[[Scheduler], object], depth: int
+) -> List[Tuple[int, ...]]:
+    """All scheduler-choice prefixes of length ``depth`` of a program.
+
+    Prefixes where the program terminates early are returned at their
+    (shorter) full length.  The full schedule tree is the disjoint union
+    of the subtrees under these prefixes, which is what makes
+    prefix-sharded exploration exhaustive.
+    """
+    if depth < 0:
+        raise ReproError(f"shard depth must be non-negative, got {depth}")
+    frontier: List[Tuple[int, ...]] = [()]
+    complete: List[Tuple[int, ...]] = []
+    for _ in range(depth):
+        extended: List[Tuple[int, ...]] = []
+        for prefix in frontier:
+            enabled = _enabled_after(run, prefix)
+            if enabled is None:
+                complete.append(prefix)
+            else:
+                extended.extend(prefix + (agent,) for agent in enabled)
+        frontier = extended
+        if not frontier:
+            break
+    return complete + frontier
+
+
+@dataclass
+class ShardReport:
+    """Per-shard statistics surfaced next to the merged result."""
+
+    prefix: Tuple[int, ...]
+    stats: Dict[str, object]
+    violations: int
+
+
+def check_shard_worker(task: Dict[str, object]) -> Dict[str, object]:
+    """Run one shard's DPOR exploration (module-level: crosses the
+    process boundary for :func:`repro.harness.parallel.fan_out`).
+
+    ``task`` carries the target coordinates, the pinned prefix, and the
+    bounds; the JSON-safe result carries the shard's stats and distinct
+    violations.  An exploration-limit overrun is reported in-band (the
+    ``error`` field) so the merge can fail loudly with shard context.
+    """
+    config = CheckConfig(
+        models=tuple(str(m) for m in task["models"]),
+        max_schedules=(
+            None if task["max_schedules"] is None else int(task["max_schedules"])
+        ),
+        max_cuts_per_graph=int(task["max_cuts"]),
+        stop_at_first=bool(task["stop_at_first"]),
+        forced_prefix=tuple(int(c) for c in task["prefix"]),
+    )
+    try:
+        result = check_target(
+            str(task["target"]), int(task["threads"]), int(task["ops"]), config
+        )
+    except ReproError as exc:
+        return {"prefix": list(task["prefix"]), "error": str(exc)}
+    return {
+        "prefix": list(task["prefix"]),
+        "error": None,
+        "stats": result.stats.describe(),
+        "violations": [v.describe() for v in result.distinct.values()],
+    }
+
+
+def check_target_sharded(
+    target: str,
+    threads: int,
+    ops: int,
+    config: Optional[CheckConfig] = None,
+    jobs: Optional[int] = None,
+    shard_depth: int = 2,
+) -> Tuple[CheckResult, List[ShardReport]]:
+    """Model-check a target with the schedule tree split across workers.
+
+    Enumerates every depth-``shard_depth`` choice prefix, fans one DPOR
+    exploration per prefix out over ``jobs`` processes, and merges:
+    violations are deduplicated by their schedule-independent key
+    (shards can rediscover the same violation), stats are summed, and
+    per-shard reports are returned for ``--stats``.
+
+    Raises:
+        ReproError: when any shard fails or overruns its schedule bound.
+    """
+    from repro.fuzz.targets import make_target
+
+    config = config or CheckConfig()
+    fuzz_target = make_target(target)
+    prefixes = enumerate_prefixes(
+        lambda scheduler: fuzz_target.build(threads, ops, scheduler),
+        shard_depth,
+    )
+    tasks = [
+        {
+            "target": target,
+            "threads": threads,
+            "ops": ops,
+            "models": list(config.models),
+            "prefix": list(prefix),
+            "max_schedules": config.max_schedules,
+            "max_cuts": config.max_cuts_per_graph,
+            "stop_at_first": config.stop_at_first,
+        }
+        for prefix in prefixes
+    ]
+    merged = CheckResult(stats=CheckStats())
+    reports: List[ShardReport] = []
+    failures: List[str] = []
+
+    def merge(payload: Dict[str, object]) -> None:
+        if payload["error"] is not None:
+            failures.append(
+                f"shard {tuple(payload['prefix'])}: {payload['error']}"
+            )
+            return
+        merged.stats.merge(payload["stats"])
+        shard_violations = [
+            CheckViolation.from_payload(v) for v in payload["violations"]
+        ]
+        for violation in shard_violations:
+            key = violation.key()
+            if key not in merged.distinct:
+                merged.distinct[key] = violation
+                merged.violations.append(violation)
+        reports.append(
+            ShardReport(
+                prefix=tuple(payload["prefix"]),
+                stats=dict(payload["stats"]),
+                violations=len(shard_violations),
+            )
+        )
+
+    def on_failure(task: Dict[str, object], error: str) -> None:
+        failures.append(f"shard {tuple(task['prefix'])}: {error}")
+
+    fan_out(check_shard_worker, tasks, jobs, merge, on_failure=on_failure)
+    if failures:
+        raise ReproError(
+            f"{len(failures)} shard(s) failed: " + "; ".join(sorted(failures))
+        )
+    reports.sort(key=lambda report: report.prefix)
+    return merged, reports

@@ -14,11 +14,12 @@ writing Python::
     repro fuzz run --target kv --faults torn corrupt --checkpoint ckpt/
     repro fuzz replay --corpus-dir .repro-corpus
     repro fuzz minimize .repro-corpus/34624f4bc03739e3.repro.json
+    repro check   --target queue-2lc-faithful --threads 2 --ops 1 --stats
     repro selfcheck
 
 Every command prints to stdout and returns a process exit code; `inject`,
-`races`, `fuzz run`, and `selfcheck` return non-zero when they find
-violations, so they compose with CI.  Under `--faults`, detected and
+`races`, `fuzz run`, `check`, and `selfcheck` return non-zero when they
+find violations, so they compose with CI.  Under `--faults`, detected and
 masked device faults are clean outcomes and documented undetectable
 exposures on unhardened targets exit 0; *silent corruption* — a hardened
 target returning wrong recovered state as good — exits 1 like any other
@@ -32,6 +33,13 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+from repro.check import (
+    DEFAULT_MODELS,
+    REDUCTIONS,
+    CheckConfig,
+    check_target,
+    check_target_sharded,
+)
 from repro.core import (
     AnalysisConfig,
     FailureInjector,
@@ -63,6 +71,7 @@ from repro.fuzz import (
     CaseSpec,
     Corpus,
     Finding,
+    export_check_violations,
     minimize_finding,
     minimize_findings,
     replay_case,
@@ -429,6 +438,71 @@ def cmd_fuzz_minimize(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_check(args: argparse.Namespace) -> int:
+    """Model-check a fuzz target with DPOR + persist-DAG deduplication.
+
+    Explores one execution per schedule-equivalence class (instead of
+    every interleaving), analyzes each under the selected persistency
+    models, deduplicates persist DAGs and cut images by content hash,
+    and checks recovery at every remaining failure state.  With
+    ``--jobs`` above one the schedule tree is prefix-partitioned across
+    worker processes.  Distinct violations are exported to the corpus as
+    replayable repro files (``repro fuzz replay`` / ``minimize``).
+    Returns 1 when violations were found, 0 on a verified-clean target,
+    2 on an exploration-limit overrun or other error.
+    """
+    config = CheckConfig(
+        models=tuple(args.models or DEFAULT_MODELS),
+        max_schedules=args.max_schedules,
+        max_cuts_per_graph=args.max_cuts,
+        stop_at_first=args.stop_at_first,
+        reduction=args.reduction,
+    )
+    reports = []
+    if args.jobs and args.jobs > 1:
+        result, reports = check_target_sharded(
+            args.target,
+            args.threads,
+            args.ops,
+            config,
+            jobs=args.jobs,
+            shard_depth=args.shard_depth,
+        )
+    else:
+        result = check_target(args.target, args.threads, args.ops, config)
+    print(
+        f"checked {args.target} threads={args.threads} ops={args.ops} "
+        f"models={','.join(config.models)}"
+    )
+    for line in result.summary_lines():
+        print(line)
+    if args.stats:
+        for key in sorted(result.stats.engine):
+            print(f"  engine {key}: {result.stats.engine[key]}", file=sys.stderr)
+        for report in reports:
+            print(
+                f"  shard {report.prefix}: "
+                f"{report.stats['schedules']} schedule(s), "
+                f"{report.stats['cuts_checked']} cut(s), "
+                f"{report.violations} violation(s)",
+                file=sys.stderr,
+            )
+    violations = [result.distinct[key] for key in sorted(result.distinct)]
+    for violation in violations:
+        print(
+            f"violation [{violation.model}] schedule "
+            f"{violation.schedule_index} |cut|={len(violation.cut)}: "
+            f"{violation.error}"
+        )
+    if violations and not args.no_export:
+        paths = export_check_violations(
+            args.corpus_dir, args.target, args.threads, args.ops, violations
+        )
+        for path in paths:
+            print(f"exported {path}")
+    return 1 if violations else 0
+
+
 def cmd_selfcheck(args: argparse.Namespace) -> int:
     """Validate the installation end to end in under a minute.
 
@@ -652,6 +726,54 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz_minimize.add_argument("path", help="repro file to re-minimize")
     fuzz_minimize.add_argument("--corpus-dir", default=".repro-corpus")
     fuzz_minimize.set_defaults(handler=cmd_fuzz_minimize)
+
+    check_parser = commands.add_parser("check", help=cmd_check.__doc__)
+    check_parser.add_argument(
+        "--target", required=True, choices=sorted(TARGETS)
+    )
+    check_parser.add_argument("--threads", type=int, default=2)
+    check_parser.add_argument(
+        "--ops", type=int, default=1, help="operations per thread"
+    )
+    check_parser.add_argument(
+        "--model", dest="models", action="append", choices=sorted(MODELS),
+        help="persistency model to check (repeatable; default: "
+        + " ".join(DEFAULT_MODELS) + ")",
+    )
+    check_parser.add_argument(
+        "--max-schedules", type=int, default=20_000,
+        help="abort (exit 2) past this many explored schedules",
+    )
+    check_parser.add_argument(
+        "--max-cuts", type=int, default=4_096,
+        help="per-DAG cut budget before falling back to minimal cuts",
+    )
+    check_parser.add_argument(
+        "--reduction", choices=REDUCTIONS, default="dpor",
+        help="'none' disables DPOR (exhaustive enumeration)",
+    )
+    check_parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (above 1: prefix-sharded exploration)",
+    )
+    check_parser.add_argument(
+        "--shard-depth", type=int, default=2,
+        help="choice-prefix depth that partitions the schedule tree",
+    )
+    check_parser.add_argument(
+        "--stats", action="store_true",
+        help="print engine and per-shard counters to stderr",
+    )
+    check_parser.add_argument(
+        "--stop-at-first", action="store_true",
+        help="stop at the first violation instead of collecting all",
+    )
+    check_parser.add_argument("--corpus-dir", default=".repro-corpus")
+    check_parser.add_argument(
+        "--no-export", action="store_true",
+        help="report violations without writing corpus repro files",
+    )
+    check_parser.set_defaults(handler=cmd_check)
 
     selfcheck_parser = commands.add_parser(
         "selfcheck", help=cmd_selfcheck.__doc__

@@ -1,0 +1,148 @@
+"""Conflict and independence predicates over scheduling-step footprints.
+
+Two scheduling steps are *independent* when executing them in either
+order from the same state yields the same successor state — the relation
+partial-order reduction is built on.  Steps of different agents are
+independent exactly when their footprints
+(:class:`~repro.sim.introspect.Footprint`) do not conflict: no
+write/write or read/write overlap, and no shared global resource (heap
+allocator) mutation.
+
+Overlap is tested at the analysis *tracking granularity* (default: the
+8-byte word, :data:`repro.memory.layout.DEFAULT_TRACKING_GRANULARITY`),
+not at byte level.  This is deliberate: the persist-ordering analysis
+propagates dependences block-by-block at that granularity, so two
+accesses to *different bytes of the same tracked block* still produce
+different persist DAGs depending on their order (persistent false
+sharing, paper Figure 5).  Conflicts coarser than or equal to the
+analysis granularity guarantee that schedule-equivalence under this
+relation implies persist-DAG equality — the property the checker's
+deduplication relies on.
+
+Per-model relations: a :class:`PersistencyModel` can weaken how
+conflicts propagate *persist dependences* (``track_volatile_conflicts``,
+``detect_load_before_store`` — the BPFS variant).  Those per-model
+relations are exported here for analysis and documentation via
+:func:`conflict_relation`, but exploration itself must always use the
+full (model-independent) relation: a volatile race still changes loaded
+*values*, hence control flow, hence the trace and its persist DAG, even
+under a model that ignores volatile conflicts for ordering purposes.
+:func:`exploration_relation` returns that full relation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Optional, Tuple
+
+from repro.core.model import MODELS
+from repro.errors import AnalysisError
+from repro.memory import layout
+from repro.sim.introspect import Footprint, Range
+
+
+def blocks_of(ranges: Iterable[Range], granularity: int) -> FrozenSet[Tuple[int, bool]]:
+    """Tracked (block, persistent) pairs covered by byte ranges.
+
+    Every byte of each (addr, size, persistent) range is mapped to its
+    aligned block index at ``granularity``; the persistent flag rides
+    along so callers can filter address spaces per model.
+    """
+    covered = set()
+    for addr, size, persistent in ranges:
+        first = addr // granularity
+        last = (addr + size - 1) // granularity
+        for block in range(first, last + 1):
+            covered.add((block, persistent))
+    return frozenset(covered)
+
+
+@dataclass(frozen=True)
+class ConflictRelation:
+    """A symmetric conflict predicate between step footprints.
+
+    Attributes:
+        tracking_granularity: block size (bytes) at which overlap is
+            tested; must match the analysis tracking granularity for
+            DAG-equality soundness.
+        track_volatile: when False, overlaps through the volatile
+            address space are ignored (per-model dependence relations
+            only — never use for exploration).
+    """
+
+    tracking_granularity: int = layout.DEFAULT_TRACKING_GRANULARITY
+    track_volatile: bool = True
+
+    def _blocks(self, ranges: Iterable[Range]) -> FrozenSet[Tuple[int, bool]]:
+        covered = blocks_of(ranges, self.tracking_granularity)
+        if self.track_volatile:
+            return covered
+        return frozenset(b for b in covered if b[1])
+
+    def conflicts(self, left: Footprint, right: Footprint) -> bool:
+        """True when the two steps do not commute.
+
+        Write/write and read/write block overlaps conflict; read/read
+        does not.  Sharing any global resource token always conflicts
+        (allocator order determines returned addresses).
+        """
+        if set(left.resources) & set(right.resources):
+            return True
+        lw = self._blocks(left.writes)
+        rw = self._blocks(right.writes)
+        if lw & rw:
+            return True
+        if self._blocks(left.reads) & rw:
+            return True
+        if lw & self._blocks(right.reads):
+            return True
+        return False
+
+    def independent(self, left: Footprint, right: Footprint) -> bool:
+        """Negation of :meth:`conflicts`."""
+        return not self.conflicts(left, right)
+
+
+def exploration_relation(
+    tracking_granularity: int = layout.DEFAULT_TRACKING_GRANULARITY,
+) -> ConflictRelation:
+    """The full conflict relation sound for schedule exploration.
+
+    Model-independent: includes volatile-space conflicts (they steer
+    loaded values and control flow) and all read/write orders.  Use this
+    — and only this — to drive partial-order reduction.
+    """
+    return ConflictRelation(
+        tracking_granularity=tracking_granularity, track_volatile=True
+    )
+
+
+def conflict_relation(
+    model: Optional[str] = None,
+    tracking_granularity: int = layout.DEFAULT_TRACKING_GRANULARITY,
+) -> ConflictRelation:
+    """The conflict relation a persistency model propagates persist
+    dependences over.
+
+    ``model`` is a registry name (``strict``/``epoch``/``bpfs``/
+    ``strand``) or None for the full relation.  Models that ignore
+    volatile conflicts (BPFS) yield a weaker relation — suitable for
+    reasoning about which racing pairs can order *persists*, not for
+    pruning exploration.
+
+    Raises:
+        AnalysisError: for unknown model names.
+    """
+    if model is None:
+        return exploration_relation(tracking_granularity)
+    try:
+        factory = MODELS[model]
+    except KeyError:
+        raise AnalysisError(
+            f"unknown persistency model {model!r}; expected one of "
+            f"{sorted(MODELS)}"
+        ) from None
+    return ConflictRelation(
+        tracking_granularity=tracking_granularity,
+        track_volatile=factory.track_volatile_conflicts,
+    )

@@ -11,9 +11,11 @@ corresponding NVRAM images, which recovery code is then run against.
 
 from __future__ import annotations
 
+import hashlib
 import random
 from collections import deque
-from typing import Deque, FrozenSet, Iterable, Iterator, Optional, Set
+from dataclasses import dataclass
+from typing import Deque, Dict, FrozenSet, Iterable, Iterator, Optional, Set
 
 from repro.core.lattice import GraphDomain
 from repro.errors import RecoveryError
@@ -143,6 +145,78 @@ def enumerate_cuts(
                 if extended not in seen:
                     seen.add(extended)
                     frontier.append(extended)
+
+
+def cut_content_key(graph: GraphDomain, cut: Iterable[int]) -> str:
+    """Content hash of the NVRAM bytes a cut writes over the base image.
+
+    Applies the cut's persists in pid order (a linear extension of
+    persist order, so a legal application order for any consistent cut)
+    and hashes the resulting byte map.  Two cuts with equal keys
+    materialise byte-identical images from any common base, so recovery
+    needs to be checked at only one of them — the deduplication
+    :func:`unique_cuts` and the ``repro.check`` cut memo are built on.
+    """
+    written: Dict[int, int] = {}
+    cut_set = set(cut)
+    for node in graph.nodes:
+        if node.pid in cut_set:
+            for addr, data in node.writes:
+                for offset, byte in enumerate(data):
+                    written[addr + offset] = byte
+    digest = hashlib.sha256()
+    for addr in sorted(written):
+        digest.update(addr.to_bytes(8, "little"))
+        digest.update(written[addr].to_bytes(1, "little"))
+    return digest.hexdigest()
+
+
+@dataclass
+class CutStats:
+    """Deduplication counters for one :func:`unique_cuts` sweep.
+
+    ``enumerated`` counts every consistent cut visited; ``unique`` the
+    distinct content keys among them.  The gap is the re-imaging work a
+    caller skips by checking representatives only.
+    """
+
+    enumerated: int = 0
+    unique: int = 0
+
+    @property
+    def deduplicated(self) -> int:
+        """Cuts skipped because an earlier cut had identical content."""
+        return self.enumerated - self.unique
+
+
+def unique_cuts(
+    graph: GraphDomain,
+    limit: int = 100_000,
+    stats: Optional[CutStats] = None,
+) -> Iterator[FrozenSet[int]]:
+    """Enumerate one representative cut per distinct NVRAM content.
+
+    Wraps :func:`enumerate_cuts`, yielding only the first cut of each
+    :func:`cut_content_key` equivalence class (the smallest, since
+    enumeration is in non-decreasing size order).  Checking recovery at
+    the representatives covers every observable failure image while
+    skipping redundant :func:`image_at_cut` materialisations; pass
+    ``stats`` to observe the enumerated/unique gap.
+
+    Raises:
+        RecoveryError: when more than ``limit`` cuts would be
+            enumerated (same bound as :func:`enumerate_cuts`).
+    """
+    stats = stats if stats is not None else CutStats()
+    seen: Set[str] = set()
+    for cut in enumerate_cuts(graph, limit=limit):
+        stats.enumerated += 1
+        key = cut_content_key(graph, cut)
+        if key in seen:
+            continue
+        seen.add(key)
+        stats.unique += 1
+        yield cut
 
 
 def image_at_cut(

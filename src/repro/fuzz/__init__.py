@@ -36,6 +36,8 @@ from repro.fuzz.corpus import (
     Corpus,
     ReplayResult,
     ReproCase,
+    case_from_check,
+    export_check_violations,
     replay_case,
 )
 from repro.fuzz.minimize import (
@@ -64,7 +66,9 @@ __all__ = [
     "ReproCase",
     "TARGETS",
     "TargetRun",
+    "case_from_check",
     "execute_spec",
+    "export_check_violations",
     "make_target",
     "minimize_finding",
     "minimize_findings",

@@ -26,7 +26,10 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple, Union
+
+if TYPE_CHECKING:  # layering: fuzz only needs the violation's fields
+    from repro.check.checker import CheckViolation
 
 from repro.core.analysis import analyze_graph
 from repro.core.recovery import image_at_cut, is_consistent_cut
@@ -193,6 +196,52 @@ def replay_case(case: ReproCase) -> ReplayResult:
         reproduced=False,
         detail="recovery invariant held at the recorded cut",
     )
+
+
+def case_from_check(
+    target: str, threads: int, ops: int, violation: "CheckViolation"
+) -> ReproCase:
+    """Package one ``repro.check`` violation as a replayable corpus case.
+
+    The checker's recorded choices are scheduler agent ids — exactly
+    what :class:`~repro.sim.scheduler.ReplayScheduler` consumes — so the
+    resulting case replays through the standard ``repro fuzz replay``
+    path; the ``sched``/``sched_seed`` fields are the documented
+    fallback for stale recordings and for re-discovery minimization.
+    """
+    return ReproCase(
+        target=target,
+        threads=threads,
+        ops=ops,
+        sched="random",
+        sched_seed=0,
+        model=violation.model,
+        cut=tuple(violation.cut),
+        choices=tuple(violation.choices),
+        error=violation.error,
+        minimized=False,
+    )
+
+
+def export_check_violations(
+    corpus_dir: _PathLike,
+    target: str,
+    threads: int,
+    ops: int,
+    violations: Iterable["CheckViolation"],
+) -> List[Path]:
+    """Write checker counterexamples into a corpus directory.
+
+    Returns the written paths (content-addressed, so re-exporting the
+    same violations is idempotent).  ``repro fuzz replay --corpus-dir``
+    and ``repro fuzz minimize`` then work on checker findings exactly
+    as they do on fuzzer findings.
+    """
+    corpus = Corpus(corpus_dir)
+    return [
+        corpus.add(case_from_check(target, threads, ops, violation))
+        for violation in violations
+    ]
 
 
 class Corpus:

@@ -1,11 +1,18 @@
 """Simulated SC machine: threads, scheduling, and synchronization."""
 
 from repro.sim.context import ThreadContext
+from repro.sim.introspect import (
+    LOCAL_FOOTPRINT,
+    Footprint,
+    agent_footprints,
+    next_footprint,
+)
 from repro.sim.machine import Machine, SimThread, ThreadState
 from repro.sim.scheduler import (
     SCHEDULER_KINDS,
     ChoiceRecordingScheduler,
     RandomScheduler,
+    ReplayableScheduler,
     ReplayScheduler,
     RoundRobinScheduler,
     Scheduler,
@@ -32,8 +39,13 @@ __all__ = [
     "StridedScheduler",
     "ChoiceRecordingScheduler",
     "ReplayScheduler",
+    "ReplayableScheduler",
     "SCHEDULER_KINDS",
     "make_scheduler",
+    "Footprint",
+    "LOCAL_FOOTPRINT",
+    "agent_footprints",
+    "next_footprint",
     "Lock",
     "MCSLock",
     "TicketLock",

@@ -1,0 +1,162 @@
+"""Next-operation introspection for exploration engines.
+
+Dynamic partial-order reduction needs to know, at every scheduling
+decision, what each agent *would* do next — which memory it would read
+or write — without executing anything.  The simulated machine makes that
+cheap: a READY thread's next operation sits in ``thread.pending``, a
+WAITING thread re-reads its wait location, a NEW thread's first step is
+a pure marker, and a TSO drain agent makes the oldest buffered store
+visible.  This module turns that state into :class:`Footprint` values —
+the read/write ranges (plus global resources such as the heap
+allocators) a scheduling step may touch.
+
+Footprints are deliberately conservative over-approximations: a step
+may touch *at most* what its footprint claims (a TSO load that might
+flush the store buffer claims every buffered write).  Over-approximating
+dependence is safe for partial-order reduction — it only costs extra
+interleavings — whereas under-approximation would silently drop
+executions, so every effect a step can have on shared machine state must
+be covered here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.sim import ops
+from repro.sim.machine import _DRAIN_BASE, Machine, SimThread, ThreadState
+
+#: An access range: (addr, size, persistent?).
+Range = Tuple[int, int, bool]
+
+
+@dataclass(frozen=True)
+class Footprint:
+    """What one scheduling step may touch.
+
+    Attributes:
+        reads: (addr, size, persistent) ranges the step may read.
+        writes: (addr, size, persistent) ranges the step may write.
+        resources: global resource tokens the step mutates (e.g. the
+            persistent heap allocator); two steps sharing a token are
+            always dependent.
+    """
+
+    reads: Tuple[Range, ...] = ()
+    writes: Tuple[Range, ...] = ()
+    resources: Tuple[str, ...] = ()
+
+    @property
+    def is_local(self) -> bool:
+        """True when the step touches no shared machine state."""
+        return not (self.reads or self.writes or self.resources)
+
+
+#: Footprint of a purely thread-local step (markers, TSO-buffered stores).
+LOCAL_FOOTPRINT = Footprint()
+
+
+def _range(machine: Machine, addr: int, size: int) -> Range:
+    """Build one (addr, size, persistent) range."""
+    return (addr, size, machine.memory.is_persistent(addr))
+
+
+def _buffered_writes(machine: Machine, thread: SimThread) -> Tuple[Range, ...]:
+    """Ranges of every buffered store (what a TSO flush would write)."""
+    return tuple(
+        _range(machine, entry[1], entry[2])
+        for entry in thread.store_buffer
+        if entry[0] == "store"
+    )
+
+
+def _op_footprint(machine: Machine, thread: SimThread, op: object) -> Footprint:
+    """Footprint of executing ``op`` as ``thread``'s next step."""
+    tso = machine.consistency == "tso"
+    if isinstance(op, ops.Load):
+        reads = (_range(machine, op.addr, op.size),)
+        if tso and thread.store_buffer:
+            # A partially-overlapping buffered store makes the load
+            # flush the whole buffer; claim those writes conservatively.
+            return Footprint(reads=reads, writes=_buffered_writes(machine, thread))
+        return Footprint(reads=reads)
+    if isinstance(op, ops.Store):
+        if tso:
+            return LOCAL_FOOTPRINT  # enters the private store buffer
+        return Footprint(writes=(_range(machine, op.addr, op.size),))
+    if isinstance(op, (ops.CompareAndSwap, ops.Swap, ops.FetchAdd)):
+        target = (_range(machine, op.addr, op.size),)
+        writes = target
+        if tso and thread.store_buffer:
+            writes = target + _buffered_writes(machine, thread)
+        return Footprint(reads=target, writes=writes)
+    if isinstance(op, ops.WaitUntil):
+        reads = (_range(machine, op.addr, op.size),)
+        if tso and thread.store_buffer:
+            # The wait's read may partially overlap a buffered store,
+            # which flushes the buffer (see Machine._buffered_read).
+            return Footprint(reads=reads, writes=_buffered_writes(machine, thread))
+        return Footprint(reads=reads)
+    if isinstance(op, ops.Fence):
+        if tso and thread.store_buffer:
+            return Footprint(writes=_buffered_writes(machine, thread))
+        return LOCAL_FOOTPRINT
+    if isinstance(op, (ops.Malloc, ops.Free)):
+        heap = "heap:persistent" if op.persistent else "heap:volatile"
+        return Footprint(resources=(heap,))
+    # PersistBarrier / NewStrand / PersistSync / Mark: thread-local
+    # annotations (on TSO with a non-empty buffer they merely enqueue).
+    return LOCAL_FOOTPRINT
+
+
+def next_footprint(machine: Machine, agent: int) -> Optional[Footprint]:
+    """Footprint of ``agent``'s next scheduling step, or None.
+
+    ``agent`` is a scheduler id: a thread id, or a drain-agent id on TSO
+    machines.  Returns None when the agent has no next step (a finished
+    thread, a drain agent with an empty buffer, a thread whose remaining
+    work belongs to its drain agent).
+    """
+    if agent >= _DRAIN_BASE:
+        thread = machine.threads[agent - _DRAIN_BASE]
+        if not thread.store_buffer:
+            return None
+        entry = thread.store_buffer[0]
+        if entry[0] == "store":
+            return Footprint(writes=(_range(machine, entry[1], entry[2]),))
+        return LOCAL_FOOTPRINT
+    thread = machine.threads[agent]
+    if thread.state in (ThreadState.FINISHED, ThreadState.DRAINING):
+        return None
+    if thread.state is ThreadState.NEW:
+        return LOCAL_FOOTPRINT  # THREAD_BEGIN marker, then pure advance
+    if thread.state is ThreadState.WAITING:
+        wait = thread.wait
+        reads = (_range(machine, wait.addr, wait.size),)
+        if machine.consistency == "tso" and thread.store_buffer:
+            return Footprint(reads=reads, writes=_buffered_writes(machine, thread))
+        return Footprint(reads=reads)
+    if thread.pending is None:
+        return LOCAL_FOOTPRINT
+    return _op_footprint(machine, thread, thread.pending)
+
+
+def agent_footprints(machine: Machine) -> Dict[int, Footprint]:
+    """Next-step footprints of every agent that still has a step.
+
+    Includes agents that are currently *disabled* (a WAITING thread
+    whose predicate is false): partial-order reduction must consider
+    their pending step when detecting races, because a different
+    interleaving could enable them earlier.
+    """
+    footprints: Dict[int, Footprint] = {}
+    for thread in machine.threads:
+        footprint = next_footprint(machine, thread.thread_id)
+        if footprint is not None:
+            footprints[thread.thread_id] = footprint
+        if thread.store_buffer:
+            drain = next_footprint(machine, _DRAIN_BASE + thread.thread_id)
+            if drain is not None:
+                footprints[_DRAIN_BASE + thread.thread_id] = drain
+    return footprints

@@ -102,6 +102,11 @@ class Machine:
             )
         self.consistency = consistency
         self.scheduler = scheduler if scheduler is not None else RandomScheduler()
+        # Let introspecting schedulers (ReplayableScheduler) see machine
+        # state at each decision point without threading it through pick().
+        bind = getattr(self.scheduler, "bind_machine", None)
+        if bind is not None:
+            bind(self)
         self.trace = Trace(meta=meta)
         self._threads: List[SimThread] = []
         self._steps = 0

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import abc
 import random
-from typing import List, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from repro.errors import SimulationError
 
@@ -133,6 +133,50 @@ class ReplayScheduler(Scheduler):
                 f"program diverged from the recording"
             )
         self._step += 1
+        return choice
+
+
+class ReplayableScheduler(Scheduler):
+    """Step API for exploration engines: every decision is delegated.
+
+    The machine binds itself at construction (via the ``bind_machine``
+    hook in :class:`~repro.sim.machine.Machine`), so the ``choose``
+    callback sees the *live* machine state — enabled agents, pending
+    operations, store buffers — at each scheduling point and returns the
+    agent id to run.  This is what lets a model checker compute
+    enabled-set footprints and conflicts mid-execution instead of
+    guessing from a finished trace.  Chosen ids are recorded in
+    ``choices``, replayable later with :class:`ReplayScheduler`.
+
+    The callback may abort the execution by raising (e.g. a sleep-set
+    block in DPOR); the exception propagates out of ``machine.run()``.
+    """
+
+    def __init__(
+        self,
+        choose: Callable[[object, Sequence[int]], int],
+    ) -> None:
+        self.machine: Optional[object] = None
+        self.choices: List[int] = []
+        self._choose = choose
+
+    def bind_machine(self, machine: object) -> None:
+        """Called by the machine's constructor; retains a back-reference."""
+        self.machine = machine
+
+    def pick(self, runnable: Sequence[int]) -> int:
+        if self.machine is None:
+            raise SimulationError(
+                "ReplayableScheduler used without a bound machine; pass it "
+                "to Machine(scheduler=...) so bind_machine runs"
+            )
+        choice = self._choose(self.machine, sorted(runnable))
+        if choice not in runnable:
+            raise SimulationError(
+                f"exploration chose agent {choice} but runnable is "
+                f"{sorted(runnable)}"
+            )
+        self.choices.append(choice)
         return choice
 
 

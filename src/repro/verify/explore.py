@@ -16,6 +16,15 @@ Interleavings grow as the multinomial of per-thread step counts — for
 two threads of 10 steps that is already 184k — so exhaustive use is for
 unit-sized idioms (a publish pair, one insert against one insert).  The
 ``max_schedules`` bound makes overruns loud instead of endless.
+
+This module is now a compatibility shim: enumeration runs on the
+:class:`repro.check.engine.Engine` in ``reduction="none"`` mode (the
+same DFS driver the DPOR checker uses, with reduction disabled), which
+visits exactly the schedules the original odometer walk did.  For the
+reduced exploration — equivalent schedules verified once — use
+:mod:`repro.check` directly.  :class:`ExplorationLimitError` now lives
+in the engine and carries the deepest prefix reached plus branching
+stats; it is re-exported here unchanged in spirit.
 """
 
 from __future__ import annotations
@@ -23,6 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, List, Optional, Sequence, Tuple
 
+from repro.check.engine import Engine, ExplorationLimitError
 from repro.core.analysis import analyze_graph
 from repro.core.recovery import FailureInjector, enumerate_cuts, image_at_cut
 from repro.errors import ReproError
@@ -31,9 +41,16 @@ from repro.sim.machine import Machine
 from repro.sim.scheduler import Scheduler
 from repro.trace.trace import Trace
 
-
-class ExplorationLimitError(ReproError):
-    """The schedule tree exceeded ``max_schedules``."""
+__all__ = [
+    "ExplorationLimitError",
+    "RecordingScheduler",
+    "MachineFactory",
+    "explore_schedules",
+    "count_schedules",
+    "Violation",
+    "VerificationResult",
+    "exhaustively_verify",
+]
 
 
 class RecordingScheduler(Scheduler):
@@ -71,30 +88,23 @@ def explore_schedules(
     """Yield (trace, machine) for every SC interleaving of a program.
 
     ``build(scheduler)`` must construct an identical program each call
-    (same threads, same logic); only the interleaving varies.
+    (same threads, same logic); only the interleaving varies.  Runs on
+    the :mod:`repro.check` engine with reduction disabled, so the
+    schedule set (and count) matches the original odometer walk.
 
     Raises:
-        ExplorationLimitError: after ``max_schedules`` schedules.
+        ExplorationLimitError: after ``max_schedules`` schedules, with
+            the deepest prefix reached and branching stats attached.
     """
-    prefix: Optional[List[int]] = []
-    produced = 0
-    while prefix is not None:
-        scheduler = RecordingScheduler(prefix)
+
+    def run(scheduler: Scheduler):
         machine = build(scheduler)
         trace = machine.run()
-        produced += 1
-        if produced > max_schedules:
-            raise ExplorationLimitError(
-                f"more than {max_schedules} interleavings; program too "
-                f"large for exhaustive exploration"
-            )
-        yield trace, machine
-        # Advance the odometer: deepest step with an untaken branch.
-        prefix = None
-        for step in range(len(scheduler.taken) - 1, -1, -1):
-            if scheduler.taken[step] + 1 < scheduler.sizes[step]:
-                prefix = scheduler.taken[:step] + [scheduler.taken[step] + 1]
-                break
+        return trace, machine
+
+    engine = Engine(run, reduction="none", max_schedules=max_schedules)
+    for explored in engine.explore():
+        yield explored.result
 
 
 def count_schedules(build: MachineFactory, max_schedules: int = 20_000) -> int:

@@ -1,0 +1,1 @@
+"""Tests for the DPOR model checker (`repro.check`)."""

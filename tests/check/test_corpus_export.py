@@ -1,0 +1,79 @@
+"""Checker → fuzz-corpus integration: counterexamples must replay.
+
+A violation found by `repro check` is only useful if the existing
+`repro fuzz replay` / `minimize` tooling can consume it, so exports go
+through the standard content-addressed corpus and the standard
+choice-replay path.
+"""
+
+import pytest
+
+from repro.check import CheckConfig, check_target
+from repro.fuzz import (
+    Corpus,
+    case_from_check,
+    export_check_violations,
+    replay_case,
+)
+
+MODELS = ("strict", "epoch", "strand")
+
+
+@pytest.fixture(scope="module")
+def violations():
+    """Distinct checker counterexamples for the documented 2LC bug."""
+    result = check_target(
+        "queue-2lc-faithful",
+        2,
+        1,
+        CheckConfig(models=MODELS, max_schedules=None, stop_at_first=True),
+    )
+    assert not result.ok
+    return list(result.distinct.values())
+
+
+class TestCaseFromCheck:
+    def test_case_carries_the_violation(self, violations):
+        violation = violations[0]
+        case = case_from_check("queue-2lc-faithful", 2, 1, violation)
+        assert case.target == "queue-2lc-faithful"
+        assert case.model == violation.model
+        assert case.cut == tuple(violation.cut)
+        assert case.choices == tuple(violation.choices)
+        assert case.error == violation.error
+        assert not case.minimized
+
+    def test_case_replays_and_reproduces(self, violations):
+        case = case_from_check("queue-2lc-faithful", 2, 1, violations[0])
+        replay = replay_case(case)
+        assert replay.reproduced
+
+    def test_fixed_target_does_not_reproduce(self, violations):
+        """The checker's schedule and cut against the fixed 2LC must
+        come back clean or stale — never a (false) reproduction."""
+        case = case_from_check("queue-2lc", 2, 1, violations[0])
+        assert not replay_case(case).reproduced
+
+
+class TestExport:
+    def test_exports_are_loadable_and_idempotent(self, tmp_path, violations):
+        paths = export_check_violations(
+            tmp_path, "queue-2lc-faithful", 2, 1, violations
+        )
+        assert len(paths) == len(violations)
+        corpus = Corpus(tmp_path)
+        assert sorted(corpus.entries()) == sorted(set(paths))
+        again = export_check_violations(
+            tmp_path, "queue-2lc-faithful", 2, 1, violations
+        )
+        assert again == paths
+        for path in paths:
+            assert corpus.load(path).target == "queue-2lc-faithful"
+
+    def test_exported_corpus_replays(self, tmp_path, violations):
+        export_check_violations(
+            tmp_path, "queue-2lc-faithful", 2, 1, violations
+        )
+        results = Corpus(tmp_path).replay_all()
+        assert results
+        assert all(replay.reproduced for _, replay in results)

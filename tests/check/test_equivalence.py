@@ -1,0 +1,233 @@
+"""Engine-equivalence tests (the checker's correctness contract).
+
+For each small program, two independent pipelines must agree exactly:
+
+* **reference**: unreduced enumeration (every interleaving via the
+  engine's ``reduction="none"`` mode, which the legacy
+  ``explore_schedules`` shim also runs on), every model's persist DAG,
+  every cut imaged and checked — no deduplication anywhere;
+* **checker**: DPOR + canonical-DAG dedup + cut-content memoization.
+
+Agreement is on the schedule-independent violation identity
+``(model, dag_key, cut_key, error)``.  The checker must also do
+strictly less work than the reference on reducible programs, and must
+rediscover the documented ``queue-2lc-faithful`` recovery hole.
+"""
+
+import pytest
+
+from repro.check import (
+    CheckConfig,
+    Engine,
+    canonical_dag_key,
+    check_build,
+    check_target,
+)
+from repro.core.analysis import analyze_graph
+from repro.core.recovery import (
+    cut_content_key,
+    enumerate_cuts,
+    image_at_cut,
+    minimal_cut,
+)
+from repro.errors import RecoveryError
+from repro.fuzz import make_target
+from repro.memory import NvramImage
+
+from tests.check.helpers import (
+    check_publication,
+    publish_pair_factory,
+    run_of,
+)
+
+MODELS = ("strict", "epoch", "strand")
+MAX_CUTS = 4_096
+
+
+def reference_cuts(graph):
+    """The cut family the checker uses: exhaustive, or minimal cuts per
+    persist when enumeration overruns (mirrors ``_cuts_for``)."""
+    try:
+        return list(enumerate_cuts(graph, limit=MAX_CUTS))
+    except RecoveryError:
+        return [minimal_cut(graph, pid) for pid in range(len(graph.nodes))]
+
+
+def reference_keys(run, base_of, checker_of, models=MODELS, prefix=()):
+    """Violation keys from unreduced enumeration with zero dedup."""
+    engine = Engine(run, reduction="none", forced_prefix=prefix)
+    keys = set()
+    schedules = 0
+    for explored in engine.explore():
+        schedules += 1
+        trace = getattr(explored.result, "trace", None)
+        if trace is None:
+            trace = explored.result[0]
+        base = base_of(explored.result)
+        check = checker_of(explored.result)
+        for model in models:
+            graph = analyze_graph(trace, model).graph
+            dag_key = canonical_dag_key(graph)
+            for cut in reference_cuts(graph):
+                image = image_at_cut(graph, cut, base, check=False)
+                try:
+                    check(image)
+                except Exception as exc:  # noqa: BLE001 - key material
+                    keys.add(
+                        (model, dag_key, cut_content_key(graph, cut), str(exc))
+                    )
+    return keys, schedules
+
+
+def target_reference_keys(target, threads, ops, prefix=()):
+    """Reference violation keys for a registered fuzz target."""
+    fuzz_target = make_target(target)
+    return reference_keys(
+        lambda scheduler: fuzz_target.build(threads, ops, scheduler),
+        base_of=lambda run: run.base_image,
+        checker_of=lambda run: run.check,
+        prefix=prefix,
+    )
+
+
+class TestPublishPair:
+    @pytest.mark.parametrize("with_barrier", [True, False])
+    def test_identical_violation_sets(self, with_barrier):
+        build = publish_pair_factory(with_barrier)
+
+        def base_of(result):
+            machine = result[1]
+            region = machine.memory.region("persistent")
+            return NvramImage.from_region(region, blank=True)
+
+        def checker_of(result):
+            return lambda image: check_publication(image, result[1])
+
+        expected, exhaustive_schedules = reference_keys(
+            run_of(build), base_of, checker_of
+        )
+        result = check_build(
+            build, check_publication, CheckConfig(models=MODELS)
+        )
+        assert set(result.distinct) == expected
+        assert result.stats.schedules <= exhaustive_schedules
+        if not with_barrier:
+            # A writer-side barrier alone cannot order the *other*
+            # thread's publication persist, so neither variant is clean
+            # under the relaxed models; what both pipelines must agree
+            # on — asserted above — is the exact violation set.
+            assert not result.ok
+            models = {key[0] for key in result.distinct}
+            assert "epoch" in models and "strand" in models
+            assert "strict" not in models
+
+
+class TestQueueCwl:
+    """CWL insert×insert: the whole DPOR exploration is 28 schedules,
+    but the *unreduced* tree is astronomically larger (branching 2 over
+    ~50 decision points), so the exhaustive reference runs on deep
+    subtrees — exhaustive-vs-DPOR on the same subprogram, with the
+    prefix-partition property covered by the engine tests."""
+
+    def test_full_reduced_check_is_clean(self):
+        result = check_target(
+            "queue-cwl", 2, 1, CheckConfig(models=MODELS, max_schedules=None)
+        )
+        assert result.ok
+        assert result.stats.schedules == 28  # pinned: deterministic DFS
+
+    def test_subtree_violation_sets_identical(self):
+        fuzz_target = make_target("queue-cwl")
+        run = lambda s: fuzz_target.build(2, 1, s)  # noqa: E731
+        engine = Engine(run)
+        sample = next(engine.explore())
+        prefix = sample.choices[: len(sample.choices) - 8]
+        expected, exhaustive_schedules = target_reference_keys(
+            "queue-cwl", 2, 1, prefix=prefix
+        )
+        result = check_target(
+            "queue-cwl",
+            2,
+            1,
+            CheckConfig(
+                models=MODELS, max_schedules=None, forced_prefix=prefix
+            ),
+        )
+        assert set(result.distinct) == expected == set()
+        assert result.stats.schedules <= exhaustive_schedules
+
+
+class Test2lcFaithful:
+    """2LC insert×insert against the paper-faithful (broken) queue."""
+
+    @pytest.fixture(scope="class")
+    def first_violation(self):
+        """The checker's first counterexample (fast: stops early)."""
+        result = check_target(
+            "queue-2lc-faithful",
+            2,
+            1,
+            CheckConfig(models=MODELS, max_schedules=None, stop_at_first=True),
+        )
+        assert not result.ok
+        return result.violations[0]
+
+    def test_rediscovers_documented_bug(self, first_violation):
+        """The printed 2LC's missing barrier surfaces as a corrupt
+        entry under a relaxed model — never under strict."""
+        assert first_violation.model in ("epoch", "strand")
+        assert "entry" in first_violation.error
+
+    def test_subtree_violation_sets_identical(self, first_violation):
+        """Around the violating schedule, exhaustive enumeration and
+        DPOR+dedup must report the identical violation set — and both
+        must see the bug under epoch and strand but not strict."""
+        prefix = first_violation.choices[: len(first_violation.choices) - 8]
+        expected, exhaustive_schedules = target_reference_keys(
+            "queue-2lc-faithful", 2, 1, prefix=prefix
+        )
+        result = check_target(
+            "queue-2lc-faithful",
+            2,
+            1,
+            CheckConfig(
+                models=MODELS, max_schedules=None, forced_prefix=prefix
+            ),
+        )
+        assert set(result.distinct) == expected != set()
+        assert result.stats.schedules <= exhaustive_schedules
+        models = {key[0] for key in result.distinct}
+        assert models <= {"epoch", "strand"} and models
+        assert "strict" not in models
+
+    def test_fixed_2lc_subtree_is_clean(self, first_violation):
+        """The same subtree against the *fixed* 2LC must verify clean:
+        the added barrier, not schedule luck, removes the violations."""
+        prefix = first_violation.choices[: len(first_violation.choices) - 8]
+        expected, _ = target_reference_keys("queue-2lc", 2, 1, prefix=prefix)
+        result = check_target(
+            "queue-2lc",
+            2,
+            1,
+            CheckConfig(
+                models=MODELS, max_schedules=None, forced_prefix=prefix
+            ),
+        )
+        assert set(result.distinct) == expected == set()
+
+
+class TestDeduplicationAccounting:
+    def test_dedup_saves_work_without_losing_violations(self):
+        """On the broken publish pair the checker must both (a) find the
+        violations and (b) demonstrably skip repeated DAGs or images."""
+        result = check_build(
+            publish_pair_factory(with_barrier=False),
+            check_publication,
+            CheckConfig(models=MODELS),
+        )
+        assert not result.ok
+        stats = result.stats
+        assert stats.dags_analyzed == stats.schedules * len(MODELS)
+        saved = stats.dags_deduped + stats.cut_memo_hits
+        assert saved > 0
+        assert stats.cuts_imaged + stats.cut_memo_hits == stats.cuts_checked

@@ -1,0 +1,80 @@
+"""Tests for prefix-partitioned sharded checking."""
+
+import pytest
+
+from repro.check import (
+    CheckConfig,
+    check_shard_worker,
+    check_target,
+    check_target_sharded,
+    enumerate_prefixes,
+)
+from repro.errors import ReproError
+from repro.fuzz import make_target
+
+MODELS = ("strict", "epoch", "strand")
+
+
+class TestEnumeratePrefixes:
+    def test_depth_zero_is_the_whole_tree(self):
+        fuzz_target = make_target("queue-cwl")
+        run = lambda s: fuzz_target.build(2, 1, s)  # noqa: E731
+        assert enumerate_prefixes(run, 0) == [()]
+
+    def test_prefix_count_matches_branching(self):
+        fuzz_target = make_target("queue-cwl")
+        run = lambda s: fuzz_target.build(2, 1, s)  # noqa: E731
+        prefixes = enumerate_prefixes(run, 2)
+        assert prefixes == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_negative_depth_rejected(self):
+        with pytest.raises(ReproError, match="depth"):
+            enumerate_prefixes(lambda s: None, -1)
+
+
+class TestShardedCheck:
+    @pytest.mark.parametrize("target", ["queue-cwl"])
+    def test_sharded_matches_unsharded(self, target):
+        """The merged shard result must reach the same verdict and the
+        same distinct violation set as single-process checking, while
+        covering at least as many schedules (shards cannot share sleep
+        sets across the prefix boundary)."""
+        config = CheckConfig(models=MODELS, max_schedules=None)
+        solo = check_target(target, 2, 1, config)
+        merged, reports = check_target_sharded(
+            target, 2, 1, config, jobs=2, shard_depth=2
+        )
+        assert set(merged.distinct) == set(solo.distinct)
+        assert merged.stats.schedules >= solo.stats.schedules
+        assert len(reports) == 4
+        assert [report.prefix for report in reports] == sorted(
+            report.prefix for report in reports
+        )
+        assert sum(report.stats["schedules"] for report in reports) == (
+            merged.stats.schedules
+        )
+
+    def test_worker_reports_overrun_in_band(self):
+        """A shard that blows its schedule budget must come back as an
+        error payload, not a crashed worker."""
+        payload = check_shard_worker(
+            {
+                "target": "queue-cwl",
+                "threads": 2,
+                "ops": 1,
+                "models": list(MODELS),
+                "prefix": [0, 0],
+                "max_schedules": 1,
+                "max_cuts": 4096,
+                "stop_at_first": False,
+            }
+        )
+        assert payload["error"] is not None
+        assert "interleavings" in payload["error"]
+
+    def test_failed_shard_fails_the_merge(self):
+        config = CheckConfig(models=MODELS, max_schedules=1)
+        with pytest.raises(ReproError, match="shard"):
+            check_target_sharded(
+                "queue-cwl", 2, 1, config, jobs=2, shard_depth=2
+            )

@@ -5,9 +5,11 @@ import random
 import pytest
 
 from repro.core import (
+    CutStats,
     FailureInjector,
     GraphDomain,
     analyze_graph,
+    cut_content_key,
     enumerate_cuts,
     full_cut,
     image_at_cut,
@@ -16,6 +18,7 @@ from repro.core import (
     minimal_cut,
     prefix_cut,
     sample_cut,
+    unique_cuts,
 )
 from repro.errors import RecoveryError
 from repro.memory import NvramImage
@@ -182,6 +185,85 @@ class TestEnumeration:
             domain.persist(frozenset(), event)
         with pytest.raises(RecoveryError):
             list(enumerate_cuts(domain, limit=1000))
+
+
+def twin_write_graph():
+    """Two unordered persists writing the *same* bytes to the *same*
+    address — the degenerate case where distinct cuts share content."""
+    domain = GraphDomain()
+    for index in range(2):
+        event = make_access(index, index, EventKind.STORE, P, 8, 7, True)
+        domain.persist(frozenset(), event)
+    return domain
+
+
+class TestCutContentKeys:
+    def test_key_is_deterministic_and_order_insensitive(self):
+        graph, (a, b, c, d) = diamond_graph()
+        assert cut_content_key(graph, [a, b]) == cut_content_key(graph, [b, a])
+        assert cut_content_key(graph, [a, b]) == cut_content_key(graph, (b, a))
+
+    def test_distinct_content_distinct_keys(self):
+        graph, (a, b, c, d) = diamond_graph()
+        keys = {cut_content_key(graph, cut) for cut in enumerate_cuts(graph)}
+        assert len(keys) == 6  # every diamond cut writes different bytes
+
+    def test_equal_content_equal_keys(self):
+        graph = twin_write_graph()
+        assert cut_content_key(graph, [0]) == cut_content_key(graph, [1])
+        assert cut_content_key(graph, [0]) == cut_content_key(graph, [0, 1])
+        assert cut_content_key(graph, []) != cut_content_key(graph, [0])
+
+    def test_equal_keys_mean_equal_images(self):
+        graph = twin_write_graph()
+        base = NvramImage(P, 4096)
+        one = image_at_cut(graph, {0}, base)
+        both = image_at_cut(graph, {0, 1}, base)
+        assert one.read_bytes(P, 16) == both.read_bytes(P, 16)
+
+
+class TestUniqueCuts:
+    def test_all_distinct_yields_everything(self):
+        graph, _ = diamond_graph()
+        stats = CutStats()
+        cuts = list(unique_cuts(graph, stats=stats))
+        assert len(cuts) == 6
+        assert stats.enumerated == stats.unique == 6
+        assert stats.deduplicated == 0
+
+    def test_duplicate_content_collapsed(self):
+        graph = twin_write_graph()
+        stats = CutStats()
+        cuts = list(unique_cuts(graph, stats=stats))
+        # {} and one representative of {{0}, {1}, {0, 1}}.
+        assert len(cuts) == 2
+        assert stats.enumerated == 4
+        assert stats.unique == 2
+        assert stats.deduplicated == 2
+        for cut in cuts:
+            assert is_consistent_cut(graph, cut)
+
+    def test_representative_is_first_and_smallest(self):
+        """Enumeration is in non-decreasing size order, so the kept
+        representative is a smallest cut of its content class."""
+        graph = twin_write_graph()
+        cuts = list(unique_cuts(graph))
+        assert cuts[0] == frozenset()
+        assert len(cuts[1]) == 1
+
+    def test_limit_still_enforced(self):
+        domain = GraphDomain()
+        for index in range(20):  # 2^20 cuts of distinct content
+            event = make_access(
+                index, 0, EventKind.STORE, P + 64 * index, 8, 1, True
+            )
+            domain.persist(frozenset(), event)
+        with pytest.raises(RecoveryError):
+            list(unique_cuts(domain, limit=1000))
+
+    def test_stats_optional(self):
+        graph, _ = diamond_graph()
+        assert len(list(unique_cuts(graph))) == 6
 
 
 class TestImages:

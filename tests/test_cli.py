@@ -249,3 +249,64 @@ class TestFuzz:
     def test_unknown_target_rejected(self, capsys):
         with pytest.raises(SystemExit):
             main(["fuzz", "run", "--target", "ext4"])
+
+
+class TestCheck:
+    def test_clean_target_verifies_and_exits_zero(self, capsys):
+        code = main(
+            ["check", "--target", "counter", "--threads", "2", "--ops", "1",
+             "--no-export"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "schedules explored" in out
+        assert "0 distinct" in out
+
+    def test_known_broken_target_exits_one_and_exports(self, tmp_path, capsys):
+        corpus_dir = tmp_path / "corpus"
+        code = main(
+            ["check", "--target", "queue-2lc-faithful",
+             "--threads", "2", "--ops", "1", "--stop-at-first",
+             "--corpus-dir", str(corpus_dir)]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "violation" in out
+        assert "exported" in out
+        exported = list(corpus_dir.glob("*.repro.json"))
+        assert exported
+        capsys.readouterr()
+        assert main(["fuzz", "replay", "--corpus-dir", str(corpus_dir)]) == 0
+        assert "0 stale" in capsys.readouterr().out
+
+    def test_schedule_overrun_exits_two(self, capsys):
+        code = main(
+            ["check", "--target", "queue-cwl", "--threads", "2", "--ops", "1",
+             "--reduction", "none", "--max-schedules", "2", "--no-export"]
+        )
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "interleavings" in err
+
+    def test_stats_prints_engine_counters(self, capsys):
+        code = main(
+            ["check", "--target", "counter", "--threads", "2", "--ops", "1",
+             "--stats", "--no-export"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "engine nodes" in captured.err
+
+    def test_sharded_check_matches_solo_verdict(self, capsys):
+        code = main(
+            ["check", "--target", "counter", "--threads", "2", "--ops", "1",
+             "--jobs", "2", "--shard-depth", "1", "--stats", "--no-export"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "0 distinct" in captured.out
+        assert "shard (0,)" in captured.err
+
+    def test_unknown_target_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["check", "--target", "ext4"])

@@ -68,6 +68,19 @@ class TestEnumeration:
         with pytest.raises(ExplorationLimitError):
             count_schedules(two_thread_factory(3), max_schedules=10)
 
+    def test_limit_error_carries_frontier_position(self):
+        """Overruns must report where exploration stood — the deepest
+        prefix reached and branching stats — instead of losing it."""
+        with pytest.raises(ExplorationLimitError) as excinfo:
+            count_schedules(two_thread_factory(3), max_schedules=10)
+        err = excinfo.value
+        assert err.max_depth == 2 * (3 + 1)
+        assert len(err.deepest_prefix) == err.max_depth
+        assert set(err.deepest_prefix) == {0, 1}
+        assert err.branching_max == 2
+        assert err.nodes > 0
+        assert "deepest prefix" in str(err)
+
     def test_every_schedule_is_a_complete_run(self):
         for trace, machine in explore_schedules(two_thread_factory(1)):
             assert all(
