@@ -6,7 +6,8 @@ model.  Regressions here make every experiment slower, so they are
 tracked with pytest-benchmark like any kernel.
 """
 
-from repro.core import analyze
+from repro.check import CheckConfig, check_target
+from repro.core import analyze, analyze_graph
 from repro.harness import DEFAULT_COST_MODEL
 from repro.queue import run_insert_workload
 
@@ -38,3 +39,54 @@ def test_makespan_throughput(runner, benchmark):
     trace = runner.workload("2lc", 8, False).trace
     duration = benchmark(lambda: DEFAULT_COST_MODEL.makespan(trace))
     assert duration > 0
+
+
+def test_bitset_graph_throughput(runner, benchmark):
+    """The packed-bitset DAG domain — the analysis fast path."""
+    trace = runner.workload("cwl", 8, False).trace
+    result = benchmark(lambda: analyze_graph(trace, "epoch", domain="bitset"))
+    assert result.critical_path > 0
+
+
+def test_frozenset_graph_throughput(runner, benchmark):
+    """The frozenset reference domain, for the speedup ratio."""
+    trace = runner.workload("cwl", 8, False).trace
+    result = benchmark(lambda: analyze_graph(trace, "epoch", domain="graph"))
+    assert result.critical_path > 0
+
+
+#: Replay benchmark sizing: unreduced publish-pair tree, one model,
+#: bounded cuts — execution cost dominates (see benchmarks/record.py).
+_REPLAY_CHECK = dict(
+    models=("epoch",),
+    reduction="none",
+    max_schedules=None,
+    max_cuts_per_graph=64,
+)
+
+
+def test_check_share_replay_throughput(benchmark):
+    """Checker with snapshot/restore prefix sharing on backtrack."""
+    result = benchmark.pedantic(
+        lambda: check_target(
+            "publish-pair", 2, 8, CheckConfig(replay="share", **_REPLAY_CHECK)
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    assert not result.ok
+
+
+def test_check_reexecute_replay_throughput(benchmark):
+    """Checker re-executing every schedule from step 0 (the baseline)."""
+    result = benchmark.pedantic(
+        lambda: check_target(
+            "publish-pair",
+            2,
+            8,
+            CheckConfig(replay="reexecute", **_REPLAY_CHECK),
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    assert not result.ok

@@ -32,6 +32,7 @@ Quickstart::
 from repro.core import (
     AnalysisConfig,
     AnalysisResult,
+    BitsetGraphDomain,
     BpfsPersistency,
     EpochPersistency,
     FailureInjector,
@@ -102,6 +103,7 @@ __all__ = [
     "make_model",
     "LevelDomain",
     "GraphDomain",
+    "BitsetGraphDomain",
     "FailureInjector",
     "find_data_races",
     "find_persist_epoch_races",

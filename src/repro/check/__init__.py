@@ -20,10 +20,13 @@ from repro.check.checker import (
 )
 from repro.check.engine import (
     REDUCTIONS,
+    REPLAYS,
+    CheckProgram,
     Engine,
     EngineStats,
     ExplorationLimitError,
     ExploredRun,
+    is_check_program,
 )
 from repro.check.shard import (
     ShardReport,
@@ -38,6 +41,9 @@ __all__ = [
     "ExploredRun",
     "ExplorationLimitError",
     "REDUCTIONS",
+    "REPLAYS",
+    "CheckProgram",
+    "is_check_program",
     "canonical_ids",
     "canonical_dag_key",
     "CheckConfig",

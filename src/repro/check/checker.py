@@ -35,9 +35,12 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 from repro.core.analysis import analyze_graph
 from repro.core.recovery import (
     cut_content_key,
+    cut_members,
+    enumerate_cut_masks,
     enumerate_cuts,
     image_at_cut,
     minimal_cut,
+    minimal_cut_mask,
 )
 from repro.check.canonical import canonical_dag_key
 from repro.check.engine import Engine, EngineStats
@@ -55,7 +58,15 @@ MAX_RECORDED_VIOLATIONS = 1_000
 
 @dataclass(frozen=True)
 class CheckConfig:
-    """Knobs of one model-checking run."""
+    """Knobs of one model-checking run.
+
+    ``replay`` selects the engine's re-execution strategy (one of
+    :data:`repro.check.engine.REPLAYS`; ``None`` lets the engine pick
+    prefix-sharing whenever the program supports it).  ``graph_domain``
+    names the persist-DAG domain used for analysis — ``"bitset"`` (the
+    packed-integer kernel) and ``"graph"`` (the frozenset reference)
+    produce byte-identical results; the former is just faster.
+    """
 
     models: Tuple[str, ...] = DEFAULT_MODELS
     max_schedules: Optional[int] = 20_000
@@ -63,6 +74,8 @@ class CheckConfig:
     stop_at_first: bool = False
     reduction: str = "dpor"
     forced_prefix: Tuple[int, ...] = ()
+    replay: Optional[str] = None
+    graph_domain: str = "bitset"
 
 
 @dataclass(frozen=True)
@@ -228,12 +241,22 @@ def _record(
         result.violations.append(violation)
 
 
-def _cuts_for(graph, max_cuts: int) -> List[frozenset]:
+def _cuts_for(graph, max_cuts: int) -> List[object]:
     """Every consistent cut, or each persist's minimal cut over the limit.
 
     Mirrors ``exhaustively_verify``'s fallback so the checker and the
-    legacy explorer agree on coverage of oversized graphs.
+    legacy explorer agree on coverage of oversized graphs.  On
+    mask-capable graphs (``dep_masks`` present) cuts stay packed ints
+    end-to-end — enumeration, content hashing, and imaging all take the
+    bitmask fast path and never materialize frozensets.
     """
+    if getattr(graph, "dep_masks", None) is not None:
+        try:
+            return list(enumerate_cut_masks(graph, limit=max_cuts))
+        except RecoveryError:
+            return [
+                minimal_cut_mask(graph, pid) for pid in range(len(graph.nodes))
+            ]
     try:
         return list(enumerate_cuts(graph, limit=max_cuts))
     except RecoveryError:
@@ -249,10 +272,14 @@ def check_runs(
 ) -> CheckResult:
     """Model-check an arbitrary program adapter.
 
-    ``run(scheduler)`` executes the program once; ``trace_of`` /
-    ``base_of`` / ``checker_of`` project the trace, base NVRAM image,
-    and recovery checker out of its result.  This is the engine room
-    under :func:`check_build` and :func:`check_target`.
+    ``run(scheduler)`` executes the program once (or is a
+    :class:`~repro.check.engine.CheckProgram`, unlocking prefix-sharing
+    replay); ``trace_of`` / ``base_of`` / ``checker_of`` project the
+    trace, base NVRAM image, and recovery checker out of its result.
+    In shared-replay mode the result aliases the one retained machine,
+    so each schedule is fully processed here before the next one runs —
+    which the per-schedule loop below already guarantees.  This is the
+    engine room under :func:`check_build` and :func:`check_target`.
     """
     config = config or CheckConfig()
     engine = Engine(
@@ -260,6 +287,7 @@ def check_runs(
         reduction=config.reduction,
         forced_prefix=config.forced_prefix,
         max_schedules=config.max_schedules,
+        replay=config.replay,
     )
     result = CheckResult(stats=CheckStats())
     seen_dags: Dict[str, Set[str]] = {model: set() for model in config.models}
@@ -270,7 +298,7 @@ def check_runs(
         check = checker_of(explored.result)
         memo: Dict[str, Optional[str]] = {}
         for model in config.models:
-            graph = analyze_graph(trace, model).graph
+            graph = analyze_graph(trace, model, domain=config.graph_domain).graph
             result.stats.dags_analyzed += 1
             dag_key = canonical_dag_key(graph)
             if dag_key in seen_dags[model]:
@@ -298,7 +326,7 @@ def check_runs(
                         CheckViolation(
                             schedule_index=explored.index,
                             model=model,
-                            cut=tuple(sorted(cut)),
+                            cut=tuple(cut_members(cut)),
                             error=error,
                             choices=explored.choices,
                             dag_key=dag_key,
@@ -333,15 +361,21 @@ def check_build(
     """Model-check a machine-factory program.
 
     The counterpart of ``repro.verify.exhaustively_verify`` on the new
-    engine: ``build(scheduler)`` constructs the machine, ``check(image,
-    machine)`` raises on a recovery violation, and ``base_image`` (when
-    given) supplies pre-workload durable state.
+    engine: ``build(scheduler)`` constructs the (not-yet-run) machine,
+    ``check(image, machine)`` raises on a recovery violation, and
+    ``base_image`` (when given) supplies pre-workload durable state.
+    Exposed to the engine as a :class:`~repro.check.engine.CheckProgram`
+    so prefix-sharing replay applies by default.
     """
 
-    def run(scheduler: Scheduler):
-        machine = build(scheduler)
-        trace = machine.run()
-        return trace, machine
+    class _BuildProgram:
+        def build(self, scheduler: Scheduler) -> Machine:
+            return build(scheduler)
+
+        def finish(self, machine: Machine):
+            return machine.trace, machine
+
+    run = _BuildProgram()
 
     def base_of(result) -> NvramImage:
         machine = result[1]
@@ -371,15 +405,35 @@ def check_target(
 ) -> CheckResult:
     """Model-check a registered fuzz target at a fixed program size.
 
-    Reuses the exact fuzz pipeline (``FuzzTarget.build`` → trace, base
-    image, recovery checker), so a violation found here is replayable by
-    ``repro fuzz replay`` once exported to a corpus.
+    Reuses the exact fuzz pipeline (``FuzzTarget.setup`` → machine +
+    finalize → trace, base image, recovery checker), so a violation
+    found here is replayable by ``repro fuzz replay`` once exported to
+    a corpus.  Targets exposing the two-phase ``setup`` API run as a
+    :class:`~repro.check.engine.CheckProgram` (prefix-sharing replay);
+    others fall back to re-executing ``build`` per schedule.
     """
     from repro.fuzz.targets import make_target
 
     fuzz_target = make_target(target)
+    if hasattr(fuzz_target, "setup"):
+
+        class _TargetProgram:
+            def __init__(self) -> None:
+                self._finalize = None
+
+            def build(self, scheduler: Scheduler) -> Machine:
+                machine, finalize = fuzz_target.setup(threads, ops, scheduler)
+                self._finalize = finalize
+                return machine
+
+            def finish(self, machine: Machine):
+                return self._finalize(machine)
+
+        run = _TargetProgram()
+    else:
+        run = lambda scheduler: fuzz_target.build(threads, ops, scheduler)  # noqa: E731
     return check_runs(
-        lambda scheduler: fuzz_target.build(threads, ops, scheduler),
+        run,
         trace_of=lambda run: run.trace,
         base_of=lambda run: run.base_image,
         checker_of=lambda run: run.check,

@@ -1,9 +1,28 @@
-"""Stateless schedule exploration with dynamic partial-order reduction.
+"""Schedule exploration with dynamic partial-order reduction.
 
 The engine enumerates interleavings of a deterministic simulated program
-by re-executing it under engine-controlled schedules (machines are cheap
-and deterministic, so re-execution replaces state snapshotting).  Two
-reduction modes share one DFS driver:
+under engine-controlled schedules.  Two execution strategies are
+available (``replay=``):
+
+* ``"reexecute"`` — stateless: every schedule re-runs the program from
+  step 0 via the ``run(scheduler)`` callable (the original mode);
+* ``"share"`` — prefix-sharing: the program is built **once** through a
+  :class:`CheckProgram` (``build``/``finish``), the machine records
+  write-undo journals and send logs
+  (:meth:`repro.sim.machine.Machine.enable_snapshots`), every decision
+  point captures a cheap :class:`~repro.sim.machine.MachineSnapshot`,
+  and backtracking restores the deepest common prefix instead of
+  re-executing it.  The DFS visits the identical schedule tree in the
+  identical order — clocks, sleep sets, and backtrack sets are restored
+  to exactly the values stateless re-execution would recompute — so
+  schedule counts, traces, and violation sets are byte-identical.
+
+  In shared mode the yielded ``result`` aliases the one retained
+  machine: consume each :class:`ExploredRun` (analyze its trace, image
+  its cuts) before requesting the next, because the following iteration
+  rewinds the machine and truncates its trace in place.
+
+Two reduction modes share one DFS driver:
 
 * ``"none"`` — plain exhaustive DFS over the scheduler-choice tree; every
   interleaving is executed.  This mode backs the legacy
@@ -58,6 +77,42 @@ from repro.sim.scheduler import ReplayableScheduler, Scheduler
 
 #: Exploration modes accepted by :class:`Engine`.
 REDUCTIONS = ("dpor", "none")
+
+#: Execution strategies accepted by :class:`Engine`.
+REPLAYS = ("share", "reexecute")
+
+#: Shared empty clock: read-only default for agents with no history.
+_NO_CLOCK: Dict[int, int] = {}
+
+
+class CheckProgram:
+    """Two-phase program protocol enabling prefix-sharing exploration.
+
+    ``build(scheduler)`` constructs the ready-to-run
+    :class:`~repro.sim.machine.Machine` (threads spawned, nothing
+    executed); the engine runs it.  ``finish(machine)`` is called after
+    the run completes and returns the per-schedule result passed through
+    :class:`ExploredRun` (e.g. a ``TargetRun`` or ``(trace, machine)``).
+    Any object with these two methods is accepted — subclassing is
+    optional.  ``build`` must create an *identical* program on every
+    call; under prefix sharing it is called once and the machine is
+    rewound between schedules instead.
+    """
+
+    def build(self, scheduler: Scheduler):
+        """Construct the ready-to-run machine (threads spawned, unrun)."""
+        raise NotImplementedError
+
+    def finish(self, machine) -> object:
+        """Turn the completed machine into the per-schedule result."""
+        raise NotImplementedError
+
+
+def is_check_program(run: object) -> bool:
+    """True when ``run`` follows the :class:`CheckProgram` protocol."""
+    return callable(getattr(run, "build", None)) and callable(
+        getattr(run, "finish", None)
+    )
 
 
 class ExplorationLimitError(ReproError):
@@ -142,6 +197,11 @@ class _Node:
     done: Set[int] = field(default_factory=set)
     chosen: Optional[int] = None
     pinned: bool = False
+    #: Prefix-sharing restore points (share mode, non-pinned nodes):
+    #: the machine state and the engine's per-run tables as they stood
+    #: when this decision point was first reached.
+    snap: object = None
+    tables: object = None
 
 
 #: A past access record: (agent, agent-local step count, clock vector,
@@ -169,13 +229,36 @@ class Engine:
         relation: Optional[ConflictRelation] = None,
         forced_prefix: Sequence[int] = (),
         max_schedules: Optional[int] = None,
+        replay: Optional[str] = None,
     ) -> None:
         if reduction not in REDUCTIONS:
             raise ReproError(
                 f"unknown reduction {reduction!r}; expected one of "
                 f"{REDUCTIONS}"
             )
+        program = run if is_check_program(run) else None
+        if replay is None:
+            replay = "share" if program is not None else "reexecute"
+        if replay not in REPLAYS:
+            raise ReproError(
+                f"unknown replay {replay!r}; expected one of {REPLAYS}"
+            )
+        if replay == "share" and program is None:
+            raise ReproError(
+                "replay='share' needs a CheckProgram (build/finish); got a "
+                "plain run callable, which cannot be rewound"
+            )
+        if program is not None and replay == "reexecute":
+            # Flatten the program into the legacy full-re-execution form.
+            def run_program(scheduler: Scheduler) -> object:
+                machine = program.build(scheduler)
+                machine.run()
+                return program.finish(machine)
+
+            run = run_program
         self._run = run
+        self._program = program
+        self._replay = replay
         self._reduction = reduction
         self._relation = relation or exploration_relation()
         self._fence = len(forced_prefix)
@@ -184,6 +267,9 @@ class Engine:
         self.stats = EngineStats()
         # DFS state persisting across executions.
         self._stack: List[_Node] = []
+        # Prefix-sharing state: the one retained machine + scheduler.
+        self._machine = None
+        self._scheduler: Optional[ReplayableScheduler] = None
         # Per-execution state.
         self._depth = 0
         self._pending_sleep: Set[int] = set()
@@ -191,6 +277,9 @@ class Engine:
         self._counts: Dict[int, int] = {}
         self._last_write: Dict[object, _Access] = {}
         self._last_reads: Dict[object, Dict[int, _Access]] = {}
+        # Agents whose clock dict is exclusively ours (mutable in place);
+        # everything else is copy-on-write (see _apply_step).
+        self._clock_owned: Set[int] = set()
 
     # -- public API ---------------------------------------------------------
 
@@ -234,12 +323,15 @@ class Engine:
 
     def _run_once(self) -> Tuple[bool, object, Tuple[int, ...]]:
         """Execute the program once along the current DFS plan."""
+        if self._replay == "share":
+            return self._run_shared()
         self._depth = 0
         self._pending_sleep = set()
         self._clocks = {}
         self._counts = {}
         self._last_write = {}
         self._last_reads = {}
+        self._clock_owned = set()
         scheduler = ReplayableScheduler(self._choose)
         try:
             result = self._run(scheduler)
@@ -249,6 +341,81 @@ class Engine:
         if len(choices) > len(self.stats.deepest_prefix):
             self.stats.deepest_prefix = choices
         return False, result, choices
+
+    def _run_shared(self) -> Tuple[bool, object, Tuple[int, ...]]:
+        """One schedule under prefix sharing: rewind, don't re-execute.
+
+        The first call builds the machine and runs from step 0; every
+        later call restores the machine (and the engine's per-run
+        tables) to the snapshot of the deepest stack node — the node
+        ``_advance`` just picked a fresh branch for — truncates the
+        choice log to match, and resumes ``machine.run()``.  The resumed
+        ``pick`` lands back in :meth:`_choose` at that node's depth,
+        which replays its new ``chosen`` and applies the step against
+        the restored tables, exactly as a from-scratch replay would.
+        """
+        self._pending_sleep = set()
+        machine = self._machine
+        if machine is None:
+            self._depth = 0
+            self._clocks = {}
+            self._counts = {}
+            self._last_write = {}
+            self._last_reads = {}
+            self._clock_owned = set()
+            scheduler = ReplayableScheduler(self._choose)
+            self._scheduler = scheduler
+            machine = self._program.build(scheduler)
+            machine.enable_snapshots()
+            self._machine = machine
+        else:
+            scheduler = self._scheduler
+            node = self._stack[-1]
+            depth = len(self._stack) - 1
+            machine.restore(node.snap)
+            scheduler.truncate(depth)
+            self._depth = depth
+            self._restore_tables(node.tables)
+        try:
+            machine.run()
+        except _SleepSetBlocked:
+            return True, None, ()
+        result = self._program.finish(machine)
+        choices = tuple(scheduler.choices)
+        if len(choices) > len(self.stats.deepest_prefix):
+            self.stats.deepest_prefix = choices
+        return False, result, choices
+
+    def _capture_tables(self) -> Tuple[
+        Dict[int, Dict[int, int]],
+        Dict[int, int],
+        Dict[object, _Access],
+        Dict[object, Dict[int, _Access]],
+    ]:
+        """Snapshot the per-run conflict tables for later restore.
+
+        Clock dicts are shared, not copied: marking every agent
+        copy-on-write makes any later mutation allocate a fresh dict,
+        so the captured ones stay frozen.
+        """
+        self._clock_owned.clear()
+        return (
+            dict(self._clocks),
+            dict(self._counts),
+            dict(self._last_write),
+            {obj: dict(readers) for obj, readers in self._last_reads.items()},
+        )
+
+    def _restore_tables(self, tables) -> None:
+        """Reset the per-run conflict tables to a captured state."""
+        clocks, counts, last_write, last_reads = tables
+        self._clocks = dict(clocks)
+        self._counts = dict(counts)
+        self._last_write = dict(last_write)
+        self._last_reads = {
+            obj: dict(readers) for obj, readers in last_reads.items()
+        }
+        self._clock_owned = set()
 
     def _choose(self, machine: object, runnable: Sequence[int]) -> int:
         """Scheduler callback: one decision of the current execution."""
@@ -298,12 +465,18 @@ class Engine:
         if len(enabled) > self.stats.branching_max:
             self.stats.branching_max = len(enabled)
         sleep = set() if pinned else set(self._pending_sleep)
-        return _Node(
+        node = _Node(
             enabled=enabled,
             footprints=agent_footprints(machine),
             sleep=sleep,
             pinned=pinned,
         )
+        if self._replay == "share" and not pinned:
+            # Pinned (forced-prefix) nodes are never backtracked into,
+            # so only free nodes need restore points.
+            node.snap = machine.snapshot()
+            node.tables = self._capture_tables()
+        return node
 
     # -- backtracking -------------------------------------------------------
 
@@ -367,7 +540,7 @@ class Engine:
             footprint = node.footprints[agent]
             if footprint.is_local:
                 continue
-            clock = self._clocks.get(agent, {})
+            clock = self._clocks.get(agent, _NO_CLOCK)
             for other, count, _, access_depth in self._conflicting_accesses(
                 agent, footprint
             ):
@@ -388,10 +561,25 @@ class Engine:
                         self.stats.backtrack_points += len(missing)
 
     def _apply_step(self, node: _Node, agent: int, depth: int) -> None:
-        """Advance clocks and last-access tables over the chosen step."""
+        """Advance clocks and last-access tables over the chosen step.
+
+        The agent's clock is copy-on-write: it is copied only when the
+        current dict has escaped into an access record (or a prefix
+        snapshot) since the last copy; steps with purely local
+        footprints mutate in place with zero allocation.
+        """
         footprint = node.footprints[agent]
         writes, reads = self._objects(footprint)
-        clock = dict(self._clocks.get(agent, {}))
+        owned = self._clock_owned
+        clock = self._clocks.get(agent)
+        if clock is None:
+            clock = {}
+            self._clocks[agent] = clock
+            owned.add(agent)
+        elif agent not in owned:
+            clock = dict(clock)
+            self._clocks[agent] = clock
+            owned.add(agent)
 
         def join(access: _Access) -> None:
             for key, value in access[2].items():
@@ -411,8 +599,11 @@ class Engine:
         count = self._counts.get(agent, 0) + 1
         self._counts[agent] = count
         clock[agent] = count
-        self._clocks[agent] = clock
         access: _Access = (agent, count, clock, depth)
+        if writes or reads:
+            # The clock escapes into the shared tables: freeze it so the
+            # agent's next step copies before mutating.
+            owned.discard(agent)
         for obj in writes:
             self._last_write[obj] = access
             # Earlier reads happen-before this write (they conflict with

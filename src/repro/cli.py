@@ -36,11 +36,13 @@ from typing import List, Optional
 from repro.check import (
     DEFAULT_MODELS,
     REDUCTIONS,
+    REPLAYS,
     CheckConfig,
     check_target,
     check_target_sharded,
 )
 from repro.core import (
+    DOMAINS,
     AnalysisConfig,
     FailureInjector,
     analyze,
@@ -457,6 +459,8 @@ def cmd_check(args: argparse.Namespace) -> int:
         max_cuts_per_graph=args.max_cuts,
         stop_at_first=args.stop_at_first,
         reduction=args.reduction,
+        replay=args.replay,
+        graph_domain=args.domain,
     )
     reports = []
     if args.jobs and args.jobs > 1:
@@ -751,6 +755,17 @@ def build_parser() -> argparse.ArgumentParser:
     check_parser.add_argument(
         "--reduction", choices=REDUCTIONS, default="dpor",
         help="'none' disables DPOR (exhaustive enumeration)",
+    )
+    check_parser.add_argument(
+        "--replay", choices=sorted(REPLAYS), default=None,
+        help="backtracking strategy: 'share' restores the deepest common "
+        "prefix from a snapshot, 'reexecute' replays from step 0 "
+        "(default: share when the target supports it)",
+    )
+    check_parser.add_argument(
+        "--domain", choices=sorted(DOMAINS), default="bitset",
+        help="persist-DAG analysis domain; 'graph' is the frozenset "
+        "reference oracle, 'bitset' the packed-integer fast path",
     )
     check_parser.add_argument(
         "--jobs", type=int, default=1,

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Union
 
+from repro.core.bitgraph import BitsetGraphDomain
 from repro.core.lattice import DependencyDomain, GraphDomain, LevelDomain
 from repro.core.model import PersistencyModel, make_model
 from repro.errors import AnalysisError
@@ -100,24 +101,49 @@ class AnalysisResult:
         return self.critical_path / operations
 
 
+#: Registry of dependency-domain constructors selectable by name.
+DOMAINS = {
+    "level": LevelDomain,
+    "graph": GraphDomain,
+    "bitset": BitsetGraphDomain,
+}
+
+
+def make_domain(name: str) -> DependencyDomain:
+    """Construct a fresh dependency domain from its registry name."""
+    try:
+        factory = DOMAINS[name]
+    except KeyError:
+        raise AnalysisError(
+            f"unknown domain {name!r}; expected one of {sorted(DOMAINS)}"
+        ) from None
+    return factory()
+
+
 def analyze(
     trace: Trace,
     model: Union[str, PersistencyModel],
     config: Optional[AnalysisConfig] = None,
-    domain: Optional[DependencyDomain] = None,
+    domain: Union[str, DependencyDomain, None] = None,
 ) -> AnalysisResult:
     """Analyze ``trace`` under ``model``; returns the result.
 
     ``model`` may be a registry name (``strict``/``epoch``/``bpfs``/
     ``strand``) or a model instance (it is reset).  ``domain`` defaults to
     a fresh :class:`LevelDomain` (critical-path measurement); pass a
-    :class:`GraphDomain` to additionally materialise the persist DAG.
+    :class:`GraphDomain` instance or a registry name (``"level"``,
+    ``"graph"``, ``"bitset"``) to choose how dependences are represented —
+    ``"bitset"`` additionally materialises the persist DAG on packed
+    integer masks, ``"graph"`` on reference frozensets.
     """
     if isinstance(model, str):
         model = make_model(model)
     config = config or AnalysisConfig()
     config.validate()
-    domain = domain if domain is not None else LevelDomain()
+    if domain is None:
+        domain = LevelDomain()
+    elif isinstance(domain, str):
+        domain = make_domain(domain)
     model.reset(domain)
 
     persist_gran = config.persist_granularity
@@ -223,6 +249,7 @@ def analyze_graph(
     trace: Trace,
     model: Union[str, PersistencyModel],
     config: Optional[AnalysisConfig] = None,
+    domain: str = "bitset",
 ) -> AnalysisResult:
     """Analyze with the exact persist-order DAG.
 
@@ -231,7 +258,11 @@ def analyze_graph(
     DAG used for failure injection therefore keeps every persist as its
     own atomic node unless the caller explicitly enables (exact,
     ancestor-checked) coalescing.
+
+    ``domain`` selects the DAG representation: ``"bitset"`` (default) for
+    the packed-mask fast path, ``"graph"`` for the reference frozenset
+    implementation; both produce identical DAGs.
     """
     if config is None:
         config = AnalysisConfig(coalescing=False)
-    return analyze(trace, model, config, domain=GraphDomain())
+    return analyze(trace, model, config, domain=domain)

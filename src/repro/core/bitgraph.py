@@ -1,0 +1,132 @@
+"""Packed-bitset persist-DAG domain — the analysis/recovery fast path.
+
+:class:`BitsetGraphDomain` is a drop-in replacement for
+:class:`~repro.core.lattice.GraphDomain` that stores every set of persist
+ids as one arbitrary-precision Python int (bit ``pid`` set ⇔ persist
+``pid`` is a member).  All the hot lattice operations collapse to single
+big-int instructions:
+
+* **join** is bitwise OR,
+* **leq** (the coalescing admissibility test) is one mask-containment
+  test ``value & ~implied == 0``,
+* **transitive closure** is maintained incrementally on append: a new
+  persist's ancestor mask is the OR of its dependencies' masks with the
+  dependency bits themselves — no per-element set unions anywhere.
+
+Dependency *values* are ``(members, ancestors)`` pairs of masks rather
+than a single mask: ``members`` accumulates every token ever joined into
+the value and ``ancestors`` the union of those tokens' strict-ancestor
+masks.  That makes join O(1) — no pruning pass — while the true
+dependency frontier stays recoverable as ``members & ~ancestors`` (a
+member is redundant exactly when it is a strict ancestor of another
+member; ancestor masks are transitively closed, so the single AND-NOT
+performs the same maximal-element pruning ``GraphDomain.join`` does
+eagerly).  The produced :class:`~repro.core.lattice.PersistNode` records
+are therefore *identical* — same ``deps`` frontiers, same writes, same
+order — and every downstream consumer (canonical DAG keys, cut
+enumeration, recovery imaging, DOT export) sees the same DAG.
+
+The class subclasses ``GraphDomain`` so ``isinstance`` checks and typed
+call sites (``AnalysisResult.graph``, the NVRAM device model) accept it
+unchanged; the frozenset implementation remains the reference oracle the
+property tests compare against.  Recovery's mask fast paths key off the
+``dep_masks`` attribute, which only this class provides.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterator, List, Tuple
+
+from repro.core.lattice import GraphDomain, PersistNode
+from repro.trace.events import MemoryEvent
+
+__all__ = ["BitsetGraphDomain", "iter_bits", "mask_of"]
+
+#: A dependency value: (member-token mask, union of their ancestor masks).
+BitsetValue = Tuple[int, int]
+
+_BOTTOM: BitsetValue = (0, 0)
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """Yield the set bit positions of ``mask`` in ascending order."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def mask_of(pids) -> int:
+    """Pack an iterable of persist ids into one bitmask."""
+    mask = 0
+    for pid in pids:
+        mask |= 1 << pid
+    return mask
+
+
+class BitsetGraphDomain(GraphDomain):
+    """Exact persist-order DAG domain on packed integer bitsets.
+
+    Produces byte-identical :class:`PersistNode` lists (and hence DAG
+    keys, cuts, and recovery images) to :class:`GraphDomain`; only the
+    internal representation of dependency values and ancestor closures
+    differs.  Prefer this domain everywhere; keep the frozenset domain
+    for cross-validation.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: Per-persist transitively-closed strict-ancestor mask.
+        self._anc: List[int] = []
+        #: Per-persist immediate-dependency (frontier) mask — mirrors
+        #: ``nodes[pid].deps`` and marks the graph as mask-capable for
+        #: recovery's fast paths.
+        self.dep_masks: List[int] = []
+
+    @property
+    def bottom(self) -> BitsetValue:
+        return _BOTTOM
+
+    def join(self, left: BitsetValue, right: BitsetValue) -> BitsetValue:
+        if left is _BOTTOM:
+            return right
+        if right is _BOTTOM:
+            return left
+        return (left[0] | right[0], left[1] | right[1])
+
+    def leq(self, deps: BitsetValue, token: int) -> bool:
+        implied = self._anc[token] | (1 << token)
+        return (deps[0] | deps[1]) & ~implied == 0
+
+    def persist(self, deps: BitsetValue, event: MemoryEvent) -> int:
+        members, ancestors = deps
+        frontier = members & ~ancestors
+        pid = len(self.nodes)
+        self._anc.append(members | ancestors)
+        self.dep_masks.append(frontier)
+        self.nodes.append(
+            PersistNode(
+                pid=pid,
+                thread=event.thread,
+                first_seq=event.seq,
+                deps=frozenset(iter_bits(frontier)),
+                writes=[(event.addr, event.data_bytes())],
+            )
+        )
+        self._invalidate()
+        return pid
+
+    def value_of(self, token: int) -> BitsetValue:
+        return (1 << token, self._anc[token])
+
+    def ancestor_mask(self, pid: int) -> int:
+        """All persists strictly ordered before ``pid``, as a bitmask."""
+        return self._anc[pid]
+
+    def ancestors(self, pid: int) -> FrozenSet[int]:
+        """Frozenset view of :meth:`ancestor_mask` (memoised)."""
+        cached = self._closure.get(pid)
+        if cached is None:
+            cached = frozenset(iter_bits(self._anc[pid]))
+            self._closure[pid] = cached
+        return cached

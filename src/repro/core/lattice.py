@@ -169,6 +169,19 @@ class GraphDomain(DependencyDomain):
     def __init__(self) -> None:
         self.nodes: List[PersistNode] = []
         self._closure: Dict[int, FrozenSet[int]] = {}
+        #: Bumped on every mutation (persist *and* coalesce) so derived
+        #: structures — the level caches below, recovery's address index —
+        #: can cheaply detect staleness.
+        self._version = 0
+        self._levels_cache: Optional[List[int]] = None
+        self._hist_cache: Optional[Dict[int, int]] = None
+        self._edge_cache: Optional[int] = None
+
+    def _invalidate(self) -> None:
+        self._version += 1
+        self._levels_cache = None
+        self._hist_cache = None
+        self._edge_cache = None
 
     @property
     def bottom(self) -> FrozenSet[int]:
@@ -220,10 +233,12 @@ class GraphDomain(DependencyDomain):
                 writes=[(event.addr, event.data_bytes())],
             )
         )
+        self._invalidate()
         return pid
 
     def coalesce(self, token: int, event: MemoryEvent) -> None:
         self.nodes[token].writes.append((event.addr, event.data_bytes()))
+        self._invalidate()
 
     def value_of(self, token: int) -> FrozenSet[int]:
         return frozenset((token,))
@@ -233,29 +248,40 @@ class GraphDomain(DependencyDomain):
         return len(self.nodes)
 
     def critical_path(self) -> int:
-        return max(self.levels(), default=0)
+        return max(self._levels_list(), default=0)
+
+    def _levels_list(self) -> List[int]:
+        """Cached per-node levels; callers must not mutate the result."""
+        if self._levels_cache is None:
+            levels: List[int] = []
+            for node in self.nodes:
+                best = 0
+                for dep in node.deps:
+                    if levels[dep] > best:
+                        best = levels[dep]
+                levels.append(best + 1)
+            self._levels_cache = levels
+        return self._levels_cache
 
     def levels(self) -> List[int]:
         """Level (longest chain through) of each node, in pid order.
 
         Node dependencies always have smaller pids, so pid order is a
-        topological order and one forward pass suffices.
+        topological order and one forward pass suffices.  The pass is
+        cached until the next ``persist``/``coalesce``.
         """
-        levels: List[int] = []
-        for node in self.nodes:
-            best = 0
-            for dep in node.deps:
-                if levels[dep] > best:
-                    best = levels[dep]
-            levels.append(best + 1)
-        return levels
+        return list(self._levels_list())
 
     def level_histogram(self) -> Dict[int, int]:
-        histogram: Dict[int, int] = {}
-        for level in self.levels():
-            histogram[level] = histogram.get(level, 0) + 1
-        return histogram
+        if self._hist_cache is None:
+            histogram: Dict[int, int] = {}
+            for level in self._levels_list():
+                histogram[level] = histogram.get(level, 0) + 1
+            self._hist_cache = histogram
+        return dict(self._hist_cache)
 
     def edge_count(self) -> int:
         """Number of frontier (immediate) dependency edges."""
-        return sum(len(node.deps) for node in self.nodes)
+        if self._edge_cache is None:
+            self._edge_cache = sum(len(node.deps) for node in self.nodes)
+        return self._edge_cache

@@ -192,8 +192,10 @@ def analyze_races(trace: Trace, tracking_granularity: int = 8) -> RaceReport:
             seen.add(key)
             pairs.append(RacingPair(first, second, block, kind))
 
+    no_clock: Dict[int, int] = {}
+
     def happens_before(owner: int, owner_clock: int, observer: int) -> bool:
-        return clocks.get(observer, {}).get(owner, 0) >= owner_clock
+        return clocks.get(observer, no_clock).get(owner, 0) >= owner_clock
 
     for event in trace:
         thread = event.thread

@@ -7,6 +7,19 @@ persist partial order, applied atomically persist-by-persist.  This
 module samples and enumerates those cuts over a
 :class:`~repro.core.lattice.GraphDomain` DAG and materialises the
 corresponding NVRAM images, which recovery code is then run against.
+
+Cuts have two interchangeable representations:
+
+* a set/iterable of persist ids (the original form, accepted everywhere);
+* a packed int bitmask (bit ``pid`` set ⇔ persist ``pid`` included),
+  accepted by every cut-consuming function here and produced by the
+  ``*_mask`` enumerators.
+
+On a mask-capable graph (one exposing ``dep_masks`` — see
+:class:`~repro.core.bitgraph.BitsetGraphDomain`) the mask forms run on
+single big-int operations and a cached per-graph address→persist write
+index instead of rescanning every node; results are identical to the
+set-based reference paths, which remain in place as the oracle.
 """
 
 from __future__ import annotations
@@ -15,15 +28,57 @@ import hashlib
 import random
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, FrozenSet, Iterable, Iterator, Optional, Set
+from typing import (
+    Deque,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Union,
+)
 
+from repro.core.bitgraph import iter_bits
 from repro.core.lattice import GraphDomain
 from repro.errors import RecoveryError
 from repro.memory.nvram import NvramImage
 
+#: A consistent cut: persist ids as a set/iterable, or a packed bitmask.
+Cut = Union[int, Iterable[int]]
 
-def is_consistent_cut(graph: GraphDomain, included: Iterable[int]) -> bool:
+
+def _dep_masks(graph: GraphDomain) -> Optional[List[int]]:
+    """The graph's per-node dependency masks, when mask-capable."""
+    return getattr(graph, "dep_masks", None)
+
+
+def cut_members(cut: Cut) -> List[int]:
+    """The cut's persist ids in ascending order, whatever its form."""
+    if isinstance(cut, int):
+        return list(iter_bits(cut))
+    return sorted(cut)
+
+
+def cut_size(cut: Cut) -> int:
+    """Number of persists in a cut of either representation."""
+    if isinstance(cut, int):
+        return bin(cut).count("1")
+    return len(cut) if isinstance(cut, (set, frozenset)) else len(set(cut))
+
+
+def is_consistent_cut(graph: GraphDomain, included: Cut) -> bool:
     """True when ``included`` is downward-closed under persist order."""
+    if isinstance(included, int):
+        deps = _dep_masks(graph)
+        if included < 0 or included >> len(graph.nodes):
+            return False
+        if deps is not None:
+            return all(
+                deps[pid] & ~included == 0 for pid in iter_bits(included)
+            )
+        included = set(iter_bits(included))
     cut = set(included)
     for pid in cut:
         if pid < 0 or pid >= len(graph.nodes):
@@ -85,6 +140,13 @@ def minimal_cut(graph: GraphDomain, pid: int) -> FrozenSet[int]:
     return frozenset(graph.ancestors(pid) | {pid})
 
 
+def minimal_cut_mask(graph: GraphDomain, pid: int) -> int:
+    """:func:`minimal_cut` as a bitmask (mask-capable graphs only)."""
+    if pid < 0 or pid >= len(graph.nodes):
+        raise RecoveryError(f"no persist with id {pid}")
+    return graph.ancestor_mask(pid) | (1 << pid)
+
+
 def linear_extension_cut(
     graph: GraphDomain, rng: random.Random
 ) -> FrozenSet[int]:
@@ -116,17 +178,66 @@ def linear_extension_cut(
     return frozenset(included)
 
 
+def enumerate_cut_masks(
+    graph: GraphDomain, limit: int = 100_000
+) -> Iterator[int]:
+    """Enumerate every consistent cut as a bitmask (mask fast path).
+
+    Visits cuts in exactly the order :func:`enumerate_cuts` does — the
+    same BFS with the same ascending-pid extension loop — so the two
+    enumerations correspond element-for-element; only the membership and
+    downward-closure tests run on single big-int operations.  Requires a
+    mask-capable graph (``dep_masks``).
+
+    Raises:
+        RecoveryError: same ``limit`` overrun as :func:`enumerate_cuts`.
+    """
+    deps = _dep_masks(graph)
+    if deps is None:
+        raise RecoveryError(
+            "graph does not expose dep_masks; use enumerate_cuts or the "
+            "bitset domain"
+        )
+    count = len(graph.nodes)
+    seen: Set[int] = {0}
+    frontier: Deque[int] = deque((0,))
+    produced = 0
+    while frontier:
+        cut = frontier.popleft()
+        produced += 1
+        if produced > limit:
+            raise RecoveryError(
+                f"more than {limit} consistent cuts; graph too large to "
+                f"enumerate"
+            )
+        yield cut
+        for pid in range(count):
+            bit = 1 << pid
+            if not cut & bit and deps[pid] & ~cut == 0:
+                extended = cut | bit
+                if extended not in seen:
+                    seen.add(extended)
+                    frontier.append(extended)
+
+
 def enumerate_cuts(
     graph: GraphDomain, limit: int = 100_000
 ) -> Iterator[FrozenSet[int]]:
     """Enumerate every consistent cut (small graphs only).
 
     Yields cuts in non-decreasing size order starting from the empty cut.
+    On mask-capable graphs the walk runs on :func:`enumerate_cut_masks`
+    (identical order) and converts each mask at yield time.
+
     Raises:
         RecoveryError: when more than ``limit`` cuts would be produced —
             the count is exponential in the antichain width, so callers
             must keep graphs tiny.
     """
+    if _dep_masks(graph) is not None:
+        for mask in enumerate_cut_masks(graph, limit=limit):
+            yield frozenset(iter_bits(mask))
+        return
     seen: Set[FrozenSet[int]] = {frozenset()}
     frontier: Deque[FrozenSet[int]] = deque((frozenset(),))
     produced = 0
@@ -147,7 +258,30 @@ def enumerate_cuts(
                     frontier.append(extended)
 
 
-def cut_content_key(graph: GraphDomain, cut: Iterable[int]) -> str:
+def _write_index(graph: GraphDomain) -> List[Dict[int, int]]:
+    """Per-persist {byte address: value} maps, cached on the graph.
+
+    Built once per graph version; merging the maps of a cut's members in
+    pid order reproduces exactly the byte map the legacy full-node scan
+    computes.  The cache is stamped with ``(len(nodes), _version)`` so
+    any ``persist``/``coalesce`` after indexing rebuilds it.
+    """
+    stamp = (len(graph.nodes), getattr(graph, "_version", None))
+    cached = getattr(graph, "_recovery_index", None)
+    if cached is not None and cached[0] == stamp:
+        return cached[1]
+    index: List[Dict[int, int]] = []
+    for node in graph.nodes:
+        written: Dict[int, int] = {}
+        for addr, data in node.writes:
+            for offset, byte in enumerate(data):
+                written[addr + offset] = byte
+        index.append(written)
+    graph._recovery_index = (stamp, index)
+    return index
+
+
+def cut_content_key(graph: GraphDomain, cut: Cut) -> str:
     """Content hash of the NVRAM bytes a cut writes over the base image.
 
     Applies the cut's persists in pid order (a linear extension of
@@ -156,8 +290,28 @@ def cut_content_key(graph: GraphDomain, cut: Iterable[int]) -> str:
     materialise byte-identical images from any common base, so recovery
     needs to be checked at only one of them — the deduplication
     :func:`unique_cuts` and the ``repro.check`` cut memo are built on.
+
+    Accepts a bitmask cut; on mask-capable graphs the byte map comes from
+    the cached per-graph write index instead of a full node scan.  The
+    digest is byte-identical either way.
     """
-    written: Dict[int, int] = {}
+    if isinstance(cut, int) or _dep_masks(graph) is not None:
+        index = _write_index(graph)
+        written: Dict[int, int] = {}
+        members = (
+            iter_bits(cut) if isinstance(cut, int) else sorted(set(cut))
+        )
+        count = len(index)
+        for pid in members:
+            if 0 <= pid < count:
+                written.update(index[pid])
+        buffer = bytearray()
+        append = buffer.extend
+        for addr in sorted(written):
+            append(addr.to_bytes(8, "little"))
+            buffer.append(written[addr])
+        return hashlib.sha256(bytes(buffer)).hexdigest()
+    written = {}
     cut_set = set(cut)
     for node in graph.nodes:
         if node.pid in cut_set:
@@ -219,9 +373,31 @@ def unique_cuts(
         yield cut
 
 
+def unique_cut_masks(
+    graph: GraphDomain,
+    limit: int = 100_000,
+    stats: Optional[CutStats] = None,
+) -> Iterator[int]:
+    """:func:`unique_cuts` on the all-mask pipeline (mask-capable graphs).
+
+    Same representatives as :func:`unique_cuts` (identical enumeration
+    order, identical content keys), yielded as bitmasks.
+    """
+    stats = stats if stats is not None else CutStats()
+    seen: Set[str] = set()
+    for mask in enumerate_cut_masks(graph, limit=limit):
+        stats.enumerated += 1
+        key = cut_content_key(graph, mask)
+        if key in seen:
+            continue
+        seen.add(key)
+        stats.unique += 1
+        yield mask
+
+
 def image_at_cut(
     graph: GraphDomain,
-    cut: Iterable[int],
+    cut: Cut,
     base_image: NvramImage,
     check: bool = True,
 ) -> NvramImage:
@@ -229,18 +405,22 @@ def image_at_cut(
 
     Persists are applied in creation order (a linear extension); writes
     to the same address are always ordered by strong persist atomicity,
-    so any linear extension yields the same bytes.
+    so any linear extension yields the same bytes.  Accepts a bitmask
+    cut; either way only the cut's members are visited (ascending pid),
+    not the whole node list.
 
     Raises:
         RecoveryError: when ``check`` is set and the cut is inconsistent.
     """
-    cut_set = set(cut)
-    if check and not is_consistent_cut(graph, cut_set):
+    if check and not is_consistent_cut(graph, cut):
         raise RecoveryError("cut is not downward-closed under persist order")
+    members = cut_members(cut)
     image = base_image.copy()
-    for node in graph.nodes:
-        if node.pid in cut_set:
-            for addr, data in node.writes:
+    nodes = graph.nodes
+    count = len(nodes)
+    for pid in members:
+        if 0 <= pid < count:
+            for addr, data in nodes[pid].writes:
                 image.apply_persist(addr, data)
     return image
 
@@ -257,11 +437,11 @@ class FailureInjector:
         """Number of persists available to cut."""
         return len(self._graph.nodes)
 
-    def image_for(self, cut: Iterable[int]) -> NvramImage:
-        """Materialise the image for an explicit cut."""
+    def image_for(self, cut: Cut) -> NvramImage:
+        """Materialise the image for an explicit cut (ids or bitmask)."""
         return image_at_cut(self._graph, cut, self._base)
 
-    def faulty_image_for(self, cut: Iterable[int], plan) -> tuple:
+    def faulty_image_for(self, cut: Cut, plan) -> tuple:
         """Materialise the image for ``cut`` with device faults injected.
 
         ``plan`` is a :class:`repro.inject.plan.FaultPlan`; returns the
@@ -271,7 +451,7 @@ class FailureInjector:
         """
         from repro.inject.engine import materialize_faulty
 
-        cut_set = set(cut)
+        cut_set = set(cut_members(cut)) if isinstance(cut, int) else set(cut)
         if not is_consistent_cut(self._graph, cut_set):
             raise RecoveryError(
                 "cut is not downward-closed under persist order"

@@ -219,7 +219,9 @@ def execute_spec(spec: CaseSpec) -> CaseExecution:
         make_scheduler(spec.sched, spec.sched_seed)
     )
     run = target.build(spec.threads, spec.ops, recorder)
-    graph = analyze_graph(run.trace, spec.model).graph
+    # The bitset domain also gives the injector mask-based cut
+    # enumeration; the frozenset domain ("graph") is the oracle.
+    graph = analyze_graph(run.trace, spec.model, domain="bitset").graph
     return CaseExecution(
         spec=spec, run=run, graph=graph, choices=tuple(recorder.choices)
     )

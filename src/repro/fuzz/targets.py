@@ -7,8 +7,8 @@ the trace plus the base NVRAM image, and expose a recovery-invariant
 checker that raises :class:`~repro.errors.RecoveryError` when a
 failure-state image violates the workload's ground truth.
 
-The registry deliberately includes two **known-broken** variants whose
-bugs the paper's discipline explains — the fuzzer must rediscover both
+The registry deliberately includes three **known-broken** variants whose
+bugs the paper's discipline explains — the fuzzer must rediscover each
 from scratch:
 
 * ``queue-2lc-faithful`` — the paper's printed 2LC pseudo-code, which
@@ -18,6 +18,10 @@ from scratch:
 * ``minifs-racy`` — MiniFS built without the paper's barriers around
   lock acquires/releases; block reuse can persist before the directory
   swing it depends on (a torn file).
+* ``publish-pair`` — the minimal two-thread publish idiom with the
+  persist barrier between data stores and the volatile hand-off
+  omitted; relaxed models can persist the publisher's flag over
+  still-unpersisted record words.
 
 Their fixed counterparts (``queue-2lc``, ``minifs``) and the remaining
 targets are expected to survive any budget with zero violations.
@@ -41,7 +45,7 @@ from repro.inject.report import RecoveryReport
 from repro.memory import layout
 from repro.memory.nvram import NvramImage
 from repro.queue.recovery import recover_report, verify_recovery
-from repro.queue.workload import run_insert_workload
+from repro.queue.workload import prepare_insert_workload
 from repro.sim.machine import Machine
 from repro.sim.scheduler import Scheduler
 from repro.structures.counter import StripedPersistentCounter
@@ -78,6 +82,16 @@ class TargetRun:
     check_report: Optional[Callable[[NvramImage], RecoveryReport]] = None
 
 
+#: A target preparer: builds a not-yet-run machine plus a finalizer that
+#: packages one completed execution into a :class:`TargetRun`.  The
+#: finalizer may be called once per execution of the same machine (the
+#: prefix-sharing checker re-finalizes after every replayed schedule).
+Preparer = Callable[
+    [int, int, Scheduler],
+    Tuple[Machine, Callable[[Machine], TargetRun]],
+]
+
+
 @dataclass(frozen=True)
 class FuzzTarget:
     """A registered fuzz target and its sampling/shrinking bounds.
@@ -89,7 +103,7 @@ class FuzzTarget:
     """
 
     name: str
-    builder: Callable[[int, int, Scheduler], TargetRun]
+    preparer: Preparer
     thread_range: Tuple[int, int]
     ops_range: Tuple[int, int]
     #: Documented-broken variant: campaigns are expected to find bugs.
@@ -101,14 +115,30 @@ class FuzzTarget:
     #: undetectable-corruption exposure instead.
     hardened: bool = False
 
-    def build(self, threads: int, ops: int, scheduler: Scheduler) -> TargetRun:
-        """Build and run one program of the given size under ``scheduler``."""
+    def setup(
+        self, threads: int, ops: int, scheduler: Scheduler
+    ) -> Tuple[Machine, Callable[[Machine], TargetRun]]:
+        """Build a not-yet-run program of the given size.
+
+        Returns ``(machine, finalize)``: the machine has executed zero
+        steps (so callers may enable snapshots for prefix-sharing
+        replay), and ``finalize(machine)`` packages a completed run into
+        a :class:`TargetRun`.  ``finalize`` recomputes schedule-dependent
+        ground truth (e.g. append offsets) from the machine each call,
+        so it is safe to call once per replayed schedule.
+        """
         if threads <= 0 or ops <= 0:
             raise FuzzError(
                 f"target sizes must be positive, got threads={threads} "
                 f"ops={ops}"
             )
-        return self.builder(threads, ops, scheduler)
+        return self.preparer(threads, ops, scheduler)
+
+    def build(self, threads: int, ops: int, scheduler: Scheduler) -> TargetRun:
+        """Build and run one program of the given size under ``scheduler``."""
+        machine, finalize = self.setup(threads, ops, scheduler)
+        machine.run()
+        return finalize(machine)
 
 
 def _fresh_machine(scheduler: Scheduler) -> Machine:
@@ -127,11 +157,11 @@ def _snapshot(machine: Machine) -> NvramImage:
 
 
 def _queue_builder(design: str, paper_faithful: bool):
-    """Builder factory for the queue insert workloads."""
+    """Preparer factory for the queue insert workloads."""
 
-    def build(threads: int, ops: int, scheduler: Scheduler) -> TargetRun:
-        """Run the insert workload; check entries against ground truth."""
-        result = run_insert_workload(
+    def prepare(threads: int, ops: int, scheduler: Scheduler):
+        """Build the insert workload; check entries against ground truth."""
+        machine, finish_workload = prepare_insert_workload(
             design=design,
             threads=threads,
             inserts_per_thread=ops,
@@ -139,32 +169,37 @@ def _queue_builder(design: str, paper_faithful: bool):
             paper_faithful=paper_faithful,
             scheduler=scheduler,
         )
-        base = result.queue.base
-        expected = result.expected
 
-        def check(image: NvramImage) -> None:
-            """Every recovered entry must match what was inserted."""
-            verify_recovery(image, base, expected)
+        def finalize(machine: Machine) -> TargetRun:
+            result = finish_workload(machine)
+            base = result.queue.base
+            expected = result.expected
 
-        def check_report(image: NvramImage) -> RecoveryReport:
-            """Degrading recovery; structural faults only (no checksums)."""
-            report = recover_report(image, base)
-            for entry in report.state:
-                if expected.get(entry.offset) != entry.payload:
-                    raise RecoveryError(
-                        f"queue entry at offset {entry.offset} recovered "
-                        f"a payload that was never inserted there"
-                    )
-            return report
+            def check(image: NvramImage) -> None:
+                """Every recovered entry must match what was inserted."""
+                verify_recovery(image, base, expected)
 
-        return TargetRun(
-            trace=result.trace,
-            base_image=result.base_image,
-            check=check,
-            check_report=check_report,
-        )
+            def check_report(image: NvramImage) -> RecoveryReport:
+                """Degrading recovery; structural faults only (no checksums)."""
+                report = recover_report(image, base)
+                for entry in report.state:
+                    if expected.get(entry.offset) != entry.payload:
+                        raise RecoveryError(
+                            f"queue entry at offset {entry.offset} recovered "
+                            f"a payload that was never inserted there"
+                        )
+                return report
 
-    return build
+            return TargetRun(
+                trace=result.trace,
+                base_image=result.base_image,
+                check=check,
+                check_report=check_report,
+            )
+
+        return machine, finalize
+
+    return prepare
 
 
 # -- key-value store ---------------------------------------------------------
@@ -181,44 +216,51 @@ def _kv_thread(ctx, store, thread: int, ops: int, history: Dict[int, Set[int]]):
             yield from store.delete(ctx, key)
 
 
-def _build_kv(threads: int, ops: int, scheduler: Scheduler) -> TargetRun:
-    """KV-store target: recovered pairs must have been written."""
+def _prepare_kv(threads: int, ops: int, scheduler: Scheduler):
+    """KV-store target: recovered pairs must have been written.
+
+    ``history`` is mutated by the thread bodies as they run; replayed
+    prefixes re-add the same deterministic (key, value) pairs, so the
+    set-valued history is replay-idempotent.
+    """
     machine = _fresh_machine(scheduler)
     store = PersistentKvStore(machine, slots=64)
     base_image = _snapshot(machine)
     history: Dict[int, Set[int]] = {}
     for thread in range(threads):
         machine.spawn(_kv_thread, store, thread, ops, history)
-    trace = machine.run()
 
-    def check(image: NvramImage) -> None:
-        """Every recovered pair must be a (key, value) actually put."""
-        for key, value in store.recover(image).items():
-            if key not in history:
-                raise RecoveryError(f"recovered unknown key {key}")
-            if value not in history[key]:
-                raise RecoveryError(
-                    f"key {key} recovered value {value} that was never "
-                    f"written"
-                )
+    def finalize(machine: Machine) -> TargetRun:
+        def check(image: NvramImage) -> None:
+            """Every recovered pair must be a (key, value) actually put."""
+            for key, value in store.recover(image).items():
+                if key not in history:
+                    raise RecoveryError(f"recovered unknown key {key}")
+                if value not in history[key]:
+                    raise RecoveryError(
+                        f"key {key} recovered value {value} that was never "
+                        f"written"
+                    )
 
-    def check_report(image: NvramImage) -> RecoveryReport:
-        """Degrading recovery: checksummed pairs must all be genuine."""
-        report = store.recover_report(image)
-        for key, value in report.state.items():
-            if key not in history or value not in history[key]:
-                raise RecoveryError(
-                    f"kv slot passed its checksum but holds ({key}, "
-                    f"{value}), which was never written"
-                )
-        return report
+        def check_report(image: NvramImage) -> RecoveryReport:
+            """Degrading recovery: checksummed pairs must all be genuine."""
+            report = store.recover_report(image)
+            for key, value in report.state.items():
+                if key not in history or value not in history[key]:
+                    raise RecoveryError(
+                        f"kv slot passed its checksum but holds ({key}, "
+                        f"{value}), which was never written"
+                    )
+            return report
 
-    return TargetRun(
-        trace=trace,
-        base_image=base_image,
-        check=check,
-        check_report=check_report,
-    )
+        return TargetRun(
+            trace=machine.trace,
+            base_image=base_image,
+            check=check,
+            check_report=check_report,
+        )
+
+    return machine, finalize
 
 
 # -- append-only log ---------------------------------------------------------
@@ -234,14 +276,20 @@ def _log_thread(ctx, log, thread: int, ops: int):
     return written
 
 
-def _build_log(threads: int, ops: int, scheduler: Scheduler) -> TargetRun:
+def _prepare_log(threads: int, ops: int, scheduler: Scheduler):
     """Log target: committed records must match their appends exactly."""
     machine = _fresh_machine(scheduler)
     log = PersistentLog(machine, capacity=threads * ops * 64 + 64)
     base_image = _snapshot(machine)
     for thread in range(threads):
         machine.spawn(_log_thread, log, thread, ops)
-    trace = machine.run()
+    return machine, lambda machine: _finalize_log(machine, log, base_image)
+
+
+def _finalize_log(
+    machine: Machine, log: PersistentLog, base_image: NvramImage
+) -> TargetRun:
+    """Package one completed log run; offsets are schedule-dependent."""
     expected: Dict[int, bytes] = {}
     for thread in machine.threads:
         for offset, payload in thread.result:
@@ -268,7 +316,7 @@ def _build_log(threads: int, ops: int, scheduler: Scheduler) -> TargetRun:
         return report
 
     return TargetRun(
-        trace=trace,
+        trace=machine.trace,
         base_image=base_image,
         check=check,
         check_report=check_report,
@@ -284,25 +332,29 @@ def _counter_thread(ctx, counter, ops: int):
         yield from counter.increment(ctx)
 
 
-def _build_counter(threads: int, ops: int, scheduler: Scheduler) -> TargetRun:
+def _prepare_counter(threads: int, ops: int, scheduler: Scheduler):
     """Striped-counter target: never overcount, never go negative."""
     machine = _fresh_machine(scheduler)
     counter = StripedPersistentCounter(machine, threads)
     base_image = _snapshot(machine)
     for _ in range(threads):
         machine.spawn(_counter_thread, counter, ops)
-    trace = machine.run()
     ceiling = threads * ops
 
-    def check(image: NvramImage) -> None:
-        """Durable value must lie in [0, total increments]."""
-        value = counter.recover(image)
-        if not 0 <= value <= ceiling:
-            raise RecoveryError(
-                f"counter recovered {value} outside [0, {ceiling}]"
-            )
+    def finalize(machine: Machine) -> TargetRun:
+        def check(image: NvramImage) -> None:
+            """Durable value must lie in [0, total increments]."""
+            value = counter.recover(image)
+            if not 0 <= value <= ceiling:
+                raise RecoveryError(
+                    f"counter recovered {value} outside [0, {ceiling}]"
+                )
 
-    return TargetRun(trace=trace, base_image=base_image, check=check)
+        return TargetRun(
+            trace=machine.trace, base_image=base_image, check=check
+        )
+
+    return machine, finalize
 
 
 # -- MiniFS ------------------------------------------------------------------
@@ -322,9 +374,9 @@ def _fs_thread(ctx, fs, thread: int, ops: int):
 
 
 def _minifs_builder(race_free: bool):
-    """Builder factory for MiniFS with/without the race-free barriers."""
+    """Preparer factory for MiniFS with/without the race-free barriers."""
 
-    def build(threads: int, ops: int, scheduler: Scheduler) -> TargetRun:
+    def prepare(threads: int, ops: int, scheduler: Scheduler):
         """Create + rewrite one file per thread; recover all versions."""
         machine = _fresh_machine(scheduler)
         fs = MiniFs(
@@ -340,40 +392,44 @@ def _minifs_builder(race_free: bool):
             versions = {_fs_content(thread, v) for v in range(ops)}
             history[name_hash(f"f{thread}")] = versions
             machine.spawn(_fs_thread, fs, thread, ops)
-        trace = machine.run()
 
-        def check(image: NvramImage) -> None:
-            """Every recovered file must equal some written version."""
-            for hashed, recovered in fs.recover(image).items():
-                if hashed not in history:
-                    raise RecoveryError(f"recovered unknown file {hashed:#x}")
-                if recovered.data not in history[hashed]:
-                    raise RecoveryError(
-                        f"file {hashed:#x} recovered data matching no "
-                        f"written version"
-                    )
+        def finalize(machine: Machine) -> TargetRun:
+            def check(image: NvramImage) -> None:
+                """Every recovered file must equal some written version."""
+                for hashed, recovered in fs.recover(image).items():
+                    if hashed not in history:
+                        raise RecoveryError(
+                            f"recovered unknown file {hashed:#x}"
+                        )
+                    if recovered.data not in history[hashed]:
+                        raise RecoveryError(
+                            f"file {hashed:#x} recovered data matching no "
+                            f"written version"
+                        )
 
-        def check_report(image: NvramImage) -> RecoveryReport:
-            """Degrading mount: every mounted file must be a real version."""
-            report = fs.recover_report(image)
-            for hashed, recovered in report.state.items():
-                if hashed not in history or (
-                    recovered.data not in history[hashed]
-                ):
-                    raise RecoveryError(
-                        f"file {hashed:#x} mounted cleanly but matches no "
-                        f"written version"
-                    )
-            return report
+            def check_report(image: NvramImage) -> RecoveryReport:
+                """Degrading mount: every mounted file must be a real version."""
+                report = fs.recover_report(image)
+                for hashed, recovered in report.state.items():
+                    if hashed not in history or (
+                        recovered.data not in history[hashed]
+                    ):
+                        raise RecoveryError(
+                            f"file {hashed:#x} mounted cleanly but matches "
+                            f"no written version"
+                        )
+                return report
 
-        return TargetRun(
-            trace=trace,
-            base_image=base_image,
-            check=check,
-            check_report=check_report,
-        )
+            return TargetRun(
+                trace=machine.trace,
+                base_image=base_image,
+                check=check,
+                check_report=check_report,
+            )
 
-    return build
+        return machine, finalize
+
+    return prepare
 
 
 # -- durable transactions ----------------------------------------------------
@@ -397,9 +453,7 @@ def _txn_thread(ctx, txns, data_base: int, thread: int, ops: int):
     return committed
 
 
-def _build_transactions(
-    threads: int, ops: int, scheduler: Scheduler
-) -> TargetRun:
+def _prepare_transactions(threads: int, ops: int, scheduler: Scheduler):
     """Transaction target: durable commits form a prefix; replay exact."""
     machine = _fresh_machine(scheduler)
     txns = DurableTransactions(
@@ -411,39 +465,140 @@ def _build_transactions(
     base_image = _snapshot(machine)
     for thread in range(threads):
         machine.spawn(_txn_thread, txns, data_base, thread, ops)
-    trace = machine.run()
-    commit_order: List[Tuple[int, int, List[Tuple[int, int]]]] = []
-    for thread in machine.threads:
-        commit_order.extend(thread.result)
-    commit_order.sort()
     all_addrs = [
         data_base + index * layout.WORD_SIZE
         for index in range(threads * 2)
     ]
 
-    def check(image: NvramImage) -> None:
-        """Committed ids must prefix the commit order; values must match."""
-        state = txns.recover(image)
-        committed = state.committed_txn_ids
-        expected_prefix = [
-            txn_id for _, txn_id, _ in commit_order[: len(committed)]
-        ]
-        if committed != expected_prefix:
-            raise RecoveryError(
-                f"recovered commits {committed} are not a prefix of the "
-                f"commit order"
-            )
-        values: Dict[int, int] = {}
-        for _, _, writes in commit_order[: len(committed)]:
-            values.update(writes)
-        for addr in all_addrs:
-            if state.read(addr) != values.get(addr, 0):
-                raise RecoveryError(
-                    f"address {addr:#x} replayed to a value no committed "
-                    f"prefix explains"
-                )
+    def finalize(machine: Machine) -> TargetRun:
+        commit_order: List[Tuple[int, int, List[Tuple[int, int]]]] = []
+        for thread in machine.threads:
+            commit_order.extend(thread.result)
+        commit_order.sort()
 
-    return TargetRun(trace=trace, base_image=base_image, check=check)
+        def check(image: NvramImage) -> None:
+            """Committed ids must prefix the commit order; values must match."""
+            state = txns.recover(image)
+            committed = state.committed_txn_ids
+            expected_prefix = [
+                txn_id for _, txn_id, _ in commit_order[: len(committed)]
+            ]
+            if committed != expected_prefix:
+                raise RecoveryError(
+                    f"recovered commits {committed} are not a prefix of the "
+                    f"commit order"
+                )
+            values: Dict[int, int] = {}
+            for _, _, writes in commit_order[: len(committed)]:
+                values.update(writes)
+            for addr in all_addrs:
+                if state.read(addr) != values.get(addr, 0):
+                    raise RecoveryError(
+                        f"address {addr:#x} replayed to a value no committed "
+                        f"prefix explains"
+                    )
+
+        return TargetRun(
+            trace=machine.trace, base_image=base_image, check=check
+        )
+
+    return machine, finalize
+
+
+# -- publish pair ------------------------------------------------------------
+#
+# The smallest idiom the paper's discipline exists for: writers fill
+# persistent records and hand off through volatile flags; a publisher
+# observes every hand-off and durably marks the records published.  The
+# writers omit the persist barrier between their data stores and the
+# hand-off, so under relaxed persistency (epoch, strand) the publisher's
+# flag persist can reach NVRAM while record words are still in flight —
+# recovery then sees published=1 over garbage.  Strict persistency keeps
+# the trace-order dependence and stays violation-free.
+
+#: Record word values: writer ``w``'s word ``i`` holds this + w*16 + i.
+_PUBLISH_WORD = 0xA000
+
+#: Bytes reserved per writer's record block (flag lives after the last).
+_PUBLISH_STRIDE = 64
+
+
+def _publish_record_word(writer: int, index: int) -> int:
+    """The value writer ``writer`` stores into its record word ``index``."""
+    return _PUBLISH_WORD + writer * 16 + index
+
+
+def _publish_writer(ctx, record_base: int, ready_addr: int, writer: int, words: int):
+    """Generator body: fill the record, then hand off (no barrier — bug)."""
+    for index in range(words):
+        yield from ctx.store(
+            record_base + index * layout.WORD_SIZE,
+            _publish_record_word(writer, index),
+        )
+    yield from ctx.store(ready_addr, 1, sync=True)
+
+
+def _publish_publisher(ctx, ready_base: int, writers: int, flag_addr: int):
+    """Generator body: wait for every hand-off, durably mark published."""
+    for writer in range(writers):
+        yield from ctx.wait_equals(
+            ready_base + writer * layout.WORD_SIZE, 1, sync=True
+        )
+    yield from ctx.store(flag_addr, 1)
+
+
+def _prepare_publish_pair(threads: int, ops: int, scheduler: Scheduler):
+    """Publish target: a set flag promises every writer's ``ops + 1`` words.
+
+    ``threads - 1`` writers plus one publisher (the registry samples
+    ``threads == 2``, the paper's pair; benchmarks scale it up).
+    """
+    machine = _fresh_machine(scheduler)
+    writers = max(threads - 1, 1)
+    words = ops + 1
+    record_base = machine.persistent_heap.malloc(
+        writers * _PUBLISH_STRIDE + layout.WORD_SIZE
+    )
+    flag_addr = record_base + writers * _PUBLISH_STRIDE
+    ready_base = machine.volatile_heap.malloc(writers * layout.WORD_SIZE)
+    base_image = _snapshot(machine)
+    for writer in range(writers):
+        machine.spawn(
+            _publish_writer,
+            record_base + writer * _PUBLISH_STRIDE,
+            ready_base + writer * layout.WORD_SIZE,
+            writer,
+            words,
+        )
+    machine.spawn(_publish_publisher, ready_base, writers, flag_addr)
+
+    def finalize(machine: Machine) -> TargetRun:
+        def check(image: NvramImage) -> None:
+            """A durable published flag promises every record word."""
+            flag = image.read(flag_addr, layout.WORD_SIZE)
+            if flag == 0:
+                return
+            for writer in range(writers):
+                for index in range(words):
+                    addr = (
+                        record_base
+                        + writer * _PUBLISH_STRIDE
+                        + index * layout.WORD_SIZE
+                    )
+                    value = image.read(addr, layout.WORD_SIZE)
+                    if value != _publish_record_word(writer, index):
+                        raise RecoveryError(
+                            f"published flag is durable but writer "
+                            f"{writer}'s record word {index} holds "
+                            f"{value:#x}, not "
+                            f"{_publish_record_word(writer, index):#x}"
+                        )
+
+        return TargetRun(
+            trace=machine.trace, base_image=base_image, check=check
+        )
+
+    return machine, finalize
 
 
 #: Registry of every fuzzable workload, keyed by CLI name.
@@ -459,9 +614,9 @@ TARGETS: Dict[str, FuzzTarget] = {
             (2, 6),
             known_broken=True,
         ),
-        FuzzTarget("kv", _build_kv, (1, 4), (2, 8), hardened=True),
-        FuzzTarget("log", _build_log, (1, 4), (2, 6), hardened=True),
-        FuzzTarget("counter", _build_counter, (1, 4), (2, 8)),
+        FuzzTarget("kv", _prepare_kv, (1, 4), (2, 8), hardened=True),
+        FuzzTarget("log", _prepare_log, (1, 4), (2, 6), hardened=True),
+        FuzzTarget("counter", _prepare_counter, (1, 4), (2, 8)),
         FuzzTarget(
             "minifs", _minifs_builder(True), (2, 3), (2, 4), hardened=True
         ),
@@ -473,7 +628,14 @@ TARGETS: Dict[str, FuzzTarget] = {
             known_broken=True,
             hardened=True,
         ),
-        FuzzTarget("transactions", _build_transactions, (1, 3), (1, 4)),
+        FuzzTarget("transactions", _prepare_transactions, (1, 3), (1, 4)),
+        FuzzTarget(
+            "publish-pair",
+            _prepare_publish_pair,
+            (2, 2),
+            (1, 4),
+            known_broken=True,
+        ),
     )
 }
 

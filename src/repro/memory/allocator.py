@@ -94,6 +94,21 @@ class FreeListAllocator:
             f"{self.bytes_free} bytes free but fragmented or insufficient"
         )
 
+    def snapshot(self) -> Tuple[Tuple[Tuple[int, int], ...], Dict[int, int]]:
+        """Immutable capture of the allocator state for later restore."""
+        return (
+            tuple((block.addr, block.size) for block in self._free),
+            dict(self._live),
+        )
+
+    def restore(
+        self, state: Tuple[Tuple[Tuple[int, int], ...], Dict[int, int]]
+    ) -> None:
+        """Reset free list and live map to a :meth:`snapshot` capture."""
+        free, live = state
+        self._free = [_FreeBlock(addr, size) for addr, size in free]
+        self._live = dict(live)
+
     def free(self, addr: int) -> None:
         """Return an allocation to the free list, coalescing neighbours.
 

@@ -135,15 +135,20 @@ def _insert_thread(ctx, design, config: WorkloadConfig, thread_index: int):
     return written
 
 
-def run_insert_workload(
+def prepare_insert_workload(
     config: Optional[WorkloadConfig] = None,
     scheduler: Optional[Scheduler] = None,
     **overrides,
-) -> WorkloadResult:
-    """Run one insert workload and return its artifacts.
+) -> Tuple[Machine, Callable[[Machine], WorkloadResult]]:
+    """Build an insert workload without running it.
 
-    Either pass a :class:`WorkloadConfig` or keyword overrides for its
-    fields (``run_insert_workload(design="2lc", threads=8)``).
+    Returns ``(machine, finish)``: the machine has the queue allocated
+    and all inserter threads spawned but has executed zero steps, and
+    ``finish(machine)`` packages a completed run into a
+    :class:`WorkloadResult`.  The split lets exploration engines own the
+    run loop — enable snapshots on the pristine machine, replay shared
+    prefixes — while :func:`run_insert_workload` remains the one-call
+    wrapper (build, run, finish).
     """
     if config is None:
         config = WorkloadConfig(**overrides)
@@ -186,16 +191,34 @@ def run_insert_workload(
             thread_index,
             name=f"inserter-{thread_index}",
         )
-    trace = machine.run()
-    expected: Dict[int, bytes] = {}
-    for thread in machine.threads:
-        for offset, entry in thread.result:
-            expected[offset] = entry
-    return WorkloadResult(
-        config=config,
-        machine=machine,
-        trace=trace,
-        queue=queue,
-        expected=expected,
-        base_image=base_image,
-    )
+
+    def finish(machine: Machine) -> WorkloadResult:
+        expected: Dict[int, bytes] = {}
+        for thread in machine.threads:
+            for offset, entry in thread.result:
+                expected[offset] = entry
+        return WorkloadResult(
+            config=config,
+            machine=machine,
+            trace=machine.trace,
+            queue=queue,
+            expected=expected,
+            base_image=base_image,
+        )
+
+    return machine, finish
+
+
+def run_insert_workload(
+    config: Optional[WorkloadConfig] = None,
+    scheduler: Optional[Scheduler] = None,
+    **overrides,
+) -> WorkloadResult:
+    """Run one insert workload and return its artifacts.
+
+    Either pass a :class:`WorkloadConfig` or keyword overrides for its
+    fields (``run_insert_workload(design="2lc", threads=8)``).
+    """
+    machine, finish = prepare_insert_workload(config, scheduler, **overrides)
+    machine.run()
+    return finish(machine)

@@ -7,7 +7,7 @@ from repro.sim.introspect import (
     agent_footprints,
     next_footprint,
 )
-from repro.sim.machine import Machine, SimThread, ThreadState
+from repro.sim.machine import Machine, MachineSnapshot, SimThread, ThreadState
 from repro.sim.scheduler import (
     SCHEDULER_KINDS,
     ChoiceRecordingScheduler,
@@ -30,6 +30,7 @@ from repro.sim.sync import (
 
 __all__ = [
     "Machine",
+    "MachineSnapshot",
     "SimThread",
     "ThreadState",
     "ThreadContext",

@@ -118,15 +118,16 @@ def next_footprint(machine: Machine, agent: int) -> Optional[Footprint]:
     thread, a drain agent with an empty buffer, a thread whose remaining
     work belongs to its drain agent).
     """
+    threads = machine._threads  # hot path: skip the copying property
     if agent >= _DRAIN_BASE:
-        thread = machine.threads[agent - _DRAIN_BASE]
+        thread = threads[agent - _DRAIN_BASE]
         if not thread.store_buffer:
             return None
         entry = thread.store_buffer[0]
         if entry[0] == "store":
             return Footprint(writes=(_range(machine, entry[1], entry[2]),))
         return LOCAL_FOOTPRINT
-    thread = machine.threads[agent]
+    thread = threads[agent]
     if thread.state in (ThreadState.FINISHED, ThreadState.DRAINING):
         return None
     if thread.state is ThreadState.NEW:
@@ -151,7 +152,7 @@ def agent_footprints(machine: Machine) -> Dict[int, Footprint]:
     interleaving could enable them earlier.
     """
     footprints: Dict[int, Footprint] = {}
-    for thread in machine.threads:
+    for thread in machine._threads:
         footprint = next_footprint(machine, thread.thread_id)
         if footprint is not None:
             footprints[thread.thread_id] = footprint

@@ -11,7 +11,7 @@ guarantee the paper's lock-bank PIN tracer provides (Section 7).
 from __future__ import annotations
 
 import enum
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import DeadlockError, SimulationError
 from repro.memory import AddressSpace, FreeListAllocator
@@ -54,12 +54,54 @@ class SimThread:
         self.result: object = None
         #: TSO store buffer: FIFO of (addr, size, value, sync) entries.
         self.store_buffer: list = []
+        #: Rebuild recipe (generator function, args, context) — set by
+        #: :meth:`Machine.spawn` so restore can re-create the generator.
+        self.body: Optional[Callable] = None
+        self.args: tuple = ()
+        self.ctx: Optional[ThreadContext] = None
 
     def __repr__(self) -> str:
         return (
             f"SimThread(id={self.thread_id}, name={self.name!r}, "
             f"state={self.state.value})"
         )
+
+
+class MachineSnapshot:
+    """One between-steps capture of a machine (see ``Machine.snapshot``).
+
+    Holds only O(threads) bookkeeping plus a high-water mark into the
+    machine's write-undo journal — no copies of memory regions or the
+    trace — so taking one per scheduling decision is cheap.
+    """
+
+    __slots__ = (
+        "journal_mark",
+        "log_mark",
+        "trace_len",
+        "steps",
+        "threads",
+        "volatile_heap",
+        "persistent_heap",
+    )
+
+    def __init__(
+        self,
+        journal_mark: int,
+        log_mark: int,
+        trace_len: int,
+        steps: int,
+        threads: list,
+        volatile_heap,
+        persistent_heap,
+    ) -> None:
+        self.journal_mark = journal_mark
+        self.log_mark = log_mark
+        self.trace_len = trace_len
+        self.steps = steps
+        self.threads = threads
+        self.volatile_heap = volatile_heap
+        self.persistent_heap = persistent_heap
 
 
 class Machine:
@@ -110,6 +152,19 @@ class Machine:
         self.trace = Trace(meta=meta)
         self._threads: List[SimThread] = []
         self._steps = 0
+        #: Write-undo journal: (addr, previous bytes) per memory write,
+        #: in execution order.  None until :meth:`enable_snapshots`.
+        self._journal: Optional[list] = None
+        #: With snapshots enabled: every ``(thread, value)`` sent into a
+        #: generator, in global execution order.  Replaying a prefix
+        #: through fresh generators fast-forwards every thread body — and
+        #: every Python-side library mutation the bodies perform — in the
+        #: original interleaving (generators cannot be copied).
+        self._send_log: list = []
+        #: Registered external (Python-side) state: (capture, restore)
+        #: pairs; see :meth:`register_state`.
+        self._ext_state: List[Tuple[Callable, Callable]] = []
+        self._ext_initial: Optional[list] = None
 
     # -- setup ----------------------------------------------------------------
 
@@ -132,6 +187,9 @@ class Machine:
                 f"thread body {body!r} is not a generator function"
             )
         thread = SimThread(thread_id, generator, name or f"t{thread_id}")
+        thread.body = body
+        thread.args = args
+        thread.ctx = ctx
         self._threads.append(thread)
         return thread
 
@@ -227,8 +285,33 @@ class Machine:
         result = self._execute(thread, op)
         self._advance(thread, result)
 
+    def register_state(
+        self, capture: Callable[[], object], restore: Callable[[object], None]
+    ) -> None:
+        """Register Python-side library state for snapshot replay.
+
+        Structures that keep *volatile Python state* read by thread
+        bodies (an MCS lock's qnode cache, a transaction manager's
+        cursors, a filesystem's free lists) must register it here, or
+        :meth:`restore` cannot rewind it.  ``capture()`` returns a copy
+        of the state; ``restore(state)`` reinstates such a copy (and must
+        itself copy, since the same capture may be restored many times).
+        Restore resets every registered state to its value at
+        :meth:`enable_snapshots` time and then replays the send log,
+        which re-applies the bodies' mutations in original order.
+        """
+        self._ext_state.append((capture, restore))
+        if self._ext_initial is not None:
+            if self._steps:
+                raise SimulationError(
+                    "register_state after the snapshot-enabled machine ran"
+                )
+            self._ext_initial.append(capture())
+
     def _advance(self, thread: SimThread, send_value: object) -> None:
         """Resume the thread body until its next operation request."""
+        if self._journal is not None:
+            self._send_log.append((thread, send_value))
         try:
             thread.pending = thread.generator.send(send_value)
         except StopIteration as stop:
@@ -241,6 +324,124 @@ class Machine:
                 thread.state = ThreadState.FINISHED
                 self._emit_marker(thread, EventKind.THREAD_END)
 
+    def _mem_write(self, addr: int, size: int, value: int) -> None:
+        """All simulated stores funnel through here so the undo journal
+        can capture the overwritten bytes before they are lost."""
+        journal = self._journal
+        if journal is not None:
+            journal.append((addr, self.memory.read_bytes(addr, size)))
+        self.memory.write(addr, size, value)
+
+    # -- snapshot / restore -------------------------------------------------
+
+    def enable_snapshots(self) -> None:
+        """Turn on the write-undo journal and the global send log.
+
+        Must be called before the machine takes its first step: restore
+        rebuilds generators by replaying the send log from the
+        beginning, so the log must cover the whole execution.  The
+        initial values of all registered external states (see
+        :meth:`register_state`) are captured here as the replay origin.
+        """
+        if self._journal is not None:
+            return
+        if self._steps or any(
+            t.state is not ThreadState.NEW for t in self._threads
+        ):
+            raise SimulationError(
+                "enable_snapshots must be called before the machine runs"
+            )
+        self._journal = []
+        self._ext_initial = [capture() for capture, _ in self._ext_state]
+
+    def snapshot(self) -> "MachineSnapshot":
+        """Capture the machine state between steps (cheap: O(threads)).
+
+        Generators are not captured — they cannot be copied; restore
+        re-creates them from their spawn recipes and fast-forwards them
+        by replaying the recorded send log, which re-runs only the
+        thread bodies' own Python code (no machine steps, no trace
+        events, no memory operations).
+        """
+        if self._journal is None:
+            raise SimulationError("snapshots are not enabled on this machine")
+        return MachineSnapshot(
+            journal_mark=len(self._journal),
+            log_mark=len(self._send_log),
+            trace_len=len(self.trace),
+            steps=self._steps,
+            threads=[
+                (t.state, t.result, list(t.store_buffer))
+                for t in self._threads
+            ],
+            volatile_heap=self.volatile_heap.snapshot(),
+            persistent_heap=self.persistent_heap.snapshot(),
+        )
+
+    def restore(self, snap: "MachineSnapshot") -> None:
+        """Rewind the machine to a :meth:`snapshot` taken on it.
+
+        Memory is rewound by undoing the write journal in reverse; the
+        trace is truncated; heaps, thread bookkeeping, and registered
+        external states are reset; then fresh generators for *all*
+        threads are fast-forwarded by replaying the send-log prefix in
+        its original global interleaving.  Replaying every thread — not
+        just live ones — matters because bodies mutate shared Python
+        state (lock caches, allocator free lists, transaction cursors):
+        those mutations must be re-applied in the order they originally
+        happened, starting from the registered initial states.
+        """
+        journal = self._journal
+        if journal is None:
+            raise SimulationError("snapshots are not enabled on this machine")
+        if len(snap.threads) != len(self._threads):
+            raise SimulationError(
+                "snapshot does not match this machine's thread set"
+            )
+        for addr, old in reversed(journal[snap.journal_mark:]):
+            self.memory.write_bytes(addr, old)
+        del journal[snap.journal_mark:]
+        self.trace.truncate(snap.trace_len)
+        self._steps = snap.steps
+        self.volatile_heap.restore(snap.volatile_heap)
+        self.persistent_heap.restore(snap.persistent_heap)
+        for (_, restore_state), initial in zip(
+            self._ext_state, self._ext_initial
+        ):
+            restore_state(initial)
+        del self._send_log[snap.log_mark:]
+        generators = []
+        last_yield = []
+        for thread in self._threads:
+            generators.append(thread.body(thread.ctx, *thread.args))
+            last_yield.append(None)
+        for thread, value in self._send_log:
+            index = thread.thread_id
+            try:
+                last_yield[index] = generators[index].send(value)
+            except StopIteration:
+                # The body's final send: only replayed for its Python
+                # side effects; the thread's result is in the snapshot.
+                last_yield[index] = None
+        for thread, (state, result, buffer) in zip(
+            self._threads, snap.threads
+        ):
+            thread.state = state
+            thread.result = result
+            thread.store_buffer = list(buffer)
+            thread.pending = None
+            thread.wait = None
+            if state in (ThreadState.NEW, ThreadState.READY, ThreadState.WAITING):
+                thread.generator = generators[thread.thread_id]
+                if state is ThreadState.READY:
+                    thread.pending = last_yield[thread.thread_id]
+                elif state is ThreadState.WAITING:
+                    thread.wait = last_yield[thread.thread_id]
+            else:
+                # DRAINING/FINISHED bodies are exhausted and never
+                # resumed; keep no generator for them.
+                thread.generator = None
+
     # -- TSO store buffer ---------------------------------------------------
 
     def _drain_one(self, thread: SimThread) -> None:
@@ -252,7 +453,7 @@ class Machine:
         entry = thread.store_buffer.pop(0)
         if entry[0] == "store":
             _, addr, size, value, sync = entry
-            self.memory.write(addr, size, value)
+            self._mem_write(addr, size, value)
             self._emit_access(thread, EventKind.STORE, addr, size, value, sync)
         else:
             self._emit_marker(thread, entry[1])
@@ -337,7 +538,7 @@ class Machine:
                     ("store", op.addr, op.size, op.value, op.sync)
                 )
                 return None
-            self.memory.write(op.addr, op.size, op.value)
+            self._mem_write(op.addr, op.size, op.value)
             self._emit_access(
                 thread, EventKind.STORE, op.addr, op.size, op.value, op.sync
             )
@@ -348,7 +549,7 @@ class Machine:
         if isinstance(op, ops.CompareAndSwap):
             observed = self.memory.read(op.addr, op.size)
             if observed == op.expected:
-                self.memory.write(op.addr, op.size, op.new)
+                self._mem_write(op.addr, op.size, op.new)
                 self._emit_access(
                     thread, EventKind.RMW, op.addr, op.size, op.new, op.sync
                 )
@@ -359,7 +560,7 @@ class Machine:
             return False, observed
         if isinstance(op, ops.Swap):
             old = self.memory.read(op.addr, op.size)
-            self.memory.write(op.addr, op.size, op.new)
+            self._mem_write(op.addr, op.size, op.new)
             self._emit_access(
                 thread, EventKind.RMW, op.addr, op.size, op.new, op.sync
             )
@@ -367,7 +568,7 @@ class Machine:
         if isinstance(op, ops.FetchAdd):
             old = self.memory.read(op.addr, op.size)
             new = (old + op.delta) % (1 << (8 * op.size))
-            self.memory.write(op.addr, op.size, new)
+            self._mem_write(op.addr, op.size, new)
             self._emit_access(
                 thread, EventKind.RMW, op.addr, op.size, new, op.sync
             )

@@ -179,6 +179,15 @@ class ReplayableScheduler(Scheduler):
         self.choices.append(choice)
         return choice
 
+    def truncate(self, depth: int) -> None:
+        """Forget recorded choices from ``depth`` on.
+
+        Prefix-sharing exploration rewinds the bound machine to an
+        earlier decision point and resumes; the choice log must rewind
+        with it so replays stay exact.
+        """
+        del self.choices[depth:]
+
 
 #: Registry of seeded scheduler kinds the fuzzer samples from.
 SCHEDULER_KINDS = ("random", "strided2", "strided8", "round_robin")

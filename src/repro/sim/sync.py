@@ -100,6 +100,14 @@ class MCSLock(Lock):
         self._tail = machine.volatile_heap.malloc(layout.WORD_SIZE)
         machine.memory.write(self._tail, layout.WORD_SIZE, 0)
         self._qnodes: Dict[int, int] = {}
+        # The qnode cache is Python-side state read by thread bodies, so
+        # snapshot replay must rewind it with the machine.
+        machine.register_state(
+            lambda: dict(self._qnodes), self._restore_qnodes
+        )
+
+    def _restore_qnodes(self, state: Dict[int, int]) -> None:
+        self._qnodes = dict(state)
 
     def _qnode(self, ctx: ThreadContext) -> OpGen:
         """Return (allocating on first use) this thread's queue node."""

@@ -139,6 +139,17 @@ class MiniFs:
         # Volatile free-space state (rebuilt from reachability at mount).
         self._free_inodes = list(range(inodes - 1, -1, -1))
         self._free_blocks = list(range(data_blocks - 1, -1, -1))
+        # Free lists are Python-side state read by thread bodies, so
+        # snapshot replay must rewind them with the machine.
+        machine.register_state(
+            lambda: (list(self._free_inodes), list(self._free_blocks)),
+            self._restore_free_lists,
+        )
+
+    def _restore_free_lists(self, state: tuple) -> None:
+        free_inodes, free_blocks = state
+        self._free_inodes = list(free_inodes)
+        self._free_blocks = list(free_blocks)
 
     # -- address helpers ----------------------------------------------------
 

@@ -107,6 +107,25 @@ class DurableTransactions:
         self._commit_cursor = 0
         self._next_txn_id = 1
         self._open: Dict[int, Transaction] = {}
+        # All four are Python-side state read by thread bodies; snapshot
+        # replay rewinds them with the machine.  Open transactions need
+        # no deep copy: replay recreates the Transaction objects itself.
+        machine.register_state(self._capture_cursors, self._restore_cursors)
+
+    def _capture_cursors(self) -> tuple:
+        return (
+            list(self._log_cursors),
+            self._commit_cursor,
+            self._next_txn_id,
+            dict(self._open),
+        )
+
+    def _restore_cursors(self, state: tuple) -> None:
+        log_cursors, commit_cursor, next_txn_id, open_txns = state
+        self._log_cursors = list(log_cursors)
+        self._commit_cursor = commit_cursor
+        self._next_txn_id = next_txn_id
+        self._open = dict(open_txns)
 
     # -- record helpers ------------------------------------------------------
 

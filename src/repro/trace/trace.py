@@ -70,6 +70,20 @@ class Trace:
         for event in events:
             self.append(event)
 
+    def truncate(self, length: int) -> None:
+        """Discard every event at sequence ``length`` and beyond.
+
+        Used by snapshot/restore replay: rewinding a machine to an
+        earlier step must also rewind its trace so re-executed steps
+        append with the correct (dense, ascending) sequence numbers.
+        """
+        if length < 0 or length > len(self._events):
+            raise TraceError(
+                f"cannot truncate to {length}; trace has "
+                f"{len(self._events)} events"
+            )
+        del self._events[length:]
+
     def thread_ids(self) -> List[int]:
         """Sorted list of thread ids appearing in the trace."""
         return sorted({event.thread for event in self._events})

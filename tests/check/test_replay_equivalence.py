@@ -1,0 +1,97 @@
+"""Prefix-sharing replay vs. from-scratch re-execution: exact agreement.
+
+Snapshot/restore is only admissible because it is *invisible*: the
+engine must visit the same schedules, analyze the same DAGs, check the
+same cuts, and report the identical violation set whether it restores
+the deepest common prefix or re-executes every schedule from step 0.
+These tests pin that on the issue's three equivalence targets —
+publish-pair, CWL, and the paper-faithful 2LC queue (via the repo's
+usual violating-subtree idiom to keep the 2LC tree small) — and across
+the analysis domains.
+"""
+
+import pytest
+
+from repro.check import CheckConfig, check_target
+
+MODELS = ("strict", "epoch", "strand")
+
+
+def run_modes(target, threads, ops, **overrides):
+    """The same check under every replay mode (plus the oracle domain)."""
+    results = {}
+    for replay in ("share", "reexecute"):
+        config = CheckConfig(
+            models=MODELS, max_schedules=None, replay=replay, **overrides
+        )
+        results[replay] = check_target(target, threads, ops, config)
+    results["oracle"] = check_target(
+        target,
+        threads,
+        ops,
+        CheckConfig(
+            models=MODELS,
+            max_schedules=None,
+            replay="reexecute",
+            graph_domain="graph",
+            **overrides,
+        ),
+    )
+    return results
+
+
+def assert_identical(results):
+    """Same violations, same work counters, across all modes."""
+    baseline = results["reexecute"]
+    for result in results.values():
+        assert sorted(result.distinct) == sorted(baseline.distinct)
+        assert result.stats.describe() == baseline.stats.describe()
+        for key, violation in result.distinct.items():
+            assert violation.describe() == baseline.distinct[key].describe()
+    return baseline
+
+
+def test_publish_pair_identical():
+    baseline = assert_identical(run_modes("publish-pair", 2, 2))
+    # The missing barrier must surface under the relaxed models only.
+    models = {key[0] for key in baseline.distinct}
+    assert models == {"epoch", "strand"}
+
+
+def test_queue_cwl_identical_and_clean():
+    baseline = assert_identical(run_modes("queue-cwl", 2, 1))
+    assert baseline.ok
+    assert baseline.stats.schedules > 1
+
+
+def test_queue_2lc_faithful_identical_on_violating_subtree():
+    first = check_target(
+        "queue-2lc-faithful",
+        2,
+        1,
+        CheckConfig(models=MODELS, max_schedules=None, stop_at_first=True),
+    )
+    assert not first.ok
+    prefix = first.violations[0].choices[:-8]
+    baseline = assert_identical(
+        run_modes("queue-2lc-faithful", 2, 1, forced_prefix=tuple(prefix))
+    )
+    assert not baseline.ok
+    models = {key[0] for key in baseline.distinct}
+    assert models <= {"epoch", "strand"} and models
+
+
+def test_share_is_default_for_targets():
+    """With no explicit replay, target programs get prefix sharing —
+    and still match an explicit re-execution run."""
+    default = check_target(
+        "publish-pair", 2, 1, CheckConfig(models=MODELS, max_schedules=None)
+    )
+    explicit = check_target(
+        "publish-pair",
+        2,
+        1,
+        CheckConfig(models=MODELS, max_schedules=None, replay="reexecute"),
+    )
+    assert sorted(default.distinct) == sorted(explicit.distinct)
+    assert default.stats.describe() == explicit.stats.describe()

@@ -11,7 +11,7 @@ from repro.sim import make_scheduler
 class TestRegistry:
     def test_known_broken_variants(self):
         broken = {name for name, t in TARGETS.items() if t.known_broken}
-        assert broken == {"queue-2lc-faithful", "minifs-racy"}
+        assert broken == {"queue-2lc-faithful", "minifs-racy", "publish-pair"}
 
     def test_make_target_unknown_rejected(self):
         with pytest.raises(FuzzError):

@@ -1,0 +1,184 @@
+"""Machine snapshot/restore: the prefix-sharing replay contract.
+
+A restore must be *perfectly* invisible to the rest of an execution:
+memory, trace, heaps, thread bookkeeping, and any registered
+Python-side library state all rewind, and re-running from the restored
+point reproduces the original execution bit for bit.  The subtle part
+is Python-side state read by thread bodies (lock qnode caches,
+allocator cursors): restore resets it to its initial value and then
+re-derives the snapshot-time value by replaying the global send log,
+re-running the bodies' own Python code in the original interleaving.
+"""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Machine
+from repro.sim.scheduler import Scheduler
+from repro.sim.sync import MCSLock
+
+
+class FirstRunnableScheduler(Scheduler):
+    """Stateless deterministic scheduler: always the lowest runnable id.
+
+    Restore rewinds the machine but (by design) not the scheduler — the
+    checker truncates its own ``ReplayableScheduler``.  A stateless
+    policy makes post-restore re-runs reproduce the original schedule
+    with no scheduler bookkeeping in the test.
+    """
+
+    def pick(self, runnable):
+        return runnable[0]
+
+
+def trace_signature(trace):
+    return [repr(event) for event in trace]
+
+
+def partial_run(machine, steps):
+    """Advance ``steps`` scheduling steps, pausing between steps.
+
+    ``Machine.run`` treats an exhausted step budget with live threads as
+    an error; the machine is still in a consistent between-steps state,
+    which is exactly where snapshots are taken.
+    """
+    try:
+        machine.run(max_steps=steps)
+    except SimulationError:
+        pass
+
+
+def counter_machine():
+    """Two threads bump a shared persistent counter under an MCS lock."""
+    machine = Machine(scheduler=FirstRunnableScheduler())
+    lock = MCSLock(machine)
+    cell = machine.persistent_heap.malloc(8)
+
+    def body(ctx):
+        for _ in range(2):
+            yield from lock.acquire(ctx)
+            value = yield from ctx.load(cell)
+            yield from ctx.store(cell, value + 1)
+            yield from lock.release(ctx)
+
+    machine.spawn(body)
+    machine.spawn(body)
+    return machine, cell
+
+
+class TestRestore:
+    def test_restore_reproduces_execution_bit_for_bit(self):
+        machine, cell = counter_machine()
+        machine.enable_snapshots()
+        partial_run(machine, 9)
+        snap = machine.snapshot()
+        first = trace_signature(machine.run())
+        final = machine.memory.read(cell, 8)
+        assert final == 4
+
+        machine.restore(snap)
+        second = trace_signature(machine.run())
+        assert second == first
+        assert machine.memory.read(cell, 8) == final
+
+    def test_restore_rewinds_memory_trace_and_steps(self):
+        machine, cell = counter_machine()
+        machine.enable_snapshots()
+        partial_run(machine, 6)
+        snap = machine.snapshot()
+        mark_len = len(machine.trace)
+        mark_value = machine.memory.read(cell, 8)
+
+        machine.run()
+        assert len(machine.trace) > mark_len
+
+        machine.restore(snap)
+        assert len(machine.trace) == mark_len
+        assert machine.memory.read(cell, 8) == mark_value
+
+    def test_repeated_restores_from_one_snapshot(self):
+        machine, cell = counter_machine()
+        machine.enable_snapshots()
+        partial_run(machine, 12)
+        snap = machine.snapshot()
+        runs = []
+        for _ in range(3):
+            machine.restore(snap)
+            runs.append(trace_signature(machine.run()))
+        assert runs[0] == runs[1] == runs[2]
+        assert machine.memory.read(cell, 8) == 4
+
+    def test_restore_rewinds_python_side_lock_state(self):
+        """The MCS qnode cache is Python-side state: a restore that kept
+        it would skip the qnode malloc on replay and desynchronise the
+        send log.  Restoring to *before* the first acquire must re-run
+        the full allocation path cleanly."""
+        machine, cell = counter_machine()
+        machine.enable_snapshots()
+        snap = machine.snapshot()  # before any step: caches are empty
+        machine.run()
+        assert machine.memory.read(cell, 8) == 4
+
+        machine.restore(snap)
+        machine.run()
+        assert machine.memory.read(cell, 8) == 4
+
+    def test_restore_rewinds_heap_allocations(self):
+        machine = Machine(scheduler=FirstRunnableScheduler())
+
+        def body(ctx):
+            addr = yield from ctx.malloc_persistent(64)
+            yield from ctx.store(addr, 1)
+            return addr
+
+        machine.spawn(body)
+        machine.enable_snapshots()
+        snap = machine.snapshot()
+        first_thread = machine.threads[0]
+        machine.run()
+        first_addr = first_thread.result
+
+        machine.restore(snap)
+        machine.run()
+        assert machine.threads[0].result == first_addr
+
+    def test_custom_registered_state_replays(self):
+        """A body-visible Python-side counter registered via
+        ``register_state`` must rewind with the machine."""
+        machine = Machine(scheduler=FirstRunnableScheduler())
+        cell = machine.volatile_heap.malloc(8)
+        issued = []
+
+        def del_tail(n):
+            del issued[n:]
+
+        machine.register_state(lambda: len(issued), del_tail)
+
+        def body(ctx):
+            ticket = len(issued)
+            issued.append(ticket)
+            yield from ctx.store(cell, ticket)
+
+        machine.spawn(body)
+        machine.spawn(body)
+        machine.enable_snapshots()
+        snap = machine.snapshot()
+        machine.run()
+        assert issued == [0, 1]
+
+        machine.restore(snap)
+        assert issued == []
+        machine.run()
+        assert issued == [0, 1]
+
+    def test_register_state_after_first_step_raises(self):
+        machine = Machine(scheduler=FirstRunnableScheduler())
+
+        def body(ctx):
+            yield from ctx.mark("step")
+
+        machine.spawn(body)
+        machine.enable_snapshots()
+        partial_run(machine, 1)
+        with pytest.raises(SimulationError):
+            machine.register_state(lambda: None, lambda state: None)
