@@ -15,6 +15,8 @@ writing Python::
     repro fuzz replay --corpus-dir .repro-corpus
     repro fuzz minimize .repro-corpus/34624f4bc03739e3.repro.json
     repro check   --target queue-2lc-faithful --threads 2 --ops 1 --stats
+    repro litmus list
+    repro litmus run --all-models --cross-domains --out litmus.json
     repro selfcheck
 
 Every command prints to stdout and returns a process exit code; `inject`,
@@ -52,6 +54,16 @@ from repro.core import (
 )
 from repro.core.model import MODELS
 from repro.errors import RecoveryError, ReproError
+from repro.litmus import (
+    DEFAULT_CUT_LIMIT,
+    DEFAULT_MAX_SCHEDULES,
+    corpus_by_name,
+    default_corpus,
+    generate_programs,
+    hand_written,
+    run_corpus,
+    save_report,
+)
 from repro.harness import (
     DEFAULT_COST_MODEL,
     PAPER_PERSIST_LATENCY,
@@ -507,6 +519,103 @@ def cmd_check(args: argparse.Namespace) -> int:
     return 1 if violations else 0
 
 
+def _litmus_corpus(args: argparse.Namespace):
+    """Resolve the corpus selection shared by the litmus subcommands."""
+    programs = hand_written()
+    if args.generated:
+        programs += generate_programs(args.seed, args.generated)
+    if args.program:
+        by_name = corpus_by_name(programs)
+        missing = [name for name in args.program if name not in by_name]
+        if missing:
+            raise ReproError(
+                f"unknown litmus program(s): {', '.join(missing)}; "
+                f"see `repro litmus list`"
+            )
+        programs = [by_name[name] for name in args.program]
+    return programs
+
+
+def cmd_litmus_list(args: argparse.Namespace) -> int:
+    """List the litmus corpus (name, tags, one-line description)."""
+    for program in _litmus_corpus(args):
+        tags = ",".join(program.tags)
+        print(f"{program.name:28s} [{tags}] {program.description}")
+    return 0
+
+
+def cmd_litmus_show(args: argparse.Namespace) -> int:
+    """Print one litmus program's threads and locations."""
+    args.program = [args.name]
+    (program,) = _litmus_corpus(args)
+    print(f"{program.name}: {program.description}")
+    print(f"locations: {', '.join(program.locations)}")
+    for tid, prog in enumerate(program.threads):
+        print(f"thread {tid}:")
+        for op in prog:
+            print(f"  {' '.join(str(part) for part in op)}")
+    return 0
+
+
+def cmd_litmus_run(args: argparse.Namespace) -> int:
+    """Run the litmus corpus under persistency models, differentially.
+
+    Explores each program's TSO schedule space once (DPOR), analyzes
+    every schedule under each selected model, and compares the allowed
+    outcome sets (registers + persisted crash states) pairwise across
+    models — and across dependency domains with ``--cross-domains``.
+    Model disagreements are the point of the harness and exit 0; a
+    bitset-vs-frozenset domain mismatch is an implementation bug and
+    exits 1.
+    """
+    if args.all_models:
+        models = sorted(MODELS)
+    else:
+        models = list(args.models or ("strict", "epoch", "strand", "px86", "dpox86"))
+    domains = ("bitset", "graph") if args.cross_domains else (args.domain,)
+    programs = _litmus_corpus(args)
+    report = run_corpus(
+        programs,
+        models,
+        domains=domains,
+        max_schedules=args.max_schedules,
+        cut_limit=args.cut_limit,
+    )
+    summary = report["summary"]
+    for row in report["programs"]:
+        allowed = " ".join(
+            f"{model}={row['allowed'][model]}" for model in models
+        )
+        print(
+            f"{row['name']:28s} schedules={row['schedules']:<4d} {allowed}"
+        )
+        if args.verbose:
+            for pair in row["disagreements"]:
+                print(
+                    f"  {pair['left']} vs {pair['right']}: "
+                    f"{len(pair['left_only'])} outcome(s) only-left, "
+                    f"{len(pair['right_only'])} only-right"
+                )
+    print(
+        f"litmus: programs={summary['programs']} "
+        f"models={','.join(models)} domains={','.join(domains)}"
+    )
+    print(
+        f"litmus: schedules={summary['schedules']} "
+        f"allowed={summary['allowed']} forbidden={summary['forbidden']}"
+    )
+    print(
+        f"litmus: disagreement pairs={summary['disagreement_pairs']} "
+        f"programs with disagreements="
+        f"{summary['programs_with_disagreements']}"
+    )
+    print(f"litmus: domain mismatches={summary['domain_mismatches']}")
+    if args.out:
+        save_report(report, args.out)
+        print(f"wrote {args.out}")
+    return 1 if summary["domain_mismatches"] else 0
+
+
 def cmd_selfcheck(args: argparse.Namespace) -> int:
     """Validate the installation end to end in under a minute.
 
@@ -789,6 +898,85 @@ def build_parser() -> argparse.ArgumentParser:
         help="report violations without writing corpus repro files",
     )
     check_parser.set_defaults(handler=cmd_check)
+
+    litmus_parser = commands.add_parser(
+        "litmus", help="litmus corpus: list, show, differential run"
+    )
+    litmus_commands = litmus_parser.add_subparsers(
+        dest="litmus_command", required=True
+    )
+
+    def litmus_corpus_args(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--generated", type=int, default=4,
+            help="number of seeded generated programs to append (default 4)",
+        )
+        sub.add_argument(
+            "--seed", type=int, default=2014,
+            help="generator seed (default 2014)",
+        )
+
+    litmus_list = litmus_commands.add_parser(
+        "list", help=cmd_litmus_list.__doc__
+    )
+    litmus_corpus_args(litmus_list)
+    litmus_list.add_argument(
+        "--program", action="append", default=None,
+        help="restrict to named program(s)",
+    )
+    litmus_list.set_defaults(handler=cmd_litmus_list)
+
+    litmus_show = litmus_commands.add_parser(
+        "show", help=cmd_litmus_show.__doc__
+    )
+    litmus_corpus_args(litmus_show)
+    litmus_show.add_argument("name", help="program name")
+    litmus_show.set_defaults(handler=cmd_litmus_show)
+
+    litmus_run = litmus_commands.add_parser(
+        "run", help=cmd_litmus_run.__doc__
+    )
+    litmus_corpus_args(litmus_run)
+    litmus_run.add_argument(
+        "--program", action="append", default=None,
+        help="run only the named program(s) (default: whole corpus)",
+    )
+    litmus_run.add_argument(
+        "--model", dest="models", action="append", choices=sorted(MODELS),
+        default=None,
+        help="persistency model(s) to compare (default: strict epoch "
+        "strand px86 dpox86)",
+    )
+    litmus_run.add_argument(
+        "--all-models", action="store_true",
+        help="compare every registered model (including bpfs)",
+    )
+    litmus_run.add_argument(
+        "--domain", choices=("bitset", "graph"), default="bitset",
+        help="dependency domain for the persist DAG (default bitset; the "
+        "level domain cannot materialise DAGs)",
+    )
+    litmus_run.add_argument(
+        "--cross-domains", action="store_true",
+        help="run bitset AND frozenset domains, flag any outcome mismatch",
+    )
+    litmus_run.add_argument(
+        "--max-schedules", type=int, default=DEFAULT_MAX_SCHEDULES,
+        help="DPOR schedule budget per program",
+    )
+    litmus_run.add_argument(
+        "--cut-limit", type=int, default=DEFAULT_CUT_LIMIT,
+        help="consistent-cut budget per persist DAG",
+    )
+    litmus_run.add_argument(
+        "-o", "--out", default=None,
+        help="write the full differential report as JSON",
+    )
+    litmus_run.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="print per-pair disagreement counts",
+    )
+    litmus_run.set_defaults(handler=cmd_litmus_run)
 
     selfcheck_parser = commands.add_parser(
         "selfcheck", help=cmd_selfcheck.__doc__

@@ -174,10 +174,38 @@ def analyze(
             strands += 1
             model.on_new_strand(event.thread)
             continue
+        if kind is EventKind.SFENCE or kind is EventKind.FENCE:
+            # An mfence carries sfence semantics on x86 (commits the
+            # thread's outstanding weak flushes); the SC models ignore
+            # both.
+            model.on_sfence(event.thread)
+            continue
+        if event.is_flush:
+            # The flushed line's persist chain is whatever the last
+            # persist to each covered tracking block depends on (which
+            # transitively includes the whole same-block chain).
+            first = event.addr // tracking_gran
+            last = (event.addr + event.size - 1) // tracking_gran
+            deps = None
+            for block in range(first, last + 1):
+                chain = write_dep.get(block)
+                if chain is not None:
+                    deps = chain if deps is None else join(deps, chain)
+            if deps is not None:
+                model.on_flush(
+                    event.thread,
+                    deps,
+                    synchronous=kind is EventKind.CLFLUSH,
+                )
+            continue
         if not event.is_access:
             continue
 
         thread = event.thread
+        if kind is EventKind.RMW or event.info == "rmw-fail":
+            # Atomics are fences on x86 — even a failed CAS (traced as a
+            # LOAD tagged "rmw-fail") commits outstanding weak flushes.
+            model.on_sfence(thread)
         # Store-buffer-forwarded loads (TSO machines) never touched
         # memory: they observe the thread's own pending store, an
         # ordering program order already provides.

@@ -19,9 +19,16 @@ analysis granularity guarantee that schedule-equivalence under this
 relation implies persist-DAG equality — the property the checker's
 deduplication relies on.
 
+Cache-line flush steps (the Px86 family's ``clflush``/``clflushopt``/
+``clwb``, whether executed directly or drained from a TSO store buffer)
+surface as *reads* of the flushed line: a flush commutes with other
+flushes and with loads, but not with stores to the same line — the
+flush's position among those stores decides which persists it orders,
+exactly the distinction the persist DAG observes.
+
 Per-model relations: a :class:`PersistencyModel` can weaken how
 conflicts propagate *persist dependences* (``track_volatile_conflicts``,
-``detect_load_before_store`` — the BPFS variant).  Those per-model
+``detect_load_before_store`` — the BPFS and Px86 variants).  Those per-model
 relations are exported here for analysis and documentation via
 :func:`conflict_relation`, but exploration itself must always use the
 full (model-independent) relation: a volatile race still changes loaded
@@ -125,10 +132,10 @@ def conflict_relation(
     dependences over.
 
     ``model`` is a registry name (``strict``/``epoch``/``bpfs``/
-    ``strand``) or None for the full relation.  Models that ignore
-    volatile conflicts (BPFS) yield a weaker relation — suitable for
-    reasoning about which racing pairs can order *persists*, not for
-    pruning exploration.
+    ``strand``/``px86``/``dpox86``) or None for the full relation.
+    Models that ignore volatile conflicts (BPFS, the Px86 family) yield
+    a weaker relation — suitable for reasoning about which racing pairs
+    can order *persists*, not for pruning exploration.
 
     Raises:
         AnalysisError: for unknown model names.

@@ -8,8 +8,13 @@ order and strong persist atomicity) is shared machinery in
 ``track_volatile_conflicts`` / ``detect_load_before_store`` let a model
 weaken it (the BPFS variant, Section 5.2's discussion).
 
-All models here assume SC as the underlying consistency model, as in the
-paper (Section 5).
+The paper's models (strict/epoch/bpfs/strand) assume SC as the
+underlying consistency model (Section 5).  The Px86 family
+(:class:`Px86Persistency`, :class:`DPOx86Persistency`) instead analyzes
+the *memory order* a TSO machine records, following the formal x86
+persistency semantics of Khyzha & Lahav, "Taming x86-TSO Persistency"
+(POPL 2021): persists are ordered only by explicit cache-line flushes
+(``clflush``/``clflushopt``/``clwb``) and the fences that commit them.
 """
 
 from __future__ import annotations
@@ -60,6 +65,21 @@ class PersistencyModel(abc.ABC):
 
     def on_new_strand(self, thread: int) -> None:
         """Handle a ``NEWSTRAND`` annotation (default: ignored)."""
+
+    def on_flush(self, thread: int, deps, synchronous: bool) -> None:
+        """Handle a cache-line flush by ``thread``.
+
+        ``deps`` is the dependency value of the flushed line's persist
+        chain (the engine's ``write_dep`` over the flushed blocks);
+        ``synchronous`` is True for ``clflush`` (its effect takes place
+        at its memory-order point) and False for ``clflushopt``/``clwb``
+        (deferred until the next sfence/mfence/RMW).  Default: ignored —
+        the paper's SC models order persists without flushes.
+        """
+
+    def on_sfence(self, thread: int) -> None:
+        """Handle an ``SFENCE`` (or the sfence effect of an ``MFENCE`` /
+        atomic RMW) by ``thread``.  Default: ignored."""
 
 
 class StrictPersistency(PersistencyModel):
@@ -158,12 +178,99 @@ class StrandPersistency(EpochPersistency):
         self._epoch_acc.pop(thread, None)
 
 
+class Px86Persistency(PersistencyModel):
+    """Px86 persistency (Khyzha & Lahav's PTSOsyn, simplified to the
+    analyzer's trace setting).
+
+    Run it on traces recorded by a TSO machine: the trace *is* the
+    memory order, so per-location persist FIFOs fall out of the shared
+    engine's same-block conflict chains, and this class only tracks what
+    each thread's *future* persists must be ordered after:
+
+    * ``clflush`` of a line commits that line's persist chain into the
+      thread's ordered-before set at the flush's memory-order point.
+    * ``clflushopt``/``clwb`` accumulate the flushed chain into a
+      pending set that commits at the thread's next ``sfence``,
+      ``mfence``, or atomic RMW (x86's deferred flush ordering).
+    * Nothing else orders persists: plain stores and loads carry no
+      persist ordering (``absorb`` is a no-op), volatile conflicts do
+      not propagate dependences, and a persist is never ordered after a
+      read (TSO-style conflict detection).
+
+    ``PERSISTBARRIER`` lowers to sfence (commit pending weak flushes —
+    with no flush issued it orders nothing, unlike epoch persistency);
+    ``NEWSTRAND`` is ignored (x86 has no strands).
+    """
+
+    name = "px86"
+    track_volatile_conflicts = False
+    detect_load_before_store = False
+
+    def reset(self, domain: DependencyDomain) -> None:
+        super().reset(domain)
+        #: What each thread's future persists are ordered after.
+        self._committed: Dict[int, object] = {}
+        #: Weak-flush deps awaiting the next sfence/mfence/RMW.
+        self._pending: Dict[int, object] = {}
+
+    def thread_in(self, thread: int):
+        return self._committed.get(thread, self._domain.bottom)
+
+    def absorb(self, thread: int, value) -> None:
+        """Stores and loads do not order later persists under Px86."""
+
+    def _commit(self, thread: int, deps) -> None:
+        current = self._committed.get(thread)
+        if current is None:
+            self._committed[thread] = deps
+        else:
+            self._committed[thread] = self._domain.join(current, deps)
+
+    def on_flush(self, thread: int, deps, synchronous: bool) -> None:
+        if synchronous:
+            self._commit(thread, deps)
+            return
+        pending = self._pending.get(thread)
+        if pending is None:
+            self._pending[thread] = deps
+        else:
+            self._pending[thread] = self._domain.join(pending, deps)
+
+    def on_sfence(self, thread: int) -> None:
+        pending = self._pending.pop(thread, None)
+        if pending is not None:
+            self._commit(thread, pending)
+
+    def on_barrier(self, thread: int) -> None:
+        self.on_sfence(thread)
+
+
+class DPOx86Persistency(Px86Persistency):
+    """The DPOx86 simplification of Px86: every flush is synchronous.
+
+    ``clflushopt``/``clwb`` take their persist-ordering effect at their
+    memory-order point instead of waiting for the committing fence —
+    i.e. they behave like ``clflush``.  For clflush-only programs DPOx86
+    and Px86 agree (which the litmus harness checks); for weak-flush
+    programs DPOx86 *forbids* outcomes Px86 allows, e.g. after
+    ``St x; clflushopt x; St y`` (no fence) Px86 admits y persisted
+    without x, DPOx86 does not.
+    """
+
+    name = "dpox86"
+
+    def on_flush(self, thread: int, deps, synchronous: bool) -> None:
+        super().on_flush(thread, deps, synchronous=True)
+
+
 #: Model registry: name -> zero-argument factory.
 MODELS = {
     "strict": StrictPersistency,
     "epoch": EpochPersistency,
     "bpfs": BpfsPersistency,
     "strand": StrandPersistency,
+    "px86": Px86Persistency,
+    "dpox86": DPOx86Persistency,
 }
 
 

@@ -601,6 +601,104 @@ def _prepare_publish_pair(threads: int, ops: int, scheduler: Scheduler):
     return machine, finalize
 
 
+# -- durable publish (x86 flush family) --------------------------------------
+#
+# The single-thread durable-publish idiom the Px86 family discriminates:
+# each writer fills its record, flushes every record word, and then sets
+# its own *persistent* published flag.  Whether the flag can persist
+# before the record depends on the model:
+#
+# * ``publish-clwb`` flushes with ``clwb`` and commits with ``sfence``
+#   before the flag store — correct under px86/dpox86 (and strict), but
+#   the paper's epoch/strand models ignore the x86 flush family, so the
+#   default fuzz models still find the missing PERSISTBARRIER.
+# * ``publish-clflushopt-nofence`` omits the committing fence — under
+#   px86 the weak flushes never take effect before the flag store, so
+#   px86 finds violations that dpox86 (where every flush is synchronous)
+#   provably cannot.  Fuzzing it under both is the campaign-level
+#   px86-vs-dpox86 differential.
+
+
+def _flush_publish_writer(
+    ctx, record_base: int, flag_addr: int, writer: int, words: int,
+    flush: str, fence: bool,
+):
+    """Generator body: fill the record, flush it, maybe fence, publish."""
+    for index in range(words):
+        yield from ctx.store(
+            record_base + index * layout.WORD_SIZE,
+            _publish_record_word(writer, index),
+        )
+    for index in range(words):
+        addr = record_base + index * layout.WORD_SIZE
+        if flush == "clwb":
+            yield from ctx.clwb(addr)
+        else:
+            yield from ctx.clflushopt(addr)
+    if fence:
+        yield from ctx.sfence()
+    yield from ctx.store(flag_addr, 1)
+
+
+def _flush_publish_builder(flush: str, fence: bool) -> Preparer:
+    """Preparer factory for the durable-publish flush variants."""
+
+    def prepare(threads: int, ops: int, scheduler: Scheduler):
+        machine = _fresh_machine(scheduler)
+        words = ops + 1
+        record_base = machine.persistent_heap.malloc(
+            threads * _PUBLISH_STRIDE
+        )
+        # Flags live in their own lines so a record flush never covers one.
+        flag_base = machine.persistent_heap.malloc(
+            threads * _PUBLISH_STRIDE
+        )
+        base_image = _snapshot(machine)
+        for writer in range(threads):
+            machine.spawn(
+                _flush_publish_writer,
+                record_base + writer * _PUBLISH_STRIDE,
+                flag_base + writer * _PUBLISH_STRIDE,
+                writer,
+                words,
+                flush,
+                fence,
+            )
+
+        def finalize(machine: Machine) -> TargetRun:
+            def check(image: NvramImage) -> None:
+                """A writer's durable flag promises its record words."""
+                for writer in range(threads):
+                    flag = image.read(
+                        flag_base + writer * _PUBLISH_STRIDE,
+                        layout.WORD_SIZE,
+                    )
+                    if flag == 0:
+                        continue
+                    for index in range(words):
+                        addr = (
+                            record_base
+                            + writer * _PUBLISH_STRIDE
+                            + index * layout.WORD_SIZE
+                        )
+                        value = image.read(addr, layout.WORD_SIZE)
+                        if value != _publish_record_word(writer, index):
+                            raise RecoveryError(
+                                f"writer {writer}'s published flag is "
+                                f"durable but record word {index} holds "
+                                f"{value:#x}, not "
+                                f"{_publish_record_word(writer, index):#x}"
+                            )
+
+            return TargetRun(
+                trace=machine.trace, base_image=base_image, check=check
+            )
+
+        return machine, finalize
+
+    return prepare
+
+
 #: Registry of every fuzzable workload, keyed by CLI name.
 TARGETS: Dict[str, FuzzTarget] = {
     target.name: target
@@ -633,6 +731,20 @@ TARGETS: Dict[str, FuzzTarget] = {
             "publish-pair",
             _prepare_publish_pair,
             (2, 2),
+            (1, 4),
+            known_broken=True,
+        ),
+        FuzzTarget(
+            "publish-clwb",
+            _flush_publish_builder("clwb", fence=True),
+            (1, 2),
+            (1, 4),
+            known_broken=True,
+        ),
+        FuzzTarget(
+            "publish-clflushopt-nofence",
+            _flush_publish_builder("clflushopt", fence=False),
+            (1, 2),
             (1, 4),
             known_broken=True,
         ),

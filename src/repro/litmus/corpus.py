@@ -1,0 +1,388 @@
+"""The litmus corpus: hand-written idioms plus a seeded generator.
+
+The hand-written set covers the message-passing, store-buffering, and
+flush-ordering idioms the Px86 family is about, including the
+discriminating shapes: ``clflushopt`` without a committing fence (Px86
+vs DPOx86), a bare ``PERSISTBARRIER`` (epoch vs Px86), and the
+partial-overlap store-to-load forwarding corner the TSO machine used to
+strengthen away.  :func:`generate_programs` adds deterministic random
+programs so the differential harness also sweeps shapes nobody thought
+to write down (Lost-in-Interpretation style).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence
+
+from repro.litmus.program import LitmusProgram
+
+#: Marker values used by the partial-forwarding litmus.
+PARTIAL_X = 0xAABBCCDD
+PARTIAL_Y = 0x11223344
+
+
+def _p(name, description, threads, locations, tags) -> LitmusProgram:
+    program = LitmusProgram(
+        name=name,
+        description=description,
+        threads=tuple(tuple(tuple(op) for op in prog) for prog in threads),
+        locations=tuple(locations),
+        tags=tuple(tags),
+    )
+    program.validate()
+    return program
+
+
+def hand_written() -> List[LitmusProgram]:
+    """The curated corpus, in stable order."""
+    return [
+        # -- message passing -------------------------------------------------
+        _p(
+            "mp-none",
+            "MP with no flushes: data may persist after the flag",
+            [
+                [("store", "x", 1), ("store", "flag", 1)],
+                [("load", "flag"), ("load", "x")],
+            ],
+            ["x", "flag"],
+            ["mp"],
+        ),
+        _p(
+            "mp-clflush",
+            "MP hardened with clflush: data persists before the flag",
+            [
+                [("store", "x", 1), ("clflush", "x"), ("store", "flag", 1)],
+                [("load", "flag"), ("load", "x")],
+            ],
+            ["x", "flag"],
+            ["mp", "flush"],
+        ),
+        _p(
+            "mp-clflushopt",
+            "MP with clflushopt but no fence: Px86 still allows flag-first",
+            [
+                [("store", "x", 1), ("clflushopt", "x"), ("store", "flag", 1)],
+                [("load", "flag"), ("load", "x")],
+            ],
+            ["x", "flag"],
+            ["mp", "flush", "weak"],
+        ),
+        _p(
+            "mp-clflushopt-sfence",
+            "MP with clflushopt+sfence: the committing fence restores order",
+            [
+                [
+                    ("store", "x", 1),
+                    ("clflushopt", "x"),
+                    ("sfence",),
+                    ("store", "flag", 1),
+                ],
+                [("load", "flag"), ("load", "x")],
+            ],
+            ["x", "flag"],
+            ["mp", "flush", "weak"],
+        ),
+        _p(
+            "mp-clwb-sfence",
+            "MP with clwb+sfence (the PMDK publish idiom)",
+            [
+                [
+                    ("store", "x", 1),
+                    ("clwb", "x"),
+                    ("sfence",),
+                    ("store", "flag", 1),
+                ],
+                [("load", "flag"), ("load", "x")],
+            ],
+            ["x", "flag"],
+            ["mp", "flush", "weak"],
+        ),
+        _p(
+            "mp-barrier",
+            "MP with a paper PERSISTBARRIER: epoch orders it, Px86 does not",
+            [
+                [("store", "x", 1), ("barrier",), ("store", "flag", 1)],
+                [("load", "flag"), ("load", "x")],
+            ],
+            ["x", "flag"],
+            ["mp", "barrier"],
+        ),
+        _p(
+            "mp-wait",
+            "MP where the reader blocks on the flag (futex-style hand-off)",
+            [
+                [("store", "x", 1), ("store", "flag", 1)],
+                [("wait", "flag", 1), ("store", "y", 1)],
+            ],
+            ["x", "flag", "y"],
+            ["mp", "wait"],
+        ),
+        # -- store buffering -------------------------------------------------
+        _p(
+            "sb-plain",
+            "Classic store buffering on persistent cells",
+            [
+                [("store", "x", 1), ("load", "y")],
+                [("store", "y", 1), ("load", "x")],
+            ],
+            ["x", "y"],
+            ["sb"],
+        ),
+        _p(
+            "sb-mfence",
+            "Store buffering with mfence: the r0=r1=0 outcome disappears",
+            [
+                [("store", "x", 1), ("mfence",), ("load", "y")],
+                [("store", "y", 1), ("mfence",), ("load", "x")],
+            ],
+            ["x", "y"],
+            ["sb", "fence"],
+        ),
+        _p(
+            "sb-sfence",
+            "Store buffering with only sfence: no visibility effect on TSO",
+            [
+                [("store", "x", 1), ("sfence",), ("load", "y")],
+                [("store", "y", 1), ("sfence",), ("load", "x")],
+            ],
+            ["x", "y"],
+            ["sb", "fence"],
+        ),
+        _p(
+            "sb-partial-forward",
+            "SB where each thread reloads its own cell wider than it "
+            "stored: partial store-to-load forwarding must not drain "
+            "the buffer (the pre-fix machine forbade r1=r3=0)",
+            [
+                [
+                    ("store", "x", PARTIAL_X, 4),
+                    ("load", "x", 8),
+                    ("load", "y"),
+                ],
+                [
+                    ("store", "y", PARTIAL_Y, 4),
+                    ("load", "y", 8),
+                    ("load", "x"),
+                ],
+            ],
+            ["x", "y"],
+            ["sb", "forward"],
+        ),
+        # -- flush-ordering chains -------------------------------------------
+        _p(
+            "chain-clflush",
+            "Synchronous flush chain: x < y < z in persist order",
+            [
+                [
+                    ("store", "x", 1),
+                    ("clflush", "x"),
+                    ("store", "y", 1),
+                    ("clflush", "y"),
+                    ("store", "z", 1),
+                ]
+            ],
+            ["x", "y", "z"],
+            ["flush", "chain"],
+        ),
+        _p(
+            "chain-clflushopt-sfence",
+            "Weak flushes committed by one sfence: {x,y} < z, x,y unordered",
+            [
+                [
+                    ("store", "x", 1),
+                    ("clflushopt", "x"),
+                    ("store", "y", 1),
+                    ("clflushopt", "y"),
+                    ("sfence",),
+                    ("store", "z", 1),
+                ]
+            ],
+            ["x", "y", "z"],
+            ["flush", "chain", "weak"],
+        ),
+        _p(
+            "chain-epoch",
+            "The same chain with paper barriers (epoch/strand semantics)",
+            [
+                [
+                    ("store", "x", 1),
+                    ("barrier",),
+                    ("store", "y", 1),
+                    ("barrier",),
+                    ("store", "z", 1),
+                ]
+            ],
+            ["x", "y", "z"],
+            ["barrier", "chain"],
+        ),
+        _p(
+            "chain-strand",
+            "Barrier then NEWSTRAND: the strand model forgets the epoch",
+            [
+                [
+                    ("store", "x", 1),
+                    ("barrier",),
+                    ("strand",),
+                    ("store", "y", 1),
+                ]
+            ],
+            ["x", "y"],
+            ["barrier", "strand"],
+        ),
+        _p(
+            "flush-no-fence-mfence",
+            "clflushopt committed by mfence instead of sfence",
+            [
+                [
+                    ("store", "x", 1),
+                    ("clflushopt", "x"),
+                    ("mfence",),
+                    ("store", "y", 1),
+                ]
+            ],
+            ["x", "y"],
+            ["flush", "weak", "fence"],
+        ),
+        _p(
+            "flush-rmw-commit",
+            "clflushopt committed by an atomic RMW (lock-prefix fence)",
+            [
+                [
+                    ("store", "x", 1),
+                    ("clflushopt", "x"),
+                    ("fadd", "z", 1),
+                    ("store", "y", 1),
+                ]
+            ],
+            ["x", "y", "z"],
+            ["flush", "weak", "rmw"],
+        ),
+        _p(
+            "flush-casfail-commit",
+            "clflushopt committed by a failed CAS (still a lock-prefix fence)",
+            [
+                [
+                    ("store", "x", 1),
+                    ("clflushopt", "x"),
+                    ("cas", "z", 99, 1),
+                    ("store", "y", 1),
+                ]
+            ],
+            ["x", "y", "z"],
+            ["flush", "weak", "rmw"],
+        ),
+        _p(
+            "cross-thread-flush",
+            "One thread stores, the other flushes the same line: the "
+            "flush's drain position decides what it orders",
+            [
+                [("store", "x", 1)],
+                [("clflush", "x"), ("store", "y", 1)],
+            ],
+            ["x", "y"],
+            ["flush", "cross"],
+        ),
+        _p(
+            "2+2w",
+            "Two threads write both cells in opposite orders",
+            [
+                [("store", "x", 1), ("store", "y", 2)],
+                [("store", "y", 1), ("store", "x", 2)],
+            ],
+            ["x", "y"],
+            ["w"],
+        ),
+        _p(
+            "same-line-fifo",
+            "Two persists to one cell then another cell: per-location "
+            "FIFO orders the pair even under Px86",
+            [
+                [
+                    ("store", "x", 1),
+                    ("store", "x", 2),
+                    ("clflush", "x"),
+                    ("store", "y", 1),
+                ]
+            ],
+            ["x", "y"],
+            ["flush", "fifo"],
+        ),
+    ]
+
+
+#: Op menu for the generator: (op template, weight).
+_GEN_OPS = (
+    ("store", 6),
+    ("load", 3),
+    ("clflush", 2),
+    ("clflushopt", 2),
+    ("clwb", 1),
+    ("sfence", 2),
+    ("mfence", 1),
+    ("barrier", 1),
+)
+
+
+def generate_programs(
+    seed: int, count: int, threads: int = 2, ops_per_thread: int = 4
+) -> List[LitmusProgram]:
+    """Deterministically generate ``count`` random litmus programs.
+
+    Same seed, same programs — the generated corpus is as pinnable in CI
+    as the hand-written one.  Programs draw stores, loads, the flush
+    family, and fences over two shared cells, yielding flush/fence
+    placements nobody hand-picked.
+    """
+    rng = random.Random(seed)
+    locations = ("x", "y")
+    names, weights = zip(*_GEN_OPS)
+    programs = []
+    for index in range(count):
+        body = []
+        for _ in range(threads):
+            prog = []
+            for _ in range(ops_per_thread):
+                op = rng.choices(names, weights=weights)[0]
+                if op == "store":
+                    prog.append(
+                        ("store", rng.choice(locations), rng.randint(1, 3))
+                    )
+                elif op == "load":
+                    prog.append(("load", rng.choice(locations)))
+                elif op in ("clflush", "clflushopt", "clwb"):
+                    prog.append((op, rng.choice(locations)))
+                else:
+                    prog.append((op,))
+            body.append(prog)
+        programs.append(
+            _p(
+                f"gen-{seed}-{index}",
+                f"generated (seed={seed}, index={index})",
+                body,
+                locations,
+                ["generated"],
+            )
+        )
+    return programs
+
+
+def default_corpus(
+    generated: int = 4, seed: int = 2014
+) -> List[LitmusProgram]:
+    """Hand-written corpus plus ``generated`` seeded random programs."""
+    return hand_written() + generate_programs(seed, generated)
+
+
+def corpus_by_name(
+    programs: Optional[Sequence[LitmusProgram]] = None,
+) -> Dict[str, LitmusProgram]:
+    """Index a corpus by program name (default: :func:`default_corpus`)."""
+    if programs is None:
+        programs = default_corpus()
+    index: Dict[str, LitmusProgram] = {}
+    for program in programs:
+        if program.name in index:
+            raise ValueError(f"duplicate litmus program name {program.name!r}")
+        index[program.name] = program
+    return index

@@ -1,0 +1,168 @@
+"""Litmus program DSL.
+
+A litmus program is a tiny multi-threaded kernel over a handful of named
+persistent cells, written as data so the corpus can be listed, hashed,
+generated, and executed under every registered persistency model.  Each
+thread is a tuple of operation tuples::
+
+    ("store", loc, value)            # 8-byte store
+    ("store", loc, value, size)      # sub-word store
+    ("load", loc)                    # 8-byte load; appended to regs
+    ("load", loc, size)
+    ("clflush", loc) / ("clflushopt", loc) / ("clwb", loc)
+    ("sfence",) / ("mfence",) / ("barrier",) / ("strand",)
+    ("cas", loc, expected, new)      # regs get (ok, observed)
+    ("fadd", loc, delta)             # regs get the previous value
+    ("wait", loc, value)             # block until loc == value; regs get it
+
+Every load-like op appends its observation to the thread's *register
+tuple* (the thread body's return value), so an outcome can express the
+classic conditional litmus shapes ("if r0 = 1 then x must have
+persisted").  Locations are 8-byte cells allocated one per cache line so
+they never share a tracking block at any granularity up to the line
+size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.sim import Machine
+from repro.sim.scheduler import Scheduler
+
+#: Bytes reserved per named location (one line: no false sharing).
+CELL_STRIDE = 64
+#: Size of the value each location holds.
+CELL_SIZE = 8
+
+#: Op name -> required argument count (excluding optional trailing args).
+_OP_ARITY = {
+    "store": 2,
+    "load": 1,
+    "clflush": 1,
+    "clflushopt": 1,
+    "clwb": 1,
+    "sfence": 0,
+    "mfence": 0,
+    "barrier": 0,
+    "strand": 0,
+    "cas": 3,
+    "fadd": 2,
+    "wait": 2,
+}
+
+#: Ops whose first argument names a location.
+_LOC_OPS = frozenset(
+    {"store", "load", "clflush", "clflushopt", "clwb", "cas", "fadd", "wait"}
+)
+
+
+class LitmusError(ReproError):
+    """Malformed litmus program."""
+
+
+@dataclass(frozen=True)
+class LitmusProgram:
+    """One litmus test: named persistent cells plus per-thread op lists.
+
+    Attributes:
+        name: corpus-unique identifier (kebab-case).
+        description: one-line human description of the idiom.
+        threads: per-thread tuples of op tuples (see module docstring).
+        locations: declared persistent cell names, in outcome order.
+        tags: free-form labels (``mp``, ``sb``, ``flush``, ``generated``).
+    """
+
+    name: str
+    description: str
+    threads: Tuple[Tuple[tuple, ...], ...]
+    locations: Tuple[str, ...]
+    tags: Tuple[str, ...] = field(default=())
+
+    def validate(self) -> None:
+        """Raise :class:`LitmusError` on unknown ops or locations."""
+        if not self.name:
+            raise LitmusError("litmus program needs a name")
+        if not self.threads:
+            raise LitmusError(f"{self.name}: no threads")
+        declared = set(self.locations)
+        if len(declared) != len(self.locations):
+            raise LitmusError(f"{self.name}: duplicate location names")
+        for tid, prog in enumerate(self.threads):
+            for op in prog:
+                if not op or op[0] not in _OP_ARITY:
+                    raise LitmusError(
+                        f"{self.name}: thread {tid} has unknown op {op!r}"
+                    )
+                arity = _OP_ARITY[op[0]]
+                if len(op) - 1 < arity:
+                    raise LitmusError(
+                        f"{self.name}: thread {tid} op {op!r} needs at "
+                        f"least {arity} argument(s)"
+                    )
+                if op[0] in _LOC_OPS and op[1] not in declared:
+                    raise LitmusError(
+                        f"{self.name}: thread {tid} op {op!r} uses "
+                        f"undeclared location {op[1]!r}"
+                    )
+
+    def build(
+        self, scheduler: Scheduler, consistency: str = "tso"
+    ) -> Tuple[Machine, Dict[str, int]]:
+        """Construct a ready-to-run machine; returns (machine, addresses).
+
+        Deterministic: the same program always allocates its cells at
+        the same addresses, so prefix-sharing replay and differential
+        runs see identical layouts.
+        """
+        machine = Machine(scheduler=scheduler, consistency=consistency)
+        addrs = {
+            loc: machine.persistent_heap.malloc(CELL_STRIDE)
+            for loc in self.locations
+        }
+        for prog in self.threads:
+            machine.spawn(_thread_body, prog, addrs)
+        return machine, addrs
+
+
+def _thread_body(ctx, prog: Tuple[tuple, ...], addrs: Dict[str, int]):
+    """Generator body executing one thread's op list; returns regs."""
+    regs = []
+    for op in prog:
+        kind = op[0]
+        if kind == "store":
+            size = op[3] if len(op) > 3 else CELL_SIZE
+            yield from ctx.store(addrs[op[1]], op[2], size=size)
+        elif kind == "load":
+            size = op[2] if len(op) > 2 else CELL_SIZE
+            value = yield from ctx.load(addrs[op[1]], size=size)
+            regs.append(value)
+        elif kind == "clflush":
+            yield from ctx.clflush(addrs[op[1]], CELL_SIZE)
+        elif kind == "clflushopt":
+            yield from ctx.clflushopt(addrs[op[1]], CELL_SIZE)
+        elif kind == "clwb":
+            yield from ctx.clwb(addrs[op[1]], CELL_SIZE)
+        elif kind == "sfence":
+            yield from ctx.sfence()
+        elif kind == "mfence":
+            yield from ctx.fence()
+        elif kind == "barrier":
+            yield from ctx.persist_barrier()
+        elif kind == "strand":
+            yield from ctx.new_strand()
+        elif kind == "cas":
+            ok, observed = yield from ctx.cas(addrs[op[1]], op[2], op[3])
+            regs.append(int(ok))
+            regs.append(observed)
+        elif kind == "fadd":
+            old = yield from ctx.fetch_add(addrs[op[1]], op[2])
+            regs.append(old)
+        elif kind == "wait":
+            value = yield from ctx.wait_equals(addrs[op[1]], op[2])
+            regs.append(value)
+        else:  # pragma: no cover - validate() rejects these
+            raise LitmusError(f"unknown litmus op {op!r}")
+    return tuple(regs)

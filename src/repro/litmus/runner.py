@@ -1,0 +1,246 @@
+"""Litmus runner: execute a corpus under every model, differentially.
+
+For each program the runner explores the TSO schedule space once (DPOR
+via the check engine, prefix-sharing replay), then analyzes every
+explored schedule under each requested persistency model and dependency
+domain.  An *outcome* is the pair
+
+    (regs, mem)
+
+where ``regs`` are the per-thread register tuples the schedule produced
+(volatile observations) and ``mem`` the per-location persisted values at
+one consistent cut of that schedule's persist DAG (a crash state the
+model admits).  The set of outcomes a model allows is its observable
+behaviour; the differential report lists, pairwise, the outcomes one
+model allows and another forbids — and any bitset-vs-frozenset domain
+mismatch, which would be an implementation bug rather than a semantic
+difference.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.check.canonical import canonical_dag_key
+from repro.check.engine import Engine
+from repro.core.analysis import analyze_graph
+from repro.core.recovery import enumerate_cuts
+from repro.litmus.program import CELL_SIZE, LitmusProgram
+from repro.sim.scheduler import Scheduler
+
+#: An outcome: (per-thread register tuples, per-location persisted values).
+Outcome = Tuple[Tuple[tuple, ...], Tuple[int, ...]]
+
+#: Default bound on explored schedules per program.
+DEFAULT_MAX_SCHEDULES = 20_000
+#: Default bound on enumerated cuts per persist DAG.
+DEFAULT_CUT_LIMIT = 50_000
+
+
+class _LitmusCheckProgram:
+    """CheckProgram adapter so prefix-sharing replay applies."""
+
+    def __init__(self, program: LitmusProgram) -> None:
+        self._program = program
+        self.addrs: Dict[str, int] = {}
+
+    def build(self, scheduler: Scheduler):
+        machine, self.addrs = self._program.build(scheduler)
+        return machine
+
+    def finish(self, machine):
+        return machine.trace, tuple(t.result for t in machine.threads)
+
+
+def _cut_values(
+    graph, cut_pids, addrs: Dict[str, int], locations: Sequence[str]
+) -> Tuple[int, ...]:
+    """Per-location values after persisting exactly ``cut_pids``.
+
+    Replays the cut's persists in pid order (pids are assigned in trace
+    order, a linear extension of the DAG) over all-zero cells.
+    """
+    overlay: Dict[int, int] = {}
+    for pid in sorted(cut_pids):
+        for addr, data in graph.nodes[pid].writes:
+            for offset, byte in enumerate(data):
+                overlay[addr + offset] = byte
+    values = []
+    for loc in locations:
+        base = addrs[loc]
+        value = 0
+        for offset in range(CELL_SIZE):
+            value |= overlay.get(base + offset, 0) << (8 * offset)
+        values.append(value)
+    return tuple(values)
+
+
+def run_program(
+    program: LitmusProgram,
+    models: Sequence[str],
+    domains: Sequence[str] = ("bitset",),
+    max_schedules: int = DEFAULT_MAX_SCHEDULES,
+    cut_limit: int = DEFAULT_CUT_LIMIT,
+) -> dict:
+    """Run one litmus program under every model; returns its report dict.
+
+    ``domains`` lists the dependency domains to analyze under; outcome
+    sets are computed per (model, domain) and any difference between
+    domains is reported as a ``domain_mismatch`` (the lockstep property
+    says there must be none).
+    """
+    program.validate()
+    adapter = _LitmusCheckProgram(program)
+    engine = Engine(adapter, reduction="dpor", max_schedules=max_schedules)
+    allowed: Dict[str, Dict[str, Set[Outcome]]] = {
+        model: {domain: set() for domain in domains} for model in models
+    }
+    dag_keys: Dict[str, Set[str]] = {model: set() for model in models}
+    seen: Dict[Tuple[str, str], Set[tuple]] = {
+        (model, domain): set() for model in models for domain in domains
+    }
+    schedules = 0
+    for run in engine.explore():
+        trace, regs = run.result
+        schedules += 1
+        for model in models:
+            for domain in domains:
+                graph = analyze_graph(trace, model, domain=domain).graph
+                key = (canonical_dag_key(graph), regs)
+                if key in seen[(model, domain)]:
+                    continue
+                seen[(model, domain)].add(key)
+                dag_keys[model].add(key[0])
+                outcomes = allowed[model][domain]
+                for cut in enumerate_cuts(graph, limit=cut_limit):
+                    outcomes.add(
+                        (
+                            regs,
+                            _cut_values(
+                                graph, cut, adapter.addrs, program.locations
+                            ),
+                        )
+                    )
+    primary = domains[0]
+    domain_mismatches = [
+        model
+        for model in models
+        if any(
+            allowed[model][domain] != allowed[model][primary]
+            for domain in domains[1:]
+        )
+    ]
+    universe: Set[Outcome] = set()
+    for model in models:
+        universe |= allowed[model][primary]
+    report = {
+        "name": program.name,
+        "description": program.description,
+        "tags": list(program.tags),
+        "locations": list(program.locations),
+        "schedules": schedules,
+        "dags": {model: len(dag_keys[model]) for model in models},
+        "outcomes": {
+            model: [
+                _outcome_json(outcome, program.locations)
+                for outcome in _sorted_outcomes(allowed[model][primary])
+            ]
+            for model in models
+        },
+        "allowed": {model: len(allowed[model][primary]) for model in models},
+        "forbidden": {
+            model: len(universe - allowed[model][primary]) for model in models
+        },
+        "disagreements": _disagreements(
+            {model: allowed[model][primary] for model in models},
+            program.locations,
+        ),
+        "domain_mismatches": domain_mismatches,
+    }
+    return report
+
+
+def _sorted_outcomes(outcomes: Set[Outcome]) -> List[Outcome]:
+    return sorted(outcomes)
+
+
+def _outcome_json(outcome: Outcome, locations: Sequence[str]) -> dict:
+    regs, mem = outcome
+    return {
+        "regs": [list(thread_regs) for thread_regs in regs],
+        "mem": {loc: value for loc, value in zip(locations, mem)},
+    }
+
+
+def _disagreements(
+    allowed: Dict[str, Set[Outcome]], locations: Sequence[str]
+) -> List[dict]:
+    """Pairwise allowed/forbidden differences between models."""
+    models = list(allowed)
+    rows = []
+    for i, left in enumerate(models):
+        for right in models[i + 1 :]:
+            left_only = allowed[left] - allowed[right]
+            right_only = allowed[right] - allowed[left]
+            if not left_only and not right_only:
+                continue
+            rows.append(
+                {
+                    "left": left,
+                    "right": right,
+                    "left_only": [
+                        _outcome_json(o, locations)
+                        for o in _sorted_outcomes(left_only)
+                    ],
+                    "right_only": [
+                        _outcome_json(o, locations)
+                        for o in _sorted_outcomes(right_only)
+                    ],
+                }
+            )
+    return rows
+
+
+def run_corpus(
+    programs: Sequence[LitmusProgram],
+    models: Sequence[str],
+    domains: Sequence[str] = ("bitset",),
+    max_schedules: int = DEFAULT_MAX_SCHEDULES,
+    cut_limit: int = DEFAULT_CUT_LIMIT,
+) -> dict:
+    """Run a corpus; returns the full differential report dict."""
+    reports = [
+        run_program(
+            program,
+            models,
+            domains=domains,
+            max_schedules=max_schedules,
+            cut_limit=cut_limit,
+        )
+        for program in programs
+    ]
+    disagreement_pairs = sum(len(r["disagreements"]) for r in reports)
+    summary = {
+        "programs": len(reports),
+        "models": list(models),
+        "domains": list(domains),
+        "schedules": sum(r["schedules"] for r in reports),
+        "allowed": sum(sum(r["allowed"].values()) for r in reports),
+        "forbidden": sum(sum(r["forbidden"].values()) for r in reports),
+        "disagreement_pairs": disagreement_pairs,
+        "programs_with_disagreements": sum(
+            1 for r in reports if r["disagreements"]
+        ),
+        "domain_mismatches": sum(
+            len(r["domain_mismatches"]) for r in reports
+        ),
+    }
+    return {"summary": summary, "programs": reports}
+
+
+def save_report(report: dict, path: str) -> None:
+    """Write a report dict as pretty-printed JSON."""
+    with open(path, "w", encoding="utf-8") as stream:
+        json.dump(report, stream, indent=2, sort_keys=True)
+        stream.write("\n")

@@ -155,6 +155,24 @@ class ThreadContext:
         """Emit a memory fence (drains the store buffer on TSO machines)."""
         yield ops.Fence()
 
+    # -- x86 flush / fence family (Px86 models) ----------------------------
+
+    def clflush(self, addr: int, size: int = layout.WORD_SIZE) -> OpGen:
+        """Flush the line(s) covering the range (strongly ordered)."""
+        yield ops.ClFlush(addr, size)
+
+    def clflushopt(self, addr: int, size: int = layout.WORD_SIZE) -> OpGen:
+        """Flush the line(s) covering the range (weakly ordered)."""
+        yield ops.ClFlushOpt(addr, size)
+
+    def clwb(self, addr: int, size: int = layout.WORD_SIZE) -> OpGen:
+        """Write the line(s) covering the range back (weakly ordered)."""
+        yield ops.Clwb(addr, size)
+
+    def sfence(self) -> OpGen:
+        """Emit an sfence (commits outstanding clflushopt/clwb)."""
+        yield ops.SFence()
+
     # -- bookkeeping ---------------------------------------------------------
 
     def mark(self, info: str) -> OpGen:

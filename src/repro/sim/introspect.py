@@ -11,12 +11,17 @@ the read/write ranges (plus global resources such as the heap
 allocators) a scheduling step may touch.
 
 Footprints are deliberately conservative over-approximations: a step
-may touch *at most* what its footprint claims (a TSO load that might
-flush the store buffer claims every buffered write).  Over-approximating
+may touch *at most* what its footprint claims.  Over-approximating
 dependence is safe for partial-order reduction — it only costs extra
 interleavings — whereas under-approximation would silently drop
 executions, so every effect a step can have on shared machine state must
 be covered here.
+
+TSO loads forward byte-wise from the issuing thread's own buffer and
+never flush it: a fully-buffered load is thread-local, a partial or
+uncovered load reads memory (buffered bytes are private state).  A
+draining cache-line flush *reads* its line — its position relative to
+other threads' stores to that line decides which persists it orders.
 """
 
 from __future__ import annotations
@@ -71,16 +76,24 @@ def _buffered_writes(machine: Machine, thread: SimThread) -> Tuple[Range, ...]:
     )
 
 
+def _tso_read_footprint(
+    machine: Machine, thread: SimThread, addr: int, size: int
+) -> Footprint:
+    """Footprint of a TSO load/wait-read with byte-wise forwarding."""
+    overlay = machine.buffered_bytes(thread, addr, size)
+    if overlay and all(byte is not None for byte in overlay):
+        # Every byte forwards from the private buffer: no memory touch.
+        return LOCAL_FOOTPRINT
+    return Footprint(reads=(_range(machine, addr, size),))
+
+
 def _op_footprint(machine: Machine, thread: SimThread, op: object) -> Footprint:
     """Footprint of executing ``op`` as ``thread``'s next step."""
     tso = machine.consistency == "tso"
     if isinstance(op, ops.Load):
-        reads = (_range(machine, op.addr, op.size),)
-        if tso and thread.store_buffer:
-            # A partially-overlapping buffered store makes the load
-            # flush the whole buffer; claim those writes conservatively.
-            return Footprint(reads=reads, writes=_buffered_writes(machine, thread))
-        return Footprint(reads=reads)
+        if tso:
+            return _tso_read_footprint(machine, thread, op.addr, op.size)
+        return Footprint(reads=(_range(machine, op.addr, op.size),))
     if isinstance(op, ops.Store):
         if tso:
             return LOCAL_FOOTPRINT  # enters the private store buffer
@@ -92,21 +105,26 @@ def _op_footprint(machine: Machine, thread: SimThread, op: object) -> Footprint:
             writes = target + _buffered_writes(machine, thread)
         return Footprint(reads=target, writes=writes)
     if isinstance(op, ops.WaitUntil):
-        reads = (_range(machine, op.addr, op.size),)
-        if tso and thread.store_buffer:
-            # The wait's read may partially overlap a buffered store,
-            # which flushes the buffer (see Machine._buffered_read).
-            return Footprint(reads=reads, writes=_buffered_writes(machine, thread))
-        return Footprint(reads=reads)
+        if tso:
+            return _tso_read_footprint(machine, thread, op.addr, op.size)
+        return Footprint(reads=(_range(machine, op.addr, op.size),))
     if isinstance(op, ops.Fence):
         if tso and thread.store_buffer:
             return Footprint(writes=_buffered_writes(machine, thread))
         return LOCAL_FOOTPRINT
+    if isinstance(op, (ops.ClFlush, ops.ClFlushOpt, ops.Clwb)):
+        if tso and thread.store_buffer:
+            return LOCAL_FOOTPRINT  # enqueues behind the buffered stores
+        # Emitted at its memory-order point: the flush reads its line
+        # (its order against other threads' stores there is observable
+        # in the persist DAG).
+        return Footprint(reads=(_range(machine, op.addr, op.size),))
     if isinstance(op, (ops.Malloc, ops.Free)):
         heap = "heap:persistent" if op.persistent else "heap:volatile"
         return Footprint(resources=(heap,))
-    # PersistBarrier / NewStrand / PersistSync / Mark: thread-local
-    # annotations (on TSO with a non-empty buffer they merely enqueue).
+    # PersistBarrier / NewStrand / SFence / PersistSync / Mark:
+    # thread-local annotations (on TSO with a non-empty buffer they
+    # merely enqueue).
     return LOCAL_FOOTPRINT
 
 
@@ -126,6 +144,11 @@ def next_footprint(machine: Machine, agent: int) -> Optional[Footprint]:
         entry = thread.store_buffer[0]
         if entry[0] == "store":
             return Footprint(writes=(_range(machine, entry[1], entry[2]),))
+        if entry[0] == "flush":
+            # Draining a clflush/clflushopt/clwb reads its line: its
+            # position among other threads' stores to the line is what
+            # the Px86 analyzers order persists by.
+            return Footprint(reads=(_range(machine, entry[1], entry[2]),))
         return LOCAL_FOOTPRINT
     thread = threads[agent]
     if thread.state in (ThreadState.FINISHED, ThreadState.DRAINING):
@@ -134,10 +157,9 @@ def next_footprint(machine: Machine, agent: int) -> Optional[Footprint]:
         return LOCAL_FOOTPRINT  # THREAD_BEGIN marker, then pure advance
     if thread.state is ThreadState.WAITING:
         wait = thread.wait
-        reads = (_range(machine, wait.addr, wait.size),)
-        if machine.consistency == "tso" and thread.store_buffer:
-            return Footprint(reads=reads, writes=_buffered_writes(machine, thread))
-        return Footprint(reads=reads)
+        if machine.consistency == "tso":
+            return _tso_read_footprint(machine, thread, wait.addr, wait.size)
+        return Footprint(reads=(_range(machine, wait.addr, wait.size),))
     if thread.pending is None:
         return LOCAL_FOOTPRINT
     return _op_footprint(machine, thread, thread.pending)

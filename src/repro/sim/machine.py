@@ -52,7 +52,11 @@ class SimThread:
         self.wait: Optional[ops.WaitUntil] = None
         #: Value returned by the thread body once FINISHED.
         self.result: object = None
-        #: TSO store buffer: FIFO of (addr, size, value, sync) entries.
+        #: TSO store buffer: FIFO of entries, one of
+        #: ``("store", addr, size, value, sync)``,
+        #: ``("flush", addr, size, EventKind)`` (clflush/clflushopt/clwb
+        #: travelling behind earlier stores), or
+        #: ``("marker", EventKind)`` (persist barrier / strand / sfence).
         self.store_buffer: list = []
         #: Rebuild recipe (generator function, args, context) — set by
         #: :meth:`Machine.spawn` so restore can re-create the generator.
@@ -122,10 +126,13 @@ class Machine:
           baseline.
         * ``"tso"`` — stores enter a per-thread FIFO buffer and become
           visible when a *drain agent* (a scheduler-visible pseudo-thread
-          per buffer) writes them to memory.  Loads forward from the own
-          buffer (traced with ``info="sb-forward"``); RMWs and fences
-          drain first, x86-style.  The trace records *memory order*, so
-          analyzing it yields persistency-under-TSO semantics directly.
+          per buffer) writes them to memory.  Loads forward byte-wise
+          from the own buffer (``info="sb-forward"`` when every byte is
+          buffered, ``"sb-mixed"`` when buffered bytes overlay a memory
+          read); RMWs and mfences drain first, x86-style; clflush-family
+          ops and sfence travel through the buffer.  The trace records
+          *memory order*, so analyzing it yields persistency-under-TSO
+          semantics directly.
         """
         sizes = {}
         if volatile_size is not None:
@@ -242,7 +249,23 @@ class Machine:
     def _step(self, thread_id: int) -> None:
         """Execute one scheduling step for ``thread_id``."""
         if thread_id >= _DRAIN_BASE:
-            self._drain_one(self._threads[thread_id - _DRAIN_BASE])
+            index = thread_id - _DRAIN_BASE
+            if not 0 <= index < len(self._threads):
+                raise SimulationError(
+                    f"scheduler picked drain agent {thread_id} for "
+                    f"nonexistent thread {index}"
+                )
+            thread = self._threads[index]
+            if not thread.store_buffer:
+                # Drain agents are runnable exactly while the buffer is
+                # non-empty; reaching here means the scheduler returned
+                # an id that was not in the runnable set it was given
+                # (e.g. a stale replay recording).
+                raise SimulationError(
+                    f"drain scheduled for {thread.name} with an empty "
+                    f"buffer: scheduler violated the runnable-set contract"
+                )
+            self._drain_one(thread)
             return
         thread = self._threads[thread_id]
         if thread.state is ThreadState.NEW:
@@ -445,16 +468,20 @@ class Machine:
     # -- TSO store buffer ---------------------------------------------------
 
     def _drain_one(self, thread: SimThread) -> None:
-        """Make the oldest buffered entry visible (store or marker)."""
-        if not thread.store_buffer:
-            raise SimulationError(
-                f"drain scheduled for {thread.name} with an empty buffer"
-            )
+        """Make the oldest buffered entry visible (store/flush/marker).
+
+        The DRAINING → FINISHED transition lives here — the only place a
+        buffer empties entry by entry — so an exhausted thread can never
+        outlive its buffer.
+        """
         entry = thread.store_buffer.pop(0)
         if entry[0] == "store":
             _, addr, size, value, sync = entry
             self._mem_write(addr, size, value)
             self._emit_access(thread, EventKind.STORE, addr, size, value, sync)
+        elif entry[0] == "flush":
+            _, addr, size, kind = entry
+            self._emit_access(thread, kind, addr, size, 0)
         else:
             self._emit_marker(thread, entry[1])
         if thread.state is ThreadState.DRAINING and not thread.store_buffer:
@@ -462,51 +489,73 @@ class Machine:
             self._emit_marker(thread, EventKind.THREAD_END)
 
     def _flush_buffer(self, thread: SimThread) -> None:
-        """Drain the thread's entire store buffer (RMW/fence semantics)."""
+        """Drain the thread's entire store buffer (RMW/mfence semantics)."""
         while thread.store_buffer:
             self._drain_one(thread)
 
+    def buffered_bytes(
+        self, thread: SimThread, addr: int, size: int
+    ) -> List[Optional[int]]:
+        """Per-byte overlay of the thread's buffered stores over
+        ``[addr, addr+size)``; newest store wins per byte, ``None`` for
+        bytes no buffered store covers.  Pure (no side effects); also
+        used by footprint introspection.
+        """
+        overlay: List[Optional[int]] = [None] * size
+        end = addr + size
+        for entry in thread.store_buffer:  # oldest first: later wins
+            if entry[0] != "store":
+                continue
+            _, entry_addr, entry_size, value, _ = entry
+            lo = max(addr, entry_addr)
+            hi = min(end, entry_addr + entry_size)
+            if lo >= hi:
+                continue
+            data = value.to_bytes(entry_size, "little")
+            for at in range(lo, hi):
+                overlay[at - addr] = data[at - entry_addr]
+        return overlay
+
+    def _tso_load(self, thread: SimThread, addr: int, size: int):
+        """TSO load semantics: forward byte-wise from the thread's own
+        store buffer over memory; returns ``(value, trace info)``.
+
+        ``info`` records the forwarding decision: ``"sb-forward"`` when
+        every byte came from the buffer (the load never touched memory),
+        ``"sb-mixed"`` when buffered bytes were overlaid on a memory
+        read, ``""`` for a pure memory read.  No side effects — partial
+        overlap no longer flushes the buffer, which would strengthen
+        memory order mid-schedule.
+        """
+        overlay = self.buffered_bytes(thread, addr, size)
+        if all(byte is None for byte in overlay):
+            return self.memory.read(addr, size), ""
+        if all(byte is not None for byte in overlay):
+            return (
+                int.from_bytes(bytes(overlay), "little"),
+                "sb-forward",
+            )
+        data = bytearray(self.memory.read_bytes(addr, size))
+        for offset, byte in enumerate(overlay):
+            if byte is not None:
+                data[offset] = byte
+        return int.from_bytes(bytes(data), "little"), "sb-mixed"
+
     def _visible_value(self, thread: SimThread, addr: int, size: int) -> int:
         """The value a TSO load at this point would observe (no side
-        effects): the newest exactly-matching buffered store, else
-        memory.  Used by wait-predicate evaluation."""
+        effects).  Used by wait-predicate evaluation; shares
+        :meth:`_tso_load` with the actual wait read so the wake decision
+        and the observed value can never disagree."""
         if self.consistency == "tso":
-            for entry in reversed(thread.store_buffer):
-                if entry[0] != "store":
-                    continue
-                _, entry_addr, entry_size, value, _ = entry
-                if entry_addr == addr and entry_size == size:
-                    return value
+            return self._tso_load(thread, addr, size)[0]
         return self.memory.read(addr, size)
 
     def _wait_read(self, thread: SimThread, wait: ops.WaitUntil):
         """Observe a wait's location with TSO forwarding; returns
         (value, trace info)."""
         if self.consistency == "tso":
-            forwarded = self._buffered_read(thread, wait.addr, wait.size)
-            if forwarded is not None:
-                return forwarded, "sb-forward"
+            return self._tso_load(thread, wait.addr, wait.size)
         return self.memory.read(wait.addr, wait.size), ""
-
-    def _buffered_read(self, thread: SimThread, addr: int, size: int):
-        """TSO load semantics against the thread's own buffer.
-
-        Returns the forwarded value when the newest overlapping buffered
-        store matches the load range exactly; otherwise flushes the
-        buffer (partial-overlap forwarding is not modelled) and returns
-        None so the caller reads memory.
-        """
-        end = addr + size
-        for entry in reversed(thread.store_buffer):
-            if entry[0] != "store":
-                continue
-            _, entry_addr, entry_size, value, _ = entry
-            if entry_addr < end and addr < entry_addr + entry_size:
-                if entry_addr == addr and entry_size == size:
-                    return value
-                self._flush_buffer(thread)
-                return None
-        return None
 
     # -- operation execution -------------------------------------------------
 
@@ -515,21 +564,12 @@ class Machine:
         tso = self.consistency == "tso"
         if isinstance(op, ops.Load):
             if tso:
-                forwarded = self._buffered_read(thread, op.addr, op.size)
-                if forwarded is not None:
-                    self._emit_access(
-                        thread,
-                        EventKind.LOAD,
-                        op.addr,
-                        op.size,
-                        forwarded,
-                        op.sync,
-                        info="sb-forward",
-                    )
-                    return forwarded
-            value = self.memory.read(op.addr, op.size)
+                value, info = self._tso_load(thread, op.addr, op.size)
+            else:
+                value, info = self.memory.read(op.addr, op.size), ""
             self._emit_access(
-                thread, EventKind.LOAD, op.addr, op.size, value, op.sync
+                thread, EventKind.LOAD, op.addr, op.size, value, op.sync,
+                info=info,
             )
             return value
         if isinstance(op, ops.Store):
@@ -554,8 +594,12 @@ class Machine:
                     thread, EventKind.RMW, op.addr, op.size, op.new, op.sync
                 )
                 return True, observed
+            # A failed CAS is traced as a LOAD, but the lock prefix still
+            # fenced (the buffer was flushed above); "rmw-fail" lets the
+            # Px86 analyzers keep its flush-committing effect.
             self._emit_access(
-                thread, EventKind.LOAD, op.addr, op.size, observed, op.sync
+                thread, EventKind.LOAD, op.addr, op.size, observed, op.sync,
+                info="rmw-fail",
             )
             return False, observed
         if isinstance(op, ops.Swap):
@@ -599,6 +643,34 @@ class Machine:
             if tso:
                 self._flush_buffer(thread)
             self._emit_marker(thread, EventKind.FENCE)
+            return None
+        if isinstance(op, (ops.ClFlush, ops.ClFlushOpt, ops.Clwb)):
+            kind = (
+                EventKind.CLFLUSH
+                if isinstance(op, ops.ClFlush)
+                else EventKind.CLFLUSH_OPT
+                if isinstance(op, ops.ClFlushOpt)
+                else EventKind.CLWB
+            )
+            # Flushes are ordered behind earlier stores (they write the
+            # line those stores dirtied), and later stores stay behind
+            # them in the FIFO — so on TSO they travel through the store
+            # buffer.  Loads may still overtake them, matching x86's
+            # weak flush/load ordering.
+            if tso and thread.store_buffer:
+                thread.store_buffer.append(("flush", op.addr, op.size, kind))
+                return None
+            self._emit_access(thread, kind, op.addr, op.size, 0)
+            return None
+        if isinstance(op, ops.SFence):
+            # No store-visibility effect (TSO already orders stores):
+            # sfence only marks where outstanding weak flushes commit,
+            # so like the persist barrier it travels through the buffer
+            # to keep its memory-order position faithful.
+            if tso and thread.store_buffer:
+                thread.store_buffer.append(("marker", EventKind.SFENCE))
+                return None
+            self._emit_marker(thread, EventKind.SFENCE)
             return None
         if isinstance(op, ops.Mark):
             self._emit_marker(thread, EventKind.MARK, op.info)

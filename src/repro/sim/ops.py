@@ -127,6 +127,59 @@ class Fence:
 
 
 @dataclass(frozen=True)
+class ClFlush:
+    """x86 ``clflush``: write the cache line(s) covering ``[addr,
+    addr+size)`` back to memory; result is None.
+
+    Strongly ordered: on a TSO machine it travels through the store
+    buffer behind earlier stores, and later stores stay behind it.  The
+    Px86 analyzers treat its persist effect as synchronous — it takes
+    place where the flush appears in memory order.
+    """
+
+    addr: int
+    size: int = layout.WORD_SIZE
+
+
+@dataclass(frozen=True)
+class ClFlushOpt:
+    """x86 ``clflushopt``: weakly ordered cache-line write-back; result
+    is None.
+
+    Same buffering behaviour as :class:`ClFlush` on the simulated
+    machine, but the Px86 analyzer defers its persist-ordering effect
+    until the thread's next SFENCE/MFENCE/RMW (the DPOx86 simplification
+    ignores the deferral and treats it like ``clflush``).
+    """
+
+    addr: int
+    size: int = layout.WORD_SIZE
+
+
+@dataclass(frozen=True)
+class Clwb:
+    """x86 ``clwb``: write back without evicting; result is None.
+
+    Ordering-equivalent to :class:`ClFlushOpt` for persist analysis.
+    """
+
+    addr: int
+    size: int = layout.WORD_SIZE
+
+
+@dataclass(frozen=True)
+class SFence:
+    """x86 ``sfence``; result is None.
+
+    Commits the thread's outstanding weak flushes (clflushopt/clwb) so
+    later persists are ordered after them.  Does *not* drain the TSO
+    store buffer: under TSO store-to-store order already holds, so
+    sfence has no store-visibility effect — use :class:`Fence` (mfence)
+    to forbid store-buffering outcomes.
+    """
+
+
+@dataclass(frozen=True)
 class Mark:
     """Free-form trace annotation (e.g. ``insert:end``); result is None."""
 

@@ -1,12 +1,19 @@
 """Trace layer: events, containers, serialization, and validation."""
 
-from repro.trace.events import EventKind, MemoryEvent, make_access, make_marker
+from repro.trace.events import (
+    FLUSH_KINDS,
+    EventKind,
+    MemoryEvent,
+    make_access,
+    make_marker,
+)
 from repro.trace.io import load_file, save_file
 from repro.trace.trace import Trace, TraceStats
 from repro.trace.validate import validate, validate_sc_values, validate_structure
 
 __all__ = [
     "EventKind",
+    "FLUSH_KINDS",
     "MemoryEvent",
     "make_access",
     "make_marker",

@@ -38,9 +38,26 @@ class EventKind(enum.Enum):
     #: Memory (consistency) fence: drains the issuing thread's store
     #: buffer on a TSO machine.  Distinct from PERSIST_BARRIER — the
     #: paper's relaxed persistency separates consistency barriers from
-    #: persistency barriers.  No-op under SC; ignored by the ordering
-    #: analyzers (they consume the memory order the trace records).
+    #: persistency barriers.  No-op under SC; an MFENCE also acts as an
+    #: SFENCE for the Px86 analyzers (it commits weak flushes).
     FENCE = "fence"
+    #: x86 ``clflush``: evict the cache line covering ``addr`` and write
+    #: it back to memory.  Strongly ordered against stores and other
+    #: clflushes to the same line; the Px86 analyzers treat its persist
+    #: effect as taking place at its memory-order point.
+    CLFLUSH = "clflush"
+    #: x86 ``clflushopt``: weakly ordered flush.  Its persist effect is
+    #: deferred until the next SFENCE/MFENCE/RMW on the issuing thread.
+    CLFLUSH_OPT = "clflushopt"
+    #: x86 ``clwb``: write back without evicting.  Same ordering as
+    #: ``clflushopt`` for persist analysis (the eviction difference is a
+    #: performance distinction, not an ordering one).
+    CLWB = "clwb"
+    #: x86 ``sfence``: commits the thread's outstanding weak flushes
+    #: (clflushopt/clwb) so later persists are ordered after them.  Does
+    #: not drain the TSO store buffer — store-to-store order is already
+    #: guaranteed under TSO, so SFENCE has no visibility effect here.
+    SFENCE = "sfence"
     #: Heap management markers; no ordering effect.
     MALLOC = "malloc"
     FREE = "free"
@@ -58,6 +75,12 @@ _LOAD_LIKE = frozenset({EventKind.LOAD, EventKind.RMW})
 _STORE_LIKE = frozenset({EventKind.STORE, EventKind.RMW})
 #: Kinds that reference an address range.
 _ACCESS_KINDS = frozenset({EventKind.LOAD, EventKind.STORE, EventKind.RMW})
+#: Cache-line flush kinds (Px86 family).  They carry an address range —
+#: the flushed line — but are not accesses: they neither read nor write
+#: program-visible data.
+FLUSH_KINDS = frozenset(
+    {EventKind.CLFLUSH, EventKind.CLFLUSH_OPT, EventKind.CLWB}
+)
 
 
 @dataclass(frozen=True)
@@ -94,7 +117,7 @@ class MemoryEvent:
             raise TraceError(f"negative seq {self.seq}")
         if self.thread < 0:
             raise TraceError(f"negative thread id {self.thread}")
-        if self.is_access:
+        if self.is_access or self.is_flush:
             layout.validate_access(self.addr, self.size)
         elif self.addr or self.size:
             raise TraceError(
@@ -105,6 +128,11 @@ class MemoryEvent:
     def is_access(self) -> bool:
         """True for events that reference memory (load/store/RMW)."""
         return self.kind in _ACCESS_KINDS
+
+    @property
+    def is_flush(self) -> bool:
+        """True for cache-line flush events (clflush/clflushopt/clwb)."""
+        return self.kind in FLUSH_KINDS
 
     @property
     def is_load_like(self) -> bool:

@@ -81,6 +81,57 @@ def test_queue_2lc_faithful_identical_on_violating_subtree():
     assert models <= {"epoch", "strand"} and models
 
 
+def test_flush_target_identical_under_x86_models():
+    """Prefix-sharing replay must also be invisible on traces carrying
+    the x86 flush family (flush entries drain through the store buffer,
+    so restored snapshots must reproduce buffered-flush state exactly).
+    The missing commit fence surfaces under px86 but never dpox86."""
+    results = {}
+    for replay in ("share", "reexecute"):
+        results[replay] = check_target(
+            "publish-clflushopt-nofence",
+            1,
+            1,
+            CheckConfig(
+                models=("strict", "px86", "dpox86"),
+                max_schedules=None,
+                replay=replay,
+            ),
+        )
+    results["oracle"] = check_target(
+        "publish-clflushopt-nofence",
+        1,
+        1,
+        CheckConfig(
+            models=("strict", "px86", "dpox86"),
+            max_schedules=None,
+            replay="reexecute",
+            graph_domain="graph",
+        ),
+    )
+    baseline = assert_identical(results)
+    assert not baseline.ok
+    models = {key[0] for key in baseline.distinct}
+    assert models == {"px86"}
+
+
+def test_clwb_target_clean_under_x86_models():
+    """The fenced clwb publish is clean under the whole x86 family —
+    in both replay modes."""
+    for replay in ("share", "reexecute"):
+        result = check_target(
+            "publish-clwb",
+            1,
+            1,
+            CheckConfig(
+                models=("strict", "px86", "dpox86"),
+                max_schedules=None,
+                replay=replay,
+            ),
+        )
+        assert result.ok
+
+
 def test_share_is_default_for_targets():
     """With no explicit replay, target programs get prefix sharing —
     and still match an explicit re-execution run."""

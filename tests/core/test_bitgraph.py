@@ -25,7 +25,7 @@ from repro.fuzz import TARGETS, make_target
 from repro.sim.scheduler import RandomScheduler
 from tests.core.helpers import B, NS, P, S, build
 
-MODELS = ("strict", "epoch", "strand", "bpfs")
+MODELS = ("strict", "epoch", "strand", "bpfs", "px86", "dpox86")
 
 
 def assert_domains_agree(reference: GraphDomain, bitset: BitsetGraphDomain):
@@ -161,6 +161,37 @@ class TestAnalyzePipeline:
         )
         reference, bitset = analyzed_pair(run.trace, model)
         assert_domains_agree(reference, bitset)
+
+
+#: Flush-heavy litmus programs: the traces that exercise the new
+#: clflush/clflushopt/clwb/sfence event kinds through both domains.
+_FLUSH_LITMUS = (
+    "mp-clflush",
+    "mp-clflushopt",
+    "mp-clflushopt-sfence",
+    "mp-clwb-sfence",
+    "chain-clflushopt-sfence",
+    "flush-rmw-commit",
+    "flush-casfail-commit",
+    "cross-thread-flush",
+    "same-line-fifo",
+)
+
+
+class TestFlushTraces:
+    """Lockstep agreement on traces containing the x86 flush family."""
+
+    @pytest.mark.parametrize("name", _FLUSH_LITMUS)
+    @pytest.mark.parametrize("model", MODELS)
+    def test_flush_litmus_agree(self, name, model):
+        from repro.litmus import corpus_by_name
+
+        program = corpus_by_name()[name]
+        machine, _ = program.build(RandomScheduler(seed=11))
+        trace = machine.run()
+        reference, bitset = analyzed_pair(trace, model)
+        assert_domains_agree(reference, bitset)
+        assert_cut_families_agree(reference, bitset, limit=2_000)
 
 
 class TestBitHelpers:

@@ -1,0 +1,242 @@
+"""Analysis-level semantics of the Px86 and DPOx86 models.
+
+Pins the ordering table from ``docs/models.md``: which flush/fence
+shapes order a pair of persists under each model, including the two
+discriminating rows — ``clflushopt`` without a committing fence (px86
+allows reordering, dpox86 does not) and a bare paper ``PERSISTBARRIER``
+(epoch orders, the x86 family does not).  Runs under both the SC and
+the TSO machine so buffered flushes/fences are exercised through the
+store buffer, not just at execute time.
+"""
+
+import pytest
+
+from repro.core import MODELS
+from repro.core.analysis import analyze, analyze_graph
+from repro.sim import Machine
+from repro.trace import validate
+
+from tests.sim.test_tso import DrainLastScheduler
+
+
+def run_single(body_factory, consistency="sc"):
+    """Run a one-thread program; returns (trace, cell addresses)."""
+    machine = Machine(
+        scheduler=DrainLastScheduler(), consistency=consistency
+    )
+    x = machine.persistent_heap.malloc(64)
+    y = machine.persistent_heap.malloc(64)
+    z = machine.persistent_heap.malloc(64)
+    machine.spawn(body_factory(x, y, z))
+    trace = machine.run()
+    validate(trace)
+    return trace, (x, y, z)
+
+
+def critical_path(trace, model):
+    return analyze(trace, model, domain="bitset").critical_path
+
+
+def ordered(trace, model, addrs, first, second):
+    """True when persist(first) is an ancestor of persist(second)."""
+    graph = analyze_graph(trace, model).graph
+    by_addr = {}
+    for pid, node in enumerate(graph.nodes):
+        by_addr.setdefault(node.addr, pid)
+    left, right = by_addr[addrs[first]], by_addr[addrs[second]]
+    return left in graph.ancestors(right)
+
+
+# Each row: (name, ops between `St x` and `St y`, px86, dpox86, epoch).
+# `ops` is a list of methods invoked on the context between the stores.
+ORDERING_TABLE = [
+    ("none", [], False, False, False),
+    ("clflush", [("clflush", "x")], True, True, False),
+    ("clflushopt", [("clflushopt", "x")], False, True, False),
+    (
+        "clflushopt-sfence",
+        [("clflushopt", "x"), ("sfence", None)],
+        True,
+        True,
+        False,
+    ),
+    ("clwb-sfence", [("clwb", "x"), ("sfence", None)], True, True, False),
+    (
+        "clflushopt-mfence",
+        [("clflushopt", "x"), ("mfence", None)],
+        True,
+        True,
+        False,
+    ),
+    ("sfence-only", [("sfence", None)], False, False, False),
+    ("barrier", [("barrier", None)], False, False, True),
+]
+
+
+def _apply(ctx, op, addrs):
+    kind, loc = op
+    addr = {"x": addrs[0], "y": addrs[1], "z": addrs[2]}.get(loc)
+    if kind == "clflush":
+        yield from ctx.clflush(addr)
+    elif kind == "clflushopt":
+        yield from ctx.clflushopt(addr)
+    elif kind == "clwb":
+        yield from ctx.clwb(addr)
+    elif kind == "sfence":
+        yield from ctx.sfence()
+    elif kind == "mfence":
+        yield from ctx.fence()
+    elif kind == "barrier":
+        yield from ctx.persist_barrier()
+    else:  # pragma: no cover
+        raise AssertionError(kind)
+
+
+@pytest.mark.parametrize("consistency", ["sc", "tso"])
+@pytest.mark.parametrize(
+    "name, middle, px86_ordered, dpox86_ordered, epoch_ordered",
+    ORDERING_TABLE,
+    ids=[row[0] for row in ORDERING_TABLE],
+)
+def test_ordering_table(
+    consistency, name, middle, px86_ordered, dpox86_ordered, epoch_ordered
+):
+    def factory(x, y, z):
+        def body(ctx):
+            yield from ctx.store(x, 1)
+            for op in middle:
+                yield from _apply(ctx, op, (x, y, z))
+            yield from ctx.store(y, 1)
+
+        return body
+
+    trace, addrs = run_single(factory, consistency)
+    assert ordered(trace, "px86", addrs, 0, 1) == px86_ordered
+    assert ordered(trace, "dpox86", addrs, 0, 1) == dpox86_ordered
+    assert ordered(trace, "epoch", addrs, 0, 1) == epoch_ordered
+    # Strict orders everything in trace order; the x86 models never
+    # order more than dpox86 does.
+    assert ordered(trace, "strict", addrs, 0, 1)
+
+
+class TestCommitPoints:
+    """What commits a pending weak flush."""
+
+    @pytest.mark.parametrize("consistency", ["sc", "tso"])
+    def test_rmw_commits(self, consistency):
+        def factory(x, y, z):
+            def body(ctx):
+                yield from ctx.store(x, 1)
+                yield from ctx.clflushopt(x)
+                yield from ctx.fetch_add(z, 1)
+                yield from ctx.store(y, 1)
+
+            return body
+
+        trace, addrs = run_single(factory, consistency)
+        assert ordered(trace, "px86", addrs, 0, 1)
+
+    @pytest.mark.parametrize("consistency", ["sc", "tso"])
+    def test_failed_cas_commits(self, consistency):
+        """A failed CAS still carries the lock prefix's fence effect."""
+
+        def factory(x, y, z):
+            def body(ctx):
+                yield from ctx.store(x, 1)
+                yield from ctx.clflushopt(x)
+                ok, observed = yield from ctx.cas(z, 99, 1)
+                assert not ok
+                yield from ctx.store(y, 1)
+
+            return body
+
+        trace, addrs = run_single(factory, consistency)
+        assert ordered(trace, "px86", addrs, 0, 1)
+
+    def test_uncommitted_flush_never_orders(self):
+        """A weak flush with no fence before thread end orders nothing
+        under px86 — the pending set dies with the thread."""
+
+        def factory(x, y, z):
+            def body(ctx):
+                yield from ctx.store(x, 1)
+                yield from ctx.clflushopt(x)
+                yield from ctx.store(y, 1)
+                yield from ctx.store(z, 1)
+
+            return body
+
+        trace, addrs = run_single(factory)
+        for pair in ((0, 1), (0, 2), (1, 2)):
+            assert not ordered(trace, "px86", addrs, *pair)
+
+    def test_barrier_lowered_to_sfence_under_px86(self):
+        """PERSISTBARRIER acts as the commit fence for pending flushes
+        under px86 (but adds no ordering of its own)."""
+
+        def factory(x, y, z):
+            def body(ctx):
+                yield from ctx.store(x, 1)
+                yield from ctx.clflushopt(x)
+                yield from ctx.persist_barrier()
+                yield from ctx.store(y, 1)
+
+            return body
+
+        trace, addrs = run_single(factory)
+        assert ordered(trace, "px86", addrs, 0, 1)
+
+
+class TestPerLocationFifo:
+    def test_same_cell_persists_stay_fifo(self):
+        """Two stores to one cell then a clflush: the flush orders both
+        (same-block chains make the older persist a dependency of the
+        newer), so a later store is ordered after both even under px86."""
+
+        def factory(x, y, z):
+            def body(ctx):
+                yield from ctx.store(x, 1)
+                yield from ctx.store(x, 2)
+                yield from ctx.clflush(x)
+                yield from ctx.store(y, 1)
+
+            return body
+
+        trace, addrs = run_single(factory)
+        graph = analyze_graph(trace, "px86").graph
+        x_pids = [
+            pid
+            for pid, node in enumerate(graph.nodes)
+            if node.addr == addrs[0]
+        ]
+        y_pid, = [
+            pid
+            for pid, node in enumerate(graph.nodes)
+            if node.addr == addrs[1]
+        ]
+        ancestors = graph.ancestors(y_pid)
+        assert all(pid in ancestors for pid in x_pids)
+
+
+class TestRegistry:
+    def test_px86_family_registered(self):
+        assert "px86" in MODELS and "dpox86" in MODELS
+        px86 = MODELS["px86"]()
+        assert not px86.track_volatile_conflicts
+        assert not px86.detect_load_before_store
+
+    def test_critical_path_discriminates(self):
+        """The summary metric alone separates the family: the weak-flush
+        chain has critical path 1 under px86 and 2 under dpox86."""
+
+        def factory(x, y, z):
+            def body(ctx):
+                yield from ctx.store(x, 1)
+                yield from ctx.clflushopt(x)
+                yield from ctx.store(y, 1)
+
+            return body
+
+        trace, _ = run_single(factory)
+        assert critical_path(trace, "px86") == 1
+        assert critical_path(trace, "dpox86") == 2

@@ -11,7 +11,13 @@ from repro.sim import make_scheduler
 class TestRegistry:
     def test_known_broken_variants(self):
         broken = {name for name, t in TARGETS.items() if t.known_broken}
-        assert broken == {"queue-2lc-faithful", "minifs-racy", "publish-pair"}
+        assert broken == {
+            "queue-2lc-faithful",
+            "minifs-racy",
+            "publish-pair",
+            "publish-clwb",
+            "publish-clflushopt-nofence",
+        }
 
     def test_make_target_unknown_rejected(self):
         with pytest.raises(FuzzError):

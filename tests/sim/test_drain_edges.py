@@ -1,0 +1,118 @@
+"""Drain-agent edge cases (the satellite-2 hardening).
+
+The machine trusts the scheduler to pick from the runnable set it was
+handed; a scheduler (or a stale replay recording) that returns a drain
+id for a thread with an empty buffer used to trip an internal
+''popleft from an empty deque''.  Now it raises a diagnosable
+:class:`SimulationError` naming the contract that was violated, and the
+DRAINING bookkeeping is pinned by exhaustive exploration: no schedule
+of a buffer-heavy program can reach the error through legal picks.
+"""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Machine, Scheduler
+from repro.sim.machine import _DRAIN_BASE
+from repro.trace import EventKind, validate
+from repro.verify import explore_schedules
+
+from tests.sim.test_tso import DrainLastScheduler
+
+
+class _RogueDrainScheduler(Scheduler):
+    """Returns a drain id that is not in the runnable set."""
+
+    def __init__(self, rogue_id):
+        self._rogue = rogue_id
+        self._fired = False
+
+    def pick(self, runnable):
+        if not self._fired:
+            self._fired = True
+            return self._rogue
+        return min(runnable)
+
+
+class TestRogueDrainPicks:
+    def test_empty_buffer_drain_is_diagnosed(self):
+        machine = Machine(
+            scheduler=_RogueDrainScheduler(_DRAIN_BASE), consistency="tso"
+        )
+
+        def body(ctx):
+            yield from ctx.mark("alive")
+
+        machine.spawn(body)
+        with pytest.raises(SimulationError, match="runnable-set contract"):
+            machine.run()
+
+    def test_nonexistent_thread_drain_is_diagnosed(self):
+        machine = Machine(
+            scheduler=_RogueDrainScheduler(_DRAIN_BASE + 99),
+            consistency="tso",
+        )
+
+        def body(ctx):
+            yield from ctx.mark("alive")
+
+        machine.spawn(body)
+        with pytest.raises(SimulationError, match="nonexistent thread"):
+            machine.run()
+
+
+class TestDrainingBookkeeping:
+    def test_draining_thread_finishes_after_last_entry(self):
+        """A thread whose body ends with a buffered store (and a
+        buffered flush behind it) finishes only once the drain agent
+        empties the FIFO, and THREAD_END lands after both drains."""
+        machine = Machine(
+            scheduler=DrainLastScheduler(), consistency="tso"
+        )
+        cell = machine.persistent_heap.malloc(64)
+
+        def body(ctx):
+            yield from ctx.store(cell, 1)
+            yield from ctx.clwb(cell)
+
+        machine.spawn(body)
+        trace = machine.run()
+        validate(trace)
+        kinds = [e.kind for e in trace]
+        assert kinds.index(EventKind.THREAD_END) > kinds.index(
+            EventKind.CLWB
+        )
+        assert kinds.index(EventKind.CLWB) > kinds.index(EventKind.STORE)
+
+    def test_exhaustive_exploration_never_misdrains(self):
+        """Every interleaving of a program mixing buffered stores,
+        flushes, fences, an RMW, and a wait must execute without a
+        drain-contract error — legal picks can never reach one."""
+        flag_slot = {}
+
+        def build(scheduler):
+            machine = Machine(scheduler=scheduler, consistency="tso")
+            cell = machine.persistent_heap.malloc(64)
+            flag = machine.volatile_heap.malloc(8)
+            flag_slot["addr"] = flag
+
+            def writer(ctx):
+                yield from ctx.store(cell, 1)
+                yield from ctx.clflushopt(cell)
+                yield from ctx.sfence()
+                yield from ctx.store(flag, 1)
+
+            def waiter(ctx):
+                value = yield from ctx.wait_equals(flag, 1)
+                old = yield from ctx.fetch_add(cell, 1)
+                return (value, old)
+
+            machine.spawn(writer)
+            machine.spawn(waiter)
+            return machine
+
+        schedules = 0
+        for trace, machine in explore_schedules(build, max_schedules=20_000):
+            validate(trace)
+            schedules += 1
+        assert schedules > 1

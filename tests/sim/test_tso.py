@@ -140,20 +140,63 @@ class TestForwarding:
         machine.run()
         assert thread.result == 2
 
-    def test_partial_overlap_flushes(self):
+    def test_partial_overlap_forwards_without_draining(self):
+        """A wider load over a narrower buffered store splits: buffered
+        bytes forward, the rest come from memory, and — the actual fix —
+        the store stays buffered instead of being flushed to memory."""
         machine = tso_machine()
         cell = machine.volatile_heap.malloc(8)
+        machine.memory.write(cell, 8, 0x1122334400000000)
 
         def body(ctx):
             yield from ctx.store(cell, 0xAABBCCDD, size=4)
             value = yield from ctx.load(cell, size=8)
+            yield from ctx.mark("loaded")
             return value
 
         thread = machine.spawn(body)
         trace = machine.run()
+        # Composed value: low 4 bytes from the buffer, high 4 from memory.
+        assert thread.result == 0x11223344AABBCCDD
+        mixed = [e for e in trace if e.info == "sb-mixed"]
+        assert len(mixed) == 1 and mixed[0].kind is EventKind.LOAD
+        # The store was still buffered when the load ran: under
+        # DrainLast, its memory-order (drain) event comes after the
+        # marker that follows the load in program order.
+        order = [(e.kind, e.info) for e in trace]
+        assert order.index((EventKind.STORE, "")) > order.index(
+            (EventKind.MARK, "loaded")
+        )
+        validate(trace)  # sb-mixed loads are exempt from SC replay
+
+    def test_partial_overlap_keeps_store_buffered(self):
+        """Regression pin for the pre-fix behaviour, which drained the
+        whole buffer on any partial overlap: probed right after the
+        load, the store must still be in the buffer and memory must
+        still hold the old bytes."""
+        machine = tso_machine()
+        cell = machine.volatile_heap.malloc(8)
+        probes = []
+
+        def body(ctx):
+            yield from ctx.store(cell, 0xAABBCCDD, size=4)
+            value = yield from ctx.load(cell, size=8)
+            thread = machine.threads[0]
+            probes.append(
+                (
+                    machine.buffered_bytes(thread, cell, 8),
+                    machine.memory.read(cell, 8),
+                )
+            )
+            return value
+
+        thread = machine.spawn(body)
+        machine.run()
         assert thread.result == 0xAABBCCDD
-        # No forward: the buffer was flushed, the load read memory.
-        assert not any(e.info == "sb-forward" for e in trace)
+        (overlay, memory_value), = probes
+        assert overlay == [0xDD, 0xCC, 0xBB, 0xAA, None, None, None, None]
+        assert memory_value == 0  # nothing drained by the load
+        assert machine.memory.read(cell, 8) == 0xAABBCCDD  # drained at end
 
     def test_rmw_drains_buffer_first(self):
         machine = tso_machine()

@@ -1,0 +1,185 @@
+"""Machine-level semantics of the x86 flush/fence family.
+
+Pins how ``clflush``/``clflushopt``/``clwb``/``sfence`` interact with
+the TSO store buffer: flushes issued while stores are buffered join the
+FIFO behind them (their memory-order point is their drain), flushes on
+an empty buffer take effect immediately, loads may overtake pending
+flushes (x86 orders flushes against stores and fences, not loads), and
+the SC machine emits everything at execute time.
+"""
+
+import pytest
+
+from repro.sim import Machine, Scheduler
+from repro.trace import EventKind, FLUSH_KINDS, validate
+
+from tests.sim.test_tso import (
+    DrainEagerScheduler,
+    DrainLastScheduler,
+    tso_machine,
+)
+
+
+def sc_machine():
+    return Machine(scheduler=DrainLastScheduler(), consistency="sc")
+
+
+def kinds_in_order(trace):
+    return [
+        e.kind
+        for e in trace
+        if e.is_access or e.is_flush or e.kind is EventKind.SFENCE
+    ]
+
+
+class TestScMachine:
+    def test_flushes_emit_immediately(self):
+        machine = sc_machine()
+        cell = machine.persistent_heap.malloc(64)
+
+        def body(ctx):
+            yield from ctx.store(cell, 1)
+            yield from ctx.clflush(cell)
+            yield from ctx.clflushopt(cell)
+            yield from ctx.clwb(cell)
+            yield from ctx.sfence()
+
+        machine.spawn(body)
+        trace = machine.run()
+        validate(trace)
+        assert kinds_in_order(trace) == [
+            EventKind.STORE,
+            EventKind.CLFLUSH,
+            EventKind.CLFLUSH_OPT,
+            EventKind.CLWB,
+            EventKind.SFENCE,
+        ]
+
+    def test_flush_events_carry_range(self):
+        machine = sc_machine()
+        cell = machine.persistent_heap.malloc(64)
+
+        def body(ctx):
+            yield from ctx.clwb(cell + 8, 4)
+
+        machine.spawn(body)
+        trace = machine.run()
+        flush, = [e for e in trace if e.is_flush]
+        assert (flush.addr, flush.size) == (cell + 8, 4)
+
+
+class TestTsoBuffering:
+    def test_flush_queues_behind_buffered_store(self):
+        """Under DrainLast the store and its flush drain after the
+        program ran; the flush's trace position is its drain, and it
+        stays FIFO-after the store it covers."""
+        machine = tso_machine()
+        cell = machine.persistent_heap.malloc(64)
+
+        def body(ctx):
+            yield from ctx.store(cell, 1)
+            yield from ctx.clflushopt(cell)
+            yield from ctx.mark("issued")
+
+        machine.spawn(body)
+        trace = machine.run()
+        validate(trace)
+        order = [
+            (e.kind, e.info) for e in trace
+        ]
+        mark_at = order.index((EventKind.MARK, "issued"))
+        store_at = order.index((EventKind.STORE, ""))
+        flush_at = order.index((EventKind.CLFLUSH_OPT, ""))
+        # Both drained after the body finished issuing, store first.
+        assert mark_at < store_at < flush_at
+
+    def test_flush_on_empty_buffer_is_immediate(self):
+        machine = tso_machine()
+        cell = machine.persistent_heap.malloc(64)
+
+        def body(ctx):
+            yield from ctx.clflush(cell)
+            yield from ctx.mark("after")
+
+        machine.spawn(body)
+        trace = machine.run()
+        order = [(e.kind, e.info) for e in trace]
+        # No buffered store: the flush event precedes the next marker.
+        assert order.index((EventKind.CLFLUSH, "")) < order.index(
+            (EventKind.MARK, "after")
+        )
+
+    def test_load_overtakes_pending_flush(self):
+        """x86 does not order loads after clflushopt: a load issued
+        after the flush can read (and complete) while the flush is
+        still buffered."""
+        machine = tso_machine()
+        cell = machine.persistent_heap.malloc(64)
+        other = machine.volatile_heap.malloc(8)
+        machine.memory.write(other, 8, 7)
+
+        def body(ctx):
+            yield from ctx.store(cell, 1)
+            yield from ctx.clflushopt(cell)
+            value = yield from ctx.load(other)
+            return value
+
+        thread = machine.spawn(body)
+        trace = machine.run()
+        assert thread.result == 7
+        order = [e.kind for e in trace if e.is_access or e.is_flush]
+        assert order.index(EventKind.LOAD) < order.index(
+            EventKind.CLFLUSH_OPT
+        )
+
+    def test_sfence_marker_drains_with_buffer(self):
+        machine = tso_machine()
+        cell = machine.persistent_heap.malloc(64)
+
+        def body(ctx):
+            yield from ctx.store(cell, 1)
+            yield from ctx.sfence()
+
+        machine.spawn(body)
+        trace = machine.run()
+        validate(trace)
+        kinds = [
+            e.kind
+            for e in trace
+            if e.is_access or e.kind is EventKind.SFENCE
+        ]
+        assert kinds == [EventKind.STORE, EventKind.SFENCE]
+
+    def test_eager_drain_matches_sc_order(self):
+        """DrainEager drains every entry as soon as it appears, so the
+        event order matches the SC machine's."""
+
+        def program(machine):
+            cell = machine.persistent_heap.malloc(64)
+
+            def body(ctx):
+                yield from ctx.store(cell, 1)
+                yield from ctx.clwb(cell)
+                yield from ctx.sfence()
+                yield from ctx.store(cell, 2)
+
+            machine.spawn(body)
+            return machine.run()
+
+        sc_trace = program(sc_machine())
+        tso_trace = program(
+            Machine(scheduler=DrainEagerScheduler(), consistency="tso")
+        )
+        assert kinds_in_order(sc_trace) == kinds_in_order(tso_trace)
+
+    def test_flush_kinds_are_not_accesses(self):
+        machine = sc_machine()
+        cell = machine.persistent_heap.malloc(64)
+
+        def body(ctx):
+            yield from ctx.clflush(cell)
+
+        machine.spawn(body)
+        trace = machine.run()
+        flush, = [e for e in trace if e.kind in FLUSH_KINDS]
+        assert flush.is_flush and not flush.is_access

@@ -310,3 +310,51 @@ class TestCheck:
     def test_unknown_target_rejected(self, capsys):
         with pytest.raises(SystemExit):
             main(["check", "--target", "ext4"])
+
+
+class TestLitmus:
+    def test_list_names_programs(self, capsys):
+        assert main(["litmus", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "mp-clflushopt" in out
+        assert "sb-partial-forward" in out
+
+    def test_show_prints_threads(self, capsys):
+        assert main(["litmus", "show", "mp-clflushopt"]) == 0
+        out = capsys.readouterr().out
+        assert "clflushopt" in out and "thread 1" in out
+
+    def test_run_single_program_differential(self, capsys):
+        code = main(
+            [
+                "litmus", "run", "--program", "mp-clflushopt",
+                "--model", "px86", "--model", "dpox86",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "mp-clflushopt" in out
+        assert "disagreement pairs=1" in out
+
+    def test_run_writes_report(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "litmus.json"
+        code = main(
+            [
+                "litmus", "run", "--program", "mp-barrier",
+                "--model", "epoch", "--model", "px86",
+                "--cross-domains", "-o", str(path),
+            ]
+        )
+        assert code == 0
+        report = json.loads(path.read_text())
+        assert report["summary"]["programs"] == 1
+        program, = report["programs"]
+        assert program["name"] == "mp-barrier"
+        assert program["disagreements"]
+        assert program["domain_mismatches"] == []
+
+    def test_unknown_program_rejected(self, capsys):
+        assert main(["litmus", "run", "--program", "nope"]) == 2
+        assert "unknown litmus program" in capsys.readouterr().err
