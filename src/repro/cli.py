@@ -586,8 +586,14 @@ def cmd_litmus_run(args: argparse.Namespace) -> int:
         allowed = " ".join(
             f"{model}={row['allowed'][model]}" for model in models
         )
+        truncated = (
+            f" cut-limit-exceeded={','.join(row['cut_limit_exceeded'])}"
+            if row["cut_limit_exceeded"]
+            else ""
+        )
         print(
-            f"{row['name']:28s} schedules={row['schedules']:<4d} {allowed}"
+            f"{row['name']:28s} schedules={row['schedules']:<4d} "
+            f"{allowed}{truncated}"
         )
         if args.verbose:
             for pair in row["disagreements"]:
@@ -610,6 +616,12 @@ def cmd_litmus_run(args: argparse.Namespace) -> int:
         f"{summary['programs_with_disagreements']}"
     )
     print(f"litmus: domain mismatches={summary['domain_mismatches']}")
+    if summary["cut_limit_exceeded"]:
+        print(
+            f"litmus: cut limit exceeded in "
+            f"{summary['cut_limit_exceeded']} program(s) — "
+            f"their outcome sets are lower bounds"
+        )
     if args.out:
         save_report(report, args.out)
         print(f"wrote {args.out}")

@@ -26,6 +26,7 @@ from repro.check.canonical import canonical_dag_key
 from repro.check.engine import Engine
 from repro.core.analysis import analyze_graph
 from repro.core.recovery import enumerate_cuts
+from repro.errors import RecoveryError
 from repro.litmus.program import CELL_SIZE, LitmusProgram
 from repro.sim.scheduler import Scheduler
 
@@ -101,6 +102,7 @@ def run_program(
         (model, domain): set() for model in models for domain in domains
     }
     schedules = 0
+    cut_limit_exceeded: Set[str] = set()
     for run in engine.explore():
         trace, regs = run.result
         schedules += 1
@@ -113,20 +115,32 @@ def run_program(
                 seen[(model, domain)].add(key)
                 dag_keys[model].add(key[0])
                 outcomes = allowed[model][domain]
-                for cut in enumerate_cuts(graph, limit=cut_limit):
-                    outcomes.add(
-                        (
-                            regs,
-                            _cut_values(
-                                graph, cut, adapter.addrs, program.locations
-                            ),
+                try:
+                    for cut in enumerate_cuts(graph, limit=cut_limit):
+                        outcomes.add(
+                            (
+                                regs,
+                                _cut_values(
+                                    graph,
+                                    cut,
+                                    adapter.addrs,
+                                    program.locations,
+                                ),
+                            )
                         )
-                    )
+                except RecoveryError:
+                    # One oversized persist DAG must not abort the whole
+                    # corpus run; record the truncation so the report
+                    # says this model's outcome set is a lower bound.
+                    cut_limit_exceeded.add(model)
     primary = domains[0]
+    # Truncated enumerations may hold different partial sets per domain;
+    # only untruncated models can witness a real lockstep violation.
     domain_mismatches = [
         model
         for model in models
-        if any(
+        if model not in cut_limit_exceeded
+        and any(
             allowed[model][domain] != allowed[model][primary]
             for domain in domains[1:]
         )
@@ -157,6 +171,7 @@ def run_program(
             program.locations,
         ),
         "domain_mismatches": domain_mismatches,
+        "cut_limit_exceeded": sorted(cut_limit_exceeded),
     }
     return report
 
@@ -234,6 +249,9 @@ def run_corpus(
         ),
         "domain_mismatches": sum(
             len(r["domain_mismatches"]) for r in reports
+        ),
+        "cut_limit_exceeded": sum(
+            1 for r in reports if r["cut_limit_exceeded"]
         ),
     }
     return {"summary": summary, "programs": reports}

@@ -76,6 +76,23 @@ def _buffered_writes(machine: Machine, thread: SimThread) -> Tuple[Range, ...]:
     )
 
 
+def _buffered_flush_reads(
+    machine: Machine, thread: SimThread
+) -> Tuple[Range, ...]:
+    """Ranges of every buffered clflush/clflushopt/clwb entry.
+
+    Draining the buffer emits these flush events, and an emitted flush
+    *reads* its line (its position among other threads' stores there is
+    what the Px86 analyzers order persists by), so any step that drains
+    the buffer — mfence, an RMW — inherits these reads.
+    """
+    return tuple(
+        _range(machine, entry[1], entry[2])
+        for entry in thread.store_buffer
+        if entry[0] == "flush"
+    )
+
+
 def _tso_read_footprint(
     machine: Machine, thread: SimThread, addr: int, size: int
 ) -> Footprint:
@@ -100,17 +117,27 @@ def _op_footprint(machine: Machine, thread: SimThread, op: object) -> Footprint:
         return Footprint(writes=(_range(machine, op.addr, op.size),))
     if isinstance(op, (ops.CompareAndSwap, ops.Swap, ops.FetchAdd)):
         target = (_range(machine, op.addr, op.size),)
+        reads = target
         writes = target
         if tso and thread.store_buffer:
+            # The atomic drains the buffer: it writes the buffered
+            # stores and emits (reads) the buffered flushes.
+            reads = target + _buffered_flush_reads(machine, thread)
             writes = target + _buffered_writes(machine, thread)
-        return Footprint(reads=target, writes=writes)
+        return Footprint(reads=reads, writes=writes)
     if isinstance(op, ops.WaitUntil):
         if tso:
             return _tso_read_footprint(machine, thread, op.addr, op.size)
         return Footprint(reads=(_range(machine, op.addr, op.size),))
     if isinstance(op, ops.Fence):
         if tso and thread.store_buffer:
-            return Footprint(writes=_buffered_writes(machine, thread))
+            # Draining writes the buffered stores and emits (reads) the
+            # buffered flushes; a buffer holding only flush entries is
+            # still a shared step, not a local one.
+            return Footprint(
+                reads=_buffered_flush_reads(machine, thread),
+                writes=_buffered_writes(machine, thread),
+            )
         return LOCAL_FOOTPRINT
     if isinstance(op, (ops.ClFlush, ops.ClFlushOpt, ops.Clwb)):
         if tso and thread.store_buffer:

@@ -1,0 +1,72 @@
+"""DPOR soundness regression: a fence that emits a buffered flush races
+remote stores to the flushed line.
+
+``store x; clflushopt y; mfence`` on one thread versus a plain
+``store y`` on the other: when the drain agent has already made the
+store to x visible, the mfence step itself emits the buffered
+clflushopt — a *read* of line y whose position relative to the other
+thread's store decides which persist of y the flush covers under Px86.
+The pre-fix footprints claimed only the buffered *stores* for a fence
+(a buffer holding just the flush entry made the fence fully local), so
+DPOR never branched on this race and silently dropped interleavings.
+Here reduced exploration must reproduce the unreduced run's full set of
+per-model persist-DAG classes.
+"""
+
+from repro.check import Engine, canonical_dag_key
+from repro.core.analysis import analyze_graph
+from repro.sim import Machine
+
+MODELS = ("px86", "dpox86", "epoch")
+
+
+def build(scheduler):
+    machine = Machine(scheduler=scheduler, consistency="tso")
+    x = machine.persistent_heap.malloc(64)
+    y = machine.persistent_heap.malloc(64)
+    z = machine.persistent_heap.malloc(64)
+
+    def flusher(ctx):
+        # The post-fence store to z makes the flush's coverage of y
+        # observable: when the emitted clflushopt lands after the
+        # writer's store to y, the persist of z implies the persist of
+        # y (an extra DAG edge); when it lands before, it does not.
+        yield from ctx.store(x, 1)
+        yield from ctx.clflushopt(y)
+        yield from ctx.fence()
+        yield from ctx.store(z, 1)
+
+    def writer(ctx):
+        yield from ctx.store(y, 1)
+        yield from ctx.fence()
+
+    machine.spawn(flusher)
+    machine.spawn(writer)
+    return machine
+
+
+def run(scheduler):
+    machine = build(scheduler)
+    trace = machine.run()
+    return trace
+
+
+def dag_classes(reduction):
+    keys = {model: set() for model in MODELS}
+    schedules = 0
+    for explored in Engine(run, reduction=reduction).explore():
+        schedules += 1
+        for model in MODELS:
+            graph = analyze_graph(explored.result, model).graph
+            keys[model].add(canonical_dag_key(graph))
+    return keys, schedules
+
+
+def test_dpor_covers_every_fence_flush_dag_class():
+    expected, exhaustive = dag_classes("none")
+    reduced, schedules = dag_classes("dpor")
+    assert reduced == expected
+    assert schedules <= exhaustive
+    # The race is real: the flush lands on both sides of the remote
+    # store across the explored schedules, so px86 sees >1 DAG class.
+    assert len(expected["px86"]) > 1

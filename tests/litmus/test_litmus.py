@@ -169,6 +169,33 @@ class TestDomainsAndSummary:
         assert len(report["programs"]) == 3
 
 
+class TestCutLimitDegradesGracefully:
+    """One oversized persist DAG must not abort a corpus run: the
+    runner records the truncation per program instead of letting
+    ``RecoveryError`` propagate out of ``run_program``."""
+
+    def test_run_program_records_cut_limit_exceeded(self):
+        program = corpus_by_name()["mp-clflushopt"]
+        report = run_program(program, ("px86", "strict"), cut_limit=1)
+        assert set(report["cut_limit_exceeded"]) == {"px86", "strict"}
+        # Truncated models carry partial (lower-bound) outcome sets and
+        # are excluded from the lockstep domain check.
+        assert report["domain_mismatches"] == []
+
+    def test_run_corpus_survives_and_counts_truncations(self):
+        by_name = corpus_by_name()
+        programs = [by_name["mp-clflushopt"], by_name["sb-plain"]]
+        report = run_corpus(programs, ("px86",), cut_limit=1)
+        summary = report["summary"]
+        assert summary["programs"] == 2
+        assert summary["cut_limit_exceeded"] == 2
+
+    def test_generous_limit_reports_no_truncation(self):
+        program = corpus_by_name()["sb-plain"]
+        report = run_program(program, ("px86",))
+        assert report["cut_limit_exceeded"] == []
+
+
 class TestBufferedBarrierRegression:
     """Satellite 3: fences and persist barriers issued while stores are
     buffered must keep their model semantics after draining."""
