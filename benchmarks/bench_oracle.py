@@ -1,0 +1,71 @@
+"""History-oracle performance: DL verdicts per second.
+
+Library-performance benchmark (not a paper artifact): end-to-end cost of
+judging failure cuts with the durable-linearizability oracle — extract
+the recorded history once, then run the Wing–Gong membership check per
+cut image.  The per-cut check dominates campaign cost under
+``--oracle dl``, so its throughput (histories checked per second) is
+tracked here and written to ``benchmarks/out/oracle_throughput.txt``.
+"""
+
+import time
+
+from repro.core.analysis import analyze_graph
+from repro.core.recovery import FailureInjector
+from repro.fuzz import make_target
+from repro.histories import cut_checker, extract_history
+from repro.sim import make_scheduler
+
+
+def recorded_run(target, threads, ops, seed):
+    """A recorded run, its epoch-model persist graph, and cut images."""
+    run = make_target(target).build(
+        threads, ops, make_scheduler("strided2", seed), record_history=True
+    )
+    graph = analyze_graph(run.trace, "epoch", domain="bitset").graph
+    injector = FailureInjector(graph, run.base_image)
+    images = list(injector.minimal_images())
+    images.extend(injector.random_images(samples=40, seed=seed))
+    return run, graph, images
+
+
+def test_history_extraction_throughput(benchmark):
+    """Marker pairing + persist attribution over a whole trace."""
+    run, graph, _ = recorded_run("kv", 3, 6, 3)
+    history = benchmark(lambda: extract_history(run.trace, graph))
+    assert history.operations
+    assert not history.unattributed
+
+
+def test_oracle_check_throughput(out_dir, benchmark):
+    """DL verdicts per second over a fixed target's sampled cuts."""
+    run, graph, images = recorded_run("kv", 3, 6, 3)
+    check = cut_checker(run.trace, graph, run.history_spec, "dl")
+    for cut, image in images:
+        assert check(cut, image) is None, "fixed target must be DL"
+
+    def sweep():
+        for cut, image in images:
+            check(cut, image)
+        return len(images)
+
+    start = time.perf_counter()
+    checked = sweep()
+    elapsed = time.perf_counter() - start
+    (out_dir / "oracle_throughput.txt").write_text(
+        f"histories checked: {checked} cuts "
+        f"({checked / max(elapsed, 1e-9):.0f} checks/s single pass)\n"
+    )
+    assert benchmark(sweep) == len(images)
+
+
+def test_oracle_check_throughput_broken_target(benchmark):
+    """Verdicts stay cheap when cuts actually violate (early mismatch)."""
+    run, graph, images = recorded_run("queue-2lc-faithful", 2, 2, 2)
+    check = cut_checker(run.trace, graph, run.history_spec, "dl")
+
+    def sweep():
+        return sum(1 for cut, image in images if check(cut, image))
+
+    violating = benchmark(sweep)
+    assert violating >= 0  # seed-dependent; the sweep itself is the pin

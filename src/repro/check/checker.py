@@ -25,6 +25,14 @@ Deduplication soundness:
   equal verdicts regardless of which model's DAG produced the cut.  A
   memo hit that was a violation is *re-recorded* under the current
   model — distinct violation sets per model are preserved exactly.
+
+Under a history oracle (``CheckConfig.oracle`` of ``"dl"``/``"bdl"``)
+**both deduplications are disabled**: the durable-linearizability
+verdict depends on *cut membership* (which operations are
+persisted-complete), not only on the failure image's bytes, so equal
+image content does not imply equal verdicts; and equal canonical DAGs
+do not imply equal recorded histories.  Oracle runs therefore image and
+judge every cut of every schedule.
 """
 
 from __future__ import annotations
@@ -44,7 +52,8 @@ from repro.core.recovery import (
 )
 from repro.check.canonical import canonical_dag_key
 from repro.check.engine import Engine, EngineStats
-from repro.errors import RecoveryError
+from repro.errors import FuzzError, RecoveryError
+from repro.histories.oracle import cut_checker, validate_oracle
 from repro.memory.nvram import NvramImage
 from repro.sim.machine import Machine
 from repro.sim.scheduler import Scheduler
@@ -66,6 +75,10 @@ class CheckConfig:
     names the persist-DAG domain used for analysis — ``"bitset"`` (the
     packed-integer kernel) and ``"graph"`` (the frozenset reference)
     produce byte-identical results; the former is just faster.
+    ``oracle`` selects the per-cut judge: the target's ad-hoc recovery
+    invariant (``"invariant"``) or the operation-history conditions
+    (``"dl"``/``"bdl"``, recordable targets only) — history oracles
+    disable DAG/cut deduplication (see the module docstring).
     """
 
     models: Tuple[str, ...] = DEFAULT_MODELS
@@ -76,6 +89,7 @@ class CheckConfig:
     forced_prefix: Tuple[int, ...] = ()
     replay: Optional[str] = None
     graph_domain: str = "bitset"
+    oracle: str = "invariant"
 
 
 @dataclass(frozen=True)
@@ -85,6 +99,8 @@ class CheckViolation:
     ``key()`` is the violation's schedule-independent identity: the
     model, the canonical DAG, the cut's image content, and the error.
     Occurrences in other (equivalent or distinct) schedules reuse it.
+    ``condition`` is the history oracle's classification (``"dl"`` or
+    ``"dl+bdl"``; None under the invariant oracle).
     """
 
     schedule_index: int
@@ -94,6 +110,7 @@ class CheckViolation:
     choices: Tuple[int, ...]
     dag_key: str
     cut_key: str
+    condition: Optional[str] = None
 
     def key(self) -> Tuple[str, str, str, str]:
         """Deduplication identity (model, dag, cut content, error)."""
@@ -109,11 +126,13 @@ class CheckViolation:
             "choices": list(self.choices),
             "dag_key": self.dag_key,
             "cut_key": self.cut_key,
+            "condition": self.condition,
         }
 
     @classmethod
     def from_payload(cls, payload: Dict[str, object]) -> "CheckViolation":
         """Rebuild a violation from :meth:`describe` output."""
+        condition = payload.get("condition")
         return cls(
             schedule_index=int(payload["schedule_index"]),
             model=str(payload["model"]),
@@ -122,6 +141,7 @@ class CheckViolation:
             choices=tuple(int(c) for c in payload["choices"]),
             dag_key=str(payload["dag_key"]),
             cut_key=str(payload["cut_key"]),
+            condition=None if condition is None else str(condition),
         )
 
 
@@ -199,6 +219,20 @@ class CheckResult:
         """True when no violation was found."""
         return not self.distinct
 
+    @property
+    def condition_counts(self) -> Dict[str, int]:
+        """Distinct violations per broken condition ("dl", "dl+bdl").
+
+        Empty under the invariant oracle.
+        """
+        counts: Dict[str, int] = {}
+        for violation in self.distinct.values():
+            if violation.condition is not None:
+                counts[violation.condition] = (
+                    counts.get(violation.condition, 0) + 1
+                )
+        return counts
+
     def summary_lines(self) -> List[str]:
         """The ``repro check`` summary table, one row per line."""
         stats = self.stats
@@ -225,6 +259,13 @@ class CheckResult:
                 f"({stats.violation_occurrences} occurrences)",
             ),
         ]
+        for condition in sorted(self.condition_counts):
+            rows.append(
+                (
+                    f"breaks {condition}",
+                    f"{self.condition_counts[condition]} distinct",
+                )
+            )
         width = max(len(label) for label, _ in rows)
         return [f"  {label.ljust(width)}  {value}" for label, value in rows]
 
@@ -269,6 +310,7 @@ def check_runs(
     base_of: Callable[[object], NvramImage],
     checker_of: Callable[[object], Callable[[NvramImage], None]],
     config: Optional[CheckConfig] = None,
+    history_spec_of: Optional[Callable[[object], object]] = None,
 ) -> CheckResult:
     """Model-check an arbitrary program adapter.
 
@@ -280,8 +322,21 @@ def check_runs(
     so each schedule is fully processed here before the next one runs —
     which the per-schedule loop below already guarantees.  This is the
     engine room under :func:`check_build` and :func:`check_target`.
+
+    With a history oracle on the config, ``history_spec_of`` must
+    project the run's :class:`~repro.histories.oracle.HistorySpec`; the
+    program must have been built with operation recording on.  Oracle
+    runs disable DAG and cut deduplication (their verdicts depend on
+    cut membership and recorded history, not image bytes alone).
     """
     config = config or CheckConfig()
+    validate_oracle(config.oracle)
+    oracle_mode = config.oracle != "invariant"
+    if oracle_mode and history_spec_of is None:
+        raise FuzzError(
+            f"oracle {config.oracle!r} needs a history-spec projection; "
+            f"this program adapter judges cuts by invariant only"
+        )
     engine = Engine(
         run,
         reduction=config.reduction,
@@ -297,18 +352,39 @@ def check_runs(
         base = base_of(explored.result)
         check = checker_of(explored.result)
         memo: Dict[str, Optional[str]] = {}
+        # One history judge per execution: persist ids are
+        # model-independent, so the first model's graph attributes
+        # operations for every model of this trace.
+        oracle_check = None
         for model in config.models:
             graph = analyze_graph(trace, model, domain=config.graph_domain).graph
             result.stats.dags_analyzed += 1
             dag_key = canonical_dag_key(graph)
-            if dag_key in seen_dags[model]:
-                result.stats.dags_deduped += 1
-                continue
-            seen_dags[model].add(dag_key)
+            if not oracle_mode:
+                if dag_key in seen_dags[model]:
+                    result.stats.dags_deduped += 1
+                    continue
+                seen_dags[model].add(dag_key)
+            if oracle_mode and oracle_check is None:
+                oracle_check = cut_checker(
+                    trace,
+                    graph,
+                    history_spec_of(explored.result),
+                    config.oracle,
+                )
             for cut in _cuts_for(graph, config.max_cuts_per_graph):
                 result.stats.cuts_checked += 1
                 cut_key = cut_content_key(graph, cut)
-                if cut_key in memo:
+                condition: Optional[str] = None
+                if oracle_mode:
+                    # No memo: the DL verdict depends on which persists
+                    # the cut contains, not just the image bytes.
+                    image = image_at_cut(graph, cut, base, check=False)
+                    result.stats.cuts_imaged += 1
+                    failure = oracle_check(cut, image)
+                    error = failure[0] if failure is not None else None
+                    condition = failure[1] if failure is not None else None
+                elif cut_key in memo:
                     result.stats.cut_memo_hits += 1
                     error = memo[cut_key]
                 else:
@@ -331,6 +407,7 @@ def check_runs(
                             choices=explored.choices,
                             dag_key=dag_key,
                             cut_key=cut_key,
+                            condition=condition,
                         ),
                     )
                     if config.stop_at_first:
@@ -411,10 +488,17 @@ def check_target(
     a corpus.  Targets exposing the two-phase ``setup`` API run as a
     :class:`~repro.check.engine.CheckProgram` (prefix-sharing replay);
     others fall back to re-executing ``build`` per schedule.
+
+    A history oracle on the config builds the program with operation
+    recording on (recordable targets only — ``setup`` raises otherwise)
+    and judges every cut by durable linearizability instead of the
+    target's invariant.
     """
     from repro.fuzz.targets import make_target
 
     fuzz_target = make_target(target)
+    config = config or CheckConfig()
+    record = config.oracle != "invariant"
     if hasattr(fuzz_target, "setup"):
 
         class _TargetProgram:
@@ -422,7 +506,9 @@ def check_target(
                 self._finalize = None
 
             def build(self, scheduler: Scheduler) -> Machine:
-                machine, finalize = fuzz_target.setup(threads, ops, scheduler)
+                machine, finalize = fuzz_target.setup(
+                    threads, ops, scheduler, record_history=record
+                )
                 self._finalize = finalize
                 return machine
 
@@ -431,11 +517,14 @@ def check_target(
 
         run = _TargetProgram()
     else:
-        run = lambda scheduler: fuzz_target.build(threads, ops, scheduler)  # noqa: E731
+        run = lambda scheduler: fuzz_target.build(  # noqa: E731
+            threads, ops, scheduler, record_history=record
+        )
     return check_runs(
         run,
         trace_of=lambda run: run.trace,
         base_of=lambda run: run.base_image,
         checker_of=lambda run: run.check,
         config=config,
+        history_spec_of=lambda run: run.history_spec,
     )

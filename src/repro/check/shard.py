@@ -119,6 +119,7 @@ def check_shard_worker(task: Dict[str, object]) -> Dict[str, object]:
         max_cuts_per_graph=int(task["max_cuts"]),
         stop_at_first=bool(task["stop_at_first"]),
         forced_prefix=tuple(int(c) for c in task["prefix"]),
+        oracle=str(task.get("oracle", "invariant")),
     )
     try:
         result = check_target(
@@ -157,8 +158,13 @@ def check_target_sharded(
 
     config = config or CheckConfig()
     fuzz_target = make_target(target)
+    # The probe must run the exact program the shards re-explore:
+    # history recording adds marker steps, shifting every choice point.
+    record = config.oracle != "invariant"
     prefixes = enumerate_prefixes(
-        lambda scheduler: fuzz_target.build(threads, ops, scheduler),
+        lambda scheduler: fuzz_target.build(
+            threads, ops, scheduler, record_history=record
+        ),
         shard_depth,
     )
     tasks = [
@@ -171,6 +177,7 @@ def check_target_sharded(
             "max_schedules": config.max_schedules,
             "max_cuts": config.max_cuts_per_graph,
             "stop_at_first": config.stop_at_first,
+            "oracle": config.oracle,
         }
         for prefix in prefixes
     ]

@@ -91,6 +91,7 @@ from repro.fuzz import (
     replay_case,
     run_campaign,
 )
+from repro.histories import ORACLES
 from repro.queue import run_insert_workload, verify_recovery
 from repro.queue.cwl import INSERT_MARK
 from repro.sim import SCHEDULER_KINDS
@@ -348,6 +349,12 @@ def cmd_fuzz_run(args: argparse.Namespace) -> int:
     unhardened targets — exit 0; silent corruption exits 1.
     ``--checkpoint`` persists completed cases so an interrupted
     campaign resumes (same config) without re-running them.
+
+    ``--oracle dl``/``bdl`` judges every cut by durable (or buffered
+    durable) linearizability of the recorded operation history instead
+    of the target's ad-hoc invariant; violations are classified by the
+    strongest condition they break and the classification is preserved
+    through minimization and the corpus.
     """
     config = CampaignConfig(
         target=args.target,
@@ -358,6 +365,7 @@ def cmd_fuzz_run(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         cut_samples=args.cut_samples,
         faults=tuple(args.faults or ()),
+        oracle=args.oracle,
         task_timeout=args.task_timeout,
         task_retries=args.task_retries,
     )
@@ -374,9 +382,10 @@ def cmd_fuzz_run(args: argparse.Namespace) -> int:
         )
         for outcome in minimized:
             case = outcome.case
+            tag = f" breaks={case.condition}" if case.condition else ""
             print(
                 f"minimized [{case.model}] threads={case.threads} "
-                f"ops={case.ops} |cut|={len(case.cut)} "
+                f"ops={case.ops} |cut|={len(case.cut)}{tag} "
                 f"-> {corpus.path_for(case)}"
             )
             print(f"  {case.error}")
@@ -409,7 +418,8 @@ def cmd_fuzz_replay(args: argparse.Namespace) -> int:
         case = corpus.load(path)
         replay = replay_case(case)
         status = "reproduced" if replay.reproduced else "STALE"
-        print(f"{path}: [{status}] {replay.detail}")
+        tag = f" breaks={replay.condition}" if replay.condition else ""
+        print(f"{path}: [{status}{tag}] {replay.detail}")
         stale += 0 if replay.reproduced else 1
     print(f"replayed {len(paths)} repro(s): {stale} stale")
     return 1 if stale else 0
@@ -433,16 +443,22 @@ def cmd_fuzz_minimize(args: argparse.Namespace) -> int:
         model=case.model,
         cuts="minimal",
         cut_seed=0,
+        oracle=case.oracle,
     )
     finding = Finding(
-        spec=spec, cut=case.cut, error=case.error, choices=case.choices
+        spec=spec,
+        cut=case.cut,
+        error=case.error,
+        choices=case.choices,
+        condition=case.condition,
     )
     outcome = minimize_finding(finding)
     path = corpus.add(outcome.case)
     minimized = outcome.case
+    tag = f" breaks={minimized.condition}" if minimized.condition else ""
     print(
         f"minimized [{minimized.model}] threads={minimized.threads} "
-        f"ops={minimized.ops} |cut|={len(minimized.cut)} -> {path}"
+        f"ops={minimized.ops} |cut|={len(minimized.cut)}{tag} -> {path}"
     )
     print(f"  {minimized.error}")
     print(
@@ -473,6 +489,7 @@ def cmd_check(args: argparse.Namespace) -> int:
         reduction=args.reduction,
         replay=args.replay,
         graph_domain=args.domain,
+        oracle=args.oracle,
     )
     reports = []
     if args.jobs and args.jobs > 1:
@@ -505,14 +522,22 @@ def cmd_check(args: argparse.Namespace) -> int:
             )
     violations = [result.distinct[key] for key in sorted(result.distinct)]
     for violation in violations:
+        tag = (
+            f" breaks={violation.condition}" if violation.condition else ""
+        )
         print(
             f"violation [{violation.model}] schedule "
-            f"{violation.schedule_index} |cut|={len(violation.cut)}: "
+            f"{violation.schedule_index} |cut|={len(violation.cut)}{tag}: "
             f"{violation.error}"
         )
     if violations and not args.no_export:
         paths = export_check_violations(
-            args.corpus_dir, args.target, args.threads, args.ops, violations
+            args.corpus_dir,
+            args.target,
+            args.threads,
+            args.ops,
+            violations,
+            oracle=config.oracle,
         )
         for path in paths:
             print(f"exported {path}")
@@ -810,6 +835,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="inject device faults of these kinds into every cut image",
     )
     fuzz_run.add_argument(
+        "--oracle", choices=ORACLES, default="invariant",
+        help="per-cut judge: the target's recovery invariant, durable "
+        "linearizability (dl), or buffered durable linearizability "
+        "(bdl); dl/bdl record operation histories and classify each "
+        "violation by the strongest condition it breaks",
+    )
+    fuzz_run.add_argument(
         "--checkpoint", default=None, metavar="DIR",
         help="checkpoint completed cases here; rerunning resumes",
     )
@@ -903,6 +935,13 @@ def build_parser() -> argparse.ArgumentParser:
     check_parser.add_argument(
         "--stop-at-first", action="store_true",
         help="stop at the first violation instead of collecting all",
+    )
+    check_parser.add_argument(
+        "--oracle", choices=ORACLES, default="invariant",
+        help="per-cut judge: the target's recovery invariant, durable "
+        "linearizability (dl), or buffered durable linearizability "
+        "(bdl); dl/bdl disable DAG/cut deduplication (verdicts depend "
+        "on cut membership, not image bytes)",
     )
     check_parser.add_argument("--corpus-dir", default=".repro-corpus")
     check_parser.add_argument(

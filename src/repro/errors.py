@@ -49,3 +49,7 @@ class RecoveryError(ReproError):
 
 class FuzzError(ReproError):
     """A fuzzing campaign, target, or corpus entry was misused."""
+
+
+class HistoryError(ReproError):
+    """An operation history is malformed or could not be extracted."""

@@ -41,6 +41,7 @@ from repro.core.analysis import analyze_graph
 from repro.core.recovery import FailureInjector
 from repro.errors import FuzzError, RecoveryError
 from repro.fuzz.targets import TargetRun, make_target
+from repro.histories.oracle import cut_checker, validate_oracle
 from repro.harness.cache import atomic_write, content_digest, quarantine_file
 from repro.harness.parallel import fan_out
 from repro.harness.runner import SEED_SPACE
@@ -75,7 +76,9 @@ _MAX_RECORDED_VIOLATIONS = 3
 _MAX_RECORDED_UNDETECTED = 3
 
 #: Bump when the checkpoint encoding changes; old files stop resuming.
-CHECKPOINT_FORMAT_VERSION = 1
+#: Version 2 added the oracle axis (``CaseSpec.oracle``, per-violation
+#: conditions, per-outcome condition counts).
+CHECKPOINT_FORMAT_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -85,6 +88,13 @@ class CaseSpec:
     ``faults`` is either None (clean run) or the canonical JSON string
     of a :class:`~repro.inject.plan.FaultPlan` — a string keeps the spec
     hashable and its content digest stable.
+
+    ``oracle`` selects how each failure cut is judged: ``"invariant"``
+    (the target's ad-hoc recovery check), ``"dl"`` (durable
+    linearizability of the recorded operation history), or ``"bdl"``
+    (its buffered relaxation).  History oracles build the program with
+    operation recording on, so their traces — and hence schedules under
+    a given seed — differ from invariant-mode runs by design.
     """
 
     target: str
@@ -97,6 +107,7 @@ class CaseSpec:
     cut_seed: int
     cut_samples: int = 32
     faults: Optional[str] = None
+    oracle: str = "invariant"
 
     def plan(self) -> Optional[FaultPlan]:
         """The spec's fault plan, decoded, or None for a clean case."""
@@ -117,14 +128,16 @@ class CaseSpec:
             "cut_seed": self.cut_seed,
             "cut_samples": self.cut_samples,
             "faults": self.faults,
+            "oracle": self.oracle,
         }
 
     @classmethod
     def from_payload(cls, payload: Dict[str, object]) -> "CaseSpec":
         """Rebuild a spec from :meth:`describe` output.
 
-        Fields with defaults (``cut_samples``, ``faults``) may be absent
-        — payloads written before the field existed still load.
+        Fields with defaults (``cut_samples``, ``faults``, ``oracle``)
+        may be absent — payloads written before the field existed still
+        load.
         """
         try:
             return cls(
@@ -147,11 +160,17 @@ class CaseViolation:
     refutes, while the clean image at the same cut recovers fine — the
     injected fault, not the ordering model, produced wrong state that
     went undetected.
+
+    ``condition`` names the correctness condition the cut broke under a
+    history oracle (``"dl"`` — durable linearizability only, or
+    ``"dl+bdl"`` — its buffered relaxation too); None for invariant-mode
+    violations, which carry no condition semantics.
     """
 
     cut: Tuple[int, ...]
     error: str
     silent: bool = False
+    condition: Optional[str] = None
 
 
 @dataclass
@@ -184,18 +203,28 @@ class CaseOutcome:
     silent_violation_count: int = 0
     #: Sampled undetected-fault sightings (capped, count is exact).
     undetected: List[CaseViolation] = field(default_factory=list)
+    #: Exact violation tally per broken condition ("dl", "dl+bdl");
+    #: populated only by history oracles (the recorded list is capped,
+    #: these counts are not).
+    condition_counts: Dict[str, int] = field(default_factory=dict)
     #: Set when the case itself failed to run (crashed worker cell).
     error: Optional[str] = None
 
 
 @dataclass(frozen=True)
 class Finding:
-    """One violating case, pinned down for minimization and replay."""
+    """One violating case, pinned down for minimization and replay.
+
+    ``condition`` carries the history-oracle classification of the
+    finding's violation (None for invariant-mode findings); the
+    minimizer re-validates it on the shrunk repro.
+    """
 
     spec: CaseSpec
     cut: Tuple[int, ...]
     error: str
     choices: Tuple[int, ...]
+    condition: Optional[str] = None
 
 
 @dataclass
@@ -206,6 +235,28 @@ class CaseExecution:
     run: TargetRun
     graph: object
     choices: Tuple[int, ...]
+    #: Lazily-built history-oracle cut checker (see
+    #: :func:`oracle_checker_for`); always None for invariant specs.
+    oracle_check: Optional[object] = None
+
+
+def oracle_checker_for(execution: CaseExecution):
+    """The execution's history-oracle cut checker, built once per run.
+
+    Returns None for invariant-oracle specs.  History extraction scans
+    the whole trace, so the checker is cached on the execution — the
+    minimizer probes hundreds of cuts of the same run.
+    """
+    if execution.spec.oracle == "invariant":
+        return None
+    if execution.oracle_check is None:
+        execution.oracle_check = cut_checker(
+            execution.run.trace,
+            execution.graph,
+            execution.run.history_spec,
+            execution.spec.oracle,
+        )
+    return execution.oracle_check
 
 
 def execute_spec(spec: CaseSpec) -> CaseExecution:
@@ -213,12 +264,19 @@ def execute_spec(spec: CaseSpec) -> CaseExecution:
 
     Returns the executed :class:`~repro.fuzz.targets.TargetRun`, the
     persist DAG under the spec's model, and the recorded choices.
+    History oracles build with operation recording on so the run carries
+    the history spec the checker needs.
     """
     target = make_target(spec.target)
     recorder = ChoiceRecordingScheduler(
         make_scheduler(spec.sched, spec.sched_seed)
     )
-    run = target.build(spec.threads, spec.ops, recorder)
+    run = target.build(
+        spec.threads,
+        spec.ops,
+        recorder,
+        record_history=spec.oracle != "invariant",
+    )
     # The bitset domain also gives the injector mask-based cut
     # enumeration; the frozenset domain ("graph") is the oracle.
     graph = analyze_graph(run.trace, spec.model, domain="bitset").graph
@@ -269,10 +327,24 @@ def run_case(
       a ``silent=True`` violation — the fault campaign's failure
       verdict; undetected faults are counted as the unhardened target's
       documented exposure.
+
+    Under a history oracle (``spec.oracle`` of ``"dl"`` or ``"bdl"``)
+    every cut is judged by the recorded operation history instead of the
+    target's ad-hoc invariant, and each violation carries the strongest
+    condition it breaks.  Fault injection composes with the recovery
+    *invariant*, not with history conditions, so a fault plan on a
+    history-oracle spec is rejected.
     """
+    validate_oracle(spec.oracle)
     execution = execute_spec(spec)
     target = make_target(spec.target)
     plan = spec.plan()
+    if plan is not None and spec.oracle != "invariant":
+        raise FuzzError(
+            "fault injection and history oracles are mutually exclusive: "
+            f"case has oracle {spec.oracle!r} and a fault plan"
+        )
+    oracle_check = oracle_checker_for(execution)
     injector = FailureInjector(execution.graph, execution.run.base_image)
     cuts_checked = 0
     violation_count = 0
@@ -284,6 +356,7 @@ def run_case(
     fault_undetected = 0
     silent_violation_count = 0
     undetected: List[CaseViolation] = []
+    condition_counts: Dict[str, int] = {}
 
     def clean_image_violates(image) -> Optional[str]:
         """The plain check's error on the clean cut image, if any."""
@@ -293,15 +366,24 @@ def run_case(
             return str(exc)
         return None
 
-    def record_violation(cut, error: str, silent: bool) -> None:
+    def record_violation(
+        cut, error: str, silent: bool, condition: Optional[str] = None
+    ) -> None:
         nonlocal violation_count, silent_violation_count
         violation_count += 1
         if silent:
             silent_violation_count += 1
+        if condition is not None:
+            condition_counts[condition] = (
+                condition_counts.get(condition, 0) + 1
+            )
         if len(violations) < _MAX_RECORDED_VIOLATIONS:
             violations.append(
                 CaseViolation(
-                    cut=tuple(sorted(cut)), error=error, silent=silent
+                    cut=tuple(sorted(cut)),
+                    error=error,
+                    silent=silent,
+                    condition=condition,
                 )
             )
 
@@ -312,6 +394,16 @@ def run_case(
             faulty, faults = materialize_faulty(
                 execution.graph, cut, execution.run.base_image, plan
             )
+        if oracle_check is not None:
+            failure = oracle_check(cut, image)
+            if failure is not None:
+                error, condition = failure
+                record_violation(
+                    cut, error, silent=False, condition=condition
+                )
+                if stop_at_first:
+                    break
+            continue
         if not faults:
             # Clean path: no plan, or the plan's dice injected nothing
             # (the faulty image is then byte-identical to the clean one).
@@ -368,26 +460,31 @@ def run_case(
         fault_undetected=fault_undetected,
         silent_violation_count=silent_violation_count,
         undetected=undetected,
+        condition_counts=condition_counts,
     )
 
 
 def _violations_to_wire(violations: List[CaseViolation]) -> List[dict]:
+    """JSON-safe encoding of recorded violations."""
     return [
         {
             "cut": list(violation.cut),
             "error": violation.error,
             "silent": violation.silent,
+            "condition": violation.condition,
         }
         for violation in violations
     ]
 
 
 def _violations_from_wire(entries: List[dict]) -> List[CaseViolation]:
+    """Rebuild recorded violations from their wire encoding."""
     return [
         CaseViolation(
             cut=tuple(entry["cut"]),
             error=entry["error"],
             silent=entry.get("silent", False),
+            condition=entry.get("condition"),
         )
         for entry in entries
     ]
@@ -411,6 +508,7 @@ def _outcome_to_wire(outcome: CaseOutcome) -> dict:
         "fault_undetected": outcome.fault_undetected,
         "silent_violation_count": outcome.silent_violation_count,
         "undetected": _violations_to_wire(outcome.undetected),
+        "condition_counts": dict(outcome.condition_counts),
     }
 
 
@@ -440,6 +538,7 @@ def _outcome_from_wire(payload: dict) -> CaseOutcome:
         fault_undetected=payload.get("fault_undetected", 0),
         silent_violation_count=payload.get("silent_violation_count", 0),
         undetected=_violations_from_wire(payload.get("undetected", [])),
+        condition_counts=dict(payload.get("condition_counts", {})),
     )
 
 
@@ -449,9 +548,13 @@ class CampaignConfig:
 
     ``faults`` lists the fault kinds (:data:`~repro.inject.plan.FAULT_KINDS`)
     the campaign injects; empty means a clean (ordering-only) campaign.
-    ``jobs``, ``task_timeout`` and ``task_retries`` shape *how* the
-    campaign executes, never what it computes, so they are excluded from
-    :meth:`describe` (and therefore from checkpoint identity).
+    ``oracle`` selects the per-cut judge (``"invariant"``, ``"dl"``,
+    ``"bdl"``); history oracles require a recordable target and compose
+    with neither fault injection (faults break the invariant, not a
+    linearizability condition).  ``jobs``, ``task_timeout`` and
+    ``task_retries`` shape *how* the campaign executes, never what it
+    computes, so they are excluded from :meth:`describe` (and therefore
+    from checkpoint identity).
     """
 
     target: str
@@ -462,12 +565,13 @@ class CampaignConfig:
     jobs: Optional[int] = None
     cut_samples: int = 32
     faults: Sequence[str] = ()
+    oracle: str = "invariant"
     task_timeout: Optional[float] = None
     task_retries: int = 0
 
     def validate(self) -> None:
         """Raise on unusable parameters."""
-        make_target(self.target)
+        target = make_target(self.target)
         if self.budget <= 0:
             raise FuzzError(f"budget must be positive, got {self.budget}")
         if not self.models:
@@ -481,6 +585,18 @@ class CampaignConfig:
                 raise FuzzError(
                     f"unknown fault kind {kind!r}; expected one of "
                     f"{FAULT_KINDS}"
+                )
+        validate_oracle(self.oracle)
+        if self.oracle != "invariant":
+            if not target.recordable:
+                raise FuzzError(
+                    f"target {self.target!r} does not record operation "
+                    f"histories (required by the dl/bdl oracles)"
+                )
+            if self.faults:
+                raise FuzzError(
+                    "fault injection and history oracles are mutually "
+                    "exclusive: drop --faults or use the invariant oracle"
                 )
 
     def describe(self) -> Dict[str, object]:
@@ -498,6 +614,7 @@ class CampaignConfig:
             "seed": self.seed,
             "cut_samples": self.cut_samples,
             "faults": list(self.faults),
+            "oracle": self.oracle,
         }
 
 
@@ -562,6 +679,19 @@ class CampaignResult:
         )
 
     @property
+    def condition_counts(self) -> Dict[str, int]:
+        """Total violations per broken condition ("dl", "dl+bdl").
+
+        Empty for invariant-oracle campaigns, which carry no condition
+        semantics.
+        """
+        totals: Dict[str, int] = {}
+        for outcome in self.outcomes:
+            for condition, count in outcome.condition_counts.items():
+                totals[condition] = totals.get(condition, 0) + count
+        return totals
+
+    @property
     def failed_cases(self) -> int:
         """Cases that crashed instead of completing (error outcomes)."""
         return sum(1 for outcome in self.outcomes if outcome.error)
@@ -589,6 +719,7 @@ class CampaignResult:
                         cut=violation.cut,
                         error=violation.error,
                         choices=outcome.choices or (),
+                        condition=violation.condition,
                     )
                 )
         return found
@@ -596,10 +727,12 @@ class CampaignResult:
     def summary(self) -> str:
         """Multi-line human-readable campaign report."""
         events = sum(outcome.events for outcome in self.outcomes)
+        oracle = self.config.oracle
         lines = [
             f"fuzz campaign: target={self.config.target} "
             f"budget={self.config.budget} "
-            f"models={','.join(self.config.models)}",
+            f"models={','.join(self.config.models)}"
+            + (f" oracle={oracle}" if oracle != "invariant" else ""),
             (
                 f"  {self.cases} case(s), {events} events, "
                 f"{self.cuts_checked} cut(s) checked"
@@ -616,6 +749,11 @@ class CampaignResult:
             )
         for model in sorted(by_model):
             lines.append(f"    {model}: {by_model[model]} violation(s)")
+        for condition in sorted(self.condition_counts):
+            lines.append(
+                f"    breaks {condition}: "
+                f"{self.condition_counts[condition]} violation(s)"
+            )
         if self.config.faults or self.fault_images:
             lines.append(
                 f"  faults: {self.faults_injected} injected across "
@@ -661,6 +799,7 @@ def sample_specs(config: CampaignConfig) -> List[CaseSpec]:
             ),
             cut_seed=rng.randrange(SEED_SPACE),
             cut_samples=config.cut_samples,
+            oracle=config.oracle,
         )
         if kinds:
             plan = FaultPlan.for_kind(

@@ -36,6 +36,7 @@ from repro.core.recovery import image_at_cut, is_consistent_cut
 from repro.errors import FuzzError, RecoveryError, SimulationError
 from repro.fuzz.targets import make_target
 from repro.harness.cache import atomic_write, content_digest, quarantine_file
+from repro.histories.oracle import cut_checker
 from repro.inject.engine import materialize_faulty
 from repro.inject.plan import FaultPlan
 from repro.inject.report import RecoveryReport
@@ -54,6 +55,12 @@ class ReproCase:
     ``faults`` is None for ordering violations, or the canonical JSON of
     the :class:`~repro.inject.plan.FaultPlan` whose injected faults are
     the counterexample (silent corruption under fault injection).
+
+    ``oracle`` names the per-cut judge that produced the case
+    (``"invariant"``, ``"dl"``, ``"bdl"``); ``condition`` carries the
+    history oracle's classification of the violation (``"dl"`` or
+    ``"dl+bdl"``, None for invariant cases).  Replay re-judges the cut
+    with the same oracle and re-validates the classification.
     """
 
     target: str
@@ -67,6 +74,8 @@ class ReproCase:
     error: str
     minimized: bool = False
     faults: Optional[str] = None
+    oracle: str = "invariant"
+    condition: Optional[str] = None
 
     def describe(self) -> Dict[str, object]:
         """JSON dict representation (exactly what is written to disk)."""
@@ -83,14 +92,17 @@ class ReproCase:
             "error": self.error,
             "minimized": self.minimized,
             "faults": self.faults,
+            "oracle": self.oracle,
+            "condition": self.condition,
         }
 
     @classmethod
     def from_payload(cls, payload: Dict[str, object]) -> "ReproCase":
         """Rebuild a case from :meth:`describe` output.
 
-        ``faults`` may be absent (entries written before the field
-        existed load as clean cases).
+        ``faults``, ``oracle`` and ``condition`` may be absent (entries
+        written before the fields existed load as clean invariant
+        cases).
 
         Raises:
             FuzzError: on a malformed or wrong-version payload.
@@ -102,6 +114,7 @@ class ReproCase:
                     f"{CORPUS_FORMAT_VERSION}"
                 )
             faults = payload.get("faults")
+            condition = payload.get("condition")
             return cls(
                 target=str(payload["target"]),
                 threads=int(payload["threads"]),
@@ -114,6 +127,8 @@ class ReproCase:
                 error=str(payload["error"]),
                 minimized=bool(payload["minimized"]),
                 faults=None if faults is None else str(faults),
+                oracle=str(payload.get("oracle", "invariant")),
+                condition=None if condition is None else str(condition),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise FuzzError(f"malformed repro payload: {exc}") from exc
@@ -131,11 +146,14 @@ class ReplayResult:
     :class:`~repro.inject.report.RecoveryReport` for fault-plan cases
     that did *not* reproduce — two replays of the same case always
     produce equal reports (the property the determinism tests pin).
+    ``condition`` is the history oracle's classification of the replayed
+    violation (None for invariant cases or non-reproductions).
     """
 
     reproduced: bool
     detail: str
     report: Optional[RecoveryReport] = None
+    condition: Optional[str] = None
 
 
 def replay_case(case: ReproCase) -> ReplayResult:
@@ -146,7 +164,10 @@ def replay_case(case: ReproCase) -> ReplayResult:
     persist DAG is rebuilt under the case's model, and the cut's image
     is handed to the target's recovery checker.  With a fault plan the
     image is re-materialized faulty (bit-identically — every injection
-    decision is seeded) and the degrading checker re-run.
+    decision is seeded) and the degrading checker re-run.  A history
+    oracle case rebuilds the program with operation recording on and
+    re-judges the cut with the same oracle; reproducing under a
+    *different* condition than recorded counts as stale.
     ``reproduced`` is True exactly when the checker raises the
     violation again.
     """
@@ -156,7 +177,12 @@ def replay_case(case: ReproCase) -> ReplayResult:
     else:
         scheduler = make_scheduler(case.sched, case.sched_seed)
     try:
-        run = target.build(case.threads, case.ops, scheduler)
+        run = target.build(
+            case.threads,
+            case.ops,
+            scheduler,
+            record_history=case.oracle != "invariant",
+        )
     except SimulationError as exc:
         return ReplayResult(
             reproduced=False,
@@ -170,6 +196,30 @@ def replay_case(case: ReproCase) -> ReplayResult:
                 "stale repro: recorded cut is not a consistent cut of the "
                 "rebuilt persist DAG"
             ),
+        )
+    if case.oracle != "invariant":
+        check = cut_checker(run.trace, graph, run.history_spec, case.oracle)
+        image = image_at_cut(graph, case.cut, run.base_image, check=False)
+        failure = check(case.cut, image)
+        if failure is None:
+            return ReplayResult(
+                reproduced=False,
+                detail=(
+                    f"the {case.oracle} oracle held at the recorded cut"
+                ),
+            )
+        error, condition = failure
+        if case.condition is not None and condition != case.condition:
+            return ReplayResult(
+                reproduced=False,
+                detail=(
+                    f"stale repro: cut now breaks condition {condition!r}, "
+                    f"not the recorded {case.condition!r}"
+                ),
+                condition=condition,
+            )
+        return ReplayResult(
+            reproduced=True, detail=error, condition=condition
         )
     if case.faults is not None:
         plan = FaultPlan.from_json(case.faults)
@@ -199,7 +249,11 @@ def replay_case(case: ReproCase) -> ReplayResult:
 
 
 def case_from_check(
-    target: str, threads: int, ops: int, violation: "CheckViolation"
+    target: str,
+    threads: int,
+    ops: int,
+    violation: "CheckViolation",
+    oracle: str = "invariant",
 ) -> ReproCase:
     """Package one ``repro.check`` violation as a replayable corpus case.
 
@@ -208,6 +262,8 @@ def case_from_check(
     resulting case replays through the standard ``repro fuzz replay``
     path; the ``sched``/``sched_seed`` fields are the documented
     fallback for stale recordings and for re-discovery minimization.
+    ``oracle`` is the judge the checker ran under; the violation's
+    condition classification rides along for history oracles.
     """
     return ReproCase(
         target=target,
@@ -220,6 +276,8 @@ def case_from_check(
         choices=tuple(violation.choices),
         error=violation.error,
         minimized=False,
+        oracle=oracle,
+        condition=violation.condition,
     )
 
 
@@ -229,6 +287,7 @@ def export_check_violations(
     threads: int,
     ops: int,
     violations: Iterable["CheckViolation"],
+    oracle: str = "invariant",
 ) -> List[Path]:
     """Write checker counterexamples into a corpus directory.
 
@@ -239,7 +298,7 @@ def export_check_violations(
     """
     corpus = Corpus(corpus_dir)
     return [
-        corpus.add(case_from_check(target, threads, ops, violation))
+        corpus.add(case_from_check(target, threads, ops, violation, oracle))
         for violation in violations
     ]
 

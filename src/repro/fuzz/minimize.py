@@ -20,6 +20,13 @@ candidate shrink and keeping only changes that still violate:
 The result is a :class:`~repro.fuzz.corpus.ReproCase` carrying the
 shrunk spec, the recorded schedule choices of its final run, and the
 minimal violating cut — deterministic to replay by construction.
+
+History-oracle findings (``--oracle dl``/``bdl``) shrink against the
+same oracle with the violated *condition* pinned: a candidate that
+still violates, but under a different condition than the original
+finding, is rejected, and the final (spec, cut) is re-judged once more
+— a classification change there fails loudly instead of silently
+relabeling the bug.
 """
 
 from __future__ import annotations
@@ -36,6 +43,7 @@ from repro.fuzz.campaign import (
     Finding,
     execute_spec,
     iter_case_images,
+    oracle_checker_for,
     run_case,
 )
 from repro.fuzz.corpus import Corpus, ReproCase
@@ -59,11 +67,25 @@ class MinimizeResult:
     stats: MinimizeStats
 
 
-def _reproduces(spec: CaseSpec, stats: MinimizeStats) -> bool:
-    """Does any cut of ``spec``'s family still violate the invariant?"""
+def _reproduces(
+    spec: CaseSpec,
+    stats: MinimizeStats,
+    condition: Optional[str] = None,
+) -> bool:
+    """Does any cut of ``spec``'s family still violate its oracle?
+
+    With ``condition`` set (a history-oracle finding), only violations
+    of that exact condition count — shrinking must preserve the
+    classification, so the whole cut family is scanned and the
+    condition tally consulted instead of stopping at the first
+    violation of any kind.
+    """
     stats.runs += 1
-    outcome = run_case(spec, stop_at_first=True)
-    return outcome.violation_count > 0
+    if condition is None:
+        outcome = run_case(spec, stop_at_first=True)
+        return outcome.violation_count > 0
+    outcome = run_case(spec)
+    return outcome.condition_counts.get(condition, 0) > 0
 
 
 def _shrunk_candidates(value: int, floor: int) -> Iterable[int]:
@@ -76,15 +98,20 @@ def _shrunk_candidates(value: int, floor: int) -> Iterable[int]:
 
 
 def shrink_workload(
-    spec: CaseSpec, stats: Optional[MinimizeStats] = None
+    spec: CaseSpec,
+    stats: Optional[MinimizeStats] = None,
+    condition: Optional[str] = None,
 ) -> CaseSpec:
     """Stage 1: shrink ops then threads while the case still reproduces.
+
+    ``condition`` pins the history-oracle classification: candidates
+    that still violate, but under a different condition, are rejected.
 
     Raises:
         FuzzError: when ``spec`` does not reproduce to begin with.
     """
     stats = stats if stats is not None else MinimizeStats()
-    if not _reproduces(spec, stats):
+    if not _reproduces(spec, stats, condition):
         raise FuzzError(
             f"case does not reproduce; nothing to minimize: {spec}"
         )
@@ -103,7 +130,7 @@ def shrink_workload(
                 candidate = CaseSpec(
                     **{**current.describe(), fieldname: candidate_value}
                 )
-                if _reproduces(candidate, stats):
+                if _reproduces(candidate, stats, condition):
                     current = candidate
                     progress = True
                     break
@@ -111,7 +138,10 @@ def shrink_workload(
 
 
 def _check_cut(
-    execution: CaseExecution, cut: Iterable[int], image=None
+    execution: CaseExecution,
+    cut: Iterable[int],
+    image=None,
+    condition: Optional[str] = None,
 ) -> Optional[str]:
     """The recovery error at ``cut``, or None when the invariant holds.
 
@@ -120,8 +150,24 @@ def _check_cut(
     *faulty* — the engine is seeded, so the same faults land — and runs
     the degrading checker: the minimizer's violation predicate is then
     "degrading recovery returned wrong state as good", the same raise
-    the campaign classified as silent corruption.
+    the campaign classified as silent corruption.  A history-oracle
+    spec judges the cut with its oracle; with ``condition`` set, a
+    violation of a *different* condition counts as not violating (the
+    shrink must preserve the classification).
     """
+    oracle_check = oracle_checker_for(execution)
+    if oracle_check is not None:
+        if image is None:
+            image = image_at_cut(
+                execution.graph, cut, execution.run.base_image, check=False
+            )
+        failure = oracle_check(cut, image)
+        if failure is None:
+            return None
+        error, found = failure
+        if condition is not None and found != condition:
+            return None
+        return error
     plan = execution.spec.plan()
     if plan is None:
         if image is None:
@@ -142,15 +188,20 @@ def _check_cut(
 
 
 def _violates_at(
-    execution: CaseExecution, cut: Iterable[int], stats: MinimizeStats
+    execution: CaseExecution,
+    cut: Iterable[int],
+    stats: MinimizeStats,
+    condition: Optional[str] = None,
 ) -> Optional[str]:
     """Counted wrapper around :func:`_check_cut`."""
     stats.cut_checks += 1
-    return _check_cut(execution, cut)
+    return _check_cut(execution, cut, condition=condition)
 
 
 def _first_violating_cut(
-    execution: CaseExecution, stats: MinimizeStats
+    execution: CaseExecution,
+    stats: MinimizeStats,
+    condition: Optional[str] = None,
 ) -> Tuple[frozenset, str]:
     """The first violating cut of the spec's own family.
 
@@ -161,7 +212,7 @@ def _first_violating_cut(
     injector = FailureInjector(execution.graph, execution.run.base_image)
     for cut, image in iter_case_images(execution.spec, injector):
         stats.cut_checks += 1
-        error = _check_cut(execution, cut, image=image)
+        error = _check_cut(execution, cut, image=image, condition=condition)
         if error is not None:
             return frozenset(cut), error
     raise FuzzError(
@@ -174,6 +225,7 @@ def shrink_cut(
     execution: CaseExecution,
     stats: Optional[MinimizeStats] = None,
     max_checks: int = 600,
+    condition: Optional[str] = None,
 ) -> Tuple[frozenset, str]:
     """Stage 2: shrink toward a minimal consistent cut still violating.
 
@@ -182,11 +234,12 @@ def shrink_cut(
     greedily removes persists (each with its in-cut descendants, so
     every candidate stays downward-closed).  ``max_checks`` bounds the
     total invariant evaluations; the best cut so far is returned when
-    the budget runs out.
+    the budget runs out.  ``condition`` pins the history-oracle
+    classification every kept cut must reproduce.
     """
     stats = stats if stats is not None else MinimizeStats()
     graph = execution.graph
-    cut, error = _first_violating_cut(execution, stats)
+    cut, error = _first_violating_cut(execution, stats, condition)
 
     # Restart from the most adversarial single-persist explanation.
     by_size = sorted(cut, key=lambda pid: (len(minimal_cut(graph, pid)), pid))
@@ -196,7 +249,7 @@ def shrink_cut(
             break
         if stats.cut_checks >= max_checks:
             return cut, error
-        found = _violates_at(execution, candidate, stats)
+        found = _violates_at(execution, candidate, stats, condition)
         if found is not None:
             cut, error = candidate, found
             break
@@ -214,7 +267,7 @@ def shrink_cut(
                 continue
             if stats.cut_checks >= max_checks:
                 break
-            found = _violates_at(execution, candidate, stats)
+            found = _violates_at(execution, candidate, stats, condition)
             if found is not None:
                 cut, error = candidate, found
                 progress = True
@@ -229,12 +282,46 @@ def minimize_finding(
 
     Shrinks the workload, then the cut, then re-executes the final spec
     once to record the schedule choices the corpus replays.
+
+    A history-oracle finding's condition classification is pinned
+    through every shrink stage and re-validated once more on the final
+    (spec, cut): the shrunk repro must violate the *same* condition as
+    the original finding.
+
+    Raises:
+        FuzzError: when the finding does not reproduce, or when the
+            final re-validation shows the minimized repro violating a
+            different condition than the finding (a minimizer bug — the
+            shrink stages are condition-pinned).
     """
     stats = MinimizeStats()
-    spec = shrink_workload(finding.spec, stats)
+    spec = shrink_workload(finding.spec, stats, condition=finding.condition)
     execution = execute_spec(spec)
     stats.runs += 1
-    cut, error = shrink_cut(execution, stats, max_checks=max_cut_checks)
+    cut, error = shrink_cut(
+        execution, stats, max_checks=max_cut_checks,
+        condition=finding.condition,
+    )
+    condition = finding.condition
+    oracle_check = oracle_checker_for(execution)
+    if oracle_check is not None:
+        image = image_at_cut(
+            execution.graph, cut, execution.run.base_image, check=False
+        )
+        failure = oracle_check(cut, image)
+        if failure is None:
+            raise FuzzError(
+                "minimization lost the violation: the shrunk cut "
+                f"satisfies the {spec.oracle} oracle"
+            )
+        error, final_condition = failure
+        if condition is not None and final_condition != condition:
+            raise FuzzError(
+                "minimization changed the violated condition: the "
+                f"finding broke {condition!r} but the shrunk repro "
+                f"breaks {final_condition!r}"
+            )
+        condition = final_condition
     case = ReproCase(
         target=spec.target,
         threads=spec.threads,
@@ -247,6 +334,8 @@ def minimize_finding(
         error=error,
         minimized=True,
         faults=spec.faults,
+        oracle=spec.oracle,
+        condition=condition,
     )
     return MinimizeResult(case=case, stats=stats)
 

@@ -41,10 +41,19 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.errors import FuzzError, RecoveryError
+from repro.histories.oracle import HistorySpec
+from repro.histories.record import record_op
+from repro.histories.spec import (
+    CounterSpec,
+    KvSpec,
+    LogSpec,
+    MiniFsSpec,
+    QueueSpec,
+)
 from repro.inject.report import RecoveryReport
 from repro.memory import layout
 from repro.memory.nvram import NvramImage
-from repro.queue.recovery import recover_report, verify_recovery
+from repro.queue.recovery import recover_entries, recover_report, verify_recovery
 from repro.queue.workload import prepare_insert_workload
 from repro.sim.machine import Machine
 from repro.sim.scheduler import Scheduler
@@ -74,18 +83,29 @@ class TargetRun:
     silently wrong — state the structure returned as good that the
     ground truth refutes.  Targets without degrading recovery leave it
     None.
+
+    ``history_spec`` connects the run to the durable-linearizability
+    oracle (:mod:`repro.histories`): the structure's sequential spec
+    plus an observe projection from a failure-cut image to the spec's
+    observed-state shape.  It is populated only when the run was built
+    with ``record_history=True``.
     """
 
     trace: Trace
     base_image: NvramImage
     check: Callable[[NvramImage], None]
     check_report: Optional[Callable[[NvramImage], RecoveryReport]] = None
+    history_spec: Optional[HistorySpec] = None
 
 
 #: A target preparer: builds a not-yet-run machine plus a finalizer that
 #: packages one completed execution into a :class:`TargetRun`.  The
 #: finalizer may be called once per execution of the same machine (the
 #: prefix-sharing checker re-finalizes after every replayed schedule).
+#: Recordable targets additionally accept a ``record_history`` keyword
+#: that makes thread bodies emit operation markers for the history
+#: oracle (off by default — markers lengthen the trace and so perturb
+#: seeded schedules).
 Preparer = Callable[
     [int, int, Scheduler],
     Tuple[Machine, Callable[[Machine], TargetRun]],
@@ -114,9 +134,16 @@ class FuzzTarget:
     #: targets (the paper-faithful wire formats) document their
     #: undetectable-corruption exposure instead.
     hardened: bool = False
+    #: Recordable targets emit operation histories on demand and expose
+    #: a sequential spec, so the ``dl``/``bdl`` oracles apply to them.
+    recordable: bool = False
 
     def setup(
-        self, threads: int, ops: int, scheduler: Scheduler
+        self,
+        threads: int,
+        ops: int,
+        scheduler: Scheduler,
+        record_history: bool = False,
     ) -> Tuple[Machine, Callable[[Machine], TargetRun]]:
         """Build a not-yet-run program of the given size.
 
@@ -126,17 +153,36 @@ class FuzzTarget:
         a :class:`TargetRun`.  ``finalize`` recomputes schedule-dependent
         ground truth (e.g. append offsets) from the machine each call,
         so it is safe to call once per replayed schedule.
+
+        With ``record_history`` the program emits operation markers and
+        the finalized run carries a ``history_spec`` for the DL/BDL
+        oracles; only recordable targets support it.
         """
         if threads <= 0 or ops <= 0:
             raise FuzzError(
                 f"target sizes must be positive, got threads={threads} "
                 f"ops={ops}"
             )
+        if record_history:
+            if not self.recordable:
+                raise FuzzError(
+                    f"target {self.name!r} does not record operation "
+                    f"histories (required by the dl/bdl oracles)"
+                )
+            return self.preparer(threads, ops, scheduler, record_history=True)
         return self.preparer(threads, ops, scheduler)
 
-    def build(self, threads: int, ops: int, scheduler: Scheduler) -> TargetRun:
+    def build(
+        self,
+        threads: int,
+        ops: int,
+        scheduler: Scheduler,
+        record_history: bool = False,
+    ) -> TargetRun:
         """Build and run one program of the given size under ``scheduler``."""
-        machine, finalize = self.setup(threads, ops, scheduler)
+        machine, finalize = self.setup(
+            threads, ops, scheduler, record_history=record_history
+        )
         machine.run()
         return finalize(machine)
 
@@ -159,7 +205,12 @@ def _snapshot(machine: Machine) -> NvramImage:
 def _queue_builder(design: str, paper_faithful: bool):
     """Preparer factory for the queue insert workloads."""
 
-    def prepare(threads: int, ops: int, scheduler: Scheduler):
+    def prepare(
+        threads: int,
+        ops: int,
+        scheduler: Scheduler,
+        record_history: bool = False,
+    ):
         """Build the insert workload; check entries against ground truth."""
         machine, finish_workload = prepare_insert_workload(
             design=design,
@@ -168,6 +219,7 @@ def _queue_builder(design: str, paper_faithful: bool):
             entry_size=48,
             paper_faithful=paper_faithful,
             scheduler=scheduler,
+            record_history=record_history,
         )
 
         def finalize(machine: Machine) -> TargetRun:
@@ -190,11 +242,21 @@ def _queue_builder(design: str, paper_faithful: bool):
                         )
                 return report
 
+            def observe(image: NvramImage) -> Dict[int, bytes]:
+                """Recovered entries by offset (raises on unparsable state)."""
+                _, entries = recover_entries(image, base)
+                return {entry.offset: entry.payload for entry in entries}
+
             return TargetRun(
                 trace=result.trace,
                 base_image=result.base_image,
                 check=check,
                 check_report=check_report,
+                history_spec=(
+                    HistorySpec(spec=QueueSpec(), observe=observe)
+                    if record_history
+                    else None
+                ),
             )
 
         return machine, finalize
@@ -205,18 +267,37 @@ def _queue_builder(design: str, paper_faithful: bool):
 # -- key-value store ---------------------------------------------------------
 
 
-def _kv_thread(ctx, store, thread: int, ops: int, history: Dict[int, Set[int]]):
+def _kv_thread(
+    ctx,
+    store,
+    thread: int,
+    ops: int,
+    history: Dict[int, Set[int]],
+    record: bool = False,
+):
     """Generator body: puts (with overwrites) and occasional deletes."""
     for index in range(ops):
         key = thread * 8 + (index % 2) + 1
         value = (thread + 1) * 1_000_000 + index + 1
         history.setdefault(key, set()).add(value)
-        yield from store.put(ctx, key, value)
+        if record:
+            yield from record_op(
+                ctx, "put", [key, value], store.put(ctx, key, value)
+            )
+        else:
+            yield from store.put(ctx, key, value)
         if index % 4 == 3:
-            yield from store.delete(ctx, key)
+            if record:
+                yield from record_op(
+                    ctx, "delete", [key], store.delete(ctx, key)
+                )
+            else:
+                yield from store.delete(ctx, key)
 
 
-def _prepare_kv(threads: int, ops: int, scheduler: Scheduler):
+def _prepare_kv(
+    threads: int, ops: int, scheduler: Scheduler, record_history: bool = False
+):
     """KV-store target: recovered pairs must have been written.
 
     ``history`` is mutated by the thread bodies as they run; replayed
@@ -228,7 +309,7 @@ def _prepare_kv(threads: int, ops: int, scheduler: Scheduler):
     base_image = _snapshot(machine)
     history: Dict[int, Set[int]] = {}
     for thread in range(threads):
-        machine.spawn(_kv_thread, store, thread, ops, history)
+        machine.spawn(_kv_thread, store, thread, ops, history, record_history)
 
     def finalize(machine: Machine) -> TargetRun:
         def check(image: NvramImage) -> None:
@@ -258,6 +339,11 @@ def _prepare_kv(threads: int, ops: int, scheduler: Scheduler):
             base_image=base_image,
             check=check,
             check_report=check_report,
+            history_spec=(
+                HistorySpec(spec=KvSpec(), observe=store.recover)
+                if record_history
+                else None
+            ),
         )
 
     return machine, finalize
@@ -266,28 +352,40 @@ def _prepare_kv(threads: int, ops: int, scheduler: Scheduler):
 # -- append-only log ---------------------------------------------------------
 
 
-def _log_thread(ctx, log, thread: int, ops: int):
+def _log_thread(ctx, log, thread: int, ops: int, record: bool = False):
     """Generator body: append ``ops`` framed records; returns offsets."""
     written: List[Tuple[int, bytes]] = []
     for index in range(ops):
         payload = bytes([thread * 16 + index + 1]) * (8 + (index % 3) * 8)
-        offset = yield from log.append(ctx, payload)
+        if record:
+            offset = yield from record_op(
+                ctx, "append", [payload], log.append(ctx, payload)
+            )
+        else:
+            offset = yield from log.append(ctx, payload)
         written.append((offset, payload))
     return written
 
 
-def _prepare_log(threads: int, ops: int, scheduler: Scheduler):
+def _prepare_log(
+    threads: int, ops: int, scheduler: Scheduler, record_history: bool = False
+):
     """Log target: committed records must match their appends exactly."""
     machine = _fresh_machine(scheduler)
     log = PersistentLog(machine, capacity=threads * ops * 64 + 64)
     base_image = _snapshot(machine)
     for thread in range(threads):
-        machine.spawn(_log_thread, log, thread, ops)
-    return machine, lambda machine: _finalize_log(machine, log, base_image)
+        machine.spawn(_log_thread, log, thread, ops, record_history)
+    return machine, lambda machine: _finalize_log(
+        machine, log, base_image, record_history
+    )
 
 
 def _finalize_log(
-    machine: Machine, log: PersistentLog, base_image: NvramImage
+    machine: Machine,
+    log: PersistentLog,
+    base_image: NvramImage,
+    record_history: bool = False,
 ) -> TargetRun:
     """Package one completed log run; offsets are schedule-dependent."""
     expected: Dict[int, bytes] = {}
@@ -315,30 +413,48 @@ def _finalize_log(
                 )
         return report
 
+    def observe(image: NvramImage) -> Dict[int, bytes]:
+        """Committed records by offset (raises on unparsable frames)."""
+        return {
+            record.offset: record.payload for record in log.recover(image)
+        }
+
     return TargetRun(
         trace=machine.trace,
         base_image=base_image,
         check=check,
         check_report=check_report,
+        history_spec=(
+            HistorySpec(spec=LogSpec(), observe=observe)
+            if record_history
+            else None
+        ),
     )
 
 
 # -- striped counter ---------------------------------------------------------
 
 
-def _counter_thread(ctx, counter, ops: int):
+def _counter_thread(ctx, counter, ops: int, record: bool = False):
     """Generator body: ``ops`` unit increments of the caller's stripe."""
     for _ in range(ops):
-        yield from counter.increment(ctx)
+        if record:
+            yield from record_op(
+                ctx, "increment", [1], counter.increment(ctx)
+            )
+        else:
+            yield from counter.increment(ctx)
 
 
-def _prepare_counter(threads: int, ops: int, scheduler: Scheduler):
+def _prepare_counter(
+    threads: int, ops: int, scheduler: Scheduler, record_history: bool = False
+):
     """Striped-counter target: never overcount, never go negative."""
     machine = _fresh_machine(scheduler)
     counter = StripedPersistentCounter(machine, threads)
     base_image = _snapshot(machine)
     for _ in range(threads):
-        machine.spawn(_counter_thread, counter, ops)
+        machine.spawn(_counter_thread, counter, ops, record_history)
     ceiling = threads * ops
 
     def finalize(machine: Machine) -> TargetRun:
@@ -350,8 +466,26 @@ def _prepare_counter(threads: int, ops: int, scheduler: Scheduler):
                     f"counter recovered {value} outside [0, {ceiling}]"
                 )
 
+        def check_report(image: NvramImage) -> RecoveryReport:
+            """Degrading recovery: surviving stripes must stay in range."""
+            report = counter.recover_report(image, per_stripe_ceiling=ops)
+            if not 0 <= report.state <= ceiling:
+                raise RecoveryError(
+                    f"counter recovered {report.state} outside "
+                    f"[0, {ceiling}] from stripes that passed validation"
+                )
+            return report
+
         return TargetRun(
-            trace=machine.trace, base_image=base_image, check=check
+            trace=machine.trace,
+            base_image=base_image,
+            check=check,
+            check_report=check_report,
+            history_spec=(
+                HistorySpec(spec=CounterSpec(), observe=counter.recover)
+                if record_history
+                else None
+            ),
         )
 
     return machine, finalize
@@ -365,18 +499,35 @@ def _fs_content(thread: int, version: int) -> bytes:
     return bytes([(thread * 16 + version + 1) % 256]) * 300
 
 
-def _fs_thread(ctx, fs, thread: int, ops: int):
+def _fs_thread(ctx, fs, thread: int, ops: int, record: bool = False):
     """Generator body: create a file, then shadow-rewrite it."""
     name = f"f{thread}"
-    yield from fs.create(ctx, name, _fs_content(thread, 0))
+    first = _fs_content(thread, 0)
+    if record:
+        yield from record_op(
+            ctx, "create", [name, first], fs.create(ctx, name, first)
+        )
+    else:
+        yield from fs.create(ctx, name, first)
     for version in range(1, ops):
-        yield from fs.write(ctx, name, _fs_content(thread, version))
+        content = _fs_content(thread, version)
+        if record:
+            yield from record_op(
+                ctx, "write", [name, content], fs.write(ctx, name, content)
+            )
+        else:
+            yield from fs.write(ctx, name, content)
 
 
 def _minifs_builder(race_free: bool):
     """Preparer factory for MiniFS with/without the race-free barriers."""
 
-    def prepare(threads: int, ops: int, scheduler: Scheduler):
+    def prepare(
+        threads: int,
+        ops: int,
+        scheduler: Scheduler,
+        record_history: bool = False,
+    ):
         """Create + rewrite one file per thread; recover all versions."""
         machine = _fresh_machine(scheduler)
         fs = MiniFs(
@@ -391,7 +542,7 @@ def _minifs_builder(race_free: bool):
         for thread in range(threads):
             versions = {_fs_content(thread, v) for v in range(ops)}
             history[name_hash(f"f{thread}")] = versions
-            machine.spawn(_fs_thread, fs, thread, ops)
+            machine.spawn(_fs_thread, fs, thread, ops, record_history)
 
         def finalize(machine: Machine) -> TargetRun:
             def check(image: NvramImage) -> None:
@@ -420,11 +571,23 @@ def _minifs_builder(race_free: bool):
                         )
                 return report
 
+            def observe(image: NvramImage) -> Dict[int, bytes]:
+                """Mounted file contents by name hash (raises on torn state)."""
+                return {
+                    hashed: recovered.data
+                    for hashed, recovered in fs.recover(image).items()
+                }
+
             return TargetRun(
                 trace=machine.trace,
                 base_image=base_image,
                 check=check,
                 check_report=check_report,
+                history_spec=(
+                    HistorySpec(spec=MiniFsSpec(), observe=observe)
+                    if record_history
+                    else None
+                ),
             )
 
         return machine, finalize
@@ -703,20 +866,42 @@ def _flush_publish_builder(flush: str, fence: bool) -> Preparer:
 TARGETS: Dict[str, FuzzTarget] = {
     target.name: target
     for target in (
-        FuzzTarget("queue-cwl", _queue_builder("cwl", False), (1, 4), (2, 6)),
-        FuzzTarget("queue-2lc", _queue_builder("2lc", False), (1, 4), (2, 6)),
+        FuzzTarget(
+            "queue-cwl",
+            _queue_builder("cwl", False),
+            (1, 4),
+            (2, 6),
+            recordable=True,
+        ),
+        FuzzTarget(
+            "queue-2lc",
+            _queue_builder("2lc", False),
+            (1, 4),
+            (2, 6),
+            recordable=True,
+        ),
         FuzzTarget(
             "queue-2lc-faithful",
             _queue_builder("2lc", True),
             (1, 4),
             (2, 6),
             known_broken=True,
+            recordable=True,
         ),
-        FuzzTarget("kv", _prepare_kv, (1, 4), (2, 8), hardened=True),
-        FuzzTarget("log", _prepare_log, (1, 4), (2, 6), hardened=True),
-        FuzzTarget("counter", _prepare_counter, (1, 4), (2, 8)),
         FuzzTarget(
-            "minifs", _minifs_builder(True), (2, 3), (2, 4), hardened=True
+            "kv", _prepare_kv, (1, 4), (2, 8), hardened=True, recordable=True
+        ),
+        FuzzTarget(
+            "log", _prepare_log, (1, 4), (2, 6), hardened=True, recordable=True
+        ),
+        FuzzTarget("counter", _prepare_counter, (1, 4), (2, 8), recordable=True),
+        FuzzTarget(
+            "minifs",
+            _minifs_builder(True),
+            (2, 3),
+            (2, 4),
+            hardened=True,
+            recordable=True,
         ),
         FuzzTarget(
             "minifs-racy",
@@ -725,6 +910,7 @@ TARGETS: Dict[str, FuzzTarget] = {
             (2, 4),
             known_broken=True,
             hardened=True,
+            recordable=True,
         ),
         FuzzTarget("transactions", _prepare_transactions, (1, 3), (1, 4)),
         FuzzTarget(

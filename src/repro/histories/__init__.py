@@ -1,0 +1,68 @@
+"""Operation histories and durable-linearizability oracles.
+
+The fuzz and check pipelines historically judged recovered state with
+per-structure ad-hoc predicates ("every recovered entry was inserted").
+This package generalizes the verdict to the correctness conditions of
+the persistent-memory literature (Izraelevitz et al.'s durable
+linearizability; the Ben-David et al. survey's buffered variant):
+
+* :mod:`~repro.histories.record` — structures emit operation
+  invoke/response markers into the simulation trace; after a run the
+  markers plus the persist DAG reconstruct an operation-level
+  :class:`~repro.histories.record.History`, with every persist
+  attributed to the operation that issued it.
+* :mod:`~repro.histories.spec` — tiny pure-Python sequential models of
+  queue, kv store, log, counter, and MiniFS, decomposed into
+  independent partitions (per key / per offset / per file) so
+  membership search stays small.
+* :mod:`~repro.histories.checker` — a Wing–Gong-style memoized search
+  deciding whether a recovered state is explained by some linearization
+  of per-thread prefixes of the history, under durable linearizability
+  (every persisted-complete operation must be included) and buffered
+  durable linearizability (a consistent suffix may be dropped).
+* :mod:`~repro.histories.oracle` — glue turning a target's recorded
+  run into a cut-aware checker that `repro fuzz run --oracle dl|bdl`
+  and `repro check --oracle` drive in place of the ad-hoc predicates,
+  classifying every violation by the strongest condition it breaks.
+"""
+
+from repro.histories.checker import Verdict, check_history
+from repro.histories.oracle import (
+    ORACLES,
+    HistorySpec,
+    cut_checker,
+    validate_oracle,
+)
+from repro.histories.record import (
+    History,
+    Operation,
+    extract_history,
+    record_op,
+)
+from repro.histories.spec import (
+    CounterSpec,
+    KvSpec,
+    LogSpec,
+    MiniFsSpec,
+    QueueSpec,
+    StructureSpec,
+)
+
+__all__ = [
+    "CounterSpec",
+    "History",
+    "HistorySpec",
+    "KvSpec",
+    "LogSpec",
+    "MiniFsSpec",
+    "ORACLES",
+    "Operation",
+    "QueueSpec",
+    "StructureSpec",
+    "Verdict",
+    "check_history",
+    "cut_checker",
+    "extract_history",
+    "record_op",
+    "validate_oracle",
+]

@@ -1,0 +1,192 @@
+"""Wing–Gong-style membership checking of recovered states.
+
+Given a recorded :class:`~repro.histories.record.History`, a failure
+cut, and the state recovered from that cut's image, decide whether the
+state is explained by some linearization of the history under two
+correctness conditions:
+
+* **Durable linearizability (DL)** — there is a linearization of a
+  precedence-closed subset of the history that contains every
+  *persisted-complete* operation (responded, with all attributed
+  persists inside the cut) and produces the observed state.
+* **Buffered durable linearizability (BDL)** — as DL, but the
+  linearization may drop persisted-complete operations too (a crash is
+  allowed to lose a suffix of completed work), so only *explainability*
+  is required: some precedence-closed subset produces the observed
+  state.
+
+Precedence here is per-agent program order *within a partition*.  The
+classical definitions also order operations across agents by real time
+and across partitions by program order; our structures promise neither.
+Cross-thread real-time edges would flag deliberately unsynchronized
+structures (the striped counter), and cross-partition program-order
+edges would flag epoch-correct ones: with no persist barrier between
+two operations on different keys, relaxed models legitimately persist
+the later operation's effects first, so a crash may durably keep
+``put(b)`` while losing the program-order-earlier ``put(a)`` — exactly
+the guarantee profile the paper's relaxed models trade for concurrency.
+What survives is the per-cell contract: an operation whose persists all
+lie inside the cut is durable, and every observed cell value must be
+produced by its own operations.  DL ⊆ BDL by construction: every DL
+witness is a BDL witness.
+
+The search is the Wing–Gong membership construction restricted to
+per-thread prefixes: states are (per-thread position vector, spec
+state), memoized on the spec's ``state_key``, explored breadth-first
+per partition (see :mod:`repro.histories.spec` for why partitions make
+this tractable).  Prefix position vectors make precedence-closure
+automatic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.core.recovery import Cut, cut_members
+from repro.errors import HistoryError
+from repro.histories.record import History, Operation
+from repro.histories.spec import ABSENT, REJECT, StructureSpec
+
+#: Safety cap on membership-search nodes per partition; partitions are
+#: designed to be tiny, so hitting this means a mis-specified partition.
+MAX_SEARCH_NODES = 200_000
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """The checker's answer for one (history, cut, observed state).
+
+    ``detail`` describes the first failing partition when either
+    condition does not hold.
+    """
+
+    dl_ok: bool
+    bdl_ok: bool
+    detail: Optional[str] = None
+
+    def condition(self) -> Optional[str]:
+        """The strongest violated condition: "dl", "dl+bdl", or None."""
+        if not self.bdl_ok:
+            return "dl+bdl"
+        if not self.dl_ok:
+            return "dl"
+        return None
+
+
+def _search_partition(
+    spec: StructureSpec,
+    key: Hashable,
+    by_thread: Dict[int, List[Operation]],
+    observed: object,
+    cut_set,
+) -> Tuple[bool, bool]:
+    """Membership search for one partition; returns (dl_ok, bdl_ok).
+
+    DL forces every persisted-complete operation of the partition into
+    the linearization; within-partition precedence-closure then forces
+    its program-order predecessors on the same thread too, so the
+    requirement per thread is a prefix length of that thread's
+    partition operations.
+    """
+    threads = sorted(by_thread)
+    ops = [by_thread[thread] for thread in threads]
+    if observed is ABSENT and spec.external_publication:
+        # The cell was never durably published; under external
+        # publication every operation on it is still pending at the
+        # crash, so nothing is required (see StructureSpec).
+        required = tuple(0 for _ in threads)
+    else:
+        lengths = []
+        for thread_ops in ops:
+            length = 0
+            for position, op in enumerate(thread_ops):
+                if op.persisted_complete(cut_set):
+                    length = position + 1
+            lengths.append(length)
+        required = tuple(lengths)
+    initial = spec.initial(key)
+    start = tuple(0 for _ in threads)
+    frontier = [(start, initial)]
+    seen = {(start, spec.state_key(key, initial))}
+    dl_found = False
+    bdl_found = False
+    nodes = 0
+    while frontier and not dl_found:
+        positions, state = frontier.pop()
+        nodes += 1
+        if nodes > MAX_SEARCH_NODES:
+            raise HistoryError(
+                f"membership search for partition {key!r} exceeded "
+                f"{MAX_SEARCH_NODES} states"
+            )
+        if spec.matches(key, state, observed):
+            bdl_found = True
+            if all(pos >= need for pos, need in zip(positions, required)):
+                dl_found = True
+                break
+        for slot, thread_ops in enumerate(ops):
+            position = positions[slot]
+            if position >= len(thread_ops):
+                continue
+            successor = spec.apply(key, state, thread_ops[position])
+            if successor is REJECT:
+                continue
+            advanced = (
+                positions[:slot] + (position + 1,) + positions[slot + 1 :]
+            )
+            marker = (advanced, spec.state_key(key, successor))
+            if marker not in seen:
+                seen.add(marker)
+                frontier.append((advanced, successor))
+    if dl_found:
+        return True, True
+    return False, bdl_found
+
+
+def check_history(
+    history: History,
+    spec: StructureSpec,
+    observed: object,
+    cut: Cut,
+) -> Verdict:
+    """Judge a recovered state against a history at a failure cut.
+
+    ``observed`` is the structure's recovered state in the shape the
+    spec's ``split_observed`` expects (the target's observe projection
+    produces it).  Partitions are checked independently; both conditions
+    hold iff they hold in every partition.
+    """
+    cut_set = set(cut_members(cut))
+    partitions: Dict[Hashable, Dict[int, List[Operation]]] = {}
+    for op in history.operations:
+        key = spec.partition_key(op)
+        if key is None:
+            continue
+        partitions.setdefault(key, {}).setdefault(op.thread, []).append(op)
+    observed_map = spec.split_observed(observed)
+    dl_ok = True
+    bdl_ok = True
+    detail: Optional[str] = None
+    for key in sorted(set(partitions) | set(observed_map), key=repr):
+        by_thread = partitions.get(key, {})
+        value = observed_map.get(key, ABSENT)
+        part_dl, part_bdl = _search_partition(
+            spec, key, by_thread, value, cut_set
+        )
+        if not part_bdl:
+            bdl_ok = False
+            dl_ok = False
+            count = sum(len(ops) for ops in by_thread.values())
+            detail = detail or (
+                f"partition {key!r}: observed {value!r} is not produced "
+                f"by any linearization of its {count} operation(s)"
+            )
+            break
+        if not part_dl and dl_ok:
+            dl_ok = False
+            detail = (
+                f"partition {key!r}: observed {value!r} requires dropping "
+                f"persisted-complete operation(s)"
+            )
+    return Verdict(dl_ok=dl_ok, bdl_ok=bdl_ok, detail=detail)

@@ -1,0 +1,112 @@
+"""Oracle glue between recorded runs and the fuzz/check pipelines.
+
+The pipelines judge each failure cut with a *checker* taking the cut's
+recovered image.  The historical checkers are the targets' ad-hoc
+invariants (oracle mode ``"invariant"``); this module builds the
+condition-level alternatives: :func:`cut_checker` turns a recorded
+run's trace + persist graph + :class:`HistorySpec` into a cut checker
+that extracts the operation history once and then classifies every cut
+by the strongest correctness condition it breaks.
+
+Conditions are reported as:
+
+* ``"dl"`` — durable linearizability fails but buffered durable
+  linearizability holds (only completed-but-dropped work).
+* ``"dl+bdl"`` — both fail: the recovered state is not explained by
+  *any* linearization (torn or invented state), or recovery itself
+  raised.  BDL failing always implies DL failing, so there is no lone
+  ``"bdl"`` condition.
+
+The ``"bdl"`` oracle mode checks only the weaker condition, so every
+violation it reports carries condition ``"dl+bdl"``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+from repro.errors import FuzzError, RecoveryError
+from repro.histories.checker import check_history
+from repro.histories.record import extract_history
+from repro.histories.spec import StructureSpec
+from repro.memory.nvram import NvramImage
+
+#: The oracle axis accepted by `repro fuzz run` and `repro check`.
+ORACLES = ("invariant", "dl", "bdl")
+
+
+def validate_oracle(oracle: str) -> str:
+    """Validate an oracle name; returns it for chaining.
+
+    Raises:
+        FuzzError: on an unknown oracle.
+    """
+    if oracle not in ORACLES:
+        raise FuzzError(
+            f"unknown oracle {oracle!r}; expected one of {', '.join(ORACLES)}"
+        )
+    return oracle
+
+
+@dataclass(frozen=True)
+class HistorySpec:
+    """A target's hook-up to the history checker.
+
+    ``spec`` is the structure's sequential model; ``observe`` projects a
+    failure-cut image to the observed state in the shape the spec's
+    ``split_observed`` expects.  ``observe`` may raise
+    :class:`~repro.errors.RecoveryError` — an unmountable image violates
+    both conditions (no linearization explains a state that cannot even
+    be read back).
+    """
+
+    spec: StructureSpec
+    observe: Callable[[NvramImage], object]
+
+
+def cut_checker(
+    trace,
+    graph,
+    history_spec: HistorySpec,
+    mode: str,
+) -> Callable[[object, NvramImage], Optional[Tuple[str, str]]]:
+    """Build a condition-classifying checker for one recorded run.
+
+    The history is extracted once (persist ids are model-independent, so
+    any model's graph of the same trace works); the returned
+    ``check(cut, image)`` returns None when the cut satisfies ``mode``'s
+    condition, else ``(error, condition)`` where ``condition`` names the
+    strongest condition broken (``"dl"`` or ``"dl+bdl"``).
+
+    Raises:
+        FuzzError: on an oracle mode without a history semantics
+            (``"invariant"`` is checked by the target itself).
+    """
+    if mode not in ("dl", "bdl"):
+        raise FuzzError(f"oracle {mode!r} does not use the history checker")
+    history = extract_history(trace, graph)
+
+    def check(cut, image: NvramImage) -> Optional[Tuple[str, str]]:
+        """Judge one failure cut; None when consistent under ``mode``."""
+        try:
+            observed = history_spec.observe(image)
+        except RecoveryError as exc:
+            return f"recovery failed: {exc}", "dl+bdl"
+        verdict = check_history(history, history_spec.spec, observed, cut)
+        if mode == "dl":
+            if verdict.dl_ok:
+                return None
+            label = (
+                "durable linearizability violated"
+                if verdict.bdl_ok
+                else "durable and buffered durable linearizability violated"
+            )
+        else:
+            if verdict.bdl_ok:
+                return None
+            label = "buffered durable linearizability violated"
+        condition = verdict.condition() or "dl"
+        return f"{label}: {verdict.detail}", condition
+
+    return check

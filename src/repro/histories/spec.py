@@ -1,0 +1,213 @@
+"""Sequential specifications of the recoverable structures.
+
+A :class:`StructureSpec` is a tiny pure-Python model of one structure,
+decomposed into independent *partitions* so the membership search in
+:mod:`repro.histories.checker` stays small: a kv store is one partition
+per key, a queue or log one per record offset, MiniFS one per file, the
+counter a single partition.  Operations in different partitions commute
+(they touch disjoint persistent cells), so a recovered state is
+explained by a linearization of the whole history iff each partition's
+observed value is explained by a linearization of that partition's
+operations — which for these structures is a search over a handful of
+operations instead of the whole workload.
+
+Offset-keyed partitions (queue, log) use the *recorded* response offset
+as the partition key: which offset an insert landed on is a
+nondeterministic choice the implementation already made, so the spec
+must explain the observed bytes at that offset with that insert, not
+re-derive offsets from a hypothetical linearization order.
+
+Partition states are plain hashable values (``ABSENT``, ``bytes``,
+``int``); :data:`REJECT` marks a spec transition whose recorded
+response is impossible from the current state, pruning that branch of
+the search.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional
+
+from repro.histories.record import Operation
+from repro.structures.minifs import name_hash
+
+
+class _Sentinel:
+    """A named singleton used for spec sentinels."""
+
+    def __init__(self, label: str) -> None:
+        self._label = label
+
+    def __repr__(self) -> str:
+        return self._label
+
+
+#: Partition state / observed value meaning "no record here".
+ABSENT = _Sentinel("<absent>")
+
+#: Returned by :meth:`StructureSpec.apply` when the operation's recorded
+#: response is impossible from this state (the branch is pruned).
+REJECT = _Sentinel("<reject>")
+
+
+class StructureSpec:
+    """Base class: a partitioned sequential model of one structure.
+
+    Subclasses define how operations map to partitions and how each
+    partition's state evolves; the defaults implement the common cell
+    semantics (state is the stored value, compared directly against the
+    observed value).
+    """
+
+    #: True when an operation's effect becomes recoverable only through
+    #: a *publication persist that may belong to another operation* (the
+    #: 2LC queue's head pointer, swept forward by whichever insert holds
+    #: the head lock).  An observed-absent partition then means the
+    #: crash struck before the publication point — the operation was
+    #: still pending durability-wise, which DL permits — rather than
+    #: that completed work was dropped.
+    external_publication = False
+
+    def partition_key(self, op: Operation) -> Optional[Hashable]:
+        """The partition ``op`` belongs to, or None to exclude it.
+
+        None is reserved for operations that cannot be placed — e.g. a
+        response-keyed insert whose response was never recorded (only
+        possible on truncated traces; such operations are never
+        persisted-complete, so excluding them keeps the check sound for
+        complete histories).
+        """
+        raise NotImplementedError
+
+    def split_observed(self, observed) -> Dict[Hashable, object]:
+        """Decompose a recovered state into per-partition observed values."""
+        return dict(observed)
+
+    def initial(self, key: Hashable) -> object:
+        """Partition ``key``'s state before any operation."""
+        return ABSENT
+
+    def apply(self, key: Hashable, state: object, op: Operation) -> object:
+        """The partition state after ``op``, or :data:`REJECT`."""
+        raise NotImplementedError
+
+    def state_key(self, key: Hashable, state: object) -> Hashable:
+        """Hashable memoization key for a partition state."""
+        return state
+
+    def matches(self, key: Hashable, state: object, observed: object) -> bool:
+        """Whether a partition state explains the observed value."""
+        return state == observed
+
+
+class QueueSpec(StructureSpec):
+    """The persistent queue, one partition per entry offset.
+
+    An ``insert`` whose response was offset ``o`` writes its entry bytes
+    at partition ``o``; an observed entry at an offset nobody inserted
+    to, or with bytes no insert wrote there, is unexplainable.  Entries
+    become recoverable only when the durable head covers them, and the
+    covering head persist may be issued by a different insert (2LC's
+    head sweep), so the queue publishes externally: a fully-persisted
+    but head-uncovered insert is pending, not lost.
+    """
+
+    external_publication = True
+
+    def partition_key(self, op: Operation) -> Optional[Hashable]:
+        """Inserts partition by their recorded response offset."""
+        return op.result if op.name == "insert" else None
+
+    def apply(self, key: Hashable, state: object, op: Operation) -> object:
+        """At most one insert lands on each offset."""
+        if state is not ABSENT:
+            return REJECT
+        return op.args[0]
+
+
+class LogSpec(StructureSpec):
+    """The append-only log, one partition per record offset.
+
+    Identical cell semantics to the queue — each offset holds the
+    payload of the append that returned it.  The log's contiguity
+    invariant (no holes below the committed size) is enforced by
+    ``recover`` itself, which raises on unparsable frames before the
+    spec is ever consulted.
+    """
+
+    def partition_key(self, op: Operation) -> Optional[Hashable]:
+        """Appends partition by their recorded response offset."""
+        return op.result if op.name == "append" else None
+
+    def apply(self, key: Hashable, state: object, op: Operation) -> object:
+        """At most one append lands on each offset."""
+        if state is not ABSENT:
+            return REJECT
+        return op.args[0]
+
+
+class KvSpec(StructureSpec):
+    """The kv store, one partition per key.
+
+    ``put(key, value)`` sets the cell; ``delete(key)`` clears it and
+    must have reported presence consistently with the cell state at its
+    linearization point.
+    """
+
+    def partition_key(self, op: Operation) -> Optional[Hashable]:
+        """Puts and deletes partition by their key argument."""
+        return op.args[0] if op.name in ("put", "delete") else None
+
+    def apply(self, key: Hashable, state: object, op: Operation) -> object:
+        """Cell update; a delete's recorded presence result must hold."""
+        if op.name == "put":
+            return op.args[1]
+        if bool(op.result) != (state is not ABSENT):
+            return REJECT
+        return ABSENT
+
+
+class CounterSpec(StructureSpec):
+    """The counter: a single partition whose state is the running sum."""
+
+    def partition_key(self, op: Operation) -> Optional[Hashable]:
+        """All increments share the one partition."""
+        return 0 if op.name == "increment" else None
+
+    def split_observed(self, observed) -> Dict[Hashable, object]:
+        """The recovered value is the single partition's observation."""
+        return {0: observed}
+
+    def initial(self, key: Hashable) -> object:
+        """Counters start at zero."""
+        return 0
+
+    def apply(self, key: Hashable, state: object, op: Operation) -> object:
+        """Add the increment amount."""
+        return state + op.args[0]
+
+
+class MiniFsSpec(StructureSpec):
+    """MiniFS, one partition per file (keyed by name hash).
+
+    ``create``/``write`` set the file's contents; ``unlink`` removes it
+    and must have reported existence consistently.  The observed state
+    is the mount result as ``{name_hash: data}``.
+    """
+
+    def partition_key(self, op: Operation) -> Optional[Hashable]:
+        """File operations partition by their name argument's hash."""
+        if op.name in ("create", "write", "unlink"):
+            return name_hash(op.args[0])
+        return None
+
+    def apply(self, key: Hashable, state: object, op: Operation) -> object:
+        """Content replacement; create/unlink preconditions must hold."""
+        if op.name == "create":
+            if state is not ABSENT:
+                return REJECT
+            return op.args[1]
+        if op.name == "write":
+            return op.args[1]
+        if bool(op.result) != (state is not ABSENT):
+            return REJECT
+        return ABSENT

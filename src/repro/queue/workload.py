@@ -52,6 +52,10 @@ class WorkloadConfig:
     volatile_queue: bool = False
     #: Memory consistency model of the simulated machine ("sc" or "tso").
     consistency: str = "sc"
+    #: Emit operation-history markers for the DL/BDL oracles
+    #: (:mod:`repro.histories`).  Off by default: markers lengthen the
+    #: trace, which perturbs seeded schedules.
+    record_history: bool = False
 
     def validate(self) -> None:
         """Raise on unusable parameters."""
@@ -76,8 +80,13 @@ class WorkloadConfig:
         return self.total_inserts * per_insert
 
     def describe(self) -> Dict[str, object]:
-        """Metadata dict stored in the trace."""
-        return {
+        """Metadata dict stored in the trace.
+
+        ``record_history`` appears only when enabled so that the default
+        description — which keys disk caches and pinned campaigns —
+        stays byte-identical to pre-oracle releases.
+        """
+        meta = {
             "design": self.design,
             "threads": self.threads,
             "inserts_per_thread": self.inserts_per_thread,
@@ -89,6 +98,9 @@ class WorkloadConfig:
             "seed": self.seed,
             "consistency": self.consistency,
         }
+        if self.record_history:
+            meta["record_history"] = True
+        return meta
 
 
 @dataclass
@@ -130,7 +142,14 @@ def _insert_thread(ctx, design, config: WorkloadConfig, thread_index: int):
     written: List[Tuple[int, bytes]] = []
     for index in range(config.inserts_per_thread):
         entry = padded_entry(thread_index, index, config.entry_size)
-        offset = yield from design.insert(ctx, entry)
+        if config.record_history:
+            from repro.histories.record import record_op
+
+            offset = yield from record_op(
+                ctx, "insert", [entry], design.insert(ctx, entry)
+            )
+        else:
+            offset = yield from design.insert(ctx, entry)
         written.append((offset, entry))
     return written
 

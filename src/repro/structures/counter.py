@@ -19,6 +19,9 @@ semantics, radically different persist concurrency, chosen by layout.
 
 from __future__ import annotations
 
+from typing import List, Optional
+
+from repro.inject.report import FaultDiagnosis, RecoveryReport
 from repro.memory import layout
 from repro.memory.nvram import NvramImage
 from repro.sim.context import OpGen, ThreadContext
@@ -92,3 +95,54 @@ class StripedPersistentCounter:
             image.read(self._stripe_addr(index), layout.WORD_SIZE)
             for index in range(self._threads)
         )
+
+    def recover_report(
+        self, image: NvramImage, per_stripe_ceiling: Optional[int] = None
+    ) -> RecoveryReport:
+        """Detect-and-degrade recovery: the sum of plausible stripes.
+
+        The counter's wire format has no checksum, but two invariants
+        make stripe corruption detectable under device fault injection
+        (:mod:`repro.inject`): the padding words after each stripe's
+        value are never written (a nonzero padding word means the line
+        was corrupted, so its value is untrusted), and with a known
+        workload bound ``per_stripe_ceiling`` no stripe can exceed its
+        own increment total.  Implausible stripes are quarantined and
+        excluded from the recovered sum — degrading to an undercount,
+        the striped counter's native failure mode.  Never raises.
+        """
+        total = 0
+        quarantined: List[FaultDiagnosis] = []
+        for index in range(self._threads):
+            addr = self._stripe_addr(index)
+            padding = [
+                image.read(addr + offset, layout.WORD_SIZE)
+                for offset in range(layout.WORD_SIZE, STRIPE_SIZE, layout.WORD_SIZE)
+            ]
+            if any(padding):
+                quarantined.append(
+                    FaultDiagnosis(
+                        kind="padding",
+                        location=f"stripe {index}",
+                        detail=(
+                            "never-written padding words are nonzero; "
+                            "stripe value untrusted"
+                        ),
+                    )
+                )
+                continue
+            value = image.read(addr, layout.WORD_SIZE)
+            if per_stripe_ceiling is not None and value > per_stripe_ceiling:
+                quarantined.append(
+                    FaultDiagnosis(
+                        kind="ceiling",
+                        location=f"stripe {index}",
+                        detail=(
+                            f"value {value} exceeds the stripe's increment "
+                            f"total {per_stripe_ceiling}"
+                        ),
+                    )
+                )
+                continue
+            total += value
+        return RecoveryReport(state=total, quarantined=tuple(quarantined))

@@ -1,0 +1,1 @@
+"""Tests for operation-history recording and the DL/BDL oracles."""

@@ -1,0 +1,204 @@
+"""Tests for the DL/BDL membership checker on hand-built histories."""
+
+import pytest
+
+from repro.errors import HistoryError
+from repro.histories import (
+    CounterSpec,
+    History,
+    KvSpec,
+    LogSpec,
+    MiniFsSpec,
+    Operation,
+    QueueSpec,
+    Verdict,
+    check_history,
+)
+from repro.histories.spec import ABSENT, REJECT
+
+
+def op(thread, index, name, args, result, persists=(), complete=True):
+    """A hand-built operation; sequence numbers are synthesized."""
+    base = 1000 * thread + 10 * index
+    return Operation(
+        thread=thread,
+        index=index,
+        name=name,
+        args=tuple(args),
+        result=result,
+        invoke_seq=base,
+        response_seq=base + 5 if complete else None,
+        persists=tuple(persists),
+    )
+
+
+class TestVerdict:
+    def test_condition_mapping(self):
+        assert Verdict(dl_ok=True, bdl_ok=True).condition() is None
+        assert Verdict(dl_ok=False, bdl_ok=True).condition() == "dl"
+        assert Verdict(dl_ok=False, bdl_ok=False).condition() == "dl+bdl"
+
+
+class TestKvPartitions:
+    def test_clean_state_satisfies_both(self):
+        history = History(operations=[op(0, 0, "put", ["k", b"v"], None, (1,))])
+        verdict = check_history(history, KvSpec(), {"k": b"v"}, frozenset({1}))
+        assert verdict.dl_ok and verdict.bdl_ok
+        assert verdict.condition() is None
+
+    def test_dropped_persisted_complete_put_is_dl_only(self):
+        """Observed ABSENT after a durable put: lost completed work."""
+        history = History(operations=[op(0, 0, "put", ["k", b"v"], None, (1,))])
+        verdict = check_history(history, KvSpec(), {}, frozenset({1}))
+        assert not verdict.dl_ok and verdict.bdl_ok
+        assert verdict.condition() == "dl"
+        assert "persisted-complete" in verdict.detail
+
+    def test_unpersisted_put_may_be_dropped(self):
+        """The same drop is fine while the put's persist is outside the cut."""
+        history = History(operations=[op(0, 0, "put", ["k", b"v"], None, (1,))])
+        verdict = check_history(history, KvSpec(), {}, frozenset())
+        assert verdict.dl_ok and verdict.bdl_ok
+
+    def test_invented_value_breaks_both(self):
+        history = History(operations=[op(0, 0, "put", ["k", b"v"], None, (1,))])
+        verdict = check_history(
+            history, KvSpec(), {"k": b"other"}, frozenset({1})
+        )
+        assert not verdict.dl_ok and not verdict.bdl_ok
+        assert verdict.condition() == "dl+bdl"
+        assert "linearization" in verdict.detail
+
+    def test_delete_presence_result_constrains_order(self):
+        """A delete that observed absence cannot linearize after the put."""
+        history = History(
+            operations=[
+                op(0, 0, "put", ["k", b"v"], None, (1,)),
+                op(1, 0, "delete", ["k"], False, (2,)),
+            ]
+        )
+        # Both durable, observed ABSENT: no linearization of *both*
+        # reaches ABSENT (put-then-delete contradicts the delete's
+        # recorded "was absent"; delete-then-put ends at the put), so DL
+        # fails — while BDL may drop the put and keep the lone delete.
+        verdict = check_history(history, KvSpec(), {}, frozenset({1, 2}))
+        assert not verdict.dl_ok and verdict.bdl_ok
+        # With the delete recording presence the same state is clean.
+        history = History(
+            operations=[
+                op(0, 0, "put", ["k", b"v"], None, (1,)),
+                op(1, 0, "delete", ["k"], True, (2,)),
+            ]
+        )
+        verdict = check_history(history, KvSpec(), {}, frozenset({1, 2}))
+        assert verdict.dl_ok and verdict.bdl_ok
+
+    def test_partitions_checked_independently(self):
+        """A clean key does not excuse a torn one, and vice versa."""
+        history = History(
+            operations=[
+                op(0, 0, "put", ["a", b"1"], None, (1,)),
+                op(0, 1, "put", ["b", b"2"], None, (2,)),
+            ]
+        )
+        verdict = check_history(
+            history, KvSpec(), {"a": b"1"}, frozenset({1, 2})
+        )
+        assert not verdict.dl_ok and verdict.bdl_ok
+        assert "'b'" in verdict.detail
+
+
+class TestCounterRequiredness:
+    def test_sum_of_durable_increments(self):
+        history = History(
+            operations=[
+                op(0, 0, "increment", [5], None, (1,)),
+                op(1, 0, "increment", [3], None, (2,)),
+            ]
+        )
+        spec = CounterSpec()
+        assert check_history(history, spec, 8, frozenset({1, 2})).dl_ok
+        # Dropping one durable increment: explainable, but DL-lost.
+        verdict = check_history(history, spec, 5, frozenset({1, 2}))
+        assert not verdict.dl_ok and verdict.bdl_ok
+        # A value no subset of increments produces breaks both.
+        verdict = check_history(history, spec, 4, frozenset({1, 2}))
+        assert not verdict.bdl_ok
+
+    def test_program_order_closure_forces_predecessors(self):
+        """Requiring a later op of a thread requires its earlier ones."""
+        history = History(
+            operations=[
+                op(0, 0, "increment", [1], None, (1,)),
+                op(0, 1, "increment", [2], None, (2,)),
+            ]
+        )
+        spec = CounterSpec()
+        # Only the *second* increment is durable; prefix closure pulls
+        # the first in too, so 3 is the one DL-consistent value...
+        assert check_history(history, spec, 3, frozenset({2})).dl_ok
+        # ...and stopping after the first increment is a DL violation
+        # even though that increment itself is not durable.
+        verdict = check_history(history, spec, 1, frozenset({2}))
+        assert not verdict.dl_ok and verdict.bdl_ok
+
+
+class TestExternalPublication:
+    def test_queue_tolerates_unpublished_durable_insert(self):
+        """2LC head sweeps publish externally: ABSENT means pending."""
+        history = History(
+            operations=[op(0, 0, "insert", [b"entry"], 64, (1,))]
+        )
+        verdict = check_history(history, QueueSpec(), {}, frozenset({1}))
+        assert verdict.dl_ok and verdict.bdl_ok
+
+    def test_log_does_not(self):
+        """The log self-publishes: a durable append must be observed."""
+        history = History(
+            operations=[op(0, 0, "append", [b"entry"], 64, (1,))]
+        )
+        verdict = check_history(history, LogSpec(), {}, frozenset({1}))
+        assert not verdict.dl_ok and verdict.bdl_ok
+
+    def test_queue_still_rejects_invented_entries(self):
+        history = History(
+            operations=[op(0, 0, "insert", [b"entry"], 64, (1,))]
+        )
+        verdict = check_history(
+            history, QueueSpec(), {64: b"other"}, frozenset({1})
+        )
+        assert not verdict.bdl_ok
+
+
+class TestSpecTransitions:
+    def test_partition_keys_ignore_foreign_operations(self):
+        other = op(0, 0, "mystery", [], None)
+        assert KvSpec().partition_key(other) is None
+        assert QueueSpec().partition_key(other) is None
+        assert LogSpec().partition_key(other) is None
+        assert CounterSpec().partition_key(other) is None
+        assert MiniFsSpec().partition_key(other) is None
+
+    def test_offset_cells_hold_one_record(self):
+        insert = op(0, 0, "insert", [b"x"], 0)
+        assert QueueSpec().apply(0, ABSENT, insert) == b"x"
+        assert QueueSpec().apply(0, b"y", insert) is REJECT
+        append = op(0, 0, "append", [b"x"], 0)
+        assert LogSpec().apply(0, ABSENT, append) == b"x"
+        assert LogSpec().apply(0, b"y", append) is REJECT
+
+    def test_minifs_create_requires_absence(self):
+        spec = MiniFsSpec()
+        create = op(0, 0, "create", ["f", b"data"], True)
+        assert spec.apply(0, ABSENT, create) == b"data"
+        assert spec.apply(0, b"old", create) is REJECT
+        write = op(0, 1, "write", ["f", b"new"], True)
+        assert spec.apply(0, b"data", write) == b"new"
+
+    def test_incomplete_operation_never_required(self):
+        """An op with no response marker cannot be persisted-complete."""
+        pending = op(0, 0, "increment", [5], None, (1,), complete=False)
+        assert not pending.persisted_complete({1})
+        history = History(operations=[pending])
+        verdict = check_history(history, CounterSpec(), 0, frozenset({1}))
+        assert verdict.dl_ok and verdict.bdl_ok

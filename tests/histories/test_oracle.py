@@ -1,0 +1,74 @@
+"""Tests for the oracle glue between recorded runs and the pipelines."""
+
+import pytest
+
+from repro.core.analysis import analyze_graph
+from repro.core.recovery import full_cut, image_at_cut
+from repro.errors import FuzzError
+from repro.fuzz import make_target
+from repro.histories import ORACLES, cut_checker, validate_oracle
+from repro.sim import make_scheduler
+
+
+def recorded(target, threads=1, ops=3, seed=7, model="epoch"):
+    """A recorded run plus its persist graph under ``model``."""
+    run = make_target(target).build(
+        threads, ops, make_scheduler("strided2", seed), record_history=True
+    )
+    graph = analyze_graph(run.trace, model, domain="graph").graph
+    return run, graph
+
+
+class TestValidation:
+    def test_known_oracles_accepted(self):
+        for oracle in ORACLES:
+            assert validate_oracle(oracle) == oracle
+
+    def test_unknown_oracle_rejected(self):
+        with pytest.raises(FuzzError):
+            validate_oracle("linearizable")
+
+    def test_invariant_mode_has_no_history_checker(self):
+        run, graph = recorded("log")
+        with pytest.raises(FuzzError):
+            cut_checker(run.trace, graph, run.history_spec, "invariant")
+
+    def test_unrecorded_build_rejected_for_nonrecordable_target(self):
+        with pytest.raises(FuzzError, match="does not record"):
+            make_target("publish-pair").build(
+                2, 2, make_scheduler("strided2", 0), record_history=True
+            )
+
+    def test_unrecorded_run_carries_no_history_spec(self):
+        run = make_target("log").build(1, 2, make_scheduler("strided2", 0))
+        assert run.history_spec is None
+
+
+class TestFullCutVerdicts:
+    @pytest.mark.parametrize("target", ["log", "kv", "counter", "minifs"])
+    def test_completed_run_is_durable_at_the_full_cut(self, target):
+        """With everything persisted, both conditions hold."""
+        run, graph = recorded(target, threads=2, ops=2)
+        check = cut_checker(run.trace, graph, run.history_spec, "dl")
+        cut = full_cut(graph)
+        image = image_at_cut(graph, cut, run.base_image, check=False)
+        assert check(cut, image) is None
+
+    def test_observe_matches_adhoc_ground_truth(self):
+        """The oracle's observed state agrees with the target checker."""
+        run, graph = recorded("log", ops=3)
+        cut = full_cut(graph)
+        image = image_at_cut(graph, cut, run.base_image, check=False)
+        run.check(image)  # ad-hoc invariant holds at the full cut too
+        observed = run.history_spec.observe(image)
+        assert len(observed) == 3
+
+    def test_bdl_mode_is_weaker_than_dl(self):
+        """Any cut the dl oracle passes, the bdl oracle passes too."""
+        run, graph = recorded("kv", threads=2, ops=2)
+        dl = cut_checker(run.trace, graph, run.history_spec, "dl")
+        bdl = cut_checker(run.trace, graph, run.history_spec, "bdl")
+        cut = full_cut(graph)
+        image = image_at_cut(graph, cut, run.base_image, check=False)
+        assert dl(cut, image) is None
+        assert bdl(cut, image) is None

@@ -1,0 +1,210 @@
+"""End-to-end tests: the oracle axis through fuzz, minimize, corpus, check.
+
+The pinned specs below are seed-searched small cases (threads=2, ops=2)
+of the two seeded bugs; each runs in well under a second.
+"""
+
+import pytest
+
+from repro.check.checker import CheckConfig, check_target
+from repro.errors import FuzzError
+from repro.fuzz import (
+    CampaignConfig,
+    CaseSpec,
+    Corpus,
+    ReproCase,
+    minimize_finding,
+    replay_case,
+    run_campaign,
+    run_case,
+)
+
+#: The paper-faithful 2LC queue, violating under strand at this seed.
+QUEUE_ORACLE_SPEC = CaseSpec(
+    target="queue-2lc-faithful",
+    threads=2,
+    ops=2,
+    sched="strided2",
+    sched_seed=2,
+    model="epoch",
+    cuts="minimal",
+    cut_seed=0,
+    oracle="dl",
+)
+
+#: Racy MiniFS; its torn files fail recovery itself (checksum mismatch).
+MINIFS_ORACLE_SPEC = CaseSpec(
+    target="minifs-racy",
+    threads=2,
+    ops=2,
+    sched="strided2",
+    sched_seed=0,
+    model="epoch",
+    cuts="minimal",
+    cut_seed=0,
+    oracle="dl",
+)
+
+
+class TestRunCase:
+    def test_seeded_queue_bug_classified(self):
+        outcome = run_case(QUEUE_ORACLE_SPEC)
+        assert outcome.violation_count > 0
+        assert outcome.condition_counts.get("dl+bdl", 0) > 0
+        violation = outcome.violations[0]
+        assert violation.condition == "dl+bdl"
+        # The hole surfaces either as an unparsable frame (recovery
+        # fails outright) or as a state no linearization explains.
+        assert violation.error.startswith("recovery failed") or (
+            "linearizability" in violation.error
+        )
+
+    def test_seeded_minifs_bug_fails_recovery(self):
+        outcome = run_case(MINIFS_ORACLE_SPEC)
+        assert outcome.condition_counts.get("dl+bdl", 0) > 0
+        assert any(
+            v.error.startswith("recovery failed") for v in outcome.violations
+        )
+
+    def test_fixed_counterpart_is_durably_linearizable(self):
+        spec = CaseSpec(
+            **{**QUEUE_ORACLE_SPEC.describe(), "target": "queue-2lc"}
+        )
+        outcome = run_case(spec)
+        assert outcome.violation_count == 0
+
+    def test_faults_and_oracle_are_mutually_exclusive(self):
+        from repro.inject.plan import FaultPlan
+
+        spec = CaseSpec(
+            **{
+                **QUEUE_ORACLE_SPEC.describe(),
+                "target": "kv",
+                "faults": FaultPlan.for_kind("torn").to_json(),
+            }
+        )
+        with pytest.raises(FuzzError, match="mutually exclusive"):
+            run_case(spec)
+
+    def test_oracle_on_nonrecordable_target_rejected(self):
+        spec = CaseSpec(
+            **{**QUEUE_ORACLE_SPEC.describe(), "target": "publish-pair"}
+        )
+        with pytest.raises(FuzzError):
+            run_case(spec)
+
+    def test_spec_round_trips_oracle(self):
+        assert CaseSpec.from_payload(QUEUE_ORACLE_SPEC.describe()) == (
+            QUEUE_ORACLE_SPEC
+        )
+
+
+class TestCampaign:
+    def test_rediscovers_and_classifies_the_queue_bug(self):
+        config = CampaignConfig(
+            target="queue-2lc-faithful", budget=10, seed=0, oracle="dl"
+        )
+        result = run_campaign(config)
+        assert result.condition_counts.get("dl+bdl", 0) > 0
+        assert result.findings
+        assert all(f.condition == "dl+bdl" for f in result.findings)
+        summary = result.summary()
+        assert "oracle=dl" in summary
+        assert "breaks dl+bdl" in summary
+
+    def test_invariant_summary_untouched(self):
+        config = CampaignConfig(target="kv", budget=4, seed=0)
+        summary = run_campaign(config).summary()
+        assert "oracle=" not in summary
+        assert "breaks" not in summary
+
+    def test_config_validation(self):
+        with pytest.raises(FuzzError):
+            CampaignConfig(target="kv", oracle="nope").validate()
+        with pytest.raises(FuzzError, match="does not record"):
+            CampaignConfig(target="publish-pair", oracle="dl").validate()
+        with pytest.raises(FuzzError, match="mutually exclusive"):
+            CampaignConfig(
+                target="kv", oracle="dl", faults=("torn",)
+            ).validate()
+
+
+class TestMinimizeAndCorpus:
+    def run_pipeline(self, tmp_path, spec):
+        """Campaign finding -> minimized repro -> corpus -> replay."""
+        outcome = run_case(spec, stop_at_first=True)
+        assert outcome.violation_count > 0
+        violation = outcome.violations[0]
+        from repro.fuzz.campaign import Finding
+
+        finding = Finding(
+            spec=spec,
+            cut=violation.cut,
+            error=violation.error,
+            choices=outcome.choices,
+            condition=violation.condition,
+        )
+        minimized = minimize_finding(finding)
+        case = minimized.case
+        assert case.oracle == spec.oracle
+        assert case.condition == violation.condition
+        corpus = Corpus(tmp_path)
+        path = corpus.add(case)
+        loaded = corpus.load(path)
+        assert loaded == case
+        return replay_case(loaded)
+
+    def test_queue_condition_pinned_through_minimization(self, tmp_path):
+        replay = self.run_pipeline(tmp_path, QUEUE_ORACLE_SPEC)
+        assert replay.reproduced
+        assert replay.condition == "dl+bdl"
+
+    def test_minifs_condition_pinned_through_minimization(self, tmp_path):
+        replay = self.run_pipeline(tmp_path, MINIFS_ORACLE_SPEC)
+        assert replay.reproduced
+        assert replay.condition == "dl+bdl"
+
+    def test_legacy_payload_defaults_to_invariant(self):
+        payload = ReproCase(
+            target="kv",
+            threads=2,
+            ops=2,
+            sched="strided2",
+            sched_seed=1,
+            model="epoch",
+            cut=(0,),
+            choices=(0,),
+            error="x",
+        ).describe()
+        payload.pop("oracle", None)
+        payload.pop("condition", None)
+        case = ReproCase.from_payload(payload)
+        assert case.oracle == "invariant"
+        assert case.condition is None
+
+
+class TestCheck:
+    def test_model_check_classifies_the_minifs_bug(self):
+        config = CheckConfig(
+            models=("epoch",),
+            stop_at_first=True,
+            max_cuts_per_graph=400,
+            oracle="dl",
+        )
+        result = check_target("minifs-racy", 2, 2, config)
+        assert result.violations
+        assert result.violations[0].condition == "dl+bdl"
+        assert result.condition_counts == {"dl+bdl": 1}
+        assert any("breaks dl+bdl" in line for line in result.summary_lines())
+
+    def test_fixed_target_clean_under_oracle(self):
+        config = CheckConfig(
+            models=("epoch",), max_cuts_per_graph=60, oracle="dl"
+        )
+        result = check_target("counter", 2, 2, config)
+        assert not result.violations
+
+    def test_oracle_requires_recordable_target(self):
+        config = CheckConfig(models=("epoch",), oracle="dl")
+        with pytest.raises(FuzzError, match="does not record"):
+            check_target("publish-pair", 2, 2, config)

@@ -1,0 +1,117 @@
+"""Property tests for the DL/BDL oracle.
+
+Two families of properties, both drawn by hypothesis:
+
+* **Crash-free durability** — a single-threaded run checked at the
+  *full* cut (everything persisted, nothing lost) is durably
+  linearizable for every recordable target, fixed or seeded-broken:
+  with no concurrency and no lost persists there is nothing for any
+  persistency bug to tear.
+* **Oracle vs. ad-hoc agreement** — on sampled failure cuts, a cut the
+  target's ad-hoc invariant rejects is never accepted by the dl oracle
+  (the ad-hoc predicates check explainability of recovered state, a
+  consequence of BDL — so their violations imply condition "dl+bdl"),
+  and on fixed targets both stay silent on every sampled cut.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.analysis import analyze_graph
+from repro.core.recovery import FailureInjector, full_cut, image_at_cut
+from repro.errors import RecoveryError
+from repro.fuzz import TARGETS, make_target
+from repro.histories import cut_checker
+from repro.sim import make_scheduler
+
+RECORDABLE = sorted(
+    name for name, target in TARGETS.items() if target.recordable
+)
+
+#: Recordable targets whose thread floor allows a single-thread run.
+SINGLE_THREADED = [
+    name for name in RECORDABLE if TARGETS[name].thread_range[0] == 1
+]
+
+
+def recorded(target, threads, ops, seed, model="epoch"):
+    """A recorded run plus its persist graph under ``model``."""
+    run = make_target(target).build(
+        threads, ops, make_scheduler("strided2", seed), record_history=True
+    )
+    graph = analyze_graph(run.trace, model, domain="graph").graph
+    return run, graph
+
+
+@pytest.mark.parametrize("target", SINGLE_THREADED)
+@settings(max_examples=10, deadline=None)
+@given(ops=st.integers(2, 4), seed=st.integers(0, 1000))
+def test_single_threaded_crash_free_runs_are_dl(target, ops, seed):
+    """No concurrency, nothing lost: both conditions hold at full cut."""
+    run, graph = recorded(target, 1, ops, seed)
+    check = cut_checker(run.trace, graph, run.history_spec, "dl")
+    cut = full_cut(graph)
+    image = image_at_cut(graph, cut, run.base_image, check=False)
+    assert check(cut, image) is None
+
+
+@pytest.mark.parametrize("target", ["minifs", "minifs-racy"])
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(0, 1000))
+def test_thread_floor_crash_free_runs_are_dl(target, seed):
+    """MiniFS's floor is two threads; the full cut must still be DL."""
+    run, graph = recorded(target, 2, 2, seed)
+    check = cut_checker(run.trace, graph, run.history_spec, "dl")
+    cut = full_cut(graph)
+    image = image_at_cut(graph, cut, run.base_image, check=False)
+    assert check(cut, image) is None
+
+
+def sampled_verdicts(target, seed, model):
+    """(ad-hoc violates, oracle verdict) per sampled cut of one run."""
+    run, graph = recorded(target, 2, 2, seed, model)
+    check = cut_checker(run.trace, graph, run.history_spec, "dl")
+    injector = FailureInjector(graph, run.base_image)
+    pairs = []
+    images = list(injector.minimal_images())
+    images.extend(injector.random_images(samples=10, seed=seed))
+    for cut, image in images:
+        try:
+            run.check(image)
+            adhoc_fails = False
+        except RecoveryError:
+            adhoc_fails = True
+        pairs.append((adhoc_fails, check(cut, image)))
+    return pairs
+
+
+@settings(max_examples=12, deadline=None)
+@given(seed=st.integers(0, 200), model=st.sampled_from(["epoch", "strand"]))
+def test_adhoc_violations_imply_oracle_violations(seed, model):
+    """On the seeded queue bug, the oracle subsumes the ad-hoc check."""
+    for adhoc_fails, failure in sampled_verdicts(
+        "queue-2lc-faithful", seed, model
+    ):
+        if adhoc_fails:
+            assert failure is not None
+            _, condition = failure
+            assert condition == "dl+bdl"
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 200), model=st.sampled_from(["epoch", "strand"]))
+def test_fixed_queue_agrees_everywhere(seed, model):
+    """On the fixed queue both verdicts are silent on every cut."""
+    for adhoc_fails, failure in sampled_verdicts("queue-2lc", seed, model):
+        assert not adhoc_fails
+        assert failure is None
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 200))
+def test_fixed_kv_agrees_everywhere(seed):
+    """Same agreement on a non-queue structure (per-key partitions)."""
+    for adhoc_fails, failure in sampled_verdicts("kv", seed, "epoch"):
+        assert not adhoc_fails
+        assert failure is None
