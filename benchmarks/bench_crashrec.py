@@ -1,0 +1,90 @@
+"""Crash-during-recovery performance: repairs and nested cuts per second.
+
+Library-performance benchmark (not a paper artifact): the
+``--crash-recovery`` axis runs the target's repair procedure as an
+instrumented simulated program at every judged cut, then again at every
+nested crash cut of repair's own persist DAG — so campaign cost under
+the axis is dominated by repair executions.  Two throughputs are
+tracked and written to ``benchmarks/out/crashrec_throughput.txt``:
+single repairs per second (machine spin-up + replay + analysis per
+plan) and nested-crash cuts explored per second at depth 2.
+"""
+
+import time
+
+from repro.core.analysis import analyze_graph
+from repro.core.recovery import FailureInjector, full_cut
+from repro.crashrec import crash_recovery_check, run_repair
+from repro.fuzz import make_target
+from repro.sim import make_scheduler
+
+TARGET = "minifs-racy"
+THREADS = 2
+OPS = 3
+SEED = 3
+
+
+def repairable_run():
+    """A repairable run, its persist graph, and sampled cut images."""
+    run = make_target(TARGET).build(
+        THREADS, OPS, make_scheduler("strided2", SEED)
+    )
+    graph = analyze_graph(run.trace, "epoch", domain="bitset").graph
+    injector = FailureInjector(graph, run.base_image)
+    images = [image for _, image in injector.minimal_images(step=4)]
+    return run, graph, images
+
+
+def test_repair_throughput(benchmark):
+    """Crash-free repair passes per second over sampled cut images."""
+    run, _, images = repairable_run()
+
+    def sweep():
+        return sum(
+            run_repair(run.repair, image, "epoch").persist_count
+            for image in images
+        )
+
+    assert benchmark(sweep) == sweep()
+
+
+def test_noop_repair_short_circuit(benchmark):
+    """The fully-synced image plans nothing: no machine, just the copy."""
+    run, graph, _ = repairable_run()
+    injector = FailureInjector(graph, run.base_image)
+    image = injector.image_for(full_cut(graph))
+
+    def sweep():
+        outcome = run_repair(run.repair, image, "epoch")
+        assert outcome.plan.is_noop
+        return outcome.persist_count
+
+    assert benchmark(sweep) == 0
+
+
+def test_nested_crash_throughput(out_dir, benchmark):
+    """Depth-2 nested-crash exploration cost over sampled cut images."""
+    run, _, images = repairable_run()
+
+    def sweep():
+        repairs = 0
+        cuts = 0
+        for image in images:
+            report = crash_recovery_check(
+                run.repair, image, "epoch", depth=2
+            )
+            assert report.clean
+            repairs += report.repairs
+            cuts += report.nested_cuts
+        return repairs, cuts
+
+    start = time.perf_counter()
+    repairs, cuts = sweep()
+    elapsed = time.perf_counter() - start
+    (out_dir / "crashrec_throughput.txt").write_text(
+        f"repairs executed: {repairs} "
+        f"({repairs / max(elapsed, 1e-9):.0f} repairs/s single pass)\n"
+        f"nested crash cuts explored: {cuts} "
+        f"({cuts / max(elapsed, 1e-9):.0f} cuts/s single pass)\n"
+    )
+    assert benchmark(sweep) == (repairs, cuts)

@@ -12,8 +12,10 @@ writing Python::
     repro figures --inserts 125 --out artifacts/ --jobs 4
     repro fuzz run --target queue-2lc-faithful --budget 200 --jobs 2
     repro fuzz run --target kv --faults torn corrupt --checkpoint ckpt/
+    repro fuzz run --target log --crash-recovery 2
     repro fuzz replay --corpus-dir .repro-corpus
     repro fuzz minimize .repro-corpus/34624f4bc03739e3.repro.json
+    repro crashrec --target queue-2lc-faithful --depth 2 --budget 20
     repro check   --target queue-2lc-faithful --threads 2 --ops 1 --stats
     repro litmus list
     repro litmus run --all-models --cross-domains --out litmus.json
@@ -355,6 +357,13 @@ def cmd_fuzz_run(args: argparse.Namespace) -> int:
     of the target's ad-hoc invariant; violations are classified by the
     strongest condition they break and the classification is preserved
     through minimization and the corpus.
+
+    ``--crash-recovery DEPTH`` additionally runs the target's repair
+    procedure at every cut as an instrumented program, crashes it at
+    consistent cuts of its own persist DAG up to DEPTH levels deep, and
+    judges repair idempotence, convergence, and invariant/durability
+    preservation; repair violations minimize and replay like any other
+    finding, with the nested-crash schedule pinned in the repro file.
     """
     config = CampaignConfig(
         target=args.target,
@@ -366,6 +375,7 @@ def cmd_fuzz_run(args: argparse.Namespace) -> int:
         cut_samples=args.cut_samples,
         faults=tuple(args.faults or ()),
         oracle=args.oracle,
+        crash_recovery=args.crash_recovery,
         task_timeout=args.task_timeout,
         task_retries=args.task_retries,
     )
@@ -382,7 +392,12 @@ def cmd_fuzz_run(args: argparse.Namespace) -> int:
         )
         for outcome in minimized:
             case = outcome.case
-            tag = f" breaks={case.condition}" if case.condition else ""
+            if case.crash is not None:
+                tag = f" breaks-repair={case.crash}"
+            elif case.condition:
+                tag = f" breaks={case.condition}"
+            else:
+                tag = ""
             print(
                 f"minimized [{case.model}] threads={case.threads} "
                 f"ops={case.ops} |cut|={len(case.cut)}{tag} "
@@ -444,6 +459,7 @@ def cmd_fuzz_minimize(args: argparse.Namespace) -> int:
         cuts="minimal",
         cut_seed=0,
         oracle=case.oracle,
+        crash_recovery=case.crash_recovery,
     )
     finding = Finding(
         spec=spec,
@@ -451,6 +467,8 @@ def cmd_fuzz_minimize(args: argparse.Namespace) -> int:
         error=case.error,
         choices=case.choices,
         condition=case.condition,
+        crash=case.crash,
+        crash_schedule=case.crash_schedule,
     )
     outcome = minimize_finding(finding)
     path = corpus.add(outcome.case)
@@ -466,6 +484,59 @@ def cmd_fuzz_minimize(args: argparse.Namespace) -> int:
         f"{outcome.stats.cut_checks} cut check(s)"
     )
     return 0
+
+
+def cmd_crashrec(args: argparse.Namespace) -> int:
+    """Audit a target's repair procedure under nested crash injection.
+
+    Runs a fuzz campaign with the crash-recovery axis on and judges
+    *only* the repair oracles: at every sampled failure cut the target's
+    repair runs as an instrumented program on the simulator, is crashed
+    at consistent cuts of its own persist DAG up to ``--depth`` levels
+    deep, and every completed repair must be idempotent, convergent, and
+    preserve the invariant (and history oracle, with ``--oracle``) that
+    the un-repaired image already satisfied.
+
+    The exit code tracks repair robustness alone: 1 exactly when a
+    repair oracle broke, even on known-broken targets whose *workload*
+    violations are expected (those still appear in the summary but do
+    not fail the audit).
+    """
+    config = CampaignConfig(
+        target=args.target,
+        budget=args.budget,
+        models=tuple(args.models or ("epoch", "strand")),
+        schedulers=tuple(args.schedulers or SCHEDULER_KINDS),
+        seed=args.seed,
+        jobs=args.jobs,
+        cut_samples=args.cut_samples,
+        faults=tuple(args.faults or ()),
+        oracle=args.oracle,
+        crash_recovery=args.depth,
+        task_timeout=args.task_timeout,
+        task_retries=args.task_retries,
+    )
+    result = run_campaign(config)
+    print(result.summary())
+    crash_findings = [f for f in result.findings if f.crash is not None]
+    if crash_findings and not args.no_minimize:
+        corpus = Corpus(args.corpus_dir)
+        seen = set()
+        for finding in crash_findings:
+            key = (finding.spec.model, finding.crash)
+            if key in seen or len(seen) >= args.minimize_limit:
+                continue
+            seen.add(key)
+            outcome = minimize_finding(finding)
+            case = outcome.case
+            print(
+                f"minimized [{case.model}] threads={case.threads} "
+                f"ops={case.ops} |cut|={len(case.cut)} "
+                f"breaks-repair={case.crash} -> {corpus.path_for(case)}"
+            )
+            print(f"  {case.error}")
+            corpus.add(case)
+    return 1 if result.crash_violations else 0
 
 
 def cmd_check(args: argparse.Namespace) -> int:
@@ -842,6 +913,13 @@ def build_parser() -> argparse.ArgumentParser:
         "violation by the strongest condition it breaks",
     )
     fuzz_run.add_argument(
+        "--crash-recovery", type=int, default=0, metavar="DEPTH",
+        help="crash the target's repair procedure at cuts of its own "
+        "persist DAG up to DEPTH levels deep and judge idempotence, "
+        "convergence, and preservation (0 = off; requires a repairable "
+        "target)",
+    )
+    fuzz_run.add_argument(
         "--checkpoint", default=None, metavar="DIR",
         help="checkpoint completed cases here; rerunning resumes",
     )
@@ -883,6 +961,69 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz_minimize.add_argument("path", help="repro file to re-minimize")
     fuzz_minimize.add_argument("--corpus-dir", default=".repro-corpus")
     fuzz_minimize.set_defaults(handler=cmd_fuzz_minimize)
+
+    crashrec_parser = commands.add_parser(
+        "crashrec", help=cmd_crashrec.__doc__
+    )
+    crashrec_parser.add_argument(
+        "--target", required=True,
+        choices=sorted(
+            name for name, target in TARGETS.items() if target.repairable
+        ),
+    )
+    crashrec_parser.add_argument(
+        "--depth", type=int, default=2,
+        help="nested-crash levels inside repair (0 judges only the "
+        "crash-free repair)",
+    )
+    crashrec_parser.add_argument(
+        "--budget", type=int, default=50, help="cases to sample and run"
+    )
+    crashrec_parser.add_argument(
+        "--models", nargs="+", choices=sorted(MODELS), default=None,
+        help="persistency models to sample (default: epoch strand)",
+    )
+    crashrec_parser.add_argument(
+        "--schedulers", nargs="+", choices=SCHEDULER_KINDS, default=None,
+        help="scheduler kinds to sample (default: all)",
+    )
+    crashrec_parser.add_argument("--seed", type=int, default=0)
+    crashrec_parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the campaign (1 = serial)",
+    )
+    crashrec_parser.add_argument("--corpus-dir", default=".repro-corpus")
+    crashrec_parser.add_argument("--cut-samples", type=int, default=16)
+    crashrec_parser.add_argument(
+        "--faults", nargs="+", choices=("torn", "dropped", "corrupt"),
+        default=None,
+        help="repair the faulty image: inject device faults of these "
+        "kinds before running repair",
+    )
+    crashrec_parser.add_argument(
+        "--oracle", choices=ORACLES, default="invariant",
+        help="preservation baseline: the target's invariant, or durable "
+        "(dl) / buffered durable (bdl) linearizability of the recorded "
+        "history",
+    )
+    crashrec_parser.add_argument(
+        "--task-timeout", type=float, default=None,
+        help="per-case wall-clock timeout in seconds (pool mode only)",
+    )
+    crashrec_parser.add_argument(
+        "--task-retries", type=int, default=0,
+        help="retries before a case is recorded as failed",
+    )
+    crashrec_parser.add_argument(
+        "--minimize-limit", type=int, default=3,
+        help="repair findings minimized into the corpus (one per "
+        "model x oracle)",
+    )
+    crashrec_parser.add_argument(
+        "--no-minimize", action="store_true",
+        help="report repair violations without minimizing into the corpus",
+    )
+    crashrec_parser.set_defaults(handler=cmd_crashrec)
 
     check_parser = commands.add_parser("check", help=cmd_check.__doc__)
     check_parser.add_argument(

@@ -39,6 +39,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.analysis import analyze_graph
 from repro.core.recovery import FailureInjector
+from repro.crashrec import CrashRecReport, crash_recovery_check
 from repro.errors import FuzzError, RecoveryError
 from repro.fuzz.targets import TargetRun, make_target
 from repro.histories.oracle import cut_checker, validate_oracle
@@ -77,8 +78,10 @@ _MAX_RECORDED_UNDETECTED = 3
 
 #: Bump when the checkpoint encoding changes; old files stop resuming.
 #: Version 2 added the oracle axis (``CaseSpec.oracle``, per-violation
-#: conditions, per-outcome condition counts).
-CHECKPOINT_FORMAT_VERSION = 2
+#: conditions, per-outcome condition counts).  Version 3 added the
+#: crash-during-recovery axis (``CaseSpec.crash_recovery``, per-violation
+#: crash oracles and schedules, per-outcome crash counters).
+CHECKPOINT_FORMAT_VERSION = 3
 
 
 @dataclass(frozen=True)
@@ -95,6 +98,11 @@ class CaseSpec:
     (its buffered relaxation).  History oracles build the program with
     operation recording on, so their traces — and hence schedules under
     a given seed — differ from invariant-mode runs by design.
+
+    ``crash_recovery`` (depth, 0 = off) additionally runs the target's
+    repair procedure on every judged cut image through the nested-crash
+    harness (:mod:`repro.crashrec`), judging repair idempotence,
+    convergence, and invariant/oracle preservation.
     """
 
     target: str
@@ -108,6 +116,7 @@ class CaseSpec:
     cut_samples: int = 32
     faults: Optional[str] = None
     oracle: str = "invariant"
+    crash_recovery: int = 0
 
     def plan(self) -> Optional[FaultPlan]:
         """The spec's fault plan, decoded, or None for a clean case."""
@@ -129,15 +138,16 @@ class CaseSpec:
             "cut_samples": self.cut_samples,
             "faults": self.faults,
             "oracle": self.oracle,
+            "crash_recovery": self.crash_recovery,
         }
 
     @classmethod
     def from_payload(cls, payload: Dict[str, object]) -> "CaseSpec":
         """Rebuild a spec from :meth:`describe` output.
 
-        Fields with defaults (``cut_samples``, ``faults``, ``oracle``)
-        may be absent — payloads written before the field existed still
-        load.
+        Fields with defaults (``cut_samples``, ``faults``, ``oracle``,
+        ``crash_recovery``) may be absent — payloads written before the
+        field existed still load.
         """
         try:
             return cls(
@@ -165,12 +175,19 @@ class CaseViolation:
     history oracle (``"dl"`` — durable linearizability only, or
     ``"dl+bdl"`` — its buffered relaxation too); None for invariant-mode
     violations, which carry no condition semantics.
+
+    ``crash`` names the crash-during-recovery oracle the cut's repair
+    broke (``"idempotence"``, ``"convergence"``, ``"preservation"``) and
+    ``crash_schedule`` the nested-crash cut sequence that exposed it;
+    both are None for ordinary (non-repair) violations.
     """
 
     cut: Tuple[int, ...]
     error: str
     silent: bool = False
     condition: Optional[str] = None
+    crash: Optional[str] = None
+    crash_schedule: Optional[Tuple[Tuple[int, ...], ...]] = None
 
 
 @dataclass
@@ -207,6 +224,14 @@ class CaseOutcome:
     #: populated only by history oracles (the recorded list is capped,
     #: these counts are not).
     condition_counts: Dict[str, int] = field(default_factory=dict)
+    #: Repair executions across the case's crash-recovery explorations.
+    crash_repairs: int = 0
+    #: Nested crash cuts of repair runs explored.
+    crash_nested_cuts: int = 0
+    #: Exact violation tally per crash-recovery oracle ("idempotence",
+    #: "convergence", "preservation"); the recorded list is capped,
+    #: these counts are not.
+    crash_counts: Dict[str, int] = field(default_factory=dict)
     #: Set when the case itself failed to run (crashed worker cell).
     error: Optional[str] = None
 
@@ -217,7 +242,9 @@ class Finding:
 
     ``condition`` carries the history-oracle classification of the
     finding's violation (None for invariant-mode findings); the
-    minimizer re-validates it on the shrunk repro.
+    minimizer re-validates it on the shrunk repro.  ``crash`` and
+    ``crash_schedule`` carry the crash-during-recovery oracle and the
+    nested-crash cut sequence for repair findings.
     """
 
     spec: CaseSpec
@@ -225,6 +252,8 @@ class Finding:
     error: str
     choices: Tuple[int, ...]
     condition: Optional[str] = None
+    crash: Optional[str] = None
+    crash_schedule: Optional[Tuple[Tuple[int, ...], ...]] = None
 
 
 @dataclass
@@ -257,6 +286,44 @@ def oracle_checker_for(execution: CaseExecution):
             execution.spec.oracle,
         )
     return execution.oracle_check
+
+
+def crashrec_check_for(
+    execution: CaseExecution, cut, image
+) -> CrashRecReport:
+    """Judge one cut image's repair through the nested-crash harness.
+
+    Shared by :func:`run_case` and the minimizer so both judge a cut
+    identically: the structure invariant backs the preservation oracle
+    (and, for history-oracle specs, the cut's DL/BDL verdict does too),
+    with the harness's baseline guard skipping preservation when the
+    un-repaired image already fails.
+    """
+    spec = execution.spec
+
+    def invariant(img) -> Optional[str]:
+        try:
+            execution.run.check(img)
+        except RecoveryError as exc:
+            return str(exc)
+        return None
+
+    adapted = None
+    oracle_check = oracle_checker_for(execution)
+    if oracle_check is not None:
+
+        def adapted(img, _cut=cut) -> Optional[str]:
+            failure = oracle_check(_cut, img)
+            return failure[0] if failure is not None else None
+
+    return crash_recovery_check(
+        execution.run.repair,
+        image,
+        spec.model,
+        depth=spec.crash_recovery,
+        check=invariant,
+        oracle_check=adapted,
+    )
 
 
 def execute_spec(spec: CaseSpec) -> CaseExecution:
@@ -334,10 +401,21 @@ def run_case(
     condition it breaks.  Fault injection composes with the recovery
     *invariant*, not with history conditions, so a fault plan on a
     history-oracle spec is rejected.
+
+    With ``spec.crash_recovery`` > 0 every judged cut image (the faulty
+    one when the plan's faults landed — repair must cope with device
+    damage too) additionally goes through the crash-during-recovery
+    harness; repair-oracle failures are recorded as violations carrying
+    their crash oracle and nested-crash schedule.
     """
     validate_oracle(spec.oracle)
     execution = execute_spec(spec)
     target = make_target(spec.target)
+    if spec.crash_recovery and not target.repairable:
+        raise FuzzError(
+            f"target {spec.target!r} has no repair procedure (required "
+            f"by crash-recovery mode)"
+        )
     plan = spec.plan()
     if plan is not None and spec.oracle != "invariant":
         raise FuzzError(
@@ -357,6 +435,9 @@ def run_case(
     silent_violation_count = 0
     undetected: List[CaseViolation] = []
     condition_counts: Dict[str, int] = {}
+    crash_repairs = 0
+    crash_nested_cuts = 0
+    crash_counts: Dict[str, int] = {}
 
     def clean_image_violates(image) -> Optional[str]:
         """The plain check's error on the clean cut image, if any."""
@@ -367,7 +448,12 @@ def run_case(
         return None
 
     def record_violation(
-        cut, error: str, silent: bool, condition: Optional[str] = None
+        cut,
+        error: str,
+        silent: bool,
+        condition: Optional[str] = None,
+        crash: Optional[str] = None,
+        crash_schedule=None,
     ) -> None:
         nonlocal violation_count, silent_violation_count
         violation_count += 1
@@ -377,6 +463,8 @@ def run_case(
             condition_counts[condition] = (
                 condition_counts.get(condition, 0) + 1
             )
+        if crash is not None:
+            crash_counts[crash] = crash_counts.get(crash, 0) + 1
         if len(violations) < _MAX_RECORDED_VIOLATIONS:
             violations.append(
                 CaseViolation(
@@ -384,16 +472,41 @@ def run_case(
                     error=error,
                     silent=silent,
                     condition=condition,
+                    crash=crash,
+                    crash_schedule=crash_schedule,
                 )
             )
+
+    def judge_crashrec(cut, image) -> bool:
+        """Nested-crash repair oracles on one cut image; True on failure."""
+        nonlocal crash_repairs, crash_nested_cuts
+        report = crashrec_check_for(execution, cut, image)
+        crash_repairs += report.repairs
+        crash_nested_cuts += report.nested_cuts
+        for crash_violation in report.violations:
+            record_violation(
+                cut,
+                crash_violation.error,
+                silent=False,
+                crash=crash_violation.oracle,
+                crash_schedule=crash_violation.schedule,
+            )
+        return bool(report.violations)
+
+    crashrec = spec.crash_recovery > 0 and execution.run.repair is not None
 
     for cut, image in iter_case_images(spec, injector):
         cuts_checked += 1
         faults = []
+        faulty = None
         if plan is not None:
             faulty, faults = materialize_faulty(
                 execution.graph, cut, execution.run.base_image, plan
             )
+        if crashrec:
+            crashed = judge_crashrec(cut, faulty if faults else image)
+            if crashed and stop_at_first:
+                break
         if oracle_check is not None:
             failure = oracle_check(cut, image)
             if failure is not None:
@@ -461,7 +574,24 @@ def run_case(
         silent_violation_count=silent_violation_count,
         undetected=undetected,
         condition_counts=condition_counts,
+        crash_repairs=crash_repairs,
+        crash_nested_cuts=crash_nested_cuts,
+        crash_counts=crash_counts,
     )
+
+
+def _schedule_to_wire(schedule) -> Optional[List[List[int]]]:
+    """JSON-safe encoding of a nested-crash schedule."""
+    if schedule is None:
+        return None
+    return [list(level) for level in schedule]
+
+
+def _schedule_from_wire(entry) -> Optional[Tuple[Tuple[int, ...], ...]]:
+    """Rebuild a nested-crash schedule from its wire encoding."""
+    if entry is None:
+        return None
+    return tuple(tuple(level) for level in entry)
 
 
 def _violations_to_wire(violations: List[CaseViolation]) -> List[dict]:
@@ -472,6 +602,8 @@ def _violations_to_wire(violations: List[CaseViolation]) -> List[dict]:
             "error": violation.error,
             "silent": violation.silent,
             "condition": violation.condition,
+            "crash": violation.crash,
+            "crash_schedule": _schedule_to_wire(violation.crash_schedule),
         }
         for violation in violations
     ]
@@ -485,6 +617,8 @@ def _violations_from_wire(entries: List[dict]) -> List[CaseViolation]:
             error=entry["error"],
             silent=entry.get("silent", False),
             condition=entry.get("condition"),
+            crash=entry.get("crash"),
+            crash_schedule=_schedule_from_wire(entry.get("crash_schedule")),
         )
         for entry in entries
     ]
@@ -509,6 +643,9 @@ def _outcome_to_wire(outcome: CaseOutcome) -> dict:
         "silent_violation_count": outcome.silent_violation_count,
         "undetected": _violations_to_wire(outcome.undetected),
         "condition_counts": dict(outcome.condition_counts),
+        "crash_repairs": outcome.crash_repairs,
+        "crash_nested_cuts": outcome.crash_nested_cuts,
+        "crash_counts": dict(outcome.crash_counts),
     }
 
 
@@ -539,6 +676,9 @@ def _outcome_from_wire(payload: dict) -> CaseOutcome:
         silent_violation_count=payload.get("silent_violation_count", 0),
         undetected=_violations_from_wire(payload.get("undetected", [])),
         condition_counts=dict(payload.get("condition_counts", {})),
+        crash_repairs=payload.get("crash_repairs", 0),
+        crash_nested_cuts=payload.get("crash_nested_cuts", 0),
+        crash_counts=dict(payload.get("crash_counts", {})),
     )
 
 
@@ -566,6 +706,7 @@ class CampaignConfig:
     cut_samples: int = 32
     faults: Sequence[str] = ()
     oracle: str = "invariant"
+    crash_recovery: int = 0
     task_timeout: Optional[float] = None
     task_retries: int = 0
 
@@ -598,6 +739,16 @@ class CampaignConfig:
                     "fault injection and history oracles are mutually "
                     "exclusive: drop --faults or use the invariant oracle"
                 )
+        if self.crash_recovery < 0:
+            raise FuzzError(
+                f"crash-recovery depth must be non-negative, got "
+                f"{self.crash_recovery}"
+            )
+        if self.crash_recovery and not target.repairable:
+            raise FuzzError(
+                f"target {self.target!r} has no repair procedure "
+                f"(required by --crash-recovery)"
+            )
 
     def describe(self) -> Dict[str, object]:
         """JSON dict of everything that determines sampled outcomes.
@@ -615,6 +766,7 @@ class CampaignConfig:
             "cut_samples": self.cut_samples,
             "faults": list(self.faults),
             "oracle": self.oracle,
+            "crash_recovery": self.crash_recovery,
         }
 
 
@@ -692,6 +844,33 @@ class CampaignResult:
         return totals
 
     @property
+    def crash_repairs(self) -> int:
+        """Repair executions across all crash-recovery explorations."""
+        return sum(outcome.crash_repairs for outcome in self.outcomes)
+
+    @property
+    def crash_nested_cuts(self) -> int:
+        """Nested crash cuts of repair runs explored."""
+        return sum(outcome.crash_nested_cuts for outcome in self.outcomes)
+
+    @property
+    def crash_counts(self) -> Dict[str, int]:
+        """Total violations per crash-recovery oracle.
+
+        Empty unless the campaign ran with ``crash_recovery`` > 0.
+        """
+        totals: Dict[str, int] = {}
+        for outcome in self.outcomes:
+            for oracle, count in outcome.crash_counts.items():
+                totals[oracle] = totals.get(oracle, 0) + count
+        return totals
+
+    @property
+    def crash_violations(self) -> int:
+        """Total crash-during-recovery oracle violations."""
+        return sum(self.crash_counts.values())
+
+    @property
     def failed_cases(self) -> int:
         """Cases that crashed instead of completing (error outcomes)."""
         return sum(1 for outcome in self.outcomes if outcome.error)
@@ -704,14 +883,19 @@ class CampaignResult:
         clean image fails too), so its spec is stripped of the fault
         plan — the minimizer and corpus then work on the clean case.  A
         silent-corruption finding keeps the plan: the faults *are* the
-        counterexample.
+        counterexample.  Crash-during-recovery findings keep it too —
+        the repair that broke was repairing the faulty image.
         """
         found = []
         for outcome in self.outcomes:
             if outcome.violation_count and outcome.violations:
                 violation = outcome.violations[0]
                 spec = outcome.spec
-                if not violation.silent and spec.faults is not None:
+                if (
+                    not violation.silent
+                    and violation.crash is None
+                    and spec.faults is not None
+                ):
                     spec = replace(spec, faults=None)
                 found.append(
                     Finding(
@@ -720,6 +904,8 @@ class CampaignResult:
                         error=violation.error,
                         choices=outcome.choices or (),
                         condition=violation.condition,
+                        crash=violation.crash,
+                        crash_schedule=violation.crash_schedule,
                     )
                 )
         return found
@@ -754,6 +940,19 @@ class CampaignResult:
                 f"    breaks {condition}: "
                 f"{self.condition_counts[condition]} violation(s)"
             )
+        if self.config.crash_recovery:
+            lines.append(
+                f"  crash-recovery depth={self.config.crash_recovery}: "
+                f"{self.crash_violations} repair violation(s) — "
+                f"{self.crash_repairs} repair(s), "
+                f"{self.crash_nested_cuts} nested cut(s)"
+            )
+            crash_counts = self.crash_counts
+            for oracle in sorted(crash_counts):
+                lines.append(
+                    f"    breaks {oracle}: {crash_counts[oracle]} "
+                    f"violation(s)"
+                )
         if self.config.faults or self.fault_images:
             lines.append(
                 f"  faults: {self.faults_injected} injected across "
@@ -800,6 +999,7 @@ def sample_specs(config: CampaignConfig) -> List[CaseSpec]:
             cut_seed=rng.randrange(SEED_SPACE),
             cut_samples=config.cut_samples,
             oracle=config.oracle,
+            crash_recovery=config.crash_recovery,
         )
         if kinds:
             plan = FaultPlan.for_kind(

@@ -33,6 +33,7 @@ if TYPE_CHECKING:  # layering: fuzz only needs the violation's fields
 
 from repro.core.analysis import analyze_graph
 from repro.core.recovery import image_at_cut, is_consistent_cut
+from repro.crashrec import crash_recovery_check
 from repro.errors import FuzzError, RecoveryError, SimulationError
 from repro.fuzz.targets import make_target
 from repro.harness.cache import atomic_write, content_digest, quarantine_file
@@ -61,6 +62,12 @@ class ReproCase:
     history oracle's classification of the violation (``"dl"`` or
     ``"dl+bdl"``, None for invariant cases).  Replay re-judges the cut
     with the same oracle and re-validates the classification.
+
+    ``crash`` names the crash-during-recovery oracle a repair violation
+    broke (``"idempotence"``, ``"convergence"``, ``"preservation"``;
+    None for ordinary cases), ``crash_schedule`` the nested-crash cut
+    sequence that exposed it, and ``crash_recovery`` the exploration
+    depth to replay at.
     """
 
     target: str
@@ -76,6 +83,9 @@ class ReproCase:
     faults: Optional[str] = None
     oracle: str = "invariant"
     condition: Optional[str] = None
+    crash: Optional[str] = None
+    crash_schedule: Optional[Tuple[Tuple[int, ...], ...]] = None
+    crash_recovery: int = 0
 
     def describe(self) -> Dict[str, object]:
         """JSON dict representation (exactly what is written to disk)."""
@@ -94,15 +104,22 @@ class ReproCase:
             "faults": self.faults,
             "oracle": self.oracle,
             "condition": self.condition,
+            "crash": self.crash,
+            "crash_schedule": (
+                None
+                if self.crash_schedule is None
+                else [list(level) for level in self.crash_schedule]
+            ),
+            "crash_recovery": self.crash_recovery,
         }
 
     @classmethod
     def from_payload(cls, payload: Dict[str, object]) -> "ReproCase":
         """Rebuild a case from :meth:`describe` output.
 
-        ``faults``, ``oracle`` and ``condition`` may be absent (entries
-        written before the fields existed load as clean invariant
-        cases).
+        ``faults``, ``oracle``, ``condition`` and the ``crash*`` fields
+        may be absent (entries written before the fields existed load as
+        clean invariant cases).
 
         Raises:
             FuzzError: on a malformed or wrong-version payload.
@@ -115,6 +132,8 @@ class ReproCase:
                 )
             faults = payload.get("faults")
             condition = payload.get("condition")
+            crash = payload.get("crash")
+            schedule = payload.get("crash_schedule")
             return cls(
                 target=str(payload["target"]),
                 threads=int(payload["threads"]),
@@ -129,6 +148,16 @@ class ReproCase:
                 faults=None if faults is None else str(faults),
                 oracle=str(payload.get("oracle", "invariant")),
                 condition=None if condition is None else str(condition),
+                crash=None if crash is None else str(crash),
+                crash_schedule=(
+                    None
+                    if schedule is None
+                    else tuple(
+                        tuple(int(pid) for pid in level)
+                        for level in schedule
+                    )
+                ),
+                crash_recovery=int(payload.get("crash_recovery", 0)),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise FuzzError(f"malformed repro payload: {exc}") from exc
@@ -167,9 +196,13 @@ def replay_case(case: ReproCase) -> ReplayResult:
     decision is seeded) and the degrading checker re-run.  A history
     oracle case rebuilds the program with operation recording on and
     re-judges the cut with the same oracle; reproducing under a
-    *different* condition than recorded counts as stale.
-    ``reproduced`` is True exactly when the checker raises the
-    violation again.
+    *different* condition than recorded counts as stale.  A
+    crash-during-recovery case re-explores nested crashes of the
+    target's repair procedure at the recorded cut (on the re-faulted
+    image when a fault plan rides along) and reproduces exactly when the
+    recorded repair oracle breaks again; breaking only a different
+    repair oracle counts as stale.  ``reproduced`` is True exactly when
+    the checker raises the violation again.
     """
     target = make_target(case.target)
     if case.choices:
@@ -195,6 +228,72 @@ def replay_case(case: ReproCase) -> ReplayResult:
             detail=(
                 "stale repro: recorded cut is not a consistent cut of the "
                 "rebuilt persist DAG"
+            ),
+        )
+    if case.crash is not None:
+        if run.repair is None:
+            return ReplayResult(
+                reproduced=False,
+                detail=(
+                    "stale repro: target no longer exposes a repair "
+                    "procedure"
+                ),
+            )
+        if case.faults is not None:
+            plan = FaultPlan.from_json(case.faults)
+            image, _ = materialize_faulty(
+                graph, case.cut, run.base_image, plan
+            )
+        else:
+            image = image_at_cut(graph, case.cut, run.base_image, check=False)
+
+        def invariant(img):
+            try:
+                run.check(img)
+            except RecoveryError as exc:
+                return str(exc)
+            return None
+
+        oracle_check = None
+        if case.oracle != "invariant":
+            cut_check = cut_checker(
+                run.trace, graph, run.history_spec, case.oracle
+            )
+
+            def oracle_check(img, _cut=case.cut):
+                failure = cut_check(_cut, img)
+                return failure[0] if failure is not None else None
+
+        report = crash_recovery_check(
+            run.repair,
+            image,
+            case.model,
+            depth=case.crash_recovery,
+            check=invariant,
+            oracle_check=oracle_check,
+        )
+        matching = [
+            violation
+            for violation in report.violations
+            if violation.oracle == case.crash
+        ]
+        if matching:
+            return ReplayResult(reproduced=True, detail=matching[0].error)
+        if report.violations:
+            others = ", ".join(
+                sorted({v.oracle for v in report.violations})
+            )
+            return ReplayResult(
+                reproduced=False,
+                detail=(
+                    f"stale repro: repair now breaks {others}, not the "
+                    f"recorded {case.crash} oracle"
+                ),
+            )
+        return ReplayResult(
+            reproduced=False,
+            detail=(
+                f"the {case.crash} repair oracle held at the recorded cut"
             ),
         )
     if case.oracle != "invariant":

@@ -27,6 +27,12 @@ still violates, but under a different condition than the original
 finding, is rejected, and the final (spec, cut) is re-judged once more
 — a classification change there fails loudly instead of silently
 relabeling the bug.
+
+Crash-during-recovery findings (``--crash-recovery``) are pinned the
+same way on their *crash oracle* (idempotence, convergence,
+preservation): every candidate must still break that exact repair
+oracle, and the final re-judge records the minimized nested-crash
+schedule the corpus replays.
 """
 
 from __future__ import annotations
@@ -41,6 +47,7 @@ from repro.fuzz.campaign import (
     CaseExecution,
     CaseSpec,
     Finding,
+    crashrec_check_for,
     execute_spec,
     iter_case_images,
     oracle_checker_for,
@@ -71,6 +78,7 @@ def _reproduces(
     spec: CaseSpec,
     stats: MinimizeStats,
     condition: Optional[str] = None,
+    crash: Optional[str] = None,
 ) -> bool:
     """Does any cut of ``spec``'s family still violate its oracle?
 
@@ -78,10 +86,21 @@ def _reproduces(
     of that exact condition count — shrinking must preserve the
     classification, so the whole cut family is scanned and the
     condition tally consulted instead of stopping at the first
-    violation of any kind.
+    violation of any kind.  ``crash`` pins a crash-during-recovery
+    finding to its repair oracle the same way; conversely, an ordinary
+    finding on a crash-recovery spec must keep reproducing *without*
+    counting repair violations.
     """
     stats.runs += 1
+    if crash is not None:
+        outcome = run_case(spec)
+        return outcome.crash_counts.get(crash, 0) > 0
     if condition is None:
+        if spec.crash_recovery:
+            outcome = run_case(spec)
+            return outcome.violation_count > sum(
+                outcome.crash_counts.values()
+            )
         outcome = run_case(spec, stop_at_first=True)
         return outcome.violation_count > 0
     outcome = run_case(spec)
@@ -101,17 +120,19 @@ def shrink_workload(
     spec: CaseSpec,
     stats: Optional[MinimizeStats] = None,
     condition: Optional[str] = None,
+    crash: Optional[str] = None,
 ) -> CaseSpec:
     """Stage 1: shrink ops then threads while the case still reproduces.
 
-    ``condition`` pins the history-oracle classification: candidates
-    that still violate, but under a different condition, are rejected.
+    ``condition`` pins the history-oracle classification and ``crash``
+    the crash-during-recovery oracle: candidates that still violate,
+    but under a different classification, are rejected.
 
     Raises:
         FuzzError: when ``spec`` does not reproduce to begin with.
     """
     stats = stats if stats is not None else MinimizeStats()
-    if not _reproduces(spec, stats, condition):
+    if not _reproduces(spec, stats, condition, crash):
         raise FuzzError(
             f"case does not reproduce; nothing to minimize: {spec}"
         )
@@ -130,7 +151,7 @@ def shrink_workload(
                 candidate = CaseSpec(
                     **{**current.describe(), fieldname: candidate_value}
                 )
-                if _reproduces(candidate, stats, condition):
+                if _reproduces(candidate, stats, condition, crash):
                     current = candidate
                     progress = True
                     break
@@ -142,6 +163,7 @@ def _check_cut(
     cut: Iterable[int],
     image=None,
     condition: Optional[str] = None,
+    crash: Optional[str] = None,
 ) -> Optional[str]:
     """The recovery error at ``cut``, or None when the invariant holds.
 
@@ -153,8 +175,25 @@ def _check_cut(
     the campaign classified as silent corruption.  A history-oracle
     spec judges the cut with its oracle; with ``condition`` set, a
     violation of a *different* condition counts as not violating (the
-    shrink must preserve the classification).
+    shrink must preserve the classification).  With ``crash`` set the
+    cut is judged by the nested-crash harness instead, and only
+    violations of that exact repair oracle count.
     """
+    if crash is not None:
+        plan = execution.spec.plan()
+        if plan is not None:
+            image, _ = materialize_faulty(
+                execution.graph, cut, execution.run.base_image, plan
+            )
+        elif image is None:
+            image = image_at_cut(
+                execution.graph, cut, execution.run.base_image, check=False
+            )
+        report = crashrec_check_for(execution, cut, image)
+        for violation in report.violations:
+            if violation.oracle == crash:
+                return violation.error
+        return None
     oracle_check = oracle_checker_for(execution)
     if oracle_check is not None:
         if image is None:
@@ -192,16 +231,18 @@ def _violates_at(
     cut: Iterable[int],
     stats: MinimizeStats,
     condition: Optional[str] = None,
+    crash: Optional[str] = None,
 ) -> Optional[str]:
     """Counted wrapper around :func:`_check_cut`."""
     stats.cut_checks += 1
-    return _check_cut(execution, cut, condition=condition)
+    return _check_cut(execution, cut, condition=condition, crash=crash)
 
 
 def _first_violating_cut(
     execution: CaseExecution,
     stats: MinimizeStats,
     condition: Optional[str] = None,
+    crash: Optional[str] = None,
 ) -> Tuple[frozenset, str]:
     """The first violating cut of the spec's own family.
 
@@ -212,7 +253,9 @@ def _first_violating_cut(
     injector = FailureInjector(execution.graph, execution.run.base_image)
     for cut, image in iter_case_images(execution.spec, injector):
         stats.cut_checks += 1
-        error = _check_cut(execution, cut, image=image, condition=condition)
+        error = _check_cut(
+            execution, cut, image=image, condition=condition, crash=crash
+        )
         if error is not None:
             return frozenset(cut), error
     raise FuzzError(
@@ -226,6 +269,7 @@ def shrink_cut(
     stats: Optional[MinimizeStats] = None,
     max_checks: int = 600,
     condition: Optional[str] = None,
+    crash: Optional[str] = None,
 ) -> Tuple[frozenset, str]:
     """Stage 2: shrink toward a minimal consistent cut still violating.
 
@@ -235,11 +279,12 @@ def shrink_cut(
     every candidate stays downward-closed).  ``max_checks`` bounds the
     total invariant evaluations; the best cut so far is returned when
     the budget runs out.  ``condition`` pins the history-oracle
-    classification every kept cut must reproduce.
+    classification and ``crash`` the repair oracle every kept cut must
+    reproduce.
     """
     stats = stats if stats is not None else MinimizeStats()
     graph = execution.graph
-    cut, error = _first_violating_cut(execution, stats, condition)
+    cut, error = _first_violating_cut(execution, stats, condition, crash)
 
     # Restart from the most adversarial single-persist explanation.
     by_size = sorted(cut, key=lambda pid: (len(minimal_cut(graph, pid)), pid))
@@ -249,7 +294,7 @@ def shrink_cut(
             break
         if stats.cut_checks >= max_checks:
             return cut, error
-        found = _violates_at(execution, candidate, stats, condition)
+        found = _violates_at(execution, candidate, stats, condition, crash)
         if found is not None:
             cut, error = candidate, found
             break
@@ -267,7 +312,9 @@ def shrink_cut(
                 continue
             if stats.cut_checks >= max_checks:
                 break
-            found = _violates_at(execution, candidate, stats, condition)
+            found = _violates_at(
+                execution, candidate, stats, condition, crash
+            )
             if found is not None:
                 cut, error = candidate, found
                 progress = True
@@ -286,25 +333,54 @@ def minimize_finding(
     A history-oracle finding's condition classification is pinned
     through every shrink stage and re-validated once more on the final
     (spec, cut): the shrunk repro must violate the *same* condition as
-    the original finding.
+    the original finding.  A crash-during-recovery finding is pinned on
+    its repair oracle the same way; the final re-judge records the
+    minimized nested-crash schedule.
 
     Raises:
         FuzzError: when the finding does not reproduce, or when the
             final re-validation shows the minimized repro violating a
-            different condition than the finding (a minimizer bug — the
-            shrink stages are condition-pinned).
+            different condition or repair oracle than the finding (a
+            minimizer bug — the shrink stages are pinned).
     """
     stats = MinimizeStats()
-    spec = shrink_workload(finding.spec, stats, condition=finding.condition)
+    spec = shrink_workload(
+        finding.spec, stats, condition=finding.condition,
+        crash=finding.crash,
+    )
     execution = execute_spec(spec)
     stats.runs += 1
     cut, error = shrink_cut(
         execution, stats, max_checks=max_cut_checks,
-        condition=finding.condition,
+        condition=finding.condition, crash=finding.crash,
     )
     condition = finding.condition
+    crash_schedule = finding.crash_schedule
+    if finding.crash is not None:
+        plan = spec.plan()
+        if plan is not None:
+            image, _ = materialize_faulty(
+                execution.graph, cut, execution.run.base_image, plan
+            )
+        else:
+            image = image_at_cut(
+                execution.graph, cut, execution.run.base_image, check=False
+            )
+        report = crashrec_check_for(execution, cut, image)
+        matching = [
+            violation
+            for violation in report.violations
+            if violation.oracle == finding.crash
+        ]
+        if not matching:
+            raise FuzzError(
+                "minimization lost the violation: the shrunk cut "
+                f"satisfies the {finding.crash} repair oracle"
+            )
+        error = matching[0].error
+        crash_schedule = matching[0].schedule
     oracle_check = oracle_checker_for(execution)
-    if oracle_check is not None:
+    if oracle_check is not None and finding.crash is None:
         image = image_at_cut(
             execution.graph, cut, execution.run.base_image, check=False
         )
@@ -336,6 +412,9 @@ def minimize_finding(
         faults=spec.faults,
         oracle=spec.oracle,
         condition=condition,
+        crash=finding.crash,
+        crash_schedule=crash_schedule,
+        crash_recovery=spec.crash_recovery,
     )
     return MinimizeResult(case=case, stats=stats)
 

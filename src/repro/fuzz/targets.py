@@ -22,6 +22,10 @@ from scratch:
   persist barrier between data stores and the volatile hand-off
   omitted; relaxed models can persist the publisher's flag over
   still-unpersisted record words.
+* ``log-repair-buggy`` — the log workload wired to a deliberately
+  non-idempotent repair (each pass drops the last *intact* record as if
+  it were torn); the crash-during-recovery harness
+  (:mod:`repro.crashrec`) must rediscover the idempotence violation.
 
 Their fixed counterparts (``queue-2lc``, ``minifs``) and the remaining
 targets are expected to survive any budget with zero violations.
@@ -50,10 +54,15 @@ from repro.histories.spec import (
     MiniFsSpec,
     QueueSpec,
 )
-from repro.inject.report import RecoveryReport
+from repro.inject.report import RecoveryReport, RepairPlan
 from repro.memory import layout
 from repro.memory.nvram import NvramImage
-from repro.queue.recovery import recover_entries, recover_report, verify_recovery
+from repro.queue.recovery import (
+    recover_entries,
+    recover_report,
+    verify_recovery,
+)
+from repro.queue.recovery import repair_plan as queue_repair_plan
 from repro.queue.workload import prepare_insert_workload
 from repro.sim.machine import Machine
 from repro.sim.scheduler import Scheduler
@@ -89,6 +98,12 @@ class TargetRun:
     plus an observe projection from a failure-cut image to the spec's
     observed-state shape.  It is populated only when the run was built
     with ``record_history=True``.
+
+    ``repair`` connects the run to the crash-during-recovery harness
+    (:mod:`repro.crashrec`): a closure over the run's structure objects
+    (which own the absolute addresses) that plans the mutating repair
+    for a failure-state image as a :class:`~repro.inject.report.RepairPlan`.
+    Targets without a repair procedure leave it None.
     """
 
     trace: Trace
@@ -96,6 +111,7 @@ class TargetRun:
     check: Callable[[NvramImage], None]
     check_report: Optional[Callable[[NvramImage], RecoveryReport]] = None
     history_spec: Optional[HistorySpec] = None
+    repair: Optional[Callable[[NvramImage], RepairPlan]] = None
 
 
 #: A target preparer: builds a not-yet-run machine plus a finalizer that
@@ -137,6 +153,9 @@ class FuzzTarget:
     #: Recordable targets emit operation histories on demand and expose
     #: a sequential spec, so the ``dl``/``bdl`` oracles apply to them.
     recordable: bool = False
+    #: Repairable targets populate ``TargetRun.repair``, so the
+    #: crash-during-recovery harness (:mod:`repro.crashrec`) applies.
+    repairable: bool = False
 
     def setup(
         self,
@@ -257,6 +276,9 @@ def _queue_builder(design: str, paper_faithful: bool):
                     if record_history
                     else None
                 ),
+                repair=lambda image: queue_repair_plan(
+                    image, base, handle=result.queue
+                ),
             )
 
         return machine, finalize
@@ -344,6 +366,7 @@ def _prepare_kv(
                 if record_history
                 else None
             ),
+            repair=store.repair_plan,
         )
 
     return machine, finalize
@@ -368,7 +391,11 @@ def _log_thread(ctx, log, thread: int, ops: int, record: bool = False):
 
 
 def _prepare_log(
-    threads: int, ops: int, scheduler: Scheduler, record_history: bool = False
+    threads: int,
+    ops: int,
+    scheduler: Scheduler,
+    record_history: bool = False,
+    buggy_repair: bool = False,
 ):
     """Log target: committed records must match their appends exactly."""
     machine = _fresh_machine(scheduler)
@@ -377,7 +404,16 @@ def _prepare_log(
     for thread in range(threads):
         machine.spawn(_log_thread, log, thread, ops, record_history)
     return machine, lambda machine: _finalize_log(
-        machine, log, base_image, record_history
+        machine, log, base_image, record_history, buggy_repair
+    )
+
+
+def _prepare_log_buggy_repair(
+    threads: int, ops: int, scheduler: Scheduler, record_history: bool = False
+):
+    """The log workload wired to the seeded non-idempotent repair."""
+    return _prepare_log(
+        threads, ops, scheduler, record_history, buggy_repair=True
     )
 
 
@@ -386,6 +422,7 @@ def _finalize_log(
     log: PersistentLog,
     base_image: NvramImage,
     record_history: bool = False,
+    buggy_repair: bool = False,
 ) -> TargetRun:
     """Package one completed log run; offsets are schedule-dependent."""
     expected: Dict[int, bytes] = {}
@@ -428,6 +465,9 @@ def _finalize_log(
             HistorySpec(spec=LogSpec(), observe=observe)
             if record_history
             else None
+        ),
+        repair=lambda image: log.repair_plan(
+            image, drop_clean_tail=buggy_repair
         ),
     )
 
@@ -485,6 +525,9 @@ def _prepare_counter(
                 HistorySpec(spec=CounterSpec(), observe=counter.recover)
                 if record_history
                 else None
+            ),
+            repair=lambda image: counter.repair_plan(
+                image, per_stripe_ceiling=ops
             ),
         )
 
@@ -588,6 +631,7 @@ def _minifs_builder(race_free: bool):
                     if record_history
                     else None
                 ),
+                repair=fs.repair_plan,
             )
 
         return machine, finalize
@@ -662,7 +706,10 @@ def _prepare_transactions(threads: int, ops: int, scheduler: Scheduler):
                     )
 
         return TargetRun(
-            trace=machine.trace, base_image=base_image, check=check
+            trace=machine.trace,
+            base_image=base_image,
+            check=check,
+            repair=txns.repair_plan,
         )
 
     return machine, finalize
@@ -872,6 +919,7 @@ TARGETS: Dict[str, FuzzTarget] = {
             (1, 4),
             (2, 6),
             recordable=True,
+            repairable=True,
         ),
         FuzzTarget(
             "queue-2lc",
@@ -879,6 +927,7 @@ TARGETS: Dict[str, FuzzTarget] = {
             (1, 4),
             (2, 6),
             recordable=True,
+            repairable=True,
         ),
         FuzzTarget(
             "queue-2lc-faithful",
@@ -887,14 +936,44 @@ TARGETS: Dict[str, FuzzTarget] = {
             (2, 6),
             known_broken=True,
             recordable=True,
+            repairable=True,
         ),
         FuzzTarget(
-            "kv", _prepare_kv, (1, 4), (2, 8), hardened=True, recordable=True
+            "kv",
+            _prepare_kv,
+            (1, 4),
+            (2, 8),
+            hardened=True,
+            recordable=True,
+            repairable=True,
         ),
         FuzzTarget(
-            "log", _prepare_log, (1, 4), (2, 6), hardened=True, recordable=True
+            "log",
+            _prepare_log,
+            (1, 4),
+            (2, 6),
+            hardened=True,
+            recordable=True,
+            repairable=True,
         ),
-        FuzzTarget("counter", _prepare_counter, (1, 4), (2, 8), recordable=True),
+        FuzzTarget(
+            "log-repair-buggy",
+            _prepare_log_buggy_repair,
+            (1, 4),
+            (2, 6),
+            known_broken=True,
+            hardened=True,
+            recordable=True,
+            repairable=True,
+        ),
+        FuzzTarget(
+            "counter",
+            _prepare_counter,
+            (1, 4),
+            (2, 8),
+            recordable=True,
+            repairable=True,
+        ),
         FuzzTarget(
             "minifs",
             _minifs_builder(True),
@@ -902,6 +981,7 @@ TARGETS: Dict[str, FuzzTarget] = {
             (2, 4),
             hardened=True,
             recordable=True,
+            repairable=True,
         ),
         FuzzTarget(
             "minifs-racy",
@@ -911,8 +991,15 @@ TARGETS: Dict[str, FuzzTarget] = {
             known_broken=True,
             hardened=True,
             recordable=True,
+            repairable=True,
         ),
-        FuzzTarget("transactions", _prepare_transactions, (1, 3), (1, 4)),
+        FuzzTarget(
+            "transactions",
+            _prepare_transactions,
+            (1, 3),
+            (1, 4),
+            repairable=True,
+        ),
         FuzzTarget(
             "publish-pair",
             _prepare_publish_pair,

@@ -211,11 +211,25 @@ class HarnessStats:
     task_retries: int = 0
     task_timeouts: int = 0
     task_failures: int = 0
+    #: Worker invocations, counting every retry: a task that succeeds on
+    #: its third try contributes 3.  ``task_attempts - task_retries``
+    #: recovers the task count, so retried-then-failed tasks are
+    #: distinguishable from first-try failures in campaign summaries.
+    task_attempts: int = 0
+    #: Final exception type per *failed* task (``"TimeoutError"`` for
+    #: deadline expiries), e.g. ``{"RecoveryError": 2}``.
+    failure_exception_types: Dict[str, int] = field(default_factory=dict)
 
     def merge(self, other: "HarnessStats") -> None:
         """Fold another stats object (e.g. a worker's) into this one."""
         for name in self.__dataclass_fields__:
-            setattr(self, name, getattr(self, name) + getattr(other, name))
+            mine = getattr(self, name)
+            theirs = getattr(other, name)
+            if isinstance(mine, dict):
+                for key, count in theirs.items():
+                    mine[key] = mine.get(key, 0) + count
+            else:
+                setattr(self, name, mine + theirs)
 
     def report(self) -> str:
         """Multi-line human-readable stats report."""
@@ -236,9 +250,21 @@ class HarnessStats:
                 ),
                 f"  cache:     {self.cache_evictions} corrupt entrie(s) evicted",
                 (
-                    f"  tasks:     {self.task_retries} retrie(s), "
+                    f"  tasks:     {self.task_attempts} attempt(s), "
+                    f"{self.task_retries} retrie(s), "
                     f"{self.task_timeouts} timeout(s), "
                     f"{self.task_failures} failed cell(s)"
+                    + (
+                        " — failures: "
+                        + ", ".join(
+                            f"{name} x{count}"
+                            for name, count in sorted(
+                                self.failure_exception_types.items()
+                            )
+                        )
+                        if self.failure_exception_types
+                        else ""
+                    )
                 ),
             ]
         )

@@ -76,7 +76,11 @@ def fan_out(
     cell*: ``on_failure(task, error)`` is invoked (a warning when None)
     and the remaining tasks keep running.  ``stats`` (when given)
     accumulates ``task_retries`` / ``task_timeouts`` / ``task_failures``
-    for ``--stats`` reporting.
+    for ``--stats`` reporting, plus ``task_attempts`` (every worker
+    invocation, retries included) and ``failure_exception_types`` (the
+    *final* exception type of each failed task, ``"TimeoutError"`` for
+    deadline expiries) — so a retried-then-failed task is
+    distinguishable from a first-try failure.
 
     Caveat: a timed-out worker process cannot be interrupted
     mid-computation; its future is abandoned (the pool reaps it on
@@ -86,15 +90,24 @@ def fan_out(
     """
     retries = max(0, retries)
 
+    def record_attempt() -> None:
+        if stats is not None:
+            stats.task_attempts += 1
+
     def record_retry() -> None:
         if stats is not None:
             stats.task_retries += 1
 
-    def record_failure(task: dict, error: str, timed_out: bool) -> None:
+    def record_failure(
+        task: dict, error: str, timed_out: bool, exc_type: str
+    ) -> None:
         if stats is not None:
             stats.task_failures += 1
             if timed_out:
                 stats.task_timeouts += 1
+            stats.failure_exception_types[exc_type] = (
+                stats.failure_exception_types.get(exc_type, 0) + 1
+            )
         if on_failure is not None:
             on_failure(task, error)
         else:
@@ -108,6 +121,7 @@ def fan_out(
     if jobs is None or jobs <= 1:
         for task in tasks:
             for attempt in range(retries + 1):
+                record_attempt()
                 try:
                     result = worker(task)
                 except Exception as exc:  # worker bug or corrupt task
@@ -115,7 +129,12 @@ def fan_out(
                         record_retry()
                         time.sleep(backoff * (2 ** attempt))
                         continue
-                    record_failure(task, str(exc), timed_out=False)
+                    record_failure(
+                        task,
+                        str(exc),
+                        timed_out=False,
+                        exc_type=type(exc).__name__,
+                    )
                     break
                 merge(result)
                 break
@@ -124,6 +143,7 @@ def fan_out(
     with ProcessPoolExecutor(max_workers=jobs) as pool:
 
         def submit(task: dict, attempt: int) -> None:
+            record_attempt()
             future = pool.submit(worker, task)
             deadline = (
                 time.monotonic() + timeout if timeout is not None else None
@@ -165,11 +185,13 @@ def fan_out(
             for future in done:
                 task, attempt, _ = pending.pop(future)
                 error: Optional[str] = None
+                error_type = ""
                 result = None
                 try:
                     result = future.result(timeout=0)
                 except Exception as exc:
                     error = str(exc)
+                    error_type = type(exc).__name__
                 if error is None:
                     merge(result)
                 elif attempt < retries:
@@ -178,7 +200,9 @@ def fan_out(
                         (task, attempt + 1, now + backoff * (2 ** attempt))
                     )
                 else:
-                    record_failure(task, error, timed_out=False)
+                    record_failure(
+                        task, error, timed_out=False, exc_type=error_type
+                    )
             # Expire attempts that blew their per-task deadline.  A
             # not-yet-started future is cancelled outright; a running
             # one is abandoned (see the caveat in the docstring).
@@ -197,7 +221,10 @@ def fan_out(
                     )
                 else:
                     record_failure(
-                        task, f"timed out after {timeout}s", timed_out=True
+                        task,
+                        f"timed out after {timeout}s",
+                        timed_out=True,
+                        exc_type="TimeoutError",
                     )
 
 

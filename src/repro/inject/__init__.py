@@ -16,7 +16,12 @@ from repro.inject.engine import (
     materialize_faulty,
 )
 from repro.inject.plan import DROP_SCOPES, FAULT_KINDS, FaultPlan
-from repro.inject.report import FaultDiagnosis, RecoveryReport
+from repro.inject.report import (
+    FaultDiagnosis,
+    RecoveryReport,
+    RepairPlan,
+    RepairStep,
+)
 
 __all__ = [
     "DROP_SCOPES",
@@ -25,6 +30,8 @@ __all__ = [
     "FaultPlan",
     "InjectedFault",
     "RecoveryReport",
+    "RepairPlan",
+    "RepairStep",
     "cut_salt",
     "fault_kind_counts",
     "materialize_faulty",

@@ -49,6 +49,14 @@ class RecoveryReport:
 
     state: object
     quarantined: Tuple[FaultDiagnosis, ...] = ()
+    #: Whether a mutating repair procedure exists that fixes every
+    #: quarantined diagnosis.  Conservative default: diagnoses that no
+    #: repair covers (or reports built before repair existed) say False.
+    repairable: bool = False
+    #: Human-readable description of what :meth:`repair` would do, one
+    #: entry per planned fix.  Empty for clean images and for reports
+    #: whose damage is unrepairable.
+    repair_actions: Tuple[str, ...] = ()
 
     @property
     def clean(self) -> bool:
@@ -60,4 +68,60 @@ class RecoveryReport:
         if self.clean:
             return "recovery clean (nothing quarantined)"
         lines = ", ".join(d.describe() for d in self.quarantined)
-        return f"{len(self.quarantined)} quarantined: {lines}"
+        text = f"{len(self.quarantined)} quarantined: {lines}"
+        if self.repair_actions:
+            text += "; repair would " + "; ".join(self.repair_actions)
+        return text
+
+
+@dataclass(frozen=True)
+class RepairStep:
+    """One word-sized persistent store a repair procedure will emit."""
+
+    addr: int
+    value: int
+    size: int = 8
+
+
+@dataclass(frozen=True)
+class RepairPlan:
+    """A repair procedure, computed from a crash image before execution.
+
+    ``phases`` groups the stores: every store in one phase may persist in
+    any order, and a persist barrier separates consecutive phases.  The
+    plan is *data*, so diagnoses can describe it (``repair_actions``) and
+    the crashrec harness can execute it as an instrumented program on a
+    simulated machine — :meth:`emit` yields the stores through a
+    :class:`~repro.sim.context.ThreadContext`, giving repair its own
+    persist DAG under whichever persistency model the machine runs.
+    """
+
+    actions: Tuple[str, ...] = ()
+    phases: Tuple[Tuple[RepairStep, ...], ...] = ()
+
+    @property
+    def is_noop(self) -> bool:
+        """True when executing the plan would write nothing."""
+        return not any(self.phases)
+
+    def emit(self, ctx):
+        """Generator body executing the plan on a simulated thread.
+
+        ``ctx`` duck-types :class:`~repro.sim.context.ThreadContext`.
+        Phases are separated (and the plan terminated) by persist
+        barriers so a later phase never persists before an earlier one
+        completes — the ordering the per-structure plans rely on for
+        crash consistency of the repair itself.
+        """
+        wrote = False
+        for phase in self.phases:
+            if not phase:
+                continue
+            if wrote:
+                yield from ctx.persist_barrier()
+            for step in phase:
+                yield from ctx.store(step.addr, step.value, step.size)
+                wrote = True
+        if wrote:
+            yield from ctx.persist_barrier()
+        return self

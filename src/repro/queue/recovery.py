@@ -15,10 +15,15 @@ over consistent cuts of the persist DAG.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import RecoveryError
-from repro.inject.report import FaultDiagnosis, RecoveryReport
+from repro.inject.report import (
+    FaultDiagnosis,
+    RecoveryReport,
+    RepairPlan,
+    RepairStep,
+)
 from repro.memory.nvram import NvramImage
 from repro.queue.layout import (
     ALIGNMENT_OFFSET,
@@ -129,6 +134,10 @@ def recover_report(image: NvramImage, base: int) -> RecoveryReport:
     try:
         handle = read_geometry(image, base)
     except RecoveryError as exc:
+        # Without the construction-time geometry there is nothing to
+        # rewrite the header from, so this damage is not repairable
+        # through the report alone (``repair_plan`` accepts a trusted
+        # handle for that case).
         return RecoveryReport(
             state=[],
             quarantined=(
@@ -154,6 +163,8 @@ def recover_report(image: NvramImage, base: int) -> RecoveryReport:
                     ),
                 ),
             ),
+            repairable=True,
+            repair_actions=repair_plan(image, base).actions,
         )
     entries: List[RecoveredEntry] = []
     quarantined: List[FaultDiagnosis] = []
@@ -179,7 +190,90 @@ def recover_report(image: NvramImage, base: int) -> RecoveryReport:
         )
         entries.append(RecoveredEntry(offset=offset, payload=payload))
         offset += reserved
-    return RecoveryReport(state=entries, quarantined=tuple(quarantined))
+    if not quarantined:
+        return RecoveryReport(state=entries, repairable=True)
+    return RecoveryReport(
+        state=entries,
+        quarantined=tuple(quarantined),
+        repairable=True,
+        repair_actions=repair_plan(image, base).actions,
+    )
+
+
+def repair_plan(
+    image: NvramImage, base: int, handle: Optional[QueueHandle] = None
+) -> RepairPlan:
+    """Plan the mutating repair for a queue crash image.
+
+    Three fixes, strongest evidence first:
+
+    1. **Corrupt geometry** — rewritable only from a trusted
+       construction-time ``handle``; the header words are restored in
+       one phase, barrier-ordered before any pointer fix.  Without a
+       handle the plan is empty (unrepairable: no ground truth to
+       rewrite from).
+    2. **Inconsistent head/tail** — neither pointer can be trusted, so
+       the queue resets to empty: head is zeroed first and tail only
+       after a barrier, so every nested-crash intermediate state still
+       has ``tail > head`` and stays quarantined rather than exposing a
+       bogus live range.
+    3. **Unparsable entry frame** — the head pointer rewinds to the end
+       of the last parsable entry (the paper's recoverability rule run
+       in reverse), one atomic persist, dropping the torn tail.
+    """
+    phases: List[Tuple[RepairStep, ...]] = []
+    actions: List[str] = []
+    try:
+        derived = read_geometry(image, base)
+    except RecoveryError as exc:
+        if handle is None:
+            return RepairPlan()
+        actions.append(f"rewrite header geometry from the handle ({exc})")
+        phases.append(
+            (
+                RepairStep(handle.magic_addr, QUEUE_MAGIC),
+                RepairStep(handle.capacity_addr, handle.capacity),
+                RepairStep(handle.alignment_addr, handle.insert_alignment),
+            )
+        )
+        derived = handle
+    head = image.read(base + HEAD_OFFSET, 8)
+    tail = image.read(base + TAIL_OFFSET, 8)
+    if tail > head or head - tail > derived.capacity:
+        actions.append(
+            f"reset inconsistent pointers (head={head}, tail={tail}) to "
+            f"an empty queue"
+        )
+        phases.append((RepairStep(derived.head_addr, 0),))
+        phases.append((RepairStep(derived.tail_addr, 0),))
+        return RepairPlan(actions=tuple(actions), phases=tuple(phases))
+    offset = tail
+    while offset < head:
+        length_bytes = _read_wrapped(
+            image, derived, offset, LENGTH_FIELD_SIZE
+        )
+        length = int.from_bytes(length_bytes, "little")
+        reserved = record_size(length, derived.insert_alignment)
+        if length == 0 or offset + reserved > head:
+            actions.append(
+                f"truncate head from {head} to {offset} (unparsable frame)"
+            )
+            phases.append((RepairStep(derived.head_addr, offset),))
+            break
+        offset += reserved
+    if not phases:
+        return RepairPlan()
+    return RepairPlan(actions=tuple(actions), phases=tuple(phases))
+
+
+def repair(
+    ctx, image: NvramImage, base: int,
+    handle: Optional[QueueHandle] = None,
+):
+    """Execute :func:`repair_plan` as an instrumented program."""
+    plan = repair_plan(image, base, handle=handle)
+    yield from plan.emit(ctx)
+    return plan
 
 
 def verify_recovery(

@@ -21,7 +21,12 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from repro.inject.report import FaultDiagnosis, RecoveryReport
+from repro.inject.report import (
+    FaultDiagnosis,
+    RecoveryReport,
+    RepairPlan,
+    RepairStep,
+)
 from repro.memory import layout
 from repro.memory.nvram import NvramImage
 from repro.sim.context import OpGen, ThreadContext
@@ -145,4 +150,72 @@ class StripedPersistentCounter:
                 )
                 continue
             total += value
-        return RecoveryReport(state=total, quarantined=tuple(quarantined))
+        return RecoveryReport(
+            state=total,
+            quarantined=tuple(quarantined),
+            repairable=True,
+            repair_actions=self.repair_plan(
+                image, per_stripe_ceiling=per_stripe_ceiling
+            ).actions,
+        )
+
+    # -- repair -----------------------------------------------------------
+
+    def repair_plan(
+        self, image: NvramImage, per_stripe_ceiling: Optional[int] = None
+    ) -> RepairPlan:
+        """Plan the mutating repair for a crash image.
+
+        Every stripe :meth:`recover_report` would quarantine is zeroed —
+        the striped counter's native degradation is undercounting, so a
+        corrupt stripe repairs to zero contribution.  The value word is
+        zeroed in the first phase and the dirty padding words only after
+        a persist barrier: a nested crash between the two leaves nonzero
+        padding, so the stripe stays quarantined (never half-trusted)
+        until a later repair finishes the line.
+        """
+        values: List[RepairStep] = []
+        padding_fixes: List[RepairStep] = []
+        actions: List[str] = []
+        for index in range(self._threads):
+            addr = self._stripe_addr(index)
+            dirty = [
+                offset
+                for offset in range(
+                    layout.WORD_SIZE, STRIPE_SIZE, layout.WORD_SIZE
+                )
+                if image.read(addr + offset, layout.WORD_SIZE)
+            ]
+            value = image.read(addr, layout.WORD_SIZE)
+            if dirty:
+                actions.append(
+                    f"zero stripe {index} (corrupt padding, value untrusted)"
+                )
+                if value:
+                    values.append(RepairStep(addr, 0))
+                padding_fixes.extend(
+                    RepairStep(addr + offset, 0) for offset in dirty
+                )
+            elif per_stripe_ceiling is not None and value > per_stripe_ceiling:
+                actions.append(
+                    f"zero stripe {index} (value {value} above ceiling "
+                    f"{per_stripe_ceiling})"
+                )
+                values.append(RepairStep(addr, 0))
+        phases = tuple(
+            tuple(phase) for phase in (values, padding_fixes) if phase
+        )
+        if not phases:
+            return RepairPlan()
+        return RepairPlan(actions=tuple(actions), phases=phases)
+
+    def repair(
+        self,
+        ctx: ThreadContext,
+        image: NvramImage,
+        per_stripe_ceiling: Optional[int] = None,
+    ) -> OpGen:
+        """Execute :meth:`repair_plan` as an instrumented program."""
+        plan = self.repair_plan(image, per_stripe_ceiling=per_stripe_ceiling)
+        yield from plan.emit(ctx)
+        return plan

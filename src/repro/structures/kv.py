@@ -36,7 +36,12 @@ import zlib
 from typing import Dict, List, Optional
 
 from repro.errors import ReproError
-from repro.inject.report import FaultDiagnosis, RecoveryReport
+from repro.inject.report import (
+    FaultDiagnosis,
+    RecoveryReport,
+    RepairPlan,
+    RepairStep,
+)
 from repro.memory import layout
 from repro.memory.nvram import NvramImage
 from repro.sim.context import OpGen, ThreadContext
@@ -229,4 +234,53 @@ class PersistentKvStore:
                 )
                 continue
             pairs[key] = value
-        return RecoveryReport(state=pairs, quarantined=tuple(quarantined))
+        return RecoveryReport(
+            state=pairs,
+            quarantined=tuple(quarantined),
+            repairable=True,
+            repair_actions=self.repair_plan(image).actions,
+        )
+
+    # -- repair -----------------------------------------------------------
+
+    def repair_plan(self, image: NvramImage) -> RepairPlan:
+        """Plan the mutating repair for a crash image.
+
+        Every slot :meth:`recover_report` would quarantine — unknown
+        valid flag, reserved key, checksum mismatch — is tombstoned:
+        one atomic persist of the valid flag per slot turns undecodable
+        state into an ordinary deleted slot that probing skips.  The
+        tombstones are independent (one phase, any persist order), and a
+        tombstoned slot is clean on the next walk, so the repair is
+        idempotent and converges after a single complete run.
+        """
+        steps: List[RepairStep] = []
+        actions: List[str] = []
+        for index in range(self._slots):
+            addr = self._slot_addr(index)
+            state = image.read(addr + VALID_OFFSET, layout.WORD_SIZE)
+            if state in (EMPTY, TOMBSTONE):
+                continue
+            reason = None
+            if state != LIVE:
+                reason = f"unknown valid flag {state}"
+            else:
+                key = image.read(addr + KEY_OFFSET, layout.WORD_SIZE)
+                value = image.read(addr + VALUE_OFFSET, layout.WORD_SIZE)
+                stored = image.read(addr + CHECKSUM_OFFSET, layout.WORD_SIZE)
+                if key == 0:
+                    reason = "reserved empty key"
+                elif slot_checksum(key, value) != stored:
+                    reason = "checksum mismatch"
+            if reason is not None:
+                actions.append(f"tombstone slot {index} ({reason})")
+                steps.append(RepairStep(addr + VALID_OFFSET, TOMBSTONE))
+        if not steps:
+            return RepairPlan()
+        return RepairPlan(actions=tuple(actions), phases=(tuple(steps),))
+
+    def repair(self, ctx: ThreadContext, image: NvramImage) -> OpGen:
+        """Execute :meth:`repair_plan` as an instrumented program."""
+        plan = self.repair_plan(image)
+        yield from plan.emit(ctx)
+        return plan

@@ -28,7 +28,12 @@ from dataclasses import dataclass
 from typing import List
 
 from repro.errors import RecoveryError, ReproError
-from repro.inject.report import FaultDiagnosis, RecoveryReport
+from repro.inject.report import (
+    FaultDiagnosis,
+    RecoveryReport,
+    RepairPlan,
+    RepairStep,
+)
 from repro.memory import layout
 from repro.memory.nvram import NvramImage
 from repro.sim.context import OpGen, ThreadContext
@@ -227,4 +232,74 @@ class PersistentLog:
             else:
                 records.append(LogRecord(offset=offset, payload=payload))
             offset += reserved
-        return RecoveryReport(state=records, quarantined=tuple(quarantined))
+        return RecoveryReport(
+            state=records,
+            quarantined=tuple(quarantined),
+            repairable=True,
+            repair_actions=self.repair_plan(image).actions,
+        )
+
+    # -- repair -----------------------------------------------------------
+
+    def repair_plan(
+        self, image: NvramImage, drop_clean_tail: bool = False
+    ) -> RepairPlan:
+        """Plan the mutating repair for a crash image.
+
+        The log's only repair is tail truncation: rewind the committed
+        size to the end of the longest intact record prefix, dropping the
+        first damaged record and everything after it (without a
+        trustworthy frame there is no way to re-frame the remainder).
+        The fix is a single atomic persist of the committed word, so the
+        repair itself is crash-atomic: any nested crash either left the
+        old (still-damaged, still-diagnosable) committed size or the
+        repaired one.
+
+        ``drop_clean_tail`` enables the seeded repair bug the crashrec
+        harness must rediscover: the walk treats a record that ends
+        *exactly* at the committed size as torn and truncates it too, so
+        every repair of a clean log drops one good record — repair is no
+        longer idempotent and never reaches a fixed point until the log
+        is empty.
+        """
+        committed = image.read(self._base + COMMITTED_OFFSET, 8)
+        walk_end = min(committed, self._capacity)
+        offset = 0
+        last_start = 0
+        damaged = committed > self._capacity
+        while offset < walk_end:
+            addr = self._base + DATA_OFFSET + offset
+            word = image.read(addr, 8)
+            length = word & LENGTH_MASK
+            reserved = self._record_size(length)
+            if length == 0 or offset + reserved > walk_end:
+                damaged = True
+                break
+            payload = image.read_bytes(addr + LENGTH_FIELD, length)
+            if zlib.crc32(payload) != word >> 32:
+                damaged = True
+                break
+            last_start = offset
+            offset += reserved
+        if drop_clean_tail and not damaged and offset > 0:
+            damaged = True
+            offset = last_start
+        if not damaged or offset == committed:
+            return RepairPlan()
+        return RepairPlan(
+            actions=(
+                f"truncate committed size from {committed} to {offset}",
+            ),
+            phases=(
+                (RepairStep(self._base + COMMITTED_OFFSET, offset),),
+            ),
+        )
+
+    def repair(
+        self, ctx: ThreadContext, image: NvramImage,
+        drop_clean_tail: bool = False,
+    ) -> OpGen:
+        """Execute :meth:`repair_plan` as an instrumented program."""
+        plan = self.repair_plan(image, drop_clean_tail=drop_clean_tail)
+        yield from plan.emit(ctx)
+        return plan

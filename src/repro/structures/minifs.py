@@ -49,7 +49,12 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.errors import RecoveryError, ReproError
-from repro.inject.report import FaultDiagnosis, RecoveryReport
+from repro.inject.report import (
+    FaultDiagnosis,
+    RecoveryReport,
+    RepairPlan,
+    RepairStep,
+)
 from repro.memory.nvram import NvramImage
 from repro.sim.context import OpGen, ThreadContext
 from repro.sim.machine import Machine
@@ -457,4 +462,78 @@ class MiniFs:
                 )
                 continue
             files[recovered.name_hash] = recovered
-        return RecoveryReport(state=files, quarantined=tuple(quarantined))
+        return RecoveryReport(
+            state=files,
+            quarantined=tuple(quarantined),
+            repairable=True,
+            repair_actions=self.repair_plan(image).actions,
+        )
+
+    # -- repair -----------------------------------------------------------
+
+    def repair_plan(self, image: NvramImage) -> RepairPlan:
+        """Plan the mutating repair for a crash image.
+
+        Two fixes, in barrier-separated phases:
+
+        1. **Un-publish broken entries.**  Every directory slot that
+           fails to mount (torn file, invalid inode, bad metadata) or
+           duplicates an earlier slot's name gets its inode-ref zeroed —
+           the same single atomic persist ``unlink`` uses, turning the
+           slot back into free space.
+        2. **Invalidate orphan inodes.**  Any valid inode not referenced
+           by a surviving live entry (e.g. published by a create whose
+           directory swing never persisted, or stranded by phase 1) has
+           its valid flag zeroed, completing the interrupted
+           create/unlink.  Ordering this after the un-publications means
+           a nested crash can never invalidate an inode that a still-
+           published entry needs.
+
+        Both fixes only remove unreachable or unmountable state, so the
+        repaired image mounts a subset of the files the crash image
+        could — never a torn or cross-wired one.
+        """
+        unpublish: List[RepairStep] = []
+        actions: List[str] = []
+        surviving: Dict[int, int] = {}
+        seen_names: Dict[int, int] = {}
+        for slot in range(self._dir_slots):
+            entry_addr = self._entry_addr(slot)
+            ref = image.read(entry_addr + ENTRY_REF, 8)
+            if ref == 0:
+                continue
+            try:
+                recovered = self._recover_entry(image, slot)
+            except RecoveryError as exc:
+                actions.append(f"un-publish directory slot {slot} ({exc})")
+                unpublish.append(RepairStep(entry_addr + ENTRY_REF, 0))
+                continue
+            if recovered.name_hash in seen_names:
+                actions.append(
+                    f"un-publish directory slot {slot} (duplicate of slot "
+                    f"{seen_names[recovered.name_hash]})"
+                )
+                unpublish.append(RepairStep(entry_addr + ENTRY_REF, 0))
+                continue
+            seen_names[recovered.name_hash] = slot
+            surviving[ref - 1] = slot
+        invalidate: List[RepairStep] = []
+        for inode in range(self._inodes):
+            inode_addr = self._inode_addr(inode)
+            if image.read(inode_addr + INODE_VALID, 8) != 1:
+                continue
+            if inode not in surviving:
+                actions.append(f"invalidate orphan inode {inode}")
+                invalidate.append(RepairStep(inode_addr + INODE_VALID, 0))
+        phases = tuple(
+            tuple(phase) for phase in (unpublish, invalidate) if phase
+        )
+        if not phases:
+            return RepairPlan()
+        return RepairPlan(actions=tuple(actions), phases=phases)
+
+    def repair(self, ctx: ThreadContext, image: NvramImage) -> OpGen:
+        """Execute :meth:`repair_plan` as an instrumented program."""
+        plan = self.repair_plan(image)
+        yield from plan.emit(ctx)
+        return plan

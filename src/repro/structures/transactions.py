@@ -39,6 +39,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
 from repro.errors import RecoveryError, ReproError
+from repro.inject.report import RepairPlan, RepairStep
 from repro.memory import layout
 from repro.memory.nvram import NvramImage
 from repro.sim.context import OpGen, ThreadContext
@@ -298,6 +299,64 @@ class DurableTransactions:
                     addr, value.to_bytes(layout.WORD_SIZE, "little")
                 )
         return RecoveredState(image=replayed, committed_txn_ids=committed)
+
+    # -- repair -----------------------------------------------------------
+
+    def repair_plan(self, image: NvramImage) -> RepairPlan:
+        """Plan the mutating repair for a crash image.
+
+        Redo logging cannot undo in-place data, so the only sound repair
+        is *log truncation*: the first record in each per-thread redo
+        log with an invalid kind word — and the first commit record with
+        an invalid kind or a wrong sequence — has its kind word zeroed.
+        Recovery stops at kind zero, so one atomic persist per damaged
+        log turns "unparsable" into "log ends here".  Truncating a
+        commit record degrades by dropping that transaction (and every
+        later one) from replay; any of its in-place data that already
+        persisted is overwritten by replaying the surviving prefix —
+        except where no earlier committed write covers the address, the
+        documented exposure of an unhardened (checksum-free) format.
+        """
+        steps: List[RepairStep] = []
+        actions: List[str] = []
+        for thread in range(self._threads):
+            for index in range(self._log_records):
+                record = self._log_record_addr(thread, index)
+                kind = image.read(record + REC_KIND, 8)
+                if kind == 0:
+                    break
+                if kind != KIND_WRITE:
+                    actions.append(
+                        f"truncate thread {thread} redo log at record "
+                        f"{index} (bad kind {kind})"
+                    )
+                    steps.append(RepairStep(record + REC_KIND, 0))
+                    break
+        for sequence in range(self._commit_capacity):
+            record = self._commit_record_addr(sequence)
+            kind = image.read(record + REC_KIND, 8)
+            if kind == 0:
+                break
+            bad = None
+            if kind != KIND_COMMIT:
+                bad = f"bad kind {kind}"
+            elif image.read(record + REC_VALUE, 8) != sequence:
+                bad = "wrong sequence"
+            if bad is not None:
+                actions.append(
+                    f"truncate commit log at record {sequence} ({bad})"
+                )
+                steps.append(RepairStep(record + REC_KIND, 0))
+                break
+        if not steps:
+            return RepairPlan()
+        return RepairPlan(actions=tuple(actions), phases=(tuple(steps),))
+
+    def repair(self, ctx: ThreadContext, image: NvramImage) -> OpGen:
+        """Execute :meth:`repair_plan` as an instrumented program."""
+        plan = self.repair_plan(image)
+        yield from plan.emit(ctx)
+        return plan
 
 
 @dataclass

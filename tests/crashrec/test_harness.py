@@ -1,0 +1,229 @@
+"""Tests for the crash-during-recovery harness.
+
+Covers the repair-as-a-program contract (clean images plan nothing, the
+seeded-buggy log repair plans work it should not), deterministic crash
+schedule replay, and the three oracles — including the negative spaces:
+origin images that already fail their checker never charge the failure
+to repair, and the repair budget truncates instead of raising.
+"""
+
+import pytest
+
+from repro.core.analysis import analyze_graph
+from repro.core.recovery import FailureInjector, full_cut, minimal_cut
+from repro.crashrec import (
+    crash_recovery_check,
+    replay_schedule,
+    run_repair,
+)
+from repro.errors import RecoveryError
+from repro.fuzz.targets import TARGETS, make_target
+from repro.inject.report import RepairPlan, RepairStep
+from repro.memory.nvram import NvramImage
+from repro.sim.scheduler import make_scheduler
+
+#: Every repairable target whose repair is believed correct (the seeded
+#: non-idempotent log repair is the deliberate exception).
+CORRECT_REPAIRABLE = sorted(
+    name
+    for name, target in TARGETS.items()
+    if target.repairable and name != "log-repair-buggy"
+)
+
+
+def build_run(name, threads=2, ops=3, seed=1):
+    return make_target(name).build(
+        threads, ops, make_scheduler("random", seed)
+    )
+
+
+def full_image(run, model="epoch"):
+    graph = analyze_graph(run.trace, model).graph
+    injector = FailureInjector(graph, run.base_image)
+    return graph, injector, injector.image_for(full_cut(graph))
+
+
+def image_bytes(image):
+    return image.read_bytes(image.base, image.size)
+
+
+class TestRunRepair:
+    @pytest.mark.parametrize("name", CORRECT_REPAIRABLE)
+    def test_clean_full_image_repairs_to_a_noop(self, name):
+        run = build_run(name)
+        _, _, image = full_image(run)
+        outcome = run_repair(run.repair, image, "epoch")
+        assert outcome.plan.is_noop
+        assert outcome.persist_count == 0
+        assert outcome.injector is None
+        assert image_bytes(outcome.image) == image_bytes(image)
+
+    def test_noop_repair_returns_a_copy_not_the_input(self):
+        run = build_run("log")
+        _, _, image = full_image(run)
+        outcome = run_repair(run.repair, image, "epoch")
+        assert outcome.image is not image
+
+    def test_buggy_log_repair_plans_work_on_a_clean_image(self):
+        run = build_run("log-repair-buggy", threads=1, ops=2)
+        _, _, image = full_image(run)
+        outcome = run_repair(run.repair, image, "epoch")
+        assert not outcome.plan.is_noop
+        assert outcome.persist_count > 0
+        assert outcome.injector is not None
+        # The input image is never mutated; the repaired copy differs.
+        assert image_bytes(outcome.image) != image_bytes(image)
+
+    def test_repair_emits_its_own_persist_dag(self):
+        run = build_run("log-repair-buggy", threads=1, ops=2)
+        _, _, image = full_image(run)
+        outcome = run_repair(run.repair, image, "epoch")
+        assert outcome.injector.persist_count == outcome.persist_count
+
+
+class TestReplaySchedule:
+    def test_empty_schedule_is_the_origin_image(self):
+        run = build_run("log")
+        _, _, image = full_image(run)
+        replayed = replay_schedule(run.repair, image, "epoch", ())
+        assert image_bytes(replayed) == image_bytes(image)
+
+    def test_one_level_matches_the_injector(self):
+        run = build_run("log-repair-buggy", threads=1, ops=2)
+        _, _, image = full_image(run)
+        outcome = run_repair(run.repair, image, "epoch")
+        cut, crashed = next(outcome.injector.minimal_images())
+        members = tuple(sorted(cut))
+        replayed = replay_schedule(run.repair, image, "epoch", (members,))
+        assert image_bytes(replayed) == image_bytes(crashed)
+
+    def test_stale_schedule_raises(self):
+        run = build_run("log")
+        _, _, image = full_image(run)
+        # A clean image repairs as a no-op: no persists, so any cut is
+        # out of range for the rebuilt repair run.
+        with pytest.raises(RecoveryError, match="stale crash schedule"):
+            replay_schedule(run.repair, image, "epoch", ((0, 1),))
+
+
+class TestCrashRecoveryCheck:
+    @pytest.mark.parametrize("name", CORRECT_REPAIRABLE)
+    def test_correct_repairs_are_clean_at_depth_two(self, name):
+        run = build_run(name)
+        graph, injector, image = full_image(run)
+
+        def invariant(img):
+            try:
+                run.check(img)
+            except RecoveryError as exc:
+                return str(exc)
+            return None
+
+        report = crash_recovery_check(
+            run.repair, image, "epoch", depth=2, check=invariant
+        )
+        assert report.clean, [v.error for v in report.violations]
+
+    @pytest.mark.parametrize("name", ["queue-2lc", "minifs", "log"])
+    def test_clean_at_depth_two_on_minimal_cut_images(self, name):
+        run = build_run(name)
+        graph, injector, _ = full_image(run)
+        cut = minimal_cut(graph, len(graph.nodes) // 2)
+        image = injector.image_for(cut)
+        report = crash_recovery_check(run.repair, image, "epoch", depth=2)
+        assert report.clean, [v.error for v in report.violations]
+
+    def test_buggy_log_repair_breaks_idempotence(self):
+        run = build_run("log-repair-buggy", threads=1, ops=2)
+        _, _, image = full_image(run)
+        report = crash_recovery_check(run.repair, image, "epoch", depth=2)
+        oracles = {violation.oracle for violation in report.violations}
+        assert "idempotence" in oracles
+
+    def test_violation_schedules_replay_to_judged_images(self):
+        run = build_run("log-repair-buggy", threads=1, ops=3)
+        _, _, image = full_image(run)
+        report = crash_recovery_check(run.repair, image, "epoch", depth=2)
+        assert not report.clean
+        for violation in report.violations:
+            # Every recorded schedule must still materialise.
+            replay_schedule(run.repair, image, "epoch", violation.schedule)
+
+    def test_repair_budget_truncates_instead_of_raising(self):
+        run = build_run("log-repair-buggy", threads=1, ops=3)
+        _, _, image = full_image(run)
+        report = crash_recovery_check(
+            run.repair, image, "epoch", depth=2, max_repairs=1
+        )
+        assert report.truncated
+        assert report.repairs == 1
+
+    def test_broken_origin_image_never_charges_preservation(self):
+        run = build_run("log", threads=1, ops=2)
+        _, _, image = full_image(run)
+        report = crash_recovery_check(
+            run.repair,
+            image,
+            "epoch",
+            depth=1,
+            check=lambda img: "origin already broken",
+        )
+        assert not any(
+            violation.oracle == "preservation"
+            for violation in report.violations
+        )
+
+
+class TestPreservationOracle:
+    """Drive preservation with a hand-built planner: the structure
+    targets are correct, so only a deliberately state-damaging repair
+    can exercise the oracle's firing path."""
+
+    BASE = 0x8000_0000
+
+    def damaging_planner(self, image):
+        # "Repairs" by smashing the first word to 1 whenever it is 0 —
+        # never a no-op on a healthy image, and never idempotent-clean
+        # because the second pass sees 1 and plans nothing (idempotent!)
+        # but the origin invariant (word == 0) is destroyed.
+        if image.read(self.BASE, 8) == 0:
+            return RepairPlan(
+                actions=("smash the first word",),
+                phases=((RepairStep(self.BASE, 1),),),
+            )
+        return RepairPlan()
+
+    def invariant(self, image):
+        return None if image.read(self.BASE, 8) == 0 else "first word moved"
+
+    def test_preservation_fires_when_repair_breaks_a_passing_image(self):
+        image = NvramImage(self.BASE, 64)
+        report = crash_recovery_check(
+            self.damaging_planner,
+            image,
+            "epoch",
+            depth=1,
+            check=self.invariant,
+        )
+        oracles = {violation.oracle for violation in report.violations}
+        assert oracles == {"preservation"}
+
+    def test_oracle_check_baseline_is_independent_of_invariant(self):
+        image = NvramImage(self.BASE, 64)
+        report = crash_recovery_check(
+            self.damaging_planner,
+            image,
+            "epoch",
+            depth=1,
+            check=lambda img: "invariant never passes",
+            oracle_check=self.invariant,
+        )
+        # The invariant baseline failed (never charged), but the oracle
+        # baseline passed and the repaired image breaks it.
+        errors = [
+            violation.error
+            for violation in report.violations
+            if violation.oracle == "preservation"
+        ]
+        assert len(errors) == 1
+        assert "durability oracle" in errors[0]

@@ -1,0 +1,98 @@
+"""Hypothesis properties for the repair contract.
+
+Two universally-quantified guarantees the ISSUE's repair discipline
+rests on:
+
+* repair on a clean, fully-synced image (every persist applied) is a
+  byte-level no-op for every structure, and
+* crash-free ``repair ∘ recover`` round-trips ground truth on random
+  failure cuts: wherever the structure's recovery invariant holds on
+  the raw crash image it still holds after repair, and a second repair
+  pass plans nothing.
+
+Workloads are tiny (hypothesis shrinks toward them anyway) so each
+example stays in the tens of milliseconds.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.analysis import analyze_graph
+from repro.core.recovery import FailureInjector, full_cut
+from repro.crashrec import run_repair
+from repro.errors import RecoveryError
+from repro.fuzz.targets import TARGETS, make_target
+from repro.sim.scheduler import make_scheduler
+
+CORRECT_REPAIRABLE = sorted(
+    name
+    for name, target in TARGETS.items()
+    if target.repairable and name != "log-repair-buggy"
+)
+
+targets_strategy = st.sampled_from(CORRECT_REPAIRABLE)
+models_strategy = st.sampled_from(["epoch", "strand"])
+
+
+def build_run(name, threads, ops, seed):
+    target = make_target(name)
+    lo, hi = target.thread_range
+    threads = min(max(threads, lo), hi)
+    lo, hi = target.ops_range
+    ops = min(max(ops, lo), hi)
+    return target.build(threads, ops, make_scheduler("random", seed))
+
+
+def image_bytes(image):
+    return image.read_bytes(image.base, image.size)
+
+
+class TestRepairProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        name=targets_strategy,
+        threads=st.integers(min_value=1, max_value=2),
+        ops=st.integers(min_value=1, max_value=4),
+        seed=st.integers(min_value=0, max_value=2**16),
+        model=models_strategy,
+    )
+    def test_repair_on_fully_synced_image_is_byte_noop(
+        self, name, threads, ops, seed, model
+    ):
+        run = build_run(name, threads, ops, seed)
+        graph = analyze_graph(run.trace, model).graph
+        injector = FailureInjector(graph, run.base_image)
+        image = injector.image_for(full_cut(graph))
+        outcome = run_repair(run.repair, image, model)
+        assert outcome.plan.is_noop
+        assert image_bytes(outcome.image) == image_bytes(image)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        name=targets_strategy,
+        threads=st.integers(min_value=1, max_value=2),
+        ops=st.integers(min_value=1, max_value=3),
+        seed=st.integers(min_value=0, max_value=2**16),
+        cut_seed=st.integers(min_value=0, max_value=2**16),
+        model=models_strategy,
+    )
+    def test_crash_free_repair_round_trips_ground_truth(
+        self, name, threads, ops, seed, cut_seed, model
+    ):
+        run = build_run(name, threads, ops, seed)
+        graph = analyze_graph(run.trace, model).graph
+        injector = FailureInjector(graph, run.base_image)
+        for _, image in injector.random_images(3, seed=cut_seed):
+            try:
+                run.check(image)
+            except RecoveryError:
+                # The crash image itself violates (expected on racy /
+                # paper-faithful targets): repair owes nothing here.
+                continue
+            outcome = run_repair(run.repair, image, model)
+            # Recovery ground truth survives repair...
+            run.check(outcome.image)
+            # ...and the repaired image is a fixed point.
+            second = run_repair(run.repair, outcome.image, model)
+            assert second.plan.is_noop
+            assert image_bytes(second.image) == image_bytes(outcome.image)

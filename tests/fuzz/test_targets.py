@@ -17,6 +17,7 @@ class TestRegistry:
             "publish-pair",
             "publish-clwb",
             "publish-clflushopt-nofence",
+            "log-repair-buggy",
         }
 
     def test_make_target_unknown_rejected(self):

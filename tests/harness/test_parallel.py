@@ -126,6 +126,8 @@ class TestFanOutResilience:
         assert merged == [{"name": "only"}]
         assert stats.task_retries == 1
         assert stats.task_failures == 0
+        assert stats.task_attempts == 2
+        assert stats.failure_exception_types == {}
 
     def test_serial_exhausted_retries_fail_the_cell_not_the_run(self):
         merged = []
@@ -147,6 +149,9 @@ class TestFanOutResilience:
         assert stats.task_retries == 2
         assert stats.task_failures == 2
         assert stats.task_timeouts == 0
+        # Two tasks, two attempts each (one retry per task).
+        assert stats.task_attempts == 4
+        assert stats.failure_exception_types == {"RuntimeError": 2}
 
     def test_serial_default_failure_path_warns(self):
         with pytest.warns(RuntimeWarning, match="failed after 1 attempt"):
@@ -171,6 +176,8 @@ class TestFanOutResilience:
         assert len(failures) == 1 and "boom on p" in failures[0]
         assert stats.task_retries == 2
         assert stats.task_failures == 1
+        assert stats.task_attempts == 3
+        assert stats.failure_exception_types == {"RuntimeError": 1}
 
     def test_pool_timeout_fails_slow_task_and_keeps_fast_one(self):
         merged = []
@@ -191,6 +198,7 @@ class TestFanOutResilience:
         assert "timed out after" in failures[0][1]
         assert stats.task_timeouts == 1
         assert stats.task_failures == 1
+        assert stats.failure_exception_types == {"TimeoutError": 1}
 
     def test_stats_report_includes_task_counters(self):
         stats = HarnessStats(task_retries=3, task_timeouts=1, task_failures=2)
@@ -198,6 +206,32 @@ class TestFanOutResilience:
         assert "3 retrie(s)" in report
         assert "1 timeout(s)" in report
         assert "2 failed cell(s)" in report
+
+    def test_stats_report_names_failure_exception_types(self):
+        stats = HarnessStats(
+            task_attempts=5,
+            task_failures=2,
+            failure_exception_types={"RuntimeError": 1, "TimeoutError": 1},
+        )
+        report = stats.report()
+        assert "5 attempt(s)" in report
+        assert "RuntimeError x1" in report
+        assert "TimeoutError x1" in report
+
+    def test_stats_merge_folds_exception_type_counts(self):
+        mine = HarnessStats(
+            task_failures=1, failure_exception_types={"RuntimeError": 1}
+        )
+        theirs = HarnessStats(
+            task_failures=2,
+            failure_exception_types={"RuntimeError": 1, "ValueError": 1},
+        )
+        mine.merge(theirs)
+        assert mine.task_failures == 3
+        assert mine.failure_exception_types == {
+            "RuntimeError": 2,
+            "ValueError": 1,
+        }
 
     def test_grid_timeout_records_failed_cells_not_fatal(self, recwarn):
         runner = fresh_runner()
