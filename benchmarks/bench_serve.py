@@ -1,0 +1,117 @@
+"""Checking-service throughput: campaigns per hour across worker counts.
+
+Library-performance benchmark (not a paper artifact): a real daemon is
+started per worker count (1, 2, 4), a batch of seed-distinct fuzz
+campaigns is submitted by separate tenants, and the wall-clock time to
+drain them all is measured.  Seeds differ so no shard is shared through
+the store — this measures executor scaling, not cache hits (store
+reuse is pinned separately by the CI ``smoke-serve`` job).  Results —
+jobs/s, campaigns/hour, and jobs/s-per-worker at each width — go to
+``benchmarks/out/serve_throughput.txt`` and ``serve_throughput.json``.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.serve import default_socket, request, wait_for_daemon, wait_for_job
+
+WORKER_COUNTS = (1, 2, 4)
+
+#: Campaigns submitted per worker count, one tenant each.
+JOBS_PER_RUN = 4
+
+#: Per-campaign budget: small enough to keep the benchmark bounded,
+#: large enough that shard execution dominates daemon overhead.
+BUDGET = 24
+
+TARGET = "queue-2lc"
+
+
+def _start_daemon(state_dir: Path, workers: int) -> subprocess.Popen:
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[1] / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--state-dir", str(state_dir), "--workers", str(workers),
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.STDOUT,
+    )
+
+
+def _drain_batch(state_dir: Path, workers: int) -> dict:
+    """Submit JOBS_PER_RUN seed-distinct campaigns and drain them."""
+    daemon = _start_daemon(state_dir, workers)
+    sock = default_socket(state_dir)
+    try:
+        wait_for_daemon(sock, timeout=60)
+        start = time.perf_counter()
+        jobs = [
+            request(
+                sock,
+                {
+                    "op": "submit",
+                    "tenant": f"tenant-{index}",
+                    "spec": {
+                        "kind": "fuzz",
+                        "target": TARGET,
+                        "budget": BUDGET,
+                        "seed": index,
+                    },
+                },
+            )["job"]
+            for index in range(JOBS_PER_RUN)
+        ]
+        views = [wait_for_job(sock, job, timeout=600) for job in jobs]
+        elapsed = time.perf_counter() - start
+        request(sock, {"op": "shutdown"})
+        daemon.wait(timeout=30)
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.wait(timeout=10)
+    assert all(view["state"] == "done" for view in views), views
+    assert all(view["store_misses"] == BUDGET for view in views), views
+    jobs_per_second = JOBS_PER_RUN / elapsed
+    return {
+        "workers": workers,
+        "jobs": JOBS_PER_RUN,
+        "budget": BUDGET,
+        "seconds": round(elapsed, 3),
+        "jobs_per_second": round(jobs_per_second, 3),
+        "campaigns_per_hour": round(jobs_per_second * 3600.0, 1),
+        "jobs_per_second_per_worker": round(jobs_per_second / workers, 4),
+    }
+
+
+def test_serve_scaling(out_dir, tmp_path):
+    """Campaigns/hour at 1, 2, and 4 workers through a real daemon."""
+    rows = [
+        _drain_batch(tmp_path / f"serve-w{workers}", workers)
+        for workers in WORKER_COUNTS
+    ]
+    # Scaling sanity, with generous slack for shared-runner noise: more
+    # workers must never make the batch dramatically slower.
+    by_workers = {row["workers"]: row for row in rows}
+    assert (
+        by_workers[4]["seconds"] <= by_workers[1]["seconds"] * 1.5
+    ), rows
+
+    (out_dir / "serve_throughput.json").write_text(
+        json.dumps({"target": TARGET, "runs": rows}, indent=2) + "\n"
+    )
+    lines = [
+        f"workers={row['workers']}: {row['jobs']} campaign(s) "
+        f"(budget {row['budget']}) in {row['seconds']:.2f}s — "
+        f"{row['campaigns_per_hour']:.0f} campaigns/hour, "
+        f"{row['jobs_per_second_per_worker']:.3f} jobs/s/worker"
+        for row in rows
+    ]
+    (out_dir / "serve_throughput.txt").write_text("\n".join(lines) + "\n")

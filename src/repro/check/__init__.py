@@ -29,10 +29,12 @@ from repro.check.engine import (
     is_check_program,
 )
 from repro.check.shard import (
+    ShardMerge,
     ShardReport,
     check_shard_worker,
     check_target_sharded,
     enumerate_prefixes,
+    shard_tasks,
 )
 
 __all__ = [
@@ -54,8 +56,10 @@ __all__ = [
     "check_runs",
     "check_target",
     "DEFAULT_MODELS",
+    "ShardMerge",
     "ShardReport",
     "check_shard_worker",
     "check_target_sharded",
     "enumerate_prefixes",
+    "shard_tasks",
 ]

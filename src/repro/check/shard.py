@@ -102,6 +102,108 @@ class ShardReport:
     violations: int
 
 
+def shard_tasks(
+    target: str,
+    threads: int,
+    ops: int,
+    config: CheckConfig,
+    shard_depth: int = 2,
+) -> List[Dict[str, object]]:
+    """The JSON-safe worker tasks of one prefix-partitioned check run.
+
+    Probes the schedule tree to ``shard_depth`` and returns one
+    :func:`check_shard_worker` task per prefix.  Shared by
+    :func:`check_target_sharded` and the serve job planner
+    (:mod:`repro.serve.jobs`), so a check job submitted to the daemon
+    shards exactly like a ``repro check --jobs N`` run — and its shard
+    digests are stable across both paths.
+    """
+    from repro.fuzz.targets import make_target
+
+    fuzz_target = make_target(target)
+    # The probe must run the exact program the shards re-explore:
+    # history recording adds marker steps, shifting every choice point.
+    record = config.oracle != "invariant"
+    prefixes = enumerate_prefixes(
+        lambda scheduler: fuzz_target.build(
+            threads, ops, scheduler, record_history=record
+        ),
+        shard_depth,
+    )
+    return [
+        {
+            "target": target,
+            "threads": threads,
+            "ops": ops,
+            "models": list(config.models),
+            "prefix": list(prefix),
+            "max_schedules": config.max_schedules,
+            "max_cuts": config.max_cuts_per_graph,
+            "stop_at_first": config.stop_at_first,
+            "oracle": config.oracle,
+        }
+        for prefix in prefixes
+    ]
+
+
+class ShardMerge:
+    """Accumulates :func:`check_shard_worker` payloads into one result.
+
+    Deduplicates violations by their schedule-independent key, sums
+    per-shard stats, collects :class:`ShardReport` rows, and records
+    in-band shard errors (exploration-limit overruns) as failures.
+    Shared by :func:`check_target_sharded` and the serve merge stage so
+    both report identical verdicts for identical shard sets.
+    """
+
+    def __init__(self) -> None:
+        self.result = CheckResult(stats=CheckStats())
+        self.reports: List[ShardReport] = []
+        self.failures: List[str] = []
+
+    def add(self, payload: Dict[str, object]) -> None:
+        """Fold one shard's wire payload in (error payloads included)."""
+        if payload.get("error") is not None:
+            self.failures.append(
+                f"shard {tuple(payload['prefix'])}: {payload['error']}"
+            )
+            return
+        self.result.stats.merge(payload["stats"])
+        shard_violations = [
+            CheckViolation.from_payload(v) for v in payload["violations"]
+        ]
+        for violation in shard_violations:
+            key = violation.key()
+            if key not in self.result.distinct:
+                self.result.distinct[key] = violation
+                self.result.violations.append(violation)
+        self.reports.append(
+            ShardReport(
+                prefix=tuple(payload["prefix"]),
+                stats=dict(payload["stats"]),
+                violations=len(shard_violations),
+            )
+        )
+
+    def add_failure(self, task: Dict[str, object], error: str) -> None:
+        """Record a shard whose worker crashed (out-of-band failure)."""
+        self.failures.append(f"shard {tuple(task['prefix'])}: {error}")
+
+    def finish(self) -> Tuple[CheckResult, List[ShardReport]]:
+        """The merged result and per-shard reports, failures raised.
+
+        Raises:
+            ReproError: when any shard failed or overran its bounds.
+        """
+        if self.failures:
+            raise ReproError(
+                f"{len(self.failures)} shard(s) failed: "
+                + "; ".join(sorted(self.failures))
+            )
+        self.reports.sort(key=lambda report: report.prefix)
+        return self.result, self.reports
+
+
 def check_shard_worker(task: Dict[str, object]) -> Dict[str, object]:
     """Run one shard's DPOR exploration (module-level: crosses the
     process boundary for :func:`repro.harness.parallel.fan_out`).
@@ -154,67 +256,10 @@ def check_target_sharded(
     Raises:
         ReproError: when any shard fails or overruns its schedule bound.
     """
-    from repro.fuzz.targets import make_target
-
     config = config or CheckConfig()
-    fuzz_target = make_target(target)
-    # The probe must run the exact program the shards re-explore:
-    # history recording adds marker steps, shifting every choice point.
-    record = config.oracle != "invariant"
-    prefixes = enumerate_prefixes(
-        lambda scheduler: fuzz_target.build(
-            threads, ops, scheduler, record_history=record
-        ),
-        shard_depth,
+    tasks = shard_tasks(target, threads, ops, config, shard_depth)
+    merge = ShardMerge()
+    fan_out(
+        check_shard_worker, tasks, jobs, merge.add, on_failure=merge.add_failure
     )
-    tasks = [
-        {
-            "target": target,
-            "threads": threads,
-            "ops": ops,
-            "models": list(config.models),
-            "prefix": list(prefix),
-            "max_schedules": config.max_schedules,
-            "max_cuts": config.max_cuts_per_graph,
-            "stop_at_first": config.stop_at_first,
-            "oracle": config.oracle,
-        }
-        for prefix in prefixes
-    ]
-    merged = CheckResult(stats=CheckStats())
-    reports: List[ShardReport] = []
-    failures: List[str] = []
-
-    def merge(payload: Dict[str, object]) -> None:
-        if payload["error"] is not None:
-            failures.append(
-                f"shard {tuple(payload['prefix'])}: {payload['error']}"
-            )
-            return
-        merged.stats.merge(payload["stats"])
-        shard_violations = [
-            CheckViolation.from_payload(v) for v in payload["violations"]
-        ]
-        for violation in shard_violations:
-            key = violation.key()
-            if key not in merged.distinct:
-                merged.distinct[key] = violation
-                merged.violations.append(violation)
-        reports.append(
-            ShardReport(
-                prefix=tuple(payload["prefix"]),
-                stats=dict(payload["stats"]),
-                violations=len(shard_violations),
-            )
-        )
-
-    def on_failure(task: Dict[str, object], error: str) -> None:
-        failures.append(f"shard {tuple(task['prefix'])}: {error}")
-
-    fan_out(check_shard_worker, tasks, jobs, merge, on_failure=on_failure)
-    if failures:
-        raise ReproError(
-            f"{len(failures)} shard(s) failed: " + "; ".join(sorted(failures))
-        )
-    reports.sort(key=lambda report: report.prefix)
-    return merged, reports
+    return merge.finish()

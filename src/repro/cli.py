@@ -19,6 +19,11 @@ writing Python::
     repro check   --target queue-2lc-faithful --threads 2 --ops 1 --stats
     repro litmus list
     repro litmus run --all-models --cross-domains --out litmus.json
+    repro serve   --state-dir .repro-serve --workers 4
+    repro submit  job.json --tenant alice --wait
+    repro jobs
+    repro status  JOBID
+    repro cancel  JOBID
     repro selfcheck
 
 Every command prints to stdout and returns a process exit code; `inject`,
@@ -96,6 +101,13 @@ from repro.fuzz import (
 from repro.histories import ORACLES
 from repro.queue import run_insert_workload, verify_recovery
 from repro.queue.cwl import INSERT_MARK
+from repro.serve import (
+    ServeConfig,
+    default_socket,
+    request,
+    serve_forever,
+    wait_for_job,
+)
 from repro.sim import SCHEDULER_KINDS
 from repro.trace import load_file, save_file, validate
 
@@ -724,6 +736,132 @@ def cmd_litmus_run(args: argparse.Namespace) -> int:
     return 1 if summary["domain_mismatches"] else 0
 
 
+def _serve_socket(args: argparse.Namespace) -> Path:
+    """The daemon socket a client command should talk to."""
+    if args.socket:
+        return Path(args.socket)
+    return default_socket(args.state_dir)
+
+
+def _print_job(view: dict, verbose: bool = False) -> None:
+    """One job's status lines (the `jobs` row or the `status` detail)."""
+    shards = f"{view['shards_done']}/{view['shards_total']}"
+    violations = (
+        "-" if view["violations"] is None else str(view["violations"])
+    )
+    eta = view.get("eta_seconds")
+    eta_text = f" eta={eta:.1f}s" if eta is not None else ""
+    print(
+        f"{view['id']}  {view['tenant']:12s} {view['spec']['kind']:6s} "
+        f"{view['state']:9s} shards={shards:9s} "
+        f"violations={violations}{eta_text}"
+    )
+    if verbose:
+        if view.get("error"):
+            print(f"  error: {view['error']}")
+        if view.get("summary"):
+            print(
+                f"  store: {view['store_hits']} hit(s), "
+                f"{view['store_misses']} miss(es)"
+            )
+            for line in view["summary"]["text"].splitlines():
+                print(f"  {line}")
+
+
+def _job_exit_code(view: dict) -> int:
+    """Compose with CI like `check`: violations exit 1, breakage 2."""
+    if view["state"] == "done":
+        return 1 if view["violations"] else 0
+    return 2
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the checking-service daemon until shutdown.
+
+    Accepts check / fuzz / litmus job specs from many tenants over a
+    unix socket, executes shards on a work-stealing multiprocessing
+    pool under per-tenant token-bucket fairness, and shares every shard
+    result through a content-addressed store — identical work (across
+    tenants, restarts, and resubmissions) is computed once.  Stop with
+    SIGINT or the `shutdown` op; `kill -9` is survivable: restart and
+    interrupted jobs resume from their journaled state.
+    """
+    config = ServeConfig(
+        state_dir=Path(args.state_dir),
+        workers=args.workers,
+        socket_path=Path(args.socket) if args.socket else None,
+        max_jobs_per_tenant=args.max_jobs_per_tenant,
+        rate=args.rate,
+        burst=args.burst,
+        task_timeout=args.task_timeout,
+        task_retries=args.task_retries,
+    )
+    print(
+        f"serving on {config.socket_path} "
+        f"({config.workers} worker(s), state in {config.state_dir})",
+        flush=True,
+    )
+    try:
+        serve_forever(config)
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    """Submit a JSON job spec to a running daemon; prints the job id.
+
+    The spec file holds one object with a `kind` of check, fuzz, or
+    litmus (see docs/service.md for each kind's fields).  With
+    `--wait`, polls to completion and exits like `repro check` would:
+    0 clean, 1 on violations, 2 on a failed/cancelled job.
+    """
+    import json as json_module
+
+    if args.spec == "-":
+        spec = json_module.load(sys.stdin)
+    else:
+        with open(args.spec, "r", encoding="utf-8") as stream:
+            spec = json_module.load(stream)
+    socket_path = _serve_socket(args)
+    response = request(
+        socket_path, {"op": "submit", "tenant": args.tenant, "spec": spec}
+    )
+    print(response["job"])
+    if not args.wait:
+        return 0
+    view = wait_for_job(
+        socket_path, response["job"], timeout=args.timeout, interval=args.poll
+    )
+    _print_job(view, verbose=True)
+    return _job_exit_code(view)
+
+
+def cmd_jobs(args: argparse.Namespace) -> int:
+    """List every job the daemon knows, oldest first."""
+    for view in request(_serve_socket(args), {"op": "jobs"})["jobs"]:
+        _print_job(view)
+    return 0
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    """Show one job: state, shard progress, violations, ETA, summary."""
+    view = request(
+        _serve_socket(args), {"op": "status", "job": args.job}
+    )["job"]
+    _print_job(view, verbose=True)
+    return _job_exit_code(view) if args.exit_code else 0
+
+
+def cmd_cancel(args: argparse.Namespace) -> int:
+    """Cancel an active job (terminal jobs are left untouched)."""
+    view = request(
+        _serve_socket(args), {"op": "cancel", "job": args.job}
+    )["job"]
+    _print_job(view)
+    return 0
+
+
 def cmd_selfcheck(args: argparse.Namespace) -> int:
     """Validate the installation end to end in under a minute.
 
@@ -1169,6 +1307,85 @@ def build_parser() -> argparse.ArgumentParser:
         help="print per-pair disagreement counts",
     )
     litmus_run.set_defaults(handler=cmd_litmus_run)
+
+    def serve_client_args(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--state-dir", default=".repro-serve",
+            help="daemon state directory (default .repro-serve); used to "
+            "locate the default socket",
+        )
+        sub.add_argument(
+            "--socket", default=None,
+            help="daemon socket path (default <state-dir>/serve.sock)",
+        )
+
+    serve_parser = commands.add_parser("serve", help=cmd_serve.__doc__)
+    serve_client_args(serve_parser)
+    serve_parser.add_argument(
+        "--workers", type=int, default=2,
+        help="worker processes executing shards (default 2)",
+    )
+    serve_parser.add_argument(
+        "--max-jobs-per-tenant", type=int, default=8,
+        help="active-job admission cap per tenant (default 8)",
+    )
+    serve_parser.add_argument(
+        "--rate", type=float, default=50.0,
+        help="token-bucket refill rate, shards/second/tenant (default 50)",
+    )
+    serve_parser.add_argument(
+        "--burst", type=float, default=100.0,
+        help="token-bucket capacity per tenant (default 100)",
+    )
+    serve_parser.add_argument(
+        "--task-timeout", type=float, default=None,
+        help="per-shard wall-clock budget in seconds (default none)",
+    )
+    serve_parser.add_argument(
+        "--task-retries", type=int, default=0,
+        help="retries per failed/timed-out shard (default 0)",
+    )
+    serve_parser.set_defaults(handler=cmd_serve)
+
+    submit_parser = commands.add_parser("submit", help=cmd_submit.__doc__)
+    serve_client_args(submit_parser)
+    submit_parser.add_argument(
+        "spec", help="path to the JSON job spec ('-' reads stdin)"
+    )
+    submit_parser.add_argument(
+        "--tenant", default="default", help="tenant id (default 'default')"
+    )
+    submit_parser.add_argument(
+        "--wait", action="store_true",
+        help="poll until the job finishes; exit 1 on violations",
+    )
+    submit_parser.add_argument(
+        "--timeout", type=float, default=600.0,
+        help="--wait deadline in seconds (default 600)",
+    )
+    submit_parser.add_argument(
+        "--poll", type=float, default=0.2,
+        help="--wait poll interval in seconds (default 0.2)",
+    )
+    submit_parser.set_defaults(handler=cmd_submit)
+
+    jobs_parser = commands.add_parser("jobs", help=cmd_jobs.__doc__)
+    serve_client_args(jobs_parser)
+    jobs_parser.set_defaults(handler=cmd_jobs)
+
+    status_parser = commands.add_parser("status", help=cmd_status.__doc__)
+    serve_client_args(status_parser)
+    status_parser.add_argument("job", help="job id from `repro submit`")
+    status_parser.add_argument(
+        "--exit-code", action="store_true",
+        help="exit 1/2 for violating/failed jobs instead of 0",
+    )
+    status_parser.set_defaults(handler=cmd_status)
+
+    cancel_parser = commands.add_parser("cancel", help=cmd_cancel.__doc__)
+    serve_client_args(cancel_parser)
+    cancel_parser.add_argument("job", help="job id from `repro submit`")
+    cancel_parser.set_defaults(handler=cmd_cancel)
 
     selfcheck_parser = commands.add_parser(
         "selfcheck", help=cmd_selfcheck.__doc__

@@ -53,3 +53,7 @@ class FuzzError(ReproError):
 
 class HistoryError(ReproError):
     """An operation history is malformed or could not be extracted."""
+
+
+class ServeError(ReproError):
+    """The checking service was misused or a job cannot make progress."""

@@ -27,9 +27,14 @@ from repro.fuzz.campaign import (
     CaseSpec,
     CaseViolation,
     Finding,
+    campaign_digest,
+    case_tasks,
     execute_spec,
+    outcome_from_wire,
+    outcome_to_wire,
     run_campaign,
     run_case,
+    run_case_task,
     sample_specs,
 )
 from repro.fuzz.corpus import (
@@ -66,10 +71,15 @@ __all__ = [
     "ReproCase",
     "TARGETS",
     "TargetRun",
+    "campaign_digest",
     "case_from_check",
+    "case_tasks",
     "execute_spec",
     "export_check_violations",
     "make_target",
+    "outcome_from_wire",
+    "outcome_to_wire",
+    "run_case_task",
     "minimize_finding",
     "minimize_findings",
     "replay_case",

@@ -624,8 +624,9 @@ def _violations_from_wire(entries: List[dict]) -> List[CaseViolation]:
     ]
 
 
-def _outcome_to_wire(outcome: CaseOutcome) -> dict:
-    """JSON-safe encoding of one outcome (worker results, checkpoints)."""
+def outcome_to_wire(outcome: CaseOutcome) -> dict:
+    """JSON-safe encoding of one outcome (worker results, checkpoints,
+    serve shard payloads)."""
     return {
         "spec": outcome.spec.describe(),
         "index": outcome.index,
@@ -649,13 +650,37 @@ def _outcome_to_wire(outcome: CaseOutcome) -> dict:
     }
 
 
-def _run_case(task: dict) -> dict:
-    """Worker entry point: run one case from a JSON-safe task dict."""
+def run_case_task(task: dict) -> dict:
+    """Worker entry point: run one case from a JSON-safe task dict.
+
+    ``task`` is one element of :func:`case_tasks` output; the result is
+    a wire-format :class:`CaseOutcome` (see :func:`outcome_from_wire`).
+    Module-level so it crosses the process boundary for both
+    :func:`repro.harness.parallel.fan_out` and the serve worker pool.
+    """
     spec = CaseSpec.from_payload(task["spec"])
-    return _outcome_to_wire(run_case(spec, index=task["index"]))
+    return outcome_to_wire(run_case(spec, index=task["index"]))
 
 
-def _outcome_from_wire(payload: dict) -> CaseOutcome:
+#: Backwards-compatible private alias (pre-serve name).
+_run_case = run_case_task
+
+
+def case_tasks(config: CampaignConfig) -> List[dict]:
+    """The campaign's JSON-safe worker tasks, one per sampled case.
+
+    The task list a checkpoint-free :func:`run_campaign` would fan out;
+    the serve job planner batches these into shards, so a fuzz job
+    submitted to the daemon executes the exact cases — in the exact
+    sampling order — that ``repro fuzz run`` would.
+    """
+    return [
+        {"index": index, "spec": spec.describe()}
+        for index, spec in enumerate(sample_specs(config))
+    ]
+
+
+def outcome_from_wire(payload: dict) -> CaseOutcome:
     """Rebuild a :class:`CaseOutcome` from a worker's result dict."""
     return CaseOutcome(
         spec=CaseSpec.from_payload(payload["spec"]),
@@ -1010,8 +1035,14 @@ def sample_specs(config: CampaignConfig) -> List[CaseSpec]:
     return specs
 
 
-def _campaign_digest(config: CampaignConfig) -> str:
-    """Checkpoint identity: everything that determines outcomes."""
+def campaign_digest(config: CampaignConfig) -> str:
+    """Checkpoint/journal identity: everything that determines outcomes.
+
+    The digest guarding checkpoint resume (:func:`run_campaign`) and the
+    serve job journal: a stored payload is only trusted for a config
+    whose digest matches, so a spec change can never resume against
+    stale outcomes.
+    """
     return content_digest(
         {
             "kind": "fuzz-campaign",
@@ -1019,6 +1050,10 @@ def _campaign_digest(config: CampaignConfig) -> str:
             **config.describe(),
         }
     )
+
+
+#: Backwards-compatible private alias (pre-serve name).
+_campaign_digest = campaign_digest
 
 
 def _load_checkpoint(path: Path, digest: str) -> Dict[int, dict]:
@@ -1094,7 +1129,7 @@ def run_campaign(
         completed = _load_checkpoint(checkpoint_path, digest)
 
     outcomes: List[CaseOutcome] = [
-        _outcome_from_wire(payload) for payload in completed.values()
+        outcome_from_wire(payload) for payload in completed.values()
     ]
     tasks = [
         {"index": index, "spec": spec.describe()}
@@ -1105,7 +1140,7 @@ def run_campaign(
 
     def merge(payload: dict) -> None:
         nonlocal fresh
-        outcomes.append(_outcome_from_wire(payload))
+        outcomes.append(outcome_from_wire(payload))
         if checkpoint_path is None:
             return
         completed[int(payload["index"])] = payload
@@ -1139,3 +1174,8 @@ def run_campaign(
         _write_checkpoint(checkpoint_path, digest, completed)
     outcomes.sort(key=lambda outcome: outcome.index)
     return CampaignResult(config=config, outcomes=outcomes)
+
+
+#: Backwards-compatible private aliases (pre-serve names).
+_outcome_to_wire = outcome_to_wire
+_outcome_from_wire = outcome_from_wire

@@ -46,20 +46,33 @@ QUARANTINE_SUFFIX = ".quarantined"
 
 
 def atomic_write(path: _PathLike, writer) -> None:
-    """Write a file via a sibling temp file and rename into place.
+    """Write a file via a private temp file and rename into place.
 
     ``writer`` receives the open text stream.  Used by the cache, the
-    fuzz corpus, and campaign checkpoints so that concurrent writers and
-    crashes leave either the old complete file or the new one — never a
-    truncated hybrid.
+    fuzz corpus, campaign checkpoints, and the serve job journal so that
+    concurrent writers and crashes leave either the old complete file or
+    a new complete one — never a truncated hybrid.
+
+    Concurrency contract (*per-key last-writer-wins*): every writer gets
+    its own ``mkstemp`` temp file (unique name, O_EXCL), fills and
+    fsyncs it privately, and only then publishes it with one atomic
+    :func:`os.replace` onto the shared path.  N processes racing on one
+    key therefore perform N disjoint writes and N atomic renames; the
+    final content is exactly one writer's complete payload, and every
+    concurrent reader observes some complete payload — interleaved or
+    torn entries are impossible by construction.  The temp name is
+    dot-prefixed so directory globs (corpus listings, store scans) never
+    observe half-written entries.
     """
     path = Path(path)
     handle, temp_name = tempfile.mkstemp(
-        dir=path.parent, prefix=path.name, suffix=".tmp"
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
     )
     try:
         with os.fdopen(handle, "w", encoding="utf-8") as stream:
             writer(stream)
+            stream.flush()
+            os.fsync(stream.fileno())
         os.replace(temp_name, path)
     except BaseException:
         try:
@@ -219,6 +232,10 @@ class HarnessStats:
     #: Final exception type per *failed* task (``"TimeoutError"`` for
     #: deadline expiries), e.g. ``{"RecoveryError": 2}``.
     failure_exception_types: Dict[str, int] = field(default_factory=dict)
+    #: Shared result-store counters (see repro.serve.store.ResultStore):
+    #: a hit is a shard served from any tenant's earlier computation.
+    store_hits: int = 0
+    store_misses: int = 0
 
     def merge(self, other: "HarnessStats") -> None:
         """Fold another stats object (e.g. a worker's) into this one."""
@@ -231,8 +248,46 @@ class HarnessStats:
             else:
                 setattr(self, name, mine + theirs)
 
+    def to_payload(self) -> Dict[str, object]:
+        """JSON-safe wire encoding (worker results, socket protocol).
+
+        Dict-valued counters are copied, so mutating the payload never
+        aliases the live stats object.
+        """
+        payload: Dict[str, object] = {}
+        for name in self.__dataclass_fields__:
+            value = getattr(self, name)
+            payload[name] = dict(value) if isinstance(value, dict) else value
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "HarnessStats":
+        """Rebuild stats from :meth:`to_payload` output.
+
+        Tolerant in both directions: fields missing from the payload
+        (written by an older worker) keep their defaults, and unknown
+        keys (written by a newer one) are ignored — so stats can cross
+        process and socket boundaries between mixed versions.
+        """
+        try:
+            known = {
+                name: payload[name]
+                for name in cls.__dataclass_fields__
+                if name in payload
+            }
+            return cls(**known)
+        except (TypeError, ValueError) as exc:
+            raise CacheError(f"malformed stats payload: {exc}") from exc
+
     def report(self) -> str:
         """Multi-line human-readable stats report."""
+        store_line = []
+        if self.store_hits or self.store_misses:
+            total = self.store_hits + self.store_misses
+            store_line.append(
+                f"  store:     {self.store_hits}/{total} shard(s) served "
+                f"from the shared result store"
+            )
         return "\n".join(
             [
                 "harness stats:",
@@ -267,6 +322,7 @@ class HarnessStats:
                     )
                 ),
             ]
+            + store_line
         )
 
 

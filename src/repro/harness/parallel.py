@@ -46,6 +46,32 @@ from repro.trace.io import dump, load
 Variant = Tuple[str, int, bool]
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Shared timeout/retry/backoff semantics for task executors.
+
+    One description of the resilience contract used by :func:`fan_out`
+    (grids, fuzz campaigns, sharded checking) and by the serve worker
+    pool (:mod:`repro.serve.workers`), so every executor retries and
+    times out identically: a task gets ``retries + 1`` attempts, waits
+    ``backoff * 2**attempt`` seconds before attempt ``attempt + 1``,
+    and (pool mode only) is abandoned past ``timeout`` seconds.
+    """
+
+    retries: int = 0
+    backoff: float = 0.1
+    timeout: Optional[float] = None
+
+    @property
+    def attempts(self) -> int:
+        """Total attempts a task may consume (first try included)."""
+        return max(0, self.retries) + 1
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before the attempt *after* 0-based ``attempt``."""
+        return self.backoff * (2 ** attempt)
+
+
 def fan_out(
     worker: Callable[[dict], dict],
     tasks: Sequence[dict],
@@ -86,9 +112,12 @@ def fan_out(
     mid-computation; its future is abandoned (the pool reaps it on
     shutdown) and the retry runs as a fresh submission.  Serial mode has
     no preemption, so ``timeout`` applies only in pool mode; retries
-    apply in both.
+    apply in both.  The (timeout, retries, backoff) triple is one
+    :class:`RetryPolicy` — the serve worker pool executes the same
+    contract asynchronously.
     """
-    retries = max(0, retries)
+    policy = RetryPolicy(retries=retries, backoff=backoff, timeout=timeout)
+    retries = policy.retries
 
     def record_attempt() -> None:
         if stats is not None:
@@ -127,7 +156,7 @@ def fan_out(
                 except Exception as exc:  # worker bug or corrupt task
                     if attempt < retries:
                         record_retry()
-                        time.sleep(backoff * (2 ** attempt))
+                        time.sleep(policy.delay(attempt))
                         continue
                     record_failure(
                         task,
@@ -197,7 +226,7 @@ def fan_out(
                 elif attempt < retries:
                     record_retry()
                     delayed.append(
-                        (task, attempt + 1, now + backoff * (2 ** attempt))
+                        (task, attempt + 1, now + policy.delay(attempt))
                     )
                 else:
                     record_failure(
@@ -217,7 +246,7 @@ def fan_out(
                         stats.task_timeouts += 1
                     record_retry()
                     delayed.append(
-                        (task, attempt + 1, now + backoff * (2 ** attempt))
+                        (task, attempt + 1, now + policy.delay(attempt))
                     )
                 else:
                     record_failure(
@@ -347,7 +376,7 @@ def _run_variant(task: dict) -> dict:
         "variant": task["variant"],
         "trace": buffer.getvalue(),
         "analyses": analyses,
-        "stats": asdict(runner.stats),
+        "stats": runner.stats.to_payload(),
     }
 
 
@@ -376,7 +405,7 @@ def _merge_variant(runner: ExperimentRunner, result: dict) -> None:
             cell.analysis_config(),
             analysis_from_payload(entry["payload"]),
         )
-    runner.stats.merge(HarnessStats(**result["stats"]))
+    runner.stats.merge(HarnessStats.from_payload(result["stats"]))
 
 
 def run_grid(

@@ -1,0 +1,119 @@
+"""Content-addressed shared result store for the checking service.
+
+Every shard the service executes — a pinned-prefix DPOR exploration, a
+batch of fuzz cases, one litmus program — is a pure function of its
+JSON-safe task dict, so its result can be addressed by the task's
+content digest and shared across tenants and daemon restarts.  The
+store unifies the addressing scheme already used by the harness disk
+cache (:func:`repro.harness.cache.content_digest`: canonical JSON,
+SHA-256) and the fuzz corpus: one digest primitive, one durability
+story (:func:`repro.harness.cache.atomic_write`), one degradation
+policy (corrupt entries quarantine to a **miss**, never a crash).
+
+Tenant identity is deliberately *absent* from shard keys: two tenants
+submitting the same (target, model, config, prefix) shard share one
+computation — the second submission is served from the store.  Hit and
+miss traffic is accounted on the shared
+:class:`~repro.harness.cache.HarnessStats` (``store_hits`` /
+``store_misses``) so ``repro status`` and the daemon's ``stats`` op can
+report how much work the store absorbed.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.harness.cache import (
+    DiskCache,
+    HarnessStats,
+    atomic_write,
+    content_digest,
+    quarantine_file,
+)
+
+_PathLike = Union[str, Path]
+
+#: Bump when the shard task or result encoding changes; old entries
+#: stop matching (their keys change) rather than deserializing wrongly.
+STORE_FORMAT_VERSION = 1
+
+
+def shard_key(task: Dict[str, object]) -> str:
+    """Content digest addressing one shard task's result.
+
+    ``task`` must be the exact JSON-safe dict handed to
+    :func:`repro.serve.workers.execute_shard` — everything that
+    determines the result (kind, target coordinates, bounds, prefix or
+    case specs) and nothing that does not (tenant, job id, timeouts).
+    """
+    return content_digest(
+        {
+            "kind": "serve-shard",
+            "version": STORE_FORMAT_VERSION,
+            "task": task,
+        }
+    )
+
+
+class ResultStore:
+    """Digest-addressed shard results rooted at one directory.
+
+    Reads degrade like the harness disk cache: a missing entry is a
+    miss, a corrupt entry is quarantined (``*.quarantined``) and
+    reported as a miss — a half-written or bit-rotted result must never
+    poison a job.  Writes go through :func:`atomic_write`, so racing
+    workers computing the same shard leave one complete payload
+    (per-key last-writer-wins; both computed the same pure function).
+    """
+
+    def __init__(
+        self, root: _PathLike, stats: Optional[HarnessStats] = None
+    ) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.stats = stats if stats is not None else HarnessStats()
+
+    def path_for(self, key: str) -> Path:
+        """File holding the shard result with content digest ``key``."""
+        return self.root / f"{key}.result.json"
+
+    def load(self, key: str) -> Optional[Dict[str, object]]:
+        """The stored result payload for ``key``, or None on a miss."""
+        path = self.path_for(key)
+        if not path.exists():
+            self.stats.store_misses += 1
+            return None
+        try:
+            with open(path, "r", encoding="utf-8") as stream:
+                payload = json.load(stream)
+        except (OSError, UnicodeDecodeError, json.JSONDecodeError) as exc:
+            self.stats.cache_evictions += 1
+            self.stats.store_misses += 1
+            quarantine_file(path, f"unreadable shard result: {exc}")
+            return None
+        if not isinstance(payload, dict):
+            self.stats.cache_evictions += 1
+            self.stats.store_misses += 1
+            quarantine_file(path, "shard result is not a JSON object")
+            return None
+        self.stats.store_hits += 1
+        return payload
+
+    def store(self, key: str, payload: Dict[str, object]) -> None:
+        """Persist one shard result under its task digest."""
+        atomic_write(
+            self.path_for(key),
+            lambda stream: json.dump(payload, stream, sort_keys=True),
+        )
+
+    def disk_cache(self) -> DiskCache:
+        """A harness :class:`DiskCache` sharing this store's root and
+        stats, so worker trace/analysis caching and shard results live
+        under one directory tree and one hit/miss account."""
+        return DiskCache(self.root / "cache", stats=self.stats)
+
+    def __len__(self) -> int:
+        """Complete entries currently on disk (quarantined ones not)."""
+        return sum(1 for _ in self.root.glob("*.result.json"))

@@ -4,10 +4,12 @@ import pytest
 
 from repro.check import (
     CheckConfig,
+    ShardMerge,
     check_shard_worker,
     check_target,
     check_target_sharded,
     enumerate_prefixes,
+    shard_tasks,
 )
 from repro.errors import ReproError
 from repro.fuzz import make_target
@@ -78,3 +80,90 @@ class TestShardedCheck:
             check_target_sharded(
                 "queue-cwl", 2, 1, config, jobs=2, shard_depth=2
             )
+
+
+class TestShardTasks:
+    def test_one_task_per_prefix_with_config_bounds(self):
+        config = CheckConfig(
+            models=MODELS, max_schedules=500, max_cuts_per_graph=128
+        )
+        tasks = shard_tasks("queue-cwl", 2, 1, config, shard_depth=2)
+        assert [tuple(task["prefix"]) for task in tasks] == [
+            (0, 0), (0, 1), (1, 0), (1, 1),
+        ]
+        for task in tasks:
+            assert task["target"] == "queue-cwl"
+            assert task["models"] == list(MODELS)
+            assert task["max_schedules"] == 500
+            assert task["max_cuts"] == 128
+            assert task["oracle"] == "invariant"
+
+
+class TestShardMerge:
+    """The merge accumulator, driven directly with wire payloads."""
+
+    def _good_payload(self, prefix):
+        return check_shard_worker(
+            {
+                "target": "queue-cwl",
+                "threads": 2,
+                "ops": 1,
+                "models": list(MODELS),
+                "prefix": list(prefix),
+                "max_schedules": None,
+                "max_cuts": 4096,
+                "stop_at_first": False,
+            }
+        )
+
+    def test_overrun_payload_becomes_failure_with_shard_context(self):
+        """An in-band overrun report must fail the merge, naming the
+        shard's prefix, even when every other shard succeeded."""
+        merge = ShardMerge()
+        merge.add(self._good_payload((0, 0)))
+        overrun = check_shard_worker(
+            {
+                "target": "queue-cwl",
+                "threads": 2,
+                "ops": 1,
+                "models": list(MODELS),
+                "prefix": [0, 1],
+                "max_schedules": 1,
+                "max_cuts": 4096,
+                "stop_at_first": False,
+            }
+        )
+        assert overrun["error"] is not None
+        merge.add(overrun)
+        assert merge.failures == [f"shard (0, 1): {overrun['error']}"]
+        with pytest.raises(ReproError, match=r"1 shard\(s\) failed.*\(0, 1\)"):
+            merge.finish()
+
+    def test_out_of_band_failure_recorded(self):
+        merge = ShardMerge()
+        merge.add_failure({"prefix": [1, 0]}, "worker crashed")
+        with pytest.raises(ReproError, match=r"shard \(1, 0\): worker crashed"):
+            merge.finish()
+
+    def test_merge_dedupes_and_sums_like_sharded_check(self):
+        """Feeding every shard payload through ShardMerge by hand must
+        reproduce check_target_sharded exactly: deduped violations,
+        summed stats, prefix-sorted reports."""
+        config = CheckConfig(models=MODELS, max_schedules=None)
+        tasks = shard_tasks("queue-cwl", 2, 1, config, shard_depth=2)
+        merge = ShardMerge()
+        # Deliberately out of order: finish() must sort the reports.
+        for task in reversed(tasks):
+            merge.add(check_shard_worker(task))
+        result, reports = merge.finish()
+        expected, expected_reports = check_target_sharded(
+            "queue-cwl", 2, 1, config, jobs=1, shard_depth=2
+        )
+        assert set(result.distinct) == set(expected.distinct)
+        assert result.stats.describe() == expected.stats.describe()
+        assert [r.prefix for r in reports] == [
+            r.prefix for r in expected_reports
+        ]
+        assert sum(r.violations for r in reports) == sum(
+            r.violations for r in expected_reports
+        )

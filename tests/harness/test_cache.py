@@ -1,6 +1,7 @@
 """Tests for the content-addressed on-disk trace/analysis cache."""
 
 import json
+from concurrent.futures import ProcessPoolExecutor
 
 import pytest
 
@@ -13,7 +14,17 @@ from repro.harness import (
     analysis_to_payload,
     workload_key,
 )
+from repro.harness.cache import HarnessStats, atomic_write
 from repro.queue.workload import WorkloadConfig
+
+
+def _hammer_key(task):
+    """Worker: write one key many times (module-level for the pool)."""
+    path, writer_id, rounds = task
+    for round_index in range(rounds):
+        payload = {"writer": writer_id, "round": round_index, "pad": "x" * 4096}
+        atomic_write(path, lambda stream: json.dump(payload, stream))
+    return writer_id
 
 
 @pytest.fixture
@@ -147,6 +158,92 @@ class TestDiskCache:
         result = analyze_graph(cwl_1t.trace, "epoch", config)
         cache.store_analysis(wconfig, "epoch", config, result)
         assert cache.load_analysis(wconfig, "epoch", config) is None
+
+
+class TestAtomicWriteConcurrency:
+    def test_eight_processes_hammering_one_key(self, tmp_path):
+        """Regression for the concurrent-writer race: N processes racing
+        ``atomic_write`` on a single key must leave exactly one complete
+        payload (last-writer-wins) and no stray temp files."""
+        path = tmp_path / "entry.json"
+        tasks = [(str(path), writer, 25) for writer in range(8)]
+        with ProcessPoolExecutor(max_workers=8) as pool:
+            assert sorted(pool.map(_hammer_key, tasks)) == list(range(8))
+        payload = json.loads(path.read_text())
+        assert payload["writer"] in range(8)
+        assert payload["round"] == 24
+        assert payload["pad"] == "x" * 4096
+        leftovers = [p for p in tmp_path.iterdir() if p != path]
+        assert leftovers == []
+
+    def test_failed_writer_leaves_old_entry_and_no_temp(self, tmp_path):
+        path = tmp_path / "entry.json"
+        atomic_write(path, lambda stream: stream.write('{"ok": true}'))
+
+        def explode(stream):
+            stream.write("half-written garbage")
+            raise RuntimeError("writer died")
+
+        with pytest.raises(RuntimeError, match="writer died"):
+            atomic_write(path, explode)
+        assert json.loads(path.read_text()) == {"ok": True}
+        assert [p for p in tmp_path.iterdir()] == [path]
+
+
+class TestHarnessStatsWire:
+    def test_merge_roundtrip_through_payload(self):
+        first = HarnessStats(
+            workload_runs=3,
+            trace_seconds=1.5,
+            task_attempts=7,
+            task_failures=2,
+            failure_exception_types={"TimeoutError": 1, "RecoveryError": 1},
+            store_hits=4,
+            store_misses=2,
+        )
+        second = HarnessStats(
+            analysis_runs=5,
+            task_attempts=1,
+            failure_exception_types={"TimeoutError": 2},
+            store_hits=1,
+        )
+        direct = HarnessStats()
+        direct.merge(first)
+        direct.merge(second)
+
+        rebuilt = HarnessStats()
+        for stats in (first, second):
+            wire = json.loads(json.dumps(stats.to_payload()))
+            rebuilt.merge(HarnessStats.from_payload(wire))
+        assert rebuilt == direct
+        assert rebuilt.failure_exception_types == {
+            "TimeoutError": 3,
+            "RecoveryError": 1,
+        }
+
+    def test_payload_copies_dict_counters(self):
+        stats = HarnessStats(failure_exception_types={"ValueError": 1})
+        payload = stats.to_payload()
+        payload["failure_exception_types"]["ValueError"] = 99
+        assert stats.failure_exception_types == {"ValueError": 1}
+
+    def test_missing_and_unknown_fields_tolerated(self):
+        rebuilt = HarnessStats.from_payload(
+            {"workload_runs": 2, "not_a_field": "ignored"}
+        )
+        assert rebuilt.workload_runs == 2
+        assert rebuilt.store_hits == 0
+
+    def test_malformed_payload_rejected(self):
+        from repro.errors import CacheError
+
+        with pytest.raises(CacheError):
+            HarnessStats.from_payload(["workload_runs"])
+
+    def test_report_mentions_store_only_when_used(self):
+        assert "store" not in HarnessStats().report()
+        used = HarnessStats(store_hits=3, store_misses=1)
+        assert "3/4 shard(s) served" in used.report()
 
 
 class TestRunnerIntegration:

@@ -1,0 +1,198 @@
+"""Tests for job specs, planning, merging, and the durable journal."""
+
+import json
+
+import pytest
+
+from repro.check import CheckConfig, check_target_sharded, shard_tasks
+from repro.errors import ReproError, ServeError
+from repro.fuzz.campaign import CampaignConfig, case_tasks
+from repro.serve import (
+    JobRecord,
+    job_id,
+    load_records,
+    merge_job,
+    plan_job,
+    save_record,
+    validate_spec,
+)
+from repro.serve.workers import execute_shard
+
+CHECK_SPEC = {"kind": "check", "target": "queue-cwl", "threads": 2, "ops": 1}
+FUZZ_SPEC = {
+    "kind": "fuzz",
+    "target": "queue-2lc-faithful",
+    "budget": 4,
+    "seed": 0,
+}
+
+
+class TestValidateSpec:
+    def test_valid_specs_pass_through(self):
+        assert validate_spec(CHECK_SPEC) is CHECK_SPEC
+        assert validate_spec(FUZZ_SPEC) is FUZZ_SPEC
+        assert validate_spec({"kind": "litmus", "programs": ["mp-clflush"]})
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ServeError, match="JSON object"):
+            validate_spec(["check"])
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ServeError, match="unknown job kind"):
+            validate_spec({"kind": "race"})
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ServeError, match="wibble"):
+            validate_spec({**CHECK_SPEC, "wibble": 1})
+
+    def test_missing_target_rejected(self):
+        with pytest.raises(ServeError, match="missing 'target'"):
+            validate_spec({"kind": "fuzz"})
+        with pytest.raises(ServeError, match="missing"):
+            validate_spec({"kind": "check", "target": "queue-cwl"})
+
+    def test_engine_rejections_become_serve_errors(self):
+        with pytest.raises(ServeError, match="invalid fuzz job spec"):
+            validate_spec({"kind": "fuzz", "target": "no-such-target"})
+
+    def test_unknown_litmus_program_rejected(self):
+        with pytest.raises(ServeError, match="unknown litmus program"):
+            validate_spec({"kind": "litmus", "programs": ["nope"]})
+
+    def test_bad_batch_rejected(self):
+        with pytest.raises(ServeError, match="batch"):
+            validate_spec({**FUZZ_SPEC, "batch": 0})
+
+
+class TestPlanJob:
+    def test_check_plan_matches_shard_tasks(self):
+        planned = plan_job(CHECK_SPEC)
+        direct = shard_tasks("queue-cwl", 2, 1, CheckConfig(), shard_depth=2)
+        for task in direct:
+            task["kind"] = "check"
+        assert planned == direct
+
+    def test_fuzz_plan_batches_case_tasks_in_order(self):
+        config = CampaignConfig(
+            target="queue-2lc-faithful", budget=4, seed=0
+        )
+        cases = case_tasks(config)
+        singles = plan_job(FUZZ_SPEC)
+        assert [task["cases"] for task in singles] == [[c] for c in cases]
+        pairs = plan_job({**FUZZ_SPEC, "batch": 3})
+        assert [task["cases"] for task in pairs] == [cases[:3], cases[3:]]
+
+    def test_litmus_plan_is_one_shard_per_program(self):
+        planned = plan_job(
+            {
+                "kind": "litmus",
+                "programs": ["mp-clflush", "sb-mfence"],
+                "models": ["epoch"],
+            }
+        )
+        assert [task["program"] for task in planned] == [
+            "mp-clflush",
+            "sb-mfence",
+        ]
+        assert all(task["kind"] == "litmus" for task in planned)
+
+    def test_plans_are_deterministic(self):
+        assert plan_job(FUZZ_SPEC) == plan_job(dict(FUZZ_SPEC))
+
+
+class TestMergeJob:
+    def test_check_merge_matches_sharded_cli_path(self):
+        payloads = [execute_shard(task) for task in plan_job(CHECK_SPEC)]
+        summary = merge_job(CHECK_SPEC, payloads)
+        result, reports = check_target_sharded(
+            "queue-cwl", 2, 1, CheckConfig(), jobs=1, shard_depth=2
+        )
+        assert summary["violations"] == len(result.distinct)
+        assert summary["schedules"] == result.stats.schedules
+        assert summary["cuts_checked"] == result.stats.cuts_checked
+        assert summary["shards"] == len(reports)
+
+    def test_check_merge_surfaces_overrun_failures(self):
+        spec = {**CHECK_SPEC, "max_schedules": 1}
+        payloads = [execute_shard(task) for task in plan_job(spec)]
+        assert any(p["error"] for p in payloads)
+        with pytest.raises(ReproError, match="shard"):
+            merge_job(spec, payloads)
+
+    def test_fuzz_merge_counts_cases_in_order(self):
+        payloads = [execute_shard(task) for task in plan_job(FUZZ_SPEC)]
+        summary = merge_job(FUZZ_SPEC, list(reversed(payloads)))
+        assert summary["cases"] == 4
+        assert summary["violations"] >= 0
+        assert "fuzz campaign" in summary["text"]
+
+    def test_litmus_merge_aggregates_reports(self):
+        spec = {
+            "kind": "litmus",
+            "programs": ["mp-clflush"],
+            "models": ["strict", "epoch"],
+        }
+        payloads = [execute_shard(task) for task in plan_job(spec)]
+        summary = merge_job(spec, payloads)
+        assert summary["programs"] == 1
+        assert summary["violations"] == 0  # no domain mismatches
+        assert summary["schedules"] > 0
+
+
+class TestJobRecord:
+    def test_payload_roundtrip(self):
+        record = JobRecord(
+            id=job_id("alice", 0, CHECK_SPEC),
+            tenant="alice",
+            seq=0,
+            spec=CHECK_SPEC,
+        )
+        rebuilt = JobRecord.from_payload(
+            json.loads(json.dumps(record.to_payload()))
+        )
+        assert rebuilt == record
+
+    def test_digest_guard_rejects_edited_spec(self):
+        record = JobRecord(
+            id=job_id("alice", 0, CHECK_SPEC),
+            tenant="alice",
+            seq=0,
+            spec=CHECK_SPEC,
+        )
+        payload = record.to_payload()
+        payload["spec"] = {**CHECK_SPEC, "ops": 99}
+        with pytest.raises(ServeError, match="digest mismatch"):
+            JobRecord.from_payload(payload)
+
+    def test_journal_roundtrip_and_corrupt_entry_skipped(self, tmp_path):
+        good = JobRecord(
+            id=job_id("alice", 0, CHECK_SPEC),
+            tenant="alice",
+            seq=0,
+            spec=CHECK_SPEC,
+        )
+        save_record(tmp_path, good)
+        (tmp_path / "deadbeef.json").write_text("{not json")
+        tampered = JobRecord(
+            id=job_id("bob", 1, FUZZ_SPEC),
+            tenant="bob",
+            seq=1,
+            spec=FUZZ_SPEC,
+        )
+        save_record(tmp_path, tampered)
+        payload = json.loads((tmp_path / f"{tampered.id}.json").read_text())
+        payload["tenant"] = "mallory"
+        (tmp_path / f"{tampered.id}.json").write_text(json.dumps(payload))
+        with pytest.warns(RuntimeWarning):
+            records = load_records(tmp_path)
+        assert records == [good]
+
+    def test_eta_projects_from_throughput(self):
+        record = JobRecord(id="x" * 16, tenant="t", seq=0, spec=CHECK_SPEC)
+        assert record.eta_seconds() is None  # not started
+        record.state = "running"
+        record.started_at = record.submitted_at - 10
+        record.shards_total = 4
+        record.shards_done = 2
+        eta = record.eta_seconds()
+        assert eta is not None and eta > 0

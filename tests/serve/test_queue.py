@@ -1,0 +1,225 @@
+"""Tests for fairness, work stealing, and the durable job queue."""
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve import (
+    JobQueue,
+    TokenBucket,
+    WorkStealingScheduler,
+    load_records,
+    shard_key,
+)
+from repro.serve.workers import execute_shard
+
+CHECK_SPEC = {"kind": "check", "target": "queue-cwl", "threads": 2, "ops": 1}
+LITMUS_SPEC = {"kind": "litmus", "programs": ["mp-clflush"]}
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_then_empty_then_refill(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=2.0, clock=clock)
+        assert bucket.take() and bucket.take()
+        assert not bucket.peek()
+        assert not bucket.take()
+        clock.advance(1.0)
+        assert bucket.peek()
+        assert bucket.take()
+        assert not bucket.take()
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=3.0, clock=clock)
+        clock.advance(100.0)
+        taken = 0
+        while bucket.take():
+            taken += 1
+            clock.advance(0.0)
+        assert taken == 3
+
+    def test_peek_consumes_nothing(self):
+        bucket = TokenBucket(rate=1.0, burst=1.0, clock=FakeClock())
+        for _ in range(5):
+            assert bucket.peek()
+        assert bucket.take()
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ServeError):
+            TokenBucket(rate=0, burst=1)
+        with pytest.raises(ServeError):
+            TokenBucket(rate=1, burst=-1)
+
+
+def _entry(tenant, job, index):
+    return {"tenant": tenant, "job": job, "index": index}
+
+
+class TestWorkStealingScheduler:
+    def test_round_robin_assignment_and_own_queue_first(self):
+        sched = WorkStealingScheduler(2)
+        entries = [_entry("a", "j", i) for i in range(4)]
+        sched.assign(entries)
+        # Slot 0 got shards 0 and 2; it drains them oldest-first.
+        assert sched.take(0, lambda t: True)["index"] == 0
+        assert sched.take(0, lambda t: True)["index"] == 2
+        assert sched.steals == 0
+
+    def test_idle_slot_steals_newest_from_longest_queue(self):
+        sched = WorkStealingScheduler(3)
+        sched.assign([_entry("a", "j", i) for i in range(5)])
+        # Queues: slot0=[0,3], slot1=[1,4], slot2=[2].
+        assert sched.take(2, lambda t: True)["index"] == 2
+        stolen = sched.take(2, lambda t: True)
+        assert stolen["index"] in (3, 4)  # back of a longest queue
+        assert sched.steals == 1
+
+    def test_ineligible_tenant_never_blocks_others(self):
+        sched = WorkStealingScheduler(1)
+        sched.assign(
+            [_entry("slowpoke", "j1", 0), _entry("speedy", "j2", 0)]
+        )
+        taken = sched.take(0, lambda tenant: tenant == "speedy")
+        assert taken["tenant"] == "speedy"
+        assert len(sched) == 1  # slowpoke's shard stays queued
+        assert sched.take(0, lambda tenant: False) is None
+
+    def test_drop_job_removes_only_that_job(self):
+        sched = WorkStealingScheduler(2)
+        sched.assign(
+            [_entry("a", "doomed", 0), _entry("a", "kept", 0),
+             _entry("a", "doomed", 1)]
+        )
+        assert sched.drop_job("doomed") == 2
+        assert len(sched) == 1
+        assert sched.take(1, lambda t: True)["job"] == "kept"
+
+
+class TestJobQueue:
+    def make_queue(self, tmp_path, **kwargs):
+        return JobQueue(tmp_path / "state", **kwargs)
+
+    def test_submit_validates_and_journals(self, tmp_path):
+        queue = self.make_queue(tmp_path)
+        record = queue.submit("alice", CHECK_SPEC)
+        assert record.state == "submitted"
+        assert (queue.jobs_dir / f"{record.id}.json").exists()
+        with pytest.raises(ServeError, match="unknown job kind"):
+            queue.submit("alice", {"kind": "nope"})
+        with pytest.raises(ServeError, match="tenant"):
+            queue.submit("", CHECK_SPEC)
+
+    def test_per_tenant_cap(self, tmp_path):
+        queue = self.make_queue(tmp_path, max_jobs_per_tenant=2)
+        queue.submit("alice", CHECK_SPEC)
+        queue.submit("alice", CHECK_SPEC)
+        with pytest.raises(ServeError, match="active job"):
+            queue.submit("alice", CHECK_SPEC)
+        queue.submit("bob", CHECK_SPEC)  # other tenants unaffected
+
+    def test_same_spec_same_tenant_distinct_jobs(self, tmp_path):
+        queue = self.make_queue(tmp_path)
+        first = queue.submit("alice", CHECK_SPEC)
+        second = queue.submit("alice", CHECK_SPEC)
+        assert first.id != second.id
+
+    def test_plan_run_merge_lifecycle(self, tmp_path):
+        queue = self.make_queue(tmp_path)
+        record = queue.submit("alice", LITMUS_SPEC)
+        pending = queue.plan(record)
+        assert record.state == "running"
+        assert record.shards_total == len(pending) == 1
+        assert record.store_misses == 1
+        entry = pending[0]
+        payload = execute_shard(entry["task"])
+        queue.shard_done(entry["job"], entry["index"], entry["key"], payload)
+        assert record.state == "done"
+        assert record.violations == 0
+        assert record.summary["programs"] == 1
+        # A replayed completion (retry raced a slow worker) is ignored.
+        queue.shard_done(entry["job"], entry["index"], entry["key"], payload)
+        assert record.shards_done == 1
+
+    def test_second_tenant_is_served_from_store(self, tmp_path):
+        queue = self.make_queue(tmp_path)
+        first = queue.submit("alice", LITMUS_SPEC)
+        for entry in queue.plan(first):
+            queue.shard_done(
+                entry["job"], entry["index"], entry["key"],
+                execute_shard(entry["task"]),
+            )
+        assert first.state == "done"
+        second = queue.submit("bob", LITMUS_SPEC)
+        assert queue.plan(second) == []  # every shard hits the store
+        assert second.state == "done"
+        assert second.store_hits == 1 and second.store_misses == 0
+        assert second.violations == first.violations
+        assert queue.stats.store_hits >= 1
+
+    def test_shard_failed_fails_the_job(self, tmp_path):
+        queue = self.make_queue(tmp_path)
+        record = queue.submit("alice", LITMUS_SPEC)
+        queue.plan(record)
+        queue.shard_failed(record.id, 0, "worker exploded")
+        assert record.state == "failed"
+        assert "worker exploded" in record.error
+        # Late results for a failed job are stored but change nothing.
+        queue.shard_done(record.id, 0, shard_key({"x": 1}), {"kind": "x"})
+        assert record.state == "failed"
+
+    def test_cancel(self, tmp_path):
+        queue = self.make_queue(tmp_path)
+        record = queue.submit("alice", CHECK_SPEC)
+        cancelled = queue.cancel(record.id)
+        assert cancelled.state == "cancelled"
+        # Cancelling a terminal job is a no-op, unknown ids are errors.
+        assert queue.cancel(record.id).state == "cancelled"
+        with pytest.raises(ServeError, match="unknown job"):
+            queue.cancel("feedfacefeedface")
+
+    def test_restart_resumes_interrupted_jobs(self, tmp_path):
+        queue = self.make_queue(tmp_path)
+        done = queue.submit("alice", LITMUS_SPEC)
+        for entry in queue.plan(done):
+            queue.shard_done(
+                entry["job"], entry["index"], entry["key"],
+                execute_shard(entry["task"]),
+            )
+        interrupted = queue.submit("alice", CHECK_SPEC)
+        queue.plan(interrupted)
+        assert interrupted.state == "running"
+
+        revived = self.make_queue(tmp_path)
+        assert set(revived.jobs) == {done.id, interrupted.id}
+        resumable = revived.resumable()
+        assert [record.id for record in resumable] == [interrupted.id]
+        assert resumable[0].state == "submitted"
+        assert revived.jobs[done.id].state == "done"
+        # Sequence numbers keep advancing past everything journaled.
+        fresh = revived.submit("alice", CHECK_SPEC)
+        assert fresh.seq > interrupted.seq
+
+    def test_corrupt_journal_entry_is_quarantined_on_load(self, tmp_path):
+        queue = self.make_queue(tmp_path)
+        record = queue.submit("alice", CHECK_SPEC)
+        path = queue.jobs_dir / f"{record.id}.json"
+        path.write_text("{broken")
+        with pytest.warns(RuntimeWarning):
+            revived = self.make_queue(tmp_path)
+        assert revived.jobs == {}
+        # The bad entry was moved aside, not deleted: a second load is
+        # clean and the bytes are kept for postmortem.
+        assert not path.exists()
+        assert load_records(queue.jobs_dir) == []
+        assert list(queue.jobs_dir.glob("*.quarantined"))
