@@ -6,8 +6,11 @@ model.  Regressions here make every experiment slower, so they are
 tracked with pytest-benchmark like any kernel.
 """
 
+import pytest
+
 from repro.check import CheckConfig, check_target
-from repro.core import analyze, analyze_graph
+from repro.core import AnalysisConfig, StreamingAnalyzer, analyze, analyze_graph
+from repro.gpu.lanes import iter_lane_chunks
 from repro.harness import DEFAULT_COST_MODEL
 from repro.queue import run_insert_workload
 
@@ -52,6 +55,40 @@ def test_frozenset_graph_throughput(runner, benchmark):
     """The frozenset reference domain, for the speedup ratio."""
     trace = runner.workload("cwl", 8, False).trace
     result = benchmark(lambda: analyze_graph(trace, "epoch", domain="graph"))
+    assert result.critical_path > 0
+
+
+#: Streaming benchmark sizing: a 64-lane scoped gpu-lanes trace
+#: (~63k events) at cache-line granularity — big enough that per-event
+#: overhead dominates, small enough for pytest-benchmark rounds.
+_STREAM_LANES = 64
+_STREAM_CONFIG = AnalysisConfig(
+    coalescing=True, persist_granularity=64, tracking_granularity=64
+)
+
+
+@pytest.fixture(scope="module")
+def lane_chunks():
+    return list(iter_lane_chunks(_STREAM_LANES, 109, 8, 32))
+
+
+def _stream(chunks):
+    analyzer = StreamingAnalyzer("epoch", _STREAM_CONFIG)
+    for chunk in chunks:
+        analyzer.feed(chunk)
+    return analyzer.finish()
+
+
+def test_streaming_columnar_throughput(lane_chunks, benchmark):
+    """Chunked columnar analysis — the streaming fast path."""
+    result = benchmark(lambda: _stream(lane_chunks))
+    assert result.critical_path > 0
+
+
+def test_batch_event_throughput(lane_chunks, benchmark):
+    """One-shot analyze() over materialized events, for the ratio."""
+    events = [event for chunk in lane_chunks for event in chunk]
+    result = benchmark(lambda: analyze(events, "epoch", _STREAM_CONFIG))
     assert result.critical_path > 0
 
 

@@ -190,14 +190,44 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 def cmd_analyze(args: argparse.Namespace) -> int:
     """Analyze a saved trace under one or more persistency models."""
-    trace = load_file(args.trace)
     config = AnalysisConfig(
         persist_granularity=args.persist_granularity,
         tracking_granularity=args.tracking_granularity,
         coalescing=not args.no_coalescing,
     )
-    operations = trace.count_marks(args.op_mark) or None
     models = args.model or sorted(MODELS)
+    streamed = {}
+    if args.stream:
+        if args.wear:
+            print("--wear needs the full trace; drop --stream", file=sys.stderr)
+            return 2
+        # One bounded-memory pass per model: the reader decodes columnar
+        # chunks straight off the file and the streaming analyzer retires
+        # them, so the event list never exists.  Operation marks are
+        # counted from the first pass's (sparse) info columns.
+        from repro.core.analysis import StreamingAnalyzer
+        from repro.trace.columnar import CODE_MARK
+        from repro.trace.io import TraceReader
+
+        operations = 0
+        for index, model in enumerate(models):
+            analyzer = StreamingAnalyzer(model, config, domain=args.domain)
+            with TraceReader(args.trace) as reader:
+                for chunk in reader.chunks(args.chunk_size):
+                    if index == 0 and chunk.infos:
+                        kinds = chunk.kinds
+                        operations += sum(
+                            1
+                            for local, text in chunk.infos.items()
+                            if text == args.op_mark
+                            and kinds[local] == CODE_MARK
+                        )
+                    analyzer.feed(chunk)
+            streamed[model] = analyzer.finish()
+        operations = operations or None
+    else:
+        trace = load_file(args.trace)
+        operations = trace.count_marks(args.op_mark) or None
     print(
         f"{'model':>8} {'critical_path':>14} {'persists':>9} "
         f"{'coalesced':>10}"
@@ -205,7 +235,11 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         + (f" {'max_wear':>9} {'write_cut':>10}" if args.wear else "")
     )
     for model in models:
-        result = analyze(trace, model, config)
+        result = (
+            streamed[model]
+            if args.stream
+            else analyze(trace, model, config, domain=args.domain)
+        )
         row = (
             f"{model:>8} {result.critical_path:>14} "
             f"{result.persist_count:>9} {result.coalesced:>10}"
@@ -960,6 +994,24 @@ def build_parser() -> argparse.ArgumentParser:
     analyze_parser.add_argument("--persist-granularity", type=int, default=8)
     analyze_parser.add_argument("--tracking-granularity", type=int, default=8)
     analyze_parser.add_argument("--no-coalescing", action="store_true")
+    analyze_parser.add_argument(
+        "--domain",
+        choices=("level", "graph", "bitset"),
+        default=None,
+        help="dependency domain (default: level, the scalar fast path)",
+    )
+    analyze_parser.add_argument(
+        "--stream",
+        action="store_true",
+        help="stream the trace in columnar chunks (bounded memory; "
+        "incompatible with --wear)",
+    )
+    analyze_parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        help="events per streamed chunk (with --stream)",
+    )
     analyze_parser.add_argument(
         "--op-mark",
         default=INSERT_MARK,

@@ -13,19 +13,54 @@ logging/indirection hardware), persists coalesce with the pending persist
 to their atomic block when no ordering constraint is violated, and
 dependences propagate at a configurable granularity, so that persistent
 false sharing (Figure 5) and atomic persist size (Figure 4) can be swept.
+
+Two entry points share one engine:
+
+* :func:`analyze` — one-shot over an in-memory trace (the original API;
+  now a thin wrapper).
+* :class:`StreamingAnalyzer` — resumable: feed events, whole traces, or
+  struct-of-arrays :class:`~repro.trace.columnar.ColumnarChunk` batches
+  in any mix, then :meth:`~StreamingAnalyzer.finish`.  The chunk path
+  dispatches on integer kind codes (no enum identity chains), batches
+  maximal same-block persistent-store runs into one domain call, and —
+  with a ``node_sink`` — retires sealed persists' write payloads so
+  resident memory is bounded by the dependence frontier, not by trace
+  length.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Union
+from typing import Callable, Dict, Iterable, Optional, Union
 
 from repro.core.bitgraph import BitsetGraphDomain
-from repro.core.lattice import DependencyDomain, GraphDomain, LevelDomain
+from repro.core.lattice import (
+    DependencyDomain,
+    GraphDomain,
+    LevelDomain,
+    PersistNode,
+)
 from repro.core.model import PersistencyModel, make_model
 from repro.errors import AnalysisError
 from repro.memory import layout
-from repro.trace.events import EventKind
+from repro.trace.columnar import (
+    CODE_CLFLUSH,
+    CODE_CLFLUSH_OPT,
+    CODE_CLWB,
+    CODE_FENCE,
+    CODE_LOAD,
+    CODE_NEW_STRAND,
+    CODE_PERSIST_BARRIER,
+    CODE_RMW,
+    CODE_SFENCE,
+    CODE_STORE,
+    FLAG_PERSISTENT,
+    HAVE_NUMPY,
+    ColumnarChunk,
+    ColumnarTrace,
+)
+from repro.trace.columnar import _np
+from repro.trace.events import EventKind, MemoryEvent
 from repro.trace.trace import Trace
 
 
@@ -120,6 +155,566 @@ def make_domain(name: str) -> DependencyDomain:
     return factory()
 
 
+class _ChunkStore:
+    """Duck-typed stand-in for a store :class:`MemoryEvent`.
+
+    The DAG domains only read ``thread``/``seq``/``addr`` and call
+    ``data_bytes()`` when registering a persist; reconstructing (and
+    re-validating) a full frozen dataclass per persist would dominate the
+    chunk fast path.
+    """
+
+    __slots__ = ("seq", "thread", "addr", "size", "value")
+
+    def __init__(self, seq: int, thread: int, addr: int, size: int, value: int):
+        self.seq = seq
+        self.thread = thread
+        self.addr = addr
+        self.size = size
+        self.value = value
+
+    def data_bytes(self) -> bytes:
+        return self.value.to_bytes(self.size, "little")
+
+
+class StreamingAnalyzer:
+    """Resumable persist-ordering analysis over an event stream.
+
+    Construct with a model/config/domain (same conventions as
+    :func:`analyze`), :meth:`feed` any mix of event iterables, traces,
+    columnar traces, or single :class:`ColumnarChunk` batches — in trace
+    order — then call :meth:`finish` for the :class:`AnalysisResult`.
+
+    State between feeds is exactly the engine's dependence frontier: the
+    per-block last-writer/reader values, the pending (still-coalescible)
+    persist per atomic block, and the model's per-thread state.  Nothing
+    retained grows with trace length, so million-event traces stream in
+    bounded memory (on the scalar level domain; DAG domains additionally
+    keep one node per persist — see ``node_sink``).
+
+    ``node_sink``: optional callable invoked with each DAG
+    :class:`PersistNode` the moment it is *sealed* (its atomic block got
+    a new pending persist, so no later store can coalesce into it; the
+    remainder are sealed by :meth:`finish`).  After the callback the
+    node's ``writes`` payload is dropped to keep resident memory bounded
+    by the pending frontier — the in-memory graph keeps its structure
+    (deps, levels, critical path) but no longer supports recovery
+    imaging.  Ignored on the level domain, which has no nodes.
+    """
+
+    def __init__(
+        self,
+        model: Union[str, PersistencyModel],
+        config: Optional[AnalysisConfig] = None,
+        domain: Union[str, DependencyDomain, None] = None,
+        node_sink: Optional[Callable[[PersistNode], None]] = None,
+    ) -> None:
+        if isinstance(model, str):
+            model = make_model(model)
+        config = config or AnalysisConfig()
+        config.validate()
+        if domain is None:
+            domain = LevelDomain()
+        elif isinstance(domain, str):
+            domain = make_domain(domain)
+        model.reset(domain)
+        self.model = model
+        self.config = config
+        self.domain = domain
+        self._graph = domain if isinstance(domain, GraphDomain) else None
+        self._node_sink = node_sink if self._graph is not None else None
+
+        self._write_dep: Dict[int, object] = {}
+        self._read_dep: Dict[int, object] = {}
+        self._pending: Dict[int, object] = {}
+        self._block_writes: Dict[int, int] = {}
+        self._events = 0
+        self._persist_stores = 0
+        self._coalesced = 0
+        self._barriers = 0
+        self._strands = 0
+        self._finished = False
+
+    @property
+    def events_fed(self) -> int:
+        """Number of events consumed so far."""
+        return self._events
+
+    def _seal(self, token: int) -> None:
+        """Emit a no-longer-coalescible DAG node and drop its payload."""
+        node = self._graph.nodes[token]
+        self._node_sink(node)
+        node.writes.clear()
+
+    # -- feeding ------------------------------------------------------------
+
+    def feed(self, source) -> "StreamingAnalyzer":
+        """Consume more of the trace; returns self for chaining.
+
+        ``source`` may be a :class:`ColumnarChunk`, a
+        :class:`ColumnarTrace`, a :class:`Trace`, or any iterable of
+        :class:`MemoryEvent`.  Events must arrive in SC trace order
+        across all feed calls.
+        """
+        if self._finished:
+            raise AnalysisError("cannot feed a finished StreamingAnalyzer")
+        if isinstance(source, ColumnarChunk):
+            self._feed_chunk(source)
+        elif isinstance(source, ColumnarTrace):
+            for chunk in source.chunks():
+                self._feed_chunk(chunk)
+        else:
+            self._feed_events(source)
+        return self
+
+    def finish(self) -> AnalysisResult:
+        """Seal remaining state and return the analysis result."""
+        if self._finished:
+            raise AnalysisError("StreamingAnalyzer.finish() called twice")
+        self._finished = True
+        if self._node_sink is not None:
+            for token in self._pending.values():
+                self._seal(token)
+        domain = self.domain
+        return AnalysisResult(
+            model=self.model.name,
+            config=self.config,
+            critical_path=domain.critical_path(),
+            persist_count=domain.persist_count,
+            persist_stores=self._persist_stores,
+            coalesced=self._coalesced,
+            events=self._events,
+            barriers=self._barriers,
+            strands=self._strands,
+            level_histogram=domain.level_histogram(),
+            block_writes=self._block_writes,
+            graph=self._graph,
+        )
+
+    # -- event path (reference) ---------------------------------------------
+
+    def _feed_events(self, events: Iterable[MemoryEvent]) -> None:
+        """Per-event reference path: plain traces and event iterables."""
+        model = self.model
+        domain = self.domain
+        config = self.config
+        persist_gran = config.persist_granularity
+        tracking_gran = config.tracking_granularity
+        coalescing = config.coalescing
+        detect_lbs = model.detect_load_before_store
+        track_volatile = model.track_volatile_conflicts
+        sink = self._node_sink
+
+        join = domain.join
+        write_dep = self._write_dep
+        read_dep = self._read_dep
+        pending = self._pending
+        block_writes = self._block_writes
+
+        count = 0
+        persist_stores = self._persist_stores
+        coalesced = self._coalesced
+        barriers = self._barriers
+        strands = self._strands
+
+        for event in events:
+            count += 1
+            kind = event.kind
+            if kind is EventKind.PERSIST_BARRIER:
+                barriers += 1
+                model.on_barrier(event.thread)
+                continue
+            if kind is EventKind.NEW_STRAND:
+                strands += 1
+                model.on_new_strand(event.thread)
+                continue
+            if kind is EventKind.SFENCE or kind is EventKind.FENCE:
+                # An mfence carries sfence semantics on x86 (commits the
+                # thread's outstanding weak flushes); the SC models ignore
+                # both.
+                model.on_sfence(event.thread)
+                continue
+            if event.is_flush:
+                # The flushed line's persist chain is whatever the last
+                # persist to each covered tracking block depends on (which
+                # transitively includes the whole same-block chain).
+                first = event.addr // tracking_gran
+                last = (event.addr + event.size - 1) // tracking_gran
+                deps = None
+                if last - first >= len(write_dep):
+                    # Wide flush over a sparse chain map: walk the blocks
+                    # that actually have chains instead of the whole
+                    # flushed range (join is commutative/associative, so
+                    # visiting map order is equivalent to block order).
+                    for block, chain in write_dep.items():
+                        if first <= block <= last:
+                            deps = chain if deps is None else join(deps, chain)
+                else:
+                    for block in range(first, last + 1):
+                        chain = write_dep.get(block)
+                        if chain is not None:
+                            deps = chain if deps is None else join(deps, chain)
+                if deps is not None:
+                    model.on_flush(
+                        event.thread,
+                        deps,
+                        synchronous=kind is EventKind.CLFLUSH,
+                    )
+                continue
+            if not event.is_access:
+                continue
+
+            thread = event.thread
+            if kind is EventKind.RMW or event.info == "rmw-fail":
+                # Atomics are fences on x86 — even a failed CAS (traced as a
+                # LOAD tagged "rmw-fail") commits outstanding weak flushes.
+                model.on_sfence(thread)
+            # Store-buffer-forwarded loads (TSO machines) never touched
+            # memory: they observe the thread's own pending store, an
+            # ordering program order already provides.
+            tracked = (
+                (event.persistent or track_volatile)
+                and event.info != "sb-forward"
+            )
+            observed = model.thread_in(thread)
+            tblock = event.addr // tracking_gran
+            store_like = event.is_store_like
+            if tracked:
+                last_write = write_dep.get(tblock)
+                if last_write is not None:
+                    observed = join(observed, last_write)
+                if store_like and detect_lbs:
+                    reads = read_dep.get(tblock)
+                    if reads is not None:
+                        observed = join(observed, reads)
+
+            value_after = observed
+            if event.is_persist:
+                persist_stores += 1
+                pblock = event.addr // persist_gran
+                token = pending.get(pblock)
+                if (
+                    coalescing
+                    and token is not None
+                    and domain.leq(observed, token)
+                ):
+                    domain.coalesce(token, event)
+                    coalesced += 1
+                else:
+                    deps = observed
+                    if token is not None:
+                        deps = join(deps, domain.value_of(token))
+                        if sink is not None:
+                            self._seal(token)
+                    token = domain.persist(deps, event)
+                    pending[pblock] = token
+                    block_writes[pblock] = block_writes.get(pblock, 0) + 1
+                value_after = domain.value_of(token)
+
+            if tracked:
+                if store_like:
+                    write_dep[tblock] = value_after
+                    read_dep.pop(tblock, None)
+                else:
+                    reads = read_dep.get(tblock)
+                    read_dep[tblock] = (
+                        value_after if reads is None else join(reads, value_after)
+                    )
+            model.absorb(thread, value_after)
+
+        self._events += count
+        self._persist_stores = persist_stores
+        self._coalesced = coalesced
+        self._barriers = barriers
+        self._strands = strands
+
+    # -- chunk path (columnar fast path) ------------------------------------
+
+    def _feed_chunk(self, chunk: ColumnarChunk) -> None:
+        """Columnar fast path: table dispatch on kind codes plus batched
+        same-block coalescing runs.
+
+        A *run* is a maximal sequence of consecutive plain persistent
+        STOREs from one thread into one tracking block and one atomic
+        persist block (no info annotations).  After the first store of a
+        run is processed generically, every later store of the run is
+        guaranteed to coalesce into the same pending persist: its
+        observed value is ``join(thread_in, write_dep[block])``, both of
+        which the first store already folded below the pending token, and
+        ``absorb`` is an idempotent join (``PersistencyModel.
+        absorb_is_join``), so re-absorbing the unchanged token value is a
+        no-op.  The whole tail therefore commits as one
+        ``coalesce_run`` + counter bump, with no per-event domain calls.
+        """
+        n = len(chunk)
+        if not n:
+            return
+        model = self.model
+        domain = self.domain
+        config = self.config
+        tracking_gran = config.tracking_granularity
+        persist_gran = config.persist_granularity
+        coalescing = config.coalescing
+        detect_lbs = model.detect_load_before_store
+        track_volatile = model.track_volatile_conflicts
+        sink = self._node_sink
+        # Run batching needs the absorb-is-a-join model contract; without
+        # coalescing every run store creates its own chained persist, so
+        # there is nothing to batch.
+        batch_runs = coalescing and model.absorb_is_join
+
+        join = domain.join
+        leq = domain.leq
+        value_of = domain.value_of
+        do_persist = domain.persist
+        do_coalesce = domain.coalesce
+        do_coalesce_run = domain.coalesce_run
+        thread_in = model.thread_in
+        absorb = model.absorb
+        on_barrier = model.on_barrier
+        on_new_strand = model.on_new_strand
+        on_sfence = model.on_sfence
+        on_flush = model.on_flush
+        needs_payload = self._graph is not None
+
+        write_dep = self._write_dep
+        read_dep = self._read_dep
+        pending = self._pending
+        block_writes = self._block_writes
+        persist_stores = self._persist_stores
+        coalesced = self._coalesced
+        barriers = self._barriers
+        strands = self._strands
+
+        base_seq = chunk.base_seq
+        # Bulk-convert the columns once: list indexing is far cheaper than
+        # repeated typed-array __getitem__ boxing in the inner loop.
+        kinds = chunk.kinds.tolist()
+        threads = chunk.threads.tolist()
+        addrs = chunk.addrs.tolist()
+        sizes = chunk.sizes.tolist()
+        values = chunk.values.tolist()
+        flags = chunk.flags.tolist()
+        infos = chunk.infos
+        info_get = infos.get
+
+        # Granularities are validated powers of two: block ids via shifts.
+        tshift = tracking_gran.bit_length() - 1
+        pshift = persist_gran.bit_length() - 1
+        # Vectorised (numpy) precomputation: block-id columns, run
+        # eligibility, and — for run batching — ``run_end``, mapping each
+        # index to one past the end of its maximal run group.  Adjacent
+        # events share a group when both are run-eligible with equal
+        # thread / tracking block / persist block; group equality is
+        # transitive over adjacent pairs, so ``run_end[head]`` lands
+        # exactly where the scalar forward scan would stop.
+        run_end = None
+        if HAVE_NUMPY:
+            cols = chunk.columns()
+            addrs_np = cols[2]
+            tb_np = addrs_np >> tshift
+            pb_np = addrs_np >> pshift
+            tb = tb_np.tolist()
+            pb = pb_np.tolist()
+            run_ok_np = (cols[0] == CODE_STORE) & (
+                (cols[5] & FLAG_PERSISTENT) != 0
+            )
+            if infos:
+                run_ok_np[list(infos)] = False
+            run_ok = run_ok_np.tolist()
+            if batch_runs and n > 1:
+                same = (
+                    run_ok_np[1:]
+                    & run_ok_np[:-1]
+                    & (cols[1][1:] == cols[1][:-1])
+                    & (tb_np[1:] == tb_np[:-1])
+                    & (pb_np[1:] == pb_np[:-1])
+                )
+                group = _np.zeros(n, dtype=_np.int64)
+                _np.cumsum(~same, out=group[1:])
+                bounds = _np.append(_np.flatnonzero(~same) + 1, n)
+                run_end = bounds[group].tolist()
+        else:
+            tb = [addr >> tshift for addr in addrs]
+            pb = [addr >> pshift for addr in addrs]
+            run_ok = [
+                kinds[i] == CODE_STORE
+                and flags[i] & FLAG_PERSISTENT
+                and i not in infos
+                for i in range(n)
+            ]
+
+        i = 0
+        while i < n:
+            code = kinds[i]
+            if code == CODE_STORE or code == CODE_LOAD or code == CODE_RMW:
+                thread = threads[i]
+                info = info_get(i, "") if infos else ""
+                if code == CODE_RMW or info == "rmw-fail":
+                    on_sfence(thread)
+                persistent = flags[i] & FLAG_PERSISTENT
+                tracked = (
+                    (persistent or track_volatile) and info != "sb-forward"
+                )
+                observed = thread_in(thread)
+                tblock = tb[i]
+                store_like = code != CODE_LOAD
+                if tracked:
+                    last_write = write_dep.get(tblock)
+                    if last_write is not None:
+                        observed = join(observed, last_write)
+                    if store_like and detect_lbs:
+                        reads = read_dep.get(tblock)
+                        if reads is not None:
+                            observed = join(observed, reads)
+
+                value_after = observed
+                token = None
+                if store_like and persistent:
+                    persist_stores += 1
+                    pblock = pb[i]
+                    token = pending.get(pblock)
+                    if (
+                        coalescing
+                        and token is not None
+                        and leq(observed, token)
+                    ):
+                        if needs_payload:
+                            do_coalesce(
+                                token,
+                                _ChunkStore(
+                                    base_seq + i,
+                                    thread,
+                                    addrs[i],
+                                    sizes[i],
+                                    values[i],
+                                ),
+                            )
+                        coalesced += 1
+                    else:
+                        deps = observed
+                        if token is not None:
+                            deps = join(deps, value_of(token))
+                            if sink is not None:
+                                self._seal(token)
+                        token = do_persist(
+                            deps,
+                            _ChunkStore(
+                                base_seq + i,
+                                thread,
+                                addrs[i],
+                                sizes[i],
+                                values[i],
+                            )
+                            if needs_payload
+                            else _NO_PAYLOAD,
+                        )
+                        pending[pblock] = token
+                        block_writes[pblock] = block_writes.get(pblock, 0) + 1
+                    value_after = value_of(token)
+
+                if tracked:
+                    if store_like:
+                        write_dep[tblock] = value_after
+                        read_dep.pop(tblock, None)
+                    else:
+                        reads = read_dep.get(tblock)
+                        read_dep[tblock] = (
+                            value_after
+                            if reads is None
+                            else join(reads, value_after)
+                        )
+                absorb(thread, value_after)
+                i += 1
+
+                # Same-block run batching (see docstring for soundness).
+                if batch_runs and token is not None and run_ok[i - 1]:
+                    start = i
+                    if run_end is not None:
+                        i = run_end[start - 1]
+                    else:
+                        run_tb = tblock
+                        run_pb = pblock
+                        while (
+                            i < n
+                            and run_ok[i]
+                            and threads[i] == thread
+                            and pb[i] == run_pb
+                            and tb[i] == run_tb
+                        ):
+                            i += 1
+                    rest = i - start
+                    if rest:
+                        persist_stores += rest
+                        coalesced += rest
+                        if needs_payload:
+                            do_coalesce_run(
+                                token,
+                                [
+                                    (
+                                        addrs[k],
+                                        values[k].to_bytes(
+                                            sizes[k], "little"
+                                        ),
+                                    )
+                                    for k in range(start, i)
+                                ],
+                            )
+                continue
+            if code == CODE_PERSIST_BARRIER:
+                barriers += 1
+                on_barrier(threads[i])
+                i += 1
+                continue
+            if (
+                code == CODE_CLFLUSH
+                or code == CODE_CLFLUSH_OPT
+                or code == CODE_CLWB
+            ):
+                addr = addrs[i]
+                first = addr >> tshift
+                last = (addr + sizes[i] - 1) >> tshift
+                deps = None
+                if last - first >= len(write_dep):
+                    for block, chain in write_dep.items():
+                        if first <= block <= last:
+                            deps = chain if deps is None else join(deps, chain)
+                else:
+                    for block in range(first, last + 1):
+                        chain = write_dep.get(block)
+                        if chain is not None:
+                            deps = chain if deps is None else join(deps, chain)
+                if deps is not None:
+                    on_flush(
+                        threads[i], deps, synchronous=code == CODE_CLFLUSH
+                    )
+                i += 1
+                continue
+            if code == CODE_SFENCE or code == CODE_FENCE:
+                on_sfence(threads[i])
+                i += 1
+                continue
+            if code == CODE_NEW_STRAND:
+                strands += 1
+                on_new_strand(threads[i])
+                i += 1
+                continue
+            # PERSIST_SYNC / MALLOC / FREE / THREAD_* / MARK: no ordering
+            # effect on the analyzers.
+            i += 1
+
+        self._events += n
+        self._persist_stores = persist_stores
+        self._coalesced = coalesced
+        self._barriers = barriers
+        self._strands = strands
+
+
+#: Placeholder event for level-domain persists: the domain never touches
+#: the event, so the chunk path avoids building one per persist.
+_NO_PAYLOAD = None
+
+
 def analyze(
     trace: Trace,
     model: Union[str, PersistencyModel],
@@ -135,142 +730,12 @@ def analyze(
     ``"graph"``, ``"bitset"``) to choose how dependences are represented —
     ``"bitset"`` additionally materialises the persist DAG on packed
     integer masks, ``"graph"`` on reference frozensets.
+
+    ``trace`` may equally be a :class:`~repro.trace.columnar.
+    ColumnarTrace`, which takes the streaming chunk fast path; results
+    are identical either way (the parity property suite asserts this).
     """
-    if isinstance(model, str):
-        model = make_model(model)
-    config = config or AnalysisConfig()
-    config.validate()
-    if domain is None:
-        domain = LevelDomain()
-    elif isinstance(domain, str):
-        domain = make_domain(domain)
-    model.reset(domain)
-
-    persist_gran = config.persist_granularity
-    tracking_gran = config.tracking_granularity
-    coalescing = config.coalescing
-    detect_lbs = model.detect_load_before_store
-    track_volatile = model.track_volatile_conflicts
-
-    join = domain.join
-    bottom = domain.bottom
-    write_dep: Dict[int, object] = {}
-    read_dep: Dict[int, object] = {}
-    pending: Dict[int, object] = {}
-    block_writes: Dict[int, int] = {}
-
-    persist_stores = 0
-    coalesced = 0
-    barriers = 0
-    strands = 0
-
-    for event in trace:
-        kind = event.kind
-        if kind is EventKind.PERSIST_BARRIER:
-            barriers += 1
-            model.on_barrier(event.thread)
-            continue
-        if kind is EventKind.NEW_STRAND:
-            strands += 1
-            model.on_new_strand(event.thread)
-            continue
-        if kind is EventKind.SFENCE or kind is EventKind.FENCE:
-            # An mfence carries sfence semantics on x86 (commits the
-            # thread's outstanding weak flushes); the SC models ignore
-            # both.
-            model.on_sfence(event.thread)
-            continue
-        if event.is_flush:
-            # The flushed line's persist chain is whatever the last
-            # persist to each covered tracking block depends on (which
-            # transitively includes the whole same-block chain).
-            first = event.addr // tracking_gran
-            last = (event.addr + event.size - 1) // tracking_gran
-            deps = None
-            for block in range(first, last + 1):
-                chain = write_dep.get(block)
-                if chain is not None:
-                    deps = chain if deps is None else join(deps, chain)
-            if deps is not None:
-                model.on_flush(
-                    event.thread,
-                    deps,
-                    synchronous=kind is EventKind.CLFLUSH,
-                )
-            continue
-        if not event.is_access:
-            continue
-
-        thread = event.thread
-        if kind is EventKind.RMW or event.info == "rmw-fail":
-            # Atomics are fences on x86 — even a failed CAS (traced as a
-            # LOAD tagged "rmw-fail") commits outstanding weak flushes.
-            model.on_sfence(thread)
-        # Store-buffer-forwarded loads (TSO machines) never touched
-        # memory: they observe the thread's own pending store, an
-        # ordering program order already provides.
-        tracked = (
-            (event.persistent or track_volatile)
-            and event.info != "sb-forward"
-        )
-        observed = model.thread_in(thread)
-        tblock = event.addr // tracking_gran
-        store_like = event.is_store_like
-        if tracked:
-            last_write = write_dep.get(tblock)
-            if last_write is not None:
-                observed = join(observed, last_write)
-            if store_like and detect_lbs:
-                reads = read_dep.get(tblock)
-                if reads is not None:
-                    observed = join(observed, reads)
-
-        value_after = observed
-        if event.is_persist:
-            persist_stores += 1
-            pblock = event.addr // persist_gran
-            token = pending.get(pblock)
-            if (
-                coalescing
-                and token is not None
-                and domain.leq(observed, token)
-            ):
-                domain.coalesce(token, event)
-                coalesced += 1
-            else:
-                deps = observed
-                if token is not None:
-                    deps = join(deps, domain.value_of(token))
-                token = domain.persist(deps, event)
-                pending[pblock] = token
-                block_writes[pblock] = block_writes.get(pblock, 0) + 1
-            value_after = domain.value_of(token)
-
-        if tracked:
-            if store_like:
-                write_dep[tblock] = value_after
-                read_dep.pop(tblock, None)
-            else:
-                reads = read_dep.get(tblock)
-                read_dep[tblock] = (
-                    value_after if reads is None else join(reads, value_after)
-                )
-        model.absorb(thread, value_after)
-
-    return AnalysisResult(
-        model=model.name,
-        config=config,
-        critical_path=domain.critical_path(),
-        persist_count=domain.persist_count,
-        persist_stores=persist_stores,
-        coalesced=coalesced,
-        events=len(trace),
-        barriers=barriers,
-        strands=strands,
-        level_histogram=domain.level_histogram(),
-        block_writes=block_writes,
-        graph=domain if isinstance(domain, GraphDomain) else None,
-    )
+    return StreamingAnalyzer(model, config, domain).feed(trace).finish()
 
 
 def analyze_graph(

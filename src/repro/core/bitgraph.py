@@ -82,6 +82,14 @@ class BitsetGraphDomain(GraphDomain):
         #: ``nodes[pid].deps`` and marks the graph as mask-capable for
         #: recovery's fast paths.
         self.dep_masks: List[int] = []
+        #: Levels maintained incrementally on append (node dependencies
+        #: always have smaller pids), so streaming consumers can read the
+        #: critical path and level histogram at any point without the
+        #: full-graph recomputation pass ``GraphDomain`` performs after
+        #: each invalidation.
+        self._levels: List[int] = []
+        self._hist: Dict[int, int] = {}
+        self._max_level = 0
 
     @property
     def bottom(self) -> BitsetValue:
@@ -113,8 +121,29 @@ class BitsetGraphDomain(GraphDomain):
                 writes=[(event.addr, event.data_bytes())],
             )
         )
+        levels = self._levels
+        best = 0
+        for dep in iter_bits(frontier):
+            if levels[dep] > best:
+                best = levels[dep]
+        level = best + 1
+        levels.append(level)
+        self._hist[level] = self._hist.get(level, 0) + 1
+        if level > self._max_level:
+            self._max_level = level
         self._invalidate()
         return pid
+
+    def critical_path(self) -> int:
+        return self._max_level
+
+    def level_histogram(self) -> Dict[int, int]:
+        return dict(self._hist)
+
+    def _levels_list(self) -> List[int]:
+        # Incremental levels supersede the recomputation cache; callers
+        # must not mutate the result (GraphDomain.levels copies).
+        return self._levels
 
     def value_of(self, token: int) -> BitsetValue:
         return (1 << token, self._anc[token])

@@ -43,6 +43,13 @@ class PersistencyModel(abc.ABC):
     name = "abstract"
     track_volatile_conflicts = True
     detect_load_before_store = True
+    #: Contract flag: ``absorb(thread, v)`` at most joins ``v`` into the
+    #: thread's state (idempotent and monotone), and ``thread_in`` after
+    #: the absorb stays below ``join(thread_in_before, v)``.  Every
+    #: built-in model satisfies this (absorbs are running joins or
+    #: no-ops); the streaming analyzer's same-block run batching relies
+    #: on it and is disabled for models that clear the flag.
+    absorb_is_join = True
 
     def __init__(self) -> None:
         self._domain: DependencyDomain = None  # set by reset()

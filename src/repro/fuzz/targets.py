@@ -909,6 +909,17 @@ def _flush_publish_builder(flush: str, fence: bool) -> Preparer:
     return prepare
 
 
+# -- gpu lanes ---------------------------------------------------------------
+
+
+def _prepare_gpu_lanes(threads: int, ops: int, scheduler: Scheduler):
+    """Scoped lane commit: a durable scope commit word promises every
+    record word of the scope's lanes (see :mod:`repro.gpu.lanes`)."""
+    from repro.gpu.lanes import prepare_gpu_lanes
+
+    return prepare_gpu_lanes(threads, ops, scheduler)
+
+
 #: Registry of every fuzzable workload, keyed by CLI name.
 TARGETS: Dict[str, FuzzTarget] = {
     target.name: target
@@ -999,6 +1010,12 @@ TARGETS: Dict[str, FuzzTarget] = {
             (1, 3),
             (1, 4),
             repairable=True,
+        ),
+        FuzzTarget(
+            "gpu-lanes",
+            _prepare_gpu_lanes,
+            (2, 6),
+            (1, 4),
         ),
         FuzzTarget(
             "publish-pair",

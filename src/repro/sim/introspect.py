@@ -192,6 +192,86 @@ def next_footprint(machine: Machine, agent: int) -> Optional[Footprint]:
     return _op_footprint(machine, thread, thread.pending)
 
 
+#: Block size for conflict-index hashing.  8 bytes matches the machine
+#: word: accesses never cross a word boundary, so every access range maps
+#: to one block (flush ranges are word-sized too in this simulator).
+_CONFLICT_BLOCK = 8
+
+
+def _blocks(ranges) -> "frozenset":
+    """Block ids covered by (addr, size, persistent) ranges."""
+    blocks = set()
+    for addr, size, _persistent in ranges:
+        first = addr // _CONFLICT_BLOCK
+        last = (addr + size - 1) // _CONFLICT_BLOCK if size else first
+        blocks.update(range(first, last + 1))
+    return blocks
+
+
+def footprints_conflict(left: Footprint, right: Footprint) -> bool:
+    """True when two next-step footprints may touch dependent state.
+
+    Conflict is write/write or read/write overlap at the conflict block
+    granularity, or a shared global resource token.  Local footprints
+    conflict with nothing.
+    """
+    if left.is_local or right.is_local:
+        return False
+    if left.resources and right.resources:
+        if set(left.resources) & set(right.resources):
+            return True
+    left_writes = _blocks(left.writes)
+    right_writes = _blocks(right.writes)
+    if left_writes & right_writes:
+        return True
+    if left_writes & _blocks(right.reads):
+        return True
+    if _blocks(left.reads) & right_writes:
+        return True
+    return False
+
+
+class ConflictIndex:
+    """Set-of-blocks index over many footprints for O(1) conflict tests.
+
+    Built once per bulk-stepping quantum from every *other* agent's next
+    footprint; :meth:`conflicts` then answers "may this footprint race
+    with any of them" with a handful of set intersections.  Sound because
+    an agent's next-step footprint depends only on that agent's own state
+    (pending op, wait location, store buffer) — it cannot change while a
+    different agent executes, so the index stays valid for the whole
+    quantum.
+    """
+
+    __slots__ = ("_reads", "_writes", "_resources")
+
+    def __init__(self, footprints) -> None:
+        reads = set()
+        writes = set()
+        resources = set()
+        for footprint in footprints:
+            reads |= _blocks(footprint.reads)
+            writes |= _blocks(footprint.writes)
+            resources.update(footprint.resources)
+        self._reads = reads
+        self._writes = writes
+        self._resources = resources
+
+    def conflicts(self, footprint: Footprint) -> bool:
+        """True when ``footprint`` may race with any indexed footprint."""
+        if footprint.resources:
+            if self._resources & set(footprint.resources):
+                return True
+        if footprint.writes:
+            blocks = _blocks(footprint.writes)
+            if blocks & self._writes or blocks & self._reads:
+                return True
+        if footprint.reads:
+            if _blocks(footprint.reads) & self._writes:
+                return True
+        return False
+
+
 def agent_footprints(machine: Machine) -> Dict[int, Footprint]:
     """Next-step footprints of every agent that still has a step.
 

@@ -118,6 +118,7 @@ class Machine:
         persistent_size: Optional[int] = None,
         meta: Optional[Dict[str, object]] = None,
         consistency: str = "sc",
+        columnar: bool = False,
     ) -> None:
         """``consistency`` selects the memory model:
 
@@ -133,6 +134,12 @@ class Machine:
           ops and sfence travel through the buffer.  The trace records
           *memory order*, so analyzing it yields persistency-under-TSO
           semantics directly.
+
+        ``columnar=True`` records the trace into a struct-of-arrays
+        :class:`~repro.trace.columnar.ColumnarTrace`, and the emit paths
+        fill its typed-array chunks directly (no per-event dataclass is
+        allocated).  Use for large lane-count workloads whose traces
+        feed the streaming analyzer.
         """
         sizes = {}
         if volatile_size is not None:
@@ -156,7 +163,15 @@ class Machine:
         bind = getattr(self.scheduler, "bind_machine", None)
         if bind is not None:
             bind(self)
-        self.trace = Trace(meta=meta)
+        if columnar:
+            from repro.trace.columnar import ColumnarTrace
+
+            self.trace = ColumnarTrace(meta=meta)
+        else:
+            self.trace = Trace(meta=meta)
+        # Allocation-free emit fast path: columnar traces accept raw
+        # fields, so the hot emit helpers skip MemoryEvent construction.
+        self._emit_raw = getattr(self.trace, "append_raw", None)
         self._threads: List[SimThread] = []
         self._steps = 0
         #: Write-undo journal: (addr, previous bytes) per memory write,
@@ -202,13 +217,36 @@ class Machine:
 
     # -- execution --------------------------------------------------------------
 
-    def run(self, max_steps: Optional[int] = None) -> Trace:
+    def run(
+        self,
+        max_steps: Optional[int] = None,
+        bulk_quantum: Optional[int] = None,
+    ) -> Trace:
         """Run until every thread finishes; returns the trace.
+
+        ``bulk_quantum``: when set (> 1), enables the bulk lane-stepping
+        fast path: after each scheduling decision, the chosen agent keeps
+        executing — up to the quantum — for as long as its next step
+        provably cannot conflict with any other agent's pending step
+        (footprint check via :mod:`repro.sim.introspect`).  Runnable-set
+        construction and scheduler picks then amortise over the quantum
+        instead of costing O(threads) per memory operation, which is what
+        makes thousand-lane GPU-style workloads simulable.  Every
+        interleaving produced is still a legal execution; the conflict
+        check additionally guarantees the trace is equivalent (up to
+        commuting independent steps) to one the fine-grained schedule
+        could produce.  Leave unset for exploration/replay schedulers,
+        whose recorded decisions must map 1:1 to steps.
 
         Raises:
             DeadlockError: when all unfinished threads are blocked.
             SimulationError: when ``max_steps`` is exhausted first.
         """
+        if bulk_quantum is not None and bulk_quantum < 1:
+            raise SimulationError(
+                f"bulk_quantum must be >= 1, got {bulk_quantum}"
+            )
+        bulk = bulk_quantum is not None and bulk_quantum > 1
         while True:
             runnable = self._runnable_ids()
             if not runnable:
@@ -228,8 +266,64 @@ class Machine:
                 raise SimulationError(
                     f"exceeded max_steps={max_steps} with threads still running"
                 )
-            self._step(self.scheduler.pick(runnable))
+            agent = self.scheduler.pick(runnable)
+            self._step(agent)
             self._steps += 1
+            if bulk:
+                self._bulk_steps(agent, bulk_quantum - 1, max_steps)
+
+    def _agent_runnable(self, agent: int) -> bool:
+        """Whether one agent could take a step right now (no list build)."""
+        if agent >= _DRAIN_BASE:
+            return bool(self._threads[agent - _DRAIN_BASE].store_buffer)
+        thread = self._threads[agent]
+        if thread.state in (ThreadState.NEW, ThreadState.READY):
+            return True
+        if thread.state is ThreadState.WAITING:
+            value = self._visible_value(thread, thread.wait.addr, thread.wait.size)
+            return bool(thread.wait.predicate(value))
+        return False
+
+    def _bulk_steps(
+        self, agent: int, budget: int, max_steps: Optional[int]
+    ) -> None:
+        """Step ``agent`` up to ``budget`` more times without rescheduling.
+
+        Stops early when the agent blocks/finishes, when ``max_steps``
+        would be exceeded, or when its next footprint may conflict with
+        another agent's pending step.  The conflict index over the other
+        agents is built once: their next-step footprints depend only on
+        their own (unmoving) state, so it stays valid all quantum.
+        """
+        from repro.sim import introspect
+
+        index = None
+        partner = (
+            agent - _DRAIN_BASE if agent >= _DRAIN_BASE else _DRAIN_BASE + agent
+        )
+        while budget > 0:
+            if max_steps is not None and self._steps >= max_steps:
+                return
+            if not self._agent_runnable(agent):
+                return
+            footprint = introspect.next_footprint(self, agent)
+            if footprint is None:
+                return
+            if not footprint.is_local:
+                if index is None:
+                    index = introspect.ConflictIndex(
+                        fp
+                        for aid, fp in introspect.agent_footprints(self).items()
+                        # A thread and its own drain agent are program-order
+                        # related, not racing: any drain/execute interleaving
+                        # is legal TSO buffering.
+                        if aid != agent and aid != partner
+                    )
+                if index.conflicts(footprint):
+                    return
+            self._step(agent)
+            self._steps += 1
+            budget -= 1
 
     def _runnable_ids(self) -> List[int]:
         runnable = []
@@ -701,6 +795,18 @@ class Machine:
         sync: bool = False,
         info: str = "",
     ) -> None:
+        if self._emit_raw is not None:
+            self._emit_raw(
+                kind,
+                thread.thread_id,
+                addr,
+                size,
+                value,
+                self.memory.is_persistent(addr),
+                sync,
+                info,
+            )
+            return
         self.trace.append(
             MemoryEvent(
                 seq=len(self.trace),
@@ -718,6 +824,9 @@ class Machine:
     def _emit_marker(
         self, thread: SimThread, kind: EventKind, info: str = ""
     ) -> None:
+        if self._emit_raw is not None:
+            self._emit_raw(kind, thread.thread_id, info=info)
+            return
         self.trace.append(
             MemoryEvent(
                 seq=len(self.trace),

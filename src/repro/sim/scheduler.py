@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import abc
 import random
+from bisect import bisect_right
 from typing import Callable, List, Optional, Sequence
 
 from repro.errors import SimulationError
@@ -25,17 +26,21 @@ class Scheduler(abc.ABC):
 
 
 class RoundRobinScheduler(Scheduler):
-    """Cycle through threads in id order, skipping blocked ones."""
+    """Cycle through threads in id order, skipping blocked ones.
+
+    ``pick`` is O(log n): the runnable list is sorted (the ``pick``
+    contract), so the smallest id greater than the previous choice — the
+    same id the historical linear scan returned — is found by bisection.
+    At thousands of lanes the per-step linear scan was a measurable
+    fraction of simulation time.
+    """
 
     def __init__(self) -> None:
         self._last = -1
 
     def pick(self, runnable: Sequence[int]) -> int:
-        for tid in runnable:
-            if tid > self._last:
-                self._last = tid
-                return tid
-        self._last = runnable[0]
+        index = bisect_right(runnable, self._last)
+        self._last = runnable[index] if index < len(runnable) else runnable[0]
         return self._last
 
 

@@ -1,5 +1,13 @@
 """Trace layer: events, containers, serialization, and validation."""
 
+from repro.trace.columnar import (
+    HAVE_NUMPY,
+    KIND_CODES,
+    KINDS_BY_CODE,
+    ColumnarChunk,
+    ColumnarTrace,
+    chunks_from_events,
+)
 from repro.trace.events import (
     FLUSH_KINDS,
     EventKind,
@@ -7,7 +15,7 @@ from repro.trace.events import (
     make_access,
     make_marker,
 )
-from repro.trace.io import load_file, save_file
+from repro.trace.io import TraceReader, TraceWriter, load_file, save_file
 from repro.trace.trace import Trace, TraceStats
 from repro.trace.validate import validate, validate_sc_values, validate_structure
 
@@ -19,6 +27,14 @@ __all__ = [
     "make_marker",
     "Trace",
     "TraceStats",
+    "ColumnarChunk",
+    "ColumnarTrace",
+    "chunks_from_events",
+    "HAVE_NUMPY",
+    "KIND_CODES",
+    "KINDS_BY_CODE",
+    "TraceReader",
+    "TraceWriter",
     "load_file",
     "save_file",
     "validate",

@@ -3,13 +3,21 @@
 The format is line-oriented so traces can be streamed and diffed.  The
 first line is ``{"meta": {...}}``; every following line is one event with
 defaulted fields omitted.
+
+Two access styles share the format:
+
+* batch — :func:`load`/:func:`dump` and the ``*_file`` wrappers build or
+  walk a full in-memory :class:`Trace`;
+* streaming — :class:`TraceReader`/:class:`TraceWriter` move one event
+  (or one columnar chunk) at a time, so million-event traces can be
+  written and re-analyzed without ever materializing the event list.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import IO, Union
+from typing import IO, Iterable, Iterator, Optional, Union
 
 from repro.errors import TraceError
 from repro.trace.events import OPTIONAL_FIELDS, EventKind, MemoryEvent
@@ -51,8 +59,8 @@ def dump(trace: Trace, stream: IO[str]) -> None:
         stream.write(json.dumps(event_to_record(event)) + "\n")
 
 
-def load(stream: IO[str]) -> Trace:
-    """Read a trace from an open text stream."""
+def read_meta(stream: IO[str]) -> dict:
+    """Consume and validate the ``{"meta": ...}`` header line."""
     header = stream.readline()
     if not header:
         raise TraceError("empty trace stream")
@@ -70,7 +78,11 @@ def load(stream: IO[str]) -> Trace:
         raise TraceError(
             f"malformed trace header: 'meta' must be an object, got {meta!r}"
         )
-    trace = Trace(meta=meta)
+    return meta
+
+
+def iter_events(stream: IO[str]) -> Iterator[MemoryEvent]:
+    """Yield events from a stream positioned just past the header."""
     for line in stream:
         line = line.strip()
         if not line:
@@ -83,8 +95,122 @@ def load(stream: IO[str]) -> Trace:
             raise TraceError(
                 f"malformed trace line: expected an event object, got {record!r}"
             )
-        trace.append(event_from_record(record))
+        yield event_from_record(record)
+
+
+def load(stream: IO[str]) -> Trace:
+    """Read a trace from an open text stream."""
+    trace = Trace(meta=read_meta(stream))
+    for event in iter_events(stream):
+        trace.append(event)
     return trace
+
+
+class TraceReader:
+    """Stream a serialized trace without materializing the event list.
+
+    Context manager over a path (or an already-open text stream); the
+    ``meta`` header is parsed on entry, after which exactly one of
+    :meth:`events` or :meth:`chunks` may walk the remaining lines.
+
+    ::
+
+        with TraceReader(path) as reader:
+            analyzer = StreamingAnalyzer(model, config)
+            for chunk in reader.chunks():
+                analyzer.feed(chunk)
+        result = analyzer.finish()
+    """
+
+    def __init__(self, source: Union[_PathLike, IO[str]]) -> None:
+        self._owns_stream = isinstance(source, (str, Path))
+        self._source = source
+        self._stream: Optional[IO[str]] = None
+        self.meta: dict = {}
+
+    def __enter__(self) -> "TraceReader":
+        if self._owns_stream:
+            self._stream = open(self._source, "r", encoding="utf-8")
+        else:
+            self._stream = self._source
+        try:
+            self.meta = read_meta(self._stream)
+        except Exception:
+            self.close()
+            raise
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Close the underlying stream if this reader opened it."""
+        if self._stream is not None and self._owns_stream:
+            self._stream.close()
+        self._stream = None
+
+    def events(self) -> Iterator[MemoryEvent]:
+        """Iterate the remaining events one at a time."""
+        if self._stream is None:
+            raise TraceError("TraceReader is not open")
+        return iter_events(self._stream)
+
+    def chunks(self, chunk_events: Optional[int] = None):
+        """Iterate the remaining events as :class:`ColumnarChunk` batches."""
+        from repro.trace.columnar import DEFAULT_CHUNK_EVENTS, chunks_from_events
+
+        return chunks_from_events(
+            self.events(), chunk_events or DEFAULT_CHUNK_EVENTS
+        )
+
+
+class TraceWriter:
+    """Stream events out to the JSONL format, one line at a time.
+
+    The header is written on entry; events (or whole columnar chunks)
+    are appended as they arrive, so the writer's memory use is O(1) in
+    trace length.
+    """
+
+    def __init__(
+        self,
+        target: Union[_PathLike, IO[str]],
+        meta: Optional[dict] = None,
+    ) -> None:
+        self._owns_stream = isinstance(target, (str, Path))
+        self._target = target
+        self._stream: Optional[IO[str]] = None
+        self.meta = dict(meta or {})
+        self.events_written = 0
+
+    def __enter__(self) -> "TraceWriter":
+        if self._owns_stream:
+            self._stream = open(self._target, "w", encoding="utf-8")
+        else:
+            self._stream = self._target
+        self._stream.write(json.dumps({"meta": self.meta}) + "\n")
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Close the underlying stream if this writer opened it."""
+        if self._stream is not None and self._owns_stream:
+            self._stream.close()
+        self._stream = None
+
+    def write(self, event: MemoryEvent) -> None:
+        """Append one event line."""
+        if self._stream is None:
+            raise TraceError("TraceWriter is not open")
+        self._stream.write(json.dumps(event_to_record(event)) + "\n")
+        self.events_written += 1
+
+    def write_chunk(self, chunk: Iterable[MemoryEvent]) -> None:
+        """Append every event of a chunk (or any event iterable)."""
+        for event in chunk:
+            self.write(event)
 
 
 def save_file(trace: Trace, path: _PathLike) -> None:

@@ -1,0 +1,191 @@
+"""Bulk lane stepping: the scheduler fast path must be invisible.
+
+``Machine.run(bulk_quantum=N)`` lets a picked agent take up to N
+consecutive steps while its next-step footprint stays non-conflicting
+with every other agent's.  For disjoint-footprint programs the executed
+trace differs only in interleaving — never in per-thread program order,
+analysis results, or final memory — and conflicting steps must still go
+back through the scheduler.
+"""
+
+import pytest
+
+from repro.core import analyze
+from repro.errors import SimulationError
+from repro.sim import Machine, RandomScheduler, RoundRobinScheduler
+from repro.sim.introspect import (
+    ConflictIndex,
+    Footprint,
+    LOCAL_FOOTPRINT,
+    footprints_conflict,
+)
+
+
+def _lane(ctx, base, records):
+    for record in range(records):
+        yield from ctx.store(base + 8 * (record % 8), record + 1)
+        yield from ctx.persist_barrier()
+
+
+def _disjoint_machine(scheduler, lanes=6, records=8):
+    machine = Machine(scheduler=scheduler)
+    base = machine.persistent_heap.malloc(lanes * 64)
+    for lane in range(lanes):
+        machine.spawn(_lane, base + lane * 64, records)
+    return machine
+
+
+def _projection(trace, thread):
+    return [
+        (event.kind, event.addr, event.value)
+        for event in trace
+        if event.thread == thread
+    ]
+
+
+class TestBulkEquivalence:
+    def test_disjoint_lanes_same_projections_and_analysis(self):
+        fine = _disjoint_machine(RoundRobinScheduler())
+        fine.run()
+        bulk = _disjoint_machine(RoundRobinScheduler())
+        bulk.run(bulk_quantum=64)
+        for thread in range(6):
+            assert _projection(bulk.trace, thread) == _projection(
+                fine.trace, thread
+            )
+        for model in ("epoch", "strict"):
+            a = analyze(fine.trace, model)
+            b = analyze(bulk.trace, model)
+            assert (a.critical_path, a.persist_count) == (
+                b.critical_path,
+                b.persist_count,
+            )
+
+    def test_bulk_quantum_one_is_plain_scheduling(self):
+        fine = _disjoint_machine(RandomScheduler(seed=3))
+        fine.run()
+        unit = _disjoint_machine(RandomScheduler(seed=3))
+        unit.run(bulk_quantum=1)
+        assert list(unit.trace) == list(fine.trace)
+
+    def test_bulk_run_is_deterministic(self):
+        first = _disjoint_machine(RandomScheduler(seed=5))
+        first.run(bulk_quantum=16)
+        second = _disjoint_machine(RandomScheduler(seed=5))
+        second.run(bulk_quantum=16)
+        assert list(first.trace) == list(second.trace)
+
+    def test_conflicting_rmws_still_atomic(self):
+        """Shared-counter RMWs: bulk mode must not lose increments."""
+
+        def incr(ctx, addr, times):
+            for _ in range(times):
+                yield from ctx.fetch_add(addr, 1)
+
+        machine = Machine(scheduler=RandomScheduler(seed=11))
+        addr = machine.persistent_heap.malloc(8)
+        for _ in range(4):
+            machine.spawn(incr, addr, 10)
+        machine.run(bulk_quantum=8)
+        assert machine.memory.read(addr, 8) == 40
+
+    def test_waiters_wake_under_bulk(self):
+        """A bulk-stepped producer still releases a waiting consumer."""
+
+        def producer(ctx, data, flag):
+            for index in range(8):
+                yield from ctx.store(data + 8 * index, index + 1)
+            yield from ctx.store(flag, 1, sync=True)
+
+        def consumer(ctx, data, flag):
+            yield from ctx.wait_equals(flag, 1, sync=True)
+            value = yield from ctx.load(data)
+            assert value == 1
+
+        machine = Machine(scheduler=RoundRobinScheduler())
+        data = machine.persistent_heap.malloc(64)
+        flag = machine.volatile_heap.malloc(8)
+        machine.spawn(producer, data, flag)
+        machine.spawn(consumer, data, flag)
+        machine.run(bulk_quantum=32)
+        assert all(t.state.value == "finished" for t in machine.threads)
+
+    def test_invalid_quantum_rejected(self):
+        machine = _disjoint_machine(RoundRobinScheduler())
+        with pytest.raises(SimulationError):
+            machine.run(bulk_quantum=0)
+
+    def test_max_steps_respected_in_bulk(self):
+        """A bulk quantum must not overshoot the step budget."""
+        machine = _disjoint_machine(RoundRobinScheduler())
+        with pytest.raises(SimulationError):
+            machine.run(max_steps=10, bulk_quantum=64)
+        assert machine._steps == 10
+
+
+class TestTsoBulk:
+    def test_tso_bulk_preserves_drain_totals(self):
+        """Bulk stepping on TSO: buffers still drain, memory converges."""
+
+        def writer(ctx, base):
+            for index in range(6):
+                yield from ctx.store(base + 8 * index, index + 1)
+            yield from ctx.fence()
+
+        machine = Machine(
+            scheduler=RandomScheduler(seed=2), consistency="tso"
+        )
+        base = machine.persistent_heap.malloc(128)
+        machine.spawn(writer, base)
+        machine.spawn(writer, base + 64)
+        machine.run(bulk_quantum=16)
+        for lane in range(2):
+            for index in range(6):
+                assert machine.memory.read(base + lane * 64 + 8 * index, 8) == (
+                    index + 1
+                )
+
+
+class TestConflictPrimitives:
+    def test_local_footprints_never_conflict(self):
+        write = Footprint(writes=((0, 8, True),))
+        assert not footprints_conflict(LOCAL_FOOTPRINT, write)
+        assert not footprints_conflict(write, LOCAL_FOOTPRINT)
+
+    def test_read_read_is_independent(self):
+        a = Footprint(reads=((0, 8, True),))
+        b = Footprint(reads=((0, 8, True),))
+        assert not footprints_conflict(a, b)
+
+    def test_write_overlap_conflicts(self):
+        a = Footprint(writes=((0, 8, True),))
+        b = Footprint(reads=((4, 4, True),))
+        assert footprints_conflict(a, b)
+        assert footprints_conflict(b, a)
+
+    def test_resource_tokens_conflict(self):
+        a = Footprint(resources=("heap:persistent",))
+        b = Footprint(resources=("heap:persistent",))
+        c = Footprint(resources=("heap:volatile",))
+        assert footprints_conflict(a, b)
+        assert not footprints_conflict(a, c)
+
+    def test_index_matches_pairwise_conflicts(self):
+        others = [
+            Footprint(writes=((64, 8, True),)),
+            Footprint(reads=((128, 8, False),)),
+            Footprint(resources=("heap:volatile",)),
+        ]
+        index = ConflictIndex(others)
+        probes = [
+            Footprint(reads=((64, 8, True),)),     # read vs write
+            Footprint(writes=((128, 8, False),)),  # write vs read
+            Footprint(resources=("heap:volatile",)),
+            Footprint(reads=((256, 8, True),)),    # untouched block
+            LOCAL_FOOTPRINT,
+        ]
+        for probe in probes:
+            expected = any(
+                footprints_conflict(probe, other) for other in others
+            )
+            assert index.conflicts(probe) == expected

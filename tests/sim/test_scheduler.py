@@ -30,6 +30,40 @@ class TestRoundRobin:
         scheduler = RoundRobinScheduler()
         assert [scheduler.pick([3]) for _ in range(3)] == [3, 3, 3]
 
+    def test_wraps_past_highest_id(self):
+        scheduler = RoundRobinScheduler()
+        assert scheduler.pick([1, 4]) == 1
+        assert scheduler.pick([1, 4]) == 4
+        assert scheduler.pick([1, 4]) == 1
+
+    def test_last_pick_leaving_runnable_set(self):
+        scheduler = RoundRobinScheduler()
+        assert scheduler.pick([0, 1, 2]) == 0
+        assert scheduler.pick([0, 1, 2]) == 1
+        # Thread 1 blocks: the next id greater than 1 is still chosen.
+        assert scheduler.pick([0, 2]) == 2
+        assert scheduler.pick([0, 2]) == 0
+
+    def test_matches_linear_scan_reference(self):
+        """Bisect pick-order regression: identical to the historical
+        linear scan (smallest id greater than the previous choice, else
+        the smallest runnable id) on random sorted runnable sets."""
+        import random
+
+        rng = random.Random(0)
+        scheduler = RoundRobinScheduler()
+        last = -1
+        for _ in range(500):
+            runnable = sorted(
+                rng.sample(range(12), rng.randint(1, 12))
+            )
+            expected = next(
+                (tid for tid in runnable if tid > last), runnable[0]
+            )
+            pick = scheduler.pick(runnable)
+            assert pick == expected, (runnable, last)
+            last = pick
+
 
 class TestRandom:
     def test_deterministic_per_seed(self):

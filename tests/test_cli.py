@@ -79,6 +79,44 @@ class TestAnalyze:
     def test_missing_trace_file(self, capsys):
         assert main(["analyze", "/no/such/trace.jsonl"]) == 2
 
+    def test_stream_matches_batch_output(self, trace_path, capsys):
+        assert main(["analyze", str(trace_path)]) == 0
+        batch = capsys.readouterr().out
+        assert (
+            main(
+                [
+                    "analyze",
+                    str(trace_path),
+                    "--stream",
+                    "--chunk-size",
+                    "32",
+                ]
+            )
+            == 0
+        )
+        streamed = capsys.readouterr().out
+        assert streamed == batch
+
+    def test_stream_with_domain(self, trace_path, capsys):
+        code = main(
+            [
+                "analyze",
+                str(trace_path),
+                "--stream",
+                "--domain",
+                "bitset",
+                "--model",
+                "epoch",
+            ]
+        )
+        assert code == 0
+        assert "epoch" in capsys.readouterr().out
+
+    def test_stream_rejects_wear(self, trace_path, capsys):
+        code = main(["analyze", str(trace_path), "--stream", "--wear"])
+        assert code == 2
+        assert "--wear" in capsys.readouterr().err
+
 
 class TestRaces:
     def test_race_free_trace_passes(self, trace_path, capsys):
